@@ -1,0 +1,67 @@
+// Ablation (Section 5.3, "Sampling multiple items"): r samples via the
+// single-pass multi-path descent vs r independent BSTSample descents.
+//
+// Paper claim: the single pass shares intersections and leaf scans between
+// paths, so it beats r independent runs — increasingly so as r grows past
+// the number of distinct leaves the set occupies.
+#include "bench/bench_common.h"
+
+#include "src/core/bst_sampler.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace bloomsample;
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  const uint64_t namespace_size = env.full ? 10000000 : 1000000;
+  const uint64_t n = 1000;
+  PrintBanner("Ablation: single-pass multi-sampling vs repeated descents, "
+              "M = " + std::to_string(namespace_size) + ", n = 1000, acc 0.9",
+              env);
+  const uint64_t repetitions = env.Rounds(/*quick=*/50, /*full=*/500);
+
+  Rng root_rng(env.seed);
+  Rng set_rng = root_rng.Fork();
+  const std::vector<uint64_t> query_set =
+      MakeQuerySet(namespace_size, n, /*clustered=*/false, &set_rng);
+  TreeBundle bundle = BuildPaperTree(0.9, n, namespace_size,
+                                     HashFamilyKind::kSimple, env.seed);
+  const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+  BstSampler sampler(bundle.tree.get());
+
+  Table table({"r", "multi ms/batch", "repeated ms/batch", "speedup",
+               "multi inter./batch", "repeated inter./batch"});
+  for (size_t r : {2, 4, 8, 16, 32, 64, 128}) {
+    Rng rng_a = root_rng.Fork();
+    OpCounters multi_counters;
+    Timer timer;
+    for (uint64_t rep = 0; rep < repetitions; ++rep) {
+      (void)sampler.SampleMany(query, r, &rng_a, /*with_replacement=*/true,
+                               &multi_counters);
+    }
+    const double multi_ms =
+        timer.ElapsedMillis() / static_cast<double>(repetitions);
+
+    Rng rng_b = root_rng.Fork();
+    OpCounters repeat_counters;
+    timer.Restart();
+    for (uint64_t rep = 0; rep < repetitions; ++rep) {
+      for (size_t i = 0; i < r; ++i) {
+        (void)sampler.Sample(query, &rng_b, &repeat_counters);
+      }
+    }
+    const double repeat_ms =
+        timer.ElapsedMillis() / static_cast<double>(repetitions);
+
+    table.AddRow(
+        {std::to_string(r), FormatDouble(multi_ms, 3),
+         FormatDouble(repeat_ms, 3),
+         FormatDouble(multi_ms > 0 ? repeat_ms / multi_ms : 0.0, 2),
+         FormatDouble(static_cast<double>(multi_counters.intersections) /
+                          static_cast<double>(repetitions), 1),
+         FormatDouble(static_cast<double>(repeat_counters.intersections) /
+                          static_cast<double>(repetitions), 1)});
+  }
+  table.Print();
+  return 0;
+}

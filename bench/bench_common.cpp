@@ -1,0 +1,385 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/baselines/hash_invert.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/util/timer.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace bench {
+
+Env Env::FromEnv() {
+  Env env;
+  const char* full = std::getenv("BSR_BENCH_FULL");
+  env.full = full != nullptr && std::strcmp(full, "0") != 0 &&
+             std::strcmp(full, "") != 0;
+  if (const char* seed = std::getenv("BSR_BENCH_SEED")) {
+    env.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* rounds = std::getenv("BSR_BENCH_ROUNDS")) {
+    env.rounds_override = std::strtoull(rounds, nullptr, 10);
+  }
+  return env;
+}
+
+void PrintBanner(const std::string& title, const Env& env) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("mode=%s seed=%llu%s\n", env.full ? "FULL (paper scale)" : "quick",
+              static_cast<unsigned long long>(env.seed),
+              env.rounds_override != 0 ? " (rounds overridden)" : "");
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  BSR_CHECK(cells.size() == headers_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatCount(double value) {
+  char buf[64];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (value >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+  }
+  return buf;
+}
+
+std::vector<double> PaperAccuracies() { return {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}; }
+
+std::vector<uint64_t> PaperSetSizes() { return {100, 1000, 10000, 50000}; }
+
+std::vector<uint64_t> PaperNamespaceSizes() {
+  return {100000, 1000000, 10000000};
+}
+
+std::vector<uint64_t> MakeQuerySet(uint64_t namespace_size, uint64_t n,
+                                   bool clustered, Rng* rng) {
+  Result<std::vector<uint64_t>> set =
+      clustered ? GenerateClusteredSet(namespace_size, n, rng)
+                : GenerateUniformSet(namespace_size, n, rng);
+  BSR_CHECK(set.ok(), "query set generation failed");
+  return std::move(set).value();
+}
+
+TreeBundle BuildPaperTree(double accuracy, uint64_t n, uint64_t namespace_size,
+                          HashFamilyKind kind, uint64_t seed) {
+  Result<TreeConfig> config =
+      MakeConfigForAccuracy(accuracy, n, /*k=*/3, namespace_size, kind, seed);
+  BSR_CHECK(config.ok(), "tree config derivation failed");
+  TreeBundle bundle;
+  bundle.config = config.value();
+  Timer timer;
+  Result<BloomSampleTree> tree = BloomSampleTree::BuildComplete(bundle.config);
+  BSR_CHECK(tree.ok(), "tree build failed");
+  bundle.build_seconds = timer.ElapsedSeconds();
+  bundle.tree = std::make_unique<BloomSampleTree>(std::move(tree).value());
+  return bundle;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 / 4 — sampling operation counts.
+// ---------------------------------------------------------------------------
+
+void RunSamplingOpsFigure(const std::string& title, uint64_t namespace_size,
+                          bool clustered, const Env& env) {
+  PrintBanner(title, env);
+  const uint64_t rounds = env.Rounds(/*quick=*/200, /*full=*/10000);
+  std::printf("rounds per configuration: %llu; DA row is analytic (always M "
+              "membership queries, 0 intersections)\n\n",
+              static_cast<unsigned long long>(rounds));
+
+  Table table({"n", "accuracy", "BST intersections/round",
+               "BST memberships/round", "BST null-rate", "DA memberships"});
+  Rng root_rng(env.seed);
+  for (uint64_t n : PaperSetSizes()) {
+    if (n >= namespace_size) continue;
+    Rng set_rng = root_rng.Fork();
+    const std::vector<uint64_t> query_set =
+        MakeQuerySet(namespace_size, n, clustered, &set_rng);
+    for (double accuracy : PaperAccuracies()) {
+      TreeBundle bundle = BuildPaperTree(accuracy, n, namespace_size,
+                                         HashFamilyKind::kSimple, env.seed);
+      const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+      BstSampler sampler(bundle.tree.get());
+      OpCounters counters;
+      Rng sample_rng = root_rng.Fork();
+      uint64_t nulls = 0;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        if (!sampler.Sample(query, &sample_rng, &counters).has_value()) {
+          ++nulls;
+        }
+      }
+      const double denom = static_cast<double>(rounds);
+      table.AddRow(
+          {FormatCount(static_cast<double>(n)), FormatDouble(accuracy, 1),
+           FormatDouble(static_cast<double>(counters.intersections) / denom, 1),
+           FormatCount(static_cast<double>(counters.membership_queries) /
+                       denom),
+           FormatDouble(static_cast<double>(nulls) / denom, 4),
+           FormatCount(static_cast<double>(namespace_size))});
+    }
+  }
+  table.Print();
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 / 6 — sampling wall-clock time.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void RunSamplingTimeSubtable(const char* flavor, uint64_t namespace_size,
+                             bool clustered, const Env& env) {
+  const uint64_t rounds = env.Rounds(/*quick=*/200, /*full=*/10000);
+  const uint64_t da_rounds =
+      env.rounds_override != 0 ? env.rounds_override : (env.full ? 20 : 2);
+  std::printf("-- %s query sets (BST rounds=%llu, DA rounds=%llu) --\n",
+              flavor, static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(da_rounds));
+
+  Table table({"n", "accuracy", "BST ms/sample", "DA ms/sample"});
+  Rng root_rng(env.seed);
+  DictionaryAttack attack(namespace_size);
+  for (uint64_t n : PaperSetSizes()) {
+    if (n >= namespace_size) continue;
+    Rng set_rng = root_rng.Fork();
+    const std::vector<uint64_t> query_set =
+        MakeQuerySet(namespace_size, n, clustered, &set_rng);
+    for (double accuracy : PaperAccuracies()) {
+      TreeBundle bundle = BuildPaperTree(accuracy, n, namespace_size,
+                                         HashFamilyKind::kSimple, env.seed);
+      const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+      BstSampler sampler(bundle.tree.get());
+      Rng sample_rng = root_rng.Fork();
+
+      Timer timer;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        (void)sampler.Sample(query, &sample_rng);
+      }
+      const double bst_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
+
+      timer.Restart();
+      for (uint64_t r = 0; r < da_rounds; ++r) {
+        (void)attack.Sample(query, &sample_rng);
+      }
+      const double da_ms =
+          timer.ElapsedMillis() / static_cast<double>(da_rounds);
+
+      table.AddRow({FormatCount(static_cast<double>(n)),
+                    FormatDouble(accuracy, 1), FormatDouble(bst_ms, 3),
+                    FormatDouble(da_ms, 3)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+void RunSamplingTimeFigure(const std::string& title, uint64_t namespace_size,
+                           const Env& env) {
+  PrintBanner(title, env);
+  RunSamplingTimeSubtable("uniform", namespace_size, /*clustered=*/false, env);
+  RunSamplingTimeSubtable("clustered", namespace_size, /*clustered=*/true, env);
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8 / 9 / 10 — reconstruction operation counts.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void RunReconstructionOpsSubtable(const char* flavor, uint64_t namespace_size,
+                                  bool clustered, const Env& env) {
+  const uint64_t rounds = env.Rounds(/*quick=*/2, /*full=*/20);
+  std::printf("-- %s query sets (rounds=%llu); DA row analytic; BST uses the "
+              "paper's thresholded pruning (tau = 0.5) --\n",
+              flavor, static_cast<unsigned long long>(rounds));
+
+  Table table({"n", "accuracy", "BST inter.", "BST member.", "HI inversions",
+               "HI member.", "DA member."});
+  Rng root_rng(env.seed);
+  HashInvert inverter(namespace_size);
+  for (uint64_t n : PaperSetSizes()) {
+    if (n >= namespace_size) continue;
+    Rng set_rng = root_rng.Fork();
+    const std::vector<uint64_t> query_set =
+        MakeQuerySet(namespace_size, n, clustered, &set_rng);
+    for (double accuracy : PaperAccuracies()) {
+      TreeBundle bundle = BuildPaperTree(accuracy, n, namespace_size,
+                                         HashFamilyKind::kSimple, env.seed);
+      bundle.tree->set_intersection_threshold(0.5);
+      const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+      BstReconstructor reconstructor(bundle.tree.get());
+
+      OpCounters bst_counters;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        (void)reconstructor.Reconstruct(
+            query, &bst_counters, BstReconstructor::PruningMode::kThresholded);
+      }
+      OpCounters hi_counters;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        const auto result = inverter.Reconstruct(
+            query, HashInvert::ReconstructMode::kAuto, &hi_counters);
+        BSR_CHECK(result.ok(), "HashInvert reconstruction failed");
+      }
+      const double denom = static_cast<double>(rounds);
+      table.AddRow(
+          {FormatCount(static_cast<double>(n)), FormatDouble(accuracy, 1),
+           FormatDouble(static_cast<double>(bst_counters.intersections) /
+                            denom, 1),
+           FormatCount(static_cast<double>(bst_counters.membership_queries) /
+                       denom),
+           FormatCount(static_cast<double>(hi_counters.inversions) / denom),
+           FormatCount(static_cast<double>(hi_counters.membership_queries) /
+                       denom),
+           FormatCount(static_cast<double>(namespace_size))});
+    }
+  }
+  table.Print();
+}
+
+void RunReconstructionTimeSubtable(const char* flavor, uint64_t namespace_size,
+                                   bool clustered, const Env& env) {
+  const uint64_t rounds = env.Rounds(/*quick=*/2, /*full=*/20);
+  // Figures 11/12 plot n = 100 and n = 10000 only.
+  const std::vector<uint64_t> set_sizes = {100, 10000};
+  std::printf("-- %s query sets (rounds=%llu) --\n", flavor,
+              static_cast<unsigned long long>(rounds));
+
+  Table table({"n", "accuracy", "BST ms", "HI ms", "DA ms"});
+  Rng root_rng(env.seed);
+  HashInvert inverter(namespace_size);
+  DictionaryAttack attack(namespace_size);
+  for (uint64_t n : set_sizes) {
+    if (n >= namespace_size) continue;
+    Rng set_rng = root_rng.Fork();
+    const std::vector<uint64_t> query_set =
+        MakeQuerySet(namespace_size, n, clustered, &set_rng);
+    for (double accuracy : PaperAccuracies()) {
+      TreeBundle bundle = BuildPaperTree(accuracy, n, namespace_size,
+                                         HashFamilyKind::kSimple, env.seed);
+      bundle.tree->set_intersection_threshold(0.5);
+      const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+      BstReconstructor reconstructor(bundle.tree.get());
+
+      Timer timer;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        (void)reconstructor.Reconstruct(
+            query, nullptr, BstReconstructor::PruningMode::kThresholded);
+      }
+      const double bst_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
+
+      timer.Restart();
+      for (uint64_t r = 0; r < rounds; ++r) {
+        const auto result = inverter.Reconstruct(query);
+        BSR_CHECK(result.ok(), "HashInvert reconstruction failed");
+      }
+      const double hi_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
+
+      timer.Restart();
+      for (uint64_t r = 0; r < rounds; ++r) {
+        (void)attack.Reconstruct(query);
+      }
+      const double da_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
+
+      table.AddRow({FormatCount(static_cast<double>(n)),
+                    FormatDouble(accuracy, 1), FormatDouble(bst_ms, 2),
+                    FormatDouble(hi_ms, 2), FormatDouble(da_ms, 2)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+void RunReconstructionOpsFigure(const std::string& title,
+                                uint64_t namespace_size, const Env& env) {
+  PrintBanner(title, env);
+  RunReconstructionOpsSubtable("uniform", namespace_size, /*clustered=*/false,
+                               env);
+  RunReconstructionOpsSubtable("clustered", namespace_size, /*clustered=*/true,
+                               env);
+}
+
+void RunReconstructionTimeFigure(const std::string& title,
+                                 uint64_t namespace_size, const Env& env) {
+  PrintBanner(title, env);
+  RunReconstructionTimeSubtable("uniform", namespace_size, /*clustered=*/false,
+                                env);
+  RunReconstructionTimeSubtable("clustered", namespace_size,
+                                /*clustered=*/true, env);
+}
+
+// ---------------------------------------------------------------------------
+// Tables 2 / 3 — parameter settings.
+// ---------------------------------------------------------------------------
+
+void RunParameterTable(const std::string& title, uint64_t namespace_size,
+                       const Env& env) {
+  PrintBanner(title, env);
+  std::printf("n = 1000, k = 3, analytic cost model "
+              "(icost = m/64 words, mcost = k+1 units)\n\n");
+  Table table({"accuracy", "m (bits)", "depth", "leaf size M_bot", "#nodes",
+               "memory (MB)"});
+  for (double accuracy : PaperAccuracies()) {
+    Result<TreeConfig> config = MakeConfigForAccuracy(
+        accuracy, /*n=*/1000, /*k=*/3, namespace_size,
+        HashFamilyKind::kSimple, env.seed);
+    BSR_CHECK(config.ok(), "config derivation failed");
+    const TreeConfig& c = config.value();
+    const double memory_mb = static_cast<double>(c.m) *
+                             static_cast<double>(c.CompleteNodeCount()) /
+                             (8.0 * 1024.0 * 1024.0);
+    table.AddRow({FormatDouble(accuracy, 1), std::to_string(c.m),
+                  std::to_string(c.depth), std::to_string(c.LeafRangeSize()),
+                  std::to_string(c.CompleteNodeCount()),
+                  FormatDouble(memory_mb, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace bench
+}  // namespace bloomsample

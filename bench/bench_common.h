@@ -1,0 +1,113 @@
+// Shared infrastructure for the paper-reproduction benchmark harness.
+//
+// Every binary in bench/ regenerates one table or figure from the paper.
+// Output is a titled ASCII table whose rows mirror the paper's series.
+//
+// Scale control (environment variables):
+//   BSR_BENCH_FULL=1    — paper-scale runs (10,000 sampling rounds, all
+//                         namespace sizes, full chi-squared protocol).
+//   BSR_BENCH_ROUNDS=N  — override the per-configuration round count.
+//   BSR_BENCH_SEED=N    — root RNG seed (default 20170313).
+// Defaults are laptop-quick: every binary finishes in seconds to a couple
+// of minutes while preserving the paper's qualitative shape.
+#ifndef BLOOMSAMPLE_BENCH_BENCH_COMMON_H_
+#define BLOOMSAMPLE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/tree_config.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace bench {
+
+struct Env {
+  bool full = false;
+  uint64_t seed = 20170313;
+  uint64_t rounds_override = 0;
+
+  static Env FromEnv();
+
+  /// Round count for a configuration: the override if set, else the
+  /// full/quick default.
+  uint64_t Rounds(uint64_t quick_default, uint64_t full_default) const {
+    if (rounds_override != 0) return rounds_override;
+    return full ? full_default : quick_default;
+  }
+};
+
+/// Prints "=== <title> ===" plus the run mode, so bench_output.txt is
+/// self-describing.
+void PrintBanner(const std::string& title, const Env& env);
+
+/// Minimal fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatCount(double value);
+
+/// The paper's parameter grids (Table 1).
+std::vector<double> PaperAccuracies();          // 0.5 … 1.0
+std::vector<uint64_t> PaperSetSizes();          // 100, 1K, 10K, 50K
+std::vector<uint64_t> PaperNamespaceSizes();    // 1e5, 1e6, 1e7
+
+/// Builds the query set: uniform or clustered (Section 7.1, p = 10%).
+std::vector<uint64_t> MakeQuerySet(uint64_t namespace_size, uint64_t n,
+                                   bool clustered, Rng* rng);
+
+struct TreeBundle {
+  TreeConfig config;
+  std::unique_ptr<BloomSampleTree> tree;
+  double build_seconds = 0.0;
+};
+
+/// Builds the complete tree the paper's experiments use: m sized from
+/// (accuracy, n, M), depth from the analytic cost model.
+TreeBundle BuildPaperTree(double accuracy, uint64_t n, uint64_t namespace_size,
+                          HashFamilyKind kind, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Shared figure runners (each used by 2-3 binaries that differ only in M or
+// in the query-set flavour).
+// ---------------------------------------------------------------------------
+
+/// Figures 3 / 4: average #intersections and #membership queries per
+/// sampling round, BST vs DictionaryAttack.
+void RunSamplingOpsFigure(const std::string& title, uint64_t namespace_size,
+                          bool clustered, const Env& env);
+
+/// Figures 5 / 6: average sampling wall-clock time, BST vs DA, uniform and
+/// clustered subtables.
+void RunSamplingTimeFigure(const std::string& title, uint64_t namespace_size,
+                           const Env& env);
+
+/// Figures 8 / 9 / 10: reconstruction operation counts, BST vs HashInvert
+/// vs DA, uniform and clustered subtables.
+void RunReconstructionOpsFigure(const std::string& title,
+                                uint64_t namespace_size, const Env& env);
+
+/// Figures 11 / 12: reconstruction wall-clock time.
+void RunReconstructionTimeFigure(const std::string& title,
+                                 uint64_t namespace_size, const Env& env);
+
+/// Tables 2 / 3: m, depth, M⊥ and memory per accuracy, n = 1000.
+void RunParameterTable(const std::string& title, uint64_t namespace_size,
+                       const Env& env);
+
+}  // namespace bench
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BENCH_BENCH_COMMON_H_

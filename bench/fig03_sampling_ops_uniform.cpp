@@ -1,0 +1,22 @@
+// Figure 3 (a, b, c): number of Bloom-filter intersections and membership
+// queries per sampling round for uniformly random query sets, BST vs
+// DictionaryAttack, at M = 1e5 / 1e6 / 1e7.
+//
+// Paper shape to reproduce: BST needs a few dozen intersections and a few
+// thousand membership queries per sample, versus DA's flat M membership
+// queries; BST membership cost tracks the leaf size M⊥, which grows with
+// accuracy (larger m makes intersections pricier, so the tree gets
+// shallower).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  for (uint64_t namespace_size : PaperNamespaceSizes()) {
+    RunSamplingOpsFigure(
+        "Figure 3: sampling op counts, uniform query sets, M = " +
+            std::to_string(namespace_size),
+        namespace_size, /*clustered=*/false, env);
+  }
+  return 0;
+}

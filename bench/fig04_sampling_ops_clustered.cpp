@@ -1,0 +1,20 @@
+// Figure 4 (a, b, c): sampling operation counts for clustered query sets
+// (the pdf-splitting generator with p = 10%), BST vs DictionaryAttack.
+//
+// Paper shape: clustered sets concentrate in few subtrees, so BST visits
+// slightly fewer distinct leaves per sample but follows more false-overlap
+// branches near the cluster; intersection counts run a bit above the
+// uniform case while membership counts stay comparable.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  for (uint64_t namespace_size : PaperNamespaceSizes()) {
+    RunSamplingOpsFigure(
+        "Figure 4: sampling op counts, clustered query sets, M = " +
+            std::to_string(namespace_size),
+        namespace_size, /*clustered=*/true, env);
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 5 (a, b): average wall-clock time per sample at M = 1e7, BST vs
+// DictionaryAttack, uniform and clustered query sets.
+//
+// Paper shape: BST samples in ~1-10 ms while DA needs hundreds of ms
+// (about two orders of magnitude), with BST time growing mildly in
+// accuracy (bigger m -> costlier intersections and bigger leaves).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunSamplingTimeFigure("Figure 5: avg sampling time, M = 1e7", 10000000, env);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 6 (a, b): average wall-clock time per sample at M = 1e6, BST vs
+// DictionaryAttack, uniform and clustered query sets.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunSamplingTimeFigure("Figure 6: avg sampling time, M = 1e6", 1000000, env);
+  return 0;
+}

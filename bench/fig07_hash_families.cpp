@@ -1,0 +1,67 @@
+// Figure 7: effect of the hash-function family on sampling time, BST vs
+// DictionaryAttack, Murmur3 vs MD5 (plus the simple linear family for
+// reference).
+//
+// Paper shape: DA degrades by about an order of magnitude under MD5
+// because it pays M·k hash evaluations per sample, while BST barely moves
+// — it defers membership queries to one leaf, after the tree (pure bit
+// operations) has pruned everything else.
+#include "bench/bench_common.h"
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/core/bst_sampler.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace bloomsample;
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  const uint64_t namespace_size = env.full ? 10000000 : 1000000;
+  PrintBanner("Figure 7: hash-family effect on sampling time, M = " +
+                  std::to_string(namespace_size) + ", n = 1000",
+              env);
+  const uint64_t rounds = env.Rounds(/*quick=*/200, /*full=*/10000);
+  const uint64_t da_rounds =
+      env.rounds_override != 0 ? env.rounds_override : (env.full ? 10 : 2);
+  const uint64_t n = 1000;
+
+  Table table({"family", "accuracy", "BST ms/sample", "DA ms/sample"});
+  Rng root_rng(env.seed);
+  Rng set_rng = root_rng.Fork();
+  const std::vector<uint64_t> query_set =
+      MakeQuerySet(namespace_size, n, /*clustered=*/false, &set_rng);
+  DictionaryAttack attack(namespace_size);
+
+  const std::pair<HashFamilyKind, const char*> kFamilies[] = {
+      {HashFamilyKind::kSimple, "simple"},
+      {HashFamilyKind::kMurmur3, "murmur3"},
+      {HashFamilyKind::kMd5, "md5"},
+  };
+  for (const auto& [kind, name] : kFamilies) {
+    for (double accuracy : PaperAccuracies()) {
+      TreeBundle bundle =
+          BuildPaperTree(accuracy, n, namespace_size, kind, env.seed);
+      const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
+      BstSampler sampler(bundle.tree.get());
+      Rng sample_rng = root_rng.Fork();
+
+      Timer timer;
+      for (uint64_t r = 0; r < rounds; ++r) {
+        (void)sampler.Sample(query, &sample_rng);
+      }
+      const double bst_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
+
+      timer.Restart();
+      for (uint64_t r = 0; r < da_rounds; ++r) {
+        (void)attack.Sample(query, &sample_rng);
+      }
+      const double da_ms =
+          timer.ElapsedMillis() / static_cast<double>(da_rounds);
+
+      table.AddRow({name, FormatDouble(accuracy, 1), FormatDouble(bst_ms, 3),
+                    FormatDouble(da_ms, 3)});
+    }
+  }
+  table.Print();
+  return 0;
+}

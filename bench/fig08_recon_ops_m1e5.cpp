@@ -1,0 +1,16 @@
+// Figure 8 (a, b): reconstruction operation counts at M = 1e5 —
+// BloomSampleTree vs HashInvert vs DictionaryAttack, uniform and clustered
+// query sets.
+//
+// Paper shape: HashInvert performs more membership queries than BST but
+// fewer than DA; BST trades a few hundred intersections for membership
+// counts far below M except when the set covers every leaf.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunReconstructionOpsFigure("Figure 8: reconstruction op counts, M = 1e5",
+                             100000, env);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 9 (a, b): reconstruction operation counts at M = 1e6.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunReconstructionOpsFigure("Figure 9: reconstruction op counts, M = 1e6",
+                             1000000, env);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 10 (a, b): reconstruction operation counts at M = 1e7.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunReconstructionOpsFigure("Figure 10: reconstruction op counts, M = 1e7",
+                             10000000, env);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 11 (a, b): reconstruction wall-clock time at M = 1e6 for
+// n ∈ {100, 10000} — BST vs HashInvert vs DictionaryAttack.
+//
+// Paper shape: HashInvert is the slowest overall despite issuing fewer
+// membership queries than DA (it iterates preimage lists per set/unset
+// bit, worst when the filter is near half-full, the HI-10K case); BST is
+// fastest throughout.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunReconstructionTimeFigure("Figure 11: reconstruction time, M = 1e6",
+                              1000000, env);
+  return 0;
+}

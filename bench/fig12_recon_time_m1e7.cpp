@@ -1,0 +1,11 @@
+// Figure 12 (a, b): reconstruction wall-clock time at M = 1e7 for
+// n ∈ {100, 10000}.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunReconstructionTimeFigure("Figure 12: reconstruction time, M = 1e7",
+                              10000000, env);
+  return 0;
+}

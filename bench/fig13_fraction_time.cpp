@@ -1,0 +1,88 @@
+// Figure 13: average time to draw a sample from hashtag query filters at
+// varying namespace fractions (uniform vs clustered leaf selection), on
+// the synthetic Twitter crawl with a Pruned-BloomSampleTree.
+//
+// Paper shape: sampling time grows with the occupied fraction and is an
+// order of magnitude smaller below fraction 0.1 than at full occupancy;
+// clustered namespaces sample faster than uniform ones (fewer distinct
+// root-to-leaf paths). DictionaryAttack, measured once as a reference,
+// needs seconds-to-minutes per sample on this namespace and is omitted
+// from the table, as in the paper.
+#include "bench/fraction_common.h"
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/core/bst_sampler.h"
+#include "src/util/timer.h"
+
+int main() {
+  using namespace bloomsample;
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  PrintBanner("Figure 13: sampling time vs namespace fraction (Twitter)", env);
+  FractionSetup setup = MakeFractionSetup(env);
+  std::printf("crawl: %zu users, %zu hashtag query sets, namespace = %llu; "
+              "m = %llu bits, depth = %u, rounds = %llu\n\n",
+              setup.crawl.user_ids.size(), setup.crawl.hashtag_users.size(),
+              static_cast<unsigned long long>(
+                  setup.tree_config.namespace_size),
+              static_cast<unsigned long long>(setup.tree_config.m),
+              setup.tree_config.depth,
+              static_cast<unsigned long long>(setup.sampling_rounds));
+
+  Table table({"fraction", "mode", "users kept", "BST ms/sample",
+               "null-rate"});
+  Rng root_rng(env.seed ^ 0xf13f13f13ULL);
+  for (const SelectionMode mode :
+       {SelectionMode::kUniform, SelectionMode::kClustered}) {
+    const char* mode_name =
+        mode == SelectionMode::kUniform ? "uniform" : "clustered";
+    for (double fraction : setup.fractions) {
+      Rng mode_rng = root_rng.Fork();
+      FractionInstance instance =
+          MakeFractionInstance(setup, fraction, mode, &mode_rng);
+      if (instance.restricted.hashtag_users.empty()) continue;
+
+      // Pre-build one query filter per hashtag.
+      std::vector<BloomFilter> queries;
+      queries.reserve(instance.restricted.hashtag_users.size());
+      for (const auto& users : instance.restricted.hashtag_users) {
+        queries.push_back(instance.tree->MakeQueryFilter(users));
+      }
+
+      BstSampler sampler(instance.tree.get());
+      Rng sample_rng = mode_rng.Fork();
+      uint64_t nulls = 0;
+      Timer timer;
+      for (uint64_t r = 0; r < setup.sampling_rounds; ++r) {
+        const auto& query = queries[sample_rng.Below(queries.size())];
+        if (!sampler.Sample(query, &sample_rng).has_value()) ++nulls;
+      }
+      const double ms = timer.ElapsedMillis() /
+                        static_cast<double>(setup.sampling_rounds);
+      table.AddRow(
+          {FormatDouble(fraction, 2), mode_name,
+           std::to_string(instance.restricted.user_ids.size()),
+           FormatDouble(ms, 3),
+           FormatDouble(static_cast<double>(nulls) /
+                            static_cast<double>(setup.sampling_rounds),
+                        4)});
+    }
+  }
+  table.Print();
+
+  // One DictionaryAttack reference point over the full namespace.
+  {
+    Rng rng(env.seed ^ 0xdadadaULL);
+    FractionInstance instance =
+        MakeFractionInstance(setup, 0.5, SelectionMode::kUniform, &rng);
+    const BloomFilter query = instance.tree->MakeQueryFilter(
+        instance.restricted.hashtag_users.front());
+    DictionaryAttack attack(setup.tree_config.namespace_size);
+    Timer timer;
+    (void)attack.Sample(query, &rng);
+    std::printf("DictionaryAttack reference (1 sample, full namespace): "
+                "%.1f ms\n\n",
+                timer.ElapsedMillis());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 14: memory of the Pruned-BloomSampleTree at varying namespace
+// fractions, against the complete tree over the full namespace.
+//
+// Paper shape: pruned memory grows with the fraction; at fraction 0.5 the
+// uniform selection costs ~70% of the full tree while the clustered one
+// costs ~20-25% (shared ancestors), both far below the complete tree.
+#include "bench/fraction_common.h"
+
+int main() {
+  using namespace bloomsample;
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  PrintBanner("Figure 14: Pruned-BST memory vs namespace fraction (Twitter)",
+              env);
+  FractionSetup setup = MakeFractionSetup(env);
+  const double full_mb =
+      static_cast<double>(setup.tree_config.m) *
+      static_cast<double>(setup.tree_config.CompleteNodeCount()) /
+      (8.0 * 1024.0 * 1024.0);
+  std::printf("complete tree over the full namespace: %.2f MB "
+              "(%llu nodes x %llu bits)\n\n",
+              full_mb,
+              static_cast<unsigned long long>(
+                  setup.tree_config.CompleteNodeCount()),
+              static_cast<unsigned long long>(setup.tree_config.m));
+
+  Table table({"fraction", "mode", "nodes", "memory (MB)", "% of complete",
+               "build (s)"});
+  Rng root_rng(env.seed ^ 0xf14f14f14ULL);
+  for (const SelectionMode mode :
+       {SelectionMode::kUniform, SelectionMode::kClustered}) {
+    const char* mode_name =
+        mode == SelectionMode::kUniform ? "uniform" : "clustered";
+    for (double fraction : setup.fractions) {
+      Rng mode_rng = root_rng.Fork();
+      FractionInstance instance =
+          MakeFractionInstance(setup, fraction, mode, &mode_rng);
+      const double mb = static_cast<double>(instance.tree->MemoryBytes()) /
+                        (1024.0 * 1024.0);
+      table.AddRow({FormatDouble(fraction, 2), mode_name,
+                    std::to_string(instance.tree->node_count()),
+                    FormatDouble(mb, 2),
+                    FormatDouble(100.0 * mb / full_mb, 1),
+                    FormatDouble(instance.build_seconds, 2)});
+    }
+  }
+  table.Print();
+  return 0;
+}

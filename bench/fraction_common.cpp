@@ -1,0 +1,84 @@
+#include "bench/fraction_common.h"
+
+#include <algorithm>
+
+#include "src/bloom/bloom_params.h"
+#include "src/util/timer.h"
+
+namespace bloomsample {
+namespace bench {
+
+FractionSetup MakeFractionSetup(const Env& env) {
+  TwitterCrawlConfig crawl_config;
+  crawl_config.seed = env.seed;
+  if (env.full) {
+    // Scaled toward the paper's crawl (7.2M users / 2.2B ids / 24K tags);
+    // user count is capped so the run stays in laptop memory.
+    crawl_config.namespace_size = 1ULL << 31;
+    crawl_config.num_users = 2'000'000;
+    crawl_config.num_hashtags = 24'000;
+    crawl_config.num_tweets = 40'000'000;
+    crawl_config.min_hashtag_users = 100;
+  }
+  Result<TwitterCrawl> crawl = GenerateTwitterCrawl(crawl_config);
+  BSR_CHECK(crawl.ok(), "synthetic crawl generation failed");
+
+  FractionSetup setup;
+  setup.crawl = std::move(crawl).value();
+  setup.fractions = env.full
+                        ? std::vector<double>{0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9}
+                        : std::vector<double>{0.05, 0.1, 0.2, 0.3, 0.5, 0.7,
+                                              0.9};
+  setup.sampling_rounds = env.Rounds(/*quick=*/300, /*full=*/1000);
+
+  // Median hashtag set size stands in for the paper's sizing n.
+  std::vector<size_t> sizes;
+  sizes.reserve(setup.crawl.hashtag_users.size());
+  for (const auto& users : setup.crawl.hashtag_users) {
+    sizes.push_back(users.size());
+  }
+  std::nth_element(sizes.begin(), sizes.begin() + sizes.size() / 2,
+                   sizes.end());
+  const uint64_t typical_n = std::max<uint64_t>(sizes[sizes.size() / 2], 10);
+
+  Result<uint64_t> m = SolveBitsForAccuracy(
+      0.8, typical_n, /*k=*/3, crawl_config.namespace_size);
+  BSR_CHECK(m.ok(), "m sizing failed");
+
+  TreeConfig tree_config;
+  tree_config.namespace_size = crawl_config.namespace_size;
+  tree_config.m = m.value();
+  tree_config.k = 3;
+  tree_config.hash_kind = HashFamilyKind::kSimple;
+  tree_config.seed = env.seed;
+  // Paper: 256 leaves over the full id space regardless of occupancy.
+  tree_config.depth = 8;
+  BSR_CHECK(tree_config.Validate().ok(), "fraction tree config invalid");
+  setup.tree_config = tree_config;
+  return setup;
+}
+
+FractionInstance MakeFractionInstance(const FractionSetup& setup,
+                                      double fraction, SelectionMode mode,
+                                      Rng* rng) {
+  Result<std::vector<IdRange>> ranges =
+      SelectLeafRanges(setup.tree_config.namespace_size,
+                       /*leaf_count=*/1ULL << setup.tree_config.depth,
+                       fraction, mode, rng);
+  BSR_CHECK(ranges.ok(), "leaf range selection failed");
+
+  FractionInstance instance;
+  instance.restricted = setup.crawl.RestrictTo(ranges.value());
+
+  Timer timer;
+  Result<BloomSampleTree> tree = BloomSampleTree::BuildPruned(
+      setup.tree_config, instance.restricted.user_ids);
+  BSR_CHECK(tree.ok(), "pruned tree build failed");
+  instance.build_seconds = timer.ElapsedSeconds();
+  instance.tree = std::make_unique<BloomSampleTree>(std::move(tree).value());
+  return instance;
+}
+
+}  // namespace bench
+}  // namespace bloomsample

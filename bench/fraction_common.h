@@ -1,0 +1,49 @@
+// Shared setup for the low-occupancy namespace experiments (Section 8,
+// Figures 13/14/15): the synthetic Twitter crawl, the per-fraction
+// restricted namespaces, and the pruned trees over them.
+//
+// Following the paper, the tree geometry is fixed (256 leaves over the
+// whole id space) rather than cost-model derived, and the Bloom filter
+// size is chosen for a desired accuracy of 0.8 over the full namespace —
+// Figure 15 then shows the pruned tree beating that target at low
+// occupancy.
+#ifndef BLOOMSAMPLE_BENCH_FRACTION_COMMON_H_
+#define BLOOMSAMPLE_BENCH_FRACTION_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/workload/twitter_synth.h"
+
+namespace bloomsample {
+namespace bench {
+
+struct FractionSetup {
+  TwitterCrawl crawl;          ///< the full synthetic crawl
+  TreeConfig tree_config;      ///< fixed-depth config shared by all fractions
+  std::vector<double> fractions;
+  uint64_t sampling_rounds = 0;
+};
+
+/// Builds the crawl and derives the shared tree parameters. Full mode
+/// scales user/tweet counts toward the paper's 7.2M-user crawl.
+FractionSetup MakeFractionSetup(const Env& env);
+
+struct FractionInstance {
+  TwitterCrawl restricted;
+  std::unique_ptr<BloomSampleTree> tree;  ///< pruned tree over restricted M′
+  double build_seconds = 0.0;
+};
+
+/// Restricts the crawl to a namespace fraction (uniform or clustered leaf
+/// selection) and builds the pruned tree over the surviving user ids.
+FractionInstance MakeFractionInstance(const FractionSetup& setup,
+                                      double fraction, SelectionMode mode,
+                                      Rng* rng);
+
+}  // namespace bench
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BENCH_FRACTION_COMMON_H_

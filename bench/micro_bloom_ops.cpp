@@ -1,0 +1,90 @@
+// google-benchmark microbenchmarks for the Bloom-filter primitives that
+// the cost model (Section 5.4) trades off: membership queries vs
+// intersections, across filter sizes, plus insert and the cardinality
+// estimators.
+#include <benchmark/benchmark.h>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/bloom/cardinality.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using bloomsample::BloomFilter;
+using bloomsample::HashFamilyKind;
+using bloomsample::MakeHashFamily;
+using bloomsample::Rng;
+
+BloomFilter MakeHalfFullFilter(uint64_t m, uint64_t seed) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, m, seed).value();
+  BloomFilter filter(family);
+  Rng rng(seed);
+  const uint64_t inserts = m / 6;  // ~ half the bits set with k = 3
+  for (uint64_t i = 0; i < inserts; ++i) filter.Insert(rng.Next());
+  return filter;
+}
+
+void BM_BloomInsert(benchmark::State& state) {
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, m, 1).value();
+  BloomFilter filter(family);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    filter.Insert(key++);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomInsert)->Arg(28465)->Arg(60870)->Arg(132933);
+
+void BM_BloomContains(benchmark::State& state) {
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  const BloomFilter filter = MakeHalfFullFilter(m, 2);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Contains(key++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomContains)->Arg(28465)->Arg(60870)->Arg(132933);
+
+void BM_BloomAndPopcount(benchmark::State& state) {
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  const BloomFilter a = MakeHalfFullFilter(m, 3);
+  auto b = BloomFilter(a.family_ptr());
+  Rng rng(4);
+  for (uint64_t i = 0; i < m / 6; ++i) b.Insert(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndPopcount(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomAndPopcount)->Arg(28465)->Arg(60870)->Arg(132933);
+
+void BM_EstimateIntersection(benchmark::State& state) {
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  const BloomFilter a = MakeHalfFullFilter(m, 5);
+  auto b = BloomFilter(a.family_ptr());
+  Rng rng(6);
+  for (uint64_t i = 0; i < m / 6; ++i) b.Insert(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloomsample::EstimateIntersection(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EstimateIntersection)->Arg(28465)->Arg(132933);
+
+void BM_BloomUnionWith(benchmark::State& state) {
+  const uint64_t m = static_cast<uint64_t>(state.range(0));
+  const BloomFilter a = MakeHalfFullFilter(m, 7);
+  BloomFilter b(a.family_ptr());  // must share a's family to combine
+  Rng rng(8);
+  for (uint64_t i = 0; i < m / 6; ++i) b.Insert(rng.Next());
+  for (auto _ : state) {
+    b.UnionWith(a);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomUnionWith)->Arg(28465)->Arg(132933);
+
+}  // namespace

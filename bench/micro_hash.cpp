@@ -1,0 +1,57 @@
+// google-benchmark microbenchmarks for the three hash families of Table 1.
+// The per-call gap (simple ≈ murmur3 ≪ md5) is the entire mechanism behind
+// Figure 7's DictionaryAttack collapse under MD5.
+#include <benchmark/benchmark.h>
+
+#include "src/hash/hash_family.h"
+#include "src/hash/md5.h"
+#include "src/hash/murmur3.h"
+
+namespace {
+
+using bloomsample::HashFamilyKind;
+using bloomsample::MakeHashFamily;
+
+void BM_HashFamily(benchmark::State& state, HashFamilyKind kind) {
+  const uint64_t m = 60870;
+  auto family = MakeHashFamily(kind, 3, m, 42).value();
+  uint64_t key = 0;
+  uint64_t out[3];
+  for (auto _ : state) {
+    family->HashAll(key++, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+}
+BENCHMARK_CAPTURE(BM_HashFamily, simple, HashFamilyKind::kSimple);
+BENCHMARK_CAPTURE(BM_HashFamily, murmur3, HashFamilyKind::kMurmur3);
+BENCHMARK_CAPTURE(BM_HashFamily, md5, HashFamilyKind::kMd5);
+
+void BM_Murmur3Raw(benchmark::State& state) {
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloomsample::Murmur3Key64(key++, 1));
+  }
+}
+BENCHMARK(BM_Murmur3Raw);
+
+void BM_Md5Raw(benchmark::State& state) {
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloomsample::Md5Key64(key++, 1));
+  }
+}
+BENCHMARK(BM_Md5Raw);
+
+void BM_Md5LongMessage(benchmark::State& state) {
+  const std::string message(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bloomsample::Md5::Digest(message.data(), message.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5LongMessage)->Arg(64)->Arg(4096);
+
+}  // namespace

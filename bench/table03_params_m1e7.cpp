@@ -1,0 +1,14 @@
+// Table 3: BloomSampleTree parameter settings for n = 1000, M = 1e7.
+//
+// Paper rows (m / depth / M⊥ / MB): 0.5: 63120/13/1220/61.6,
+// 0.6: 72475/13/1220/70.8, 0.7: 84215/13/1220/82.2, 0.8: 101090/13/1220/98.7,
+// 0.9: 132933/12/2441/64.9, 1.0: 297485/10/9765/36.3.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bloomsample::bench;
+  const Env env = Env::FromEnv();
+  RunParameterTable("Table 3: parameter settings, n = 1000, M = 1e7", 10000000,
+                    env);
+  return 0;
+}

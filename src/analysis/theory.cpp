@@ -1,0 +1,87 @@
+#include "src/analysis/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/bloom/bloom_params.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+double SampleBiasEpsilon(uint64_t n, uint64_t k, uint64_t m) {
+  BSR_CHECK(n > 0 && k > 0 && m > 1, "epsilon needs n, k >= 1, m >= 2");
+  const double md = static_cast<double>(m);
+  const double logm = std::log(md);
+  const double numerator = 2.0 * static_cast<double>(n) *
+                           static_cast<double>(k) *
+                           (logm + std::log(logm) +
+                            std::log(static_cast<double>(n)));
+  return std::sqrt(numerator / md);
+}
+
+double SampleBiasPathExponent(uint64_t n, uint64_t k, uint64_t m,
+                              uint64_t namespace_size, uint64_t leaf_size) {
+  BSR_CHECK(leaf_size > 0 && namespace_size >= leaf_size,
+            "need 0 < M_bot <= M");
+  const double levels = std::log2(static_cast<double>(namespace_size) /
+                                  static_cast<double>(leaf_size));
+  return 2.0 * SampleBiasEpsilon(n, k, m) * std::max(levels, 0.0);
+}
+
+double CriticalDepth(uint64_t namespace_size, uint64_t k, uint64_t n,
+                     uint64_t m) {
+  BSR_CHECK(m > 0, "critical depth needs m >= 1");
+  const double value = static_cast<double>(namespace_size) *
+                       static_cast<double>(k) * static_cast<double>(k) *
+                       static_cast<double>(n) /
+                       (static_cast<double>(m) * std::log(2.0));
+  return value <= 1.0 ? 0.0 : std::log2(value);
+}
+
+double ExpectedSampleNodesVisited(uint64_t namespace_size, uint64_t leaf_size,
+                                  uint64_t k, uint64_t n, uint64_t m) {
+  BSR_CHECK(leaf_size > 0 && namespace_size >= leaf_size,
+            "need 0 < M_bot <= M");
+  const double height = std::max(
+      std::log2(static_cast<double>(namespace_size) /
+                static_cast<double>(leaf_size)),
+      0.0);
+  const double d_star = CriticalDepth(namespace_size, k, n, m);
+  // The proof visits every node above d*: 2^{d*+1} − 1 of them.
+  return height + std::pow(2.0, d_star + 1.0);
+}
+
+double ExpectedReconstructionNodesVisited(uint64_t namespace_size,
+                                          uint64_t leaf_size, uint64_t k,
+                                          uint64_t n, uint64_t m) {
+  BSR_CHECK(leaf_size > 0 && namespace_size >= leaf_size,
+            "need 0 < M_bot <= M");
+  BSR_CHECK(m > 0, "need m >= 1");
+  const double height = std::max(
+      std::log2(static_cast<double>(namespace_size) /
+                static_cast<double>(leaf_size)),
+      0.0);
+  const double overlap_term = static_cast<double>(leaf_size) *
+                              static_cast<double>(k) *
+                              static_cast<double>(k) /
+                              static_cast<double>(m);
+  return static_cast<double>(n) * (height + overlap_term);
+}
+
+double ExpectedFalsePathNodes(double alpha) {
+  BSR_CHECK(alpha >= 0.0 && alpha <= 1.0, "alpha must be a probability");
+  if (alpha >= 0.5) return std::numeric_limits<double>::infinity();
+  return 2.0 * alpha / (1.0 - 2.0 * alpha);
+}
+
+double FalseOverlapProbabilityAtDepth(uint64_t namespace_size, uint32_t depth,
+                                      uint64_t k, uint64_t n, uint64_t m) {
+  const double names_at_depth = static_cast<double>(namespace_size) /
+                                std::pow(2.0, static_cast<double>(depth));
+  // Reuse Eq. 1 with |S1| = n, |S2| = names at this depth.
+  return FalseSetOverlapProbability(
+      m, k, n, static_cast<uint64_t>(std::max(names_at_depth, 1.0)));
+}
+
+}  // namespace bloomsample

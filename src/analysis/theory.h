@@ -1,0 +1,56 @@
+// Closed forms from the paper's analysis, as executable functions.
+//
+// These are used three ways: (a) the EXPERIMENTS.md paper-vs-measured
+// comparisons, (b) property tests that check measured behaviour against
+// the bounds, and (c) a worked-example calculator for users sizing their
+// own deployments.
+#ifndef BLOOMSAMPLE_ANALYSIS_THEORY_H_
+#define BLOOMSAMPLE_ANALYSIS_THEORY_H_
+
+#include <cstdint>
+
+namespace bloomsample {
+
+/// ε(m) from Proposition 5.2:
+///   ε(m) = sqrt(2·n·k·(log m + log log m + log n) / m).
+/// The sampling probability of a leaf holding ℓ of the n set elements is
+/// within (1 ± ε)·ℓ/n factors (w.h.p.). Natural logarithms.
+double SampleBiasEpsilon(uint64_t n, uint64_t k, uint64_t m);
+
+/// f(m) = 2·ε(m)·log(M/M⊥): the Proposition 5.2 condition requires
+/// f(m) → 0; the end-to-end multiplicative bias over a root-to-leaf path
+/// is between e^{−f/…} and e^{4ε·log(M/M⊥)} (see the proof).
+double SampleBiasPathExponent(uint64_t n, uint64_t k, uint64_t m,
+                              uint64_t namespace_size, uint64_t leaf_size);
+
+/// d* from Proposition 5.3: the depth below which false-set-overlap
+/// branches die out as a subcritical branching process,
+///   d* = log2( M·k²·n / (m·ln 2) ), clamped to [0, ∞).
+double CriticalDepth(uint64_t namespace_size, uint64_t k, uint64_t n,
+                     uint64_t m);
+
+/// Proposition 5.3 expected visited-node count (up to constants):
+///   log2(M/M⊥) + 2^{d*+1}.
+double ExpectedSampleNodesVisited(uint64_t namespace_size, uint64_t leaf_size,
+                                  uint64_t k, uint64_t n, uint64_t m);
+
+/// Section 6 expected reconstruction node count (up to constants):
+///   n · ( log2(M/M⊥) + M⊥·k²/m ).
+double ExpectedReconstructionNodesVisited(uint64_t namespace_size,
+                                          uint64_t leaf_size, uint64_t k,
+                                          uint64_t n, uint64_t m);
+
+/// Claim 5.4 expected extra nodes below a false-overlap node at depth d,
+///   E[L(d)] = Σ_{i>=1} (2·α)^i = 2α/(1−2α) for α < 1/2, +inf otherwise,
+/// where α = αS(d) is the false-set-overlap probability at that depth.
+double ExpectedFalsePathNodes(double alpha);
+
+/// αS(d): the false-set-overlap probability between a query of size n and
+/// a tree node at depth d (which stores M/2^d names),
+///   αS(d) = 1 − (1 − 1/m)^{k²·n·M/2^d}.
+double FalseOverlapProbabilityAtDepth(uint64_t namespace_size, uint32_t depth,
+                                      uint64_t k, uint64_t n, uint64_t m);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_ANALYSIS_THEORY_H_

@@ -1,0 +1,39 @@
+#include "src/baselines/dictionary_attack.h"
+
+#include "src/sampling/reservoir.h"
+
+namespace bloomsample {
+
+std::optional<uint64_t> DictionaryAttack::Sample(const BloomFilter& query,
+                                                 Rng* rng,
+                                                 OpCounters* counters) const {
+  ReservoirSampler reservoir(rng);
+  for (uint64_t x = 0; x < namespace_size_; ++x) {
+    CountMembership(counters);
+    if (query.Contains(x)) reservoir.Offer(x);
+  }
+  return reservoir.sample();
+}
+
+std::vector<uint64_t> DictionaryAttack::SampleMany(const BloomFilter& query,
+                                                   size_t r, Rng* rng,
+                                                   OpCounters* counters) const {
+  MultiReservoirSampler reservoir(r, rng);
+  for (uint64_t x = 0; x < namespace_size_; ++x) {
+    CountMembership(counters);
+    if (query.Contains(x)) reservoir.Offer(x);
+  }
+  return reservoir.samples();
+}
+
+std::vector<uint64_t> DictionaryAttack::Reconstruct(const BloomFilter& query,
+                                                    OpCounters* counters) const {
+  std::vector<uint64_t> out;
+  for (uint64_t x = 0; x < namespace_size_; ++x) {
+    CountMembership(counters);
+    if (query.Contains(x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace bloomsample

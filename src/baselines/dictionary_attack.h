@@ -1,0 +1,51 @@
+// DictionaryAttack baseline (Section 4).
+//
+// Fires a membership query for every element of the namespace [0, M).
+// Sampling keeps a reservoir over the positives (exactly uniform over
+// S ∪ S(B)); reconstruction collects them all (exactly S ∪ S(B)).
+// Cost: M membership queries — the O(M) wall the paper's tree beats.
+//
+// Because its output is *exact* by construction, the test suite uses
+// DictionaryAttack::Reconstruct as ground truth for every other method.
+#ifndef BLOOMSAMPLE_BASELINES_DICTIONARY_ATTACK_H_
+#define BLOOMSAMPLE_BASELINES_DICTIONARY_ATTACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/util/op_counters.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+
+class DictionaryAttack {
+ public:
+  /// namespace_size is M: queries cover [0, M).
+  explicit DictionaryAttack(uint64_t namespace_size)
+      : namespace_size_(namespace_size) {}
+
+  /// Uniform sample from S ∪ S(B), or nullopt when the filter answers
+  /// negative for the whole namespace (empty filter).
+  std::optional<uint64_t> Sample(const BloomFilter& query, Rng* rng,
+                                 OpCounters* counters = nullptr) const;
+
+  /// r samples without replacement (fewer if |S ∪ S(B)| < r), in one pass.
+  std::vector<uint64_t> SampleMany(const BloomFilter& query, size_t r,
+                                   Rng* rng,
+                                   OpCounters* counters = nullptr) const;
+
+  /// The full positive set S ∪ S(B), ascending.
+  std::vector<uint64_t> Reconstruct(const BloomFilter& query,
+                                    OpCounters* counters = nullptr) const;
+
+  uint64_t namespace_size() const { return namespace_size_; }
+
+ private:
+  uint64_t namespace_size_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BASELINES_DICTIONARY_ATTACK_H_

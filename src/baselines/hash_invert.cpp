@@ -1,0 +1,107 @@
+#include "src/baselines/hash_invert.h"
+
+#include <algorithm>
+
+#include "src/sampling/reservoir.h"
+
+namespace bloomsample {
+
+Result<uint64_t> HashInvert::Sample(const BloomFilter& query, Rng* rng,
+                                    OpCounters* counters) const {
+  const HashFamily& family = query.family();
+  if (!family.IsInvertible()) {
+    return Status::Unsupported("HashInvert needs an invertible hash family");
+  }
+  const std::vector<size_t> set_bits = query.bits().SetBits();
+  if (set_bits.empty()) {
+    return Status::NotFound("query Bloom filter is empty");
+  }
+
+  // Pick a random set bit, invert it under every hash function, prune the
+  // candidate union with membership queries, then sample uniformly from the
+  // survivors via a reservoir (no extra space beyond the candidate list).
+  const size_t s = set_bits[rng->Below(set_bits.size())];
+  std::vector<uint64_t> candidates;
+  for (size_t i = 0; i < family.k(); ++i) {
+    CountInversion(counters);
+    const Status st = family.Preimages(i, s, namespace_size_, &candidates);
+    if (!st.ok()) return st;
+  }
+  // Deduplicate: the same key can hit bit s under two different functions,
+  // and it must be offered to the reservoir once.
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  ReservoirSampler reservoir(rng);
+  for (uint64_t x : candidates) {
+    CountMembership(counters);
+    if (query.Contains(x)) reservoir.Offer(x);
+  }
+  const auto sample = reservoir.sample();
+  if (!sample.has_value()) {
+    // Possible: bit s was set by inserted keys, but every preimage inside
+    // the namespace fails the full k-bit membership test.
+    return Status::NotFound("no namespace element survived pruning");
+  }
+  return *sample;
+}
+
+Result<std::vector<uint64_t>> HashInvert::Reconstruct(
+    const BloomFilter& query, ReconstructMode mode,
+    OpCounters* counters) const {
+  const HashFamily& family = query.family();
+  if (!family.IsInvertible()) {
+    return Status::Unsupported("HashInvert needs an invertible hash family");
+  }
+  if (mode == ReconstructMode::kAuto) {
+    mode = query.FillFraction() <= 0.5 ? ReconstructMode::kSetBits
+                                       : ReconstructMode::kUnsetBits;
+  }
+
+  if (mode == ReconstructMode::kSetBits) {
+    // Invert every set bit under every hash function; a key can only be a
+    // positive if it appears among these preimages (its h_0 bit is set).
+    // Keep the membership-positives.
+    std::vector<uint64_t> candidates;
+    const std::vector<size_t> set_bits = query.bits().SetBits();
+    for (size_t s : set_bits) {
+      for (size_t i = 0; i < family.k(); ++i) {
+        CountInversion(counters);
+        const Status st = family.Preimages(i, s, namespace_size_, &candidates);
+        if (!st.ok()) return st;
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<uint64_t> out;
+    for (uint64_t x : candidates) {
+      CountMembership(counters);
+      if (query.Contains(x)) out.push_back(x);
+    }
+    return out;
+  }
+
+  // Unset-bit (dense) mode: any key with a preimage on an unset bit is a
+  // certain negative. Collect all such keys and complement.
+  std::vector<bool> excluded(namespace_size_, false);
+  const std::vector<size_t> unset_bits = query.bits().UnsetBits();
+  std::vector<uint64_t> preimages;
+  for (size_t s : unset_bits) {
+    for (size_t i = 0; i < family.k(); ++i) {
+      CountInversion(counters);
+      preimages.clear();
+      const Status st = family.Preimages(i, s, namespace_size_, &preimages);
+      if (!st.ok()) return st;
+      for (uint64_t x : preimages) excluded[x] = true;
+    }
+  }
+  std::vector<uint64_t> out;
+  for (uint64_t x = 0; x < namespace_size_; ++x) {
+    if (!excluded[x]) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,58 @@
+// HashInvert baseline (Section 4) — requires a weakly invertible family.
+//
+// Sampling: pick a random SET bit s of the query filter, invert it under
+// each of the k hash functions into candidate sets P_1(s)..P_k(s), prune
+// each candidate with a membership query, and return a uniform draw from
+// the union of survivors. No uniformity guarantee (elements covered by
+// popular bits are over-represented) — the paper states this explicitly.
+//
+// Reconstruction: run the inversion over *all* set bits and keep the
+// positives. Dense-filter trick: when more than half the bits are set it is
+// cheaper to invert the UNSET bits — any key hashing to an unset bit is
+// certainly absent — and emit the complement. Both paths return exactly
+// S ∪ S(B). Mode is selectable or automatic on fill fraction.
+#ifndef BLOOMSAMPLE_BASELINES_HASH_INVERT_H_
+#define BLOOMSAMPLE_BASELINES_HASH_INVERT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/util/op_counters.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class HashInvert {
+ public:
+  enum class ReconstructMode {
+    kAuto,       ///< set bits when fill ≤ 1/2, unset bits otherwise
+    kSetBits,    ///< invert set bits, keep membership-positives
+    kUnsetBits,  ///< invert unset bits, return namespace complement
+  };
+
+  explicit HashInvert(uint64_t namespace_size)
+      : namespace_size_(namespace_size) {}
+
+  /// Samples from S ∪ S(B). Fails with Unsupported when the query's hash
+  /// family is not invertible. Returns nullopt (inside Result) never —
+  /// an empty filter yields NotFound.
+  Result<uint64_t> Sample(const BloomFilter& query, Rng* rng,
+                          OpCounters* counters = nullptr) const;
+
+  /// Exactly S ∪ S(B), ascending. Unsupported for non-invertible families.
+  Result<std::vector<uint64_t>> Reconstruct(
+      const BloomFilter& query, ReconstructMode mode = ReconstructMode::kAuto,
+      OpCounters* counters = nullptr) const;
+
+  uint64_t namespace_size() const { return namespace_size_; }
+
+ private:
+  uint64_t namespace_size_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BASELINES_HASH_INVERT_H_

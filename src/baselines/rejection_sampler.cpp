@@ -1,0 +1,36 @@
+#include "src/baselines/rejection_sampler.h"
+
+namespace bloomsample {
+
+std::optional<uint64_t> RejectionSampler::Sample(const BloomFilter& query,
+                                                 Rng* rng,
+                                                 OpCounters* counters,
+                                                 uint64_t max_attempts) const {
+  if (PoolSize() == 0 || query.IsEmpty()) {
+    CountNullSample(counters);
+    return std::nullopt;
+  }
+  if (max_attempts == 0) max_attempts = 64 * PoolSize();
+  for (uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const uint64_t candidate = Draw(rng);
+    CountMembership(counters);
+    if (query.Contains(candidate)) return candidate;
+  }
+  CountNullSample(counters);
+  return std::nullopt;
+}
+
+std::vector<uint64_t> RejectionSampler::SampleMany(const BloomFilter& query,
+                                                   size_t r, Rng* rng,
+                                                   OpCounters* counters) const {
+  std::vector<uint64_t> out;
+  out.reserve(r);
+  for (size_t i = 0; i < r; ++i) {
+    const auto sample = Sample(query, rng, counters);
+    if (!sample.has_value()) break;  // pool exhausted of positives
+    out.push_back(*sample);
+  }
+  return out;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,60 @@
+#include "src/bloom/bloom_filter.h"
+
+namespace bloomsample {
+
+BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family)
+    : family_(std::move(family)), bits_(0) {
+  BSR_CHECK(family_ != nullptr, "BloomFilter requires a hash family");
+  BSR_CHECK(family_->k() <= kMaxK, "hash family k exceeds kMaxK");
+  bits_ = BitVector(family_->m());
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  uint64_t h[kMaxK];
+  family_->HashAll(key, h);
+  const size_t k = family_->k();
+  for (size_t i = 0; i < k; ++i) bits_.Set(h[i]);
+}
+
+void BloomFilter::InsertRange(uint64_t lo, uint64_t hi) {
+  for (uint64_t x = lo; x < hi; ++x) Insert(x);
+}
+
+bool BloomFilter::Contains(uint64_t key) const {
+  const size_t k = family_->k();
+  for (size_t i = 0; i < k; ++i) {
+    if (!bits_.Get(family_->Hash(i, key))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::UnionWith(const BloomFilter& other) {
+  CheckCompatible(other);
+  bits_.OrWith(other.bits_);
+}
+
+void BloomFilter::IntersectWith(const BloomFilter& other) {
+  CheckCompatible(other);
+  bits_.AndWith(other.bits_);
+}
+
+BloomFilter UnionOf(const BloomFilter& a, const BloomFilter& b) {
+  BloomFilter out = a;
+  out.UnionWith(b);
+  return out;
+}
+
+BloomFilter IntersectionOf(const BloomFilter& a, const BloomFilter& b) {
+  BloomFilter out = a;
+  out.IntersectWith(b);
+  return out;
+}
+
+BloomFilter MakeFilter(std::shared_ptr<const HashFamily> family,
+                       const std::vector<uint64_t>& keys) {
+  BloomFilter filter(std::move(family));
+  for (uint64_t key : keys) filter.Insert(key);
+  return filter;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,115 @@
+// Bloom filter over 64-bit keys (Section 3.1 of the paper).
+//
+// A filter is an m-bit vector plus a shared hash family of k functions.
+// Union and intersection are bitwise OR/AND and are only meaningful between
+// filters built with the *same* (m, H) — the same shared_ptr<HashFamily> —
+// which is exactly the invariant the BloomSampleTree relies on. Operations
+// between incompatible filters abort (library-bug class of error).
+#ifndef BLOOMSAMPLE_BLOOM_BLOOM_FILTER_H_
+#define BLOOMSAMPLE_BLOOM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hash/hash_family.h"
+#include "src/util/bitvector.h"
+
+namespace bloomsample {
+
+class BloomFilter {
+ public:
+  /// Maximum k this library supports; keeps per-query hash buffers on the
+  /// stack. The paper uses k = 3 throughout.
+  static constexpr size_t kMaxK = 16;
+
+  /// Creates an empty filter. `family` must be non-null with family->m()
+  /// bits of output range; the filter allocates exactly that many bits.
+  explicit BloomFilter(std::shared_ptr<const HashFamily> family);
+
+  /// Inserts a key: sets the k bits h_0(key)..h_{k-1}(key).
+  void Insert(uint64_t key);
+
+  /// Inserts every key in the range [lo, hi).
+  void InsertRange(uint64_t lo, uint64_t hi);
+
+  /// Membership query: true iff all k bits for `key` are set. May return
+  /// false positives, never false negatives.
+  bool Contains(uint64_t key) const;
+
+  /// True iff no bit is set (the canonical empty-set representation).
+  bool IsEmpty() const { return bits_.None(); }
+
+  /// Number of set bits (t in the paper's estimator notation).
+  size_t SetBitCount() const { return bits_.Popcount(); }
+
+  /// Fill fraction: SetBitCount() / m.
+  double FillFraction() const {
+    return static_cast<double>(SetBitCount()) / static_cast<double>(m());
+  }
+
+  /// this := this ∪ other (bitwise OR). Filters must be compatible.
+  void UnionWith(const BloomFilter& other);
+  /// this := this ∩ other (bitwise AND). Filters must be compatible.
+  void IntersectWith(const BloomFilter& other);
+
+  /// Popcount of the bitwise AND with `other`, without materializing it
+  /// (t∧ in the Papapetrou estimator). Filters must be compatible.
+  size_t AndPopcount(const BloomFilter& other) const {
+    CheckCompatible(other);
+    return bits_.AndPopcount(other.bits_);
+  }
+
+  /// True iff the bitwise AND with `other` is all-zero.
+  bool AndIsZero(const BloomFilter& other) const {
+    CheckCompatible(other);
+    return bits_.AndIsZero(other.bits_);
+  }
+
+  /// Removes every bit. The filter represents the empty set afterwards.
+  void Clear() { bits_.Reset(); }
+
+  uint64_t m() const { return family_->m(); }
+  size_t k() const { return family_->k(); }
+  const HashFamily& family() const { return *family_; }
+  const std::shared_ptr<const HashFamily>& family_ptr() const {
+    return family_;
+  }
+  const BitVector& bits() const { return bits_; }
+  BitVector& mutable_bits() { return bits_; }
+
+  /// Two filters are compatible when they share the same hash family object
+  /// (hence identical m, k, and coefficients).
+  bool CompatibleWith(const BloomFilter& other) const {
+    return family_ == other.family_;
+  }
+
+  /// Payload memory in bytes.
+  size_t MemoryBytes() const { return bits_.MemoryBytes(); }
+
+  bool operator==(const BloomFilter& other) const {
+    return family_ == other.family_ && bits_ == other.bits_;
+  }
+
+ private:
+  void CheckCompatible(const BloomFilter& other) const {
+    BSR_CHECK(CompatibleWith(other),
+              "BloomFilter operation between incompatible filters");
+  }
+
+  std::shared_ptr<const HashFamily> family_;
+  BitVector bits_;
+};
+
+/// a ∪ b as a new filter. Filters must be compatible.
+BloomFilter UnionOf(const BloomFilter& a, const BloomFilter& b);
+/// a ∩ b as a new filter. Filters must be compatible.
+BloomFilter IntersectionOf(const BloomFilter& a, const BloomFilter& b);
+
+/// Builds a filter containing every key in `keys`.
+BloomFilter MakeFilter(std::shared_ptr<const HashFamily> family,
+                       const std::vector<uint64_t>& keys);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BLOOM_BLOOM_FILTER_H_

@@ -1,0 +1,86 @@
+#include "src/bloom/bloom_io.h"
+
+#include "src/util/serialize.h"
+
+namespace bloomsample {
+
+namespace {
+constexpr char kFilterTag[4] = {'B', 'S', 'B', 'F'};
+constexpr uint32_t kFilterVersion = 1;
+}  // namespace
+
+Status SerializeBloomFilter(const BloomFilter& filter, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  BinaryWriter writer(out);
+  writer.WriteTag(kFilterTag);
+  writer.WriteU32(kFilterVersion);
+  writer.WriteU64(filter.m());
+  writer.WriteU64(filter.k());
+  writer.WriteU64(filter.family().seed());
+  // Family name as a fixed 8-byte field (padded with zeros).
+  char name[8] = {0};
+  const std::string family_name = filter.family().Name();
+  for (size_t i = 0; i < family_name.size() && i < 8; ++i) {
+    name[i] = family_name[i];
+  }
+  out->write(name, 8);
+  writer.WriteU64Vector(filter.bits().words());
+  return writer.ok() ? Status::OK() : Status::Internal("stream write failed");
+}
+
+Result<BloomFilter> DeserializeBloomFilter(
+    std::istream* in, std::shared_ptr<const HashFamily> family) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  if (family == nullptr) return Status::InvalidArgument("null hash family");
+  BinaryReader reader(in);
+  Status st = reader.ExpectTag(kFilterTag);
+  if (!st.ok()) return st;
+  Result<uint32_t> version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kFilterVersion) {
+    return Status::Unsupported("unknown Bloom filter format version");
+  }
+  Result<uint64_t> m = reader.ReadU64();
+  if (!m.ok()) return m.status();
+  Result<uint64_t> k = reader.ReadU64();
+  if (!k.ok()) return k.status();
+  Result<uint64_t> seed = reader.ReadU64();
+  if (!seed.ok()) return seed.status();
+  char name[8];
+  in->read(name, 8);
+  if (!in->good()) return Status::OutOfRange("truncated stream (name)");
+
+  if (m.value() != family->m() || k.value() != family->k() ||
+      seed.value() != family->seed() ||
+      std::string(name, strnlen(name, 8)) != family->Name()) {
+    return Status::InvalidArgument(
+        "stored filter fingerprint does not match the supplied hash family");
+  }
+
+  Result<std::vector<uint64_t>> words =
+      reader.ReadU64Vector(/*max_size=*/(family->m() + 63) / 64);
+  if (!words.ok()) return words.status();
+  if (words.value().size() != (family->m() + 63) / 64) {
+    return Status::InvalidArgument("bit payload has wrong word count");
+  }
+
+  BloomFilter filter(std::move(family));
+  BitVector& bits = filter.mutable_bits();
+  // Reconstruct via word-level OR of the payload.
+  const std::vector<uint64_t>& payload = words.value();
+  for (size_t w = 0; w < payload.size(); ++w) {
+    uint64_t word = payload[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      const size_t index = w * 64 + static_cast<size_t>(bit);
+      if (index >= bits.size()) {
+        return Status::InvalidArgument("bit payload has stray trailing bits");
+      }
+      bits.Set(index);
+      word &= word - 1;
+    }
+  }
+  return filter;
+}
+
+}  // namespace bloomsample

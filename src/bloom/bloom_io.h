@@ -1,0 +1,30 @@
+// Bloom filter persistence.
+//
+// A filter's bits are meaningless without its hash family, and two filters
+// only interoperate when they share the same family OBJECT. Query filters
+// are therefore serialized as bits-plus-parameter-fingerprint and
+// deserialized AGAINST an existing family (usually the tree's): the
+// fingerprint (m, k, seed, family name) is validated so a filter saved
+// under different parameters is rejected instead of silently misread.
+#ifndef BLOOMSAMPLE_BLOOM_BLOOM_IO_H_
+#define BLOOMSAMPLE_BLOOM_BLOOM_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// Writes `filter` (parameter fingerprint + bit payload) to `out`.
+Status SerializeBloomFilter(const BloomFilter& filter, std::ostream* out);
+
+/// Reads a filter written by SerializeBloomFilter, binding it to `family`.
+/// Fails if the stored fingerprint does not match the family.
+Result<BloomFilter> DeserializeBloomFilter(
+    std::istream* in, std::shared_ptr<const HashFamily> family);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BLOOM_BLOOM_IO_H_

@@ -1,0 +1,58 @@
+// Probability math and parameter sizing (Sections 3.1, 5.4, Eq. 1).
+//
+// The paper's experimental protocol is: pick a desired sampling accuracy
+// `acc`, then size the Bloom filters so that
+//
+//     acc = n / (n + (M − n) · FP(m, n, k))
+//
+// where FP(m,n,k) = (1 − e^{−kn/m})^k is the classic false-positive rate.
+// SolveBitsForAccuracy inverts this for m, reproducing the m column of
+// Tables 2 and 3.
+#ifndef BLOOMSAMPLE_BLOOM_BLOOM_PARAMS_H_
+#define BLOOMSAMPLE_BLOOM_BLOOM_PARAMS_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// False-positive probability of an m-bit, k-hash Bloom filter holding n
+/// elements: (1 − e^{−kn/m})^k.
+double BloomFalsePositiveRate(uint64_t m, uint64_t n, uint64_t k);
+
+/// The paper's accuracy measure (Section 5.4):
+///   acc = n / (n + (M − n)·FP).
+/// Fraction of positive-answering namespace elements that are true members.
+double SamplingAccuracy(uint64_t m, uint64_t n, uint64_t k,
+                        uint64_t namespace_size);
+
+/// False-set-overlap probability (Eq. 1): the chance the intersection of
+/// two disjoint sets' filters is non-empty,
+///   P[FSO] = 1 − (1 − 1/m)^{k²·n1·n2}.
+double FalseSetOverlapProbability(uint64_t m, uint64_t k, uint64_t n1,
+                                  uint64_t n2);
+
+/// Target false-positive rate implied by a desired accuracy:
+///   FP* = n(1 − acc) / (acc·(M − n)).
+/// For accuracy == 1.0 the exact target is 0 (infinite m); following the
+/// paper's finite Table 2/3 entries we substitute FP* = 1/(2(M − n)), i.e.
+/// less than half an expected false positive across the whole namespace.
+Result<double> TargetFalsePositiveRate(double accuracy, uint64_t n,
+                                       uint64_t namespace_size);
+
+/// Smallest m such that an (m, k) filter holding n elements achieves the
+/// desired sampling accuracy over a namespace of the given size:
+///   m = ceil( −k·n / ln(1 − FP*^{1/k}) ).
+/// accuracy must be in (0, 1]; requires 0 < n < namespace_size.
+Result<uint64_t> SolveBitsForAccuracy(double accuracy, uint64_t n, uint64_t k,
+                                      uint64_t namespace_size);
+
+/// Classic optimal m for a target raw false-positive rate fp:
+///   m = ceil( −k·n / ln(1 − fp^{1/k}) ).  fp must be in (0, 1).
+Result<uint64_t> SolveBitsForFalsePositiveRate(double fp, uint64_t n,
+                                               uint64_t k);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BLOOM_BLOOM_PARAMS_H_

@@ -1,0 +1,63 @@
+#include "src/bloom/cardinality.h"
+
+#include <cmath>
+#include <limits>
+
+namespace bloomsample {
+
+double EstimateCardinalityFromBits(uint64_t t, uint64_t m, uint64_t k) {
+  BSR_CHECK(m > 0 && k > 0, "estimator needs m, k >= 1");
+  BSR_CHECK(t <= m, "set-bit count exceeds filter size");
+  if (t == 0) return 0.0;
+  if (t == m) return std::numeric_limits<double>::infinity();
+  const double md = static_cast<double>(m);
+  const double numer = std::log1p(-static_cast<double>(t) / md);
+  const double denom = static_cast<double>(k) * std::log1p(-1.0 / md);
+  return numer / denom;
+}
+
+double EstimateCardinality(const BloomFilter& filter) {
+  return EstimateCardinalityFromBits(filter.SetBitCount(), filter.m(),
+                                     filter.k());
+}
+
+double EstimateIntersectionFromBits(uint64_t t1, uint64_t t2, uint64_t t_and,
+                                    uint64_t m, uint64_t k) {
+  BSR_CHECK(m > 0 && k > 0, "estimator needs m, k >= 1");
+  BSR_CHECK(t1 <= m && t2 <= m && t_and <= m, "bit counts exceed m");
+  if (t_and == 0) return 0.0;
+  const double md = static_cast<double>(m);
+  const double t1d = static_cast<double>(t1);
+  const double t2d = static_cast<double>(t2);
+  const double tad = static_cast<double>(t_and);
+
+  // Both filters saturated (or jointly covering every bit): the corrective
+  // denominator m − t1 − t2 + t∧ hits zero; fall back to the single-filter
+  // estimate on the AND, which is the estimator's limiting behaviour.
+  const double denom_corr = md - t1d - t2d + tad;
+  if (denom_corr <= 0.0) {
+    return EstimateCardinalityFromBits(t_and, m, k);
+  }
+
+  // Interior = m − (t∧·m − t1·t2)/(m − t1 − t2 + t∧). When t∧·m ≤ t1·t2 the
+  // observed overlap is at or below the chance level, so the estimate is 0.
+  const double interior = md - (tad * md - t1d * t2d) / denom_corr;
+  if (interior >= md) return 0.0;
+  if (interior <= 0.0) {
+    // Overlap so strong the correction underflows; treat as "everything
+    // shared": estimate with the AND's own bit count.
+    return EstimateCardinalityFromBits(t_and, m, k);
+  }
+  const double numer = std::log(interior) - std::log(md);
+  const double denom = static_cast<double>(k) * std::log1p(-1.0 / md);
+  const double estimate = numer / denom;
+  return estimate < 0.0 ? 0.0 : estimate;
+}
+
+double EstimateIntersection(const BloomFilter& a, const BloomFilter& b) {
+  BSR_CHECK(a.CompatibleWith(b), "EstimateIntersection: incompatible filters");
+  return EstimateIntersectionFromBits(a.SetBitCount(), b.SetBitCount(),
+                                      a.AndPopcount(b), a.m(), a.k());
+}
+
+}  // namespace bloomsample

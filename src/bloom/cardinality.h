@@ -1,0 +1,47 @@
+// Cardinality estimation from Bloom filter bit counts.
+//
+// Two estimators the paper relies on:
+//
+//  * Swamidass–Baldi single-filter estimate from the number of set bits t:
+//        n̂(t) = ln(1 − t/m) / (k·ln(1 − 1/m))
+//    (equivalently −(m/k)·ln(1 − t/m) in the Poisson approximation).
+//
+//  * Papapetrou et al. intersection estimate (Section 5.3), which corrects
+//    for bits that are set in both filters by coincidence rather than by a
+//    shared element:
+//        Ŝ∧(t1,t2,t∧) = [ln(m − (t∧·m − t1·t2)/(m − t1 − t2 + t∧)) − ln m]
+//                        / (k·ln(1 − 1/m)).
+//
+// BSTSample uses the intersection estimator both to weight its branch
+// choices and (with a threshold, Section 5.6) to declare intersections
+// empty.
+#ifndef BLOOMSAMPLE_BLOOM_CARDINALITY_H_
+#define BLOOMSAMPLE_BLOOM_CARDINALITY_H_
+
+#include <cstdint>
+
+#include "src/bloom/bloom_filter.h"
+
+namespace bloomsample {
+
+/// Swamidass–Baldi estimate of the number of distinct inserted elements
+/// given t set bits in an (m, k) filter. Returns +inf for a saturated
+/// filter (t == m).
+double EstimateCardinalityFromBits(uint64_t t, uint64_t m, uint64_t k);
+
+/// Estimate of |A| from B(A)'s set-bit count.
+double EstimateCardinality(const BloomFilter& filter);
+
+/// Papapetrou intersection-size estimate from raw bit counts.
+/// t1, t2: set bits in each filter; t_and: set bits in their AND.
+/// Returns 0 when the corrected interior term is non-positive (the
+/// estimator's own signal that the overlap is explainable by chance).
+double EstimateIntersectionFromBits(uint64_t t1, uint64_t t2, uint64_t t_and,
+                                    uint64_t m, uint64_t k);
+
+/// Estimate of |A ∩ B| from B(A) and B(B). Filters must be compatible.
+double EstimateIntersection(const BloomFilter& a, const BloomFilter& b);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BLOOM_CARDINALITY_H_

@@ -1,0 +1,74 @@
+#include "src/bloom/counting_bloom.h"
+
+namespace bloomsample {
+
+CountingBloomFilter::CountingBloomFilter(
+    std::shared_ptr<const HashFamily> family)
+    : family_(std::move(family)) {
+  BSR_CHECK(family_ != nullptr, "CountingBloomFilter requires a hash family");
+  BSR_CHECK(family_->k() <= BloomFilter::kMaxK, "hash family k exceeds kMaxK");
+  counters_.assign(static_cast<size_t>(family_->m()), 0);
+}
+
+void CountingBloomFilter::Insert(uint64_t key) {
+  uint64_t h[BloomFilter::kMaxK];
+  family_->HashAll(key, h);
+  for (size_t i = 0; i < family_->k(); ++i) {
+    uint8_t& counter = counters_[static_cast<size_t>(h[i])];
+    if (counter < kMaxCount) ++counter;
+  }
+}
+
+Status CountingBloomFilter::Remove(uint64_t key) {
+  uint64_t h[BloomFilter::kMaxK];
+  family_->HashAll(key, h);
+  // Validate first so a failed Remove leaves the filter untouched.
+  for (size_t i = 0; i < family_->k(); ++i) {
+    if (counters_[static_cast<size_t>(h[i])] == 0) {
+      return Status::InvalidArgument(
+          "removing a key whose counters are already zero (was it ever "
+          "inserted?)");
+    }
+  }
+  for (size_t i = 0; i < family_->k(); ++i) {
+    uint8_t& counter = counters_[static_cast<size_t>(h[i])];
+    // The saturation rule: a counter that ever hit kMaxCount has lost
+    // its true count and must never decrement, or a still-present key
+    // sharing the counter could turn falsely negative.
+    if (counter < kMaxCount) --counter;
+  }
+  return Status::OK();
+}
+
+bool CountingBloomFilter::Contains(uint64_t key) const {
+  for (size_t i = 0; i < family_->k(); ++i) {
+    if (counters_[static_cast<size_t>(family_->Hash(i, key))] == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BloomFilter CountingBloomFilter::ToBloomFilter() const {
+  BloomFilter filter(family_);
+  BitVector& bits = filter.mutable_bits();
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] > 0) bits.Set(i);
+  }
+  return filter;
+}
+
+size_t CountingBloomFilter::PositiveCounters() const {
+  size_t count = 0;
+  for (uint8_t counter : counters_) count += (counter > 0);
+  return count;
+}
+
+bool CountingBloomFilter::IsEmpty() const {
+  for (uint8_t counter : counters_) {
+    if (counter != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,82 @@
+// Counting Bloom filter — the deletion-capable extension.
+//
+// The paper's motivating applications (Section 1: dynamic online
+// communities) need sets that shrink as well as grow, which a plain
+// Bloom filter cannot do. The classic fix (Fan et al.'s summary cache)
+// replaces each bit with a small saturating counter: Insert increments,
+// Remove decrements, and the plain-filter view "bit i set ⟺ counter i
+// > 0" is exactly the Bloom filter of the current multiset — so a
+// CountingBloomFilter can serve as the *maintenance* representation
+// while ToBloomFilter() exports a query filter compatible with a
+// BloomSampleTree built on the same hash family.
+//
+// Counters saturate at 15 (4 bits of logical width, stored as bytes for
+// simplicity: maintenance filters are per-set, not per-tree-node, so the
+// 8x memory of the bit version is usually irrelevant). A saturated
+// counter never decrements (the standard safety rule: decrementing a
+// saturated counter could create false negatives).
+#ifndef BLOOMSAMPLE_BLOOM_COUNTING_BLOOM_H_
+#define BLOOMSAMPLE_BLOOM_COUNTING_BLOOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/hash/hash_family.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class CountingBloomFilter {
+ public:
+  static constexpr uint8_t kMaxCount = 15;
+
+  explicit CountingBloomFilter(std::shared_ptr<const HashFamily> family);
+
+  /// Increments the k counters for `key` (saturating at kMaxCount).
+  void Insert(uint64_t key);
+
+  /// Decrements the k counters for `key`. Returns InvalidArgument when
+  /// any counter is already zero (removing a key that was never inserted
+  /// — the filter is left unchanged in that case). Saturated counters
+  /// stay saturated.
+  Status Remove(uint64_t key);
+
+  /// True iff all k counters for `key` are positive. Same false-positive
+  /// behaviour as the plain filter; false negatives cannot occur as long
+  /// as Remove is only called for previously inserted keys.
+  bool Contains(uint64_t key) const;
+
+  /// Exports the positive-counter bit pattern as a plain BloomFilter
+  /// sharing this filter's hash family — a valid query filter for any
+  /// tree built on that family.
+  BloomFilter ToBloomFilter() const;
+
+  /// Number of positive counters (t in estimator notation).
+  size_t PositiveCounters() const;
+
+  /// True iff every counter is zero.
+  bool IsEmpty() const;
+
+  uint64_t m() const { return family_->m(); }
+  size_t k() const { return family_->k(); }
+  const std::shared_ptr<const HashFamily>& family_ptr() const {
+    return family_;
+  }
+  uint8_t counter(uint64_t index) const {
+    BSR_CHECK(index < counters_.size(), "counter index out of range");
+    return counters_[static_cast<size_t>(index)];
+  }
+
+  /// Payload memory in bytes.
+  size_t MemoryBytes() const { return counters_.size(); }
+
+ private:
+  std::shared_ptr<const HashFamily> family_;
+  std::vector<uint8_t> counters_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_BLOOM_COUNTING_BLOOM_H_

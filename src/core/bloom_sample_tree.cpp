@@ -1,0 +1,193 @@
+#include "src/core/bloom_sample_tree.h"
+
+#include <algorithm>
+
+#include "src/util/math_util.h"
+
+namespace bloomsample {
+
+namespace {
+
+Result<std::shared_ptr<const HashFamily>> FamilyFor(const TreeConfig& config) {
+  const Status st = config.Validate();
+  if (!st.ok()) return st;
+  return MakeHashFamily(config.hash_kind, static_cast<size_t>(config.k),
+                        config.m, config.seed, config.namespace_size);
+}
+
+}  // namespace
+
+Result<BloomSampleTree> BloomSampleTree::BuildComplete(
+    const TreeConfig& config) {
+  auto family = FamilyFor(config);
+  if (!family.ok()) return family.status();
+
+  BloomSampleTree tree(config, family.value(), /*pruned=*/false);
+  const uint32_t depth = config.depth;
+  const uint64_t leaf_width = config.LeafRangeSize();
+  const uint64_t total_nodes = config.CompleteNodeCount();
+  tree.nodes_.reserve(total_nodes);
+
+  // Heap layout: node i has children 2i+1, 2i+2; the node at position p
+  // within its level ℓ (p = i − (2^ℓ − 1)) covers
+  // [p · leaf_width · 2^{D−ℓ}, …) clipped to M.
+  for (uint64_t i = 0; i < total_nodes; ++i) {
+    const uint32_t level = FloorLog2(i + 1);
+    const uint64_t pos = i + 1 - (1ULL << level);
+    const uint64_t width = leaf_width << (depth - level);
+    const uint64_t lo = std::min<uint64_t>(pos * width, config.namespace_size);
+    const uint64_t hi =
+        std::min<uint64_t>(lo + width, config.namespace_size);
+    Node node(lo, hi, level, tree.family_);
+    if (level < depth) {
+      node.left = static_cast<int64_t>(2 * i + 1);
+      node.right = static_cast<int64_t>(2 * i + 2);
+    }
+    tree.nodes_.push_back(std::move(node));
+  }
+
+  // Populate leaves by insertion, then OR upwards (exact Bloom union).
+  for (uint64_t i = (1ULL << depth) - 1; i < total_nodes; ++i) {
+    Node& leaf = tree.nodes_[static_cast<size_t>(i)];
+    for (uint64_t x = leaf.lo; x < leaf.hi; ++x) leaf.filter.Insert(x);
+  }
+  if (depth > 0) {
+    for (int64_t i = static_cast<int64_t>((1ULL << depth) - 2); i >= 0; --i) {
+      Node& parent = tree.nodes_[static_cast<size_t>(i)];
+      parent.filter.UnionWith(tree.nodes_[static_cast<size_t>(2 * i + 1)].filter);
+      parent.filter.UnionWith(tree.nodes_[static_cast<size_t>(2 * i + 2)].filter);
+    }
+  }
+  for (Node& node : tree.nodes_) node.set_bits = node.filter.SetBitCount();
+  return tree;
+}
+
+int64_t BloomSampleTree::BuildPrunedSubtree(uint32_t level, uint64_t lo,
+                                            uint64_t hi, size_t begin,
+                                            size_t end) {
+  if (begin == end) return kNoNode;  // range holds no occupied id
+  const int64_t id = static_cast<int64_t>(nodes_.size());
+  nodes_.emplace_back(lo, std::min(hi, config_.namespace_size), level,
+                      family_);
+  if (level == config_.depth) {
+    Node& leaf = nodes_[static_cast<size_t>(id)];
+    for (size_t i = begin; i < end; ++i) leaf.filter.Insert(occupied_[i]);
+    return id;
+  }
+
+  const uint64_t child_width = RangeWidthAtLevel(level + 1);
+  const uint64_t mid = lo + child_width;
+  const size_t split = static_cast<size_t>(
+      std::lower_bound(occupied_.begin() + static_cast<ptrdiff_t>(begin),
+                       occupied_.begin() + static_cast<ptrdiff_t>(end), mid) -
+      occupied_.begin());
+  // Children are built first; vector growth may reallocate, so re-resolve
+  // the node reference afterwards instead of holding one across the calls.
+  const int64_t left = BuildPrunedSubtree(level + 1, lo, mid, begin, split);
+  const int64_t right = BuildPrunedSubtree(level + 1, mid, hi, split, end);
+  Node& node = nodes_[static_cast<size_t>(id)];
+  node.left = left;
+  node.right = right;
+  if (left != kNoNode) {
+    node.filter.UnionWith(nodes_[static_cast<size_t>(left)].filter);
+  }
+  if (right != kNoNode) {
+    node.filter.UnionWith(nodes_[static_cast<size_t>(right)].filter);
+  }
+  return id;
+}
+
+Result<BloomSampleTree> BloomSampleTree::BuildPruned(
+    const TreeConfig& config, std::vector<uint64_t> occupied) {
+  auto family = FamilyFor(config);
+  if (!family.ok()) return family.status();
+  if (!std::is_sorted(occupied.begin(), occupied.end())) {
+    return Status::InvalidArgument("occupied ids must be sorted");
+  }
+  if (std::adjacent_find(occupied.begin(), occupied.end()) != occupied.end()) {
+    return Status::InvalidArgument("occupied ids must be unique");
+  }
+  if (!occupied.empty() && occupied.back() >= config.namespace_size) {
+    return Status::OutOfRange("occupied id beyond namespace");
+  }
+
+  BloomSampleTree tree(config, family.value(), /*pruned=*/true);
+  tree.occupied_ = std::move(occupied);
+  const uint64_t root_width = tree.RangeWidthAtLevel(0);
+  tree.BuildPrunedSubtree(0, 0, root_width, 0, tree.occupied_.size());
+  for (Node& node : tree.nodes_) node.set_bits = node.filter.SetBitCount();
+  return tree;
+}
+
+uint64_t BloomSampleTree::LeafCandidateCount(int64_t id) const {
+  const Node& leaf = node(id);
+  if (!pruned_) return leaf.hi - leaf.lo;
+  const auto begin =
+      std::lower_bound(occupied_.begin(), occupied_.end(), leaf.lo);
+  const auto end = std::lower_bound(begin, occupied_.end(), leaf.hi);
+  return static_cast<uint64_t>(end - begin);
+}
+
+Status BloomSampleTree::Insert(uint64_t x) {
+  if (!pruned_) {
+    return Status::Unsupported(
+        "dynamic insert is only meaningful for pruned trees (complete trees "
+        "already store the whole namespace)");
+  }
+  if (x >= config_.namespace_size) {
+    return Status::OutOfRange("id beyond namespace");
+  }
+  const auto it = std::lower_bound(occupied_.begin(), occupied_.end(), x);
+  if (it != occupied_.end() && *it == x) {
+    return Status::OK();  // already present — filters already contain x
+  }
+  occupied_.insert(it, x);
+
+  // Walk the root-to-leaf path, creating missing nodes.
+  if (nodes_.empty()) {
+    nodes_.emplace_back(0, std::min(RangeWidthAtLevel(0), config_.namespace_size),
+                        0u, family_);
+  }
+  int64_t id = 0;
+  for (;;) {
+    Node& current = nodes_[static_cast<size_t>(id)];
+    BSR_CHECK(current.lo <= x && x < current.hi,
+              "insert walked outside node range");
+    current.filter.Insert(x);
+    current.set_bits = current.filter.SetBitCount();
+    if (current.level == config_.depth) return Status::OK();
+
+    const uint64_t child_width = RangeWidthAtLevel(current.level + 1);
+    const uint64_t mid = current.lo + child_width;
+    const bool go_left = x < mid;
+    const uint64_t child_lo = go_left ? current.lo : mid;
+    const uint64_t child_hi = go_left ? mid : mid + child_width;
+    int64_t child = go_left ? current.left : current.right;
+    if (child == kNoNode) {
+      child = static_cast<int64_t>(nodes_.size());
+      const uint32_t child_level = current.level + 1;
+      nodes_.emplace_back(child_lo,
+                          std::min(child_hi, config_.namespace_size),
+                          child_level, family_);
+      // emplace_back may have reallocated: re-resolve the parent.
+      Node& parent = nodes_[static_cast<size_t>(id)];
+      (go_left ? parent.left : parent.right) = child;
+    }
+    id = child;
+  }
+}
+
+BloomFilter BloomSampleTree::MakeQueryFilter(
+    const std::vector<uint64_t>& keys) const {
+  BloomFilter filter(family_);
+  for (uint64_t key : keys) filter.Insert(key);
+  return filter;
+}
+
+size_t BloomSampleTree::MemoryBytes() const {
+  size_t total = 0;
+  for (const Node& n : nodes_) total += n.filter.MemoryBytes();
+  return total;
+}
+
+}  // namespace bloomsample

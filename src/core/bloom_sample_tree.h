@@ -1,0 +1,145 @@
+// The BloomSampleTree (Definition 5.1) and its pruned variant (Section 5.2).
+//
+// A complete binary tree over the namespace [0, M): the node at level ℓ,
+// offset j owns the dyadic range [j·L·2^{D−ℓ}, (j+1)·L·2^{D−ℓ}) ∩ [0, M),
+// where D is the depth and L = ceil(M / 2^D) the leaf range width. Every
+// node carries a Bloom filter — same (m, H) as the query filters — storing
+// the elements of its range.
+//
+// Two build modes:
+//   * Complete (Definition 5.1): every node exists; node filters store the
+//     whole range. Built bottom-up: leaves are populated by insertion, and
+//     each parent is the bitwise OR of its children (Bloom union over a
+//     shared family is exact), so construction costs M insertions plus
+//     O(#nodes · m/64) word ORs.
+//   * Pruned (Section 5.2): given the occupied subset M′ ⊆ [0, M), only
+//     nodes whose range intersects M′ exist, and filters store only
+//     occupied elements. Leaf scans then enumerate occupied elements only,
+//     which is where the accuracy gain of Figure 15 comes from. Supports
+//     dynamic Insert() of newly occupied ids (creates nodes on demand).
+//
+// The tree is the shared, build-once index: one tree serves every query
+// Bloom filter over the same namespace/parameters.
+#ifndef BLOOMSAMPLE_CORE_BLOOM_SAMPLE_TREE_H_
+#define BLOOMSAMPLE_CORE_BLOOM_SAMPLE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/core/tree_config.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class BloomSampleTree {
+ public:
+  static constexpr int64_t kNoNode = -1;
+
+  struct Node {
+    uint64_t lo = 0;  ///< range start (inclusive)
+    uint64_t hi = 0;  ///< range end (exclusive), clipped to M
+    uint32_t level = 0;
+    int64_t left = kNoNode;
+    int64_t right = kNoNode;
+    /// Cached filter popcount (t1 in the estimator); kept in sync by the
+    /// builders and Insert so samplers avoid an O(m) recount per visit.
+    uint64_t set_bits = 0;
+    BloomFilter filter;
+
+    Node(uint64_t lo_in, uint64_t hi_in, uint32_t level_in,
+         std::shared_ptr<const HashFamily> family)
+        : lo(lo_in), hi(hi_in), level(level_in), filter(std::move(family)) {}
+  };
+
+  /// Builds the complete tree of Definition 5.1.
+  static Result<BloomSampleTree> BuildComplete(const TreeConfig& config);
+
+  /// Builds the pruned tree of Section 5.2 over the occupied ids
+  /// `occupied` (must be sorted, unique, all < config.namespace_size).
+  static Result<BloomSampleTree> BuildPruned(const TreeConfig& config,
+                                             std::vector<uint64_t> occupied);
+
+  const TreeConfig& config() const { return config_; }
+  /// Adjusts the Section 5.6 estimate-threshold at query time (it is a
+  /// traversal policy, not a build-time property; node filters are
+  /// threshold-independent).
+  void set_intersection_threshold(double threshold) {
+    BSR_CHECK(threshold >= 0.0, "threshold must be >= 0");
+    config_.intersection_threshold = threshold;
+  }
+  const std::shared_ptr<const HashFamily>& family_ptr() const {
+    return family_;
+  }
+  bool pruned() const { return pruned_; }
+  /// Occupied universe (empty vector for complete trees).
+  const std::vector<uint64_t>& occupied() const { return occupied_; }
+
+  int64_t root() const { return nodes_.empty() ? kNoNode : 0; }
+  const Node& node(int64_t id) const {
+    BSR_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size(),
+              "node id out of range");
+    return nodes_[static_cast<size_t>(id)];
+  }
+  size_t node_count() const { return nodes_.size(); }
+  bool IsLeaf(int64_t id) const { return node(id).level == config_.depth; }
+
+  /// Number of candidate elements a leaf scan at `id` will touch.
+  uint64_t LeafCandidateCount(int64_t id) const;
+
+  /// Calls fn(x) for each element the leaf scan at `id` must test: the
+  /// occupied ids in the leaf range for pruned trees, the whole range
+  /// otherwise.
+  template <typename Fn>
+  void ForEachLeafCandidate(int64_t id, Fn&& fn) const {
+    const Node& leaf = node(id);
+    if (pruned_) {
+      auto it = std::lower_bound(occupied_.begin(), occupied_.end(), leaf.lo);
+      for (; it != occupied_.end() && *it < leaf.hi; ++it) fn(*it);
+    } else {
+      for (uint64_t x = leaf.lo; x < leaf.hi; ++x) fn(x);
+    }
+  }
+
+  /// Dynamically marks `x` as occupied (pruned trees only): inserts x into
+  /// every filter on its root-to-leaf path, creating missing nodes, and
+  /// updates the occupied list. O(depth · m-bit ops + |M′|) per call; batch
+  /// rebuilds are preferable for bulk loads.
+  Status Insert(uint64_t x);
+
+  /// Convenience: a fresh empty query filter compatible with this tree.
+  BloomFilter MakeQueryFilter() const { return BloomFilter(family_); }
+  /// Convenience: a query filter holding `keys`.
+  BloomFilter MakeQueryFilter(const std::vector<uint64_t>& keys) const;
+
+  /// Total bit-payload memory of all node filters, in bytes (the metric of
+  /// Tables 2/3 and Figure 14).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class TreeSerializer;  // persistence (see core/tree_io.h)
+
+  BloomSampleTree(TreeConfig config, std::shared_ptr<const HashFamily> family,
+                  bool pruned)
+      : config_(config), family_(std::move(family)), pruned_(pruned) {}
+
+  /// Width of an (unclipped) range at `level`.
+  uint64_t RangeWidthAtLevel(uint32_t level) const {
+    return config_.LeafRangeSize() << (config_.depth - level);
+  }
+
+  /// Recursive pruned construction over occupied_[begin, end).
+  int64_t BuildPrunedSubtree(uint32_t level, uint64_t lo, uint64_t hi,
+                             size_t begin, size_t end);
+
+  TreeConfig config_;
+  std::shared_ptr<const HashFamily> family_;
+  bool pruned_;
+  std::vector<Node> nodes_;
+  std::vector<uint64_t> occupied_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_BLOOM_SAMPLE_TREE_H_

@@ -1,0 +1,55 @@
+#include "src/core/bst_reconstructor.h"
+
+#include "src/bloom/cardinality.h"
+
+namespace bloomsample {
+
+void BstReconstructor::ReconstructNode(int64_t id, const BloomFilter& query,
+                                       uint64_t query_bits, PruningMode mode,
+                                       OpCounters* counters,
+                                       std::vector<uint64_t>* out) const {
+  if (id == BloomSampleTree::kNoNode) return;
+  CountNodeVisit(counters);
+
+  // Lossless emptiness test (see bst_sampler.cpp): every member of
+  // S ∪ S(B) inside this range forces k shared bits, so pruning below k
+  // can never drop an element and kExact stays exactly DictionaryAttack.
+  const BloomSampleTree::Node& node = tree_->node(id);
+  CountIntersection(counters);
+  const uint64_t t_and = node.filter.AndPopcount(query);
+  if (t_and < node.filter.k()) return;
+  if (mode == PruningMode::kThresholded) {
+    const double threshold = tree_->config().intersection_threshold;
+    if (threshold > 0.0) {
+      const double estimate = EstimateIntersectionFromBits(
+          node.set_bits, query_bits, t_and, node.filter.m(), node.filter.k());
+      if (estimate < threshold) return;
+    }
+  }
+
+  if (tree_->IsLeaf(id)) {
+    tree_->ForEachLeafCandidate(id, [&](uint64_t x) {
+      CountMembership(counters);
+      if (query.Contains(x)) out->push_back(x);
+    });
+    return;
+  }
+  // Left before right keeps the output globally ascending (child ranges
+  // are disjoint and ordered).
+  ReconstructNode(node.left, query, query_bits, mode, counters, out);
+  ReconstructNode(node.right, query, query_bits, mode, counters, out);
+}
+
+std::vector<uint64_t> BstReconstructor::Reconstruct(const BloomFilter& query,
+                                                    OpCounters* counters,
+                                                    PruningMode mode) const {
+  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
+            "query filter does not share the tree's hash family");
+  std::vector<uint64_t> out;
+  if (query.IsEmpty()) return out;
+  ReconstructNode(tree_->root(), query, query.SetBitCount(), mode, counters,
+                  &out);
+  return out;
+}
+
+}  // namespace bloomsample

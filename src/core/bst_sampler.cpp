@@ -1,0 +1,209 @@
+#include "src/core/bst_sampler.h"
+
+#include <algorithm>
+
+#include "src/bloom/cardinality.h"
+#include "src/sampling/reservoir.h"
+
+namespace bloomsample {
+
+double BstSampler::ChildEstimate(int64_t child, const BloomFilter& query,
+                                 uint64_t query_bits,
+                                 OpCounters* counters) const {
+  if (child == BloomSampleTree::kNoNode) return 0.0;
+  const BloomSampleTree::Node& node = tree_->node(child);
+  CountIntersection(counters);
+  const uint64_t t_and = node.filter.AndPopcount(query);
+
+  // Lossless emptiness test: any element of S ∪ S(B) inside this node's
+  // range has all k of its bits set in BOTH filters, so a subtree that can
+  // still produce a sample always shows t∧ >= k. Pruning below k shared
+  // bits can never starve a real positive — it strictly dominates the
+  // naive "AND is all-zero" test. (Empirically, thresholding on the
+  // *estimated* intersection size instead loses elements wholesale at the
+  // paper's default parameters; see bench/ablation_threshold.)
+  if (t_and < node.filter.k()) return 0.0;
+
+  const double estimate = EstimateIntersectionFromBits(
+      node.set_bits, query_bits, t_and, node.filter.m(), node.filter.k());
+
+  // Opt-in Section 5.6 thresholding (lossy, off by default).
+  const double threshold = tree_->config().intersection_threshold;
+  if (threshold > 0.0 && estimate < threshold) return 0.0;
+
+  // Branch weight: the corrected estimate, floored at half an element so
+  // noise-dominated (dense) nodes are never starved — a floor of ~one
+  // potential element is exactly the mass such a subtree might hide.
+  return estimate > 0.5 ? estimate : 0.5;
+}
+
+std::optional<uint64_t> BstSampler::SampleNode(int64_t id,
+                                               const BloomFilter& query,
+                                               uint64_t query_bits, Rng* rng,
+                                               OpCounters* counters) const {
+  CountNodeVisit(counters);
+  if (tree_->IsLeaf(id)) {
+    std::vector<uint64_t> picked;
+    SampleLeaf(id, 1, query, rng, /*with_replacement=*/false, counters,
+               &picked);
+    if (picked.empty()) return std::nullopt;
+    return picked.front();
+  }
+
+  const BloomSampleTree::Node& node = tree_->node(id);
+  const double left_est = ChildEstimate(node.left, query, query_bits, counters);
+  const double right_est =
+      ChildEstimate(node.right, query, query_bits, counters);
+  if (left_est <= 0.0 && right_est <= 0.0) {
+    // Both intersections (estimated) empty: we got here on a false path.
+    return std::nullopt;
+  }
+  if (left_est <= 0.0) {
+    return SampleNode(node.right, query, query_bits, rng, counters);
+  }
+  if (right_est <= 0.0) {
+    return SampleNode(node.left, query, query_bits, rng, counters);
+  }
+
+  const bool go_left =
+      rng->NextDouble() < LeftProbability(left_est, right_est);
+  const int64_t first = go_left ? node.left : node.right;
+  const int64_t second = go_left ? node.right : node.left;
+  auto sample = SampleNode(first, query, query_bits, rng, counters);
+  if (!sample.has_value()) {
+    CountBacktrack(counters);
+    sample = SampleNode(second, query, query_bits, rng, counters);
+  }
+  return sample;
+}
+
+std::optional<uint64_t> BstSampler::Sample(const BloomFilter& query, Rng* rng,
+                                           OpCounters* counters) const {
+  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
+            "query filter does not share the tree's hash family");
+  if (tree_->root() == BloomSampleTree::kNoNode || query.IsEmpty()) {
+    CountNullSample(counters);
+    return std::nullopt;
+  }
+  const auto sample =
+      SampleNode(tree_->root(), query, query.SetBitCount(), rng, counters);
+  if (!sample.has_value()) CountNullSample(counters);
+  return sample;
+}
+
+void BstSampler::SampleLeaf(int64_t id, size_t r, const BloomFilter& query,
+                            Rng* rng, bool with_replacement,
+                            OpCounters* counters,
+                            std::vector<uint64_t>* out) const {
+  // One scan of the leaf's candidates serves all r paths that landed here
+  // (the "single pass" economy of Section 5.3).
+  std::vector<uint64_t> positives;
+  tree_->ForEachLeafCandidate(id, [&](uint64_t x) {
+    CountMembership(counters);
+    if (query.Contains(x)) positives.push_back(x);
+  });
+  if (positives.empty()) return;
+
+  if (with_replacement) {
+    for (size_t i = 0; i < r; ++i) {
+      out->push_back(positives[rng->Below(positives.size())]);
+    }
+    return;
+  }
+  // Without replacement: uniform subset of size min(r, positives).
+  if (positives.size() <= r) {
+    out->insert(out->end(), positives.begin(), positives.end());
+    return;
+  }
+  // Partial Fisher-Yates for the first r slots.
+  for (size_t i = 0; i < r; ++i) {
+    const size_t j = i + static_cast<size_t>(rng->Below(positives.size() - i));
+    std::swap(positives[i], positives[j]);
+    out->push_back(positives[i]);
+  }
+}
+
+void BstSampler::SampleManyNode(int64_t id, size_t r,
+                                const BloomFilter& query, uint64_t query_bits,
+                                Rng* rng, bool with_replacement,
+                                OpCounters* counters,
+                                std::vector<uint64_t>* out) const {
+  if (r == 0) return;
+  CountNodeVisit(counters);
+  if (tree_->IsLeaf(id)) {
+    SampleLeaf(id, r, query, rng, with_replacement, counters, out);
+    return;
+  }
+
+  const BloomSampleTree::Node& node = tree_->node(id);
+  const double left_est = ChildEstimate(node.left, query, query_bits, counters);
+  const double right_est =
+      ChildEstimate(node.right, query, query_bits, counters);
+  if (left_est <= 0.0 && right_est <= 0.0) return;
+
+  size_t to_left = 0;
+  if (right_est <= 0.0) {
+    to_left = r;
+  } else if (left_est > 0.0) {
+    const double p = LeftProbability(left_est, right_est);
+    for (size_t i = 0; i < r; ++i) {
+      if (rng->NextDouble() < p) ++to_left;
+    }
+  }
+
+  const size_t before_left = out->size();
+  if (to_left > 0) {
+    SampleManyNode(node.left, to_left, query, query_bits, rng,
+                   with_replacement, counters, out);
+  }
+  const size_t got_left = out->size() - before_left;
+
+  const size_t before_right = out->size();
+  if (r - to_left > 0) {
+    SampleManyNode(node.right, r - to_left, query, query_bits, rng,
+                   with_replacement, counters, out);
+  }
+  const size_t got_right = out->size() - before_right;
+
+  // Backtracking, multi-path flavour: paths that died in one subtree are
+  // re-routed into the other (once), mirroring the single-sample algorithm.
+  const size_t left_deficit = to_left - got_left;
+  if (left_deficit > 0 && right_est > 0.0) {
+    CountBacktrack(counters, left_deficit);
+    SampleManyNode(node.right, left_deficit, query, query_bits, rng,
+                   with_replacement, counters, out);
+  }
+  const size_t right_deficit = (r - to_left) - got_right;
+  if (right_deficit > 0 && left_est > 0.0) {
+    CountBacktrack(counters, right_deficit);
+    SampleManyNode(node.left, right_deficit, query, query_bits, rng,
+                   with_replacement, counters, out);
+  }
+}
+
+std::vector<uint64_t> BstSampler::SampleMany(const BloomFilter& query,
+                                             size_t r, Rng* rng,
+                                             bool with_replacement,
+                                             OpCounters* counters) const {
+  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
+            "query filter does not share the tree's hash family");
+  std::vector<uint64_t> out;
+  if (tree_->root() == BloomSampleTree::kNoNode || query.IsEmpty() || r == 0) {
+    CountNullSample(counters, r);
+    return out;
+  }
+  SampleManyNode(tree_->root(), r, query, query.SetBitCount(), rng,
+                 with_replacement, counters, &out);
+  if (out.size() < r) CountNullSample(counters, r - out.size());
+  if (!with_replacement) {
+    // Deficit re-routing can revisit a leaf; enforce the no-duplicates
+    // contract (the result may then be shorter than r).
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    std::shuffle(out.begin(), out.end(), *rng);
+    if (out.size() > r) out.resize(r);
+  }
+  return out;
+}
+
+}  // namespace bloomsample

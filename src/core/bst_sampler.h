@@ -1,0 +1,94 @@
+// BSTSample (Algorithm 1, Sections 5.3–5.6): sampling from a query Bloom
+// filter with a BloomSampleTree.
+//
+// Descent rules at an internal node:
+//   * estimate |left ∩ b| and |right ∩ b| with the Papapetrou estimator,
+//     treating estimates below the configured threshold as empty (Sec 5.6);
+//   * both empty  → this path was a false-set-overlap, return NULL;
+//   * one side    → follow it;
+//   * both        → follow one child with probability proportional to its
+//     estimate; if that subtree comes back NULL, backtrack into the other.
+// At a leaf the range (occupied ids only, for pruned trees) is scanned with
+// membership queries and a reservoir picks uniformly among positives.
+//
+// SampleMany implements the single-pass multi-sampling of Section 5.3: r
+// paths descend together, splitting at each node by independent biased
+// coin flips, and each visited leaf is scanned once regardless of how many
+// paths land on it.
+#ifndef BLOOMSAMPLE_CORE_BST_SAMPLER_H_
+#define BLOOMSAMPLE_CORE_BST_SAMPLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/util/op_counters.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+
+class BstSampler {
+ public:
+  /// How to pick a child when both intersections are non-empty. The paper
+  /// weights by estimated intersection size (kProportional), which is what
+  /// makes the samples near-uniform; kUniformSplit (50/50) exists as an
+  /// ablation — it biases toward sparsely populated subtrees.
+  enum class BranchPolicy { kProportional, kUniformSplit };
+
+  /// The tree must outlive the sampler.
+  explicit BstSampler(const BloomSampleTree* tree,
+                      BranchPolicy policy = BranchPolicy::kProportional)
+      : tree_(tree), policy_(policy) {
+    BSR_CHECK(tree != nullptr, "BstSampler needs a tree");
+  }
+
+  /// One (near-)uniform sample from S ∪ S(B), or nullopt when every path
+  /// died on false-set-overlaps (or the filter is empty). The query filter
+  /// must share the tree's hash family.
+  std::optional<uint64_t> Sample(const BloomFilter& query, Rng* rng,
+                                 OpCounters* counters = nullptr) const;
+
+  /// r samples in one descent. With `with_replacement` false (default) the
+  /// result has no duplicates and may be shorter than r; with true, each
+  /// path draws independently at its leaf.
+  std::vector<uint64_t> SampleMany(const BloomFilter& query, size_t r,
+                                   Rng* rng, bool with_replacement = false,
+                                   OpCounters* counters = nullptr) const;
+
+  const BloomSampleTree& tree() const { return *tree_; }
+
+ private:
+  /// Estimated |child ∩ query|, with the Section 5.6 threshold applied;
+  /// 0.0 for absent children. Counts one intersection per present child.
+  double ChildEstimate(int64_t child, const BloomFilter& query,
+                       uint64_t query_bits, OpCounters* counters) const;
+
+  std::optional<uint64_t> SampleNode(int64_t id, const BloomFilter& query,
+                                     uint64_t query_bits, Rng* rng,
+                                     OpCounters* counters) const;
+
+  void SampleManyNode(int64_t id, size_t r, const BloomFilter& query,
+                      uint64_t query_bits, Rng* rng, bool with_replacement,
+                      OpCounters* counters, std::vector<uint64_t>* out) const;
+
+  /// Scans a leaf and appends up to r uniform picks among positives.
+  void SampleLeaf(int64_t id, size_t r, const BloomFilter& query, Rng* rng,
+                  bool with_replacement, OpCounters* counters,
+                  std::vector<uint64_t>* out) const;
+
+  /// Probability of descending left given both children are viable.
+  double LeftProbability(double left_est, double right_est) const {
+    return policy_ == BranchPolicy::kProportional
+               ? left_est / (left_est + right_est)
+               : 0.5;
+  }
+
+  const BloomSampleTree* tree_;
+  BranchPolicy policy_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_BST_SAMPLER_H_

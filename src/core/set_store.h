@@ -1,0 +1,144 @@
+// BloomSetStore — the application-facing API.
+//
+// Models the paper's framework (Section 3.2): a database D̄ of named sets,
+// each stored only as a Bloom filter with shared parameters (m, H), plus
+// one BloomSampleTree built once over the namespace and reused for every
+// query. Construction takes the target sampling accuracy and the typical
+// set size and derives every Bloom/tree parameter the way the paper's
+// experiments do (Section 5.4).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto store = BloomSetStore::Create(10'000'000, options).value();
+//   store.AddSet("community-42", members);
+//   uint64_t user = store.Sample("community-42", &rng).value();
+//   std::vector<uint64_t> all = store.Reconstruct("community-42").value();
+#ifndef BLOOMSAMPLE_CORE_SET_STORE_H_
+#define BLOOMSAMPLE_CORE_SET_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/util/op_counters.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class BloomSetStore {
+ public:
+  struct Options {
+    /// Desired sampling accuracy (Sec 5.4); drives the Bloom filter size.
+    double accuracy = 0.9;
+    /// Typical stored-set cardinality used for sizing (the paper's n).
+    uint64_t expected_set_size = 1000;
+    uint64_t k = 3;
+    HashFamilyKind hash_kind = HashFamilyKind::kSimple;
+    uint64_t seed = 42;
+    /// Section 5.6 empty-intersection threshold; 0 (default) = lossless
+    /// pruning only (see TreeConfig::intersection_threshold).
+    double intersection_threshold = 0.0;
+    /// Use the live machine cost calibration for depth selection instead
+    /// of the closed-form model.
+    bool measure_costs = false;
+  };
+
+  /// Store over the full namespace [0, namespace_size) (complete tree).
+  static Result<BloomSetStore> Create(uint64_t namespace_size,
+                                      const Options& options);
+
+  /// Store over a sparsely occupied namespace (Pruned-BloomSampleTree).
+  /// `occupied` must be sorted and unique; sets may only contain these ids.
+  static Result<BloomSetStore> CreateWithOccupied(
+      uint64_t namespace_size, std::vector<uint64_t> occupied,
+      const Options& options);
+
+  /// Registers (or replaces) a named set.
+  Status AddSet(const std::string& name, const std::vector<uint64_t>& elements);
+
+  /// Adds one element to an existing named set's filter.
+  Status AddToSet(const std::string& name, uint64_t element);
+
+  /// Marks a new id as occupied (pruned stores only) so future sets may
+  /// contain it.
+  Status AddOccupied(uint64_t id);
+
+  bool HasSet(const std::string& name) const {
+    return sets_.find(name) != sets_.end();
+  }
+  /// The stored filter, or nullptr when absent.
+  const BloomFilter* GetFilter(const std::string& name) const;
+  std::vector<std::string> SetNames() const;
+
+  /// Near-uniform sample from the named set (plus its false positives).
+  Result<uint64_t> Sample(const std::string& name, Rng* rng,
+                          OpCounters* counters = nullptr) const;
+  /// r samples without replacement in one pass.
+  Result<std::vector<uint64_t>> SampleMany(const std::string& name, size_t r,
+                                           Rng* rng,
+                                           OpCounters* counters = nullptr) const;
+  /// Full reconstruction of the named set (plus its false positives).
+  /// Default mode is the paper's fast thresholded traversal; pass
+  /// BstReconstructor::PruningMode::kExact for the guaranteed-complete
+  /// (but DictionaryAttack-priced) variant.
+  Result<std::vector<uint64_t>> Reconstruct(
+      const std::string& name, OpCounters* counters = nullptr,
+      BstReconstructor::PruningMode mode =
+          BstReconstructor::PruningMode::kThresholded) const;
+
+  // --- Set algebra (Section 3.1: union is exact, intersection is an
+  // over-approximation with the Eq. 1 false-overlap caveat) ------------
+
+  /// Bitwise-OR composition of the named sets: exactly the filter of
+  /// their union. Needs >= 1 name.
+  Result<BloomFilter> ComposeUnion(const std::vector<std::string>& names) const;
+
+  /// Bitwise-AND composition: a filter whose positives form a superset of
+  /// the true intersection (chance bit overlaps can admit extras beyond
+  /// either operand's false positives). Needs >= 1 name.
+  Result<BloomFilter> ComposeIntersection(
+      const std::vector<std::string>& names) const;
+
+  /// Samples from an ad-hoc (e.g. composed) filter built against this
+  /// store's tree.
+  Result<uint64_t> SampleFilter(const BloomFilter& query, Rng* rng,
+                                OpCounters* counters = nullptr) const;
+
+  /// Reconstructs an ad-hoc (e.g. composed) filter.
+  Result<std::vector<uint64_t>> ReconstructFilter(
+      const BloomFilter& query, OpCounters* counters = nullptr,
+      BstReconstructor::PruningMode mode =
+          BstReconstructor::PruningMode::kThresholded) const;
+
+  const BloomSampleTree& tree() const { return *tree_; }
+  const TreeConfig& tree_config() const { return tree_->config(); }
+  /// Memory of the shared tree in bytes.
+  size_t TreeMemoryBytes() const { return tree_->MemoryBytes(); }
+  /// Memory of all stored set filters in bytes.
+  size_t SetMemoryBytes() const;
+
+ private:
+  explicit BloomSetStore(BloomSampleTree tree)
+      : tree_(std::make_unique<BloomSampleTree>(std::move(tree))),
+        sampler_(tree_.get()),
+        reconstructor_(tree_.get()) {}
+
+  static Result<BloomSetStore> CreateImpl(uint64_t namespace_size,
+                                          std::vector<uint64_t> occupied,
+                                          bool pruned, const Options& options);
+
+  std::unique_ptr<BloomSampleTree> tree_;
+  BstSampler sampler_;
+  BstReconstructor reconstructor_;
+  std::unordered_map<std::string, BloomFilter> sets_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_SET_STORE_H_

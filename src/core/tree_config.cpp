@@ -1,0 +1,139 @@
+#include "src/core/tree_config.h"
+
+#include <cmath>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/bloom/bloom_params.h"
+#include "src/util/math_util.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace bloomsample {
+
+CostModel AnalyticCostModel(uint64_t m, uint64_t k) {
+  CostModel model;
+  model.intersection_cost = static_cast<double>(CeilDiv(m, 64));
+  model.membership_cost = static_cast<double>(k) + 1.0;
+  return model;
+}
+
+CostModel MeasureCostModel(HashFamilyKind kind, uint64_t m, uint64_t k,
+                           uint64_t seed) {
+  auto family_result = MakeHashFamily(kind, k, m, seed);
+  BSR_CHECK(family_result.ok(), "MeasureCostModel: bad hash parameters");
+  auto family = std::move(family_result).value();
+
+  // Two half-full filters so membership queries take realistic branch
+  // paths and intersections have realistic word contents.
+  BloomFilter a(family);
+  BloomFilter b(family);
+  Rng rng(seed ^ 0xc057c057c057c057ULL);
+  const uint64_t fill = m / (2 * k) + 1;
+  for (uint64_t i = 0; i < fill; ++i) {
+    a.Insert(rng.Next());
+    b.Insert(rng.Next());
+  }
+
+  constexpr int kMembershipReps = 20000;
+  constexpr int kIntersectionReps = 2000;
+
+  volatile uint64_t sink = 0;  // defeat dead-code elimination
+  Timer timer;
+  for (int i = 0; i < kMembershipReps; ++i) {
+    sink = sink + a.Contains(static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL);
+  }
+  const double membership_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  for (int i = 0; i < kIntersectionReps; ++i) {
+    sink = sink + a.AndPopcount(b);
+  }
+  const double intersection_s = timer.ElapsedSeconds();
+  (void)sink;
+
+  CostModel model;
+  model.membership_cost = membership_s / kMembershipReps;
+  model.intersection_cost = intersection_s / kIntersectionReps;
+  // Guard against timer granularity zeros on very small m.
+  if (model.membership_cost <= 0) model.membership_cost = 1e-9;
+  if (model.intersection_cost <= 0) model.intersection_cost = 1e-9;
+  return model;
+}
+
+uint64_t MaxLeafCapacityForRatio(double ratio) {
+  // f(N) = N / log2(N) is increasing for N >= 3; f(2) = 2, f(3) ~ 1.89 —
+  // start the search at 4 and treat <= 2 ratios as the minimum capacity.
+  if (!(ratio > 2.0)) return 2;
+  uint64_t lo = 2;                    // known feasible
+  uint64_t hi = 1ULL << 62;           // known infeasible for any sane ratio
+  const auto feasible = [ratio](uint64_t n) {
+    return static_cast<double>(n) / std::log2(static_cast<double>(n)) <=
+           ratio;
+  };
+  if (feasible(hi)) return hi;
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t DepthForLeafCapacity(uint64_t namespace_size,
+                              uint64_t leaf_capacity) {
+  BSR_CHECK(namespace_size > 0, "namespace must be non-empty");
+  if (leaf_capacity == 0) leaf_capacity = 1;
+  if (leaf_capacity >= namespace_size) return 0;
+  return CeilLog2(CeilDiv(namespace_size, leaf_capacity));
+}
+
+uint64_t TreeConfig::LeafRangeSize() const {
+  return CeilDiv(namespace_size, 1ULL << depth);
+}
+
+Status TreeConfig::Validate() const {
+  if (namespace_size < 2) {
+    return Status::InvalidArgument("namespace_size must be >= 2");
+  }
+  if (m == 0) return Status::InvalidArgument("m must be >= 1");
+  if (k == 0 || k > BloomFilter::kMaxK) {
+    return Status::InvalidArgument("k must be in [1, 16]");
+  }
+  if (depth >= 63) return Status::InvalidArgument("depth must be < 63");
+  if ((1ULL << depth) > namespace_size) {
+    return Status::InvalidArgument("depth yields more leaves than names");
+  }
+  if (intersection_threshold < 0) {
+    return Status::InvalidArgument("intersection_threshold must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<TreeConfig> MakeConfigForAccuracy(double accuracy, uint64_t n,
+                                         uint64_t k, uint64_t namespace_size,
+                                         HashFamilyKind kind, uint64_t seed,
+                                         const CostModel* cost_model) {
+  Result<uint64_t> m = SolveBitsForAccuracy(accuracy, n, k, namespace_size);
+  if (!m.ok()) return m.status();
+
+  TreeConfig config;
+  config.namespace_size = namespace_size;
+  config.m = m.value();
+  config.k = k;
+  config.hash_kind = kind;
+  config.seed = seed;
+
+  const CostModel model =
+      cost_model != nullptr ? *cost_model : AnalyticCostModel(config.m, k);
+  const uint64_t leaf_capacity = MaxLeafCapacityForRatio(model.Ratio());
+  config.depth = DepthForLeafCapacity(namespace_size, leaf_capacity);
+
+  const Status st = config.Validate();
+  if (!st.ok()) return st;
+  return config;
+}
+
+}  // namespace bloomsample

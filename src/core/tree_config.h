@@ -1,0 +1,86 @@
+// BloomSampleTree parameterization (Section 5.4).
+//
+// The tree's depth is the accuracy/runtime dial: deeper trees mean smaller
+// leaf scans (fewer membership queries) but more intersections on the way
+// down. The paper picks the leaf capacity
+//
+//     M⊥ = max N⊥ such that N⊥ / log₂N⊥ ≤ icost / mcost
+//
+// where icost is the cost of one Bloom-filter intersection (O(m) bit ops)
+// and mcost the cost of one membership query (k hashes + k probes). We
+// support both a closed-form cost model (icost = m/64 word operations,
+// mcost = k + 1 units — this reproduces the depth/M⊥ columns of Tables 2
+// and 3) and live micro-calibration on the host machine.
+#ifndef BLOOMSAMPLE_CORE_TREE_CONFIG_H_
+#define BLOOMSAMPLE_CORE_TREE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/hash/hash_family.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// Relative costs of the two primitive operations.
+struct CostModel {
+  double membership_cost = 1.0;    ///< one membership query
+  double intersection_cost = 1.0;  ///< one filter intersection + estimate
+
+  double Ratio() const { return intersection_cost / membership_cost; }
+};
+
+/// Closed-form model used for the paper-table reproductions: an
+/// intersection touches m/64 words; a membership query costs k hash
+/// evaluations plus one aggregation unit.
+CostModel AnalyticCostModel(uint64_t m, uint64_t k);
+
+/// Measures both costs on this machine with the given family (times a few
+/// thousand operations of each kind). Deterministic inputs, wall-clock
+/// timed; use for honest end-to-end runs, not for unit tests.
+CostModel MeasureCostModel(HashFamilyKind kind, uint64_t m, uint64_t k,
+                           uint64_t seed);
+
+/// max N⊥ ≥ 2 with N⊥ / log₂N⊥ ≤ ratio (binary search; the left side is
+/// increasing for N⊥ ≥ 3). ratio ≤ 2 degenerates to 2.
+uint64_t MaxLeafCapacityForRatio(double ratio);
+
+/// Tree depth so each leaf covers ≤ leaf_capacity names:
+/// ceil(log₂(M / leaf_capacity)), at least 0.
+uint32_t DepthForLeafCapacity(uint64_t namespace_size, uint64_t leaf_capacity);
+
+/// Full parameter bundle for building a tree and its query filters.
+struct TreeConfig {
+  uint64_t namespace_size = 0;  ///< M
+  uint64_t m = 0;               ///< bits per Bloom filter
+  uint64_t k = 3;               ///< hash functions (paper default)
+  HashFamilyKind hash_kind = HashFamilyKind::kSimple;
+  uint64_t seed = 42;           ///< hash-family seed
+  uint32_t depth = 0;           ///< levels below the root
+  /// Section 5.6 estimate-threshold (in elements): estimated intersection
+  /// sizes below this are treated as empty. 0 (the default) disables the
+  /// heuristic, leaving only the lossless "fewer than k shared bits" test
+  /// — which can never drop a true positive. Positive values trade
+  /// completeness for traversal speed; bench/ablation_threshold quantifies
+  /// the loss.
+  double intersection_threshold = 0.0;
+
+  /// Leaf range width implied by depth: ceil(M / 2^depth).
+  uint64_t LeafRangeSize() const;
+  /// Node count of the complete tree: 2^(depth+1) − 1.
+  uint64_t CompleteNodeCount() const { return (2ULL << depth) - 1; }
+
+  /// Validates field ranges (M ≥ 2, m ≥ 1, 1 ≤ k ≤ 16, depth sane).
+  Status Validate() const;
+};
+
+/// Builds a TreeConfig the way the paper's experiments do: size m from the
+/// desired sampling accuracy for typical set size n (Sec 5.4 / Tables 2-3),
+/// then choose depth from the cost model.
+Result<TreeConfig> MakeConfigForAccuracy(double accuracy, uint64_t n,
+                                         uint64_t k, uint64_t namespace_size,
+                                         HashFamilyKind kind, uint64_t seed,
+                                         const CostModel* cost_model = nullptr);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_TREE_CONFIG_H_

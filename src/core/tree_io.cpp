@@ -1,0 +1,182 @@
+#include "src/core/tree_io.h"
+
+#include <fstream>
+
+#include "src/bloom/bloom_io.h"
+#include "src/util/serialize.h"
+
+namespace bloomsample {
+
+namespace {
+constexpr char kTreeTag[4] = {'B', 'S', 'T', 'R'};
+constexpr uint32_t kTreeVersion = 1;
+}  // namespace
+
+/// Befriended by BloomSampleTree; does the actual field surgery.
+class TreeSerializer {
+ public:
+  static Status Write(const BloomSampleTree& tree, std::ostream* out) {
+    BinaryWriter writer(out);
+    writer.WriteTag(kTreeTag);
+    writer.WriteU32(kTreeVersion);
+
+    const TreeConfig& config = tree.config_;
+    writer.WriteU64(config.namespace_size);
+    writer.WriteU64(config.m);
+    writer.WriteU64(config.k);
+    writer.WriteU32(static_cast<uint32_t>(config.hash_kind));
+    writer.WriteU64(config.seed);
+    writer.WriteU32(config.depth);
+    writer.WriteDouble(config.intersection_threshold);
+
+    writer.WriteU32(tree.pruned_ ? 1 : 0);
+    writer.WriteU64Vector(tree.occupied_);
+
+    writer.WriteU64(tree.nodes_.size());
+    for (const BloomSampleTree::Node& node : tree.nodes_) {
+      writer.WriteU64(node.lo);
+      writer.WriteU64(node.hi);
+      writer.WriteU32(node.level);
+      writer.WriteI64(node.left);
+      writer.WriteI64(node.right);
+      writer.WriteU64Vector(node.filter.bits().words());
+    }
+    return writer.ok() ? Status::OK()
+                       : Status::Internal("stream write failed");
+  }
+
+  static Result<BloomSampleTree> Read(std::istream* in) {
+    BinaryReader reader(in);
+    Status st = reader.ExpectTag(kTreeTag);
+    if (!st.ok()) return st;
+    Result<uint32_t> version = reader.ReadU32();
+    if (!version.ok()) return version.status();
+    if (version.value() != kTreeVersion) {
+      return Status::Unsupported("unknown tree format version");
+    }
+
+    TreeConfig config;
+#define BSR_READ_OR_RETURN(field, expr)             \
+  do {                                              \
+    auto result = (expr);                           \
+    if (!result.ok()) return result.status();       \
+    field = result.value();                         \
+  } while (0)
+
+    BSR_READ_OR_RETURN(config.namespace_size, reader.ReadU64());
+    BSR_READ_OR_RETURN(config.m, reader.ReadU64());
+    BSR_READ_OR_RETURN(config.k, reader.ReadU64());
+    uint32_t kind_raw;
+    BSR_READ_OR_RETURN(kind_raw, reader.ReadU32());
+    if (kind_raw > static_cast<uint32_t>(HashFamilyKind::kMd5)) {
+      return Status::InvalidArgument("unknown hash family kind in stream");
+    }
+    config.hash_kind = static_cast<HashFamilyKind>(kind_raw);
+    BSR_READ_OR_RETURN(config.seed, reader.ReadU64());
+    BSR_READ_OR_RETURN(config.depth, reader.ReadU32());
+    BSR_READ_OR_RETURN(config.intersection_threshold, reader.ReadDouble());
+    st = config.Validate();
+    if (!st.ok()) return st;
+
+    uint32_t pruned_flag;
+    BSR_READ_OR_RETURN(pruned_flag, reader.ReadU32());
+    if (pruned_flag > 1) {
+      return Status::InvalidArgument("corrupt pruned flag");
+    }
+    std::vector<uint64_t> occupied;
+    BSR_READ_OR_RETURN(occupied,
+                       reader.ReadU64Vector(config.namespace_size));
+
+    auto family = MakeHashFamily(config.hash_kind,
+                                 static_cast<size_t>(config.k), config.m,
+                                 config.seed, config.namespace_size);
+    if (!family.ok()) return family.status();
+
+    BloomSampleTree tree(config, family.value(), pruned_flag == 1);
+    tree.occupied_ = std::move(occupied);
+
+    uint64_t node_count;
+    BSR_READ_OR_RETURN(node_count, reader.ReadU64());
+    if (node_count > config.CompleteNodeCount()) {
+      return Status::InvalidArgument("node count exceeds complete tree");
+    }
+    const uint64_t words_per_filter = (config.m + 63) / 64;
+    tree.nodes_.reserve(static_cast<size_t>(node_count));
+    for (uint64_t i = 0; i < node_count; ++i) {
+      uint64_t lo;
+      uint64_t hi;
+      uint32_t level;
+      int64_t left;
+      int64_t right;
+      BSR_READ_OR_RETURN(lo, reader.ReadU64());
+      BSR_READ_OR_RETURN(hi, reader.ReadU64());
+      BSR_READ_OR_RETURN(level, reader.ReadU32());
+      BSR_READ_OR_RETURN(left, reader.ReadI64());
+      BSR_READ_OR_RETURN(right, reader.ReadI64());
+      if (level > config.depth || hi > config.namespace_size || lo > hi) {
+        return Status::InvalidArgument("corrupt node geometry");
+      }
+      const auto valid_child = [node_count](int64_t child) {
+        return child == BloomSampleTree::kNoNode ||
+               (child >= 0 && static_cast<uint64_t>(child) < node_count);
+      };
+      if (!valid_child(left) || !valid_child(right)) {
+        return Status::InvalidArgument("corrupt child pointer");
+      }
+      std::vector<uint64_t> words;
+      BSR_READ_OR_RETURN(words, reader.ReadU64Vector(words_per_filter));
+      if (words.size() != words_per_filter) {
+        return Status::InvalidArgument("node payload has wrong word count");
+      }
+
+      BloomSampleTree::Node node(lo, hi, level, tree.family_);
+      BitVector& bits = node.filter.mutable_bits();
+      for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          const size_t index = w * 64 + static_cast<size_t>(bit);
+          if (index >= bits.size()) {
+            return Status::InvalidArgument("node payload has stray bits");
+          }
+          bits.Set(index);
+          word &= word - 1;
+        }
+      }
+      node.left = left;
+      node.right = right;
+      node.set_bits = node.filter.SetBitCount();
+      tree.nodes_.push_back(std::move(node));
+    }
+#undef BSR_READ_OR_RETURN
+    return tree;
+  }
+};
+
+Status SerializeTree(const BloomSampleTree& tree, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  return TreeSerializer::Write(tree, out);
+}
+
+Result<BloomSampleTree> DeserializeTree(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  return TreeSerializer::Read(in);
+}
+
+Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  return SerializeTree(tree, &out);
+}
+
+Result<BloomSampleTree> LoadTreeFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  return DeserializeTree(&in);
+}
+
+}  // namespace bloomsample

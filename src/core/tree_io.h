@@ -1,0 +1,34 @@
+// BloomSampleTree persistence.
+//
+// The tree is the build-once artifact of the whole system (Section 5:
+// "constructed only once and repeatedly used"); persisting it turns a
+// multi-second rebuild into a file read. The format stores the full
+// TreeConfig, the occupied-id list for pruned trees, and every node's
+// geometry + bit payload; loading reconstructs the hash family from the
+// config so all node filters (and any filters later deserialized against
+// the tree) share one family object.
+#ifndef BLOOMSAMPLE_CORE_TREE_IO_H_
+#define BLOOMSAMPLE_CORE_TREE_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/core/bloom_sample_tree.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// Writes the tree (config, occupancy, nodes) to `out`.
+Status SerializeTree(const BloomSampleTree& tree, std::ostream* out);
+
+/// Reads a tree written by SerializeTree.
+Result<BloomSampleTree> DeserializeTree(std::istream* in);
+
+/// Convenience file wrappers.
+Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path);
+Result<BloomSampleTree> LoadTreeFromFile(const std::string& path);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_TREE_IO_H_

@@ -1,0 +1,46 @@
+#include "src/hash/hash_family.h"
+
+#include "src/hash/md5.h"
+#include "src/hash/murmur3.h"
+#include "src/hash/simple_hash.h"
+
+namespace bloomsample {
+
+Result<HashFamilyKind> ParseHashFamilyKind(const std::string& name) {
+  if (name == "simple") return HashFamilyKind::kSimple;
+  if (name == "murmur3") return HashFamilyKind::kMurmur3;
+  if (name == "md5") return HashFamilyKind::kMd5;
+  return Status::InvalidArgument("unknown hash family '" + name +
+                                 "' (expected simple|murmur3|md5)");
+}
+
+std::string HashFamilyKindName(HashFamilyKind kind) {
+  switch (kind) {
+    case HashFamilyKind::kSimple: return "simple";
+    case HashFamilyKind::kMurmur3: return "murmur3";
+    case HashFamilyKind::kMd5: return "md5";
+  }
+  return "unknown";
+}
+
+Result<std::shared_ptr<const HashFamily>> MakeHashFamily(HashFamilyKind kind,
+                                                         size_t k, uint64_t m,
+                                                         uint64_t seed,
+                                                         uint64_t universe) {
+  if (k == 0) return Status::InvalidArgument("hash family needs k >= 1");
+  if (m == 0) return Status::InvalidArgument("hash family needs m >= 1");
+  switch (kind) {
+    case HashFamilyKind::kSimple:
+      return std::shared_ptr<const HashFamily>(
+          std::make_shared<SimpleHashFamily>(k, m, seed, universe));
+    case HashFamilyKind::kMurmur3:
+      return std::shared_ptr<const HashFamily>(
+          std::make_shared<Murmur3HashFamily>(k, m, seed));
+    case HashFamilyKind::kMd5:
+      return std::shared_ptr<const HashFamily>(
+          std::make_shared<Md5HashFamily>(k, m, seed));
+  }
+  return Status::InvalidArgument("unknown hash family kind");
+}
+
+}  // namespace bloomsample

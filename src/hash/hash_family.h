@@ -1,0 +1,95 @@
+// Hash family abstraction for Bloom filters.
+//
+// A HashFamily is k functions h_0..h_{k-1}, each mapping a 64-bit key to a
+// bit position in [0, m). The paper (Table 1) evaluates three families:
+//
+//   * Simple  — h_i(x) = (a_i·x + b_i) mod m. Weakly invertible: given a bit
+//               position one can enumerate all keys in the namespace that
+//               map to it, which is what the HashInvert baseline needs.
+//   * Murmur3 — MurmurHash3 x64-128, one seed per function.
+//   * MD5     — RFC 1321 MD5 over (key, seed), first 8 digest bytes mod m.
+//
+// Families are immutable after construction and shared (shared_ptr) between
+// the query Bloom filters and every node of a BloomSampleTree — the paper
+// requires all of them to use identical (m, H).
+#ifndef BLOOMSAMPLE_HASH_HASH_FAMILY_H_
+#define BLOOMSAMPLE_HASH_HASH_FAMILY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class HashFamily {
+ public:
+  virtual ~HashFamily() = default;
+
+  /// Number of hash functions.
+  size_t k() const { return k_; }
+  /// Output range: every hash value is in [0, m).
+  uint64_t m() const { return m_; }
+  /// Seed the family was constructed with (for provenance / cloning).
+  uint64_t seed() const { return seed_; }
+
+  /// Value of h_i(key), in [0, m). i must be < k().
+  virtual uint64_t Hash(size_t i, uint64_t key) const = 0;
+
+  /// Fills out[0..k) with h_0(key)..h_{k-1}(key). Default loops over Hash;
+  /// families override when a batched computation is cheaper.
+  virtual void HashAll(uint64_t key, uint64_t* out) const {
+    for (size_t i = 0; i < k_; ++i) out[i] = Hash(i, key);
+  }
+
+  /// True when Preimages() is supported (the "weakly invertible" property
+  /// of Section 4 of the paper).
+  virtual bool IsInvertible() const { return false; }
+
+  /// Appends to *out every key x in [0, namespace_size) with
+  /// h_i(x) == bit. Only meaningful when IsInvertible().
+  virtual Status Preimages(size_t i, uint64_t bit, uint64_t namespace_size,
+                           std::vector<uint64_t>* out) const {
+    (void)i;
+    (void)bit;
+    (void)namespace_size;
+    (void)out;
+    return Status::Unsupported("hash family '" + Name() +
+                               "' is not invertible");
+  }
+
+  /// Family name for reports ("simple", "murmur3", "md5").
+  virtual std::string Name() const = 0;
+
+ protected:
+  HashFamily(size_t k, uint64_t m, uint64_t seed)
+      : k_(k), m_(m), seed_(seed) {
+    BSR_CHECK(k_ > 0, "hash family needs k >= 1");
+    BSR_CHECK(m_ > 0, "hash family needs m >= 1");
+  }
+
+  const size_t k_;
+  const uint64_t m_;
+  const uint64_t seed_;
+};
+
+enum class HashFamilyKind { kSimple, kMurmur3, kMd5 };
+
+/// Parses "simple" / "murmur3" / "md5" (case-sensitive).
+Result<HashFamilyKind> ParseHashFamilyKind(const std::string& name);
+std::string HashFamilyKindName(HashFamilyKind kind);
+
+/// Factory. Validates arguments (k >= 1, m >= 1). `universe` is the key
+/// range [0, universe) the family will be used with; it only affects the
+/// simple family (prime-modulus choice / inversion cost — see
+/// simple_hash.h) and may be 0 when unknown.
+Result<std::shared_ptr<const HashFamily>> MakeHashFamily(HashFamilyKind kind,
+                                                         size_t k, uint64_t m,
+                                                         uint64_t seed,
+                                                         uint64_t universe = 0);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_HASH_HASH_FAMILY_H_

@@ -1,0 +1,162 @@
+#include "src/hash/md5.h"
+
+#include <cstring>
+
+namespace bloomsample {
+
+namespace {
+
+// Per-round shift amounts (RFC 1321, Section 3.4).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr uint32_t kSineTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline uint32_t Rotl32(uint32_t x, int c) { return (x << c) | (x >> (32 - c)); }
+
+}  // namespace
+
+void Md5::Reset() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xefcdab89u;
+  state_[2] = 0x98badcfeu;
+  state_[3] = 0x10325476u;
+  length_bits_ = 0;
+  buffer_len_ = 0;
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t w[16];
+  for (int i = 0; i < 16; ++i) {
+    std::memcpy(&w[i], block + i * 4, 4);  // little-endian load
+  }
+
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + Rotl32(a + f + kSineTable[i] + w[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::Update(const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  length_bits_ += static_cast<uint64_t>(len) * 8;
+
+  if (buffer_len_ > 0) {
+    const size_t need = 64 - buffer_len_;
+    const size_t take = len < need ? len : need;
+    std::memcpy(buffer_ + buffer_len_, bytes, take);
+    buffer_len_ += take;
+    bytes += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(bytes);
+    bytes += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, bytes, len);
+    buffer_len_ = len;
+  }
+}
+
+std::array<uint8_t, 16> Md5::Finish() {
+  // Padding: a single 0x80 byte, zeros, then the 64-bit message length.
+  const uint64_t length_bits = length_bits_;
+  const uint8_t pad_byte = 0x80;
+  Update(&pad_byte, 1);
+  const uint8_t zero = 0x00;
+  while (buffer_len_ != 56) Update(&zero, 1);
+
+  uint8_t length_le[8];
+  for (int i = 0; i < 8; ++i) {
+    length_le[i] = static_cast<uint8_t>(length_bits >> (8 * i));
+  }
+  Update(length_le, 8);
+  BSR_CHECK(buffer_len_ == 0, "MD5 padding did not align to a block");
+
+  std::array<uint8_t, 16> digest;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      digest[i * 4 + j] = static_cast<uint8_t>(state_[i] >> (8 * j));
+    }
+  }
+  return digest;
+}
+
+std::array<uint8_t, 16> Md5::Digest(const void* data, size_t len) {
+  Md5 ctx;
+  ctx.Update(data, len);
+  return ctx.Finish();
+}
+
+std::string Md5::HexDigest(const std::string& data) {
+  const auto digest = Digest(data.data(), data.size());
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+uint64_t Md5Key64(uint64_t key, uint64_t seed) {
+  uint8_t buf[16];
+  std::memcpy(buf, &seed, 8);
+  std::memcpy(buf + 8, &key, 8);
+  const auto digest = Md5::Digest(buf, sizeof(buf));
+  uint64_t out;
+  std::memcpy(&out, digest.data(), 8);
+  return out;
+}
+
+}  // namespace bloomsample

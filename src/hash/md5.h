@@ -1,0 +1,61 @@
+// MD5 (RFC 1321) implemented from scratch, plus a HashFamily adapter.
+//
+// MD5 is the paper's "expensive hash" in the Figure 7 comparison: it costs
+// roughly an order of magnitude more per call than Murmur3 or the simple
+// linear family, which is exactly the effect that figure demonstrates.
+// MD5 is used here only as a hash-cost datapoint, never for security.
+#ifndef BLOOMSAMPLE_HASH_MD5_H_
+#define BLOOMSAMPLE_HASH_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/hash/hash_family.h"
+
+namespace bloomsample {
+
+/// Incremental MD5 context.
+class Md5 {
+ public:
+  Md5() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  /// Finalizes and returns the 16-byte digest. The context must be Reset()
+  /// before reuse.
+  std::array<uint8_t, 16> Finish();
+
+  /// One-shot digest.
+  static std::array<uint8_t, 16> Digest(const void* data, size_t len);
+  /// One-shot digest rendered as 32 lowercase hex characters.
+  static std::string HexDigest(const std::string& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[4];
+  uint64_t length_bits_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// First 8 digest bytes of MD5(seed || key), as a little-endian u64.
+uint64_t Md5Key64(uint64_t key, uint64_t seed);
+
+class Md5HashFamily : public HashFamily {
+ public:
+  Md5HashFamily(size_t k, uint64_t m, uint64_t seed) : HashFamily(k, m, seed) {}
+
+  uint64_t Hash(size_t i, uint64_t key) const override {
+    BSR_CHECK(i < k_, "Md5HashFamily::Hash index out of range");
+    return Md5Key64(key, seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)) % m_;
+  }
+
+  std::string Name() const override { return "md5"; }
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_HASH_MD5_H_

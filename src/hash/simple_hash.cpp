@@ -1,0 +1,61 @@
+#include "src/hash/simple_hash.h"
+
+#include <algorithm>
+
+#include "src/util/math_util.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+
+SimpleHashFamily::SimpleHashFamily(size_t k, uint64_t m, uint64_t seed,
+                                   uint64_t universe)
+    : HashFamily(k, m, seed) {
+  const uint64_t default_universe = 1ULL << 32;
+  const uint64_t floor = std::max(universe == 0 ? default_universe : universe,
+                                  m);
+  p_ = NextPrimeAtLeast(floor + 1);
+
+  a_.reserve(k);
+  b_.reserve(k);
+  a_inv_.reserve(k);
+  Rng rng(seed);
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t a = rng.Range(1, p_);  // any nonzero value is a unit mod p
+    a_.push_back(a);
+    b_.push_back(rng.Below(p_));
+    a_inv_.push_back(ModInverse(a, p_));
+    BSR_CHECK(a_inv_.back() != 0, "prime modulus must make a invertible");
+  }
+}
+
+uint64_t SimpleHashFamily::Hash(size_t i, uint64_t key) const {
+  BSR_CHECK(i < k_, "SimpleHashFamily::Hash index out of range");
+  const uint64_t v = AddMod(MulMod(a_[i], key % p_, p_), b_[i], p_);
+  return v % m_;
+}
+
+Status SimpleHashFamily::Preimages(size_t i, uint64_t bit,
+                                   uint64_t namespace_size,
+                                   std::vector<uint64_t>* out) const {
+  if (i >= k_) {
+    return Status::InvalidArgument("hash index out of range");
+  }
+  if (bit >= m_) {
+    return Status::OutOfRange("bit position beyond filter size");
+  }
+  if (namespace_size > p_) {
+    return Status::InvalidArgument(
+        "namespace exceeds the hash family's universe (keys >= p alias)");
+  }
+  // h_i(x) = bit  <=>  (a_i·x + b_i) mod p = t for some t ≡ bit (mod m),
+  // i.e. x = a_i^{-1}(t − b_i) mod p for t ∈ {bit, bit + m, …} ∩ [0, p).
+  for (uint64_t t = bit; t < p_; t += m_) {
+    const uint64_t diff = t >= b_[i] ? t - b_[i] : t + p_ - b_[i];
+    const uint64_t x = MulMod(a_inv_[i], diff, p_);
+    if (x < namespace_size) out->push_back(x);
+    if (t > t + m_) break;  // overflow guard for pathological m near 2^64
+  }
+  return Status::OK();
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,56 @@
+// The paper's "Simple" hash family, implemented as standard universal
+// hashing: h_i(x) = ((a_i·x + b_i) mod p) mod m, with one shared prime
+// p > max(universe, m) and per-function coefficients a_i ∈ [1, p),
+// b_i ∈ [0, p).
+//
+// Why the intermediate prime matters: the naive form (a·x + b) mod m makes
+// every pair x ≡ y (mod m) collide under ALL k functions simultaneously —
+// each such y is then automatically a false positive, and the measured
+// accuracy collapses by a factor of about M/m below the design target
+// (we verified this empirically; see DESIGN.md §6). Reducing through p
+// first removes the shared congruence structure while keeping the family
+// weakly invertible (Section 4 of the paper): the preimages of a bit s
+// under h_i are x = a_i⁻¹(t − b_i) mod p for t ∈ {s, s+m, s+2m, …} ∩ [0,p),
+// about p/m ≈ M/m candidates — the same inversion cost the paper analyzes.
+#ifndef BLOOMSAMPLE_HASH_SIMPLE_HASH_H_
+#define BLOOMSAMPLE_HASH_SIMPLE_HASH_H_
+
+#include <vector>
+
+#include "src/hash/hash_family.h"
+
+namespace bloomsample {
+
+class SimpleHashFamily : public HashFamily {
+ public:
+  /// `universe` is the intended key range [0, universe): the prime is
+  /// chosen just above max(universe, m), which keeps Preimages() cost at
+  /// O(universe/m). Pass 0 when the key range is unknown — the prime then
+  /// defaults to just above max(2^32, m), trading inversion speed for
+  /// safety with arbitrary keys.
+  SimpleHashFamily(size_t k, uint64_t m, uint64_t seed, uint64_t universe = 0);
+
+  uint64_t Hash(size_t i, uint64_t key) const override;
+  bool IsInvertible() const override { return true; }
+  /// Appends the preimages of `bit` within [0, namespace_size). Output is
+  /// NOT sorted. namespace_size must not exceed the universe the family
+  /// was built for (keys beyond the prime would alias).
+  Status Preimages(size_t i, uint64_t bit, uint64_t namespace_size,
+                   std::vector<uint64_t>* out) const override;
+  std::string Name() const override { return "simple"; }
+
+  /// Parameters, exposed for tests.
+  uint64_t p() const { return p_; }
+  uint64_t a(size_t i) const { return a_[i]; }
+  uint64_t b(size_t i) const { return b_[i]; }
+
+ private:
+  uint64_t p_;
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
+  std::vector<uint64_t> a_inv_;  // a_i^{-1} mod p, precomputed
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_HASH_SIMPLE_HASH_H_

@@ -1,0 +1,85 @@
+// Reservoir sampling (Vitter, Algorithm R) — the uniformity workhorse.
+//
+// DictionaryAttack feeds every positive-answering namespace element through
+// a reservoir of size 1 (Section 4); leaf scans in BSTSample use the same
+// mechanism to pick uniformly among the leaf's positives without
+// materializing them. A k-slot variant supports multi-sampling.
+#ifndef BLOOMSAMPLE_SAMPLING_RESERVOIR_H_
+#define BLOOMSAMPLE_SAMPLING_RESERVOIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bloomsample {
+
+/// Keeps one uniformly chosen item from a stream of unknown length.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(Rng* rng) : rng_(rng) {
+    BSR_CHECK(rng != nullptr, "ReservoirSampler needs an Rng");
+  }
+
+  /// Offers the next stream item; it replaces the current sample with
+  /// probability 1/(count so far).
+  void Offer(uint64_t item) {
+    ++count_;
+    if (rng_->Below(count_) == 0) sample_ = item;
+  }
+
+  /// Items offered so far.
+  uint64_t count() const { return count_; }
+
+  /// The sample, or nullopt if the stream was empty.
+  std::optional<uint64_t> sample() const {
+    if (count_ == 0) return std::nullopt;
+    return sample_;
+  }
+
+  void Reset() {
+    count_ = 0;
+    sample_ = 0;
+  }
+
+ private:
+  Rng* rng_;
+  uint64_t count_ = 0;
+  uint64_t sample_ = 0;
+};
+
+/// Keeps r uniformly chosen items (without replacement) from a stream.
+class MultiReservoirSampler {
+ public:
+  MultiReservoirSampler(size_t r, Rng* rng) : r_(r), rng_(rng) {
+    BSR_CHECK(rng != nullptr, "MultiReservoirSampler needs an Rng");
+    reservoir_.reserve(r);
+  }
+
+  void Offer(uint64_t item) {
+    ++count_;
+    if (reservoir_.size() < r_) {
+      reservoir_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng_->Below(count_);
+    if (j < r_) reservoir_[j] = item;
+  }
+
+  uint64_t count() const { return count_; }
+
+  /// The current reservoir; fewer than r items iff the stream was shorter
+  /// than r.
+  const std::vector<uint64_t>& samples() const { return reservoir_; }
+
+ private:
+  size_t r_;
+  Rng* rng_;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> reservoir_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_SAMPLING_RESERVOIR_H_

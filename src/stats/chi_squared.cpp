@@ -1,0 +1,56 @@
+#include "src/stats/chi_squared.h"
+
+#include "src/stats/gamma.h"
+
+namespace bloomsample {
+
+Result<ChiSquaredResult> ChiSquaredUniformTest(
+    const std::vector<uint64_t>& counts) {
+  if (counts.size() < 2) {
+    return Status::InvalidArgument("need at least 2 categories");
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return Status::InvalidArgument("need at least one draw");
+
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double statistic = 0.0;
+  for (uint64_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    statistic += diff * diff / expected;
+  }
+  ChiSquaredResult result;
+  result.statistic = statistic;
+  result.dof = static_cast<double>(counts.size() - 1);
+  result.p_value = ChiSquaredSurvival(statistic, result.dof);
+  return result;
+}
+
+Result<ChiSquaredResult> ChiSquaredUniformTest(
+    const std::vector<uint64_t>& population,
+    const std::vector<uint64_t>& samples) {
+  if (population.size() < 2) {
+    return Status::InvalidArgument("need at least 2 categories");
+  }
+  std::unordered_map<uint64_t, size_t> index;
+  index.reserve(population.size() * 2);
+  for (size_t i = 0; i < population.size(); ++i) {
+    index.emplace(population[i], i);
+  }
+  if (index.size() != population.size()) {
+    return Status::InvalidArgument("population contains duplicates");
+  }
+  std::vector<uint64_t> counts(population.size(), 0);
+  for (uint64_t sample : samples) {
+    const auto it = index.find(sample);
+    if (it == index.end()) {
+      return Status::InvalidArgument(
+          "sample is not a member of the population");
+    }
+    ++counts[it->second];
+  }
+  return ChiSquaredUniformTest(counts);
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,48 @@
+// Pearson chi-squared goodness-of-fit test for sample uniformity
+// (Section 7.2 / Table 5).
+//
+// The paper's protocol: draw T = 130·n samples from a set of n elements,
+// count occurrences o_i per element, compare against e_i = T/n under the
+// null hypothesis of uniform sampling, and report the p-value
+// P(Q >= q | H0) with Q ~ χ²(n−1). p-values above the significance level
+// (the paper uses 0.08) fail to reject uniformity.
+#ifndef BLOOMSAMPLE_STATS_CHI_SQUARED_H_
+#define BLOOMSAMPLE_STATS_CHI_SQUARED_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+
+  bool RejectsUniformity(double significance = 0.08) const {
+    return p_value < significance;
+  }
+};
+
+/// Test observed counts against uniform expectation. `counts` must have
+/// one entry per category (zeros allowed); total draws = sum of counts.
+/// Requires >= 2 categories and >= 1 draw.
+Result<ChiSquaredResult> ChiSquaredUniformTest(
+    const std::vector<uint64_t>& counts);
+
+/// Convenience for samplers: tally `samples` against the categories in
+/// `population` (every sample must be a member) and run the test.
+Result<ChiSquaredResult> ChiSquaredUniformTest(
+    const std::vector<uint64_t>& population,
+    const std::vector<uint64_t>& samples);
+
+/// The paper's recommended sample count for its 0.08 significance level:
+/// T = 130 · n  [Stamatis, Six Sigma and Beyond].
+inline uint64_t RecommendedSampleRounds(uint64_t n) { return 130 * n; }
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_STATS_CHI_SQUARED_H_

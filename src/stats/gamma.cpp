@@ -1,0 +1,78 @@
+#include "src/stats/gamma.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+/// Series representation: P(a, x) = e^{−x} x^a / Γ(a) · Σ x^n / (a)_{n+1}.
+/// Converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction (modified Lentz): Q(a, x) for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  BSR_CHECK(a > 0.0, "RegularizedGammaP needs a > 0");
+  BSR_CHECK(x >= 0.0, "RegularizedGammaP needs x >= 0");
+  if (x == 0.0) return 0.0;
+  if (std::isinf(x)) return 1.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  BSR_CHECK(a > 0.0, "RegularizedGammaQ needs a > 0");
+  BSR_CHECK(x >= 0.0, "RegularizedGammaQ needs x >= 0");
+  if (x == 0.0) return 1.0;
+  if (std::isinf(x)) return 0.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquaredSurvival(double statistic, double dof) {
+  BSR_CHECK(dof > 0.0, "chi-squared needs dof > 0");
+  if (statistic <= 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, statistic / 2.0);
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,26 @@
+// Regularized incomplete gamma functions P(a, x) and Q(a, x), implemented
+// from scratch (series expansion for x < a+1, continued fraction
+// otherwise — the classic Numerical-Recipes-style split).
+//
+// Q((k−1)/2, χ²/2) is the p-value of a chi-squared statistic with k−1
+// degrees of freedom, which is how the paper's Table 5 uniformity test is
+// evaluated.
+#ifndef BLOOMSAMPLE_STATS_GAMMA_H_
+#define BLOOMSAMPLE_STATS_GAMMA_H_
+
+namespace bloomsample {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a),
+/// for a > 0, x >= 0. Accurate to ~1e-12.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom at `statistic`: P(X >= statistic) = Q(dof/2, statistic/2).
+double ChiSquaredSurvival(double statistic, double dof);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_STATS_GAMMA_H_

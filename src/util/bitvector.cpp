@@ -1,0 +1,85 @@
+#include "src/util/bitvector.h"
+
+#include <algorithm>
+
+namespace bloomsample {
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+size_t BitVector::Popcount() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool BitVector::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  BSR_CHECK(size_ == other.size_, "BitVector::AndWith size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  BSR_CHECK(size_ == other.size_, "BitVector::OrWith size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+size_t BitVector::AndPopcount(const BitVector& other) const {
+  BSR_CHECK(size_ == other.size_, "BitVector::AndPopcount size mismatch");
+  size_t count = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return count;
+}
+
+bool BitVector::AndIsZero(const BitVector& other) const {
+  BSR_CHECK(size_ == other.size_, "BitVector::AndIsZero size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::IsSubsetOf(const BitVector& other) const {
+  BSR_CHECK(size_ == other.size_, "BitVector::IsSubsetOf size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> BitVector::SetBits() const {
+  std::vector<size_t> out;
+  out.reserve(Popcount());
+  ForEachSetBit([&out](size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<size_t> BitVector::UnsetBits() const {
+  std::vector<size_t> out;
+  out.reserve(size_ - Popcount());
+  for (size_t i = 0; i < size_; ++i) {
+    if (!Get(i)) out.push_back(i);
+  }
+  return out;
+}
+
+BitVector And(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.AndWith(b);
+  return out;
+}
+
+BitVector Or(const BitVector& a, const BitVector& b) {
+  BitVector out = a;
+  out.OrWith(b);
+  return out;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,111 @@
+// Fixed-size bit vector with the word-level operations Bloom filters need:
+// bitwise AND/OR against another vector, popcount, and set-bit iteration.
+//
+// Bits are stored little-endian within 64-bit words; bit i lives in word
+// i / 64 at position i % 64. Trailing bits of the last word beyond size()
+// are kept zero as an invariant so popcount and equality are O(words)
+// without masking.
+#ifndef BLOOMSAMPLE_UTIL_BITVECTOR_H_
+#define BLOOMSAMPLE_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class BitVector {
+ public:
+  BitVector() : size_(0) {}
+
+  /// Creates a vector of `size` bits, all zero.
+  explicit BitVector(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+  size_t word_count() const { return words_.size(); }
+
+  bool Get(size_t i) const {
+    BSR_CHECK(i < size_, "BitVector::Get out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) {
+    BSR_CHECK(i < size_, "BitVector::Set out of range");
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    BSR_CHECK(i < size_, "BitVector::Clear out of range");
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Sets all bits to zero.
+  void Reset();
+
+  /// Number of set bits.
+  size_t Popcount() const;
+
+  /// True iff no bit is set.
+  bool None() const;
+
+  /// this &= other. Sizes must match.
+  void AndWith(const BitVector& other);
+  /// this |= other. Sizes must match.
+  void OrWith(const BitVector& other);
+
+  /// Popcount of (this & other) without materializing the intersection.
+  /// Sizes must match.
+  size_t AndPopcount(const BitVector& other) const;
+
+  /// True iff (this & other) has no set bit. Sizes must match.
+  bool AndIsZero(const BitVector& other) const;
+
+  /// True iff every set bit of this is also set in other (i.e. this is a
+  /// bitwise subset of other). Sizes must match.
+  bool IsSubsetOf(const BitVector& other) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> SetBits() const;
+  /// Indices of all unset bits, ascending.
+  std::vector<size_t> UnsetBits() const;
+
+  /// Calls fn(i) for every set bit i in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  /// Memory footprint of the payload in bytes (excludes the object header).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Direct word access for tests and hashing.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+/// Returns a & b (element-wise) as a new vector. Sizes must match.
+BitVector And(const BitVector& a, const BitVector& b);
+/// Returns a | b (element-wise) as a new vector. Sizes must match.
+BitVector Or(const BitVector& a, const BitVector& b);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_BITVECTOR_H_

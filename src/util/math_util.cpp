@@ -1,0 +1,94 @@
+#include "src/util/math_util.h"
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    const uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+namespace {
+
+/// a^e mod m via square-and-multiply.
+uint64_t PowMod(uint64_t a, uint64_t e, uint64_t m) {
+  uint64_t result = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) result = MulMod(result, a, m);
+    a = MulMod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    uint64_t x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < r; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrimeAtLeast(uint64_t n) {
+  if (n <= 2) return 2;
+  uint64_t candidate = n | 1;  // first odd >= n
+  for (;; candidate += 2) {
+    BSR_CHECK(candidate >= n, "NextPrimeAtLeast overflow");
+    if (IsPrime(candidate)) return candidate;
+  }
+}
+
+uint64_t ModInverse(uint64_t a, uint64_t mod) {
+  if (mod == 0) return 0;
+  a %= mod;
+  if (mod == 1) return 0;
+  // Extended Euclid on signed 128-bit accumulators; mod fits in 64 bits so
+  // the Bezout coefficients fit comfortably in 128.
+  __int128 t = 0, new_t = 1;
+  __int128 r = static_cast<__int128>(mod), new_r = static_cast<__int128>(a);
+  while (new_r != 0) {
+    const __int128 q = r / new_r;
+    const __int128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const __int128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) return 0;  // not invertible
+  if (t < 0) t += static_cast<__int128>(mod);
+  return static_cast<uint64_t>(t);
+}
+
+}  // namespace bloomsample

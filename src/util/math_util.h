@@ -1,0 +1,60 @@
+// Small numeric helpers shared across modules: integer logs, modular
+// arithmetic for the invertible "simple" hash family, and gcd-based
+// coprimality checks.
+#ifndef BLOOMSAMPLE_UTIL_MATH_UTIL_H_
+#define BLOOMSAMPLE_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace bloomsample {
+
+/// floor(log2(x)) for x >= 1.
+inline uint32_t FloorLog2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(__builtin_clzll(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline uint32_t CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+/// True iff x is a power of two (x >= 1).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x.
+inline uint64_t NextPowerOfTwo(uint64_t x) {
+  return x <= 1 ? 1 : (1ULL << CeilLog2(x));
+}
+
+/// ceil(a / b) for b > 0.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// (a * b) mod mod without overflow, via 128-bit intermediates.
+inline uint64_t MulMod(uint64_t a, uint64_t b, uint64_t mod) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % mod);
+}
+
+/// (a + b) mod mod; a, b must already be < mod.
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t mod) {
+  const uint64_t s = a + b;
+  return (s >= mod || s < a) ? s - mod : s;
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Deterministic Miller-Rabin for 64-bit integers (the 12-base certificate
+/// set {2, 3, 5, ..., 37} is exact below 3.3e24).
+bool IsPrime(uint64_t n);
+
+/// Smallest prime >= n (n <= 2^63 or so; aborts if the search would
+/// overflow, which cannot happen for realistic namespace sizes).
+uint64_t NextPrimeAtLeast(uint64_t n);
+
+/// Modular inverse of a modulo mod. Requires gcd(a, mod) == 1.
+/// Returns 0 if a is not invertible (callers treat that as an error).
+uint64_t ModInverse(uint64_t a, uint64_t mod);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_MATH_UTIL_H_

@@ -1,0 +1,66 @@
+// Operation accounting.
+//
+// The paper's primary efficiency metric (Figs 3, 4, 8, 9, 10) is the number
+// of Bloom-filter membership queries and Bloom-filter intersections an
+// algorithm performs, not wall-clock time. Every sampler/reconstructor in
+// this library accepts an optional OpCounters* and increments it at each
+// logical operation, so benchmarks can report exactly what the paper plots.
+#ifndef BLOOMSAMPLE_UTIL_OP_COUNTERS_H_
+#define BLOOMSAMPLE_UTIL_OP_COUNTERS_H_
+
+#include <cstdint>
+
+namespace bloomsample {
+
+struct OpCounters {
+  /// Membership queries issued against any Bloom filter.
+  uint64_t membership_queries = 0;
+  /// Bloom filter intersections (bitwise AND + cardinality estimate).
+  uint64_t intersections = 0;
+  /// Tree nodes visited (BST algorithms only).
+  uint64_t nodes_visited = 0;
+  /// Hash-bit inversions performed (HashInvert only).
+  uint64_t inversions = 0;
+  /// Top-level sampling requests that produced no sample (every descent
+  /// path died on false-positive overlaps, or the filter was empty).
+  uint64_t null_samples = 0;
+  /// Backtracking events during BSTSample descent.
+  uint64_t backtracks = 0;
+
+  void Reset() { *this = OpCounters{}; }
+
+  OpCounters& operator+=(const OpCounters& o) {
+    membership_queries += o.membership_queries;
+    intersections += o.intersections;
+    nodes_visited += o.nodes_visited;
+    inversions += o.inversions;
+    null_samples += o.null_samples;
+    backtracks += o.backtracks;
+    return *this;
+  }
+};
+
+/// Increment helpers that tolerate a null counter pointer, so hot paths can
+/// stay branch-light at call sites.
+inline void CountMembership(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->membership_queries += n;
+}
+inline void CountIntersection(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->intersections += n;
+}
+inline void CountNodeVisit(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->nodes_visited += n;
+}
+inline void CountInversion(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->inversions += n;
+}
+inline void CountNullSample(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->null_samples += n;
+}
+inline void CountBacktrack(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->backtracks += n;
+}
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_OP_COUNTERS_H_

@@ -1,0 +1,104 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in this library (samplers, workload generators,
+// benchmarks) take an explicit Rng so experiments are reproducible from a
+// single seed. The generator is xoshiro256**, seeded via SplitMix64, which is
+// the standard recommendation for initializing xoshiro state.
+#ifndef BLOOMSAMPLE_UTIL_RNG_H_
+#define BLOOMSAMPLE_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// SplitMix64 step: used for seeding and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Not cryptographic; excellent statistical quality and
+/// very fast, which matters because sampling experiments draw millions of
+/// variates.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+    // xoshiro must not start at the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  /// Uniform on [0, 2^64).
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform on [0, bound). bound must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    BSR_CHECK(bound > 0, "Rng::Below bound must be positive");
+    unsigned __int128 mul =
+        static_cast<unsigned __int128>(Next()) * bound;
+    auto low = static_cast<uint64_t>(mul);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        mul = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(mul);
+      }
+    }
+    return static_cast<uint64_t>(mul >> 64);
+  }
+
+  /// Uniform on [lo, hi) — half-open, hi > lo.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    BSR_CHECK(hi > lo, "Rng::Range requires hi > lo");
+    return lo + Below(hi - lo);
+  }
+
+  /// Uniform double on [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Derives an independent child generator; useful for giving each
+  /// benchmark repetition its own stream.
+  Rng Fork() { return Rng(Next()); }
+
+  // std::uniform_random_bit_generator interface, so Rng works with <random>
+  // and std::shuffle.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_RNG_H_

@@ -1,0 +1,135 @@
+// Lightweight Status / Result error types in the style of RocksDB's Status.
+//
+// Library code never throws across the public API boundary; fallible
+// operations return Status (or Result<T> when they also produce a value).
+// Internal invariant violations use BSR_CHECK, which aborts with a message:
+// they indicate a bug in this library, not a user error.
+#ifndef BLOOMSAMPLE_UTIL_STATUS_H_
+#define BLOOMSAMPLE_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bloomsample {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kUnsupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: m must be positive".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kOutOfRange: name = "OutOfRange"; break;
+      case Code::kUnsupported: name = "Unsupported"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value or an error. Minimal StatusOr analogue.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(runtime/explicit)
+    if (std::get<Status>(v_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  // Returns by VALUE on rvalues (moving out of the variant). Returning
+  // T&& here would dangle in the common `for (x : Func().value())`
+  // pattern: range-for binds a reference to the xvalue but the Result
+  // temporary is destroyed before the loop body runs (lifetime extension
+  // only applies to prvalues).
+  T value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> v_;
+};
+
+}  // namespace bloomsample
+
+/// Abort with a message when an internal invariant is violated.
+#define BSR_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "BSR_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, msg);                                          \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // BLOOMSAMPLE_UTIL_STATUS_H_

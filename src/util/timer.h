@@ -1,0 +1,30 @@
+// Wall-clock timing helper for benchmarks and cost calibration.
+#ifndef BLOOMSAMPLE_UTIL_TIMER_H_
+#define BLOOMSAMPLE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace bloomsample {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_TIMER_H_

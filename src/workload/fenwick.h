@@ -1,0 +1,108 @@
+// Fenwick (binary indexed) tree over doubles, used by the clustered
+// query-set generator to sample from an evolving pdf in O(log M) per draw.
+#ifndef BLOOMSAMPLE_WORKLOAD_FENWICK_H_
+#define BLOOMSAMPLE_WORKLOAD_FENWICK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class FenwickTree {
+ public:
+  /// Initializes n slots, each with weight `initial`.
+  explicit FenwickTree(size_t n, double initial = 0.0) : tree_(n + 1, 0.0) {
+    if (initial != 0.0) {
+      // O(n) bulk build: tree_[i] covers (i − lowbit(i), i].
+      for (size_t i = 1; i <= n; ++i) {
+        tree_[i] = initial * static_cast<double>(i & (~i + 1));
+      }
+    }
+  }
+
+  size_t size() const { return tree_.size() - 1; }
+
+  /// weight[i] += delta.
+  void Add(size_t i, double delta) {
+    BSR_CHECK(i < size(), "FenwickTree::Add out of range");
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of weights[0..i] inclusive.
+  double PrefixSum(size_t i) const {
+    BSR_CHECK(i < size(), "FenwickTree::PrefixSum out of range");
+    double sum = 0.0;
+    for (size_t j = i + 1; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  double Total() const { return size() == 0 ? 0.0 : PrefixSum(size() - 1); }
+
+  /// Point query: weight[i].
+  double Get(size_t i) const {
+    BSR_CHECK(i < size(), "FenwickTree::Get out of range");
+    double value = PrefixSum(i);
+    if (i > 0) value -= PrefixSum(i - 1);
+    return value;
+  }
+
+  /// Smallest index i with PrefixSum(i) > target (standard Fenwick
+  /// descend). target must satisfy 0 <= target < Total(); if floating-point
+  /// drift pushes the walk past the end, the last slot is returned.
+  size_t FindPrefix(double target) const {
+    size_t pos = 0;
+    size_t mask = 1;
+    while (mask * 2 <= size()) mask *= 2;
+    double remaining = target;
+    while (mask > 0) {
+      const size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= remaining) {
+        remaining -= tree_[next];
+        pos = next;
+      }
+      mask /= 2;
+    }
+    return pos < size() ? pos : size() - 1;
+  }
+
+  /// Recovers the raw weight array in O(n): each internal node subtracts
+  /// its direct children, and every (parent, child) pair is touched once.
+  std::vector<double> ExtractValues() const {
+    std::vector<double> values(tree_.begin(), tree_.end());  // 1-indexed copy
+    const size_t n = size();
+    for (size_t i = n; i >= 1; --i) {
+      const size_t low = i & (~i + 1);
+      for (size_t j = i - 1; j > i - low; j -= j & (~j + 1)) {
+        values[i] -= values[j];
+      }
+    }
+    values.erase(values.begin());  // drop the unused slot 0
+    return values;
+  }
+
+  /// O(n) bulk construction from a raw weight array.
+  static FenwickTree FromValues(const std::vector<double>& values) {
+    FenwickTree tree(values.size());
+    std::vector<double> prefix(values.size() + 1, 0.0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      prefix[i + 1] = prefix[i] + values[i];
+    }
+    for (size_t i = 1; i <= values.size(); ++i) {
+      const size_t low = i & (~i + 1);
+      tree.tree_[i] = prefix[i] - prefix[i - low];
+    }
+    return tree;
+  }
+
+ private:
+  std::vector<double> tree_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_WORKLOAD_FENWICK_H_

@@ -1,0 +1,78 @@
+#include "src/workload/namespace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/math_util.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+
+Result<std::vector<IdRange>> SelectLeafRanges(uint64_t namespace_size,
+                                              uint64_t leaf_count,
+                                              double fraction,
+                                              SelectionMode mode, Rng* rng) {
+  if (leaf_count == 0 || leaf_count > namespace_size) {
+    return Status::InvalidArgument("leaf_count must be in [1, M]");
+  }
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  const uint64_t want = std::min<uint64_t>(
+      leaf_count,
+      static_cast<uint64_t>(
+          std::ceil(fraction * static_cast<double>(leaf_count))));
+
+  // Pick leaf indices with the query-set machinery: uniform subset or the
+  // clustered pdf-splitting process over [0, leaf_count).
+  Result<std::vector<uint64_t>> picked =
+      mode == SelectionMode::kUniform
+          ? GenerateUniformSet(leaf_count, want, rng)
+          : GenerateClusteredSet(leaf_count, want, rng);
+  if (!picked.ok()) return picked.status();
+
+  const uint64_t width = CeilDiv(namespace_size, leaf_count);
+  std::vector<IdRange> ranges;
+  ranges.reserve(picked.value().size());
+  for (uint64_t leaf : picked.value()) {
+    IdRange range;
+    range.lo = std::min(leaf * width, namespace_size);
+    range.hi = std::min(range.lo + width, namespace_size);
+    if (range.Width() > 0) ranges.push_back(range);
+  }
+  return ranges;
+}
+
+uint64_t TotalWidth(const std::vector<IdRange>& ranges) {
+  uint64_t total = 0;
+  for (const IdRange& range : ranges) total += range.Width();
+  return total;
+}
+
+Result<std::vector<uint64_t>> DrawOccupiedIds(
+    const std::vector<IdRange>& ranges, uint64_t count, Rng* rng) {
+  const uint64_t total = TotalWidth(ranges);
+  if (count > total) {
+    return Status::InvalidArgument(
+        "cannot draw more ids than the selected ranges contain");
+  }
+  // Sample positions in the flattened [0, total) space, then translate.
+  Result<std::vector<uint64_t>> flat = GenerateUniformSet(total, count, rng);
+  if (!flat.ok()) return flat.status();
+
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  size_t range_index = 0;
+  uint64_t consumed = 0;  // flattened width of ranges before range_index
+  for (uint64_t position : flat.value()) {  // ascending
+    while (position - consumed >= ranges[range_index].Width()) {
+      consumed += ranges[range_index].Width();
+      ++range_index;
+    }
+    out.push_back(ranges[range_index].lo + (position - consumed));
+  }
+  return out;  // ascending because ranges are sorted and positions ascend
+}
+
+}  // namespace bloomsample

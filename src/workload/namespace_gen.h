@@ -1,0 +1,46 @@
+// Low-occupancy namespace construction (Section 8.1).
+//
+// The paper carves the 2.2-billion-wide Twitter id space into `leaf_count`
+// equal ranges (256 in their hypothetical tree) and realizes a namespace
+// fraction f by selecting ceil(f · leaf_count) of those ranges, either
+// uniformly at random or in a clustered fashion (reusing the same
+// pdf-splitting process that clusters query sets, but over leaf indices).
+// The occupied namespace M′ is then drawn from the selected ranges.
+#ifndef BLOOMSAMPLE_WORKLOAD_NAMESPACE_GEN_H_
+#define BLOOMSAMPLE_WORKLOAD_NAMESPACE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+struct IdRange {
+  uint64_t lo = 0;  ///< inclusive
+  uint64_t hi = 0;  ///< exclusive
+  uint64_t Width() const { return hi - lo; }
+};
+
+enum class SelectionMode { kUniform, kClustered };
+
+/// Selects ceil(fraction · leaf_count) of the leaf_count equal-width
+/// ranges of [0, namespace_size), sorted by lo. fraction in (0, 1];
+/// leaf_count <= namespace_size.
+Result<std::vector<IdRange>> SelectLeafRanges(uint64_t namespace_size,
+                                              uint64_t leaf_count,
+                                              double fraction,
+                                              SelectionMode mode, Rng* rng);
+
+/// Draws `count` distinct occupied ids spread uniformly over the selected
+/// ranges, sorted ascending. Requires count <= total width of the ranges.
+Result<std::vector<uint64_t>> DrawOccupiedIds(
+    const std::vector<IdRange>& ranges, uint64_t count, Rng* rng);
+
+/// Sum of range widths.
+uint64_t TotalWidth(const std::vector<IdRange>& ranges);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_WORKLOAD_NAMESPACE_GEN_H_

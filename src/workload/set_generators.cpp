@@ -1,0 +1,189 @@
+#include "src/workload/set_generators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/workload/fenwick.h"
+
+namespace bloomsample {
+
+Result<std::vector<uint64_t>> GenerateUniformSet(uint64_t namespace_size,
+                                                 uint64_t n, Rng* rng) {
+  if (n > namespace_size) {
+    return Status::InvalidArgument("cannot draw more ids than the namespace");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  if (n * 2 >= namespace_size) {
+    // Dense request: partial Fisher-Yates over the explicit namespace.
+    std::vector<uint64_t> all(namespace_size);
+    for (uint64_t i = 0; i < namespace_size; ++i) all[i] = i;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t j = i + rng->Below(namespace_size - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    // Sparse request: rejection sampling into a hash set.
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(static_cast<size_t>(n) * 2);
+    while (out.size() < n) {
+      const uint64_t x = rng->Below(namespace_size);
+      if (seen.insert(x).second) out.push_back(x);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Path-compressed skip pointers over exhausted (zero-pdf) elements.
+/// FindRight(i) returns the smallest j >= i that is not exhausted (or M);
+/// FindLeft(i) the largest j <= i not exhausted (or -1).
+class NeighborFinder {
+ public:
+  explicit NeighborFinder(uint64_t namespace_size)
+      : namespace_size_(namespace_size) {}
+
+  void MarkExhausted(uint64_t i) {
+    right_[i] = i + 1;
+    left_[i] = static_cast<int64_t>(i) - 1;
+  }
+
+  uint64_t FindRight(uint64_t i) {
+    // Iterative path compression: follow the chain, then repoint.
+    uint64_t cursor = i;
+    std::vector<uint64_t> path;
+    while (cursor < namespace_size_) {
+      const auto it = right_.find(cursor);
+      if (it == right_.end()) break;
+      path.push_back(cursor);
+      cursor = it->second;
+    }
+    for (uint64_t p : path) right_[p] = cursor;
+    return cursor;
+  }
+
+  int64_t FindLeft(int64_t i) {
+    int64_t cursor = i;
+    std::vector<int64_t> path;
+    while (cursor >= 0) {
+      const auto it = left_.find(static_cast<uint64_t>(cursor));
+      if (it == left_.end()) break;
+      path.push_back(cursor);
+      cursor = it->second;
+    }
+    for (int64_t p : path) left_[static_cast<uint64_t>(p)] = cursor;
+    return cursor;
+  }
+
+ private:
+  uint64_t namespace_size_;
+  std::unordered_map<uint64_t, uint64_t> right_;
+  std::unordered_map<uint64_t, int64_t> left_;
+};
+
+}  // namespace
+
+Result<std::vector<uint64_t>> GenerateClusteredSet(uint64_t namespace_size,
+                                                   uint64_t n, Rng* rng,
+                                                   double tax) {
+  if (n > namespace_size) {
+    return Status::InvalidArgument("cannot draw more ids than the namespace");
+  }
+  if (tax < 0.0 || tax >= 1.0) {
+    return Status::InvalidArgument("tax must be in [0, 1)");
+  }
+  const size_t size = static_cast<size_t>(namespace_size);
+
+  // Actual pdf weight of slot i is multiplier * fenwick.Get(i). The tax
+  // scales every weight by (1 - tax) per draw; we fold that into the
+  // multiplier and renormalize before it underflows.
+  FenwickTree pdf(size, 1.0);
+  double multiplier = 1.0;
+  NeighborFinder neighbors(namespace_size);
+
+  std::vector<uint64_t> out;
+  out.reserve(n);
+
+  const auto renormalize_if_needed = [&]() {
+    if (multiplier > 1e-140 && multiplier < 1e140) return;
+    std::vector<double> values = pdf.ExtractValues();
+    for (double& w : values) w *= multiplier;
+    pdf = FenwickTree::FromValues(values);
+    multiplier = 1.0;
+  };
+
+  while (out.size() < n) {
+    renormalize_if_needed();
+    const double total = pdf.Total();
+    if (!(total > 0.0)) {
+      return Status::Internal("clustered pdf exhausted prematurely");
+    }
+    const uint64_t s =
+        static_cast<uint64_t>(pdf.FindPrefix(rng->NextDouble() * total));
+    const double mass_s = pdf.Get(s);
+    if (!(mass_s > 0.0)) continue;  // boundary rounding hit a dead slot
+    out.push_back(s);
+
+    // Remove s's mass and find the nonzero flanks.
+    pdf.Add(s, -mass_s);
+    neighbors.MarkExhausted(s);
+    const uint64_t right = neighbors.FindRight(s + 1);
+    const int64_t left = s == 0 ? -1 : neighbors.FindLeft(
+                                           static_cast<int64_t>(s) - 1);
+
+    // Pool: s's own mass plus the p% tax on everything else, all in
+    // *base* units (the multiplier change is applied afterwards).
+    double pool = mass_s;
+    if (tax > 0.0) {
+      const double rest = pdf.Total();  // base units, s already removed
+      pool += rest * tax;
+      // Scaling every remaining weight by (1 - tax) is a multiplier
+      // update; base values are untouched, so the pool must be expressed
+      // in post-scaling base units.
+      multiplier *= (1.0 - tax);
+      pool /= (1.0 - tax);
+    }
+
+    const bool has_left = left >= 0;
+    const bool has_right = right < namespace_size;
+    if (has_left && has_right) {
+      pdf.Add(static_cast<size_t>(left), pool / 2.0);
+      pdf.Add(static_cast<size_t>(right), pool / 2.0);
+    } else if (has_left) {
+      pdf.Add(static_cast<size_t>(left), pool);
+    } else if (has_right) {
+      pdf.Add(static_cast<size_t>(right), pool);
+    }
+    // If neither flank exists every element has been drawn; the loop ends
+    // because out.size() == n == namespace_size.
+  }
+
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double MedianAdjacentGap(const std::vector<uint64_t>& sorted_ids) {
+  if (sorted_ids.size() < 2) return 0.0;
+  std::vector<uint64_t> gaps;
+  gaps.reserve(sorted_ids.size() - 1);
+  for (size_t i = 1; i < sorted_ids.size(); ++i) {
+    gaps.push_back(sorted_ids[i] - sorted_ids[i - 1]);
+  }
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  return static_cast<double>(gaps[gaps.size() / 2]);
+}
+
+double MeanAdjacentGap(const std::vector<uint64_t>& sorted_ids) {
+  if (sorted_ids.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 1; i < sorted_ids.size(); ++i) {
+    sum += static_cast<double>(sorted_ids[i] - sorted_ids[i - 1]);
+  }
+  return sum / static_cast<double>(sorted_ids.size() - 1);
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,52 @@
+// Query-set generators (Section 7.1).
+//
+// Uniform sets: n distinct ids drawn uniformly from [0, M).
+//
+// Clustered sets reproduce the paper's pdf-splitting process, modelled on
+// web-graph adjacency lists whose ids cluster around a few hubs: start
+// from the uniform pdf; after drawing s, find its nearest nonzero
+// neighbours x < s < y, zero pdf(s) and split its mass equally between x
+// and y. The "aggressive" variant additionally taxes every element p% per
+// draw and gives the pooled mass to x and y; the paper uses p = 10%.
+// Repeated draws therefore pile probability onto the flanks of previously
+// drawn elements, producing contiguous clusters.
+//
+// Implementation: Fenwick tree over the pdf (O(log M) draw/update), a lazy
+// global multiplier for the p% tax (renormalized before it underflows),
+// and path-compressed skip maps to find nonzero neighbours across runs of
+// exhausted elements in amortized near-constant time.
+#ifndef BLOOMSAMPLE_WORKLOAD_SET_GENERATORS_H_
+#define BLOOMSAMPLE_WORKLOAD_SET_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// n distinct ids uniform on [0, M), sorted ascending. Requires n <= M.
+Result<std::vector<uint64_t>> GenerateUniformSet(uint64_t namespace_size,
+                                                 uint64_t n, Rng* rng);
+
+/// n distinct ids from the clustered process, sorted ascending.
+/// `tax` is the paper's p (fraction in [0, 1)); 0 gives the basic split,
+/// 0.10 the paper's default. Requires n <= M.
+Result<std::vector<uint64_t>> GenerateClusteredSet(uint64_t namespace_size,
+                                                   uint64_t n, Rng* rng,
+                                                   double tax = 0.10);
+
+/// Mean gap between consecutive (sorted) ids. NOTE: this is ≈ span/n for
+/// any set whose clusters spread across the namespace (inter-cluster gaps
+/// dominate the sum), so it measures SPAN, not clustering.
+double MeanAdjacentGap(const std::vector<uint64_t>& sorted_ids);
+
+/// Median gap between consecutive (sorted) ids — the clustering
+/// diagnostic: uniform sets have median gap ≈ 0.69·M/n, clustered sets
+/// have median gap ≈ 1 (most neighbours are contiguous).
+double MedianAdjacentGap(const std::vector<uint64_t>& sorted_ids);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_WORKLOAD_SET_GENERATORS_H_

@@ -1,0 +1,91 @@
+#include "src/workload/twitter_synth.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/workload/zipf.h"
+
+namespace bloomsample {
+
+Result<TwitterCrawl> GenerateTwitterCrawl(const TwitterCrawlConfig& config) {
+  if (config.num_users == 0 || config.num_hashtags == 0) {
+    return Status::InvalidArgument("crawl needs users and hashtags");
+  }
+  if (config.num_users > config.namespace_size) {
+    return Status::InvalidArgument("more users than ids in the namespace");
+  }
+  Rng rng(config.seed);
+
+  // 1. Occupied namespace: users live in a clustered subset of the leaf
+  //    ranges, mimicking sequential id allocation.
+  Result<std::vector<IdRange>> ranges = SelectLeafRanges(
+      config.namespace_size, config.leaf_count, config.user_cluster_fraction,
+      SelectionMode::kClustered, &rng);
+  if (!ranges.ok()) return ranges.status();
+  if (TotalWidth(ranges.value()) < config.num_users) {
+    return Status::InvalidArgument(
+        "user_cluster_fraction too small to hold num_users ids");
+  }
+  Result<std::vector<uint64_t>> users =
+      DrawOccupiedIds(ranges.value(), config.num_users, &rng);
+  if (!users.ok()) return users.status();
+
+  TwitterCrawl crawl;
+  crawl.config = config;
+  crawl.user_ids = std::move(users).value();
+
+  // 2. Tweets: user activity and hashtag popularity are both Zipf.
+  ZipfSampler user_activity(config.num_users, config.user_zipf_s);
+  ZipfSampler hashtag_popularity(config.num_hashtags, config.hashtag_zipf_s);
+
+  std::vector<std::unordered_set<uint64_t>> tag_user_sets(
+      config.num_hashtags);
+  for (uint64_t t = 0; t < config.num_tweets; ++t) {
+    const uint64_t user_rank = user_activity.Sample(&rng);
+    const uint64_t tag = hashtag_popularity.Sample(&rng);
+    tag_user_sets[tag].insert(crawl.user_ids[user_rank]);
+  }
+
+  // 3. Keep hashtags with enough distinct users (the paper keeps hashtags
+  //    with >= 1000 occurrences); sort each set.
+  for (auto& user_set : tag_user_sets) {
+    if (user_set.size() < config.min_hashtag_users) continue;
+    std::vector<uint64_t> sorted(user_set.begin(), user_set.end());
+    std::sort(sorted.begin(), sorted.end());
+    crawl.hashtag_users.push_back(std::move(sorted));
+  }
+  if (crawl.hashtag_users.empty()) {
+    return Status::Internal(
+        "no hashtag reached min_hashtag_users; increase num_tweets");
+  }
+  return crawl;
+}
+
+TwitterCrawl TwitterCrawl::RestrictTo(
+    const std::vector<IdRange>& ranges) const {
+  const auto inside = [&ranges](uint64_t id) {
+    // ranges are sorted by lo; binary search for the candidate range.
+    auto it = std::upper_bound(
+        ranges.begin(), ranges.end(), id,
+        [](uint64_t value, const IdRange& range) { return value < range.lo; });
+    if (it == ranges.begin()) return false;
+    --it;
+    return id >= it->lo && id < it->hi;
+  };
+
+  TwitterCrawl restricted;
+  restricted.config = config;
+  for (uint64_t id : user_ids) {
+    if (inside(id)) restricted.user_ids.push_back(id);
+  }
+  for (const auto& users : hashtag_users) {
+    std::vector<uint64_t> kept;
+    for (uint64_t id : users) {
+      if (inside(id)) kept.push_back(id);
+    }
+    if (!kept.empty()) restricted.hashtag_users.push_back(std::move(kept));
+  }
+  return restricted;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,62 @@
+// Synthetic stand-in for the paper's 34-day Twitter crawl (Section 8.1).
+//
+// The real dataset — 144M tweets, 7.2M distinct user ids scattered over a
+// ~2.2B id namespace, 24K hashtags with ≥1000 occurrences — is not
+// available, so we synthesize a crawl with the same statistical shape
+// (DESIGN.md §5):
+//   * user ids clustered across leaf ranges of a huge namespace (real
+//     Twitter ids are allocated roughly sequentially, so active crawls see
+//     dense runs);
+//   * hashtag popularity and user activity both Zipf-distributed;
+//   * per-hashtag user sets (the query sets) emerge from simulated tweets.
+//
+// Scale knobs default to laptop-quick values; the benchmarks raise them
+// under BSR_BENCH_FULL=1.
+#ifndef BLOOMSAMPLE_WORKLOAD_TWITTER_SYNTH_H_
+#define BLOOMSAMPLE_WORKLOAD_TWITTER_SYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/workload/namespace_gen.h"
+
+namespace bloomsample {
+
+struct TwitterCrawlConfig {
+  uint64_t namespace_size = 1ULL << 28;  ///< id space (paper: ~2.2e9)
+  uint64_t num_users = 200'000;          ///< distinct users (paper: 7.2e6)
+  uint64_t num_hashtags = 2'000;         ///< distinct hashtags (paper: 24e3)
+  uint64_t num_tweets = 2'000'000;       ///< (user, hashtag) events
+  uint64_t leaf_count = 256;             ///< ranges for occupancy (paper: 256)
+  double user_cluster_fraction = 0.35;   ///< fraction of leaves users occupy
+  double hashtag_zipf_s = 1.05;          ///< popularity skew
+  double user_zipf_s = 1.05;             ///< activity skew
+  uint64_t min_hashtag_users = 10;       ///< keep hashtags with >= this many
+                                         ///< distinct users (paper: >=1000
+                                         ///< occurrences at full scale)
+  uint64_t seed = 20170313;
+};
+
+struct TwitterCrawl {
+  TwitterCrawlConfig config;
+  /// All distinct user ids, sorted — the occupied namespace M′.
+  std::vector<uint64_t> user_ids;
+  /// Query sets: per retained hashtag, the sorted distinct user ids that
+  /// tweeted it.
+  std::vector<std::vector<uint64_t>> hashtag_users;
+
+  /// Restricts the crawl to ids inside `ranges` (the paper's
+  /// namespace-fraction experiments ignore out-of-fraction ids):
+  /// returns the surviving user ids and per-hashtag sets (hashtags that
+  /// lose all users are dropped).
+  TwitterCrawl RestrictTo(const std::vector<IdRange>& ranges) const;
+};
+
+/// Simulates the crawl. Costs O(num_tweets log·) time.
+Result<TwitterCrawl> GenerateTwitterCrawl(const TwitterCrawlConfig& config);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_WORKLOAD_TWITTER_SYNTH_H_

@@ -1,0 +1,33 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloomsample {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : s_(s) {
+  BSR_CHECK(n >= 1, "ZipfSampler needs n >= 1");
+  BSR_CHECK(s >= 0.0, "ZipfSampler needs s >= 0");
+  cdf_.resize(n);
+  double cumulative = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    cumulative += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = cumulative;
+  }
+  const double total = cumulative;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // close the CDF exactly despite rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t rank) const {
+  BSR_CHECK(rank < cdf_.size(), "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,41 @@
+// Zipf-distributed sampler over ranks {0, …, n−1}:
+// P(rank = r) ∝ 1 / (r + 1)^s.
+//
+// Used by the synthetic Twitter crawl: hashtag popularity and user
+// activity in social streams are the canonical Zipf-like workloads.
+// Implementation precomputes the CDF once (O(n)) and samples by binary
+// search (O(log n)); n here is at most a few hundred thousand, so the
+// table approach beats rejection-inversion in both simplicity and speed.
+#ifndef BLOOMSAMPLE_WORKLOAD_ZIPF_H_
+#define BLOOMSAMPLE_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class ZipfSampler {
+ public:
+  /// n >= 1 ranks, exponent s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// A rank in [0, n), skewed toward 0.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Exact probability of a rank (for tests).
+  double Probability(uint64_t rank) const;
+
+  uint64_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_WORKLOAD_ZIPF_H_

@@ -1,0 +1,180 @@
+#include "src/util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.Popcount(), 0u);
+  EXPECT_TRUE(bits.None());
+  for (size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.Get(i));
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Get(0));
+  EXPECT_TRUE(bits.Get(63));
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_TRUE(bits.Get(99));
+  EXPECT_FALSE(bits.Get(1));
+  EXPECT_EQ(bits.Popcount(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Get(63));
+  EXPECT_EQ(bits.Popcount(), 3u);
+}
+
+TEST(BitVectorTest, ResetClearsEverything) {
+  BitVector bits(70);
+  bits.Set(5);
+  bits.Set(69);
+  bits.Reset();
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(BitVectorTest, WordCountRoundsUp) {
+  EXPECT_EQ(BitVector(1).word_count(), 1u);
+  EXPECT_EQ(BitVector(64).word_count(), 1u);
+  EXPECT_EQ(BitVector(65).word_count(), 2u);
+  EXPECT_EQ(BitVector(128).word_count(), 2u);
+}
+
+TEST(BitVectorTest, AndWith) {
+  BitVector a(128);
+  BitVector b(128);
+  a.Set(3);
+  a.Set(100);
+  a.Set(127);
+  b.Set(100);
+  b.Set(127);
+  b.Set(50);
+  a.AndWith(b);
+  EXPECT_FALSE(a.Get(3));
+  EXPECT_TRUE(a.Get(100));
+  EXPECT_TRUE(a.Get(127));
+  EXPECT_FALSE(a.Get(50));
+  EXPECT_EQ(a.Popcount(), 2u);
+}
+
+TEST(BitVectorTest, OrWith) {
+  BitVector a(128);
+  BitVector b(128);
+  a.Set(3);
+  b.Set(100);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(3));
+  EXPECT_TRUE(a.Get(100));
+  EXPECT_EQ(a.Popcount(), 2u);
+}
+
+TEST(BitVectorTest, AndPopcountMatchesMaterializedAnd) {
+  Rng rng(7);
+  BitVector a(513);
+  BitVector b(513);
+  for (int i = 0; i < 200; ++i) {
+    a.Set(rng.Below(513));
+    b.Set(rng.Below(513));
+  }
+  EXPECT_EQ(a.AndPopcount(b), And(a, b).Popcount());
+}
+
+TEST(BitVectorTest, AndIsZero) {
+  BitVector a(200);
+  BitVector b(200);
+  a.Set(10);
+  b.Set(11);
+  EXPECT_TRUE(a.AndIsZero(b));
+  b.Set(10);
+  EXPECT_FALSE(a.AndIsZero(b));
+}
+
+TEST(BitVectorTest, IsSubsetOf) {
+  BitVector small(96);
+  BitVector big(96);
+  small.Set(1);
+  small.Set(64);
+  big.Set(1);
+  big.Set(64);
+  big.Set(95);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(BitVectorTest, SetBitsRoundTrip) {
+  BitVector bits(300);
+  const std::vector<size_t> expected = {0, 1, 63, 64, 65, 128, 299};
+  for (size_t i : expected) bits.Set(i);
+  EXPECT_EQ(bits.SetBits(), expected);
+}
+
+TEST(BitVectorTest, UnsetBitsComplementsSetBits) {
+  BitVector bits(70);
+  bits.Set(0);
+  bits.Set(69);
+  const auto unset = bits.UnsetBits();
+  EXPECT_EQ(unset.size(), 68u);
+  EXPECT_EQ(unset.front(), 1u);
+  EXPECT_EQ(unset.back(), 68u);
+}
+
+TEST(BitVectorTest, ForEachSetBitVisitsAscending) {
+  BitVector bits(256);
+  bits.Set(200);
+  bits.Set(2);
+  bits.Set(64);
+  std::vector<size_t> visited;
+  bits.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<size_t>{2, 64, 200}));
+}
+
+TEST(BitVectorTest, EqualityComparesContent) {
+  BitVector a(100);
+  BitVector b(100);
+  EXPECT_EQ(a, b);
+  a.Set(42);
+  EXPECT_NE(a, b);
+  b.Set(42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, BitVector(101));
+}
+
+TEST(BitVectorTest, FreeFunctionsDoNotMutateInputs) {
+  BitVector a(64);
+  BitVector b(64);
+  a.Set(1);
+  b.Set(2);
+  const BitVector both = Or(a, b);
+  const BitVector neither = And(a, b);
+  EXPECT_EQ(both.Popcount(), 2u);
+  EXPECT_TRUE(neither.None());
+  EXPECT_EQ(a.Popcount(), 1u);
+  EXPECT_EQ(b.Popcount(), 1u);
+}
+
+TEST(BitVectorTest, MemoryBytesTracksWords) {
+  EXPECT_EQ(BitVector(64).MemoryBytes(), 8u);
+  EXPECT_EQ(BitVector(65).MemoryBytes(), 16u);
+  EXPECT_EQ(BitVector(1000).MemoryBytes(), 16u * 8u);
+}
+
+TEST(BitVectorDeathTest, OutOfRangeAborts) {
+  BitVector bits(10);
+  EXPECT_DEATH(bits.Get(10), "out of range");
+  EXPECT_DEATH(bits.Set(10), "out of range");
+  BitVector other(11);
+  EXPECT_DEATH(bits.AndWith(other), "size mismatch");
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,191 @@
+#include "src/bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(uint64_t m = 10000, size_t k = 3,
+                                         uint64_t seed = 42,
+                                         uint64_t universe = 1000000) {
+  return MakeHashFamily(HashFamilyKind::kSimple, k, m, seed, universe).value();
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothingSpecial) {
+  BloomFilter filter(Family());
+  EXPECT_TRUE(filter.IsEmpty());
+  EXPECT_EQ(filter.SetBitCount(), 0u);
+  for (uint64_t x = 0; x < 100; ++x) EXPECT_FALSE(filter.Contains(x));
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(Family());
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.Below(1000000));
+  for (uint64_t key : keys) filter.Insert(key);
+  for (uint64_t key : keys) {
+    EXPECT_TRUE(filter.Contains(key)) << key;  // the defining invariant
+  }
+}
+
+TEST(BloomFilterTest, InsertSetsAtMostKBits) {
+  BloomFilter filter(Family(100000, 3));
+  filter.Insert(7);
+  EXPECT_LE(filter.SetBitCount(), 3u);
+  EXPECT_GE(filter.SetBitCount(), 1u);
+  EXPECT_FALSE(filter.IsEmpty());
+}
+
+TEST(BloomFilterTest, InsertRangeCoversEveryElement) {
+  BloomFilter filter(Family());
+  filter.InsertRange(100, 200);
+  for (uint64_t x = 100; x < 200; ++x) EXPECT_TRUE(filter.Contains(x));
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+  const uint64_t m = 10000;
+  const uint64_t n = 700;
+  BloomFilter filter(Family(m, 3, 5));
+  Rng rng(2);
+  const auto members = GenerateUniformSet(500000, n, &rng).value();
+  for (uint64_t x : members) filter.Insert(x);
+
+  int false_positives = 0;
+  const int probes = 50000;
+  for (int i = 0; i < probes; ++i) {
+    const uint64_t y = 500000 + rng.Below(500000);  // disjoint from members
+    false_positives += filter.Contains(y);
+  }
+  const double measured = static_cast<double>(false_positives) / probes;
+  // (1 − e^{−kn/m})^k = (1 − e^{−0.21})^3 ≈ 0.0068
+  EXPECT_NEAR(measured, 0.0068, 0.004);
+}
+
+TEST(BloomFilterTest, UnionIsExactlyBitwiseOr) {
+  auto family = Family();
+  BloomFilter a(family);
+  BloomFilter b(family);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    a.Insert(rng.Below(1000000));
+    b.Insert(rng.Below(1000000));
+  }
+  const BloomFilter u = UnionOf(a, b);
+  EXPECT_EQ(u.bits(), Or(a.bits(), b.bits()));
+}
+
+TEST(BloomFilterTest, UnionEqualsFilterOfUnionedSets) {
+  // The identity the tree build relies on: B(A ∪ B) == B(A) | B(B) when
+  // parameters are shared — bit-exact, not just approximate.
+  auto family = Family();
+  Rng rng(4);
+  std::vector<uint64_t> set_a;
+  std::vector<uint64_t> set_b;
+  for (int i = 0; i < 300; ++i) set_a.push_back(rng.Below(1000000));
+  for (int i = 0; i < 300; ++i) set_b.push_back(rng.Below(1000000));
+
+  BloomFilter a = MakeFilter(family, set_a);
+  const BloomFilter b = MakeFilter(family, set_b);
+  std::vector<uint64_t> both = set_a;
+  both.insert(both.end(), set_b.begin(), set_b.end());
+  const BloomFilter combined = MakeFilter(family, both);
+
+  a.UnionWith(b);
+  EXPECT_EQ(a, combined);
+}
+
+TEST(BloomFilterTest, IntersectionContainsSharedElements) {
+  auto family = Family();
+  BloomFilter a(family);
+  BloomFilter b(family);
+  const std::vector<uint64_t> shared = {10, 20, 30, 40};
+  for (uint64_t x : shared) {
+    a.Insert(x);
+    b.Insert(x);
+  }
+  a.Insert(111);
+  b.Insert(222);
+  const BloomFilter inter = IntersectionOf(a, b);
+  // Shared elements always survive intersection (their bits are set in
+  // both filters).
+  for (uint64_t x : shared) EXPECT_TRUE(inter.Contains(x));
+}
+
+TEST(BloomFilterTest, AndPopcountMatchesMaterialized) {
+  auto family = Family();
+  BloomFilter a(family);
+  BloomFilter b(family);
+  Rng rng(6);
+  for (int i = 0; i < 400; ++i) {
+    a.Insert(rng.Below(1000000));
+    b.Insert(rng.Below(1000000));
+  }
+  EXPECT_EQ(a.AndPopcount(b), IntersectionOf(a, b).SetBitCount());
+  EXPECT_EQ(a.AndIsZero(b), a.AndPopcount(b) == 0);
+}
+
+TEST(BloomFilterTest, ClearRestoresEmptySet) {
+  BloomFilter filter(Family());
+  filter.Insert(5);
+  filter.Clear();
+  EXPECT_TRUE(filter.IsEmpty());
+  EXPECT_EQ(filter.SetBitCount(), 0u);
+}
+
+TEST(BloomFilterTest, FillFraction) {
+  BloomFilter filter(Family(1000, 1, 42, 100000));
+  EXPECT_DOUBLE_EQ(filter.FillFraction(), 0.0);
+  filter.Insert(1);
+  EXPECT_DOUBLE_EQ(filter.FillFraction(), 1.0 / 1000.0);
+}
+
+TEST(BloomFilterTest, CompatibilityIsSharedFamilyIdentity) {
+  auto family = Family();
+  BloomFilter a(family);
+  BloomFilter b(family);
+  EXPECT_TRUE(a.CompatibleWith(b));
+  // Same parameters but a different family object: NOT compatible (the
+  // coefficients differ even if (m, k, seed) printed the same).
+  BloomFilter c(Family());
+  EXPECT_FALSE(a.CompatibleWith(c));
+}
+
+TEST(BloomFilterTest, CopySemantics) {
+  auto family = Family();
+  BloomFilter a(family);
+  a.Insert(77);
+  BloomFilter copy = a;
+  copy.Insert(88);
+  EXPECT_TRUE(copy.Contains(77));
+  EXPECT_TRUE(a.Contains(77));
+  EXPECT_FALSE(a.Contains(88) && a.SetBitCount() == copy.SetBitCount());
+}
+
+TEST(BloomFilterTest, WorksWithAllFamilies) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    auto family = MakeHashFamily(kind, 3, 5000, 42, 100000).value();
+    BloomFilter filter(family);
+    for (uint64_t x = 0; x < 100; ++x) filter.Insert(x * 31);
+    for (uint64_t x = 0; x < 100; ++x) {
+      EXPECT_TRUE(filter.Contains(x * 31)) << HashFamilyKindName(kind);
+    }
+  }
+}
+
+TEST(BloomFilterDeathTest, IncompatibleOperationsAbort) {
+  BloomFilter a(Family());
+  BloomFilter b(Family(20000));
+  EXPECT_DEATH(a.UnionWith(b), "incompatible");
+  EXPECT_DEATH(a.IntersectWith(b), "incompatible");
+  EXPECT_DEATH((void)a.AndPopcount(b), "incompatible");
+}
+
+}  // namespace
+}  // namespace bloomsample

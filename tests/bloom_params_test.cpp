@@ -1,0 +1,118 @@
+#include "src/bloom/bloom_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bloomsample {
+namespace {
+
+TEST(BloomParamsTest, FalsePositiveRateBasics) {
+  EXPECT_DOUBLE_EQ(BloomFalsePositiveRate(1000, 0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(BloomFalsePositiveRate(0, 10, 3), 1.0);
+  // Monotone: more elements -> higher FP; more bits -> lower FP.
+  EXPECT_LT(BloomFalsePositiveRate(10000, 100, 3),
+            BloomFalsePositiveRate(10000, 1000, 3));
+  EXPECT_GT(BloomFalsePositiveRate(5000, 500, 3),
+            BloomFalsePositiveRate(50000, 500, 3));
+}
+
+TEST(BloomParamsTest, FalsePositiveRateKnownValue) {
+  // kn/m = 0.3 -> (1 − e^{−0.3})^3 ≈ 0.01742
+  EXPECT_NEAR(BloomFalsePositiveRate(10000, 1000, 3), 0.01742, 1e-4);
+}
+
+TEST(BloomParamsTest, AccuracyFormula) {
+  // acc = n / (n + (M−n)·FP).
+  const double fp = BloomFalsePositiveRate(10000, 1000, 3);
+  const double expected = 1000.0 / (1000.0 + (100000.0 - 1000.0) * fp);
+  EXPECT_NEAR(SamplingAccuracy(10000, 1000, 3, 100000), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(SamplingAccuracy(10000, 0, 3, 100000), 0.0);
+}
+
+TEST(BloomParamsTest, FalseSetOverlapMatchesEquationOne) {
+  // Eq 1: 1 − (1 − 1/m)^{k²·n1·n2}; small case computable directly.
+  const double expected = 1.0 - std::pow(1.0 - 1.0 / 1000.0, 9.0 * 10 * 20);
+  EXPECT_NEAR(FalseSetOverlapProbability(1000, 3, 10, 20), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(FalseSetOverlapProbability(1000, 3, 0, 20), 0.0);
+  // Huge exponent must not overflow/underflow to nonsense.
+  const double huge = FalseSetOverlapProbability(60870, 3, 1000000, 1000000);
+  EXPECT_GE(huge, 0.0);
+  EXPECT_LE(huge, 1.0);
+  EXPECT_NEAR(huge, 1.0, 1e-9);
+}
+
+TEST(BloomParamsTest, SolveBitsReproducesPaperTable2) {
+  // Paper Table 2 (n = 1000, M = 1e6): m per accuracy. Our closed-form
+  // solver should land within ~0.1% of the printed values.
+  const uint64_t n = 1000;
+  const uint64_t M = 1000000;
+  const struct { double acc; uint64_t paper_m; } rows[] = {
+      {0.5, 28465}, {0.6, 32808}, {0.7, 38259},
+      {0.8, 46000}, {0.9, 60870}, {1.0, 137230},
+  };
+  for (const auto& row : rows) {
+    const uint64_t m = SolveBitsForAccuracy(row.acc, n, 3, M).value();
+    EXPECT_NEAR(static_cast<double>(m), static_cast<double>(row.paper_m),
+                0.005 * static_cast<double>(row.paper_m))
+        << "accuracy " << row.acc;
+  }
+}
+
+TEST(BloomParamsTest, SolveBitsReproducesPaperTable3) {
+  // Paper Table 3 (n = 1000, M = 1e7).
+  const struct { double acc; uint64_t paper_m; } rows[] = {
+      {0.5, 63120}, {0.6, 72475}, {0.7, 84215},
+      {0.8, 101090}, {0.9, 132933}, {1.0, 297485},
+  };
+  for (const auto& row : rows) {
+    const uint64_t m = SolveBitsForAccuracy(row.acc, 1000, 3, 10000000).value();
+    EXPECT_NEAR(static_cast<double>(m), static_cast<double>(row.paper_m),
+                0.005 * static_cast<double>(row.paper_m))
+        << "accuracy " << row.acc;
+  }
+}
+
+TEST(BloomParamsTest, SolvedBitsAchieveTheAccuracy) {
+  // Round-trip: the solved m must achieve at least the requested accuracy.
+  for (double acc : {0.5, 0.7, 0.9, 0.99}) {
+    for (uint64_t n : {100ULL, 1000ULL, 50000ULL}) {
+      const uint64_t M = 10000000;
+      const uint64_t m = SolveBitsForAccuracy(acc, n, 3, M).value();
+      EXPECT_GE(SamplingAccuracy(m, n, 3, M) + 1e-9, acc)
+          << "acc=" << acc << " n=" << n;
+      // And m-1 should fall short (minimality within rounding).
+      EXPECT_LT(SamplingAccuracy(m - 2, n, 3, M), acc + 1e-6);
+    }
+  }
+}
+
+TEST(BloomParamsTest, TargetFalsePositiveRateValidation) {
+  EXPECT_FALSE(TargetFalsePositiveRate(0.0, 100, 1000).ok());
+  EXPECT_FALSE(TargetFalsePositiveRate(1.5, 100, 1000).ok());
+  EXPECT_FALSE(TargetFalsePositiveRate(0.9, 0, 1000).ok());
+  EXPECT_FALSE(TargetFalsePositiveRate(0.9, 1000, 1000).ok());
+  EXPECT_TRUE(TargetFalsePositiveRate(0.9, 100, 1000).ok());
+}
+
+TEST(BloomParamsTest, AccuracyOneUsesEffectivePointNineNine) {
+  // Documented convention: accuracy 1.0 sizes as 0.99 (paper Tables 2/3).
+  const double fp1 = TargetFalsePositiveRate(1.0, 1000, 1000000).value();
+  const double fp99 = TargetFalsePositiveRate(0.99, 1000, 1000000).value();
+  EXPECT_DOUBLE_EQ(fp1, fp99);
+}
+
+TEST(BloomParamsTest, SolveBitsForFalsePositiveRateValidation) {
+  EXPECT_FALSE(SolveBitsForFalsePositiveRate(0.0, 100, 3).ok());
+  EXPECT_FALSE(SolveBitsForFalsePositiveRate(1.0, 100, 3).ok());
+  EXPECT_FALSE(SolveBitsForFalsePositiveRate(0.01, 0, 3).ok());
+  EXPECT_FALSE(SolveBitsForFalsePositiveRate(0.01, 100, 0).ok());
+  // fp = 0.01 with k = 3 solves m = 3n / −ln(1 − 0.01^{1/3}) ≈ 12.37·n
+  // (k = 3 is below the optimum for 1%, hence more bits than the classic
+  // 9.6·n at optimal k).
+  const uint64_t m = SolveBitsForFalsePositiveRate(0.01, 1000, 3).value();
+  EXPECT_NEAR(static_cast<double>(m), 12371, 50);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,168 @@
+#include "src/core/bst_reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+TreeConfig Config(uint64_t M, uint64_t m, uint32_t depth,
+                  double threshold = 0.0) {
+  TreeConfig config;
+  config.namespace_size = M;
+  config.m = m;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = depth;
+  config.intersection_threshold = threshold;
+  return config;
+}
+
+TEST(BstReconstructorTest, ExactModeEqualsDictionaryAttack) {
+  const uint64_t M = 20000;
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  Rng rng(1);
+  for (uint64_t n : {1ULL, 50ULL, 500ULL, 3000ULL}) {
+    const auto members = GenerateUniformSet(M, n, &rng).value();
+    const BloomFilter query = tree.MakeQueryFilter(members);
+    BstReconstructor reconstructor(&tree);
+    DictionaryAttack attack(M);
+    EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                        BstReconstructor::PruningMode::kExact),
+              attack.Reconstruct(query))
+        << "n=" << n;
+  }
+}
+
+TEST(BstReconstructorTest, OutputIsSortedAndUnique) {
+  const uint64_t M = 10000;
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 6000, 4)).value();
+  Rng rng(2);
+  const auto members = GenerateUniformSet(M, 400, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  const auto result = reconstructor.Reconstruct(query);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+  EXPECT_EQ(std::adjacent_find(result.begin(), result.end()), result.end());
+}
+
+TEST(BstReconstructorTest, ThresholdedAtTauZeroEqualsExact) {
+  // With the threshold disabled, kThresholded degenerates to kExact: the
+  // only prune left is the lossless t∧ < k test.
+  const uint64_t M = 50000;
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(M, 20000, 6, 0.0)).value();
+  Rng rng(3);
+  const auto members = GenerateUniformSet(M, 800, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kThresholded),
+            reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kExact));
+}
+
+TEST(BstReconstructorTest, PositiveTauIsDocumentedLossy) {
+  // Companion to ablation_threshold: a positive tau on the chance-corrected
+  // estimator DOES drop elements at paper-like parameters. This pins the
+  // behaviour so a future "fix" that silently changes it gets noticed.
+  const uint64_t M = 50000;
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(M, 20000, 6, 0.5)).value();
+  Rng rng(3);
+  const auto members = GenerateUniformSet(M, 800, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  const auto thresholded = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kThresholded);
+  const auto exact = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  size_t found = 0;
+  for (uint64_t x : members) {
+    found += std::binary_search(thresholded.begin(), thresholded.end(), x);
+  }
+  EXPECT_LT(found, members.size());  // lossy…
+  EXPECT_GT(found, members.size() / 3);  // …but not degenerate
+  EXPECT_TRUE(std::includes(exact.begin(), exact.end(), thresholded.begin(),
+                            thresholded.end()));
+}
+
+TEST(BstReconstructorTest, ThresholdedIsSubsetOfExact) {
+  const uint64_t M = 30000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 12000, 5, 2.0)).value();
+  Rng rng(4);
+  const auto members = GenerateUniformSet(M, 300, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  const auto exact = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  const auto thresholded = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kThresholded);
+  EXPECT_TRUE(std::includes(exact.begin(), exact.end(), thresholded.begin(),
+                            thresholded.end()));
+}
+
+TEST(BstReconstructorTest, EmptyFilterReconstructsEmpty) {
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(1000, 2000, 3)).value();
+  const BloomFilter query = tree.MakeQueryFilter();
+  BstReconstructor reconstructor(&tree);
+  OpCounters counters;
+  EXPECT_TRUE(reconstructor.Reconstruct(query, &counters).empty());
+  EXPECT_EQ(counters.membership_queries, 0u);
+}
+
+TEST(BstReconstructorTest, CountsOperations) {
+  const uint64_t M = 10000;
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 6000, 4)).value();
+  Rng rng(5);
+  const auto members = GenerateUniformSet(M, 100, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  OpCounters counters;
+  (void)reconstructor.Reconstruct(query, &counters);
+  EXPECT_GT(counters.intersections, 0u);
+  EXPECT_LE(counters.intersections, tree.node_count());
+  EXPECT_EQ(counters.intersections, counters.nodes_visited);
+  EXPECT_LE(counters.membership_queries, M);
+}
+
+TEST(BstReconstructorTest, PrunedTreeReconstructsOccupiedMembersExactly) {
+  const uint64_t M = 100000;
+  Rng rng(6);
+  const auto occupied = GenerateUniformSet(M, 600, &rng).value();
+  const auto tree =
+      BloomSampleTree::BuildPruned(Config(M, 25000, 6), occupied).value();
+  std::vector<uint64_t> members(occupied.begin(), occupied.begin() + 80);
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  const auto result = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  // All members present; everything reported is occupied and positive.
+  EXPECT_TRUE(std::includes(result.begin(), result.end(), members.begin(),
+                            members.end()));
+  for (uint64_t x : result) {
+    EXPECT_TRUE(std::binary_search(occupied.begin(), occupied.end(), x));
+    EXPECT_TRUE(query.Contains(x));
+  }
+}
+
+TEST(BstReconstructorTest, SingletonLeafEdges) {
+  // Elements at the extreme edges of the namespace exercise leaf clipping.
+  const uint64_t M = 1000;  // non-power-of-two
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 3000, 4)).value();
+  for (uint64_t member : {0ULL, 999ULL}) {
+    const BloomFilter query = tree.MakeQueryFilter({member});
+    BstReconstructor reconstructor(&tree);
+    const auto result = reconstructor.Reconstruct(query);
+    EXPECT_TRUE(std::binary_search(result.begin(), result.end(), member));
+  }
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,113 @@
+#include "src/bloom/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(uint64_t m, uint64_t seed = 42) {
+  return MakeHashFamily(HashFamilyKind::kSimple, 3, m, seed, 1000000).value();
+}
+
+TEST(CardinalityTest, EmptyFilterEstimatesZero) {
+  EXPECT_DOUBLE_EQ(EstimateCardinalityFromBits(0, 1000, 3), 0.0);
+  BloomFilter filter(Family(1000));
+  EXPECT_DOUBLE_EQ(EstimateCardinality(filter), 0.0);
+}
+
+TEST(CardinalityTest, SaturatedFilterEstimatesInfinity) {
+  EXPECT_TRUE(std::isinf(EstimateCardinalityFromBits(1000, 1000, 3)));
+}
+
+TEST(CardinalityTest, SingleElementEstimatesNearOne) {
+  // One insert sets ~k bits; the estimate should be ~1.
+  BloomFilter filter(Family(100000));
+  filter.Insert(12345);
+  EXPECT_NEAR(EstimateCardinality(filter), 1.0, 0.05);
+}
+
+TEST(CardinalityTest, EstimateTracksTrueCardinality) {
+  Rng rng(1);
+  for (uint64_t n : {100ULL, 500ULL, 2000ULL}) {
+    BloomFilter filter(Family(60870));
+    const auto keys = GenerateUniformSet(1000000, n, &rng).value();
+    for (uint64_t x : keys) filter.Insert(x);
+    const double estimate = EstimateCardinality(filter);
+    EXPECT_NEAR(estimate, static_cast<double>(n),
+                0.1 * static_cast<double>(n) + 5)
+        << "n=" << n;
+  }
+}
+
+TEST(CardinalityTest, IntersectionEstimateZeroWhenNoSharedBits) {
+  EXPECT_DOUBLE_EQ(EstimateIntersectionFromBits(100, 100, 0, 10000, 3), 0.0);
+}
+
+TEST(CardinalityTest, IntersectionEstimateZeroAtChanceLevel) {
+  // When t∧ ≈ t1·t2/m (pure coincidence), the corrected estimate is ~0.
+  const uint64_t m = 10000;
+  const uint64_t t1 = 1000;
+  const uint64_t t2 = 500;
+  const uint64_t chance = t1 * t2 / m;  // 50
+  const double est = EstimateIntersectionFromBits(t1, t2, chance, m, 3);
+  EXPECT_LT(est, 2.0);
+}
+
+TEST(CardinalityTest, IntersectionEstimateTracksTrueOverlap) {
+  Rng rng(2);
+  const uint64_t m = 60870;
+  auto family = Family(m);
+  for (uint64_t overlap : {50ULL, 200ULL, 800ULL}) {
+    // a: overlap shared + 500 own; b: overlap shared + 700 own.
+    const auto shared = GenerateUniformSet(300000, overlap, &rng).value();
+    BloomFilter a(family);
+    BloomFilter b(family);
+    for (uint64_t x : shared) {
+      a.Insert(x);
+      b.Insert(x);
+    }
+    for (int i = 0; i < 500; ++i) a.Insert(300000 + rng.Below(300000));
+    for (int i = 0; i < 700; ++i) b.Insert(600000 + rng.Below(300000));
+    const double est = EstimateIntersection(a, b);
+    EXPECT_NEAR(est, static_cast<double>(overlap),
+                0.25 * static_cast<double>(overlap) + 15)
+        << "overlap=" << overlap;
+  }
+}
+
+TEST(CardinalityTest, IntersectionEstimateNeverNegative) {
+  // Sweep raw bit-count combinations, including adversarial corners.
+  const uint64_t m = 1000;
+  for (uint64_t t1 : {0ULL, 1ULL, 10ULL, 500ULL, 999ULL, 1000ULL}) {
+    for (uint64_t t2 : {0ULL, 1ULL, 10ULL, 500ULL, 999ULL, 1000ULL}) {
+      const uint64_t max_and = std::min(t1, t2);
+      for (uint64_t t_and : {uint64_t{0}, max_and / 2, max_and}) {
+        const double est = EstimateIntersectionFromBits(t1, t2, t_and, m, 3);
+        EXPECT_GE(est, 0.0) << t1 << " " << t2 << " " << t_and;
+      }
+    }
+  }
+}
+
+TEST(CardinalityTest, SaturatedIntersectionFallsBackGracefully) {
+  // Both filters (nearly) saturated: the corrected denominator vanishes;
+  // the estimator must fall back to the single-filter estimate, not NaN.
+  const double est = EstimateIntersectionFromBits(1000, 1000, 1000, 1000, 3);
+  EXPECT_TRUE(std::isinf(est));
+  const double est2 = EstimateIntersectionFromBits(999, 999, 998, 1000, 3);
+  EXPECT_TRUE(std::isfinite(est2));
+  EXPECT_GT(est2, 0.0);
+}
+
+TEST(CardinalityDeathTest, InvalidCountsAbort) {
+  EXPECT_DEATH(EstimateCardinalityFromBits(1001, 1000, 3), "exceed");
+  EXPECT_DEATH(EstimateIntersectionFromBits(2000, 10, 5, 1000, 3), "exceed");
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,89 @@
+#include "src/stats/chi_squared.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(ChiSquaredTest, PerfectlyUniformCountsScoreZero) {
+  const auto result = ChiSquaredUniformTest({100, 100, 100, 100}).value();
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_FALSE(result.RejectsUniformity());
+}
+
+TEST(ChiSquaredTest, KnownStatistic) {
+  // counts {10, 20, 30}: expected 20 each, Q = (100 + 0 + 100)/20 = 10.
+  const auto result = ChiSquaredUniformTest({10, 20, 30}).value();
+  EXPECT_NEAR(result.statistic, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.dof, 2.0);
+  // P(chi2_2 >= 10) = e^{-5} ≈ 0.00674.
+  EXPECT_NEAR(result.p_value, 0.00674, 1e-4);
+  EXPECT_TRUE(result.RejectsUniformity(0.08));
+}
+
+TEST(ChiSquaredTest, GrosslySkewedCountsAreRejected) {
+  const auto result = ChiSquaredUniformTest({1000, 1, 1, 1}).value();
+  EXPECT_LT(result.p_value, 1e-10);
+  EXPECT_TRUE(result.RejectsUniformity());
+}
+
+TEST(ChiSquaredTest, TrulyUniformSamplesUsuallyPass) {
+  // Calibration: uniform draws should pass at the 0.08 level most of the
+  // time. 20 independent runs — expect at most a handful of rejections.
+  Rng rng(42);
+  int rejections = 0;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<uint64_t> counts(50, 0);
+    for (int i = 0; i < 130 * 50; ++i) ++counts[rng.Below(50)];
+    rejections += ChiSquaredUniformTest(counts).value().RejectsUniformity();
+  }
+  EXPECT_LE(rejections, 5);
+}
+
+TEST(ChiSquaredTest, BiasedSamplerIsCaught) {
+  // Element 0 sampled 2x as often as the others — should reject reliably
+  // with the recommended T = 130·n sample size.
+  Rng rng(43);
+  const uint64_t n = 50;
+  std::vector<uint64_t> counts(n, 0);
+  for (uint64_t i = 0; i < RecommendedSampleRounds(n); ++i) {
+    // Pick uniformly from a multiset where 0 appears twice.
+    const uint64_t pick = rng.Below(n + 1);
+    ++counts[pick == n ? 0 : pick];
+  }
+  EXPECT_TRUE(ChiSquaredUniformTest(counts).value().RejectsUniformity());
+}
+
+TEST(ChiSquaredTest, PopulationOverloadTalliesCorrectly) {
+  const std::vector<uint64_t> population = {5, 10, 15};
+  const std::vector<uint64_t> samples = {5, 10, 15, 5, 10, 15};
+  const auto result = ChiSquaredUniformTest(population, samples).value();
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+}
+
+TEST(ChiSquaredTest, PopulationOverloadValidation) {
+  EXPECT_FALSE(ChiSquaredUniformTest({1}, {1}).ok());          // 1 category
+  EXPECT_FALSE(ChiSquaredUniformTest({1, 1, 2}, {1}).ok());    // dupes
+  EXPECT_FALSE(ChiSquaredUniformTest({1, 2}, {3}).ok());       // foreign
+  EXPECT_TRUE(ChiSquaredUniformTest({1, 2}, {1, 2, 2}).ok());
+}
+
+TEST(ChiSquaredTest, CountVectorValidation) {
+  EXPECT_FALSE(ChiSquaredUniformTest(std::vector<uint64_t>{}).ok());
+  EXPECT_FALSE(ChiSquaredUniformTest(std::vector<uint64_t>{5}).ok());
+  EXPECT_FALSE(ChiSquaredUniformTest(std::vector<uint64_t>{0, 0}).ok());
+  EXPECT_TRUE(ChiSquaredUniformTest(std::vector<uint64_t>{0, 1}).ok());
+}
+
+TEST(ChiSquaredTest, RecommendedRounds) {
+  EXPECT_EQ(RecommendedSampleRounds(100), 13000u);
+  EXPECT_EQ(RecommendedSampleRounds(50000), 6500000u);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,158 @@
+#include "src/bloom/counting_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(uint64_t m = 8000,
+                                         uint64_t universe = 100000) {
+  return MakeHashFamily(HashFamilyKind::kSimple, 3, m, 42, universe).value();
+}
+
+TEST(CountingBloomTest, StartsEmpty) {
+  CountingBloomFilter filter(Family());
+  EXPECT_TRUE(filter.IsEmpty());
+  EXPECT_EQ(filter.PositiveCounters(), 0u);
+  EXPECT_FALSE(filter.Contains(5));
+}
+
+TEST(CountingBloomTest, InsertThenContains) {
+  CountingBloomFilter filter(Family());
+  filter.Insert(123);
+  EXPECT_TRUE(filter.Contains(123));
+  EXPECT_FALSE(filter.IsEmpty());
+}
+
+TEST(CountingBloomTest, RemoveUndoesInsert) {
+  CountingBloomFilter filter(Family());
+  filter.Insert(123);
+  ASSERT_TRUE(filter.Remove(123).ok());
+  EXPECT_TRUE(filter.IsEmpty());
+  EXPECT_FALSE(filter.Contains(123));
+}
+
+TEST(CountingBloomTest, RemoveKeepsOverlappingKeysAlive) {
+  CountingBloomFilter filter(Family());
+  Rng rng(1);
+  const auto keys = GenerateUniformSet(100000, 500, &rng).value();
+  for (uint64_t key : keys) filter.Insert(key);
+  // Remove every other key; the survivors must all still answer positive
+  // (no false negatives from shared counters).
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(filter.Remove(keys[i]).ok()) << keys[i];
+  }
+  for (size_t i = 1; i < keys.size(); i += 2) {
+    EXPECT_TRUE(filter.Contains(keys[i])) << keys[i];
+  }
+}
+
+TEST(CountingBloomTest, RemoveOfAbsentKeyFailsAndLeavesStateIntact) {
+  CountingBloomFilter filter(Family());
+  filter.Insert(10);
+  const auto before = filter.PositiveCounters();
+  // A key whose counters are all zero is definitely absent.
+  uint64_t absent = 11;
+  while (filter.Contains(absent)) ++absent;
+  EXPECT_EQ(filter.Remove(absent).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(filter.PositiveCounters(), before);
+  EXPECT_TRUE(filter.Contains(10));
+}
+
+TEST(CountingBloomTest, MultisetSemantics) {
+  CountingBloomFilter filter(Family());
+  filter.Insert(77);
+  filter.Insert(77);
+  ASSERT_TRUE(filter.Remove(77).ok());
+  EXPECT_TRUE(filter.Contains(77));  // one copy left
+  ASSERT_TRUE(filter.Remove(77).ok());
+  EXPECT_FALSE(filter.Contains(77));
+}
+
+TEST(CountingBloomTest, SaturatedCountersNeverDecrement) {
+  CountingBloomFilter filter(Family(64, 1000));  // tiny m forces collisions
+  // Saturate: insert one key far more often than kMaxCount.
+  for (int i = 0; i < 40; ++i) filter.Insert(5);
+  for (int i = 0; i < 40; ++i) {
+    if (!filter.Remove(5).ok()) break;
+  }
+  // The counters hit saturation and must stay positive forever.
+  EXPECT_TRUE(filter.Contains(5));
+}
+
+TEST(CountingBloomTest, ToBloomFilterMatchesPlainInsertion) {
+  auto family = Family();
+  CountingBloomFilter counting(family);
+  BloomFilter plain(family);
+  Rng rng(2);
+  const auto keys = GenerateUniformSet(100000, 300, &rng).value();
+  for (uint64_t key : keys) {
+    counting.Insert(key);
+    plain.Insert(key);
+  }
+  EXPECT_EQ(counting.ToBloomFilter(), plain);
+  EXPECT_EQ(counting.PositiveCounters(), plain.SetBitCount());
+}
+
+TEST(CountingBloomTest, ExportAfterChurnEqualsFreshFilter) {
+  // Insert a set, churn half of it away, and compare the export against a
+  // plain filter of the survivors — the headline deletion capability.
+  auto family = Family();
+  CountingBloomFilter counting(family);
+  Rng rng(3);
+  const auto keys = GenerateUniformSet(100000, 400, &rng).value();
+  for (uint64_t key : keys) counting.Insert(key);
+  std::vector<uint64_t> survivors;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(counting.Remove(keys[i]).ok());
+    } else {
+      survivors.push_back(keys[i]);
+    }
+  }
+  const BloomFilter fresh = MakeFilter(family, survivors);
+  EXPECT_EQ(counting.ToBloomFilter(), fresh);
+}
+
+TEST(CountingBloomTest, ExportedFilterWorksWithTheTree) {
+  // End-to-end: maintain a dynamic set in a counting filter, export, and
+  // reconstruct through a BloomSampleTree sharing the family.
+  TreeConfig config;
+  config.namespace_size = 20000;
+  config.m = 9000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = 4;
+  const auto tree = BloomSampleTree::BuildComplete(config).value();
+
+  CountingBloomFilter counting(tree.family_ptr());
+  Rng rng(4);
+  const auto keys = GenerateUniformSet(20000, 200, &rng).value();
+  for (uint64_t key : keys) counting.Insert(key);
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(counting.Remove(keys[i]).ok());
+  }
+
+  BstReconstructor reconstructor(&tree);
+  const auto result =
+      reconstructor.Reconstruct(counting.ToBloomFilter(), nullptr,
+                                BstReconstructor::PruningMode::kExact);
+  for (size_t i = 100; i < keys.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(result.begin(), result.end(), keys[i]));
+  }
+}
+
+TEST(CountingBloomTest, MemoryIsOneBytePerSlot) {
+  CountingBloomFilter filter(Family(5000, 100000));
+  EXPECT_EQ(filter.MemoryBytes(), 5000u);
+}
+
+}  // namespace
+}  // namespace bloomsample

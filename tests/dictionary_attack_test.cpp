@@ -1,0 +1,118 @@
+#include "src/baselines/dictionary_attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(uint64_t m, uint64_t universe) {
+  return MakeHashFamily(HashFamilyKind::kSimple, 3, m, 42, universe).value();
+}
+
+TEST(DictionaryAttackTest, ReconstructIsSupersetOfStoredSet) {
+  const uint64_t M = 50000;
+  Rng rng(1);
+  const auto members = GenerateUniformSet(M, 300, &rng).value();
+  BloomFilter filter = MakeFilter(Family(10000, M), members);
+
+  DictionaryAttack attack(M);
+  const auto reconstructed = attack.Reconstruct(filter);
+  EXPECT_TRUE(std::includes(reconstructed.begin(), reconstructed.end(),
+                            members.begin(), members.end()));
+  // Everything reconstructed answers the membership query positively.
+  for (uint64_t x : reconstructed) EXPECT_TRUE(filter.Contains(x));
+  EXPECT_TRUE(std::is_sorted(reconstructed.begin(), reconstructed.end()));
+}
+
+TEST(DictionaryAttackTest, ReconstructCountsMOperations) {
+  const uint64_t M = 5000;
+  BloomFilter filter(Family(2000, M));
+  filter.Insert(7);
+  DictionaryAttack attack(M);
+  OpCounters counters;
+  (void)attack.Reconstruct(filter, &counters);
+  EXPECT_EQ(counters.membership_queries, M);
+  EXPECT_EQ(counters.intersections, 0u);
+}
+
+TEST(DictionaryAttackTest, SampleIsAlwaysAPositive) {
+  const uint64_t M = 20000;
+  Rng rng(2);
+  const auto members = GenerateUniformSet(M, 100, &rng).value();
+  BloomFilter filter = MakeFilter(Family(8000, M), members);
+  DictionaryAttack attack(M);
+  for (int i = 0; i < 20; ++i) {
+    const auto sample = attack.Sample(filter, &rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_TRUE(filter.Contains(*sample));
+  }
+}
+
+TEST(DictionaryAttackTest, EmptyFilterSamplesNothing) {
+  const uint64_t M = 1000;
+  BloomFilter filter(Family(500, M));
+  DictionaryAttack attack(M);
+  Rng rng(3);
+  EXPECT_FALSE(attack.Sample(filter, &rng).has_value());
+  EXPECT_TRUE(attack.Reconstruct(filter).empty());
+}
+
+TEST(DictionaryAttackTest, SampleIsUniformOverPositives) {
+  // Tiny namespace so we can afford many rounds; the positives double as
+  // categories.
+  const uint64_t M = 2000;
+  Rng rng(4);
+  const auto members = GenerateUniformSet(M, 20, &rng).value();
+  BloomFilter filter = MakeFilter(Family(1500, M), members);
+  DictionaryAttack attack(M);
+  const auto population = attack.Reconstruct(filter);
+
+  std::unordered_map<uint64_t, int> counts;
+  const int rounds = 200 * static_cast<int>(population.size());
+  for (int i = 0; i < rounds; ++i) {
+    counts[*attack.Sample(filter, &rng)]++;
+  }
+  const double expected =
+      static_cast<double>(rounds) / static_cast<double>(population.size());
+  for (uint64_t x : population) {
+    EXPECT_NEAR(counts[x], expected, 6 * std::sqrt(expected)) << x;
+  }
+}
+
+TEST(DictionaryAttackTest, SampleManyWithoutReplacement) {
+  const uint64_t M = 10000;
+  Rng rng(5);
+  const auto members = GenerateUniformSet(M, 50, &rng).value();
+  BloomFilter filter = MakeFilter(Family(5000, M), members);
+  DictionaryAttack attack(M);
+
+  const auto samples = attack.SampleMany(filter, 10, &rng);
+  EXPECT_EQ(samples.size(), 10u);
+  std::unordered_set<uint64_t> unique(samples.begin(), samples.end());
+  EXPECT_EQ(unique.size(), samples.size());
+  for (uint64_t x : samples) EXPECT_TRUE(filter.Contains(x));
+}
+
+TEST(DictionaryAttackTest, SampleManyMoreThanPopulationReturnsAll) {
+  const uint64_t M = 3000;
+  Rng rng(6);
+  const auto members = GenerateUniformSet(M, 10, &rng).value();
+  BloomFilter filter = MakeFilter(Family(3000, M), members);
+  DictionaryAttack attack(M);
+  const auto population = attack.Reconstruct(filter);
+  auto samples = attack.SampleMany(filter, population.size() + 100, &rng);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(samples, population);
+}
+
+}  // namespace
+}  // namespace bloomsample

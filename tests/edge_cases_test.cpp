@@ -1,0 +1,213 @@
+// Failure-injection and degenerate-parameter tests: the configurations a
+// fuzzer would find first. Everything here must either work correctly or
+// fail with a clean Status — never crash, hang, or silently corrupt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/baselines/hash_invert.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/set_store.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+TreeConfig Config(uint64_t M, uint64_t m, uint64_t k, uint32_t depth) {
+  TreeConfig config;
+  config.namespace_size = M;
+  config.m = m;
+  config.k = k;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = depth;
+  return config;
+}
+
+TEST(EdgeCaseTest, SingleHashFunction) {
+  // k = 1: the degenerate Bloom filter. All invariants must still hold.
+  const auto tree = BloomSampleTree::BuildComplete(Config(2000, 3000, 1, 3))
+                        .value();
+  Rng rng(1);
+  const auto members = GenerateUniformSet(2000, 50, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  DictionaryAttack attack(2000);
+  BstReconstructor reconstructor(&tree);
+  EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kExact),
+            attack.Reconstruct(query));
+  BstSampler sampler(&tree);
+  const auto sample = sampler.Sample(query, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(query.Contains(*sample));
+}
+
+TEST(EdgeCaseTest, SaturatedQueryFilter) {
+  // m far too small: every bit set, everything is a positive. The
+  // reconstruction must degrade to the full namespace, not crash.
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(500, 40, 3, 2)).value();
+  Rng rng(2);
+  const auto members = GenerateUniformSet(500, 200, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  ASSERT_EQ(query.SetBitCount(), query.m());  // genuinely saturated
+  BstReconstructor reconstructor(&tree);
+  const auto result = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  EXPECT_EQ(result.size(), 500u);
+  BstSampler sampler(&tree);
+  EXPECT_TRUE(sampler.Sample(query, &rng).has_value());
+}
+
+TEST(EdgeCaseTest, NamespaceOfTwo) {
+  const auto tree = BloomSampleTree::BuildComplete(Config(2, 100, 2, 1))
+                        .value();
+  const BloomFilter query = tree.MakeQueryFilter({1});
+  BstReconstructor reconstructor(&tree);
+  const auto result = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  EXPECT_TRUE(std::binary_search(result.begin(), result.end(), 1));
+}
+
+TEST(EdgeCaseTest, MaximumK) {
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(1000, 20000, 16, 3)).value();
+  Rng rng(3);
+  const auto members = GenerateUniformSet(1000, 30, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  for (uint64_t x : members) EXPECT_TRUE(query.Contains(x));
+  DictionaryAttack attack(1000);
+  BstReconstructor reconstructor(&tree);
+  EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kExact),
+            attack.Reconstruct(query));
+}
+
+TEST(EdgeCaseTest, PrunedTreeWithSingleOccupiedId) {
+  const auto tree =
+      BloomSampleTree::BuildPruned(Config(1 << 20, 5000, 3, 8), {777}).value();
+  EXPECT_EQ(tree.node_count(), 9u);  // a single root-to-leaf path
+  const BloomFilter query = tree.MakeQueryFilter({777});
+  BstSampler sampler(&tree);
+  Rng rng(4);
+  const auto sample = sampler.Sample(query, &rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(*sample, 777u);
+}
+
+TEST(EdgeCaseTest, PrunedTreeEmptyOccupancy) {
+  const auto tree =
+      BloomSampleTree::BuildPruned(Config(1 << 20, 5000, 3, 8), {}).value();
+  EXPECT_EQ(tree.node_count(), 0u);
+  const BloomFilter query = tree.MakeQueryFilter();
+  BstSampler sampler(&tree);
+  Rng rng(5);
+  EXPECT_FALSE(sampler.Sample(query, &rng).has_value());
+  BstReconstructor reconstructor(&tree);
+  EXPECT_TRUE(reconstructor.Reconstruct(query).empty());
+}
+
+TEST(EdgeCaseTest, QuerySetEqualsWholeNamespace) {
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(512, 8000, 3, 3)).value();
+  std::vector<uint64_t> everything(512);
+  for (uint64_t i = 0; i < 512; ++i) everything[i] = i;
+  const BloomFilter query = tree.MakeQueryFilter(everything);
+  BstReconstructor reconstructor(&tree);
+  EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kExact),
+            everything);
+}
+
+TEST(EdgeCaseTest, HashInvertOnSaturatedFilter) {
+  // Saturated filter: unset-bit mode has nothing to invert and must
+  // return the whole namespace.
+  auto family =
+      MakeHashFamily(HashFamilyKind::kSimple, 3, 50, 42, 1000).value();
+  BloomFilter filter(family);
+  for (uint64_t x = 0; x < 200; ++x) filter.Insert(x);
+  ASSERT_EQ(filter.SetBitCount(), filter.m());
+  HashInvert inverter(1000);
+  const auto result = inverter.Reconstruct(filter);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 1000u);
+}
+
+TEST(EdgeCaseTest, HashInvertSingleElementFilter) {
+  auto family =
+      MakeHashFamily(HashFamilyKind::kSimple, 3, 5000, 42, 100000).value();
+  BloomFilter filter(family);
+  filter.Insert(54321);
+  HashInvert inverter(100000);
+  const auto result = inverter.Reconstruct(filter);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::binary_search(result.value().begin(), result.value().end(),
+                                 54321));
+  DictionaryAttack attack(100000);
+  EXPECT_EQ(result.value(), attack.Reconstruct(filter));
+}
+
+TEST(EdgeCaseTest, SampleManyEntirePopulation) {
+  const auto tree =
+      BloomSampleTree::BuildComplete(Config(4096, 60000, 3, 4)).value();
+  Rng rng(6);
+  const auto members = GenerateUniformSet(4096, 64, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  DictionaryAttack attack(4096);
+  const auto population = attack.Reconstruct(query);
+  BstSampler sampler(&tree);
+  // Ask for far more than exists: must return everything, exactly once.
+  auto samples = sampler.SampleMany(query, population.size() * 3, &rng);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(samples, population);
+}
+
+TEST(EdgeCaseTest, StoreWithExpectedSizeLargerThanNamespaceFails) {
+  BloomSetStore::Options options;
+  options.expected_set_size = 5000;
+  EXPECT_FALSE(BloomSetStore::Create(1000, options).ok());
+}
+
+TEST(EdgeCaseTest, ThresholdAppliedToAlreadyBuiltTreeIsReversible) {
+  auto tree = BloomSampleTree::BuildComplete(Config(8192, 9000, 3, 4)).value();
+  Rng rng(7);
+  const auto members = GenerateUniformSet(8192, 100, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  BstReconstructor reconstructor(&tree);
+  const auto exact = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  tree.set_intersection_threshold(5.0);
+  const auto aggressive = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kThresholded);
+  tree.set_intersection_threshold(0.0);
+  const auto restored = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kThresholded);
+  EXPECT_LE(aggressive.size(), exact.size());
+  EXPECT_EQ(restored, exact);
+}
+
+TEST(EdgeCaseTest, ClusteredGeneratorAtNamespaceBoundaries) {
+  // Tiny namespaces stress the neighbour-finding at the edges.
+  Rng rng(8);
+  for (uint64_t M : {2ULL, 3ULL, 5ULL, 16ULL}) {
+    const auto set = GenerateClusteredSet(M, M, &rng);
+    ASSERT_TRUE(set.ok()) << M;
+    EXPECT_EQ(set.value().size(), M);
+  }
+}
+
+TEST(EdgeCaseTest, DictionaryAttackOnEmptyNamespaceBoundary) {
+  // Namespace of 1: the only id either is or is not a positive.
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 2, 64, 42, 1).value();
+  BloomFilter filter(family);
+  DictionaryAttack attack(1);
+  EXPECT_TRUE(attack.Reconstruct(filter).empty());
+  filter.Insert(0);
+  EXPECT_EQ(attack.Reconstruct(filter), std::vector<uint64_t>{0});
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,124 @@
+#include "src/workload/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(FenwickTest, UniformInitialization) {
+  FenwickTree tree(10, 1.0);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_DOUBLE_EQ(tree.Total(), 10.0);
+  for (size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(tree.Get(i), 1.0);
+  EXPECT_DOUBLE_EQ(tree.PrefixSum(4), 5.0);
+}
+
+TEST(FenwickTest, ZeroInitialization) {
+  FenwickTree tree(7);
+  EXPECT_DOUBLE_EQ(tree.Total(), 0.0);
+  for (size_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(tree.Get(i), 0.0);
+}
+
+TEST(FenwickTest, AddAndPointQuery) {
+  FenwickTree tree(16);
+  tree.Add(0, 3.0);
+  tree.Add(15, 2.0);
+  tree.Add(7, 1.5);
+  EXPECT_DOUBLE_EQ(tree.Get(0), 3.0);
+  EXPECT_DOUBLE_EQ(tree.Get(7), 1.5);
+  EXPECT_DOUBLE_EQ(tree.Get(15), 2.0);
+  EXPECT_DOUBLE_EQ(tree.Get(8), 0.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 6.5);
+  EXPECT_DOUBLE_EQ(tree.PrefixSum(7), 4.5);
+}
+
+TEST(FenwickTest, PrefixSumsMatchNaiveAccumulation) {
+  Rng rng(1);
+  const size_t n = 100;
+  FenwickTree tree(n);
+  std::vector<double> naive(n, 0.0);
+  for (int op = 0; op < 500; ++op) {
+    const size_t i = rng.Below(n);
+    const double delta = rng.NextDouble() - 0.3;
+    tree.Add(i, delta);
+    naive[i] += delta;
+  }
+  double running = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    running += naive[i];
+    EXPECT_NEAR(tree.PrefixSum(i), running, 1e-9) << i;
+  }
+}
+
+TEST(FenwickTest, FindPrefixLocatesTheOwningSlot) {
+  FenwickTree tree(8);
+  tree.Add(2, 1.0);
+  tree.Add(5, 2.0);
+  tree.Add(7, 1.0);
+  // Cumulative: slot2 covers [0,1), slot5 [1,3), slot7 [3,4).
+  EXPECT_EQ(tree.FindPrefix(0.0), 2u);
+  EXPECT_EQ(tree.FindPrefix(0.999), 2u);
+  EXPECT_EQ(tree.FindPrefix(1.0), 5u);
+  EXPECT_EQ(tree.FindPrefix(2.9), 5u);
+  EXPECT_EQ(tree.FindPrefix(3.0), 7u);
+  EXPECT_EQ(tree.FindPrefix(3.999), 7u);
+}
+
+TEST(FenwickTest, FindPrefixSamplesProportionally) {
+  FenwickTree tree(4);
+  tree.Add(0, 1.0);
+  tree.Add(1, 3.0);
+  tree.Add(3, 6.0);
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[tree.FindPrefix(rng.NextDouble() * tree.Total())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(FenwickTest, NonPowerOfTwoSizes) {
+  for (size_t n : {1u, 3u, 5u, 17u, 100u, 1000u}) {
+    FenwickTree tree(n, 2.0);
+    EXPECT_DOUBLE_EQ(tree.Total(), 2.0 * static_cast<double>(n)) << n;
+    EXPECT_EQ(tree.FindPrefix(tree.Total() - 1e-9), n - 1) << n;
+  }
+}
+
+TEST(FenwickTest, ExtractValuesRoundTrip) {
+  Rng rng(3);
+  const size_t n = 77;
+  FenwickTree tree(n);
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) {
+    expected[i] = rng.NextDouble() * 10;
+    tree.Add(i, expected[i]);
+  }
+  const std::vector<double> extracted = tree.ExtractValues();
+  ASSERT_EQ(extracted.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(extracted[i], expected[i], 1e-9);
+
+  const FenwickTree rebuilt = FenwickTree::FromValues(extracted);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(rebuilt.PrefixSum(i), tree.PrefixSum(i), 1e-9) << i;
+  }
+}
+
+TEST(FenwickTest, FromValuesEmptyAndSingle) {
+  const FenwickTree empty = FenwickTree::FromValues({});
+  EXPECT_EQ(empty.size(), 0u);
+  const FenwickTree single = FenwickTree::FromValues({4.5});
+  EXPECT_DOUBLE_EQ(single.Get(0), 4.5);
+  EXPECT_DOUBLE_EQ(single.Total(), 4.5);
+}
+
+}  // namespace
+}  // namespace bloomsample

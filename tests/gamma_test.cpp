@@ -1,0 +1,82 @@
+#include "src/stats/gamma.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bloomsample {
+namespace {
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(1.0, 0.0), 1.0);
+}
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, IntegerShapeHasClosedForm) {
+  // For a = 1: P(1, x) = 1 − e^{−x}.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+  // For a = 2: P(2, x) = 1 − e^{−x}(1 + x).
+  for (double x : {0.1, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(2.0, x), 1.0 - std::exp(-x) * (1 + x),
+                1e-12)
+        << x;
+  }
+}
+
+TEST(GammaTest, HalfShapeMatchesErf) {
+  // P(1/2, x) = erf(√x).
+  for (double x : {0.01, 0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10)
+        << x;
+  }
+}
+
+TEST(GammaTest, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x < 30.0; x += 0.5) {
+    const double p = RegularizedGammaP(7.5, x);
+    EXPECT_GE(p, previous);
+    previous = p;
+  }
+}
+
+TEST(ChiSquaredSurvivalTest, KnownQuantiles) {
+  // Standard chi-squared critical values: P(X >= x) for given dof.
+  EXPECT_NEAR(ChiSquaredSurvival(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquaredSurvival(5.991, 2), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquaredSurvival(18.307, 10), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquaredSurvival(29.588, 21), 0.10, 0.002);
+  // dof mean: survival at x = dof is near 0.5 for moderate dof.
+  EXPECT_NEAR(ChiSquaredSurvival(99.334, 100), 0.5, 0.01);
+}
+
+TEST(ChiSquaredSurvivalTest, ExtremeTails) {
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(-3.0, 5), 1.0);
+  EXPECT_LT(ChiSquaredSurvival(1000.0, 5), 1e-100);
+  EXPECT_GT(ChiSquaredSurvival(0.0001, 5), 0.999);
+}
+
+TEST(ChiSquaredSurvivalTest, LargeDof) {
+  // dof = 10^4: by CLT, survival at dof + 3·sqrt(2·dof) ≈ 0.13%.
+  const double dof = 10000;
+  const double x = dof + 3 * std::sqrt(2 * dof);
+  const double survival = ChiSquaredSurvival(x, dof);
+  EXPECT_GT(survival, 0.0002);
+  EXPECT_LT(survival, 0.01);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,72 @@
+#include "src/hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+namespace bloomsample {
+namespace {
+
+TEST(HashFamilyFactoryTest, ParsesKnownNames) {
+  EXPECT_EQ(ParseHashFamilyKind("simple").value(), HashFamilyKind::kSimple);
+  EXPECT_EQ(ParseHashFamilyKind("murmur3").value(), HashFamilyKind::kMurmur3);
+  EXPECT_EQ(ParseHashFamilyKind("md5").value(), HashFamilyKind::kMd5);
+  EXPECT_FALSE(ParseHashFamilyKind("sha1").ok());
+  EXPECT_FALSE(ParseHashFamilyKind("Simple").ok());  // case-sensitive
+}
+
+TEST(HashFamilyFactoryTest, NamesRoundTrip) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    EXPECT_EQ(ParseHashFamilyKind(HashFamilyKindName(kind)).value(), kind);
+  }
+}
+
+TEST(HashFamilyFactoryTest, BuildsEachKind) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    auto family = MakeHashFamily(kind, 3, 1000, 42, 100000);
+    ASSERT_TRUE(family.ok()) << HashFamilyKindName(kind);
+    EXPECT_EQ(family.value()->k(), 3u);
+    EXPECT_EQ(family.value()->m(), 1000u);
+    EXPECT_EQ(family.value()->Name(), HashFamilyKindName(kind));
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_LT(family.value()->Hash(i, 12345), 1000u);
+    }
+  }
+}
+
+TEST(HashFamilyFactoryTest, RejectsBadParameters) {
+  EXPECT_FALSE(MakeHashFamily(HashFamilyKind::kSimple, 0, 1000, 42).ok());
+  EXPECT_FALSE(MakeHashFamily(HashFamilyKind::kMurmur3, 3, 0, 42).ok());
+}
+
+TEST(HashFamilyFactoryTest, OnlySimpleIsInvertible) {
+  EXPECT_TRUE(MakeHashFamily(HashFamilyKind::kSimple, 3, 1000, 42, 10000)
+                  .value()
+                  ->IsInvertible());
+  EXPECT_FALSE(
+      MakeHashFamily(HashFamilyKind::kMurmur3, 3, 1000, 42).value()
+          ->IsInvertible());
+  EXPECT_FALSE(
+      MakeHashFamily(HashFamilyKind::kMd5, 3, 1000, 42).value()
+          ->IsInvertible());
+}
+
+TEST(HashFamilyFactoryTest, SeedChangesTheFunctions) {
+  auto a = MakeHashFamily(HashFamilyKind::kMurmur3, 3, 100000, 1).value();
+  auto b = MakeHashFamily(HashFamilyKind::kMurmur3, 3, 100000, 2).value();
+  int same = 0;
+  for (uint64_t key = 0; key < 100; ++key) {
+    same += (a->Hash(0, key) == b->Hash(0, key));
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(HashFamilyFactoryTest, DefaultHashAllAgreesWithHash) {
+  auto family = MakeHashFamily(HashFamilyKind::kMd5, 4, 5000, 9).value();
+  uint64_t out[4];
+  family->HashAll(777, out);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], family->Hash(i, 777));
+}
+
+}  // namespace
+}  // namespace bloomsample

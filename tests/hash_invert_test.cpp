@@ -1,0 +1,145 @@
+#include "src/baselines/hash_invert.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> SimpleFamily(uint64_t m, uint64_t universe) {
+  return MakeHashFamily(HashFamilyKind::kSimple, 3, m, 42, universe).value();
+}
+
+class HashInvertReconstructTest
+    : public ::testing::TestWithParam<HashInvert::ReconstructMode> {};
+
+TEST_P(HashInvertReconstructTest, MatchesDictionaryAttackExactly) {
+  const uint64_t M = 40000;
+  Rng rng(1);
+  for (uint64_t n : {10ULL, 200ULL, 2000ULL}) {
+    const auto members = GenerateUniformSet(M, n, &rng).value();
+    BloomFilter filter = MakeFilter(SimpleFamily(12000, M), members);
+    HashInvert inverter(M);
+    DictionaryAttack attack(M);
+    const auto truth = attack.Reconstruct(filter);
+    const auto result = inverter.Reconstruct(filter, GetParam());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), truth) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, HashInvertReconstructTest,
+    ::testing::Values(HashInvert::ReconstructMode::kAuto,
+                      HashInvert::ReconstructMode::kSetBits,
+                      HashInvert::ReconstructMode::kUnsetBits),
+    [](const auto& info) {
+      switch (info.param) {
+        case HashInvert::ReconstructMode::kAuto: return "Auto";
+        case HashInvert::ReconstructMode::kSetBits: return "SetBits";
+        case HashInvert::ReconstructMode::kUnsetBits: return "UnsetBits";
+      }
+      return "Unknown";
+    });
+
+TEST(HashInvertTest, DenseFilterBothModesAgree) {
+  // Saturate the filter past 50% fill so kAuto selects the unset-bit path.
+  const uint64_t M = 20000;
+  Rng rng(2);
+  const auto members = GenerateUniformSet(M, 4000, &rng).value();
+  BloomFilter filter = MakeFilter(SimpleFamily(6000, M), members);
+  ASSERT_GT(filter.FillFraction(), 0.5);
+
+  HashInvert inverter(M);
+  const auto set_mode =
+      inverter.Reconstruct(filter, HashInvert::ReconstructMode::kSetBits);
+  const auto unset_mode =
+      inverter.Reconstruct(filter, HashInvert::ReconstructMode::kUnsetBits);
+  ASSERT_TRUE(set_mode.ok());
+  ASSERT_TRUE(unset_mode.ok());
+  EXPECT_EQ(set_mode.value(), unset_mode.value());
+}
+
+TEST(HashInvertTest, SampleIsAlwaysAPositive) {
+  const uint64_t M = 30000;
+  Rng rng(3);
+  const auto members = GenerateUniformSet(M, 150, &rng).value();
+  BloomFilter filter = MakeFilter(SimpleFamily(10000, M), members);
+  HashInvert inverter(M);
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = inverter.Sample(filter, &rng);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_TRUE(filter.Contains(sample.value()));
+  }
+}
+
+TEST(HashInvertTest, EmptyFilterReturnsNotFound) {
+  const uint64_t M = 1000;
+  BloomFilter filter(SimpleFamily(500, M));
+  HashInvert inverter(M);
+  Rng rng(4);
+  EXPECT_EQ(inverter.Sample(filter, &rng).status().code(),
+            Status::Code::kNotFound);
+  // Reconstruction of an empty filter is the empty set (set-bit mode scans
+  // nothing; unset-bit mode excludes everything).
+  const auto result = inverter.Reconstruct(filter);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(HashInvertTest, NonInvertibleFamilyIsRejected) {
+  auto family = MakeHashFamily(HashFamilyKind::kMurmur3, 3, 1000, 42).value();
+  BloomFilter filter(family);
+  filter.Insert(5);
+  HashInvert inverter(1000);
+  Rng rng(5);
+  EXPECT_EQ(inverter.Sample(filter, &rng).status().code(),
+            Status::Code::kUnsupported);
+  EXPECT_EQ(inverter.Reconstruct(filter).status().code(),
+            Status::Code::kUnsupported);
+}
+
+TEST(HashInvertTest, SampleCoversAllElementsEventually) {
+  // Every member must be reachable by the sampler (it has no uniformity
+  // guarantee, but it must not structurally exclude elements).
+  const uint64_t M = 5000;
+  Rng rng(6);
+  const std::vector<uint64_t> members = {17, 1093, 2048, 4999};
+  BloomFilter filter = MakeFilter(SimpleFamily(4000, M), members);
+  HashInvert inverter(M);
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < 3000 && seen.size() < members.size(); ++i) {
+    const auto sample = inverter.Sample(filter, &rng);
+    ASSERT_TRUE(sample.ok());
+    if (std::binary_search(members.begin(), members.end(), sample.value())) {
+      seen.insert(sample.value());
+    }
+  }
+  EXPECT_EQ(seen.size(), members.size());
+}
+
+TEST(HashInvertTest, CountsInversionsAndMemberships) {
+  const uint64_t M = 10000;
+  Rng rng(7);
+  const auto members = GenerateUniformSet(M, 100, &rng).value();
+  BloomFilter filter = MakeFilter(SimpleFamily(5000, M), members);
+  HashInvert inverter(M);
+  OpCounters counters;
+  ASSERT_TRUE(inverter
+                  .Reconstruct(filter, HashInvert::ReconstructMode::kSetBits,
+                               &counters)
+                  .ok());
+  // k inversions per set bit.
+  EXPECT_EQ(counters.inversions, filter.SetBitCount() * filter.k());
+  EXPECT_GT(counters.membership_queries, 0u);
+  EXPECT_LT(counters.membership_queries, M);  // cheaper than DictionaryAttack
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,177 @@
+// Cross-method integration tests: the backbone invariant of the whole
+// library is that DictionaryAttack, HashInvert, and the BloomSampleTree
+// (exact mode) all compute the SAME set S ∪ S(B) — they are three
+// algorithms for one mathematically defined object — and that every
+// sampler only ever emits members of that set. These suites sweep the
+// invariant across a parameter grid with TEST_P.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/baselines/hash_invert.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+// (namespace_size, set_size, accuracy, clustered, hash_kind)
+using GridParam = std::tuple<uint64_t, uint64_t, double, bool, HashFamilyKind>;
+
+class CrossMethodTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  void SetUp() override {
+    std::tie(namespace_size_, set_size_, accuracy_, clustered_, hash_kind_) =
+        GetParam();
+    config_ = MakeConfigForAccuracy(accuracy_, set_size_, 3, namespace_size_,
+                                    hash_kind_, 42)
+                  .value();
+    // Cap the depth so leaf scans stay test-sized but geometry is exercised.
+    tree_ = std::make_unique<BloomSampleTree>(
+        BloomSampleTree::BuildComplete(config_).value());
+    Rng rng(1234);
+    members_ = (clustered_ ? GenerateClusteredSet(namespace_size_, set_size_,
+                                                  &rng)
+                           : GenerateUniformSet(namespace_size_, set_size_,
+                                                &rng))
+                   .value();
+    query_ = std::make_unique<BloomFilter>(tree_->MakeQueryFilter(members_));
+  }
+
+  uint64_t namespace_size_;
+  uint64_t set_size_;
+  double accuracy_;
+  bool clustered_;
+  HashFamilyKind hash_kind_;
+  TreeConfig config_;
+  std::unique_ptr<BloomSampleTree> tree_;
+  std::vector<uint64_t> members_;
+  std::unique_ptr<BloomFilter> query_;
+};
+
+TEST_P(CrossMethodTest, BstExactReconstructionEqualsDictionaryAttack) {
+  DictionaryAttack attack(namespace_size_);
+  BstReconstructor reconstructor(tree_.get());
+  EXPECT_EQ(reconstructor.Reconstruct(*query_, nullptr,
+                                      BstReconstructor::PruningMode::kExact),
+            attack.Reconstruct(*query_));
+}
+
+TEST_P(CrossMethodTest, HashInvertEqualsDictionaryAttack) {
+  if (hash_kind_ != HashFamilyKind::kSimple) {
+    GTEST_SKIP() << "HashInvert needs an invertible family";
+  }
+  DictionaryAttack attack(namespace_size_);
+  HashInvert inverter(namespace_size_);
+  const auto result = inverter.Reconstruct(*query_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), attack.Reconstruct(*query_));
+}
+
+TEST_P(CrossMethodTest, ReconstructionContainsAllTrueMembers) {
+  BstReconstructor reconstructor(tree_.get());
+  const auto result = reconstructor.Reconstruct(
+      *query_, nullptr, BstReconstructor::PruningMode::kExact);
+  EXPECT_TRUE(std::includes(result.begin(), result.end(), members_.begin(),
+                            members_.end()));
+}
+
+TEST_P(CrossMethodTest, EverySampleIsAPositive) {
+  BstSampler sampler(tree_.get());
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    const auto sample = sampler.Sample(*query_, &rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_TRUE(query_->Contains(*sample));
+    EXPECT_LT(*sample, namespace_size_);
+  }
+}
+
+TEST_P(CrossMethodTest, MeasuredAccuracyMatchesDesign) {
+  DictionaryAttack attack(namespace_size_);
+  const auto positives = attack.Reconstruct(*query_);
+  const double measured = static_cast<double>(set_size_) /
+                          static_cast<double>(positives.size());
+  // |S ∪ S(B)| ≈ n / acc. Loose bounds: small cells are noisy.
+  EXPECT_GT(measured, accuracy_ * 0.55);
+  EXPECT_LT(measured, std::min(1.0, accuracy_ * 1.5 + 0.1));
+}
+
+TEST_P(CrossMethodTest, SampleManyAgreesWithPositiveSet) {
+  BstSampler sampler(tree_.get());
+  Rng rng(99);
+  DictionaryAttack attack(namespace_size_);
+  const auto positives = attack.Reconstruct(*query_);
+  const std::unordered_set<uint64_t> positive_set(positives.begin(),
+                                                  positives.end());
+  const auto samples = sampler.SampleMany(*query_, 25, &rng);
+  for (uint64_t x : samples) EXPECT_TRUE(positive_set.count(x)) << x;
+}
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& [M, n, acc, clustered, kind] = info.param;
+  std::string name = "M" + std::to_string(M) + "_n" + std::to_string(n) +
+                     "_acc" + std::to_string(static_cast<int>(acc * 100)) +
+                     (clustered ? "_clustered_" : "_uniform_") +
+                     HashFamilyKindName(kind);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, CrossMethodTest,
+    ::testing::Values(
+        GridParam{20000, 100, 0.7, false, HashFamilyKind::kSimple},
+        GridParam{20000, 100, 0.9, false, HashFamilyKind::kSimple},
+        GridParam{20000, 100, 0.9, true, HashFamilyKind::kSimple},
+        GridParam{20000, 1000, 0.8, false, HashFamilyKind::kSimple},
+        GridParam{20000, 1000, 0.8, true, HashFamilyKind::kSimple},
+        GridParam{50000, 500, 0.9, false, HashFamilyKind::kSimple},
+        GridParam{50000, 500, 0.5, false, HashFamilyKind::kSimple},
+        GridParam{50000, 2000, 1.0, true, HashFamilyKind::kSimple},
+        GridParam{20000, 200, 0.9, false, HashFamilyKind::kMurmur3},
+        GridParam{20000, 200, 0.9, true, HashFamilyKind::kMurmur3},
+        GridParam{20000, 200, 0.8, false, HashFamilyKind::kMd5}),
+    GridName);
+
+// Pruned-tree integration: the occupied-namespace store must agree with a
+// DictionaryAttack restricted to occupied ids.
+class PrunedCrossMethodTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrunedCrossMethodTest, PrunedReconstructionEqualsOccupiedScan) {
+  const uint64_t M = 1 << 20;
+  const double fraction = GetParam();
+  Rng rng(5);
+  const uint64_t occupied_count =
+      static_cast<uint64_t>(fraction * 4000) + 100;
+  const auto occupied = GenerateUniformSet(M, occupied_count, &rng).value();
+
+  TreeConfig config =
+      MakeConfigForAccuracy(0.9, 200, 3, M, HashFamilyKind::kSimple, 42)
+          .value();
+  const auto tree = BloomSampleTree::BuildPruned(config, occupied).value();
+  std::vector<uint64_t> members;
+  for (size_t i = 0; i < occupied.size(); i += 7) members.push_back(occupied[i]);
+  const BloomFilter query = tree.MakeQueryFilter(members);
+
+  // Ground truth: scan only occupied ids (a pruned tree can propose
+  // nothing else by construction).
+  std::vector<uint64_t> truth;
+  for (uint64_t x : occupied) {
+    if (query.Contains(x)) truth.push_back(x);
+  }
+  BstReconstructor reconstructor(&tree);
+  EXPECT_EQ(reconstructor.Reconstruct(query, nullptr,
+                                      BstReconstructor::PruningMode::kExact),
+            truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PrunedCrossMethodTest,
+                         ::testing::Values(0.05, 0.25, 0.75));
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,95 @@
+#include "src/util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bloomsample {
+namespace {
+
+TEST(MathUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(1023), 9u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(FloorLog2(~0ULL), 63u);
+}
+
+TEST(MathUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(4), 2u);
+  EXPECT_EQ(CeilLog2(5), 3u);
+  EXPECT_EQ(CeilLog2(1ULL << 40), 40u);
+  EXPECT_EQ(CeilLog2((1ULL << 40) + 1), 41u);
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 63));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+}
+
+TEST(MathUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+  EXPECT_EQ(CeilDiv(0, 7), 0u);
+}
+
+TEST(MathUtilTest, MulModHandlesLargeOperands) {
+  const uint64_t big = 0xFFFFFFFFFFFFFFC5ULL;  // large prime
+  EXPECT_EQ(MulMod(2, 3, 7), 6u);
+  EXPECT_EQ(MulMod(big - 1, big - 1, big), 1u);  // (-1)^2 = 1 mod p
+  EXPECT_EQ(MulMod(1ULL << 62, 4, (1ULL << 63) - 1), 2ULL);
+}
+
+TEST(MathUtilTest, AddMod) {
+  EXPECT_EQ(AddMod(3, 4, 5), 2u);
+  EXPECT_EQ(AddMod(0, 0, 5), 0u);
+  const uint64_t m = ~0ULL - 58;  // near the top of the u64 range
+  EXPECT_EQ(AddMod(m - 1, m - 1, m), m - 2);
+}
+
+TEST(MathUtilTest, Gcd) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(17, 5), 1u);
+  EXPECT_EQ(Gcd(0, 9), 9u);
+  EXPECT_EQ(Gcd(9, 0), 9u);
+  EXPECT_EQ(Gcd(100, 100), 100u);
+}
+
+TEST(MathUtilTest, ModInverseRoundTrips) {
+  const uint64_t mods[] = {2, 3, 97, 1000003, 28465, 60870,
+                           0xFFFFFFFFFFFFFFC5ULL};
+  for (uint64_t mod : mods) {
+    for (uint64_t a :
+         {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{12345}, mod - 1}) {
+      if (Gcd(a % mod, mod) != 1 || a % mod == 0) continue;
+      const uint64_t inv = ModInverse(a, mod);
+      EXPECT_EQ(MulMod(a % mod, inv, mod), 1u)
+          << "a=" << a << " mod=" << mod;
+    }
+  }
+}
+
+TEST(MathUtilTest, ModInverseRejectsNonUnits) {
+  EXPECT_EQ(ModInverse(4, 8), 0u);
+  EXPECT_EQ(ModInverse(6, 9), 0u);
+  EXPECT_EQ(ModInverse(0, 7), 0u);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,119 @@
+#include "src/hash/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <string>
+
+namespace bloomsample {
+namespace {
+
+// RFC 1321 Appendix A.5 test suite — the implementation must be
+// bit-identical to the standard.
+TEST(Md5Test, Rfc1321TestSuite) {
+  EXPECT_EQ(Md5::HexDigest(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::HexDigest("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::HexDigest("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::HexDigest("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::HexDigest("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::HexDigest("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                           "wxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::HexDigest("1234567890123456789012345678901234567890123456789"
+                           "0123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789abcdef";
+  const auto oneshot = Md5::Digest(message.data(), message.size());
+  // Feed in pieces of every size from 1 to 67 bytes.
+  for (size_t chunk = 1; chunk <= 67; ++chunk) {
+    Md5 ctx;
+    size_t offset = 0;
+    while (offset < message.size()) {
+      const size_t take = std::min(chunk, message.size() - offset);
+      ctx.Update(message.data() + offset, take);
+      offset += take;
+    }
+    EXPECT_EQ(ctx.Finish(), oneshot) << "chunk size " << chunk;
+  }
+}
+
+TEST(Md5Test, BlockBoundaryLengths) {
+  // Padding edge cases: lengths around 55/56/64 exercise the one-block vs
+  // two-block padding paths.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string message(len, 'x');
+    Md5 ctx;
+    ctx.Update(message.data(), message.size());
+    const auto incremental = ctx.Finish();
+    EXPECT_EQ(incremental, Md5::Digest(message.data(), message.size()))
+        << "length " << len;
+  }
+}
+
+TEST(Md5Test, ResetReusesContext) {
+  Md5 ctx;
+  ctx.Update("abc", 3);
+  (void)ctx.Finish();
+  ctx.Reset();
+  ctx.Update("abc", 3);
+  const auto digest = ctx.Finish();
+  EXPECT_EQ(Md5::Digest("abc", 3), digest);
+}
+
+TEST(Md5Key64Test, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(Md5Key64(123, 1), Md5Key64(123, 1));
+  EXPECT_NE(Md5Key64(123, 1), Md5Key64(123, 2));
+  EXPECT_NE(Md5Key64(123, 1), Md5Key64(124, 1));
+}
+
+TEST(Md5HashFamilyTest, HashesStayInRange) {
+  Md5HashFamily family(3, 1000, 42);
+  for (uint64_t key = 0; key < 2000; ++key) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_LT(family.Hash(i, key), 1000u);
+    }
+  }
+}
+
+TEST(Md5HashFamilyTest, FunctionsDiffer) {
+  Md5HashFamily family(4, 1 << 20, 42);
+  int all_same = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    if (family.Hash(0, key) == family.Hash(1, key) &&
+        family.Hash(1, key) == family.Hash(2, key)) {
+      ++all_same;
+    }
+  }
+  EXPECT_EQ(all_same, 0);
+}
+
+TEST(Md5HashFamilyTest, NotInvertible) {
+  Md5HashFamily family(3, 1000, 42);
+  EXPECT_FALSE(family.IsInvertible());
+  std::vector<uint64_t> out;
+  EXPECT_EQ(family.Preimages(0, 1, 100, &out).code(),
+            Status::Code::kUnsupported);
+}
+
+TEST(Md5HashFamilyTest, RoughlyUniformOverBits) {
+  const uint64_t m = 64;
+  Md5HashFamily family(1, m, 7);
+  std::vector<int> counts(m, 0);
+  const int draws = 64000;
+  for (int key = 0; key < draws; ++key) ++counts[family.Hash(0, key)];
+  const double expected = static_cast<double>(draws) / m;
+  for (uint64_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b], expected, 6 * std::sqrt(expected)) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace bloomsample

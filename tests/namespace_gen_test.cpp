@@ -1,0 +1,116 @@
+#include "src/workload/namespace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bloomsample {
+namespace {
+
+TEST(NamespaceGenTest, SelectsTheRequestedFractionOfLeaves) {
+  Rng rng(1);
+  const auto ranges =
+      SelectLeafRanges(256000, 256, 0.25, SelectionMode::kUniform, &rng);
+  ASSERT_TRUE(ranges.ok());
+  EXPECT_EQ(ranges.value().size(), 64u);
+  for (const IdRange& range : ranges.value()) {
+    EXPECT_EQ(range.Width(), 1000u);
+    EXPECT_EQ(range.lo % 1000, 0u);
+    EXPECT_LE(range.hi, 256000u);
+  }
+  EXPECT_EQ(TotalWidth(ranges.value()), 64000u);
+}
+
+TEST(NamespaceGenTest, RangesAreSortedAndDisjoint) {
+  Rng rng(2);
+  for (SelectionMode mode :
+       {SelectionMode::kUniform, SelectionMode::kClustered}) {
+    const auto ranges =
+        SelectLeafRanges(1 << 20, 128, 0.5, mode, &rng).value();
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_LE(ranges[i - 1].hi, ranges[i].lo);
+    }
+  }
+}
+
+TEST(NamespaceGenTest, ClusteredSelectionIsMoreContiguous) {
+  Rng rng(3);
+  double uniform_adjacent = 0;
+  double clustered_adjacent = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto uniform =
+        SelectLeafRanges(1 << 20, 256, 0.3, SelectionMode::kUniform, &rng)
+            .value();
+    const auto clustered =
+        SelectLeafRanges(1 << 20, 256, 0.3, SelectionMode::kClustered, &rng)
+            .value();
+    const auto adjacency = [](const std::vector<IdRange>& ranges) {
+      int adjacent = 0;
+      for (size_t i = 1; i < ranges.size(); ++i) {
+        adjacent += (ranges[i - 1].hi == ranges[i].lo);
+      }
+      return adjacent;
+    };
+    uniform_adjacent += adjacency(uniform);
+    clustered_adjacent += adjacency(clustered);
+  }
+  EXPECT_GT(clustered_adjacent, uniform_adjacent * 1.5);
+}
+
+TEST(NamespaceGenTest, FullFractionSelectsEverything) {
+  Rng rng(4);
+  const auto ranges =
+      SelectLeafRanges(10000, 100, 1.0, SelectionMode::kUniform, &rng).value();
+  EXPECT_EQ(ranges.size(), 100u);
+  EXPECT_EQ(TotalWidth(ranges), 10000u);
+}
+
+TEST(NamespaceGenTest, Validation) {
+  Rng rng(5);
+  EXPECT_FALSE(
+      SelectLeafRanges(100, 0, 0.5, SelectionMode::kUniform, &rng).ok());
+  EXPECT_FALSE(
+      SelectLeafRanges(100, 200, 0.5, SelectionMode::kUniform, &rng).ok());
+  EXPECT_FALSE(
+      SelectLeafRanges(100, 10, 0.0, SelectionMode::kUniform, &rng).ok());
+  EXPECT_FALSE(
+      SelectLeafRanges(100, 10, 1.1, SelectionMode::kUniform, &rng).ok());
+}
+
+TEST(NamespaceGenTest, DrawOccupiedIdsStayInsideRanges) {
+  Rng rng(6);
+  const auto ranges =
+      SelectLeafRanges(1 << 16, 64, 0.25, SelectionMode::kClustered, &rng)
+          .value();
+  const auto ids = DrawOccupiedIds(ranges, 2000, &rng);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(ids.value().begin(), ids.value().end()));
+  EXPECT_EQ(std::adjacent_find(ids.value().begin(), ids.value().end()),
+            ids.value().end());
+  for (uint64_t id : ids.value()) {
+    const bool inside = std::any_of(
+        ranges.begin(), ranges.end(),
+        [id](const IdRange& r) { return id >= r.lo && id < r.hi; });
+    EXPECT_TRUE(inside) << id;
+  }
+}
+
+TEST(NamespaceGenTest, DrawOccupiedIdsRejectsOverdraw) {
+  Rng rng(7);
+  const std::vector<IdRange> ranges = {{0, 10}, {20, 30}};
+  EXPECT_FALSE(DrawOccupiedIds(ranges, 21, &rng).ok());
+  EXPECT_TRUE(DrawOccupiedIds(ranges, 20, &rng).ok());
+}
+
+TEST(NamespaceGenTest, NonDivisibleNamespaceClipsLastRange) {
+  Rng rng(8);
+  // 1050 ids over 100 leaves: width 11, last leaf clipped to [1045?, 1050).
+  const auto ranges =
+      SelectLeafRanges(1050, 100, 1.0, SelectionMode::kUniform, &rng).value();
+  EXPECT_EQ(TotalWidth(ranges), 1050u);
+  for (const IdRange& range : ranges) EXPECT_LE(range.hi, 1050u);
+}
+
+}  // namespace
+}  // namespace bloomsample

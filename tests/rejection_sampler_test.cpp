@@ -1,0 +1,129 @@
+#include "src/baselines/rejection_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/stats/chi_squared.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+std::shared_ptr<const HashFamily> Family(uint64_t m, uint64_t universe) {
+  return MakeHashFamily(HashFamilyKind::kSimple, 3, m, 42, universe).value();
+}
+
+TEST(RejectionSamplerTest, SamplesAreAlwaysPositives) {
+  const uint64_t M = 50000;
+  Rng rng(1);
+  const auto members = GenerateUniformSet(M, 300, &rng).value();
+  const BloomFilter query = MakeFilter(Family(15000, M), members);
+  RejectionSampler sampler(M);
+  for (int i = 0; i < 100; ++i) {
+    const auto sample = sampler.Sample(query, &rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_TRUE(query.Contains(*sample));
+  }
+}
+
+TEST(RejectionSamplerTest, EmptyFilterReturnsNull) {
+  const uint64_t M = 1000;
+  const BloomFilter query(Family(500, M));
+  RejectionSampler sampler(M);
+  Rng rng(2);
+  OpCounters counters;
+  EXPECT_FALSE(sampler.Sample(query, &rng, &counters).has_value());
+  EXPECT_EQ(counters.null_samples, 1u);
+}
+
+TEST(RejectionSamplerTest, ExpectedCostIsMOverPopulation) {
+  const uint64_t M = 100000;
+  Rng rng(3);
+  const auto members = GenerateUniformSet(M, 1000, &rng).value();
+  const BloomFilter query = MakeFilter(Family(30000, M), members);
+  DictionaryAttack attack(M);
+  const double pop = static_cast<double>(attack.Reconstruct(query).size());
+
+  RejectionSampler sampler(M);
+  OpCounters counters;
+  const int rounds = 2000;
+  for (int i = 0; i < rounds; ++i) {
+    ASSERT_TRUE(sampler.Sample(query, &rng, &counters).has_value());
+  }
+  const double measured =
+      static_cast<double>(counters.membership_queries) / rounds;
+  const double expected = static_cast<double>(M) / pop;
+  EXPECT_NEAR(measured, expected, 0.2 * expected);
+}
+
+TEST(RejectionSamplerTest, ExactlyUniformAtPaperDefaultParameters) {
+  // The headline property: at the very parameter cell where BSTSample's
+  // chi-squared collapses (Table 5; sparse leaves, noisy estimates),
+  // rejection sampling passes — it never consults an estimate.
+  const uint64_t M = 100000;  // scaled-down cell, same sparseness profile
+  Rng rng(4);
+  const auto members = GenerateUniformSet(M, 200, &rng).value();
+  const BloomFilter query = MakeFilter(Family(10000, M), members);
+  DictionaryAttack attack(M);
+  const auto population = attack.Reconstruct(query);
+
+  RejectionSampler sampler(M);
+  std::vector<uint64_t> samples;
+  const uint64_t rounds = 130 * population.size();
+  samples.reserve(rounds);
+  for (uint64_t i = 0; i < rounds; ++i) {
+    const auto sample = sampler.Sample(query, &rng);
+    ASSERT_TRUE(sample.has_value());
+    samples.push_back(*sample);
+  }
+  const auto test = ChiSquaredUniformTest(population, samples).value();
+  EXPECT_GT(test.p_value, 1e-3) << "chi2=" << test.statistic
+                                << " dof=" << test.dof;
+}
+
+TEST(RejectionSamplerTest, OccupiedPoolRestrictsCandidates) {
+  const uint64_t M = 1 << 20;
+  Rng rng(5);
+  const auto occupied = GenerateUniformSet(M, 500, &rng).value();
+  auto family = Family(20000, M);
+  std::vector<uint64_t> members(occupied.begin(), occupied.begin() + 50);
+  const BloomFilter query = MakeFilter(family, members);
+
+  RejectionSampler sampler(&occupied);
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = sampler.Sample(query, &rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_TRUE(std::binary_search(occupied.begin(), occupied.end(), *sample));
+    EXPECT_TRUE(query.Contains(*sample));
+  }
+}
+
+TEST(RejectionSamplerTest, SampleManyReturnsRequestedCount) {
+  const uint64_t M = 20000;
+  Rng rng(6);
+  const auto members = GenerateUniformSet(M, 400, &rng).value();
+  const BloomFilter query = MakeFilter(Family(12000, M), members);
+  RejectionSampler sampler(M);
+  const auto samples = sampler.SampleMany(query, 25, &rng);
+  EXPECT_EQ(samples.size(), 25u);
+  for (uint64_t x : samples) EXPECT_TRUE(query.Contains(x));
+}
+
+TEST(RejectionSamplerTest, MaxAttemptsBoundsTheSearch) {
+  const uint64_t M = 100000;
+  // One member in a huge namespace: 3 attempts will almost surely miss.
+  const BloomFilter query = MakeFilter(Family(50000, M), {777});
+  RejectionSampler sampler(M);
+  Rng rng(7);
+  OpCounters counters;
+  const auto sample =
+      sampler.Sample(query, &rng, &counters, /*max_attempts=*/3);
+  EXPECT_LE(counters.membership_queries, 3u);
+  if (sample.has_value()) EXPECT_TRUE(query.Contains(*sample));
+}
+
+}  // namespace
+}  // namespace bloomsample

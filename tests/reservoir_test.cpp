@@ -1,0 +1,97 @@
+#include "src/sampling/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bloomsample {
+namespace {
+
+TEST(ReservoirTest, EmptyStreamYieldsNoSample) {
+  Rng rng(1);
+  ReservoirSampler sampler(&rng);
+  EXPECT_FALSE(sampler.sample().has_value());
+  EXPECT_EQ(sampler.count(), 0u);
+}
+
+TEST(ReservoirTest, SingleItemIsAlwaysChosen) {
+  Rng rng(1);
+  ReservoirSampler sampler(&rng);
+  sampler.Offer(42);
+  ASSERT_TRUE(sampler.sample().has_value());
+  EXPECT_EQ(*sampler.sample(), 42u);
+}
+
+TEST(ReservoirTest, UniformOverStream) {
+  // Offer 0..9 repeatedly; each should be selected ~10% of the time.
+  Rng rng(7);
+  constexpr int kTrials = 50000;
+  std::vector<int> counts(10, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler sampler(&rng);
+    for (uint64_t i = 0; i < 10; ++i) sampler.Offer(i);
+    ++counts[*sampler.sample()];
+  }
+  const double expected = kTrials / 10.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected)) << i;
+  }
+}
+
+TEST(ReservoirTest, ResetStartsOver) {
+  Rng rng(1);
+  ReservoirSampler sampler(&rng);
+  sampler.Offer(1);
+  sampler.Reset();
+  EXPECT_EQ(sampler.count(), 0u);
+  EXPECT_FALSE(sampler.sample().has_value());
+}
+
+TEST(MultiReservoirTest, ShortStreamKeepsEverything) {
+  Rng rng(2);
+  MultiReservoirSampler sampler(5, &rng);
+  sampler.Offer(1);
+  sampler.Offer(2);
+  sampler.Offer(3);
+  EXPECT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.count(), 3u);
+}
+
+TEST(MultiReservoirTest, LongStreamKeepsExactlyR) {
+  Rng rng(3);
+  MultiReservoirSampler sampler(4, &rng);
+  for (uint64_t i = 0; i < 1000; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.samples().size(), 4u);
+  // No duplicates: items are distinct stream positions.
+  auto samples = sampler.samples();
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(std::unique(samples.begin(), samples.end()), samples.end());
+}
+
+TEST(MultiReservoirTest, InclusionProbabilityIsRPerN) {
+  // Each of 20 items should appear in the 4-slot reservoir with
+  // probability 4/20 = 0.2.
+  Rng rng(4);
+  constexpr int kTrials = 20000;
+  std::vector<int> included(20, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    MultiReservoirSampler sampler(4, &rng);
+    for (uint64_t i = 0; i < 20; ++i) sampler.Offer(i);
+    for (uint64_t x : sampler.samples()) ++included[x];
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(included[i] / static_cast<double>(kTrials), 0.2, 0.015) << i;
+  }
+}
+
+TEST(MultiReservoirTest, ZeroSlotReservoirStaysEmpty) {
+  Rng rng(5);
+  MultiReservoirSampler sampler(0, &rng);
+  for (uint64_t i = 0; i < 10; ++i) sampler.Offer(i);
+  EXPECT_TRUE(sampler.samples().empty());
+}
+
+}  // namespace
+}  // namespace bloomsample

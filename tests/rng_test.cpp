@@ -1,0 +1,122 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bloomsample {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(99);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Reseed(99);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, RangeStaysInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t x = rng.Range(100, 110);
+    EXPECT_GE(x, 100u);
+    EXPECT_LT(x, 110u);
+  }
+}
+
+TEST(RngTest, NextDoubleIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(8);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, WorksWithStdShuffle) {
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const std::vector<int> before = v;
+  Rng rng(12);
+  std::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, before);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, before);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  // Regression pin: seeding behaviour must never change silently, or every
+  // recorded experiment seed becomes unreproducible.
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  uint64_t replay_state = 0;
+  EXPECT_EQ(SplitMix64(replay_state), first);
+  EXPECT_EQ(SplitMix64(replay_state), second);
+  EXPECT_NE(first, second);
+}
+
+TEST(RngDeathTest, BelowZeroAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Below(0), "bound must be positive");
+  EXPECT_DEATH(rng.Range(5, 5), "hi > lo");
+}
+
+}  // namespace
+}  // namespace bloomsample

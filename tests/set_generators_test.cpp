@@ -1,0 +1,144 @@
+#include "src/workload/set_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace bloomsample {
+namespace {
+
+TEST(UniformSetTest, SizeSortedUniqueInRange) {
+  Rng rng(1);
+  for (uint64_t n : {0ULL, 1ULL, 100ULL, 5000ULL}) {
+    const auto set = GenerateUniformSet(100000, n, &rng);
+    ASSERT_TRUE(set.ok());
+    EXPECT_EQ(set.value().size(), n);
+    EXPECT_TRUE(std::is_sorted(set.value().begin(), set.value().end()));
+    EXPECT_EQ(std::adjacent_find(set.value().begin(), set.value().end()),
+              set.value().end());
+    for (uint64_t x : set.value()) EXPECT_LT(x, 100000u);
+  }
+}
+
+TEST(UniformSetTest, FullNamespaceDrawIsThePermutationOfAll) {
+  Rng rng(2);
+  const auto set = GenerateUniformSet(500, 500, &rng);
+  ASSERT_TRUE(set.ok());
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(set.value()[i], i);
+}
+
+TEST(UniformSetTest, DensePathNearHalf) {
+  Rng rng(3);
+  const auto set = GenerateUniformSet(1000, 600, &rng);  // dense branch
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value().size(), 600u);
+  EXPECT_EQ(std::adjacent_find(set.value().begin(), set.value().end()),
+            set.value().end());
+}
+
+TEST(UniformSetTest, RejectsOverdraw) {
+  Rng rng(4);
+  EXPECT_FALSE(GenerateUniformSet(10, 11, &rng).ok());
+}
+
+TEST(UniformSetTest, MeanGapNearMOverN) {
+  Rng rng(5);
+  const auto set = GenerateUniformSet(1000000, 1000, &rng).value();
+  const double gap = MeanAdjacentGap(set);
+  EXPECT_NEAR(gap, 1000.0, 200.0);
+}
+
+TEST(ClusteredSetTest, SizeSortedUniqueInRange) {
+  Rng rng(6);
+  for (uint64_t n : {1ULL, 100ULL, 2000ULL}) {
+    const auto set = GenerateClusteredSet(100000, n, &rng);
+    ASSERT_TRUE(set.ok());
+    EXPECT_EQ(set.value().size(), n);
+    EXPECT_TRUE(std::is_sorted(set.value().begin(), set.value().end()));
+    EXPECT_EQ(std::adjacent_find(set.value().begin(), set.value().end()),
+              set.value().end());
+    for (uint64_t x : set.value()) EXPECT_LT(x, 100000u);
+  }
+}
+
+TEST(ClusteredSetTest, IsMuchMoreClusteredThanUniform) {
+  Rng rng(7);
+  const uint64_t M = 1000000;
+  const uint64_t n = 1000;
+  const auto clustered = GenerateClusteredSet(M, n, &rng).value();
+  const auto uniform = GenerateUniformSet(M, n, &rng).value();
+  // The pdf-splitting process piles draws next to previous draws: the
+  // MEDIAN adjacent gap collapses to ~1, far below the uniform ~0.69·M/n.
+  // (Mean gap is insensitive — inter-cluster gaps always sum to ~M.)
+  EXPECT_LT(MedianAdjacentGap(clustered), MedianAdjacentGap(uniform) / 20.0);
+  EXPECT_LE(MedianAdjacentGap(clustered), 3.0);
+}
+
+TEST(ClusteredSetTest, ZeroTaxVariantIsNearUniformAtLowOccupancy) {
+  // The paper's basic split (p = 0) moves only the drawn element's own
+  // 1/M of probability mass per draw, so at n ≪ M it is statistically
+  // indistinguishable from uniform sampling — this is WHY the paper's
+  // experiments use the aggressive p = 10% variant. Pin that behaviour.
+  Rng rng(8);
+  const uint64_t M = 100000;
+  const uint64_t n = 500;
+  const auto basic = GenerateClusteredSet(M, n, &rng, /*tax=*/0.0).value();
+  EXPECT_EQ(basic.size(), n);
+  const auto uniform = GenerateUniformSet(M, n, &rng).value();
+  EXPECT_NEAR(MedianAdjacentGap(basic), MedianAdjacentGap(uniform),
+              0.8 * MedianAdjacentGap(uniform));
+  // The default 10% tax clusters hard on the same parameters.
+  const auto taxed = GenerateClusteredSet(M, n, &rng, /*tax=*/0.10).value();
+  EXPECT_LE(MedianAdjacentGap(taxed), 3.0);
+}
+
+TEST(ClusteredSetTest, HigherTaxClustersHarder) {
+  Rng rng(9);
+  const uint64_t M = 200000;
+  const uint64_t n = 800;
+  double gap_low = 0;
+  double gap_high = 0;
+  // Average over a few repetitions to tame variance.
+  for (int rep = 0; rep < 5; ++rep) {
+    gap_low +=
+        MedianAdjacentGap(GenerateClusteredSet(M, n, &rng, 0.01).value());
+    gap_high +=
+        MedianAdjacentGap(GenerateClusteredSet(M, n, &rng, 0.30).value());
+  }
+  EXPECT_LE(gap_high, gap_low);
+}
+
+TEST(ClusteredSetTest, CanExhaustTheWholeNamespace) {
+  // n == M forces the process through every neighbor-rewiring edge case.
+  Rng rng(10);
+  const auto set = GenerateClusteredSet(256, 256, &rng);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value().size(), 256u);
+  for (uint64_t i = 0; i < 256; ++i) EXPECT_EQ(set.value()[i], i);
+}
+
+TEST(ClusteredSetTest, LongRunSurvivesRenormalization) {
+  // 0.9^n underflows any fixed multiplier after ~3000 draws; this run
+  // crosses several renormalization boundaries.
+  Rng rng(11);
+  const auto set = GenerateClusteredSet(50000, 10000, &rng);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value().size(), 10000u);
+}
+
+TEST(ClusteredSetTest, Validation) {
+  Rng rng(12);
+  EXPECT_FALSE(GenerateClusteredSet(10, 11, &rng).ok());
+  EXPECT_FALSE(GenerateClusteredSet(100, 10, &rng, -0.1).ok());
+  EXPECT_FALSE(GenerateClusteredSet(100, 10, &rng, 1.0).ok());
+}
+
+TEST(MeanAdjacentGapTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(MeanAdjacentGap({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAdjacentGap({42}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAdjacentGap({10, 20, 40}), 15.0);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,252 @@
+#include "src/core/set_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+BloomSetStore::Options SmallOptions() {
+  BloomSetStore::Options options;
+  options.accuracy = 0.9;
+  options.expected_set_size = 100;
+  options.seed = 7;
+  return options;
+}
+
+TEST(SetStoreTest, CreateDerivesSaneParameters) {
+  const auto store = BloomSetStore::Create(100000, SmallOptions());
+  ASSERT_TRUE(store.ok());
+  const TreeConfig& config = store.value().tree_config();
+  EXPECT_EQ(config.namespace_size, 100000u);
+  EXPECT_GT(config.m, 0u);
+  EXPECT_GT(config.depth, 0u);
+  EXPECT_GT(store.value().TreeMemoryBytes(), 0u);
+}
+
+TEST(SetStoreTest, AddSampleReconstructRoundTrip) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  Rng rng(1);
+  const auto members = GenerateUniformSet(100000, 100, &rng).value();
+  ASSERT_TRUE(store.AddSet("s", members).ok());
+  EXPECT_TRUE(store.HasSet("s"));
+
+  const auto sample = store.Sample("s", &rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(store.GetFilter("s")->Contains(sample.value()));
+
+  const auto recon = store.Reconstruct(
+      "s", nullptr, BstReconstructor::PruningMode::kExact);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_TRUE(std::includes(recon.value().begin(), recon.value().end(),
+                            members.begin(), members.end()));
+}
+
+TEST(SetStoreTest, SampleManyReturnsDistinctPositives) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  Rng rng(2);
+  const auto members = GenerateUniformSet(100000, 200, &rng).value();
+  ASSERT_TRUE(store.AddSet("s", members).ok());
+  const auto samples = store.SampleMany("s", 20, &rng);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_GE(samples.value().size(), 5u);
+  auto sorted = samples.value();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SetStoreTest, UnknownSetNameIsNotFound) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  Rng rng(3);
+  EXPECT_EQ(store.Sample("nope", &rng).status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(store.Reconstruct("nope").status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(store.GetFilter("nope"), nullptr);
+  EXPECT_EQ(store.AddToSet("nope", 5).code(), Status::Code::kNotFound);
+}
+
+TEST(SetStoreTest, AddSetValidatesElements) {
+  auto store = BloomSetStore::Create(1000, SmallOptions()).value();
+  EXPECT_EQ(store.AddSet("bad", {1000}).code(), Status::Code::kOutOfRange);
+  EXPECT_TRUE(store.AddSet("ok", {999}).ok());
+  EXPECT_EQ(store.AddToSet("ok", 1000).code(), Status::Code::kOutOfRange);
+}
+
+TEST(SetStoreTest, AddSetReplacesExisting) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  ASSERT_TRUE(store.AddSet("s", {1, 2, 3}).ok());
+  ASSERT_TRUE(store.AddSet("s", {7}).ok());
+  const auto recon =
+      store.Reconstruct("s", nullptr, BstReconstructor::PruningMode::kExact);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_TRUE(
+      std::binary_search(recon.value().begin(), recon.value().end(), 7));
+  // 1,2,3 can only appear as (unlikely) false positives of the tiny set.
+  EXPECT_LT(recon.value().size(), 10u);
+}
+
+TEST(SetStoreTest, AddToSetGrowsTheSet) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  ASSERT_TRUE(store.AddSet("s", {5}).ok());
+  ASSERT_TRUE(store.AddToSet("s", 77).ok());
+  EXPECT_TRUE(store.GetFilter("s")->Contains(77));
+}
+
+TEST(SetStoreTest, SetNamesAreSorted) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  ASSERT_TRUE(store.AddSet("zeta", {1}).ok());
+  ASSERT_TRUE(store.AddSet("alpha", {2}).ok());
+  const auto names = store.SetNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(SetStoreTest, PrunedStoreRejectsUnoccupiedIds) {
+  std::vector<uint64_t> occupied = {10, 20, 30};
+  auto store =
+      BloomSetStore::CreateWithOccupied(10000, occupied, SmallOptions())
+          .value();
+  EXPECT_TRUE(store.AddSet("s", {10, 30}).ok());
+  EXPECT_EQ(store.AddSet("bad", {11}).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(store.AddToSet("s", 11).code(), Status::Code::kInvalidArgument);
+  // Register the id first, then it is allowed.
+  ASSERT_TRUE(store.AddOccupied(11).ok());
+  EXPECT_TRUE(store.AddToSet("s", 11).ok());
+}
+
+TEST(SetStoreTest, PrunedStoreSamplesOnlyOccupied) {
+  Rng rng(4);
+  const auto occupied = GenerateUniformSet(1000000, 300, &rng).value();
+  auto store =
+      BloomSetStore::CreateWithOccupied(1000000, occupied, SmallOptions())
+          .value();
+  std::vector<uint64_t> members(occupied.begin(), occupied.begin() + 40);
+  ASSERT_TRUE(store.AddSet("s", members).ok());
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = store.Sample("s", &rng);
+    ASSERT_TRUE(sample.ok());
+    EXPECT_TRUE(std::binary_search(occupied.begin(), occupied.end(),
+                                   sample.value()));
+  }
+}
+
+TEST(SetStoreTest, AddOccupiedOnCompleteStoreFails) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  EXPECT_EQ(store.AddOccupied(5).code(), Status::Code::kUnsupported);
+}
+
+TEST(SetStoreTest, MemoryAccounting) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  EXPECT_EQ(store.SetMemoryBytes(), 0u);
+  ASSERT_TRUE(store.AddSet("a", {1}).ok());
+  ASSERT_TRUE(store.AddSet("b", {2}).ok());
+  EXPECT_EQ(store.SetMemoryBytes(),
+            2 * store.GetFilter("a")->MemoryBytes());
+}
+
+TEST(SetStoreTest, CreateRejectsBadOptions) {
+  BloomSetStore::Options bad = SmallOptions();
+  bad.accuracy = 0.0;
+  EXPECT_FALSE(BloomSetStore::Create(10000, bad).ok());
+  bad = SmallOptions();
+  bad.expected_set_size = 0;
+  EXPECT_FALSE(BloomSetStore::Create(10000, bad).ok());
+  EXPECT_FALSE(BloomSetStore::Create(1, SmallOptions()).ok());
+}
+
+TEST(SetStoreTest, ComposeUnionSamplesFromBothSets) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  Rng rng(6);
+  const auto a = GenerateUniformSet(50000, 60, &rng).value();
+  std::vector<uint64_t> b;
+  for (uint64_t x : GenerateUniformSet(50000, 60, &rng).value()) {
+    b.push_back(x + 50000);
+  }
+  ASSERT_TRUE(store.AddSet("a", a).ok());
+  ASSERT_TRUE(store.AddSet("b", b).ok());
+  const auto both = store.ComposeUnion({"a", "b"});
+  ASSERT_TRUE(both.ok());
+
+  // The union filter contains every member of both sets…
+  for (uint64_t x : a) EXPECT_TRUE(both.value().Contains(x));
+  for (uint64_t x : b) EXPECT_TRUE(both.value().Contains(x));
+  // …and sampling it eventually returns members from both halves.
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 300 && !(low && high); ++i) {
+    const auto sample = store.SampleFilter(both.value(), &rng);
+    ASSERT_TRUE(sample.ok());
+    (sample.value() < 50000 ? low : high) = true;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(SetStoreTest, ComposeIntersectionKeepsSharedMembers) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  Rng rng(7);
+  const auto shared = GenerateUniformSet(100000, 30, &rng).value();
+  std::vector<uint64_t> a = shared;
+  std::vector<uint64_t> b = shared;
+  for (uint64_t x : GenerateUniformSet(100000, 50, &rng).value()) {
+    a.push_back(x);
+  }
+  for (uint64_t x : GenerateUniformSet(100000, 50, &rng).value()) {
+    b.push_back(x);
+  }
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  ASSERT_TRUE(store.AddSet("a", a).ok());
+  ASSERT_TRUE(store.AddSet("b", b).ok());
+
+  const auto inter = store.ComposeIntersection({"a", "b"});
+  ASSERT_TRUE(inter.ok());
+  // Shared members always survive a bitwise-AND composition.
+  for (uint64_t x : shared) EXPECT_TRUE(inter.value().Contains(x));
+  const auto recon = store.ReconstructFilter(
+      inter.value(), nullptr, BstReconstructor::PruningMode::kExact);
+  ASSERT_TRUE(recon.ok());
+  EXPECT_TRUE(std::includes(recon.value().begin(), recon.value().end(),
+                            shared.begin(), shared.end()));
+}
+
+TEST(SetStoreTest, ComposeValidation) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  ASSERT_TRUE(store.AddSet("a", {1}).ok());
+  EXPECT_EQ(store.ComposeUnion({}).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(store.ComposeUnion({"a", "ghost"}).status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(store.ComposeIntersection({"ghost"}).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(SetStoreTest, ForeignFilterRejectedBySampleFilter) {
+  auto store = BloomSetStore::Create(10000, SmallOptions()).value();
+  auto other = BloomSetStore::Create(10000, SmallOptions()).value();
+  ASSERT_TRUE(other.AddSet("x", {5}).ok());
+  Rng rng(8);
+  EXPECT_EQ(store.SampleFilter(*other.GetFilter("x"), &rng).status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(store.ReconstructFilter(*other.GetFilter("x")).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SetStoreTest, OpCountersFlowThrough) {
+  auto store = BloomSetStore::Create(100000, SmallOptions()).value();
+  Rng rng(5);
+  const auto members = GenerateUniformSet(100000, 100, &rng).value();
+  ASSERT_TRUE(store.AddSet("s", members).ok());
+  OpCounters counters;
+  ASSERT_TRUE(store.Sample("s", &rng, &counters).ok());
+  EXPECT_GT(counters.intersections, 0u);
+  EXPECT_GT(counters.membership_queries, 0u);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,142 @@
+#include "src/hash/simple_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/math_util.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(SimpleHashTest, PrimeExceedsUniverseAndM) {
+  SimpleHashFamily family(3, 60870, 42, /*universe=*/1000000);
+  EXPECT_TRUE(IsPrime(family.p()));
+  EXPECT_GT(family.p(), 1000000u);
+  EXPECT_GT(family.p(), family.m());
+}
+
+TEST(SimpleHashTest, DefaultUniverseIsLarge) {
+  SimpleHashFamily family(3, 1000, 42);
+  EXPECT_GT(family.p(), uint64_t{1} << 32);
+}
+
+TEST(SimpleHashTest, HashesStayInRange) {
+  SimpleHashFamily family(3, 997, 1, 100000);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    for (size_t i = 0; i < 3; ++i) EXPECT_LT(family.Hash(i, key), 997u);
+  }
+}
+
+TEST(SimpleHashTest, Deterministic) {
+  SimpleHashFamily a(3, 997, 7, 100000);
+  SimpleHashFamily b(3, 997, 7, 100000);
+  for (uint64_t key = 0; key < 100; ++key) {
+    for (size_t i = 0; i < 3; ++i) EXPECT_EQ(a.Hash(i, key), b.Hash(i, key));
+  }
+}
+
+TEST(SimpleHashTest, PreimagesAreExactlyTheInverseImage) {
+  const uint64_t m = 101;
+  const uint64_t universe = 10000;
+  SimpleHashFamily family(3, m, 9, universe);
+  for (size_t i = 0; i < 3; ++i) {
+    for (uint64_t bit : {0ULL, 1ULL, 50ULL, 100ULL}) {
+      std::vector<uint64_t> preimages;
+      ASSERT_TRUE(family.Preimages(i, bit, universe, &preimages).ok());
+      // Every listed preimage hashes to the bit…
+      for (uint64_t x : preimages) {
+        EXPECT_LT(x, universe);
+        EXPECT_EQ(family.Hash(i, x), bit);
+      }
+      // …and no namespace element outside the list does.
+      const std::unordered_set<uint64_t> listed(preimages.begin(),
+                                                preimages.end());
+      for (uint64_t x = 0; x < universe; ++x) {
+        EXPECT_EQ(family.Hash(i, x) == bit, listed.count(x) == 1)
+            << "x=" << x << " i=" << i << " bit=" << bit;
+      }
+    }
+  }
+}
+
+TEST(SimpleHashTest, PreimageCountNearUniversePerM) {
+  const uint64_t m = 1000;
+  const uint64_t universe = 50000;
+  SimpleHashFamily family(2, m, 4, universe);
+  std::vector<uint64_t> preimages;
+  ASSERT_TRUE(family.Preimages(0, 123, universe, &preimages).ok());
+  // About universe/m = 50 expected; allow generous slack.
+  EXPECT_GT(preimages.size(), 25u);
+  EXPECT_LT(preimages.size(), 100u);
+}
+
+TEST(SimpleHashTest, PreimagesValidatesArguments) {
+  SimpleHashFamily family(2, 100, 4, 1000);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(family.Preimages(2, 0, 1000, &out).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(family.Preimages(0, 100, 1000, &out).code(),
+            Status::Code::kOutOfRange);
+  // Asking to invert over a namespace beyond the universe must fail: keys
+  // >= p alias and the enumeration would be incomplete.
+  EXPECT_EQ(family.Preimages(0, 5, family.p() + 1, &out).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SimpleHashTest, NoCrossFunctionCongruenceCorrelation) {
+  // The failure mode of the naive (a·x+b) mod m family: x and x+m collide
+  // under EVERY function simultaneously. With the prime-modulus form the
+  // probability that x and x+m collide under all 3 functions should be
+  // ~1/m³, i.e. never in this sweep.
+  const uint64_t m = 1009;
+  SimpleHashFamily family(3, m, 13, 1000000);
+  int full_collisions = 0;
+  for (uint64_t x = 0; x < 2000; ++x) {
+    bool all = true;
+    for (size_t i = 0; i < 3; ++i) {
+      if (family.Hash(i, x) != family.Hash(i, x + m)) {
+        all = false;
+        break;
+      }
+    }
+    full_collisions += all;
+  }
+  EXPECT_EQ(full_collisions, 0);
+}
+
+TEST(SimpleHashTest, RoughlyUniformOverBits) {
+  const uint64_t m = 64;
+  SimpleHashFamily family(1, m, 21, 1 << 20);
+  std::vector<int> counts(m, 0);
+  const int draws = 64000;
+  for (int key = 0; key < draws; ++key) ++counts[family.Hash(0, key)];
+  const double expected = static_cast<double>(draws) / m;
+  for (uint64_t b = 0; b < m; ++b) {
+    EXPECT_NEAR(counts[b], expected, 6 * std::sqrt(expected)) << "bit " << b;
+  }
+}
+
+TEST(SimpleHashTest, IsInvertible) {
+  SimpleHashFamily family(3, 100, 42, 1000);
+  EXPECT_TRUE(family.IsInvertible());
+  EXPECT_EQ(family.Name(), "simple");
+}
+
+TEST(SimpleHashTest, DegenerateMOne) {
+  SimpleHashFamily family(2, 1, 42, 100);
+  for (uint64_t key = 0; key < 50; ++key) {
+    EXPECT_EQ(family.Hash(0, key), 0u);
+    EXPECT_EQ(family.Hash(1, key), 0u);
+  }
+  std::vector<uint64_t> preimages;
+  ASSERT_TRUE(family.Preimages(0, 0, 100, &preimages).ok());
+  std::sort(preimages.begin(), preimages.end());
+  EXPECT_EQ(preimages.size(), 100u);  // everything maps to bit 0
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,114 @@
+#include "src/analysis/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/bloom/bloom_params.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(TheoryTest, EpsilonMatchesClosedForm) {
+  const uint64_t n = 1000;
+  const uint64_t k = 3;
+  const uint64_t m = 60870;
+  const double logm = std::log(static_cast<double>(m));
+  const double expected = std::sqrt(
+      2.0 * n * k * (logm + std::log(logm) + std::log(static_cast<double>(n))) /
+      static_cast<double>(m));
+  EXPECT_NEAR(SampleBiasEpsilon(n, k, m), expected, 1e-12);
+}
+
+TEST(TheoryTest, EpsilonShrinksWithM) {
+  EXPECT_GT(SampleBiasEpsilon(1000, 3, 60870),
+            SampleBiasEpsilon(1000, 3, 1000000));
+  EXPECT_GT(SampleBiasEpsilon(1000, 3, 1000000),
+            SampleBiasEpsilon(1000, 3, 100000000));
+}
+
+TEST(TheoryTest, PaperDefaultParametersViolateThePrecondition) {
+  // The quantitative core of our Table 5 finding: at the paper's default
+  // cell (n = 1000, m = 60870, M = 1e6, M⊥ = 1954), f(m) ≫ 1, so
+  // Proposition 5.2 promises nothing there.
+  const double f = SampleBiasPathExponent(1000, 3, 60870, 1000000, 1954);
+  EXPECT_GT(f, 5.0);
+  // It takes m in the billions-of-bits range for the guarantee to bite —
+  // far beyond any memory-sane deployment, which is the point.
+  const double f_large =
+      SampleBiasPathExponent(1000, 3, 1000000000, 1000000, 1954);
+  EXPECT_LT(f_large, 0.5);
+}
+
+TEST(TheoryTest, CriticalDepthMatchesDefinition) {
+  // d* = log2(M·k²·n / (m·ln2)).
+  const double expected =
+      std::log2(1e6 * 9.0 * 100.0 / (60870.0 * std::log(2.0)));
+  EXPECT_NEAR(CriticalDepth(1000000, 3, 100, 60870), expected, 1e-9);
+  // Tiny workloads clamp to zero.
+  EXPECT_DOUBLE_EQ(CriticalDepth(100, 1, 1, 1000000), 0.0);
+}
+
+TEST(TheoryTest, ExpectedSampleNodesGrowsWithNamespace) {
+  const double small = ExpectedSampleNodesVisited(100000, 1000, 3, 100, 30000);
+  const double large =
+      ExpectedSampleNodesVisited(10000000, 1000, 3, 100, 30000);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, std::log2(100000.0 / 1000.0));
+}
+
+TEST(TheoryTest, ExpectedReconstructionNodesScalesLinearlyInN) {
+  const double n1 =
+      ExpectedReconstructionNodesVisited(1000000, 1000, 3, 100, 60870);
+  const double n2 =
+      ExpectedReconstructionNodesVisited(1000000, 1000, 3, 200, 60870);
+  EXPECT_NEAR(n2 / n1, 2.0, 1e-9);
+}
+
+TEST(TheoryTest, FalsePathNodesBranchingProcess) {
+  // E[L] = 2α/(1−2α): subcritical below 1/2, divergent at and above.
+  EXPECT_DOUBLE_EQ(ExpectedFalsePathNodes(0.0), 0.0);
+  EXPECT_NEAR(ExpectedFalsePathNodes(0.25), 1.0, 1e-12);
+  EXPECT_NEAR(ExpectedFalsePathNodes(0.4), 4.0, 1e-9);
+  EXPECT_TRUE(std::isinf(ExpectedFalsePathNodes(0.5)));
+  EXPECT_TRUE(std::isinf(ExpectedFalsePathNodes(0.9)));
+}
+
+TEST(TheoryTest, FalseOverlapProbabilityDecaysWithDepth) {
+  double previous = 1.1;
+  for (uint32_t depth = 0; depth < 15; ++depth) {
+    const double alpha =
+        FalseOverlapProbabilityAtDepth(1000000, depth, 3, 100, 60870);
+    EXPECT_LE(alpha, previous);
+    EXPECT_GE(alpha, 0.0);
+    EXPECT_LE(alpha, 1.0);
+    previous = alpha;
+  }
+}
+
+TEST(TheoryTest, FalseOverlapConsistentWithEquationOne) {
+  // At depth d the node stores M/2^d names; the probability must equal the
+  // direct Eq. 1 evaluation.
+  const double via_theory =
+      FalseOverlapProbabilityAtDepth(1 << 20, 10, 3, 500, 60870);
+  const double direct =
+      FalseSetOverlapProbability(60870, 3, 500, (1 << 20) / 1024);
+  EXPECT_NEAR(via_theory, direct, 1e-12);
+}
+
+TEST(TheoryTest, CriticalDepthSeparatesSubcriticalRegion) {
+  // Below d*, alpha >= 1/2 (supercritical); above it, alpha < 1/2.
+  const uint64_t M = 10000000;
+  const uint64_t n = 1000;
+  const uint64_t m = 132933;
+  const double d_star = CriticalDepth(M, 3, n, m);
+  const auto alpha = [&](uint32_t d) {
+    return FalseOverlapProbabilityAtDepth(M, d, 3, n, m);
+  };
+  EXPECT_GE(alpha(static_cast<uint32_t>(std::floor(d_star - 1))), 0.5);
+  EXPECT_LT(alpha(static_cast<uint32_t>(std::ceil(d_star + 1))), 0.5);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,142 @@
+#include "src/core/tree_config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bloomsample {
+namespace {
+
+TEST(TreeConfigTest, AnalyticCostModel) {
+  const CostModel model = AnalyticCostModel(64000, 3);
+  EXPECT_DOUBLE_EQ(model.intersection_cost, 1000.0);
+  EXPECT_DOUBLE_EQ(model.membership_cost, 4.0);
+  EXPECT_DOUBLE_EQ(model.Ratio(), 250.0);
+}
+
+TEST(TreeConfigTest, MaxLeafCapacitySatisfiesInequality) {
+  for (double ratio : {5.0, 50.0, 111.0, 250.0, 1000.0}) {
+    const uint64_t n = MaxLeafCapacityForRatio(ratio);
+    // n itself satisfies n / log2(n) <= ratio…
+    EXPECT_LE(static_cast<double>(n) / std::log2(static_cast<double>(n)),
+              ratio + 1e-9)
+        << ratio;
+    // …and n+1 does not (maximality).
+    EXPECT_GT(static_cast<double>(n + 1) /
+                  std::log2(static_cast<double>(n + 1)),
+              ratio)
+        << ratio;
+  }
+}
+
+TEST(TreeConfigTest, MaxLeafCapacityDegenerateRatios) {
+  EXPECT_EQ(MaxLeafCapacityForRatio(0.0), 2u);
+  EXPECT_EQ(MaxLeafCapacityForRatio(1.0), 2u);
+  EXPECT_EQ(MaxLeafCapacityForRatio(2.0), 2u);
+}
+
+TEST(TreeConfigTest, DepthForLeafCapacity) {
+  EXPECT_EQ(DepthForLeafCapacity(1024, 1024), 0u);
+  EXPECT_EQ(DepthForLeafCapacity(1024, 2000), 0u);
+  EXPECT_EQ(DepthForLeafCapacity(1024, 512), 1u);
+  EXPECT_EQ(DepthForLeafCapacity(1024, 100), 4u);   // ceil(log2(10.24))
+  // The Table 2 case: leaves of ~977 names fit in depth 10
+  // (1e6 / 2^10 = 976.56 rounds up to 977; capacity 976 would need 11).
+  EXPECT_EQ(DepthForLeafCapacity(1000000, 977), 10u);
+  EXPECT_EQ(DepthForLeafCapacity(1000000, 976), 11u);
+  EXPECT_EQ(DepthForLeafCapacity(10, 0), 4u);  // capacity clamped to 1
+}
+
+TEST(TreeConfigTest, LeafRangeSizeAndNodeCount) {
+  TreeConfig config;
+  config.namespace_size = 1000;
+  config.m = 100;
+  config.depth = 3;
+  EXPECT_EQ(config.LeafRangeSize(), 125u);
+  EXPECT_EQ(config.CompleteNodeCount(), 15u);
+  config.depth = 0;
+  EXPECT_EQ(config.LeafRangeSize(), 1000u);
+  EXPECT_EQ(config.CompleteNodeCount(), 1u);
+}
+
+TEST(TreeConfigTest, ValidateCatchesBadFields) {
+  TreeConfig config;
+  config.namespace_size = 1000;
+  config.m = 100;
+  config.k = 3;
+  config.depth = 2;
+  EXPECT_TRUE(config.Validate().ok());
+
+  TreeConfig bad = config;
+  bad.namespace_size = 1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.m = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.k = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.k = 17;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.depth = 63;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.namespace_size = 4;
+  bad.depth = 3;  // 8 leaves for 4 names
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = config;
+  bad.intersection_threshold = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(TreeConfigTest, MakeConfigForAccuracyReproducesTable2Geometry) {
+  // With the analytic cost model, the derived depth/M⊥ should match the
+  // paper's Table 2 for the rows where the model applies cleanly.
+  const struct { double acc; uint32_t depth; uint64_t leaf; } rows[] = {
+      {0.5, 10, 977}, {0.6, 10, 977}, {0.7, 10, 977},
+      {0.8, 9, 1954}, {0.9, 9, 1954},
+  };
+  for (const auto& row : rows) {
+    const auto config = MakeConfigForAccuracy(row.acc, 1000, 3, 1000000,
+                                              HashFamilyKind::kSimple, 42);
+    ASSERT_TRUE(config.ok());
+    EXPECT_EQ(config.value().depth, row.depth) << "acc " << row.acc;
+    EXPECT_EQ(config.value().LeafRangeSize(), row.leaf) << "acc " << row.acc;
+  }
+}
+
+TEST(TreeConfigTest, MakeConfigHonorsCustomCostModel) {
+  CostModel cheap_intersections;
+  cheap_intersections.intersection_cost = 1.0;
+  cheap_intersections.membership_cost = 1.0;
+  const auto config =
+      MakeConfigForAccuracy(0.9, 1000, 3, 1000000, HashFamilyKind::kSimple,
+                            42, &cheap_intersections);
+  ASSERT_TRUE(config.ok());
+  // Ratio 1 -> leaf capacity 2 -> maximal depth.
+  EXPECT_EQ(config.value().LeafRangeSize(), 2u);
+}
+
+TEST(TreeConfigTest, MakeConfigRejectsBadAccuracy) {
+  EXPECT_FALSE(MakeConfigForAccuracy(0.0, 1000, 3, 1000000,
+                                     HashFamilyKind::kSimple, 42)
+                   .ok());
+  EXPECT_FALSE(MakeConfigForAccuracy(0.9, 1000000, 3, 1000000,
+                                     HashFamilyKind::kSimple, 42)
+                   .ok());
+}
+
+TEST(TreeConfigTest, MeasuredCostModelIsSane) {
+  const CostModel model =
+      MeasureCostModel(HashFamilyKind::kSimple, 60870, 3, 42);
+  EXPECT_GT(model.membership_cost, 0.0);
+  EXPECT_GT(model.intersection_cost, 0.0);
+  // An intersection touches ~1000 words; it must cost more than a 3-probe
+  // membership query on any real machine.
+  EXPECT_GT(model.Ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,110 @@
+#include "src/workload/twitter_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bloomsample {
+namespace {
+
+TwitterCrawlConfig SmallConfig() {
+  TwitterCrawlConfig config;
+  config.namespace_size = 1 << 20;
+  config.num_users = 5000;
+  config.num_hashtags = 100;
+  config.num_tweets = 50000;
+  config.min_hashtag_users = 5;
+  config.seed = 99;
+  return config;
+}
+
+TEST(TwitterSynthTest, GeneratesTheConfiguredScale) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig());
+  ASSERT_TRUE(crawl.ok());
+  EXPECT_EQ(crawl.value().user_ids.size(), 5000u);
+  EXPECT_GT(crawl.value().hashtag_users.size(), 10u);
+  EXPECT_LE(crawl.value().hashtag_users.size(), 100u);
+}
+
+TEST(TwitterSynthTest, UserIdsSortedUniqueInNamespace) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  EXPECT_TRUE(std::is_sorted(crawl.user_ids.begin(), crawl.user_ids.end()));
+  EXPECT_EQ(std::adjacent_find(crawl.user_ids.begin(), crawl.user_ids.end()),
+            crawl.user_ids.end());
+  EXPECT_LT(crawl.user_ids.back(), 1u << 20);
+}
+
+TEST(TwitterSynthTest, HashtagUsersAreRealUsers) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  for (const auto& users : crawl.hashtag_users) {
+    EXPECT_GE(users.size(), 5u);  // min_hashtag_users
+    EXPECT_TRUE(std::is_sorted(users.begin(), users.end()));
+    for (uint64_t id : users) {
+      EXPECT_TRUE(std::binary_search(crawl.user_ids.begin(),
+                                     crawl.user_ids.end(), id));
+    }
+  }
+}
+
+TEST(TwitterSynthTest, PopularitiesAreSkewed) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  std::vector<size_t> sizes;
+  for (const auto& users : crawl.hashtag_users) sizes.push_back(users.size());
+  std::sort(sizes.begin(), sizes.end());
+  // Zipf popularity: the biggest community dwarfs the median one.
+  EXPECT_GT(sizes.back(), 4 * sizes[sizes.size() / 2]);
+}
+
+TEST(TwitterSynthTest, DeterministicForSameSeed) {
+  const auto a = GenerateTwitterCrawl(SmallConfig()).value();
+  const auto b = GenerateTwitterCrawl(SmallConfig()).value();
+  EXPECT_EQ(a.user_ids, b.user_ids);
+  ASSERT_EQ(a.hashtag_users.size(), b.hashtag_users.size());
+  EXPECT_EQ(a.hashtag_users.front(), b.hashtag_users.front());
+}
+
+TEST(TwitterSynthTest, UsersOccupyOnlyAFractionOfLeaves) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  const uint64_t leaf_width = (1u << 20) / 256;
+  std::vector<bool> occupied_leaf(256, false);
+  for (uint64_t id : crawl.user_ids) {
+    occupied_leaf[std::min<uint64_t>(id / leaf_width, 255)] = true;
+  }
+  const auto count = std::count(occupied_leaf.begin(), occupied_leaf.end(),
+                                true);
+  // cluster_fraction = 0.35 of 256 leaves = ~90.
+  EXPECT_LE(count, 95);
+  EXPECT_GE(count, 40);
+}
+
+TEST(TwitterSynthTest, RestrictToKeepsOnlyInRangeUsers) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  // Restrict to the lower half of the namespace.
+  const std::vector<IdRange> ranges = {{0, 1u << 19}};
+  const TwitterCrawl restricted = crawl.RestrictTo(ranges);
+  EXPECT_LT(restricted.user_ids.size(), crawl.user_ids.size());
+  for (uint64_t id : restricted.user_ids) EXPECT_LT(id, 1u << 19);
+  for (const auto& users : restricted.hashtag_users) {
+    EXPECT_FALSE(users.empty());
+    for (uint64_t id : users) EXPECT_LT(id, 1u << 19);
+  }
+}
+
+TEST(TwitterSynthTest, RestrictToEmptyRangesDropsEverything) {
+  const auto crawl = GenerateTwitterCrawl(SmallConfig()).value();
+  const TwitterCrawl restricted = crawl.RestrictTo({});
+  EXPECT_TRUE(restricted.user_ids.empty());
+  EXPECT_TRUE(restricted.hashtag_users.empty());
+}
+
+TEST(TwitterSynthTest, Validation) {
+  TwitterCrawlConfig bad = SmallConfig();
+  bad.num_users = 0;
+  EXPECT_FALSE(GenerateTwitterCrawl(bad).ok());
+  bad = SmallConfig();
+  bad.num_users = bad.namespace_size + 1;
+  EXPECT_FALSE(GenerateTwitterCrawl(bad).ok());
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,60 @@
+#include "src/workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace bloomsample {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (uint64_t r = 0; r < 100; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesFollowPowerLaw) {
+  ZipfSampler zipf(1000, 1.0);
+  // P(0)/P(9) should be 10 for s = 1.
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(9), 10.0, 1e-6);
+  // Monotone decreasing.
+  for (uint64_t r = 1; r < 1000; ++r) {
+    EXPECT_LE(zipf.Probability(r), zipf.Probability(r - 1)) << r;
+  }
+}
+
+TEST(ZipfTest, SamplesMatchProbabilities) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(1);
+  const int draws = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t r : {0ULL, 1ULL, 5ULL, 20ULL}) {
+    const double expected = zipf.Probability(r) * draws;
+    EXPECT_NEAR(counts[r], expected, 6 * std::sqrt(expected) + 5) << r;
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Probability(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSampled) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfSampler zipf(7, 1.5);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,481 @@
+// bsr — command-line front end for the bloomsample library.
+//
+// Covers the full lifecycle a deployment needs without writing C++:
+//
+//   bsr build        build a BloomSampleTree and save it to disk
+//   bsr info         inspect a saved tree
+//   bsr make-set     generate a uniform/clustered id set (workload)
+//   bsr store-set    encode an id list as a query Bloom filter
+//   bsr sample       draw samples from a stored filter via the tree
+//   bsr reconstruct  recover the id set from a stored filter
+//   bsr query        membership-test single ids against a filter
+//
+// Ids travel as one-decimal-per-line text files; trees and filters use
+// the binary formats of core/tree_io.h and bloom/bloom_io.h.
+//
+// Example session:
+//   bsr build --namespace 1000000 --accuracy 0.9 --set-size 1000 \
+//             --out tree.bst
+//   bsr make-set --namespace 1000000 --size 1000 --seed 7 --out ids.txt
+//   bsr store-set --tree tree.bst --ids ids.txt --out set.bf
+//   bsr sample --tree tree.bst --filter set.bf --count 10
+//   bsr reconstruct --tree tree.bst --filter set.bf --exact --out back.txt
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/bloom/bloom_io.h"
+#include "src/bloom/bloom_params.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/tree_io.h"
+#include "src/util/timer.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace cli {
+
+// ---------------------------------------------------------------------------
+// Flag parsing: --name value pairs plus boolean --name switches.
+// ---------------------------------------------------------------------------
+
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first,
+                             const std::vector<std::string>& value_flags,
+                             const std::vector<std::string>& bool_flags) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument '" + arg + "'");
+      }
+      arg = arg.substr(2);
+      const bool is_bool =
+          std::find(bool_flags.begin(), bool_flags.end(), arg) !=
+          bool_flags.end();
+      const bool is_value =
+          std::find(value_flags.begin(), value_flags.end(), arg) !=
+          value_flags.end();
+      if (is_bool) {
+        flags.bools_[arg] = true;
+        continue;
+      }
+      if (!is_value) {
+        return Status::InvalidArgument("unknown flag '--" + arg + "'");
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag '--" + arg + "' needs a value");
+      }
+      flags.values_[arg] = argv[++i];
+    }
+    return flags;
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  Result<std::string> Require(const std::string& name) const {
+    const auto value = Get(name);
+    if (!value.has_value()) {
+      return Status::InvalidArgument("missing required flag '--" + name + "'");
+    }
+    return *value;
+  }
+
+  Result<uint64_t> GetU64(const std::string& name, uint64_t fallback) const {
+    const auto value = Get(name);
+    if (!value.has_value()) return fallback;
+    char* end = nullptr;
+    const uint64_t parsed = std::strtoull(value->c_str(), &end, 10);
+    if (end == value->c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag '--" + name +
+                                     "' is not an integer: " + *value);
+    }
+    return parsed;
+  }
+
+  Result<uint64_t> RequireU64(const std::string& name) const {
+    const Result<std::string> raw = Require(name);
+    if (!raw.ok()) return raw.status();
+    return GetU64(name, 0);
+  }
+
+  Result<double> GetDouble(const std::string& name, double fallback) const {
+    const auto value = Get(name);
+    if (!value.has_value()) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(value->c_str(), &end);
+    if (end == value->c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag '--" + name +
+                                     "' is not a number: " + *value);
+    }
+    return parsed;
+  }
+
+  bool GetBool(const std::string& name) const {
+    const auto it = bools_.find(name);
+    return it != bools_.end() && it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> bools_;
+};
+
+// ---------------------------------------------------------------------------
+// Id-file helpers (one decimal id per line; '#' comments allowed).
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint64_t>> ReadIdFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open id file '" + path + "'");
+  }
+  std::vector<uint64_t> ids;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    char* end = nullptr;
+    const uint64_t id = std::strtoull(line.c_str() + start, &end, 10);
+    if (end == line.c_str() + start) {
+      return Status::InvalidArgument("bad id at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Status WriteIdFile(const std::string& path, const std::vector<uint64_t>& ids) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for writing");
+  }
+  for (uint64_t id : ids) out << id << "\n";
+  return out.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
+                                  const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open filter file '" + path + "'");
+  }
+  return DeserializeBloomFilter(&in, tree.family_ptr());
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
+
+Status CmdBuild(const Flags& flags) {
+  auto namespace_size = flags.RequireU64("namespace");
+  if (!namespace_size.ok()) return namespace_size.status();
+  auto out_path = flags.Require("out");
+  if (!out_path.ok()) return out_path.status();
+  auto accuracy = flags.GetDouble("accuracy", 0.9);
+  if (!accuracy.ok()) return accuracy.status();
+  auto set_size = flags.GetU64("set-size", 1000);
+  if (!set_size.ok()) return set_size.status();
+  auto k = flags.GetU64("k", 3);
+  if (!k.ok()) return k.status();
+  auto seed = flags.GetU64("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto kind = ParseHashFamilyKind(flags.Get("hash").value_or("simple"));
+  if (!kind.ok()) return kind.status();
+
+  Result<TreeConfig> config = MakeConfigForAccuracy(
+      accuracy.value(), set_size.value(), k.value(), namespace_size.value(),
+      kind.value(), seed.value());
+  if (!config.ok()) return config.status();
+
+  Timer timer;
+  const auto occupied_path = flags.Get("occupied");
+  Result<BloomSampleTree> tree = [&]() -> Result<BloomSampleTree> {
+    if (occupied_path.has_value()) {
+      auto occupied = ReadIdFile(*occupied_path);
+      if (!occupied.ok()) return occupied.status();
+      return BloomSampleTree::BuildPruned(config.value(),
+                                          std::move(occupied).value());
+    }
+    return BloomSampleTree::BuildComplete(config.value());
+  }();
+  if (!tree.ok()) return tree.status();
+
+  const Status saved = SaveTreeToFile(tree.value(), out_path.value());
+  if (!saved.ok()) return saved;
+  std::printf("built %s tree: m=%llu bits, depth=%u, %zu nodes, %.2f MB, "
+              "%.2f s -> %s\n",
+              tree.value().pruned() ? "pruned" : "complete",
+              static_cast<unsigned long long>(config.value().m),
+              config.value().depth, tree.value().node_count(),
+              static_cast<double>(tree.value().MemoryBytes()) / (1 << 20),
+              timer.ElapsedSeconds(), out_path.value().c_str());
+  return Status::OK();
+}
+
+Status CmdInfo(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  if (!tree.ok()) return tree.status();
+  const TreeConfig& config = tree.value().config();
+  std::printf("tree: %s\n", tree_path.value().c_str());
+  std::printf("  kind:        %s\n",
+              tree.value().pruned() ? "pruned" : "complete");
+  std::printf("  namespace:   %llu\n",
+              static_cast<unsigned long long>(config.namespace_size));
+  std::printf("  m:           %llu bits\n",
+              static_cast<unsigned long long>(config.m));
+  std::printf("  k:           %llu (%s)\n",
+              static_cast<unsigned long long>(config.k),
+              HashFamilyKindName(config.hash_kind).c_str());
+  std::printf("  seed:        %llu\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  depth:       %u (leaf range %llu)\n", config.depth,
+              static_cast<unsigned long long>(config.LeafRangeSize()));
+  std::printf("  nodes:       %zu (%.2f MB)\n", tree.value().node_count(),
+              static_cast<double>(tree.value().MemoryBytes()) / (1 << 20));
+  if (tree.value().pruned()) {
+    std::printf("  occupied:    %zu ids\n", tree.value().occupied().size());
+  }
+  std::printf("  design accuracy at n=1000: %.3f\n",
+              SamplingAccuracy(config.m, 1000, config.k,
+                               config.namespace_size));
+  return Status::OK();
+}
+
+Status CmdMakeSet(const Flags& flags) {
+  auto namespace_size = flags.RequireU64("namespace");
+  if (!namespace_size.ok()) return namespace_size.status();
+  auto size = flags.RequireU64("size");
+  if (!size.ok()) return size.status();
+  auto out_path = flags.Require("out");
+  if (!out_path.ok()) return out_path.status();
+  auto seed = flags.GetU64("seed", 42);
+  if (!seed.ok()) return seed.status();
+
+  Rng rng(seed.value());
+  Result<std::vector<uint64_t>> ids =
+      flags.GetBool("clustered")
+          ? GenerateClusteredSet(namespace_size.value(), size.value(), &rng)
+          : GenerateUniformSet(namespace_size.value(), size.value(), &rng);
+  if (!ids.ok()) return ids.status();
+  const Status written = WriteIdFile(out_path.value(), ids.value());
+  if (!written.ok()) return written;
+  std::printf("wrote %zu ids -> %s\n", ids.value().size(),
+              out_path.value().c_str());
+  return Status::OK();
+}
+
+Status CmdStoreSet(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto ids_path = flags.Require("ids");
+  if (!ids_path.ok()) return ids_path.status();
+  auto out_path = flags.Require("out");
+  if (!out_path.ok()) return out_path.status();
+
+  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  if (!tree.ok()) return tree.status();
+  auto ids = ReadIdFile(ids_path.value());
+  if (!ids.ok()) return ids.status();
+  for (uint64_t id : ids.value()) {
+    if (id >= tree.value().config().namespace_size) {
+      return Status::OutOfRange("id " + std::to_string(id) +
+                                " is outside the tree's namespace");
+    }
+  }
+  const BloomFilter filter = tree.value().MakeQueryFilter(ids.value());
+  std::ofstream out(out_path.value(), std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open '" + out_path.value() + "'");
+  }
+  const Status saved = SerializeBloomFilter(filter, &out);
+  if (!saved.ok()) return saved;
+  std::printf("stored %zu ids as a %zu-byte filter (fill %.3f) -> %s\n",
+              ids.value().size(), filter.MemoryBytes(),
+              filter.FillFraction(), out_path.value().c_str());
+  return Status::OK();
+}
+
+Status CmdSample(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto filter_path = flags.Require("filter");
+  if (!filter_path.ok()) return filter_path.status();
+  auto count = flags.GetU64("count", 1);
+  if (!count.ok()) return count.status();
+  auto seed = flags.GetU64("seed", 42);
+  if (!seed.ok()) return seed.status();
+
+  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  if (!tree.ok()) return tree.status();
+  Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
+  if (!filter.ok()) return filter.status();
+
+  BstSampler sampler(&tree.value());
+  Rng rng(seed.value());
+  OpCounters counters;
+  Timer timer;
+  const std::vector<uint64_t> samples =
+      sampler.SampleMany(filter.value(), count.value(), &rng,
+                         /*with_replacement=*/flags.GetBool("with-replacement"),
+                         &counters);
+  const double ms = timer.ElapsedMillis();
+  for (uint64_t sample : samples) {
+    std::printf("%llu\n", static_cast<unsigned long long>(sample));
+  }
+  std::fprintf(stderr,
+               "# %zu samples in %.3f ms (%llu intersections, %llu "
+               "membership queries)\n",
+               samples.size(), ms,
+               static_cast<unsigned long long>(counters.intersections),
+               static_cast<unsigned long long>(counters.membership_queries));
+  return Status::OK();
+}
+
+Status CmdReconstruct(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto filter_path = flags.Require("filter");
+  if (!filter_path.ok()) return filter_path.status();
+
+  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  if (!tree.ok()) return tree.status();
+  Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
+  if (!filter.ok()) return filter.status();
+
+  BstReconstructor reconstructor(&tree.value());
+  OpCounters counters;
+  Timer timer;
+  const std::vector<uint64_t> ids = reconstructor.Reconstruct(
+      filter.value(), &counters,
+      flags.GetBool("exact") ? BstReconstructor::PruningMode::kExact
+                             : BstReconstructor::PruningMode::kThresholded);
+  const double ms = timer.ElapsedMillis();
+
+  const auto out_path = flags.Get("out");
+  if (out_path.has_value()) {
+    const Status written = WriteIdFile(*out_path, ids);
+    if (!written.ok()) return written;
+  } else {
+    for (uint64_t id : ids) {
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+    }
+  }
+  std::fprintf(stderr,
+               "# reconstructed %zu ids in %.2f ms (%llu intersections, "
+               "%llu membership queries, mode=%s)\n",
+               ids.size(), ms,
+               static_cast<unsigned long long>(counters.intersections),
+               static_cast<unsigned long long>(counters.membership_queries),
+               flags.GetBool("exact") ? "exact" : "thresholded");
+  return Status::OK();
+}
+
+Status CmdQuery(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto filter_path = flags.Require("filter");
+  if (!filter_path.ok()) return filter_path.status();
+  auto id = flags.RequireU64("id");
+  if (!id.ok()) return id.status();
+
+  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  if (!tree.ok()) return tree.status();
+  Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
+  if (!filter.ok()) return filter.status();
+  std::printf("%s\n",
+              filter.value().Contains(id.value()) ? "positive" : "negative");
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(stderr, R"(bsr — sampling and reconstruction from Bloom filters
+
+usage: bsr <command> [flags]
+
+commands:
+  build        --namespace M --out T.bst [--accuracy A] [--set-size N]
+               [--k K] [--hash simple|murmur3|md5] [--seed S]
+               [--occupied ids.txt]     (pruned tree over occupied ids)
+  info         --tree T.bst
+  make-set     --namespace M --size N --out ids.txt [--clustered] [--seed S]
+  store-set    --tree T.bst --ids ids.txt --out set.bf
+  sample       --tree T.bst --filter set.bf [--count R] [--seed S]
+               [--with-replacement]
+  reconstruct  --tree T.bst --filter set.bf [--exact] [--out ids.txt]
+  query        --tree T.bst --filter set.bf --id X
+)");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Status status = Status::OK();
+  const auto run = [&](const std::vector<std::string>& value_flags,
+                       const std::vector<std::string>& bool_flags,
+                       Status (*handler)(const Flags&)) {
+    Result<Flags> flags = Flags::Parse(argc, argv, 2, value_flags, bool_flags);
+    if (!flags.ok()) return flags.status();
+    return handler(flags.value());
+  };
+
+  if (command == "build") {
+    status = run({"namespace", "out", "accuracy", "set-size", "k", "hash",
+                  "seed", "occupied"},
+                 {}, CmdBuild);
+  } else if (command == "info") {
+    status = run({"tree"}, {}, CmdInfo);
+  } else if (command == "make-set") {
+    status = run({"namespace", "size", "out", "seed"}, {"clustered"},
+                 CmdMakeSet);
+  } else if (command == "store-set") {
+    status = run({"tree", "ids", "out"}, {}, CmdStoreSet);
+  } else if (command == "sample") {
+    status = run({"tree", "filter", "count", "seed"}, {"with-replacement"},
+                 CmdSample);
+  } else if (command == "reconstruct") {
+    status = run({"tree", "filter", "out"}, {"exact"}, CmdReconstruct);
+  } else if (command == "query") {
+    status = run({"tree", "filter", "id"}, {}, CmdQuery);
+  } else if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage();
+    return 0;
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace bloomsample
+
+int main(int argc, char** argv) { return bloomsample::cli::Main(argc, argv); }
