@@ -13,19 +13,76 @@ void BloomFilter::Insert(uint64_t key) {
   uint64_t h[kMaxK];
   family_->HashAll(key, h);
   const size_t k = family_->k();
-  for (size_t i = 0; i < k; ++i) bits_.Set(h[i]);
+  // Hash outputs are < m == bits_.size() by the family contract, so the
+  // hot loop can skip the per-bit range check.
+  for (size_t i = 0; i < k; ++i) bits_.SetUnchecked(h[i]);
+}
+
+void BloomFilter::InsertBatch(const uint64_t* keys, size_t n) {
+  BSR_CHECK(keys != nullptr || n == 0, "InsertBatch: null keys");
+  const size_t k = family_->k();
+  uint64_t hashes[kHashBlock * kMaxK];
+  for (size_t base = 0; base < n; base += kHashBlock) {
+    const size_t block = n - base < kHashBlock ? n - base : kHashBlock;
+    family_->HashBatch(keys + base, block, hashes);
+    const uint64_t* h = hashes;
+    for (size_t j = 0; j < block; ++j, h += k) {
+      for (size_t i = 0; i < k; ++i) {
+        bits_.SetWordMask(h[i] >> 6, 1ULL << (h[i] & 63));
+      }
+    }
+  }
 }
 
 void BloomFilter::InsertRange(uint64_t lo, uint64_t hi) {
-  for (uint64_t x = lo; x < hi; ++x) Insert(x);
+  BSR_CHECK(lo <= hi, "InsertRange: lo must be <= hi");
+  uint64_t keys[kHashBlock];
+  uint64_t base = lo;
+  while (base < hi) {
+    const uint64_t block =
+        hi - base < kHashBlock ? hi - base : uint64_t{kHashBlock};
+    for (uint64_t j = 0; j < block; ++j) keys[j] = base + j;
+    InsertBatch(keys, static_cast<size_t>(block));
+    base += block;  // block <= hi - base, so this can never wrap past hi
+  }
 }
 
 bool BloomFilter::Contains(uint64_t key) const {
+  // One virtual call computes all k hashes up front; the probe loop still
+  // exits at the first unset bit. Trade-off: negatives no longer skip the
+  // remaining hash *computations* the old lazy per-hash path avoided, but
+  // they drop k-1 virtual dispatches — a clear win for the cheap families
+  // that dominate production use (simple, murmur3).
+  uint64_t h[kMaxK];
+  family_->HashAll(key, h);
   const size_t k = family_->k();
   for (size_t i = 0; i < k; ++i) {
-    if (!bits_.Get(family_->Hash(i, key))) return false;
+    if (!bits_.GetUnchecked(h[i])) return false;
   }
   return true;
+}
+
+void BloomFilter::FilterContained(const uint64_t* keys, size_t n,
+                                  std::vector<uint64_t>* out) const {
+  BSR_CHECK(keys != nullptr || n == 0, "FilterContained: null keys");
+  BSR_CHECK(out != nullptr, "FilterContained: null output");
+  const size_t k = family_->k();
+  uint64_t hashes[kHashBlock * kMaxK];
+  for (size_t base = 0; base < n; base += kHashBlock) {
+    const size_t block = n - base < kHashBlock ? n - base : kHashBlock;
+    family_->HashBatch(keys + base, block, hashes);
+    const uint64_t* h = hashes;
+    for (size_t j = 0; j < block; ++j, h += k) {
+      bool hit = true;
+      for (size_t i = 0; i < k; ++i) {
+        if (!bits_.GetUnchecked(h[i])) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) out->push_back(keys[base + j]);
+    }
+  }
 }
 
 void BloomFilter::UnionWith(const BloomFilter& other) {
@@ -53,7 +110,7 @@ BloomFilter IntersectionOf(const BloomFilter& a, const BloomFilter& b) {
 BloomFilter MakeFilter(std::shared_ptr<const HashFamily> family,
                        const std::vector<uint64_t>& keys) {
   BloomFilter filter(std::move(family));
-  for (uint64_t key : keys) filter.Insert(key);
+  filter.InsertBatch(keys);
   return filter;
 }
 

@@ -27,8 +27,21 @@ class BloomFilter {
   /// bits of output range; the filter allocates exactly that many bits.
   explicit BloomFilter(std::shared_ptr<const HashFamily> family);
 
+  /// Keys per block in the batched insert/query paths: the hash buffer
+  /// (kHashBlock * k u64s) stays comfortably inside L1.
+  static constexpr size_t kHashBlock = 256;
+
   /// Inserts a key: sets the k bits h_0(key)..h_{k-1}(key).
   void Insert(uint64_t key);
+
+  /// Inserts keys[0..n): hashes cache-friendly blocks through one virtual
+  /// HashBatch call each, then sets the resulting bits. Equivalent to
+  /// calling Insert per key; faster because the hash work is batched and
+  /// devirtualized.
+  void InsertBatch(const uint64_t* keys, size_t n);
+  void InsertBatch(const std::vector<uint64_t>& keys) {
+    InsertBatch(keys.data(), keys.size());
+  }
 
   /// Inserts every key in the range [lo, hi).
   void InsertRange(uint64_t lo, uint64_t hi);
@@ -36,6 +49,12 @@ class BloomFilter {
   /// Membership query: true iff all k bits for `key` are set. May return
   /// false positives, never false negatives.
   bool Contains(uint64_t key) const;
+
+  /// Appends to *out every key of keys[0..n) the filter Contains, in input
+  /// order. Batched flavor of Contains for leaf scans: one virtual hash
+  /// call per block instead of one per key.
+  void FilterContained(const uint64_t* keys, size_t n,
+                       std::vector<uint64_t>* out) const;
 
   /// True iff no bit is set (the canonical empty-set representation).
   bool IsEmpty() const { return bits_.None(); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/math_util.h"
+#include "src/util/thread_pool.h"
 
 namespace bloomsample {
 
@@ -13,6 +14,16 @@ Result<std::shared_ptr<const HashFamily>> FamilyFor(const TreeConfig& config) {
   if (!st.ok()) return st;
   return MakeHashFamily(config.hash_kind, static_cast<size_t>(config.k),
                         config.m, config.seed, config.namespace_size);
+}
+
+// Chunk size that amortizes ParallelFor's per-chunk dispatch without
+// starving threads of work. Purely a scheduling knob: results are
+// chunk-partition independent (every parallel section writes disjoint
+// nodes), so any grain yields bit-identical trees.
+uint64_t GrainFor(uint64_t count, size_t threads) {
+  const uint64_t target = 8 * static_cast<uint64_t>(threads);
+  const uint64_t grain = count / target;
+  return grain == 0 ? 1 : grain;
 }
 
 }  // namespace
@@ -46,32 +57,56 @@ Result<BloomSampleTree> BloomSampleTree::BuildComplete(
     tree.nodes_.push_back(std::move(node));
   }
 
-  // Populate leaves by insertion, then OR upwards (exact Bloom union).
-  for (uint64_t i = (1ULL << depth) - 1; i < total_nodes; ++i) {
-    Node& leaf = tree.nodes_[static_cast<size_t>(i)];
-    for (uint64_t x = leaf.lo; x < leaf.hi; ++x) leaf.filter.Insert(x);
+  // Populate leaves by batched insertion — every leaf is independent, so
+  // the fill partitions cleanly across threads — then OR upwards (exact
+  // Bloom union) one level at a time: a parent depends only on its two
+  // children in the already-finished level below, so parents within a
+  // level partition across threads the same way.
+  ThreadPool pool(config.build_threads);
+  const uint64_t first_leaf = (1ULL << depth) - 1;
+  pool.ParallelFor(
+      first_leaf, total_nodes, GrainFor(total_nodes - first_leaf, pool.thread_count()),
+      [&tree](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          Node& leaf = tree.nodes_[static_cast<size_t>(i)];
+          leaf.filter.InsertRange(leaf.lo, leaf.hi);
+        }
+      });
+  for (uint32_t level = depth; level-- > 0;) {
+    const uint64_t level_lo = (1ULL << level) - 1;
+    const uint64_t level_hi = (2ULL << level) - 1;
+    pool.ParallelFor(
+        level_lo, level_hi, GrainFor(level_hi - level_lo, pool.thread_count()),
+        [&tree](uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) {
+            Node& parent = tree.nodes_[static_cast<size_t>(i)];
+            parent.filter.UnionWith(
+                tree.nodes_[static_cast<size_t>(2 * i + 1)].filter);
+            parent.filter.UnionWith(
+                tree.nodes_[static_cast<size_t>(2 * i + 2)].filter);
+          }
+        });
   }
-  if (depth > 0) {
-    for (int64_t i = static_cast<int64_t>((1ULL << depth) - 2); i >= 0; --i) {
-      Node& parent = tree.nodes_[static_cast<size_t>(i)];
-      parent.filter.UnionWith(tree.nodes_[static_cast<size_t>(2 * i + 1)].filter);
-      parent.filter.UnionWith(tree.nodes_[static_cast<size_t>(2 * i + 2)].filter);
-    }
-  }
-  for (Node& node : tree.nodes_) node.set_bits = node.filter.SetBitCount();
+  pool.ParallelFor(0, total_nodes, GrainFor(total_nodes, pool.thread_count()),
+                   [&tree](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       Node& node = tree.nodes_[static_cast<size_t>(i)];
+                       node.set_bits = node.filter.SetBitCount();
+                     }
+                   });
   return tree;
 }
 
 int64_t BloomSampleTree::BuildPrunedSubtree(uint32_t level, uint64_t lo,
                                             uint64_t hi, size_t begin,
-                                            size_t end) {
+                                            size_t end,
+                                            std::vector<LeafFill>* leaf_fills) {
   if (begin == end) return kNoNode;  // range holds no occupied id
   const int64_t id = static_cast<int64_t>(nodes_.size());
   nodes_.emplace_back(lo, std::min(hi, config_.namespace_size), level,
                       family_);
   if (level == config_.depth) {
-    Node& leaf = nodes_[static_cast<size_t>(id)];
-    for (size_t i = begin; i < end; ++i) leaf.filter.Insert(occupied_[i]);
+    leaf_fills->push_back({id, begin, end});
     return id;
   }
 
@@ -83,17 +118,13 @@ int64_t BloomSampleTree::BuildPrunedSubtree(uint32_t level, uint64_t lo,
       occupied_.begin());
   // Children are built first; vector growth may reallocate, so re-resolve
   // the node reference afterwards instead of holding one across the calls.
-  const int64_t left = BuildPrunedSubtree(level + 1, lo, mid, begin, split);
-  const int64_t right = BuildPrunedSubtree(level + 1, mid, hi, split, end);
+  const int64_t left =
+      BuildPrunedSubtree(level + 1, lo, mid, begin, split, leaf_fills);
+  const int64_t right =
+      BuildPrunedSubtree(level + 1, mid, hi, split, end, leaf_fills);
   Node& node = nodes_[static_cast<size_t>(id)];
   node.left = left;
   node.right = right;
-  if (left != kNoNode) {
-    node.filter.UnionWith(nodes_[static_cast<size_t>(left)].filter);
-  }
-  if (right != kNoNode) {
-    node.filter.UnionWith(nodes_[static_cast<size_t>(right)].filter);
-  }
   return id;
 }
 
@@ -114,8 +145,62 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
   BloomSampleTree tree(config, family.value(), /*pruned=*/true);
   tree.occupied_ = std::move(occupied);
   const uint64_t root_width = tree.RangeWidthAtLevel(0);
-  tree.BuildPrunedSubtree(0, 0, root_width, 0, tree.occupied_.size());
-  for (Node& node : tree.nodes_) node.set_bits = node.filter.SetBitCount();
+
+  // Pass 1 (serial): node structure in DFS preorder — ids are therefore
+  // independent of build_threads — plus each leaf's slice of occupied_.
+  std::vector<LeafFill> leaf_fills;
+  tree.BuildPrunedSubtree(0, 0, root_width, 0, tree.occupied_.size(),
+                          &leaf_fills);
+
+  // Pass 2: leaves fill independently from disjoint occupied_ slices.
+  ThreadPool pool(config.build_threads);
+  pool.ParallelFor(
+      0, leaf_fills.size(), GrainFor(leaf_fills.size(), pool.thread_count()),
+      [&tree, &leaf_fills](uint64_t lo, uint64_t hi) {
+        for (uint64_t f = lo; f < hi; ++f) {
+          const LeafFill& fill = leaf_fills[static_cast<size_t>(f)];
+          tree.nodes_[static_cast<size_t>(fill.id)].filter.InsertBatch(
+              tree.occupied_.data() + fill.begin, fill.end - fill.begin);
+        }
+      });
+
+  // Pass 3: upward unions, deepest level first. Children always sit on a
+  // strictly deeper (already finished) level, so parents within one level
+  // partition across threads.
+  if (config.depth > 0) {
+    std::vector<std::vector<size_t>> internal_by_level(config.depth);
+    for (size_t id = 0; id < tree.nodes_.size(); ++id) {
+      const Node& node = tree.nodes_[id];
+      if (node.level < config.depth) internal_by_level[node.level].push_back(id);
+    }
+    for (uint32_t level = config.depth; level-- > 0;) {
+      const std::vector<size_t>& ids = internal_by_level[level];
+      pool.ParallelFor(
+          0, ids.size(), GrainFor(ids.size(), pool.thread_count()),
+          [&tree, &ids](uint64_t lo, uint64_t hi) {
+            for (uint64_t i = lo; i < hi; ++i) {
+              Node& parent = tree.nodes_[ids[static_cast<size_t>(i)]];
+              if (parent.left != kNoNode) {
+                parent.filter.UnionWith(
+                    tree.nodes_[static_cast<size_t>(parent.left)].filter);
+              }
+              if (parent.right != kNoNode) {
+                parent.filter.UnionWith(
+                    tree.nodes_[static_cast<size_t>(parent.right)].filter);
+              }
+            }
+          });
+    }
+  }
+
+  pool.ParallelFor(0, tree.nodes_.size(),
+                   GrainFor(tree.nodes_.size(), pool.thread_count()),
+                   [&tree](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       Node& node = tree.nodes_[static_cast<size_t>(i)];
+                       node.set_bits = node.filter.SetBitCount();
+                     }
+                   });
   return tree;
 }
 
@@ -180,7 +265,7 @@ Status BloomSampleTree::Insert(uint64_t x) {
 BloomFilter BloomSampleTree::MakeQueryFilter(
     const std::vector<uint64_t>& keys) const {
   BloomFilter filter(family_);
-  for (uint64_t key : keys) filter.Insert(key);
+  filter.InsertBatch(keys);
   return filter;
 }
 

@@ -129,9 +129,21 @@ class BloomSampleTree {
     return config_.LeafRangeSize() << (config_.depth - level);
   }
 
-  /// Recursive pruned construction over occupied_[begin, end).
+  /// A leaf's slice of the sorted occupied_ array, recorded during the
+  /// structure pass of BuildPruned and filled (possibly in parallel)
+  /// afterwards.
+  struct LeafFill {
+    int64_t id;
+    size_t begin;
+    size_t end;
+  };
+
+  /// Recursive pruned construction over occupied_[begin, end). Builds the
+  /// node *structure* only — filters stay empty; each leaf's occupied
+  /// slice is appended to *leaf_fills for the subsequent fill pass.
   int64_t BuildPrunedSubtree(uint32_t level, uint64_t lo, uint64_t hi,
-                             size_t begin, size_t end);
+                             size_t begin, size_t end,
+                             std::vector<LeafFill>* leaf_fills);
 
   TreeConfig config_;
   std::shared_ptr<const HashFamily> family_;

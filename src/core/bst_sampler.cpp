@@ -96,12 +96,25 @@ void BstSampler::SampleLeaf(int64_t id, size_t r, const BloomFilter& query,
                             OpCounters* counters,
                             std::vector<uint64_t>* out) const {
   // One scan of the leaf's candidates serves all r paths that landed here
-  // (the "single pass" economy of Section 5.3).
+  // (the "single pass" economy of Section 5.3). Candidates are gathered
+  // into blocks and run through the batched membership path — one virtual
+  // hash call per block instead of one per candidate, same pattern as
+  // BloomFilter::Contains.
   std::vector<uint64_t> positives;
+  uint64_t block[BloomFilter::kHashBlock];
+  size_t filled = 0;
   tree_->ForEachLeafCandidate(id, [&](uint64_t x) {
-    CountMembership(counters);
-    if (query.Contains(x)) positives.push_back(x);
+    block[filled++] = x;
+    if (filled == BloomFilter::kHashBlock) {
+      CountMembership(counters, filled);
+      query.FilterContained(block, filled, &positives);
+      filled = 0;
+    }
   });
+  if (filled > 0) {
+    CountMembership(counters, filled);
+    query.FilterContained(block, filled, &positives);
+  }
   if (positives.empty()) return;
 
   if (with_replacement) {

@@ -63,6 +63,11 @@ struct TreeConfig {
   /// completeness for traversal speed; bench/ablation_threshold quantifies
   /// the loss.
   double intersection_threshold = 0.0;
+  /// Threads used by BuildComplete/BuildPruned: 0 = hardware concurrency,
+  /// 1 = serial. Build-time knob only — it is not part of the tree's
+  /// identity, is not serialized, and any value produces bit-identical
+  /// trees (leaf fills and level-wise unions partition disjoint state).
+  uint32_t build_threads = 0;
 
   /// Leaf range width implied by depth: ceil(M / 2^depth).
   uint64_t LeafRangeSize() const;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/math_util.h"
 #include "src/util/status.h"
 
 namespace bloomsample {
@@ -42,6 +43,15 @@ class HashFamily {
   /// families override when a batched computation is cheaper.
   virtual void HashAll(uint64_t key, uint64_t* out) const {
     for (size_t i = 0; i < k_; ++i) out[i] = Hash(i, key);
+  }
+
+  /// Hashes a batch of keys: fills out[j*k + i] = h_i(keys[j]) for
+  /// j in [0, n), i in [0, k). This is the hot-path entry point — one
+  /// virtual dispatch for the whole batch, with each family running a
+  /// devirtualized inner loop. The default forwards to HashAll per key so
+  /// third-party families stay correct without overriding.
+  virtual void HashBatch(const uint64_t* keys, size_t n, uint64_t* out) const {
+    for (size_t j = 0; j < n; ++j) HashAll(keys[j], out + j * k_);
   }
 
   /// True when Preimages() is supported (the "weakly invertible" property
@@ -73,6 +83,55 @@ class HashFamily {
   const size_t k_;
   const uint64_t m_;
   const uint64_t seed_;
+};
+
+/// CRTP base for families of the shape h_i(key) = Kernel(key, seed_i) % m
+/// with per-function seeds seed_i = seed + φ·(i+1) (Murmur3, MD5).
+/// Precomputes the seeds and the division-free % m reduction, and supplies
+/// the devirtualized HashAll/HashBatch loops so each family only provides
+/// `static uint64_t HashKey(uint64_t key, uint64_t seed)` and Name().
+template <typename Derived>
+class SeededKeyHashFamily : public HashFamily {
+ public:
+  SeededKeyHashFamily(size_t k, uint64_t m, uint64_t seed)
+      : HashFamily(k, m, seed) {
+    seeds_.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      seeds_.push_back(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    }
+    if (m <= (1ULL << 32)) {
+      fast_ = true;
+      fm_m_ = FastMod(m);
+    }
+  }
+
+  uint64_t Hash(size_t i, uint64_t key) const override {
+    BSR_CHECK(i < k_, "hash index out of range");
+    return ReduceM(Derived::HashKey(key, seeds_[i]));
+  }
+
+  void HashAll(uint64_t key, uint64_t* out) const override {
+    for (size_t i = 0; i < k_; ++i) {
+      out[i] = ReduceM(Derived::HashKey(key, seeds_[i]));
+    }
+  }
+
+  void HashBatch(const uint64_t* keys, size_t n,
+                 uint64_t* out) const override {
+    for (size_t j = 0; j < n; ++j) {
+      uint64_t* dst = out + j * k_;
+      for (size_t i = 0; i < k_; ++i) {
+        dst[i] = ReduceM(Derived::HashKey(keys[j], seeds_[i]));
+      }
+    }
+  }
+
+ private:
+  uint64_t ReduceM(uint64_t h) const { return fast_ ? fm_m_.Mod(h) : h % m_; }
+
+  std::vector<uint64_t> seeds_;
+  bool fast_ = false;
+  FastMod fm_m_;
 };
 
 enum class HashFamilyKind { kSimple, kMurmur3, kMd5 };

@@ -44,13 +44,13 @@ class Md5 {
 /// First 8 digest bytes of MD5(seed || key), as a little-endian u64.
 uint64_t Md5Key64(uint64_t key, uint64_t seed);
 
-class Md5HashFamily : public HashFamily {
+class Md5HashFamily : public SeededKeyHashFamily<Md5HashFamily> {
  public:
-  Md5HashFamily(size_t k, uint64_t m, uint64_t seed) : HashFamily(k, m, seed) {}
+  Md5HashFamily(size_t k, uint64_t m, uint64_t seed)
+      : SeededKeyHashFamily(k, m, seed) {}
 
-  uint64_t Hash(size_t i, uint64_t key) const override {
-    BSR_CHECK(i < k_, "Md5HashFamily::Hash index out of range");
-    return Md5Key64(key, seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)) % m_;
+  static uint64_t HashKey(uint64_t key, uint64_t seed) {
+    return Md5Key64(key, seed);
   }
 
   std::string Name() const override { return "md5"; }

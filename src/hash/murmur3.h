@@ -25,14 +25,13 @@ std::array<uint64_t, 2> Murmur3x64_128(const void* data, size_t len,
 /// Convenience: 64-bit Murmur3 of a 64-bit key (first half of x64_128).
 uint64_t Murmur3Key64(uint64_t key, uint64_t seed);
 
-class Murmur3HashFamily : public HashFamily {
+class Murmur3HashFamily : public SeededKeyHashFamily<Murmur3HashFamily> {
  public:
   Murmur3HashFamily(size_t k, uint64_t m, uint64_t seed)
-      : HashFamily(k, m, seed) {}
+      : SeededKeyHashFamily(k, m, seed) {}
 
-  uint64_t Hash(size_t i, uint64_t key) const override {
-    BSR_CHECK(i < k_, "Murmur3HashFamily::Hash index out of range");
-    return Murmur3Key64(key, seed_ + 0x9e3779b97f4a7c15ULL * (i + 1)) % m_;
+  static uint64_t HashKey(uint64_t key, uint64_t seed) {
+    return Murmur3Key64(key, seed);
   }
 
   std::string Name() const override { return "murmur3"; }

@@ -26,12 +26,42 @@ SimpleHashFamily::SimpleHashFamily(size_t k, uint64_t m, uint64_t seed,
     a_inv_.push_back(ModInverse(a, p_));
     BSR_CHECK(a_inv_.back() != 0, "prime modulus must make a invertible");
   }
+  if (p_ <= (1ULL << 32)) {
+    fast_ = true;
+    fm_p_ = FastMod(p_);
+    fm_m_ = FastMod(m);  // m <= p by the prime-floor choice
+  }
+}
+
+uint64_t SimpleHashFamily::HashReduced(size_t i, uint64_t reduced) const {
+  if (fast_) {
+    // a, b, reduced < p with p <= 2^32, so a·reduced + b <= (p-1)·p
+    // < 2^64 — the whole evaluation stays in one 64-bit lane, and both
+    // reductions are division-free. Identical values to the __int128 path.
+    const uint64_t v = fm_p_.Mod(a_[i] * reduced + b_[i]);
+    return fm_m_.Mod(v);
+  }
+  const uint64_t v = AddMod(MulMod(a_[i], reduced, p_), b_[i], p_);
+  return v % m_;
 }
 
 uint64_t SimpleHashFamily::Hash(size_t i, uint64_t key) const {
   BSR_CHECK(i < k_, "SimpleHashFamily::Hash index out of range");
-  const uint64_t v = AddMod(MulMod(a_[i], key % p_, p_), b_[i], p_);
-  return v % m_;
+  return HashReduced(i, ReduceKey(key));
+}
+
+void SimpleHashFamily::HashAll(uint64_t key, uint64_t* out) const {
+  const uint64_t reduced = ReduceKey(key);
+  for (size_t i = 0; i < k_; ++i) out[i] = HashReduced(i, reduced);
+}
+
+void SimpleHashFamily::HashBatch(const uint64_t* keys, size_t n,
+                                 uint64_t* out) const {
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t reduced = ReduceKey(keys[j]);
+    uint64_t* dst = out + j * k_;
+    for (size_t i = 0; i < k_; ++i) dst[i] = HashReduced(i, reduced);
+  }
 }
 
 Status SimpleHashFamily::Preimages(size_t i, uint64_t bit,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/hash/hash_family.h"
+#include "src/util/math_util.h"
 
 namespace bloomsample {
 
@@ -31,6 +32,9 @@ class SimpleHashFamily : public HashFamily {
   SimpleHashFamily(size_t k, uint64_t m, uint64_t seed, uint64_t universe = 0);
 
   uint64_t Hash(size_t i, uint64_t key) const override;
+  void HashAll(uint64_t key, uint64_t* out) const override;
+  void HashBatch(const uint64_t* keys, size_t n,
+                 uint64_t* out) const override;
   bool IsInvertible() const override { return true; }
   /// Appends the preimages of `bit` within [0, namespace_size). Output is
   /// NOT sorted. namespace_size must not exceed the universe the family
@@ -45,7 +49,25 @@ class SimpleHashFamily : public HashFamily {
   uint64_t b(size_t i) const { return b_[i]; }
 
  private:
+  /// Devirtualized kernel shared by Hash/HashAll/HashBatch: `reduced` is
+  /// key % p, already computed once per key by the batched callers.
+  uint64_t HashReduced(size_t i, uint64_t reduced) const;
+
+  /// key % p, skipping the reduction when the key is already < p (always
+  /// true for tree builds, whose keys come from [0, M) ⊆ [0, p)).
+  uint64_t ReduceKey(uint64_t key) const {
+    if (key < p_) return key;
+    return fast_ ? fm_p_.Mod(key) : key % p_;
+  }
+
   uint64_t p_;
+  /// p <= 2^32 (always, for realistic universes): a·x + b fits in 64 bits
+  /// because (p-1)·p < 2^64, and both % p and % m run division-free
+  /// through FastMod. The fallback __int128 path is only for universes
+  /// beyond 2^32.
+  bool fast_ = false;
+  FastMod fm_p_;
+  FastMod fm_m_;
   std::vector<uint64_t> a_;
   std::vector<uint64_t> b_;
   std::vector<uint64_t> a_inv_;  // a_i^{-1} mod p, precomputed

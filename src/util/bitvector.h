@@ -8,6 +8,7 @@
 #ifndef BLOOMSAMPLE_UTIL_BITVECTOR_H_
 #define BLOOMSAMPLE_UTIL_BITVECTOR_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -40,6 +41,32 @@ class BitVector {
   void Clear(size_t i) {
     BSR_CHECK(i < size_, "BitVector::Clear out of range");
     words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  // Unchecked fast paths for hot loops whose indices are range-checked (or
+  // guaranteed by construction, e.g. hash outputs in [0, m)) up front. The
+  // checked Get/Set above remain the public default; Debug builds still
+  // assert here so the bounds contract stays exercised under -DNDEBUG-less
+  // CI runs.
+  bool GetUnchecked(size_t i) const {
+    assert(i < size_ && "BitVector::GetUnchecked out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void SetUnchecked(size_t i) {
+    assert(i < size_ && "BitVector::SetUnchecked out of range");
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  /// ORs `mask` into word `word_idx` in one store — the register-built
+  /// word-mask idiom batched inserters use. Bits beyond size() must not be
+  /// set in `mask` (would break the trailing-zero invariant).
+  void SetWordMask(size_t word_idx, uint64_t mask) {
+    assert(word_idx < words_.size() && "BitVector::SetWordMask out of range");
+    assert((word_idx + 1 < words_.size() || size_ % 64 == 0 ||
+            (mask >> (size_ % 64)) == 0) &&
+           "BitVector::SetWordMask mask exceeds size");
+    words_[word_idx] |= mask;
   }
 
   /// Sets all bits to zero.

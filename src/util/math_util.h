@@ -6,6 +6,8 @@
 
 #include <cstdint>
 
+#include "src/util/status.h"
+
 namespace bloomsample {
 
 /// floor(log2(x)) for x >= 1.
@@ -40,6 +42,42 @@ inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t mod) {
   const uint64_t s = a + b;
   return (s >= mod || s < a) ? s - mod : s;
 }
+
+/// Division-free n % d for a fixed divisor d <= 2^32 and any 64-bit n
+/// (Lemire's fastmod with a 128-bit magic). Exact: with
+/// M = floor(2^128 / d) + 1, the error term is bounded by
+/// d * n / 2^128 <= 2^32 * (2^64 - 1) / 2^128 < 1, so
+/// Mod(n) == n % d for every n. Hardware 64-bit division costs ~20-40
+/// cycles; this is a handful of multiplies — which is what makes the
+/// devirtualized hash kernels cheap enough to be memory-bound.
+class FastMod {
+ public:
+  FastMod() : d_(1), magic_(~static_cast<unsigned __int128>(0)) {}
+
+  explicit FastMod(uint64_t d) : d_(d) {
+    BSR_CHECK(d != 0, "FastMod divisor must be nonzero");
+    BSR_CHECK(d <= (1ULL << 32), "FastMod divisor must be <= 2^32");
+    magic_ = ~static_cast<unsigned __int128>(0) / d + 1;
+  }
+
+  uint64_t divisor() const { return d_; }
+
+  uint64_t Mod(uint64_t n) const {
+    // lowbits = (magic * n) mod 2^128 encodes the fractional part of n/d;
+    // multiplying by d and keeping the top 64 bits recovers n % d.
+    const unsigned __int128 lowbits = magic_ * n;
+    const uint64_t lo = static_cast<uint64_t>(lowbits);
+    const uint64_t hi = static_cast<uint64_t>(lowbits >> 64);
+    const unsigned __int128 carry =
+        (static_cast<unsigned __int128>(lo) * d_) >> 64;
+    const unsigned __int128 top = static_cast<unsigned __int128>(hi) * d_ + carry;
+    return static_cast<uint64_t>(top >> 64);
+  }
+
+ private:
+  uint64_t d_;
+  unsigned __int128 magic_;
+};
 
 uint64_t Gcd(uint64_t a, uint64_t b);
 

@@ -1,0 +1,175 @@
+// A small fixed-size task pool (no work stealing) with a blocking
+// ParallelFor helper, used by the BloomSampleTree builders.
+//
+// Design notes:
+//   * ThreadPool(n) provides `n` lanes of parallelism *including the
+//     calling thread*: n - 1 background workers are spawned, and
+//     ParallelFor has the caller chew on chunks alongside them. n <= 1 (or
+//     a range that fits in one chunk) degenerates to a plain serial loop
+//     with no synchronization at all, which keeps the `build_threads = 1`
+//     path bit-for-bit identical to the historical serial builders.
+//   * ParallelFor(lo, hi, grain, fn) splits [lo, hi) into contiguous
+//     chunks of `grain` indices and calls fn(chunk_lo, chunk_hi) for each.
+//     Chunks are claimed from a shared atomic cursor, so the *assignment*
+//     of chunks to threads is nondeterministic but the set of chunks — and
+//     therefore any computation whose chunks write disjoint state — is
+//     deterministic.
+//   * Exceptions thrown by fn are captured; the first one is rethrown on
+//     the calling thread after every in-flight chunk has drained. Remaining
+//     unclaimed chunks are skipped once a failure is recorded.
+#ifndef BLOOMSAMPLE_UTIL_THREAD_POOL_H_
+#define BLOOMSAMPLE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bloomsample {
+
+class ThreadPool {
+ public:
+  /// Total parallelism for ParallelFor, caller included. 0 means
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    threads_ = threads;
+    workers_.reserve(threads - 1);
+    for (size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Lanes of parallelism ParallelFor will use (>= 1, caller included).
+  size_t thread_count() const { return threads_; }
+
+  /// Runs fn(chunk_lo, chunk_hi) over [lo, hi) split into chunks of at
+  /// most `grain` indices (grain 0 is treated as 1). Blocks until every
+  /// chunk has run; rethrows the first exception any chunk threw. fn must
+  /// be safe to invoke concurrently from multiple threads.
+  template <typename Fn>
+  void ParallelFor(uint64_t lo, uint64_t hi, uint64_t grain, Fn&& fn) {
+    if (hi <= lo) return;
+    if (grain == 0) grain = 1;
+    const uint64_t count = hi - lo;
+    const uint64_t chunks = (count + grain - 1) / grain;
+    if (workers_.empty() || chunks == 1) {
+      for (uint64_t c = 0; c < chunks; ++c) {
+        const uint64_t clo = lo + c * grain;
+        const uint64_t chi = clo + grain < hi ? clo + grain : hi;
+        fn(clo, chi);
+      }
+      return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->lo = lo;
+    state->hi = hi;
+    state->grain = grain;
+    state->chunks = chunks;
+    // Helpers beyond chunks - 1 would find nothing to claim; don't wake
+    // more workers than can possibly get a chunk alongside the caller.
+    const size_t helpers =
+        workers_.size() < chunks - 1 ? workers_.size() : chunks - 1;
+    state->pending_helpers = helpers;
+
+    std::function<void(uint64_t, uint64_t)> body = std::ref(fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < helpers; ++i) {
+        tasks_.emplace_back([state, body] {
+          RunChunks(*state, body);
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (--state->pending_helpers == 0) state->done.notify_one();
+        });
+      }
+    }
+    cv_.notify_all();
+
+    RunChunks(*state, body);  // the caller is one of the lanes
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->done.wait(lock, [&] { return state->pending_helpers == 0; });
+    }
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  struct ForState {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    uint64_t grain = 1;
+    uint64_t chunks = 0;
+    std::atomic<uint64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending_helpers = 0;
+  };
+
+  static void RunChunks(ForState& state,
+                        const std::function<void(uint64_t, uint64_t)>& fn) {
+    for (;;) {
+      const uint64_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state.chunks || state.failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const uint64_t clo = state.lo + c * state.grain;
+      const uint64_t chi =
+          clo + state.grain < state.hi ? clo + state.grain : state.hi;
+      try {
+        fn(clo, chi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error) state.error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_THREAD_POOL_H_

@@ -17,6 +17,28 @@ TEST(BitVectorTest, StartsAllZero) {
   for (size_t i = 0; i < bits.size(); ++i) EXPECT_FALSE(bits.Get(i));
 }
 
+TEST(BitVectorTest, UncheckedAccessorsMatchChecked) {
+  BitVector bits(130);
+  bits.SetUnchecked(0);
+  bits.SetUnchecked(63);
+  bits.SetUnchecked(64);
+  bits.SetUnchecked(129);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(bits.GetUnchecked(i), bits.Get(i));
+  }
+  EXPECT_EQ(bits.Popcount(), 4u);
+}
+
+TEST(BitVectorTest, SetWordMaskSetsWholeWord) {
+  BitVector bits(192);
+  bits.SetWordMask(1, (1ULL << 3) | (1ULL << 60));
+  EXPECT_TRUE(bits.Get(64 + 3));
+  EXPECT_TRUE(bits.Get(64 + 60));
+  EXPECT_EQ(bits.Popcount(), 2u);
+  bits.SetWordMask(1, 1ULL << 3);  // OR semantics: re-setting is a no-op
+  EXPECT_EQ(bits.Popcount(), 2u);
+}
+
 TEST(BitVectorTest, SetGetClear) {
   BitVector bits(100);
   bits.Set(0);

@@ -179,6 +179,52 @@ TEST(BloomFilterTest, WorksWithAllFamilies) {
   }
 }
 
+TEST(BloomFilterTest, InsertBatchMatchesInsertLoop) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    auto family = MakeHashFamily(kind, 3, 5000, 42, 100000).value();
+    std::vector<uint64_t> keys;
+    for (uint64_t j = 0; j < 700; ++j) keys.push_back(j * 13 + 5);
+
+    BloomFilter loop(family);
+    for (uint64_t key : keys) loop.Insert(key);
+    BloomFilter batch(family);
+    batch.InsertBatch(keys);
+    EXPECT_EQ(loop.bits(), batch.bits()) << HashFamilyKindName(kind);
+  }
+}
+
+TEST(BloomFilterTest, InsertRangeMatchesInsertLoop) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, 5000, 42,
+                               100000).value();
+  BloomFilter loop(family);
+  for (uint64_t x = 100; x < 800; ++x) loop.Insert(x);
+  BloomFilter ranged(family);
+  ranged.InsertRange(100, 800);
+  EXPECT_EQ(loop.bits(), ranged.bits());
+
+  BloomFilter empty(family);
+  empty.InsertRange(50, 50);  // empty range is a no-op
+  EXPECT_TRUE(empty.IsEmpty());
+}
+
+TEST(BloomFilterTest, FilterContainedMatchesContains) {
+  auto family = MakeHashFamily(HashFamilyKind::kMurmur3, 3, 4096, 1).value();
+  BloomFilter filter(family);
+  for (uint64_t x = 0; x < 300; ++x) filter.Insert(x * 7);
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t x = 0; x < 2100; ++x) candidates.push_back(x);
+  std::vector<uint64_t> batched;
+  filter.FilterContained(candidates.data(), candidates.size(), &batched);
+
+  std::vector<uint64_t> scalar;
+  for (uint64_t x : candidates) {
+    if (filter.Contains(x)) scalar.push_back(x);
+  }
+  EXPECT_EQ(batched, scalar);
+}
+
 TEST(BloomFilterDeathTest, IncompatibleOperationsAbort) {
   BloomFilter a(Family());
   BloomFilter b(Family(20000));

@@ -68,5 +68,38 @@ TEST(HashFamilyFactoryTest, DefaultHashAllAgreesWithHash) {
   for (size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], family->Hash(i, 777));
 }
 
+TEST(HashFamilyFactoryTest, HashAllAgreesWithHashForEveryFamily) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    auto family = MakeHashFamily(kind, 3, 60870, 42, 100000).value();
+    uint64_t out[3];
+    for (uint64_t key : {0ULL, 1ULL, 999ULL, 0xdeadbeefULL}) {
+      family->HashAll(key, out);
+      for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(out[i], family->Hash(i, key)) << HashFamilyKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(HashFamilyFactoryTest, HashBatchAgreesWithHashAll) {
+  for (HashFamilyKind kind : {HashFamilyKind::kSimple,
+                              HashFamilyKind::kMurmur3, HashFamilyKind::kMd5}) {
+    auto family = MakeHashFamily(kind, 3, 60870, 42, 100000).value();
+    std::vector<uint64_t> keys;
+    for (uint64_t j = 0; j < 300; ++j) keys.push_back(j * 0x9e3779b9ULL + 7);
+    std::vector<uint64_t> batch(keys.size() * 3);
+    family->HashBatch(keys.data(), keys.size(), batch.data());
+    uint64_t single[3];
+    for (size_t j = 0; j < keys.size(); ++j) {
+      family->HashAll(keys[j], single);
+      for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(batch[j * 3 + i], single[i])
+            << HashFamilyKindName(kind) << " key " << keys[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bloomsample

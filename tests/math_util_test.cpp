@@ -91,5 +91,53 @@ TEST(MathUtilTest, ModInverseRejectsNonUnits) {
   EXPECT_EQ(ModInverse(0, 7), 0u);
 }
 
+TEST(FastModTest, MatchesHardwareModuloAtEdges) {
+  const uint64_t divisors[] = {1,      2,         3,          7,
+                               64,     60870,     100003,     1000003,
+                               (1ULL << 31) - 1,  1ULL << 31, (1ULL << 32) - 1,
+                               1ULL << 32};
+  for (uint64_t d : divisors) {
+    const FastMod fm(d);
+    const uint64_t numerators[] = {0,
+                                   1,
+                                   d - 1,
+                                   d,
+                                   d + 1,
+                                   2 * d,
+                                   2 * d + 1,
+                                   (1ULL << 32) - 1,
+                                   1ULL << 32,
+                                   UINT64_MAX - 1,
+                                   UINT64_MAX};
+    for (uint64_t n : numerators) {
+      EXPECT_EQ(fm.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastModTest, MatchesHardwareModuloOnRandomInputs) {
+  // Deterministic xorshift so failures reproduce.
+  uint64_t state = 0x243f6a8885a308d3ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t d = next() % ((1ULL << 32) - 1) + 1;
+    const FastMod fm(d);
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t n = next();
+      ASSERT_EQ(fm.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastModDeathTest, RejectsBadDivisors) {
+  EXPECT_DEATH(FastMod(0), "nonzero");
+  EXPECT_DEATH(FastMod((1ULL << 32) + 1), "2\\^32");
+}
+
 }  // namespace
 }  // namespace bloomsample

@@ -1,0 +1,120 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bloomsample {
+namespace {
+
+TEST(ThreadPoolTest, ThreadCountDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.thread_count(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.thread_count(), 4u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 10, 1, [&](uint64_t, uint64_t) { ++calls; });
+  pool.ParallelFor(10, 5, 1, [&](uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 7u}) {
+    for (uint64_t grain : {1u, 3u, 64u, 1000u}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(100);
+      pool.ParallelFor(0, hits.size(), grain, [&](uint64_t lo, uint64_t hi) {
+        ASSERT_LT(lo, hi);
+        for (uint64_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 10, 0, [&](uint64_t lo, uint64_t hi) {
+    EXPECT_EQ(hi, lo + 1);  // grain 0 -> chunks of exactly one index
+    sum += lo;
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 9, 1000, [&](uint64_t lo, uint64_t hi) {
+    EXPECT_EQ(lo, 5u);
+    EXPECT_EQ(hi, 9u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, LastChunkIsClippedToRangeEnd) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> covered{0};
+  pool.ParallelFor(0, 10, 4, [&](uint64_t lo, uint64_t hi) {
+    EXPECT_LE(hi, 10u);
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 1,
+                       [&](uint64_t lo, uint64_t) {
+                         if (lo == 137) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSerialPath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [&](uint64_t, uint64_t) {
+                                  throw std::runtime_error("serial boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [&](uint64_t, uint64_t) {
+                                  throw std::runtime_error("first");
+                                }),
+               std::runtime_error);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 100, 7, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ManyMoreChunksThanThreads) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, hits.size(), 1,
+                   [&](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) ++hits[i];
+                   });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,101 @@
+// The parallel-build contract: BuildComplete and BuildPruned must produce
+// bit-identical trees for every build_threads value — structure, filter
+// bits, and cached set_bits all equal. The builders guarantee this by
+// partitioning strictly disjoint state (leaves, then parents level by
+// level), so this test is the regression fence for that invariant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/bloom_sample_tree.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+TreeConfig BaseConfig() {
+  TreeConfig config;
+  config.namespace_size = 5000;  // deliberately not a power of two
+  config.m = 4096;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 20170313;
+  config.depth = 6;
+  return config;
+}
+
+void ExpectIdenticalTrees(const BloomSampleTree& a, const BloomSampleTree& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (int64_t id = 0; id < static_cast<int64_t>(a.node_count()); ++id) {
+    const BloomSampleTree::Node& na = a.node(id);
+    const BloomSampleTree::Node& nb = b.node(id);
+    EXPECT_EQ(na.lo, nb.lo);
+    EXPECT_EQ(na.hi, nb.hi);
+    EXPECT_EQ(na.level, nb.level);
+    EXPECT_EQ(na.left, nb.left);
+    EXPECT_EQ(na.right, nb.right);
+    EXPECT_EQ(na.set_bits, nb.set_bits);
+    EXPECT_EQ(na.filter.bits(), nb.filter.bits())
+        << "filter bits diverge at node " << id;
+  }
+}
+
+TEST(TreeBuildDeterminismTest, CompleteTreeIdenticalAcrossThreadCounts) {
+  TreeConfig serial_config = BaseConfig();
+  serial_config.build_threads = 1;
+  auto serial = BloomSampleTree::BuildComplete(serial_config);
+  ASSERT_TRUE(serial.ok());
+
+  for (uint32_t threads : {2u, 7u}) {
+    TreeConfig config = BaseConfig();
+    config.build_threads = threads;
+    auto parallel = BloomSampleTree::BuildComplete(config);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalTrees(serial.value(), parallel.value());
+  }
+}
+
+TEST(TreeBuildDeterminismTest, PrunedTreeIdenticalAcrossThreadCounts) {
+  // A clustered occupied set: some leaves dense, most empty, to exercise
+  // uneven leaf fills across chunks.
+  std::vector<uint64_t> occupied;
+  Rng rng(7);
+  uint64_t x = 0;
+  while (true) {
+    x += 1 + rng.Below(17);
+    if (x >= 5000) break;
+    occupied.push_back(x);
+  }
+  ASSERT_GT(occupied.size(), 100u);
+
+  TreeConfig serial_config = BaseConfig();
+  serial_config.build_threads = 1;
+  auto serial = BloomSampleTree::BuildPruned(serial_config, occupied);
+  ASSERT_TRUE(serial.ok());
+
+  for (uint32_t threads : {2u, 7u}) {
+    TreeConfig config = BaseConfig();
+    config.build_threads = threads;
+    auto parallel = BloomSampleTree::BuildPruned(config, occupied);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalTrees(serial.value(), parallel.value());
+  }
+}
+
+TEST(TreeBuildDeterminismTest, DefaultThreadsMatchesSerial) {
+  // build_threads = 0 (hardware concurrency, the default) must also be
+  // bit-identical to the serial build.
+  TreeConfig serial_config = BaseConfig();
+  serial_config.build_threads = 1;
+  auto serial = BloomSampleTree::BuildComplete(serial_config);
+  ASSERT_TRUE(serial.ok());
+
+  TreeConfig default_config = BaseConfig();
+  default_config.build_threads = 0;
+  auto hw = BloomSampleTree::BuildComplete(default_config);
+  ASSERT_TRUE(hw.ok());
+  ExpectIdenticalTrees(serial.value(), hw.value());
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -199,11 +199,14 @@ Status CmdBuild(const Flags& flags) {
   if (!seed.ok()) return seed.status();
   auto kind = ParseHashFamilyKind(flags.Get("hash").value_or("simple"));
   if (!kind.ok()) return kind.status();
+  auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
+  if (!threads.ok()) return threads.status();
 
   Result<TreeConfig> config = MakeConfigForAccuracy(
       accuracy.value(), set_size.value(), k.value(), namespace_size.value(),
       kind.value(), seed.value());
   if (!config.ok()) return config.status();
+  config.value().build_threads = static_cast<uint32_t>(threads.value());
 
   Timer timer;
   const auto occupied_path = flags.Get("occupied");
@@ -416,6 +419,7 @@ commands:
   build        --namespace M --out T.bst [--accuracy A] [--set-size N]
                [--k K] [--hash simple|murmur3|md5] [--seed S]
                [--occupied ids.txt]     (pruned tree over occupied ids)
+               [--threads T]            (build threads; 0 = all cores)
   info         --tree T.bst
   make-set     --namespace M --size N --out ids.txt [--clustered] [--seed S]
   store-set    --tree T.bst --ids ids.txt --out set.bf
@@ -443,7 +447,7 @@ int Main(int argc, char** argv) {
 
   if (command == "build") {
     status = run({"namespace", "out", "accuracy", "set-size", "k", "hash",
-                  "seed", "occupied"},
+                  "seed", "occupied", "threads"},
                  {}, CmdBuild);
   } else if (command == "info") {
     status = run({"tree"}, {}, CmdInfo);
