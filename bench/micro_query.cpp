@@ -1,0 +1,205 @@
+// Microbenchmark for the query hot path, emitting machine-readable JSON so
+// BENCH_*.json trajectory tracking can diff runs across PRs.
+//
+// Output: a JSON array on stdout; one record per configuration:
+//   {"bench": "micro_query", "variant": "sample" | "reconstruct",
+//    "kernel": "dense" | "sparse", "m": <filter bits>, "namespace": <M>,
+//    "threads": <n>, "ns_per_sample" | "ns_per_element": <double>,
+//    "dense_intersections": <n>, "sparse_intersections": <n>, ...}
+//
+// Variants:
+//   * sample — BstSampler::Sample through a QueryContext pinned to the
+//     dense or the sparse kernel (the tentpole comparison: a sparse query
+//     touches O(nnz) words per node instead of O(m/64)). The "identical"
+//     field records that both kernels drew the same sample sequence.
+//   * reconstruct — BstReconstructor::Reconstruct (kExact) at
+//     query_threads 1 and hardware concurrency, ns per element
+//     reconstructed; "identical" records output equality across thread
+//     counts and with the serial dense-kernel run.
+//
+// BSR_BENCH_FULL=1 raises the round counts; the quick default finishes in
+// well under a minute.
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+constexpr int kReps = 3;
+
+struct SampleResult {
+  double ns_per_sample = 0.0;
+  std::vector<uint64_t> draws;  // for the cross-kernel identity check
+  OpCounters counters;
+};
+
+SampleResult TimeSampling(const BloomSampleTree& tree,
+                          const BloomFilter& query, IntersectKernel kernel,
+                          uint64_t rounds, uint64_t seed) {
+  const BstSampler sampler(&tree);
+  SampleResult result;
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    QueryContext ctx(tree, query, kernel);
+    Rng rng(seed);  // same seed every rep/kernel: identical descents
+    std::vector<uint64_t> draws;
+    draws.reserve(rounds);
+    OpCounters counters;
+    Timer timer;
+    for (uint64_t i = 0; i < rounds; ++i) {
+      const auto sample = sampler.Sample(&ctx, &rng, &counters);
+      draws.push_back(sample.has_value() ? *sample : ~0ULL);
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds < best) {
+      best = seconds;
+      result.draws = std::move(draws);
+      result.counters = counters;
+    }
+  }
+  result.ns_per_sample = best * 1e9 / static_cast<double>(rounds);
+  return result;
+}
+
+struct ReconResult {
+  double ns_per_element = 0.0;
+  size_t elements = 0;
+  std::vector<uint64_t> output;
+  OpCounters counters;
+};
+
+ReconResult TimeReconstruction(BloomSampleTree& tree,
+                               const BloomFilter& query,
+                               IntersectKernel kernel, uint32_t threads) {
+  tree.set_query_threads(threads);
+  const BstReconstructor reconstructor(&tree);
+  const QueryContext ctx(tree, query, kernel);
+  ReconResult result;
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    OpCounters counters;
+    Timer timer;
+    auto output = reconstructor.Reconstruct(
+        ctx, &counters, BstReconstructor::PruningMode::kExact);
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds < best) {
+      best = seconds;
+      result.output = std::move(output);
+      result.counters = counters;
+    }
+  }
+  result.elements = result.output.size();
+  result.ns_per_element =
+      best * 1e9 /
+      static_cast<double>(result.elements == 0 ? 1 : result.elements);
+  return result;
+}
+
+void PrintSampleRecord(bool first, const char* kernel, uint64_t m,
+                       uint64_t namespace_size, uint64_t rounds,
+                       const SampleResult& r, bool identical) {
+  std::printf(
+      "%s  {\"bench\": \"micro_query\", \"variant\": \"sample\", "
+      "\"kernel\": \"%s\", \"m\": %" PRIu64 ", \"namespace\": %" PRIu64
+      ", \"threads\": 1, \"rounds\": %" PRIu64
+      ", \"ns_per_sample\": %.1f, \"dense_intersections\": %" PRIu64
+      ", \"sparse_intersections\": %" PRIu64 ", \"identical\": %s}",
+      first ? "" : ",\n", kernel, m, namespace_size, rounds, r.ns_per_sample,
+      r.counters.dense_intersections, r.counters.sparse_intersections,
+      identical ? "true" : "false");
+}
+
+void PrintReconRecord(const char* kernel, uint64_t m, uint64_t namespace_size,
+                      uint64_t threads, const ReconResult& r, bool identical) {
+  std::printf(
+      ",\n  {\"bench\": \"micro_query\", \"variant\": \"reconstruct\", "
+      "\"kernel\": \"%s\", \"m\": %" PRIu64 ", \"namespace\": %" PRIu64
+      ", \"threads\": %" PRIu64 ", \"elements\": %zu"
+      ", \"ns_per_element\": %.1f, \"dense_intersections\": %" PRIu64
+      ", \"sparse_intersections\": %" PRIu64 ", \"identical\": %s}",
+      kernel, m, namespace_size, threads, r.elements, r.ns_per_element,
+      r.counters.dense_intersections, r.counters.sparse_intersections,
+      identical ? "true" : "false");
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+
+  uint64_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // On a single-core box still drive the parallel traversal with 2 lanes:
+  // the point of the N-thread row is the fan-out path (and its
+  // output-identity check), not just the speedup.
+  const uint64_t parallel_threads = hw > 1 ? hw : 2;
+
+  // The paper's sparse-query regime: a 1000-element query filter against
+  // trees with m = 1e6 and m = 1e7 bit filters (the query's ~3k nonzero
+  // words fill <2% of the 1e7-bit filters' words).
+  const uint64_t namespace_size = 1000000;
+  const uint64_t query_size = 1000;
+  const uint64_t sample_rounds = env.Rounds(/*quick=*/1000, /*full=*/10000);
+
+  std::printf("[\n");
+  bool first = true;
+  for (uint64_t m : std::vector<uint64_t>{1000000, 10000000}) {
+    TreeConfig config;
+    config.namespace_size = namespace_size;
+    config.m = m;
+    config.k = 3;
+    config.hash_kind = HashFamilyKind::kSimple;
+    config.seed = env.seed;
+    config.depth = 6;  // 127 nodes: 1.25 MB/filter at m=1e7 stays in RAM
+
+    auto tree_result = BloomSampleTree::BuildComplete(config);
+    BSR_CHECK(tree_result.ok(), "micro_query: BuildComplete failed");
+    BloomSampleTree tree = std::move(tree_result).value();
+
+    Rng rng(env.seed ^ m);
+    const std::vector<uint64_t> members = bloomsample::bench::MakeQuerySet(
+        namespace_size, query_size, /*clustered=*/false, &rng);
+    const BloomFilter query = tree.MakeQueryFilter(members);
+
+    const SampleResult dense = TimeSampling(tree, query,
+                                            IntersectKernel::kDense,
+                                            sample_rounds, env.seed);
+    const SampleResult sparse = TimeSampling(tree, query,
+                                             IntersectKernel::kSparse,
+                                             sample_rounds, env.seed);
+    const bool sample_identical = dense.draws == sparse.draws;
+    PrintSampleRecord(first, "dense", m, namespace_size, sample_rounds, dense,
+                      sample_identical);
+    first = false;
+    PrintSampleRecord(false, "sparse", m, namespace_size, sample_rounds,
+                      sparse, sample_identical);
+
+    const ReconResult recon_dense =
+        TimeReconstruction(tree, query, IntersectKernel::kDense, 1);
+    const ReconResult recon_serial =
+        TimeReconstruction(tree, query, IntersectKernel::kSparse, 1);
+    const ReconResult recon_parallel =
+        TimeReconstruction(tree, query, IntersectKernel::kSparse,
+                           static_cast<uint32_t>(parallel_threads));
+    const bool recon_identical = recon_dense.output == recon_serial.output &&
+                                 recon_serial.output == recon_parallel.output;
+    PrintReconRecord("dense", m, namespace_size, 1, recon_dense,
+                     recon_identical);
+    PrintReconRecord("sparse", m, namespace_size, 1, recon_serial,
+                     recon_identical);
+    PrintReconRecord("sparse", m, namespace_size, parallel_threads,
+                     recon_parallel, recon_identical);
+  }
+  std::printf("\n]\n");
+  return 0;
+}

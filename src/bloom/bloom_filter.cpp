@@ -10,6 +10,7 @@ BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family)
 }
 
 void BloomFilter::Insert(uint64_t key) {
+  InvalidateSetBitCount();
   uint64_t h[kMaxK];
   family_->HashAll(key, h);
   const size_t k = family_->k();
@@ -20,6 +21,7 @@ void BloomFilter::Insert(uint64_t key) {
 
 void BloomFilter::InsertBatch(const uint64_t* keys, size_t n) {
   BSR_CHECK(keys != nullptr || n == 0, "InsertBatch: null keys");
+  if (n > 0) InvalidateSetBitCount();
   const size_t k = family_->k();
   uint64_t hashes[kHashBlock * kMaxK];
   for (size_t base = 0; base < n; base += kHashBlock) {
@@ -87,12 +89,79 @@ void BloomFilter::FilterContained(const uint64_t* keys, size_t n,
 
 void BloomFilter::UnionWith(const BloomFilter& other) {
   CheckCompatible(other);
+  InvalidateSetBitCount();
   bits_.OrWith(other.bits_);
 }
 
 void BloomFilter::IntersectWith(const BloomFilter& other) {
   CheckCompatible(other);
+  InvalidateSetBitCount();
   bits_.AndWith(other.bits_);
+}
+
+size_t BloomFilter::AndPopcount(const BloomQueryView& query) const {
+  CheckCompatible(query.filter());
+  if (query.sparse()) return bits_.AndPopcountSparse(query.sparse_view());
+  return bits_.AndPopcount(query.filter().bits());
+}
+
+bool BloomFilter::AndIsZero(const BloomQueryView& query) const {
+  CheckCompatible(query.filter());
+  if (query.sparse()) return bits_.AndAllZeroSparse(query.sparse_view());
+  return bits_.AndIsZero(query.filter().bits());
+}
+
+BloomQueryView::BloomQueryView(const BloomFilter& filter,
+                               IntersectKernel kernel)
+    : filter_(&filter) {
+  // One pass over the words resolves the cached t2, the kernel, and (when
+  // the sparse kernel will read it) the nonzero-word snapshot. Under
+  // kAuto, materialization is abandoned the moment the nonzero count
+  // crosses the sparse/dense break-even (half the words — past that the
+  // dense kernel's linear scan beats the indirected walk), so a dense
+  // query costs one count-only pass and a sparse query exactly one
+  // materializing pass.
+  const std::vector<uint64_t>& words = filter.bits().words();
+  const size_t word_count = words.size();
+  BSR_CHECK(word_count <= UINT32_MAX, "filter too wide for a query view");
+  bool materialize = kernel != IntersectKernel::kDense;
+  const size_t abandon_above =
+      kernel == IntersectKernel::kAuto ? word_count / 2 : word_count;
+  size_t nnz = 0;
+  uint64_t pop = 0;
+  for (size_t w = 0; w < word_count; ++w) {
+    const uint64_t word = words[w];
+    if (word == 0) continue;
+    ++nnz;
+    pop += static_cast<uint64_t>(__builtin_popcountll(word));
+    if (materialize) {
+      if (nnz > abandon_above) {
+        materialize = false;
+        view_.word_index = {};
+        view_.word_value = {};
+      } else {
+        view_.word_index.push_back(static_cast<uint32_t>(w));
+        view_.word_value.push_back(word);
+      }
+    }
+  }
+  set_bits_ = pop;
+  switch (kernel) {
+    case IntersectKernel::kDense:
+      sparse_ = false;
+      break;
+    case IntersectKernel::kSparse:
+      sparse_ = true;
+      break;
+    case IntersectKernel::kAuto:
+      sparse_ = 2 * nnz <= word_count;
+      break;
+  }
+  if (sparse_) {
+    view_.bit_size = filter.bits().size();
+    view_.set_bits = static_cast<size_t>(pop);
+  }
+  // Dense dispatch reads the filter's own bits; view_ stays empty then.
 }
 
 BloomFilter UnionOf(const BloomFilter& a, const BloomFilter& b) {

@@ -8,6 +8,7 @@
 #ifndef BLOOMSAMPLE_BLOOM_BLOOM_FILTER_H_
 #define BLOOMSAMPLE_BLOOM_BLOOM_FILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -16,6 +17,17 @@
 #include "src/util/bitvector.h"
 
 namespace bloomsample {
+
+class BloomQueryView;
+
+/// Which intersection kernel a query view dispatches to.
+///   * kDense — the classic O(m/64)-word AND-popcount.
+///   * kSparse — the O(nnz-words) kernel over the view's nonzero words.
+///   * kAuto — sparse when the query's nonzero words fill at most half the
+///     filter (the regime where indirection beats the straight scan), dense
+///     otherwise. Both kernels are bit-identical; this is purely a speed
+///     dispatch.
+enum class IntersectKernel { kAuto, kDense, kSparse };
 
 class BloomFilter {
  public:
@@ -26,6 +38,39 @@ class BloomFilter {
   /// Creates an empty filter. `family` must be non-null with family->m()
   /// bits of output range; the filter allocates exactly that many bits.
   explicit BloomFilter(std::shared_ptr<const HashFamily> family);
+
+  // The memoized set-bit count lives in a std::atomic (so concurrent
+  // readers of a logically-const filter are race-free), which is not
+  // copyable — spell out the value semantics, carrying the cache along.
+  BloomFilter(const BloomFilter& other)
+      : family_(other.family_),
+        bits_(other.bits_),
+        cached_set_bits_(
+            other.cached_set_bits_.load(std::memory_order_relaxed)) {}
+  BloomFilter(BloomFilter&& other) noexcept
+      : family_(std::move(other.family_)),
+        bits_(std::move(other.bits_)),
+        cached_set_bits_(
+            other.cached_set_bits_.load(std::memory_order_relaxed)) {
+    other.cached_set_bits_.store(kSetBitsUnknown, std::memory_order_relaxed);
+  }
+  BloomFilter& operator=(const BloomFilter& other) {
+    family_ = other.family_;
+    bits_ = other.bits_;
+    cached_set_bits_.store(
+        other.cached_set_bits_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+  BloomFilter& operator=(BloomFilter&& other) noexcept {
+    family_ = std::move(other.family_);
+    bits_ = std::move(other.bits_);
+    cached_set_bits_.store(
+        other.cached_set_bits_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.cached_set_bits_.store(kSetBitsUnknown, std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Keys per block in the batched insert/query paths: the hash buffer
   /// (kHashBlock * k u64s) stays comfortably inside L1.
@@ -59,8 +104,21 @@ class BloomFilter {
   /// True iff no bit is set (the canonical empty-set representation).
   bool IsEmpty() const { return bits_.None(); }
 
-  /// Number of set bits (t in the paper's estimator notation).
-  size_t SetBitCount() const { return bits_.Popcount(); }
+  /// Number of set bits (t in the paper's estimator notation). Memoized:
+  /// the first call after a mutation popcounts the whole vector, later
+  /// calls return the cached value. Every mutating member (Insert*,
+  /// UnionWith, IntersectWith, Clear, mutable_bits — which deserializers
+  /// write through) invalidates the cache. Concurrent calls on a filter no
+  /// thread is mutating are race-free (the cache is an atomic; racing
+  /// recomputes store the same value).
+  size_t SetBitCount() const {
+    uint64_t cached = cached_set_bits_.load(std::memory_order_relaxed);
+    if (cached == kSetBitsUnknown) {
+      cached = bits_.Popcount();
+      cached_set_bits_.store(cached, std::memory_order_relaxed);
+    }
+    return static_cast<size_t>(cached);
+  }
 
   /// Fill fraction: SetBitCount() / m.
   double FillFraction() const {
@@ -85,8 +143,18 @@ class BloomFilter {
     return bits_.AndIsZero(other.bits_);
   }
 
+  /// Kernel-dispatching flavors: identical results to the BloomFilter
+  /// overloads above, but routed through the view's resolved kernel so a
+  /// sparse query pays O(nnz words) per call. The view's source filter
+  /// must be compatible with this one.
+  size_t AndPopcount(const BloomQueryView& query) const;
+  bool AndIsZero(const BloomQueryView& query) const;
+
   /// Removes every bit. The filter represents the empty set afterwards.
-  void Clear() { bits_.Reset(); }
+  void Clear() {
+    bits_.Reset();
+    cached_set_bits_.store(0, std::memory_order_relaxed);
+  }
 
   uint64_t m() const { return family_->m(); }
   size_t k() const { return family_->k(); }
@@ -95,7 +163,14 @@ class BloomFilter {
     return family_;
   }
   const BitVector& bits() const { return bits_; }
-  BitVector& mutable_bits() { return bits_; }
+  /// Grants raw write access to the bit payload (deserializers, counting
+  /// filters). Invalidates the memoized set-bit count up front; callers
+  /// must not keep mutating through the returned reference after a later
+  /// SetBitCount() call, or the cache goes stale.
+  BitVector& mutable_bits() {
+    InvalidateSetBitCount();
+    return bits_;
+  }
 
   /// Two filters are compatible when they share the same hash family object
   /// (hence identical m, k, and coefficients).
@@ -111,13 +186,49 @@ class BloomFilter {
   }
 
  private:
+  static constexpr uint64_t kSetBitsUnknown = ~0ULL;
+
   void CheckCompatible(const BloomFilter& other) const {
     BSR_CHECK(CompatibleWith(other),
               "BloomFilter operation between incompatible filters");
   }
 
+  void InvalidateSetBitCount() {
+    cached_set_bits_.store(kSetBitsUnknown, std::memory_order_relaxed);
+  }
+
   std::shared_ptr<const HashFamily> family_;
   BitVector bits_;
+  /// Memoized Popcount() of bits_, kSetBitsUnknown when stale.
+  mutable std::atomic<uint64_t> cached_set_bits_{kSetBitsUnknown};
+};
+
+/// Read-only snapshot of a query filter prepared for many intersections:
+/// the sparse word view, the memoized set-bit count (t2 in the estimator),
+/// and the resolved kernel choice. Build one per query filter and reuse it
+/// across every tree-node intersection of a descent/traversal — each node
+/// then costs O(nnz words) with zero redundant popcounts. The view
+/// snapshots the filter's bits: mutating the filter afterwards leaves the
+/// view stale (rebuild it).
+class BloomQueryView {
+ public:
+  explicit BloomQueryView(const BloomFilter& filter,
+                          IntersectKernel kernel = IntersectKernel::kAuto);
+
+  const BloomFilter& filter() const { return *filter_; }
+  /// Cached popcount of the query's bits (t2).
+  uint64_t set_bits() const { return set_bits_; }
+  /// True when intersections against this view run the sparse kernel.
+  bool sparse() const { return sparse_; }
+  /// The nonzero-word snapshot; only materialized when sparse() is true
+  /// (dense dispatch reads the filter's own bits instead).
+  const BitVector::SparseView& sparse_view() const { return view_; }
+
+ private:
+  const BloomFilter* filter_;
+  BitVector::SparseView view_;
+  uint64_t set_bits_ = 0;
+  bool sparse_ = false;
 };
 
 /// a ∪ b as a new filter. Filters must be compatible.

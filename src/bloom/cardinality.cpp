@@ -60,4 +60,10 @@ double EstimateIntersection(const BloomFilter& a, const BloomFilter& b) {
                                       a.AndPopcount(b), a.m(), a.k());
 }
 
+double EstimateIntersection(const BloomFilter& a, uint64_t a_bits,
+                            const BloomQueryView& query) {
+  return EstimateIntersectionFromBits(a_bits, query.set_bits(),
+                                      a.AndPopcount(query), a.m(), a.k());
+}
+
 }  // namespace bloomsample

@@ -40,7 +40,20 @@ double EstimateIntersectionFromBits(uint64_t t1, uint64_t t2, uint64_t t_and,
                                     uint64_t m, uint64_t k);
 
 /// Estimate of |A ∩ B| from B(A) and B(B). Filters must be compatible.
+/// Both set-bit counts come from the filters' memoized caches; only the
+/// AND-popcount does fresh word work.
 double EstimateIntersection(const BloomFilter& a, const BloomFilter& b);
+
+/// Cached-count convenience overload: `a_bits` is the caller's
+/// already-known popcount of `a` (e.g. a tree node's cached `set_bits`)
+/// and the query view carries its own cached t2 and resolved intersection
+/// kernel, so the only per-call word work is one sparse/dense AND-popcount.
+/// (The tree descents themselves need the raw t∧ for their k-shared-bits
+/// pruning test, so they call AndPopcount + EstimateIntersectionFromBits
+/// directly; this wrapper serves external callers estimating against a
+/// prepared query view.)
+double EstimateIntersection(const BloomFilter& a, uint64_t a_bits,
+                            const BloomQueryView& query);
 
 }  // namespace bloomsample
 

@@ -213,6 +213,26 @@ uint64_t BloomSampleTree::LeafCandidateCount(int64_t id) const {
   return static_cast<uint64_t>(end - begin);
 }
 
+void BloomSampleTree::ScanLeafCandidates(int64_t id, const BloomFilter& query,
+                                         OpCounters* counters,
+                                         std::vector<uint64_t>* out) const {
+  BSR_CHECK(out != nullptr, "ScanLeafCandidates: null output");
+  uint64_t block[BloomFilter::kHashBlock];
+  size_t filled = 0;
+  ForEachLeafCandidate(id, [&](uint64_t x) {
+    block[filled++] = x;
+    if (filled == BloomFilter::kHashBlock) {
+      CountMembership(counters, filled);
+      query.FilterContained(block, filled, out);
+      filled = 0;
+    }
+  });
+  if (filled > 0) {
+    CountMembership(counters, filled);
+    query.FilterContained(block, filled, out);
+  }
+}
+
 Status BloomSampleTree::Insert(uint64_t x) {
   if (!pruned_) {
     return Status::Unsupported(

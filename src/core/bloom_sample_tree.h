@@ -29,6 +29,7 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/tree_config.h"
+#include "src/util/op_counters.h"
 #include "src/util/status.h"
 
 namespace bloomsample {
@@ -69,6 +70,14 @@ class BloomSampleTree {
     BSR_CHECK(threshold >= 0.0, "threshold must be >= 0");
     config_.intersection_threshold = threshold;
   }
+  /// Adjusts the reconstruction fan-out width at query time (0 = hardware
+  /// concurrency, 1 = serial; like intersection_threshold it is traversal
+  /// policy, not tree identity, and is not serialized). Like
+  /// set_intersection_threshold this is a plain field write: do not call
+  /// it while queries are in flight on other threads — quiesce first.
+  void set_query_threads(uint32_t threads) {
+    config_.query_threads = threads;
+  }
   const std::shared_ptr<const HashFamily>& family_ptr() const {
     return family_;
   }
@@ -101,6 +110,16 @@ class BloomSampleTree {
       for (uint64_t x = leaf.lo; x < leaf.hi; ++x) fn(x);
     }
   }
+
+  /// Runs the batched membership scan of leaf `id`'s candidates against
+  /// `query`, appending the positives to *out in ascending order and
+  /// counting one membership query per candidate. The shared leaf-scan
+  /// pipeline of BstSampler and BstReconstructor: candidates are gathered
+  /// into kHashBlock-sized blocks and run through FilterContained — one
+  /// virtual hash call per block instead of one per candidate.
+  void ScanLeafCandidates(int64_t id, const BloomFilter& query,
+                          OpCounters* counters,
+                          std::vector<uint64_t>* out) const;
 
   /// Dynamically marks `x` as occupied (pruned trees only): inserts x into
   /// every filter on its root-to-leaf path, creating missing nodes, and

@@ -1,55 +1,173 @@
 #include "src/core/bst_reconstructor.h"
 
+#include <thread>
+
 #include "src/bloom/cardinality.h"
 
 namespace bloomsample {
 
-void BstReconstructor::ReconstructNode(int64_t id, const BloomFilter& query,
-                                       uint64_t query_bits, PruningMode mode,
-                                       OpCounters* counters,
-                                       std::vector<uint64_t>* out) const {
-  if (id == BloomSampleTree::kNoNode) return;
+namespace {
+
+// Resolves the query_threads knob: 0 = hardware concurrency, else itself.
+size_t ResolveQueryThreads(uint32_t knob) {
+  if (knob != 0) return knob;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+bool BstReconstructor::NodePasses(int64_t id, const QueryContext& ctx,
+                                  PruningMode mode,
+                                  OpCounters* counters) const {
   CountNodeVisit(counters);
 
   // Lossless emptiness test (see bst_sampler.cpp): every member of
   // S ∪ S(B) inside this range forces k shared bits, so pruning below k
   // can never drop an element and kExact stays exactly DictionaryAttack.
   const BloomSampleTree::Node& node = tree_->node(id);
-  CountIntersection(counters);
-  const uint64_t t_and = node.filter.AndPopcount(query);
-  if (t_and < node.filter.k()) return;
+  CountIntersectionKernel(counters, ctx.view().sparse());
+  const uint64_t t_and = node.filter.AndPopcount(ctx.view());
+  if (t_and < node.filter.k()) return false;
   if (mode == PruningMode::kThresholded) {
     const double threshold = tree_->config().intersection_threshold;
     if (threshold > 0.0) {
       const double estimate = EstimateIntersectionFromBits(
-          node.set_bits, query_bits, t_and, node.filter.m(), node.filter.k());
-      if (estimate < threshold) return;
+          node.set_bits, ctx.query_bits(), t_and, node.filter.m(),
+          node.filter.k());
+      if (estimate < threshold) return false;
     }
   }
+  return true;
+}
 
+void BstReconstructor::TraverseSubtree(int64_t id, const QueryContext& ctx,
+                                       PruningMode mode, OpCounters* counters,
+                                       std::vector<uint64_t>* out) const {
   if (tree_->IsLeaf(id)) {
-    tree_->ForEachLeafCandidate(id, [&](uint64_t x) {
-      CountMembership(counters);
-      if (query.Contains(x)) out->push_back(x);
-    });
+    tree_->ScanLeafCandidates(id, ctx.query(), counters, out);
     return;
   }
   // Left before right keeps the output globally ascending (child ranges
   // are disjoint and ordered).
-  ReconstructNode(node.left, query, query_bits, mode, counters, out);
-  ReconstructNode(node.right, query, query_bits, mode, counters, out);
+  const BloomSampleTree::Node& node = tree_->node(id);
+  ReconstructNode(node.left, ctx, mode, counters, out);
+  ReconstructNode(node.right, ctx, mode, counters, out);
+}
+
+void BstReconstructor::ReconstructNode(int64_t id, const QueryContext& ctx,
+                                       PruningMode mode, OpCounters* counters,
+                                       std::vector<uint64_t>* out) const {
+  if (id == BloomSampleTree::kNoNode) return;
+  if (!NodePasses(id, ctx, mode, counters)) return;
+  TraverseSubtree(id, ctx, mode, counters, out);
+}
+
+std::shared_ptr<ThreadPool> BstReconstructor::AcquirePool(
+    size_t threads) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr || pool_->thread_count() != threads) {
+    // Concurrent callers holding the old pool keep it alive through their
+    // shared_ptr; ThreadPool::ParallelFor is itself safe for concurrent
+    // callers on one pool.
+    pool_ = std::make_shared<ThreadPool>(threads);
+  }
+  return pool_;
+}
+
+std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
+                                                    OpCounters* counters,
+                                                    PruningMode mode) const {
+  BSR_CHECK(&ctx.tree() == tree_, "query context built for a different tree");
+  std::vector<uint64_t> out;
+  if (tree_->root() == BloomSampleTree::kNoNode || ctx.query_bits() == 0) {
+    return out;
+  }
+
+  const size_t threads = ResolveQueryThreads(tree_->config().query_threads);
+
+  // Phase 1 (serial): expand the top of the tree into a frontier of
+  // surviving subtree roots, in left-to-right dyadic order. The expansion
+  // performs exactly the node tests the recursive traversal would, so op
+  // totals and output are identical for every thread count; only the
+  // scheduling of the disjoint subtrees below the frontier changes.
+  std::vector<int64_t> frontier;
+  if (NodePasses(tree_->root(), ctx, mode, counters)) {
+    frontier.push_back(tree_->root());
+  }
+  if (threads > 1) {
+    // 4 subtrees per lane smooths imbalance between shallow and deep
+    // survivors without flooding the pool with tiny tasks.
+    const size_t width_target = 4 * threads;
+    while (!frontier.empty() && frontier.size() < width_target) {
+      bool any_internal = false;
+      for (int64_t id : frontier) {
+        if (!tree_->IsLeaf(id)) {
+          any_internal = true;
+          break;
+        }
+      }
+      if (!any_internal) break;
+      std::vector<int64_t> next;
+      next.reserve(frontier.size() * 2);
+      for (int64_t id : frontier) {
+        if (tree_->IsLeaf(id)) {
+          next.push_back(id);
+          continue;
+        }
+        const BloomSampleTree::Node& node = tree_->node(id);
+        if (node.left != BloomSampleTree::kNoNode &&
+            NodePasses(node.left, ctx, mode, counters)) {
+          next.push_back(node.left);
+        }
+        if (node.right != BloomSampleTree::kNoNode &&
+            NodePasses(node.right, ctx, mode, counters)) {
+          next.push_back(node.right);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  // Phase 2: traverse the disjoint frontier subtrees — in parallel when
+  // the fan-out is worth it — and concatenate in frontier order, which is
+  // ascending-range order.
+  if (threads <= 1 || frontier.size() <= 1) {
+    for (int64_t id : frontier) {
+      TraverseSubtree(id, ctx, mode, counters, &out);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<uint64_t>> parts(frontier.size());
+  std::vector<OpCounters> part_counters(
+      counters != nullptr ? frontier.size() : 0);
+  AcquirePool(threads)->ParallelFor(
+      0, frontier.size(), /*grain=*/1,
+      [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          TraverseSubtree(frontier[static_cast<size_t>(i)], ctx, mode,
+                          counters != nullptr
+                              ? &part_counters[static_cast<size_t>(i)]
+                              : nullptr,
+                          &parts[static_cast<size_t>(i)]);
+        }
+      });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    out.insert(out.end(), parts[i].begin(), parts[i].end());
+    if (counters != nullptr) *counters += part_counters[i];
+  }
+  return out;
 }
 
 std::vector<uint64_t> BstReconstructor::Reconstruct(const BloomFilter& query,
                                                     OpCounters* counters,
                                                     PruningMode mode) const {
-  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
-            "query filter does not share the tree's hash family");
-  std::vector<uint64_t> out;
-  if (query.IsEmpty()) return out;
-  ReconstructNode(tree_->root(), query, query.SetBitCount(), mode, counters,
-                  &out);
-  return out;
+  QueryContext ctx(*tree_, query);
+  return Reconstruct(ctx, counters, mode);
 }
 
 }  // namespace bloomsample

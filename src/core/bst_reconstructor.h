@@ -9,23 +9,37 @@
 // bits set in every ancestor's filter, so no pruning step can drop it).
 // With a positive threshold the traversal is cheaper but inherits the
 // Section 5.6 caveat.
+//
+// Execution model: node tests run through the query's BloomQueryView
+// (sparse AND-popcount for sparse queries), and the traversal fans out
+// across TreeConfig::query_threads (0 = hardware concurrency, 1 = serial).
+// The top of the tree is expanded serially into a frontier of surviving
+// subtree roots; once the frontier is wide enough, the disjoint subtrees
+// are traversed in parallel and their outputs concatenated in frontier
+// order — which is left-to-right dyadic order, so the merged result is
+// ascending and *identical for every thread count* (node tests depend only
+// on node + query bits, never on scheduling).
 #ifndef BLOOMSAMPLE_CORE_BST_RECONSTRUCTOR_H_
 #define BLOOMSAMPLE_CORE_BST_RECONSTRUCTOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/bloom_sample_tree.h"
+#include "src/core/query_context.h"
 #include "src/util/op_counters.h"
+#include "src/util/thread_pool.h"
 
 namespace bloomsample {
 
 class BstReconstructor {
  public:
   enum class PruningMode {
-    /// Prune a subtree only when the bitwise AND with the query is all
-    /// zero. Guaranteed-exact output (= DictionaryAttack), the default.
+    /// Prune a subtree only when fewer than k bits are shared with the
+    /// query. Guaranteed-exact output (= DictionaryAttack), the default.
     kExact,
     /// Additionally prune sparse nodes whose estimated intersection falls
     /// below the tree's configured threshold (the paper's Section 5.6
@@ -34,9 +48,27 @@ class BstReconstructor {
     kThresholded,
   };
 
-  /// The tree must outlive the reconstructor.
+  /// The tree must outlive the reconstructor. Reconstruct is safe to call
+  /// concurrently on one shared instance (the lazily-created thread pool
+  /// is acquired under a mutex and shared via shared_ptr; all per-call
+  /// state is local) — provided the tree's query-time knobs
+  /// (set_intersection_threshold, set_query_threads) are not being
+  /// mutated at the same time.
   explicit BstReconstructor(const BloomSampleTree* tree) : tree_(tree) {
     BSR_CHECK(tree != nullptr, "BstReconstructor needs a tree");
+  }
+
+  // The pool is a lazily-rebuilt cache guarded by a (non-movable) mutex;
+  // copies and moves carry only the tree binding and start poolless.
+  BstReconstructor(const BstReconstructor& other) : tree_(other.tree_) {}
+  BstReconstructor(BstReconstructor&& other) noexcept : tree_(other.tree_) {}
+  BstReconstructor& operator=(const BstReconstructor& other) {
+    tree_ = other.tree_;
+    return *this;
+  }
+  BstReconstructor& operator=(BstReconstructor&& other) noexcept {
+    tree_ = other.tree_;
+    return *this;
   }
 
   /// Returns S ∪ S(B), ascending. The query filter must share the tree's
@@ -53,14 +85,36 @@ class BstReconstructor {
       const BloomFilter& query, OpCounters* counters = nullptr,
       PruningMode mode = PruningMode::kThresholded) const;
 
+  /// Reusable-context flavor: `ctx` must have been built for this tree.
+  std::vector<uint64_t> Reconstruct(
+      const QueryContext& ctx, OpCounters* counters = nullptr,
+      PruningMode mode = PruningMode::kThresholded) const;
+
   const BloomSampleTree& tree() const { return *tree_; }
 
  private:
-  void ReconstructNode(int64_t id, const BloomFilter& query,
-                       uint64_t query_bits, PruningMode mode,
+  /// Tests one node (visit + intersection accounting): true when its
+  /// subtree survives pruning.
+  bool NodePasses(int64_t id, const QueryContext& ctx, PruningMode mode,
+                  OpCounters* counters) const;
+
+  /// Traverses below a node that already passed NodePasses: scans it if it
+  /// is a leaf, else tests-and-recurses into both children.
+  void TraverseSubtree(int64_t id, const QueryContext& ctx, PruningMode mode,
                        OpCounters* counters, std::vector<uint64_t>* out) const;
 
+  /// NodePasses + TraverseSubtree — the classic recursive step.
+  void ReconstructNode(int64_t id, const QueryContext& ctx, PruningMode mode,
+                       OpCounters* counters, std::vector<uint64_t>* out) const;
+
+  /// Returns a pool with `threads` lanes, creating it lazily. Thread-safe;
+  /// a caller that raced a knob change keeps its own (still valid) pool
+  /// alive through the returned shared_ptr.
+  std::shared_ptr<ThreadPool> AcquirePool(size_t threads) const;
+
   const BloomSampleTree* tree_;
+  mutable std::mutex pool_mu_;
+  mutable std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace bloomsample

@@ -7,13 +7,15 @@
 
 namespace bloomsample {
 
-double BstSampler::ChildEstimate(int64_t child, const BloomFilter& query,
-                                 uint64_t query_bits,
+double BstSampler::ChildEstimate(int64_t child, const QueryContext& ctx,
                                  OpCounters* counters) const {
   if (child == BloomSampleTree::kNoNode) return 0.0;
   const BloomSampleTree::Node& node = tree_->node(child);
-  CountIntersection(counters);
-  const uint64_t t_and = node.filter.AndPopcount(query);
+  CountIntersectionKernel(counters, ctx.view().sparse());
+  // Node t1 comes from the builder-maintained cache, query t2 from the
+  // view; the AND-popcount below is the only per-node word work, and it
+  // touches just the query's nonzero words on the sparse path.
+  const uint64_t t_and = node.filter.AndPopcount(ctx.view());
 
   // Lossless emptiness test: any element of S ∪ S(B) inside this node's
   // range has all k of its bits set in BOTH filters, so a subtree that can
@@ -25,7 +27,8 @@ double BstSampler::ChildEstimate(int64_t child, const BloomFilter& query,
   if (t_and < node.filter.k()) return 0.0;
 
   const double estimate = EstimateIntersectionFromBits(
-      node.set_bits, query_bits, t_and, node.filter.m(), node.filter.k());
+      node.set_bits, ctx.query_bits(), t_and, node.filter.m(),
+      node.filter.k());
 
   // Opt-in Section 5.6 thresholding (lossy, off by default).
   const double threshold = tree_->config().intersection_threshold;
@@ -37,84 +40,74 @@ double BstSampler::ChildEstimate(int64_t child, const BloomFilter& query,
   return estimate > 0.5 ? estimate : 0.5;
 }
 
-std::optional<uint64_t> BstSampler::SampleNode(int64_t id,
-                                               const BloomFilter& query,
-                                               uint64_t query_bits, Rng* rng,
+std::optional<uint64_t> BstSampler::SampleNode(int64_t id, QueryContext* ctx,
+                                               Rng* rng,
                                                OpCounters* counters) const {
   CountNodeVisit(counters);
   if (tree_->IsLeaf(id)) {
-    std::vector<uint64_t> picked;
-    SampleLeaf(id, 1, query, rng, /*with_replacement=*/false, counters,
-               &picked);
+    std::vector<uint64_t>& picked = ctx->picked_;
+    picked.clear();
+    SampleLeaf(id, 1, ctx, rng, /*with_replacement=*/false, counters, &picked);
     if (picked.empty()) return std::nullopt;
     return picked.front();
   }
 
   const BloomSampleTree::Node& node = tree_->node(id);
-  const double left_est = ChildEstimate(node.left, query, query_bits, counters);
-  const double right_est =
-      ChildEstimate(node.right, query, query_bits, counters);
+  const double left_est = ChildEstimate(node.left, *ctx, counters);
+  const double right_est = ChildEstimate(node.right, *ctx, counters);
   if (left_est <= 0.0 && right_est <= 0.0) {
     // Both intersections (estimated) empty: we got here on a false path.
     return std::nullopt;
   }
   if (left_est <= 0.0) {
-    return SampleNode(node.right, query, query_bits, rng, counters);
+    return SampleNode(node.right, ctx, rng, counters);
   }
   if (right_est <= 0.0) {
-    return SampleNode(node.left, query, query_bits, rng, counters);
+    return SampleNode(node.left, ctx, rng, counters);
   }
 
   const bool go_left =
       rng->NextDouble() < LeftProbability(left_est, right_est);
   const int64_t first = go_left ? node.left : node.right;
   const int64_t second = go_left ? node.right : node.left;
-  auto sample = SampleNode(first, query, query_bits, rng, counters);
+  auto sample = SampleNode(first, ctx, rng, counters);
   if (!sample.has_value()) {
     CountBacktrack(counters);
-    sample = SampleNode(second, query, query_bits, rng, counters);
+    sample = SampleNode(second, ctx, rng, counters);
   }
+  return sample;
+}
+
+std::optional<uint64_t> BstSampler::Sample(QueryContext* ctx, Rng* rng,
+                                           OpCounters* counters) const {
+  BSR_CHECK(ctx != nullptr, "Sample: null query context");
+  BSR_CHECK(&ctx->tree() == tree_, "query context built for a different tree");
+  if (tree_->root() == BloomSampleTree::kNoNode || ctx->query_bits() == 0) {
+    CountNullSample(counters);
+    return std::nullopt;
+  }
+  const auto sample = SampleNode(tree_->root(), ctx, rng, counters);
+  if (!sample.has_value()) CountNullSample(counters);
   return sample;
 }
 
 std::optional<uint64_t> BstSampler::Sample(const BloomFilter& query, Rng* rng,
                                            OpCounters* counters) const {
-  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
-            "query filter does not share the tree's hash family");
-  if (tree_->root() == BloomSampleTree::kNoNode || query.IsEmpty()) {
-    CountNullSample(counters);
-    return std::nullopt;
-  }
-  const auto sample =
-      SampleNode(tree_->root(), query, query.SetBitCount(), rng, counters);
-  if (!sample.has_value()) CountNullSample(counters);
-  return sample;
+  QueryContext ctx(*tree_, query);
+  return Sample(&ctx, rng, counters);
 }
 
-void BstSampler::SampleLeaf(int64_t id, size_t r, const BloomFilter& query,
-                            Rng* rng, bool with_replacement,
-                            OpCounters* counters,
+void BstSampler::SampleLeaf(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
+                            bool with_replacement, OpCounters* counters,
                             std::vector<uint64_t>* out) const {
   // One scan of the leaf's candidates serves all r paths that landed here
-  // (the "single pass" economy of Section 5.3). Candidates are gathered
-  // into blocks and run through the batched membership path — one virtual
-  // hash call per block instead of one per candidate, same pattern as
-  // BloomFilter::Contains.
-  std::vector<uint64_t> positives;
-  uint64_t block[BloomFilter::kHashBlock];
-  size_t filled = 0;
-  tree_->ForEachLeafCandidate(id, [&](uint64_t x) {
-    block[filled++] = x;
-    if (filled == BloomFilter::kHashBlock) {
-      CountMembership(counters, filled);
-      query.FilterContained(block, filled, &positives);
-      filled = 0;
-    }
-  });
-  if (filled > 0) {
-    CountMembership(counters, filled);
-    query.FilterContained(block, filled, &positives);
-  }
+  // (the "single pass" economy of Section 5.3), through the tree's shared
+  // batched membership pipeline. The positives buffer lives in the
+  // context, so repeated descents reuse its capacity instead of
+  // allocating per leaf.
+  std::vector<uint64_t>& positives = ctx->positives_;
+  positives.clear();
+  tree_->ScanLeafCandidates(id, ctx->query(), counters, &positives);
   if (positives.empty()) return;
 
   if (with_replacement) {
@@ -136,22 +129,20 @@ void BstSampler::SampleLeaf(int64_t id, size_t r, const BloomFilter& query,
   }
 }
 
-void BstSampler::SampleManyNode(int64_t id, size_t r,
-                                const BloomFilter& query, uint64_t query_bits,
+void BstSampler::SampleManyNode(int64_t id, size_t r, QueryContext* ctx,
                                 Rng* rng, bool with_replacement,
                                 OpCounters* counters,
                                 std::vector<uint64_t>* out) const {
   if (r == 0) return;
   CountNodeVisit(counters);
   if (tree_->IsLeaf(id)) {
-    SampleLeaf(id, r, query, rng, with_replacement, counters, out);
+    SampleLeaf(id, r, ctx, rng, with_replacement, counters, out);
     return;
   }
 
   const BloomSampleTree::Node& node = tree_->node(id);
-  const double left_est = ChildEstimate(node.left, query, query_bits, counters);
-  const double right_est =
-      ChildEstimate(node.right, query, query_bits, counters);
+  const double left_est = ChildEstimate(node.left, *ctx, counters);
+  const double right_est = ChildEstimate(node.right, *ctx, counters);
   if (left_est <= 0.0 && right_est <= 0.0) return;
 
   size_t to_left = 0;
@@ -166,15 +157,15 @@ void BstSampler::SampleManyNode(int64_t id, size_t r,
 
   const size_t before_left = out->size();
   if (to_left > 0) {
-    SampleManyNode(node.left, to_left, query, query_bits, rng,
-                   with_replacement, counters, out);
+    SampleManyNode(node.left, to_left, ctx, rng, with_replacement, counters,
+                   out);
   }
   const size_t got_left = out->size() - before_left;
 
   const size_t before_right = out->size();
   if (r - to_left > 0) {
-    SampleManyNode(node.right, r - to_left, query, query_bits, rng,
-                   with_replacement, counters, out);
+    SampleManyNode(node.right, r - to_left, ctx, rng, with_replacement,
+                   counters, out);
   }
   const size_t got_right = out->size() - before_right;
 
@@ -183,30 +174,29 @@ void BstSampler::SampleManyNode(int64_t id, size_t r,
   const size_t left_deficit = to_left - got_left;
   if (left_deficit > 0 && right_est > 0.0) {
     CountBacktrack(counters, left_deficit);
-    SampleManyNode(node.right, left_deficit, query, query_bits, rng,
-                   with_replacement, counters, out);
+    SampleManyNode(node.right, left_deficit, ctx, rng, with_replacement,
+                   counters, out);
   }
   const size_t right_deficit = (r - to_left) - got_right;
   if (right_deficit > 0 && left_est > 0.0) {
     CountBacktrack(counters, right_deficit);
-    SampleManyNode(node.left, right_deficit, query, query_bits, rng,
-                   with_replacement, counters, out);
+    SampleManyNode(node.left, right_deficit, ctx, rng, with_replacement,
+                   counters, out);
   }
 }
 
-std::vector<uint64_t> BstSampler::SampleMany(const BloomFilter& query,
-                                             size_t r, Rng* rng,
-                                             bool with_replacement,
+std::vector<uint64_t> BstSampler::SampleMany(QueryContext* ctx, size_t r,
+                                             Rng* rng, bool with_replacement,
                                              OpCounters* counters) const {
-  BSR_CHECK(query.family_ptr() == tree_->family_ptr(),
-            "query filter does not share the tree's hash family");
+  BSR_CHECK(ctx != nullptr, "SampleMany: null query context");
+  BSR_CHECK(&ctx->tree() == tree_, "query context built for a different tree");
   std::vector<uint64_t> out;
-  if (tree_->root() == BloomSampleTree::kNoNode || query.IsEmpty() || r == 0) {
+  if (tree_->root() == BloomSampleTree::kNoNode || ctx->query_bits() == 0 ||
+      r == 0) {
     CountNullSample(counters, r);
     return out;
   }
-  SampleManyNode(tree_->root(), r, query, query.SetBitCount(), rng,
-                 with_replacement, counters, &out);
+  SampleManyNode(tree_->root(), r, ctx, rng, with_replacement, counters, &out);
   if (out.size() < r) CountNullSample(counters, r - out.size());
   if (!with_replacement) {
     // Deficit re-routing can revisit a leaf; enforce the no-duplicates
@@ -217,6 +207,14 @@ std::vector<uint64_t> BstSampler::SampleMany(const BloomFilter& query,
     if (out.size() > r) out.resize(r);
   }
   return out;
+}
+
+std::vector<uint64_t> BstSampler::SampleMany(const BloomFilter& query,
+                                             size_t r, Rng* rng,
+                                             bool with_replacement,
+                                             OpCounters* counters) const {
+  QueryContext ctx(*tree_, query);
+  return SampleMany(&ctx, r, rng, with_replacement, counters);
 }
 
 }  // namespace bloomsample

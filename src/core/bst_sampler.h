@@ -15,6 +15,15 @@
 // paths descend together, splitting at each node by independent biased
 // coin flips, and each visited leaf is scanned once regardless of how many
 // paths land on it.
+//
+// Every descent runs on a QueryContext: the query's sparse view and cached
+// set-bit count make each internal node cost one O(nnz-words) AND-popcount
+// (dense queries fall back to the dense kernel — the kernels are
+// bit-identical, so samples match the historical dense path draw for
+// draw), and the context's scratch buffers make steady-state descents
+// allocation-free. The BloomFilter overloads build a throwaway context;
+// callers issuing many operations against one query should build the
+// context once and reuse it.
 #ifndef BLOOMSAMPLE_CORE_BST_SAMPLER_H_
 #define BLOOMSAMPLE_CORE_BST_SAMPLER_H_
 
@@ -24,6 +33,7 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/bloom_sample_tree.h"
+#include "src/core/query_context.h"
 #include "src/util/op_counters.h"
 #include "src/util/rng.h"
 
@@ -50,6 +60,10 @@ class BstSampler {
   std::optional<uint64_t> Sample(const BloomFilter& query, Rng* rng,
                                  OpCounters* counters = nullptr) const;
 
+  /// Reusable-context flavor: `ctx` must have been built for this tree.
+  std::optional<uint64_t> Sample(QueryContext* ctx, Rng* rng,
+                                 OpCounters* counters = nullptr) const;
+
   /// r samples in one descent. With `with_replacement` false (default) the
   /// result has no duplicates and may be shorter than r; with true, each
   /// path draws independently at its leaf.
@@ -57,24 +71,28 @@ class BstSampler {
                                    Rng* rng, bool with_replacement = false,
                                    OpCounters* counters = nullptr) const;
 
+  /// Reusable-context flavor: `ctx` must have been built for this tree.
+  std::vector<uint64_t> SampleMany(QueryContext* ctx, size_t r, Rng* rng,
+                                   bool with_replacement = false,
+                                   OpCounters* counters = nullptr) const;
+
   const BloomSampleTree& tree() const { return *tree_; }
 
  private:
   /// Estimated |child ∩ query|, with the Section 5.6 threshold applied;
   /// 0.0 for absent children. Counts one intersection per present child.
-  double ChildEstimate(int64_t child, const BloomFilter& query,
-                       uint64_t query_bits, OpCounters* counters) const;
+  double ChildEstimate(int64_t child, const QueryContext& ctx,
+                       OpCounters* counters) const;
 
-  std::optional<uint64_t> SampleNode(int64_t id, const BloomFilter& query,
-                                     uint64_t query_bits, Rng* rng,
+  std::optional<uint64_t> SampleNode(int64_t id, QueryContext* ctx, Rng* rng,
                                      OpCounters* counters) const;
 
-  void SampleManyNode(int64_t id, size_t r, const BloomFilter& query,
-                      uint64_t query_bits, Rng* rng, bool with_replacement,
-                      OpCounters* counters, std::vector<uint64_t>* out) const;
+  void SampleManyNode(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
+                      bool with_replacement, OpCounters* counters,
+                      std::vector<uint64_t>* out) const;
 
   /// Scans a leaf and appends up to r uniform picks among positives.
-  void SampleLeaf(int64_t id, size_t r, const BloomFilter& query, Rng* rng,
+  void SampleLeaf(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
                   bool with_replacement, OpCounters* counters,
                   std::vector<uint64_t>* out) const;
 

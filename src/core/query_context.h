@@ -1,0 +1,61 @@
+// Per-query state shared by the query-side algorithms (BstSampler,
+// BstReconstructor).
+//
+// A QueryContext binds a query Bloom filter to a tree once and carries
+// everything a descent or traversal needs per node with zero redundant
+// work:
+//   * the BloomQueryView — sparse word view + memoized set-bit count (t2)
+//     + resolved intersection kernel — so every node intersection costs
+//     O(nnz words) for sparse queries and never re-popcounts the query;
+//   * reusable scratch buffers for leaf scans, so repeated Sample /
+//     SampleMany calls on the same query allocate nothing per node.
+//
+// Build one per query filter and reuse it across calls. The context
+// snapshots the query's bits: mutate the filter and the context is stale —
+// build a new one. A context is bound to the tree it was created with and
+// is not safe to share across threads (the scratch buffers are mutable);
+// the parallel reconstructor hands each worker its own output buffer and
+// only reads the shared view, which is const after construction.
+#ifndef BLOOMSAMPLE_CORE_QUERY_CONTEXT_H_
+#define BLOOMSAMPLE_CORE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/core/bloom_sample_tree.h"
+
+namespace bloomsample {
+
+class QueryContext {
+ public:
+  /// The query filter must share `tree`'s hash family and must outlive the
+  /// context (the view keeps a pointer for dense-kernel dispatch).
+  QueryContext(const BloomSampleTree& tree, const BloomFilter& query,
+               IntersectKernel kernel = IntersectKernel::kAuto)
+      : tree_(&tree), view_(query, kernel) {
+    BSR_CHECK(query.family_ptr() == tree.family_ptr(),
+              "query filter does not share the tree's hash family");
+  }
+
+  const BloomSampleTree& tree() const { return *tree_; }
+  const BloomFilter& query() const { return view_.filter(); }
+  const BloomQueryView& view() const { return view_; }
+  /// Cached set-bit count of the query (t2 in the estimator).
+  uint64_t query_bits() const { return view_.set_bits(); }
+
+ private:
+  friend class BstSampler;
+
+  const BloomSampleTree* tree_;
+  BloomQueryView view_;
+  // Sampler leaf-scan scratch: positives of the current leaf and the picks
+  // handed back by a single-sample descent. Cleared (not reallocated) per
+  // leaf, so steady-state descents do no per-node allocation.
+  std::vector<uint64_t> positives_;
+  std::vector<uint64_t> picked_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_QUERY_CONTEXT_H_

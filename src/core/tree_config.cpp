@@ -13,12 +13,13 @@ namespace bloomsample {
 CostModel AnalyticCostModel(uint64_t m, uint64_t k) {
   CostModel model;
   model.intersection_cost = static_cast<double>(CeilDiv(m, 64));
+  model.dense_intersection_cost = model.intersection_cost;
   model.membership_cost = static_cast<double>(k) + 1.0;
   return model;
 }
 
 CostModel MeasureCostModel(HashFamilyKind kind, uint64_t m, uint64_t k,
-                           uint64_t seed) {
+                           uint64_t seed, uint64_t typical_query_size) {
   auto family_result = MakeHashFamily(kind, k, m, seed);
   BSR_CHECK(family_result.ok(), "MeasureCostModel: bad hash parameters");
   auto family = std::move(family_result).value();
@@ -49,14 +50,30 @@ CostModel MeasureCostModel(HashFamilyKind kind, uint64_t m, uint64_t k,
     sink = sink + a.AndPopcount(b);
   }
   const double intersection_s = timer.ElapsedSeconds();
+
+  // Time the intersection the query path actually performs: a node filter
+  // against a BloomQueryView of a typical query, which dispatches to the
+  // sparse O(nnz-words) kernel whenever the query is genuinely sparse at
+  // this (m, k) and degrades to the dense kernel when it is not.
+  BloomFilter query(family);
+  if (typical_query_size == 0) typical_query_size = 1;
+  for (uint64_t i = 0; i < typical_query_size; ++i) query.Insert(rng.Next());
+  const BloomQueryView view(query);
+  timer.Restart();
+  for (int i = 0; i < kIntersectionReps; ++i) {
+    sink = sink + a.AndPopcount(view);
+  }
+  const double query_intersection_s = timer.ElapsedSeconds();
   (void)sink;
 
   CostModel model;
   model.membership_cost = membership_s / kMembershipReps;
-  model.intersection_cost = intersection_s / kIntersectionReps;
+  model.intersection_cost = query_intersection_s / kIntersectionReps;
+  model.dense_intersection_cost = intersection_s / kIntersectionReps;
   // Guard against timer granularity zeros on very small m.
   if (model.membership_cost <= 0) model.membership_cost = 1e-9;
   if (model.intersection_cost <= 0) model.intersection_cost = 1e-9;
+  if (model.dense_intersection_cost <= 0) model.dense_intersection_cost = 1e-9;
   return model;
 }
 

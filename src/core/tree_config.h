@@ -23,8 +23,15 @@ namespace bloomsample {
 
 /// Relative costs of the two primitive operations.
 struct CostModel {
-  double membership_cost = 1.0;    ///< one membership query
-  double intersection_cost = 1.0;  ///< one filter intersection + estimate
+  double membership_cost = 1.0;  ///< one membership query
+  /// One filter intersection + estimate, as the query path actually pays
+  /// it: the measured model times the kernel a typical query's
+  /// BloomQueryView dispatches to (sparse for genuinely sparse queries),
+  /// the analytic model keeps the classic m/64-word dense figure.
+  double intersection_cost = 1.0;
+  /// The dense O(m/64)-word kernel's cost, kept alongside so callers can
+  /// see how much the sparse dispatch changes the ratio.
+  double dense_intersection_cost = 1.0;
 
   double Ratio() const { return intersection_cost / membership_cost; }
 };
@@ -37,8 +44,11 @@ CostModel AnalyticCostModel(uint64_t m, uint64_t k);
 /// Measures both costs on this machine with the given family (times a few
 /// thousand operations of each kind). Deterministic inputs, wall-clock
 /// timed; use for honest end-to-end runs, not for unit tests.
+/// `typical_query_size` shapes the query filter whose intersection kernel
+/// is timed: intersection_cost reflects the sparse/dense kernel a query of
+/// that size actually dispatches to at this (m, k).
 CostModel MeasureCostModel(HashFamilyKind kind, uint64_t m, uint64_t k,
-                           uint64_t seed);
+                           uint64_t seed, uint64_t typical_query_size = 1000);
 
 /// max N⊥ ≥ 2 with N⊥ / log₂N⊥ ≤ ratio (binary search; the left side is
 /// increasing for N⊥ ≥ 3). ratio ≤ 2 degenerates to 2.
@@ -68,6 +78,12 @@ struct TreeConfig {
   /// identity, is not serialized, and any value produces bit-identical
   /// trees (leaf fills and level-wise unions partition disjoint state).
   uint32_t build_threads = 0;
+  /// Threads BstReconstructor fans subtree traversals across: 0 = hardware
+  /// concurrency, 1 = serial — the same semantics as build_threads. Like
+  /// build_threads it is a runtime policy, not tree identity: it is not
+  /// serialized, and every value produces identical output (subtrees are
+  /// disjoint; results merge in deterministic frontier order).
+  uint32_t query_threads = 0;
 
   /// Leaf range width implied by depth: ceil(M / 2^depth).
   uint64_t LeafRangeSize() const;

@@ -46,6 +46,38 @@ bool BitVector::AndIsZero(const BitVector& other) const {
   return true;
 }
 
+BitVector::SparseView BitVector::ToSparseView() const {
+  BSR_CHECK(words_.size() <= UINT32_MAX, "vector too wide for a SparseView");
+  SparseView view;
+  view.bit_size = size_;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    const uint64_t word = words_[w];
+    if (word == 0) continue;
+    view.word_index.push_back(static_cast<uint32_t>(w));
+    view.word_value.push_back(word);
+    view.set_bits += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return view;
+}
+
+size_t BitVector::AndPopcountSparse(const SparseView& view) const {
+  BSR_CHECK(size_ == view.bit_size, "BitVector::AndPopcountSparse size mismatch");
+  size_t count = 0;
+  for (size_t i = 0; i < view.word_index.size(); ++i) {
+    count += static_cast<size_t>(
+        __builtin_popcountll(words_[view.word_index[i]] & view.word_value[i]));
+  }
+  return count;
+}
+
+bool BitVector::AndAllZeroSparse(const SparseView& view) const {
+  BSR_CHECK(size_ == view.bit_size, "BitVector::AndAllZeroSparse size mismatch");
+  for (size_t i = 0; i < view.word_index.size(); ++i) {
+    if ((words_[view.word_index[i]] & view.word_value[i]) != 0) return false;
+  }
+  return true;
+}
+
 bool BitVector::IsSubsetOf(const BitVector& other) const {
   BSR_CHECK(size_ == other.size_, "BitVector::IsSubsetOf size mismatch");
   for (size_t i = 0; i < words_.size(); ++i) {

@@ -90,6 +90,31 @@ class BitVector {
   /// True iff (this & other) has no set bit. Sizes must match.
   bool AndIsZero(const BitVector& other) const;
 
+  /// Compressed snapshot of a (typically sparse) vector: the indices and
+  /// values of its nonzero words plus the total popcount. Intersection
+  /// kernels against a view touch only the view's nonzero words —
+  /// O(nnz words) instead of O(size/64) — and are bit-identical to the
+  /// dense kernels because all-zero query words contribute nothing to an
+  /// AND. A view is a value snapshot: it stays valid (but stale) if the
+  /// source vector mutates afterwards.
+  struct SparseView {
+    size_t bit_size = 0;   ///< size() of the source vector
+    size_t set_bits = 0;   ///< total popcount of the source vector
+    std::vector<uint32_t> word_index;  ///< ascending indices of nonzero words
+    std::vector<uint64_t> word_value;  ///< the corresponding word values
+  };
+
+  /// Builds a SparseView of this vector (one O(words) pass).
+  SparseView ToSparseView() const;
+
+  /// Popcount of (this & view's source), touching only the view's nonzero
+  /// words. Bit-identical to AndPopcount(source). Sizes must match.
+  size_t AndPopcountSparse(const SparseView& view) const;
+
+  /// True iff the AND with the view's source has no set bit. Bit-identical
+  /// to AndIsZero(source). Sizes must match.
+  bool AndAllZeroSparse(const SparseView& view) const;
+
   /// True iff every set bit of this is also set in other (i.e. this is a
   /// bitwise subset of other). Sizes must match.
   bool IsSubsetOf(const BitVector& other) const;

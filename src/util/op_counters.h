@@ -16,7 +16,12 @@ struct OpCounters {
   /// Membership queries issued against any Bloom filter.
   uint64_t membership_queries = 0;
   /// Bloom filter intersections (bitwise AND + cardinality estimate).
+  /// Always the sum of the dense and sparse kernel counters below.
   uint64_t intersections = 0;
+  /// Intersections computed with the dense O(m/64)-word kernel.
+  uint64_t dense_intersections = 0;
+  /// Intersections computed with the sparse O(nnz-words) view kernel.
+  uint64_t sparse_intersections = 0;
   /// Tree nodes visited (BST algorithms only).
   uint64_t nodes_visited = 0;
   /// Hash-bit inversions performed (HashInvert only).
@@ -32,6 +37,8 @@ struct OpCounters {
   OpCounters& operator+=(const OpCounters& o) {
     membership_queries += o.membership_queries;
     intersections += o.intersections;
+    dense_intersections += o.dense_intersections;
+    sparse_intersections += o.sparse_intersections;
     nodes_visited += o.nodes_visited;
     inversions += o.inversions;
     null_samples += o.null_samples;
@@ -45,8 +52,23 @@ struct OpCounters {
 inline void CountMembership(OpCounters* c, uint64_t n = 1) {
   if (c != nullptr) c->membership_queries += n;
 }
+/// Kernel-agnostic intersections (callers that don't know which kernel ran,
+/// e.g. ops on plain BloomFilter pairs) count as dense: that is the kernel
+/// BloomFilter::AndPopcount(const BloomFilter&) actually executes.
 inline void CountIntersection(OpCounters* c, uint64_t n = 1) {
-  if (c != nullptr) c->intersections += n;
+  if (c != nullptr) {
+    c->intersections += n;
+    c->dense_intersections += n;
+  }
+}
+/// Attributes `n` intersections to the dense or sparse kernel counter (and
+/// the total), for call sites that dispatch through a query view.
+inline void CountIntersectionKernel(OpCounters* c, bool sparse,
+                                    uint64_t n = 1) {
+  if (c != nullptr) {
+    c->intersections += n;
+    (sparse ? c->sparse_intersections : c->dense_intersections) += n;
+  }
 }
 inline void CountNodeVisit(OpCounters* c, uint64_t n = 1) {
   if (c != nullptr) c->nodes_visited += n;

@@ -1,0 +1,163 @@
+// Determinism fences for the query-side fast path:
+//   * BstReconstructor output must be identical for every query_threads
+//     value (serial, 2, hardware default) and, in kExact mode, equal to
+//     DictionaryAttack — the parallel frontier traversal only reschedules
+//     disjoint subtrees, never changes a pruning decision.
+//   * BstSampler must draw identical samples through the dense and sparse
+//     kernels (they are bit-identical, so every estimate, branch
+//     probability, and RNG consumption matches draw for draw), and a
+//     reused QueryContext must behave exactly like a fresh one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/baselines/dictionary_attack.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
+#include "src/util/rng.h"
+#include "src/workload/set_generators.h"
+
+namespace bloomsample {
+namespace {
+
+TreeConfig Config(uint64_t M, uint64_t m, uint32_t depth) {
+  TreeConfig config;
+  config.namespace_size = M;
+  config.m = m;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = depth;
+  return config;
+}
+
+TEST(QueryDeterminismTest, ReconstructorIdenticalAcrossThreadCounts) {
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  BstReconstructor reconstructor(&tree);
+  DictionaryAttack attack(M);
+  Rng rng(11);
+  for (uint64_t n : {1ULL, 50ULL, 500ULL, 3000ULL}) {
+    const auto members = GenerateUniformSet(M, n, &rng).value();
+    const BloomFilter query = tree.MakeQueryFilter(members);
+
+    tree.set_query_threads(1);
+    OpCounters serial_counters;
+    const auto serial = reconstructor.Reconstruct(
+        query, &serial_counters, BstReconstructor::PruningMode::kExact);
+    EXPECT_EQ(serial, attack.Reconstruct(query)) << "n=" << n;
+
+    // 0 = hardware concurrency, the default.
+    for (uint32_t threads : {2u, 7u, 0u}) {
+      tree.set_query_threads(threads);
+      OpCounters counters;
+      const auto parallel = reconstructor.Reconstruct(
+          query, &counters, BstReconstructor::PruningMode::kExact);
+      EXPECT_EQ(parallel, serial) << "n=" << n << " threads=" << threads;
+      // The parallel traversal tests exactly the same node set and scans
+      // exactly the same leaves — op totals must match, not just output.
+      EXPECT_EQ(counters.nodes_visited, serial_counters.nodes_visited);
+      EXPECT_EQ(counters.intersections, serial_counters.intersections);
+      EXPECT_EQ(counters.membership_queries,
+                serial_counters.membership_queries);
+    }
+  }
+}
+
+TEST(QueryDeterminismTest, PrunedTreeReconstructionAcrossThreadCounts) {
+  const uint64_t M = 20000;
+  Rng rng(5);
+  auto occupied = GenerateClusteredSet(M, 1500, &rng).value();
+  auto tree =
+      BloomSampleTree::BuildPruned(Config(M, 9000, 6), occupied).value();
+  BstReconstructor reconstructor(&tree);
+
+  const auto members = GenerateUniformSet(M, 300, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  tree.set_query_threads(1);
+  const auto serial = reconstructor.Reconstruct(query);
+  for (uint32_t threads : {2u, 7u, 0u}) {
+    tree.set_query_threads(threads);
+    EXPECT_EQ(reconstructor.Reconstruct(query), serial)
+        << "threads=" << threads;
+  }
+}
+
+TEST(QueryDeterminismTest, SamplerIdenticalAcrossKernels) {
+  const uint64_t M = 20000;
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  BstSampler sampler(&tree);
+  Rng set_rng(17);
+  const auto members = GenerateUniformSet(M, 400, &set_rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+
+  const auto draw_sequence = [&](IntersectKernel kernel) {
+    QueryContext ctx(tree, query, kernel);
+    Rng rng(123);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 200; ++i) {
+      const auto sample = sampler.Sample(&ctx, &rng);
+      draws.push_back(sample.has_value() ? *sample : ~0ULL);
+    }
+    return draws;
+  };
+
+  const auto dense = draw_sequence(IntersectKernel::kDense);
+  EXPECT_EQ(draw_sequence(IntersectKernel::kSparse), dense);
+  EXPECT_EQ(draw_sequence(IntersectKernel::kAuto), dense);
+
+  // The filter-overload path (fresh context per call) must match too.
+  Rng rng(123);
+  std::vector<uint64_t> legacy;
+  for (int i = 0; i < 200; ++i) {
+    const auto sample = sampler.Sample(query, &rng);
+    legacy.push_back(sample.has_value() ? *sample : ~0ULL);
+  }
+  EXPECT_EQ(legacy, dense);
+}
+
+TEST(QueryDeterminismTest, SampleManyIdenticalAcrossKernels) {
+  const uint64_t M = 20000;
+  const auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  BstSampler sampler(&tree);
+  Rng set_rng(23);
+  const auto members = GenerateUniformSet(M, 400, &set_rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+
+  for (bool with_replacement : {false, true}) {
+    QueryContext dense_ctx(tree, query, IntersectKernel::kDense);
+    QueryContext sparse_ctx(tree, query, IntersectKernel::kSparse);
+    Rng dense_rng(7);
+    Rng sparse_rng(7);
+    OpCounters dense_counters;
+    OpCounters sparse_counters;
+    const auto dense = sampler.SampleMany(&dense_ctx, 64, &dense_rng,
+                                          with_replacement, &dense_counters);
+    const auto sparse = sampler.SampleMany(&sparse_ctx, 64, &sparse_rng,
+                                           with_replacement, &sparse_counters);
+    EXPECT_EQ(dense, sparse);
+    // Same work, attributed to the other kernel counter.
+    EXPECT_EQ(dense_counters.intersections, sparse_counters.intersections);
+    EXPECT_EQ(dense_counters.intersections,
+              dense_counters.dense_intersections);
+    EXPECT_EQ(sparse_counters.intersections,
+              sparse_counters.sparse_intersections);
+    EXPECT_EQ(dense_counters.membership_queries,
+              sparse_counters.membership_queries);
+  }
+}
+
+TEST(QueryDeterminismTest, ReconstructorContextOverloadMatchesFilter) {
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  BstReconstructor reconstructor(&tree);
+  Rng rng(29);
+  const auto members = GenerateUniformSet(M, 200, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  const QueryContext ctx(tree, query);
+  EXPECT_EQ(reconstructor.Reconstruct(ctx), reconstructor.Reconstruct(query));
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,192 @@
+// Equivalence fence for the sparse query-side kernels: AndPopcountSparse /
+// AndAllZeroSparse must be bit-identical to the dense kernels on every
+// input, including the word-boundary edge cases (empty vectors, all-ones
+// vectors, a partially-filled tail word), and the BloomQueryView dispatch
+// plus the memoized SetBitCount must never change an observable result.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/bloom/bloom_io.h"
+#include "src/bloom/cardinality.h"
+#include "src/util/bitvector.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+// Sizes straddling word boundaries: single-bit, just-under / exactly /
+// just-over one and two words, and a larger non-multiple-of-64 tail.
+const size_t kEdgeSizes[] = {1, 63, 64, 65, 127, 128, 129, 1000};
+
+BitVector RandomVector(size_t size, double density, Rng* rng) {
+  BitVector v(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng->NextDouble() < density) v.Set(i);
+  }
+  return v;
+}
+
+void ExpectKernelsAgree(const BitVector& dense_side,
+                        const BitVector& sparse_side) {
+  const BitVector::SparseView view = sparse_side.ToSparseView();
+  EXPECT_EQ(view.set_bits, sparse_side.Popcount());
+  EXPECT_EQ(view.bit_size, sparse_side.size());
+  EXPECT_EQ(dense_side.AndPopcountSparse(view),
+            dense_side.AndPopcount(sparse_side));
+  EXPECT_EQ(dense_side.AndAllZeroSparse(view),
+            dense_side.AndIsZero(sparse_side));
+}
+
+TEST(SparseKernelTest, RandomizedEquivalenceAcrossDensities) {
+  Rng rng(20170313);
+  for (size_t size : kEdgeSizes) {
+    for (double density : {0.0, 0.001, 0.01, 0.1, 0.5, 1.0}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const BitVector a = RandomVector(size, 0.3, &rng);
+        const BitVector b = RandomVector(size, density, &rng);
+        ExpectKernelsAgree(a, b);
+        ExpectKernelsAgree(b, a);
+      }
+    }
+  }
+}
+
+TEST(SparseKernelTest, EmptyAndAllOnesEdgeCases) {
+  for (size_t size : kEdgeSizes) {
+    BitVector empty(size);
+    BitVector ones(size);
+    for (size_t i = 0; i < size; ++i) ones.Set(i);
+
+    const BitVector::SparseView empty_view = empty.ToSparseView();
+    EXPECT_EQ(empty_view.set_bits, 0u);
+    EXPECT_TRUE(empty_view.word_index.empty());
+    EXPECT_EQ(ones.AndPopcountSparse(empty_view), 0u);
+    EXPECT_TRUE(ones.AndAllZeroSparse(empty_view));
+
+    // All-ones view against all-ones: the popcount must respect the tail
+    // word (trailing bits beyond size() are zero by invariant).
+    const BitVector::SparseView ones_view = ones.ToSparseView();
+    EXPECT_EQ(ones_view.set_bits, size);
+    EXPECT_EQ(ones.AndPopcountSparse(ones_view), size);
+    EXPECT_FALSE(ones.AndAllZeroSparse(ones_view));
+    EXPECT_EQ(empty.AndPopcountSparse(ones_view), 0u);
+    EXPECT_TRUE(empty.AndAllZeroSparse(ones_view));
+
+    ExpectKernelsAgree(ones, ones);
+    ExpectKernelsAgree(empty, ones);
+  }
+}
+
+TEST(SparseKernelTest, TailWordOnlyOverlap) {
+  // Set bits only in the final partial word on both sides, so any tail
+  // mishandling (masking, off-by-one word index) shows up directly.
+  const size_t size = 130;  // two full words + a 2-bit tail
+  BitVector a(size);
+  BitVector b(size);
+  a.Set(128);
+  a.Set(129);
+  b.Set(129);
+  const BitVector::SparseView view = b.ToSparseView();
+  ASSERT_EQ(view.word_index.size(), 1u);
+  EXPECT_EQ(view.word_index[0], 2u);
+  EXPECT_EQ(a.AndPopcountSparse(view), 1u);
+  EXPECT_FALSE(a.AndAllZeroSparse(view));
+  ExpectKernelsAgree(a, b);
+}
+
+TEST(BloomQueryViewTest, DispatchMatchesDenseForEveryKernelChoice) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, 4096, 7).value();
+  Rng rng(99);
+  BloomFilter node(family);
+  for (int i = 0; i < 400; ++i) node.Insert(rng.Next());
+
+  for (uint64_t query_size : {0ULL, 1ULL, 10ULL, 200ULL, 2000ULL}) {
+    BloomFilter query(family);
+    for (uint64_t i = 0; i < query_size; ++i) query.Insert(rng.Next());
+    const size_t expected = node.AndPopcount(query);
+    for (IntersectKernel kernel : {IntersectKernel::kAuto,
+                                   IntersectKernel::kDense,
+                                   IntersectKernel::kSparse}) {
+      const BloomQueryView view(query, kernel);
+      EXPECT_EQ(view.set_bits(), query.SetBitCount());
+      EXPECT_EQ(node.AndPopcount(view), expected);
+      EXPECT_EQ(node.AndIsZero(view), node.AndIsZero(query));
+      EXPECT_DOUBLE_EQ(EstimateIntersection(node, node.SetBitCount(), view),
+                       EstimateIntersection(node, query));
+    }
+  }
+}
+
+TEST(BloomQueryViewTest, AutoPicksSparseOnlyForSparseQueries) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, 65536, 7).value();
+  BloomFilter sparse_query(family);
+  sparse_query.Insert(12345);
+  EXPECT_TRUE(BloomQueryView(sparse_query).sparse());
+
+  BloomFilter dense_query(family);
+  Rng rng(3);
+  for (int i = 0; i < 40000; ++i) dense_query.Insert(rng.Next());
+  EXPECT_FALSE(BloomQueryView(dense_query).sparse());
+}
+
+TEST(BloomFilterMemoTest, SetBitCountInvalidatedByEveryMutation) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, 8192, 7).value();
+  BloomFilter filter(family);
+  EXPECT_EQ(filter.SetBitCount(), 0u);
+
+  filter.Insert(1);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  const std::vector<uint64_t> keys = {10, 20, 30, 40};
+  filter.InsertBatch(keys);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  filter.InsertRange(100, 164);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  BloomFilter other(family);
+  other.InsertRange(500, 600);
+  filter.UnionWith(other);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  filter.IntersectWith(other);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  // Raw payload writes (the deserializer path) must invalidate too.
+  filter.mutable_bits().Set(7);
+  EXPECT_EQ(filter.SetBitCount(), filter.bits().Popcount());
+
+  filter.Clear();
+  EXPECT_EQ(filter.SetBitCount(), 0u);
+
+  // EstimateCardinality routes through the memoized count.
+  filter.InsertRange(0, 50);
+  EXPECT_DOUBLE_EQ(EstimateCardinality(filter),
+                   EstimateCardinalityFromBits(filter.bits().Popcount(),
+                                               filter.m(), filter.k()));
+}
+
+TEST(BloomFilterMemoTest, CopyAndDeserializeKeepCountsCorrect) {
+  auto family = MakeHashFamily(HashFamilyKind::kSimple, 3, 8192, 7).value();
+  BloomFilter filter(family);
+  filter.InsertRange(0, 300);
+  const size_t count = filter.SetBitCount();  // warm the cache
+
+  BloomFilter copy = filter;
+  EXPECT_EQ(copy.SetBitCount(), count);
+  copy.Insert(12345);
+  EXPECT_EQ(copy.SetBitCount(), copy.bits().Popcount());
+  EXPECT_EQ(filter.SetBitCount(), count);  // original cache untouched
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeBloomFilter(filter, &stream).ok());
+  auto restored = DeserializeBloomFilter(&stream, family);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().SetBitCount(), count);
+}
+
+}  // namespace
+}  // namespace bloomsample
