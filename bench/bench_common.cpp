@@ -240,9 +240,13 @@ void RunReconstructionOpsSubtable(const char* flavor, uint64_t namespace_size,
 
   // BST intersections are split by kernel (dense m/64-word scan vs sparse
   // nonzero-word walk) so the figure attributes the work the query path
-  // actually did; their sum is the paper's intersection count.
+  // actually did; their sum is the paper's intersection count. The MB/query
+  // column is the filter-payload traffic those intersections read (16 bytes
+  // per touched word position) — the metric where the arena layout and
+  // sparse dispatch wins show even when op counts are unchanged.
   Table table({"n", "accuracy", "BST inter. (dense)", "BST inter. (sparse)",
-               "BST member.", "HI inversions", "HI member.", "DA member."});
+               "BST MB/query", "BST member.", "HI inversions", "HI member.",
+               "DA member."});
   Rng root_rng(env.seed);
   HashInvert inverter(namespace_size);
   for (uint64_t n : PaperSetSizes()) {
@@ -276,6 +280,9 @@ void RunReconstructionOpsSubtable(const char* flavor, uint64_t namespace_size,
            FormatDouble(
                static_cast<double>(bst_counters.sparse_intersections) / denom,
                1),
+           FormatDouble(static_cast<double>(bst_counters.intersection_bytes) /
+                            denom / 1e6,
+                        2),
            FormatCount(static_cast<double>(bst_counters.membership_queries) /
                        denom),
            FormatCount(static_cast<double>(hi_counters.inversions) / denom),
@@ -295,7 +302,9 @@ void RunReconstructionTimeSubtable(const char* flavor, uint64_t namespace_size,
   std::printf("-- %s query sets (rounds=%llu) --\n", flavor,
               static_cast<unsigned long long>(rounds));
 
-  Table table({"n", "accuracy", "BST ms", "HI ms", "DA ms"});
+  // BST MB/query comes from one counted pass outside the timers (the
+  // traversal is deterministic, so the byte count is the same every round).
+  Table table({"n", "accuracy", "BST ms", "BST MB/query", "HI ms", "DA ms"});
   Rng root_rng(env.seed);
   HashInvert inverter(namespace_size);
   DictionaryAttack attack(namespace_size);
@@ -310,6 +319,10 @@ void RunReconstructionTimeSubtable(const char* flavor, uint64_t namespace_size,
       bundle.tree->set_intersection_threshold(0.5);
       const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
       BstReconstructor reconstructor(bundle.tree.get());
+
+      OpCounters bst_counters;
+      (void)reconstructor.Reconstruct(
+          query, &bst_counters, BstReconstructor::PruningMode::kThresholded);
 
       Timer timer;
       for (uint64_t r = 0; r < rounds; ++r) {
@@ -331,9 +344,12 @@ void RunReconstructionTimeSubtable(const char* flavor, uint64_t namespace_size,
       }
       const double da_ms = timer.ElapsedMillis() / static_cast<double>(rounds);
 
-      table.AddRow({FormatCount(static_cast<double>(n)),
-                    FormatDouble(accuracy, 1), FormatDouble(bst_ms, 2),
-                    FormatDouble(hi_ms, 2), FormatDouble(da_ms, 2)});
+      table.AddRow(
+          {FormatCount(static_cast<double>(n)), FormatDouble(accuracy, 1),
+           FormatDouble(bst_ms, 2),
+           FormatDouble(
+               static_cast<double>(bst_counters.intersection_bytes) / 1e6, 2),
+           FormatDouble(hi_ms, 2), FormatDouble(da_ms, 2)});
     }
   }
   table.Print();

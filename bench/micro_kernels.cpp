@@ -1,0 +1,250 @@
+// Microbenchmark for the word-level bit kernels behind every query and
+// build hot path, emitting machine-readable JSON so BENCH_*.json trajectory
+// tracking can diff runs across PRs.
+//
+// Output: a JSON array on stdout; one record per configuration:
+//   {"bench": "micro_kernels", "kernel": "and_popcount" | "and_all_zero" |
+//    "popcount" | "or_into" | "and_popcount_sparse", "level": "scalar" |
+//    "avx2" | "avx512", "m": <bits>, "storage": "owned" | "arena",
+//    "gib_per_s": <double>, "speedup_vs_scalar": <double>, ...}
+//
+// Three comparisons, matching the tentpole's claims:
+//   * scalar vs each supported SIMD tier on the dense kernels, per m
+//     (throughput in GiB/s of filter payload read; speedup_vs_scalar is
+//     the acceptance gate — the dispatched AND-popcount must be >= 2x
+//     scalar at m >= 1e6 on AVX2-capable hardware);
+//   * dense vs sparse AND-popcount at a paper-shaped query density (a
+//     1000-key, k=3 query against the same m);
+//   * owned vs arena storage on a descent-shaped walk: AND-popcount of one
+//     query block against 128 node filters laid out per-node on the heap
+//     vs densely packed in one FilterArena slab.
+//
+// BSR_BENCH_FULL=1 raises the repetition counts; the quick default
+// finishes in a few seconds.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/filter_arena.h"
+#include "src/util/rng.h"
+#include "src/util/simd.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+constexpr int kReps = 5;
+
+std::vector<uint64_t> RandomWords(size_t n, double bit_density, Rng* rng) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) {
+    uint64_t word = 0;
+    for (int b = 0; b < 64; ++b) {
+      if (rng->NextDouble() < bit_density) word |= 1ULL << b;
+    }
+    w = word;
+  }
+  return words;
+}
+
+/// Fastest-of-kReps wall time of `fn` run `iters` times; `sink` defeats
+/// dead-code elimination.
+template <typename Fn>
+double BestSeconds(uint64_t iters, uint64_t* sink, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    for (uint64_t i = 0; i < iters; ++i) *sink += fn();
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+void PrintRecord(bool first, const char* kernel, const char* level,
+                 uint64_t m, const char* storage, double bytes_per_call,
+                 double seconds_per_call, double speedup_vs_scalar) {
+  std::printf(
+      "%s  {\"bench\": \"micro_kernels\", \"kernel\": \"%s\", "
+      "\"level\": \"%s\", \"m\": %" PRIu64 ", \"storage\": \"%s\", "
+      "\"ns_per_call\": %.1f, \"gib_per_s\": %.2f, "
+      "\"speedup_vs_scalar\": %.2f}",
+      first ? "" : ",\n", kernel, level, m, storage,
+      seconds_per_call * 1e9,
+      bytes_per_call / seconds_per_call / (1024.0 * 1024.0 * 1024.0),
+      speedup_vs_scalar);
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+  Rng rng(env.seed);
+  uint64_t sink = 0;
+  bool first = true;
+  // The per-tier loops below pin levels with ForceLevel; remember the
+  // startup dispatch (which honors a BSR_SIMD pin) to restore afterwards.
+  const simd::Level startup_level = simd::ActiveLevel();
+  std::printf("[\n");
+
+  std::vector<simd::Level> levels;
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2,
+                            simd::Level::kAvx512}) {
+    if (simd::LevelSupported(level)) levels.push_back(level);
+  }
+
+  // --- Dense kernels: scalar vs SIMD tiers across filter sizes. ---------
+  for (uint64_t m : std::vector<uint64_t>{100000, 1000000, 10000000}) {
+    const size_t words = (m + 63) / 64;
+    // Tree-node-shaped operands: a fairly dense node filter against a
+    // half-full second operand.
+    const std::vector<uint64_t> a = RandomWords(words, 0.3, &rng);
+    const std::vector<uint64_t> b = RandomWords(words, 0.5, &rng);
+    // Disjoint operand for the emptiness kernel: with random overlapping
+    // words AndAllZero exits on word 0 and times nothing. a & ~a == 0
+    // forces the full scan — the cost a query pays for an actually-empty
+    // intersection, which is when the answer matters.
+    std::vector<uint64_t> disjoint(words);
+    for (size_t w = 0; w < words; ++w) disjoint[w] = ~a[w];
+    std::vector<uint64_t> dst = a;
+    const uint64_t iters =
+        env.Rounds(/*quick=*/1, /*full=*/4) * (m >= 10000000 ? 20 : 200);
+    const double dense_bytes = 16.0 * static_cast<double>(words);
+
+    double scalar_and_popcount = 0.0;
+    double scalar_all_zero = 0.0;
+    double scalar_popcount = 0.0;
+    double scalar_or = 0.0;
+    for (simd::Level level : levels) {
+      simd::ForceLevel(level);
+      const char* name = simd::LevelName(level);
+
+      double seconds = BestSeconds(iters, &sink, [&] {
+                         return simd::AndPopcount(a.data(), b.data(), words);
+                       }) /
+                       static_cast<double>(iters);
+      if (level == simd::Level::kScalar) scalar_and_popcount = seconds;
+      PrintRecord(first, "and_popcount", name, m, "owned", dense_bytes,
+                  seconds, scalar_and_popcount / seconds);
+      first = false;
+
+      seconds = BestSeconds(iters, &sink, [&] {
+                  return simd::AndAllZero(a.data(), disjoint.data(), words)
+                             ? 1u
+                             : 0u;
+                }) /
+                static_cast<double>(iters);
+      if (level == simd::Level::kScalar) scalar_all_zero = seconds;
+      PrintRecord(false, "and_all_zero", name, m, "owned", dense_bytes,
+                  seconds, scalar_all_zero / seconds);
+
+      seconds = BestSeconds(iters, &sink, [&] {
+                  return simd::Popcount(a.data(), words);
+                }) /
+                static_cast<double>(iters);
+      if (level == simd::Level::kScalar) scalar_popcount = seconds;
+      PrintRecord(false, "popcount", name, m, "owned",
+                  8.0 * static_cast<double>(words), seconds,
+                  scalar_popcount / seconds);
+
+      seconds = BestSeconds(iters, &sink, [&] {
+                  simd::OrInto(dst.data(), b.data(), words);
+                  return 0u;
+                }) /
+                static_cast<double>(iters);
+      if (level == simd::Level::kScalar) scalar_or = seconds;
+      PrintRecord(false, "or_into", name, m, "owned", 24.0 * words, seconds,
+                  scalar_or / seconds);
+    }
+
+    // --- Sparse AND-popcount at paper query density (1000 keys, k=3). ---
+    const size_t nnz = 3000 < words ? 3000 : words;
+    std::vector<uint32_t> idx(nnz);
+    std::vector<uint64_t> val(nnz);
+    const size_t stride = words / nnz == 0 ? 1 : words / nnz;
+    for (size_t i = 0; i < nnz; ++i) {
+      idx[i] = static_cast<uint32_t>(i * stride);
+      uint64_t v = 0;
+      for (int b = 0; b < 3; ++b) v |= 1ULL << (rng.Next() & 63);
+      val[i] = v;
+    }
+    const uint64_t sparse_iters = iters * 16;
+    const double sparse_bytes = 16.0 * static_cast<double>(nnz);
+    double scalar_sparse = 0.0;
+    for (simd::Level level : levels) {
+      simd::ForceLevel(level);
+      const double seconds =
+          BestSeconds(sparse_iters, &sink, [&] {
+            return simd::AndPopcountSparse(a.data(), idx.data(), val.data(),
+                                           nnz);
+          }) /
+          static_cast<double>(sparse_iters);
+      if (level == simd::Level::kScalar) scalar_sparse = seconds;
+      PrintRecord(false, "and_popcount_sparse", simd::LevelName(level), m,
+                  "owned", sparse_bytes, seconds, scalar_sparse / seconds);
+    }
+  }
+  simd::ForceLevel(startup_level);  // the owned-vs-arena pass runs at the
+                                    // tier the operator actually selected
+
+  // --- Owned vs arena storage on a descent-shaped walk. -----------------
+  // 128 node filters ANDed in sequence against one query block — the
+  // access pattern of a whole-tree pass — with per-node heap vectors vs
+  // one packed slab.
+  {
+    const uint64_t m = 1000000;
+    const size_t words = (m + 63) / 64;
+    const size_t node_count = 128;
+    const std::vector<uint64_t> query = RandomWords(words, 0.05, &rng);
+
+    std::vector<std::vector<uint64_t>> owned_nodes;
+    owned_nodes.reserve(node_count);
+    FilterArena arena;
+    arena.Configure(words, node_count);
+    std::vector<uint64_t*> arena_nodes;
+    for (size_t i = 0; i < node_count; ++i) {
+      owned_nodes.push_back(RandomWords(words, 0.3, &rng));
+      uint64_t* block = arena.Allocate();
+      for (size_t w = 0; w < words; ++w) block[w] = owned_nodes.back()[w];
+      arena_nodes.push_back(block);
+    }
+
+    const uint64_t iters = env.Rounds(/*quick=*/3, /*full=*/10);
+    const double pass_bytes =
+        16.0 * static_cast<double>(words) * static_cast<double>(node_count);
+    const double owned_seconds =
+        BestSeconds(iters, &sink, [&] {
+          uint64_t total = 0;
+          for (size_t i = 0; i < node_count; ++i) {
+            total += simd::AndPopcount(owned_nodes[i].data(), query.data(),
+                                       words);
+          }
+          return total;
+        }) /
+        static_cast<double>(iters);
+    PrintRecord(false, "tree_pass_and_popcount",
+                simd::LevelName(simd::ActiveLevel()), m, "owned", pass_bytes,
+                owned_seconds, 1.0);
+    const double arena_seconds =
+        BestSeconds(iters, &sink, [&] {
+          uint64_t total = 0;
+          for (size_t i = 0; i < node_count; ++i) {
+            total += simd::AndPopcount(arena_nodes[i], query.data(), words);
+          }
+          return total;
+        }) /
+        static_cast<double>(iters);
+    PrintRecord(false, "tree_pass_and_popcount",
+                simd::LevelName(simd::ActiveLevel()), m, "arena", pass_bytes,
+                arena_seconds, owned_seconds / arena_seconds);
+  }
+
+  std::printf("\n]\n");
+  // The sink must escape the optimizer but not the JSON parser.
+  std::fprintf(stderr, "sink=%" PRIu64 "\n", sink);
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
 #include "src/core/query_context.h"
+#include "src/util/simd.h"
 #include "src/util/timer.h"
 
 namespace {
@@ -109,26 +110,31 @@ void PrintSampleRecord(bool first, const char* kernel, uint64_t m,
                        const SampleResult& r, bool identical) {
   std::printf(
       "%s  {\"bench\": \"micro_query\", \"variant\": \"sample\", "
-      "\"kernel\": \"%s\", \"m\": %" PRIu64 ", \"namespace\": %" PRIu64
-      ", \"threads\": 1, \"rounds\": %" PRIu64
+      "\"kernel\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
+      ", \"namespace\": %" PRIu64 ", \"threads\": 1, \"rounds\": %" PRIu64
       ", \"ns_per_sample\": %.1f, \"dense_intersections\": %" PRIu64
-      ", \"sparse_intersections\": %" PRIu64 ", \"identical\": %s}",
-      first ? "" : ",\n", kernel, m, namespace_size, rounds, r.ns_per_sample,
+      ", \"sparse_intersections\": %" PRIu64
+      ", \"intersection_bytes\": %" PRIu64 ", \"identical\": %s}",
+      first ? "" : ",\n", kernel, simd::LevelName(simd::ActiveLevel()), m,
+      namespace_size, rounds, r.ns_per_sample,
       r.counters.dense_intersections, r.counters.sparse_intersections,
-      identical ? "true" : "false");
+      r.counters.intersection_bytes, identical ? "true" : "false");
 }
 
 void PrintReconRecord(const char* kernel, uint64_t m, uint64_t namespace_size,
                       uint64_t threads, const ReconResult& r, bool identical) {
   std::printf(
       ",\n  {\"bench\": \"micro_query\", \"variant\": \"reconstruct\", "
-      "\"kernel\": \"%s\", \"m\": %" PRIu64 ", \"namespace\": %" PRIu64
-      ", \"threads\": %" PRIu64 ", \"elements\": %zu"
+      "\"kernel\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
+      ", \"namespace\": %" PRIu64 ", \"threads\": %" PRIu64
+      ", \"elements\": %zu"
       ", \"ns_per_element\": %.1f, \"dense_intersections\": %" PRIu64
-      ", \"sparse_intersections\": %" PRIu64 ", \"identical\": %s}",
-      kernel, m, namespace_size, threads, r.elements, r.ns_per_element,
+      ", \"sparse_intersections\": %" PRIu64
+      ", \"intersection_bytes\": %" PRIu64 ", \"identical\": %s}",
+      kernel, simd::LevelName(simd::ActiveLevel()), m, namespace_size,
+      threads, r.elements, r.ns_per_element,
       r.counters.dense_intersections, r.counters.sparse_intersections,
-      identical ? "true" : "false");
+      r.counters.intersection_bytes, identical ? "true" : "false");
 }
 
 }  // namespace

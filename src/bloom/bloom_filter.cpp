@@ -9,6 +9,17 @@ BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family)
   bits_ = BitVector(family_->m());
 }
 
+BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family,
+                         FilterArena* arena)
+    : family_(std::move(family)), bits_(0) {
+  BSR_CHECK(family_ != nullptr, "BloomFilter requires a hash family");
+  BSR_CHECK(family_->k() <= kMaxK, "hash family k exceeds kMaxK");
+  BSR_CHECK(arena != nullptr, "BloomFilter arena flavor requires an arena");
+  BSR_CHECK(arena->words_per_block() == (family_->m() + 63) / 64,
+            "arena block width does not match the filter's word count");
+  bits_ = BitVector::SpanOf(arena->Allocate(), family_->m());
+}
+
 void BloomFilter::Insert(uint64_t key) {
   InvalidateSetBitCount();
   uint64_t h[kMaxK];
@@ -121,9 +132,11 @@ BloomQueryView::BloomQueryView(const BloomFilter& filter,
   // dense kernel's linear scan beats the indirected walk), so a dense
   // query costs one count-only pass and a sparse query exactly one
   // materializing pass.
-  const std::vector<uint64_t>& words = filter.bits().words();
-  const size_t word_count = words.size();
-  BSR_CHECK(word_count <= UINT32_MAX, "filter too wide for a query view");
+  const uint64_t* words = filter.bits().word_data();
+  const size_t word_count = filter.bits().word_count();
+  // INT32_MAX bound: sparse-view word indices feed sign-extended 32-bit
+  // SIMD gathers (see BitVector::ToSparseView).
+  BSR_CHECK(word_count <= INT32_MAX, "filter too wide for a query view");
   bool materialize = kernel != IntersectKernel::kDense;
   const size_t abandon_above =
       kernel == IntersectKernel::kAuto ? word_count / 2 : word_count;

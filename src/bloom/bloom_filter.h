@@ -15,6 +15,7 @@
 
 #include "src/hash/hash_family.h"
 #include "src/util/bitvector.h"
+#include "src/util/filter_arena.h"
 
 namespace bloomsample {
 
@@ -38,6 +39,12 @@ class BloomFilter {
   /// Creates an empty filter. `family` must be non-null with family->m()
   /// bits of output range; the filter allocates exactly that many bits.
   explicit BloomFilter(std::shared_ptr<const HashFamily> family);
+
+  /// Creates an empty filter whose bit payload is a block allocated from
+  /// `arena` (which must be configured for this family's word count and
+  /// outlive the filter). Behaviorally identical to the owning flavor —
+  /// the BloomSampleTree uses this so node filters pack contiguously.
+  BloomFilter(std::shared_ptr<const HashFamily> family, FilterArena* arena);
 
   // The memoized set-bit count lives in a std::atomic (so concurrent
   // readers of a logically-const filter are race-free), which is not
@@ -223,6 +230,13 @@ class BloomQueryView {
   /// The nonzero-word snapshot; only materialized when sparse() is true
   /// (dense dispatch reads the filter's own bits instead).
   const BitVector::SparseView& sparse_view() const { return view_; }
+
+  /// Words one intersection against this view reads from each operand:
+  /// nnz for the sparse kernel, the full word count for the dense one.
+  /// The basis of the bytes-touched accounting in OpCounters.
+  size_t words_touched() const {
+    return sparse_ ? view_.word_index.size() : filter_->bits().word_count();
+  }
 
  private:
   const BloomFilter* filter_;

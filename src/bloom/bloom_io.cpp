@@ -24,7 +24,7 @@ Status SerializeBloomFilter(const BloomFilter& filter, std::ostream* out) {
     name[i] = family_name[i];
   }
   out->write(name, 8);
-  writer.WriteU64Vector(filter.bits().words());
+  writer.WriteU64Array(filter.bits().word_data(), filter.bits().word_count());
   return writer.ok() ? Status::OK() : Status::Internal("stream write failed");
 }
 

@@ -37,6 +37,7 @@ Result<BloomSampleTree> BloomSampleTree::BuildComplete(
   const uint32_t depth = config.depth;
   const uint64_t leaf_width = config.LeafRangeSize();
   const uint64_t total_nodes = config.CompleteNodeCount();
+  tree.arena_.Reserve(total_nodes);
   tree.nodes_.reserve(total_nodes);
 
   // Heap layout: node i has children 2i+1, 2i+2; the node at position p
@@ -49,7 +50,7 @@ Result<BloomSampleTree> BloomSampleTree::BuildComplete(
     const uint64_t lo = std::min<uint64_t>(pos * width, config.namespace_size);
     const uint64_t hi =
         std::min<uint64_t>(lo + width, config.namespace_size);
-    Node node(lo, hi, level, tree.family_);
+    Node node(lo, hi, level, tree.family_, &tree.arena_);
     if (level < depth) {
       node.left = static_cast<int64_t>(2 * i + 1);
       node.right = static_cast<int64_t>(2 * i + 2);
@@ -97,6 +98,27 @@ Result<BloomSampleTree> BloomSampleTree::BuildComplete(
   return tree;
 }
 
+uint64_t BloomSampleTree::PrunedSplitPoint(uint32_t level, uint64_t lo,
+                                           size_t begin, size_t end) const {
+  const uint64_t mid = lo + RangeWidthAtLevel(level + 1);
+  return static_cast<uint64_t>(
+      std::lower_bound(occupied_.begin() + static_cast<ptrdiff_t>(begin),
+                       occupied_.begin() + static_cast<ptrdiff_t>(end), mid) -
+      occupied_.begin());
+}
+
+uint64_t BloomSampleTree::CountPrunedNodes(uint32_t level, uint64_t lo,
+                                           uint64_t hi, size_t begin,
+                                           size_t end) const {
+  if (begin == end) return 0;
+  if (level == config_.depth) return 1;
+  const uint64_t mid = lo + RangeWidthAtLevel(level + 1);
+  const size_t split =
+      static_cast<size_t>(PrunedSplitPoint(level, lo, begin, end));
+  return 1 + CountPrunedNodes(level + 1, lo, mid, begin, split) +
+         CountPrunedNodes(level + 1, mid, hi, split, end);
+}
+
 int64_t BloomSampleTree::BuildPrunedSubtree(uint32_t level, uint64_t lo,
                                             uint64_t hi, size_t begin,
                                             size_t end,
@@ -104,18 +126,15 @@ int64_t BloomSampleTree::BuildPrunedSubtree(uint32_t level, uint64_t lo,
   if (begin == end) return kNoNode;  // range holds no occupied id
   const int64_t id = static_cast<int64_t>(nodes_.size());
   nodes_.emplace_back(lo, std::min(hi, config_.namespace_size), level,
-                      family_);
+                      family_, &arena_);
   if (level == config_.depth) {
     leaf_fills->push_back({id, begin, end});
     return id;
   }
 
-  const uint64_t child_width = RangeWidthAtLevel(level + 1);
-  const uint64_t mid = lo + child_width;
-  const size_t split = static_cast<size_t>(
-      std::lower_bound(occupied_.begin() + static_cast<ptrdiff_t>(begin),
-                       occupied_.begin() + static_cast<ptrdiff_t>(end), mid) -
-      occupied_.begin());
+  const uint64_t mid = lo + RangeWidthAtLevel(level + 1);
+  const size_t split =
+      static_cast<size_t>(PrunedSplitPoint(level, lo, begin, end));
   // Children are built first; vector growth may reallocate, so re-resolve
   // the node reference afterwards instead of holding one across the calls.
   const int64_t left =
@@ -148,9 +167,17 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
 
   // Pass 1 (serial): node structure in DFS preorder — ids are therefore
   // independent of build_threads — plus each leaf's slice of occupied_.
+  // A counting pre-pass sizes the arena exactly, so the whole pruned tree
+  // lands in one contiguous slab.
+  const uint64_t pruned_nodes =
+      tree.CountPrunedNodes(0, 0, root_width, 0, tree.occupied_.size());
+  tree.arena_.Reserve(pruned_nodes);
+  tree.nodes_.reserve(static_cast<size_t>(pruned_nodes));
   std::vector<LeafFill> leaf_fills;
   tree.BuildPrunedSubtree(0, 0, root_width, 0, tree.occupied_.size(),
                           &leaf_fills);
+  BSR_CHECK(tree.nodes_.size() == pruned_nodes,
+            "pruned counting pass disagrees with the structure pass");
 
   // Pass 2: leaves fill independently from disjoint occupied_ slices.
   ThreadPool pool(config.build_threads);
@@ -251,7 +278,7 @@ Status BloomSampleTree::Insert(uint64_t x) {
   // Walk the root-to-leaf path, creating missing nodes.
   if (nodes_.empty()) {
     nodes_.emplace_back(0, std::min(RangeWidthAtLevel(0), config_.namespace_size),
-                        0u, family_);
+                        0u, family_, &arena_);
   }
   int64_t id = 0;
   for (;;) {
@@ -273,7 +300,7 @@ Status BloomSampleTree::Insert(uint64_t x) {
       const uint32_t child_level = current.level + 1;
       nodes_.emplace_back(child_lo,
                           std::min(child_hi, config_.namespace_size),
-                          child_level, family_);
+                          child_level, family_, &arena_);
       // emplace_back may have reallocated: re-resolve the parent.
       Node& parent = nodes_[static_cast<size_t>(id)];
       (go_left ? parent.left : parent.right) = child;

@@ -29,6 +29,7 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/tree_config.h"
+#include "src/util/filter_arena.h"
 #include "src/util/op_counters.h"
 #include "src/util/status.h"
 
@@ -49,9 +50,19 @@ class BloomSampleTree {
     uint64_t set_bits = 0;
     BloomFilter filter;
 
+    /// Legacy owning flavor: the filter allocates its own bit payload.
     Node(uint64_t lo_in, uint64_t hi_in, uint32_t level_in,
          std::shared_ptr<const HashFamily> family)
         : lo(lo_in), hi(hi_in), level(level_in), filter(std::move(family)) {}
+
+    /// Arena flavor: the filter's payload is a block of `arena`, so node
+    /// filters built in sequence pack contiguously. All builders use this.
+    Node(uint64_t lo_in, uint64_t hi_in, uint32_t level_in,
+         std::shared_ptr<const HashFamily> family, FilterArena* arena)
+        : lo(lo_in),
+          hi(hi_in),
+          level(level_in),
+          filter(std::move(family), arena) {}
   };
 
   /// Builds the complete tree of Definition 5.1.
@@ -127,6 +138,32 @@ class BloomSampleTree {
   /// rebuilds are preferable for bulk loads.
   Status Insert(uint64_t x);
 
+  /// Best-effort software prefetch of node `id`'s filter payload, issued a
+  /// node ahead of the intersection that will read it so the arena block's
+  /// leading lines (dense kernel) or the words a sparse query will gather
+  /// are in flight while the sibling's estimate computes. No-op for
+  /// kNoNode; never changes results.
+  void PrefetchFilter(int64_t id, const BloomQueryView& view) const {
+    if (id == kNoNode) return;
+    const BitVector& bits = nodes_[static_cast<size_t>(id)].filter.bits();
+    const uint64_t* words = bits.word_data();
+    if (view.sparse()) {
+      const BitVector::SparseView& sv = view.sparse_view();
+      const size_t limit =
+          sv.word_index.size() < kPrefetchSparseWords ? sv.word_index.size()
+                                                      : kPrefetchSparseWords;
+      for (size_t i = 0; i < limit; ++i) {
+        __builtin_prefetch(&words[sv.word_index[i]], 0, 1);
+      }
+      return;
+    }
+    const size_t lines = (bits.word_count() + 7) / 8;
+    const size_t limit = lines < kPrefetchDenseLines ? lines : kPrefetchDenseLines;
+    for (size_t i = 0; i < limit; ++i) {
+      __builtin_prefetch(words + 8 * i, 0, 1);
+    }
+  }
+
   /// Convenience: a fresh empty query filter compatible with this tree.
   BloomFilter MakeQueryFilter() const { return BloomFilter(family_); }
   /// Convenience: a query filter holding `keys`.
@@ -136,12 +173,28 @@ class BloomSampleTree {
   /// Tables 2/3 and Figure 14).
   size_t MemoryBytes() const;
 
+  /// Payload bytes of the filter arena, including reserved-but-unused
+  /// growth headroom (MemoryBytes() counts only live node payloads).
+  size_t ArenaMemoryBytes() const { return arena_.MemoryBytes(); }
+  /// True when every node filter sits in one contiguous slab (bulk-built
+  /// trees; dynamic inserts may append further chunks).
+  bool ArenaContiguous() const { return arena_.contiguous(); }
+
  private:
   friend class TreeSerializer;  // persistence (see core/tree_io.h)
 
+  /// Prefetch depth caps: 8 leading cache lines of a dense operand, 32
+  /// gathered words of a sparse one — enough to hide the first misses
+  /// without flooding the load queue (past that, the kernels' own streaming
+  /// loads / 8-wide gathers supply the memory-level parallelism).
+  static constexpr size_t kPrefetchDenseLines = 8;
+  static constexpr size_t kPrefetchSparseWords = 32;
+
   BloomSampleTree(TreeConfig config, std::shared_ptr<const HashFamily> family,
                   bool pruned)
-      : config_(config), family_(std::move(family)), pruned_(pruned) {}
+      : config_(config), family_(std::move(family)), pruned_(pruned) {
+    arena_.Configure((config_.m + 63) / 64, 0);
+  }
 
   /// Width of an (unclipped) range at `level`.
   uint64_t RangeWidthAtLevel(uint32_t level) const {
@@ -164,9 +217,26 @@ class BloomSampleTree {
                              size_t begin, size_t end,
                              std::vector<LeafFill>* leaf_fills);
 
+  /// The occupied_ index where a node's range splits between its children
+  /// — the one piece of shape logic CountPrunedNodes and BuildPrunedSubtree
+  /// must share so the counting pre-pass stays in lockstep with the build
+  /// (BuildPruned checks the two agree after the structure pass).
+  uint64_t PrunedSplitPoint(uint32_t level, uint64_t lo, size_t begin,
+                            size_t end) const;
+
+  /// Counts the nodes BuildPrunedSubtree would create over
+  /// occupied_[begin, end), so the arena can reserve exactly once.
+  uint64_t CountPrunedNodes(uint32_t level, uint64_t lo, uint64_t hi,
+                            size_t begin, size_t end) const;
+
   TreeConfig config_;
   std::shared_ptr<const HashFamily> family_;
   bool pruned_;
+  /// Backing store for every node filter's bit payload; declared before
+  /// nodes_ so the spans' storage is constructed first. Blocks are
+  /// address-stable, so moving the tree keeps the spans valid (the tree is
+  /// move-only — the arena cannot be copied).
+  FilterArena arena_;
   std::vector<Node> nodes_;
   std::vector<uint64_t> occupied_;
 };

@@ -26,7 +26,8 @@ bool BstReconstructor::NodePasses(int64_t id, const QueryContext& ctx,
   // S ∪ S(B) inside this range forces k shared bits, so pruning below k
   // can never drop an element and kExact stays exactly DictionaryAttack.
   const BloomSampleTree::Node& node = tree_->node(id);
-  CountIntersectionKernel(counters, ctx.view().sparse());
+  CountIntersectionKernel(counters, ctx.view().sparse(), 1,
+                          ctx.view().words_touched());
   const uint64_t t_and = node.filter.AndPopcount(ctx.view());
   if (t_and < node.filter.k()) return false;
   if (mode == PruningMode::kThresholded) {
@@ -49,8 +50,11 @@ void BstReconstructor::TraverseSubtree(int64_t id, const QueryContext& ctx,
     return;
   }
   // Left before right keeps the output globally ascending (child ranges
-  // are disjoint and ordered).
+  // are disjoint and ordered). Prefetch both children's filter blocks up
+  // front so the right child's words travel while the left subtree runs.
   const BloomSampleTree::Node& node = tree_->node(id);
+  tree_->PrefetchFilter(node.left, ctx.view());
+  tree_->PrefetchFilter(node.right, ctx.view());
   ReconstructNode(node.left, ctx, mode, counters, out);
   ReconstructNode(node.right, ctx, mode, counters, out);
 }

@@ -11,7 +11,8 @@ double BstSampler::ChildEstimate(int64_t child, const QueryContext& ctx,
                                  OpCounters* counters) const {
   if (child == BloomSampleTree::kNoNode) return 0.0;
   const BloomSampleTree::Node& node = tree_->node(child);
-  CountIntersectionKernel(counters, ctx.view().sparse());
+  CountIntersectionKernel(counters, ctx.view().sparse(), 1,
+                          ctx.view().words_touched());
   // Node t1 comes from the builder-maintained cache, query t2 from the
   // view; the AND-popcount below is the only per-node word work, and it
   // touches just the query's nonzero words on the sparse path.
@@ -53,6 +54,11 @@ std::optional<uint64_t> BstSampler::SampleNode(int64_t id, QueryContext* ctx,
   }
 
   const BloomSampleTree::Node& node = tree_->node(id);
+  // Start both children's filter blocks toward cache before the first
+  // estimate reads either — the right child's words load while the left
+  // child's AND-popcount runs.
+  tree_->PrefetchFilter(node.left, ctx->view());
+  tree_->PrefetchFilter(node.right, ctx->view());
   const double left_est = ChildEstimate(node.left, *ctx, counters);
   const double right_est = ChildEstimate(node.right, *ctx, counters);
   if (left_est <= 0.0 && right_est <= 0.0) {
@@ -141,6 +147,8 @@ void BstSampler::SampleManyNode(int64_t id, size_t r, QueryContext* ctx,
   }
 
   const BloomSampleTree::Node& node = tree_->node(id);
+  tree_->PrefetchFilter(node.left, ctx->view());
+  tree_->PrefetchFilter(node.right, ctx->view());
   const double left_est = ChildEstimate(node.left, *ctx, counters);
   const double right_est = ChildEstimate(node.right, *ctx, counters);
   if (left_est <= 0.0 && right_est <= 0.0) return;

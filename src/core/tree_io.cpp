@@ -39,7 +39,8 @@ class TreeSerializer {
       writer.WriteU32(node.level);
       writer.WriteI64(node.left);
       writer.WriteI64(node.right);
-      writer.WriteU64Vector(node.filter.bits().words());
+      writer.WriteU64Array(node.filter.bits().word_data(),
+                           node.filter.bits().word_count());
     }
     return writer.ok() ? Status::OK()
                        : Status::Internal("stream write failed");
@@ -101,6 +102,7 @@ class TreeSerializer {
       return Status::InvalidArgument("node count exceeds complete tree");
     }
     const uint64_t words_per_filter = (config.m + 63) / 64;
+    tree.arena_.Reserve(static_cast<size_t>(node_count));
     tree.nodes_.reserve(static_cast<size_t>(node_count));
     for (uint64_t i = 0; i < node_count; ++i) {
       uint64_t lo;
@@ -129,7 +131,7 @@ class TreeSerializer {
         return Status::InvalidArgument("node payload has wrong word count");
       }
 
-      BloomSampleTree::Node node(lo, hi, level, tree.family_);
+      BloomSampleTree::Node node(lo, hi, level, tree.family_, &tree.arena_);
       BitVector& bits = node.filter.mutable_bits();
       for (size_t w = 0; w < words.size(); ++w) {
         uint64_t word = words[w];

@@ -2,56 +2,80 @@
 
 #include <algorithm>
 
+#include "src/util/simd.h"
+
 namespace bloomsample {
 
-void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this == &other) return *this;
+  if (span_backed() && size_ == other.size_) {
+    // Write through the span so the arena binding survives assignment; the
+    // source satisfies the trailing-zero invariant, so the copy does too.
+    std::copy(other.data_, other.data_ + word_count_, data_);
+    return *this;
+  }
+  size_ = other.size_;
+  word_count_ = other.word_count_;
+  storage_.assign(other.data_, other.data_ + other.word_count_);
+  data_ = storage_.data();
+  return *this;
+}
+
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this == &other) return *this;
+  size_ = other.size_;
+  word_count_ = other.word_count_;
+  data_ = other.data_;
+  storage_ = std::move(other.storage_);
+  if (!storage_.empty()) data_ = storage_.data();
+  other.size_ = 0;
+  other.word_count_ = 0;
+  other.data_ = nullptr;
+  other.storage_.clear();
+  return *this;
+}
+
+void BitVector::Reset() { std::fill(data_, data_ + word_count_, 0); }
 
 size_t BitVector::Popcount() const {
-  size_t count = 0;
-  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
-  return count;
+  return static_cast<size_t>(simd::Popcount(data_, word_count_));
 }
 
 bool BitVector::None() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  // (v & v) == 0 ⇔ v == 0, so the AND-emptiness kernel doubles as the
+  // all-zero test.
+  return simd::AndAllZero(data_, data_, word_count_);
 }
 
 void BitVector::AndWith(const BitVector& other) {
   BSR_CHECK(size_ == other.size_, "BitVector::AndWith size mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::AndInto(data_, other.data_, word_count_);
 }
 
 void BitVector::OrWith(const BitVector& other) {
   BSR_CHECK(size_ == other.size_, "BitVector::OrWith size mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::OrInto(data_, other.data_, word_count_);
 }
 
 size_t BitVector::AndPopcount(const BitVector& other) const {
   BSR_CHECK(size_ == other.size_, "BitVector::AndPopcount size mismatch");
-  size_t count = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    count += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return count;
+  return static_cast<size_t>(simd::AndPopcount(data_, other.data_, word_count_));
 }
 
 bool BitVector::AndIsZero(const BitVector& other) const {
   BSR_CHECK(size_ == other.size_, "BitVector::AndIsZero size mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return false;
-  }
-  return true;
+  return simd::AndAllZero(data_, other.data_, word_count_);
 }
 
 BitVector::SparseView BitVector::ToSparseView() const {
-  BSR_CHECK(words_.size() <= UINT32_MAX, "vector too wide for a SparseView");
+  // INT32_MAX, not UINT32_MAX: the AVX-512 sparse kernels gather through
+  // sign-extended 32-bit indices, so word indices must stay below 2^31
+  // (that is still a 16 GiB filter — far beyond any practical m).
+  BSR_CHECK(word_count_ <= INT32_MAX, "vector too wide for a SparseView");
   SparseView view;
   view.bit_size = size_;
-  for (size_t w = 0; w < words_.size(); ++w) {
-    const uint64_t word = words_[w];
+  for (size_t w = 0; w < word_count_; ++w) {
+    const uint64_t word = data_[w];
     if (word == 0) continue;
     view.word_index.push_back(static_cast<uint32_t>(w));
     view.word_value.push_back(word);
@@ -62,26 +86,21 @@ BitVector::SparseView BitVector::ToSparseView() const {
 
 size_t BitVector::AndPopcountSparse(const SparseView& view) const {
   BSR_CHECK(size_ == view.bit_size, "BitVector::AndPopcountSparse size mismatch");
-  size_t count = 0;
-  for (size_t i = 0; i < view.word_index.size(); ++i) {
-    count += static_cast<size_t>(
-        __builtin_popcountll(words_[view.word_index[i]] & view.word_value[i]));
-  }
-  return count;
+  return static_cast<size_t>(
+      simd::AndPopcountSparse(data_, view.word_index.data(),
+                              view.word_value.data(), view.word_index.size()));
 }
 
 bool BitVector::AndAllZeroSparse(const SparseView& view) const {
   BSR_CHECK(size_ == view.bit_size, "BitVector::AndAllZeroSparse size mismatch");
-  for (size_t i = 0; i < view.word_index.size(); ++i) {
-    if ((words_[view.word_index[i]] & view.word_value[i]) != 0) return false;
-  }
-  return true;
+  return simd::AndAllZeroSparse(data_, view.word_index.data(),
+                                view.word_value.data(), view.word_index.size());
 }
 
 bool BitVector::IsSubsetOf(const BitVector& other) const {
   BSR_CHECK(size_ == other.size_, "BitVector::IsSubsetOf size mismatch");
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  for (size_t i = 0; i < word_count_; ++i) {
+    if ((data_[i] & ~other.data_[i]) != 0) return false;
   }
   return true;
 }
@@ -100,6 +119,11 @@ std::vector<size_t> BitVector::UnsetBits() const {
     if (!Get(i)) out.push_back(i);
   }
   return out;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ &&
+         std::equal(data_, data_ + word_count_, other.data_);
 }
 
 BitVector And(const BitVector& a, const BitVector& b) {

@@ -5,6 +5,21 @@
 // i / 64 at position i % 64. Trailing bits of the last word beyond size()
 // are kept zero as an invariant so popcount and equality are O(words)
 // without masking.
+//
+// Word storage comes in two flavors behind one type:
+//   * owned   — the vector holds its own heap block (the default and the
+//     historical behavior);
+//   * span    — the words live in external storage (a BloomSampleTree's
+//     FilterArena block) that must outlive the vector; see SpanOf().
+// Every operation is storage-agnostic and the two flavors are bit- and
+// behavior-identical; only ownership and copy/move mechanics differ:
+//   * copy-construction always produces an owned deep copy;
+//   * copy-assignment into a same-size span writes through the span (the
+//     arena binding is preserved), otherwise the target becomes owned;
+//   * moves transfer the span pointer (arena blocks are address-stable),
+//     leaving the source empty.
+// Word-level kernels (popcount, AND/OR, sparse walks) dispatch through
+// src/util/simd.h, which picks the widest implementation the CPU supports.
 #ifndef BLOOMSAMPLE_UTIL_BITVECTOR_H_
 #define BLOOMSAMPLE_UTIL_BITVECTOR_H_
 
@@ -19,28 +34,72 @@ namespace bloomsample {
 
 class BitVector {
  public:
-  BitVector() : size_(0) {}
+  BitVector() = default;
 
-  /// Creates a vector of `size` bits, all zero.
+  /// Creates an owned vector of `size` bits, all zero.
   explicit BitVector(size_t size)
-      : size_(size), words_((size + 63) / 64, 0) {}
+      : size_(size),
+        word_count_((size + 63) / 64),
+        storage_((size + 63) / 64, 0) {
+    data_ = storage_.data();
+  }
+
+  /// Creates a span vector of `size` bits over `words`, which must hold at
+  /// least (size+63)/64 words, outlive the vector, and already satisfy the
+  /// trailing-bit-zero invariant (arena blocks are handed out zeroed).
+  static BitVector SpanOf(uint64_t* words, size_t size) {
+    BSR_CHECK(words != nullptr || size == 0, "BitVector::SpanOf null words");
+    BitVector v;
+    v.size_ = size;
+    v.word_count_ = (size + 63) / 64;
+    v.data_ = words;
+    assert((size % 64 == 0 || v.word_count_ == 0 ||
+            (words[v.word_count_ - 1] >> (size % 64)) == 0) &&
+           "BitVector::SpanOf block violates the trailing-bit invariant");
+    return v;
+  }
+
+  BitVector(const BitVector& other)
+      : size_(other.size_),
+        word_count_(other.word_count_),
+        storage_(other.data_, other.data_ + other.word_count_) {
+    data_ = storage_.data();
+  }
+
+  BitVector(BitVector&& other) noexcept
+      : size_(other.size_),
+        word_count_(other.word_count_),
+        data_(other.data_),
+        storage_(std::move(other.storage_)) {
+    if (!storage_.empty()) data_ = storage_.data();
+    other.size_ = 0;
+    other.word_count_ = 0;
+    other.data_ = nullptr;
+    other.storage_.clear();
+  }
+
+  BitVector& operator=(const BitVector& other);
+  BitVector& operator=(BitVector&& other) noexcept;
 
   size_t size() const { return size_; }
-  size_t word_count() const { return words_.size(); }
+  size_t word_count() const { return word_count_; }
+
+  /// True when the words live in external (arena) storage.
+  bool span_backed() const { return data_ != nullptr && storage_.empty(); }
 
   bool Get(size_t i) const {
     BSR_CHECK(i < size_, "BitVector::Get out of range");
-    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    return (data_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
   void Set(size_t i) {
     BSR_CHECK(i < size_, "BitVector::Set out of range");
-    words_[i >> 6] |= (1ULL << (i & 63));
+    data_[i >> 6] |= (1ULL << (i & 63));
   }
 
   void Clear(size_t i) {
     BSR_CHECK(i < size_, "BitVector::Clear out of range");
-    words_[i >> 6] &= ~(1ULL << (i & 63));
+    data_[i >> 6] &= ~(1ULL << (i & 63));
   }
 
   // Unchecked fast paths for hot loops whose indices are range-checked (or
@@ -50,23 +109,23 @@ class BitVector {
   // CI runs.
   bool GetUnchecked(size_t i) const {
     assert(i < size_ && "BitVector::GetUnchecked out of range");
-    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    return (data_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
   void SetUnchecked(size_t i) {
     assert(i < size_ && "BitVector::SetUnchecked out of range");
-    words_[i >> 6] |= (1ULL << (i & 63));
+    data_[i >> 6] |= (1ULL << (i & 63));
   }
 
   /// ORs `mask` into word `word_idx` in one store — the register-built
   /// word-mask idiom batched inserters use. Bits beyond size() must not be
   /// set in `mask` (would break the trailing-zero invariant).
   void SetWordMask(size_t word_idx, uint64_t mask) {
-    assert(word_idx < words_.size() && "BitVector::SetWordMask out of range");
-    assert((word_idx + 1 < words_.size() || size_ % 64 == 0 ||
+    assert(word_idx < word_count_ && "BitVector::SetWordMask out of range");
+    assert((word_idx + 1 < word_count_ || size_ % 64 == 0 ||
             (mask >> (size_ % 64)) == 0) &&
            "BitVector::SetWordMask mask exceeds size");
-    words_[word_idx] |= mask;
+    data_[word_idx] |= mask;
   }
 
   /// Sets all bits to zero.
@@ -127,8 +186,8 @@ class BitVector {
   /// Calls fn(i) for every set bit i in ascending order.
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t word = words_[w];
+    for (size_t w = 0; w < word_count_; ++w) {
+      uint64_t word = data_[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(w * 64 + static_cast<size_t>(bit));
@@ -137,25 +196,27 @@ class BitVector {
     }
   }
 
-  bool operator==(const BitVector& other) const {
-    return size_ == other.size_ && words_ == other.words_;
-  }
+  bool operator==(const BitVector& other) const;
   bool operator!=(const BitVector& other) const { return !(*this == other); }
 
-  /// Memory footprint of the payload in bytes (excludes the object header).
-  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  /// Memory footprint of the payload in bytes (excludes the object header;
+  /// span payloads are counted even though the arena owns them).
+  size_t MemoryBytes() const { return word_count_ * sizeof(uint64_t); }
 
-  /// Direct word access for tests and hashing.
-  const std::vector<uint64_t>& words() const { return words_; }
+  /// Direct word access for serialization, kernels, and tests.
+  const uint64_t* word_data() const { return data_; }
 
  private:
-  size_t size_;
-  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  size_t word_count_ = 0;
+  uint64_t* data_ = nullptr;
+  /// Owned-mode backing store; empty in span mode.
+  std::vector<uint64_t> storage_;
 };
 
-/// Returns a & b (element-wise) as a new vector. Sizes must match.
+/// Returns a & b (element-wise) as a new owned vector. Sizes must match.
 BitVector And(const BitVector& a, const BitVector& b);
-/// Returns a | b (element-wise) as a new vector. Sizes must match.
+/// Returns a | b (element-wise) as a new owned vector. Sizes must match.
 BitVector Or(const BitVector& a, const BitVector& b);
 
 }  // namespace bloomsample

@@ -1,0 +1,77 @@
+#include "src/util/filter_arena.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace bloomsample {
+
+namespace {
+// Cache-line alignment: SIMD kernels use unaligned loads, but line-aligned
+// blocks keep every 64-byte prefetch inside the intended block.
+constexpr size_t kArenaAlignment = 64;
+}  // namespace
+
+void FilterArena::AlignedFree::operator()(uint64_t* p) const { std::free(p); }
+
+void FilterArena::Configure(size_t words_per_block, size_t expected_blocks) {
+  BSR_CHECK(words_per_block > 0, "FilterArena: zero-width blocks");
+  BSR_CHECK(chunks_.empty() && allocated_blocks_ == 0,
+            "FilterArena: Configure on a non-empty arena");
+  words_per_block_ = words_per_block;
+  // Pad the stride to whole cache lines so every block starts line-aligned.
+  stride_words_ = (words_per_block + 7) / 8 * 8;
+  if (expected_blocks > 0) AddChunk(expected_blocks);
+}
+
+void FilterArena::Reserve(size_t expected_blocks) {
+  BSR_CHECK(words_per_block_ > 0, "FilterArena: Reserve before Configure");
+  BSR_CHECK(chunks_.empty(), "FilterArena: Reserve on a non-empty arena");
+  if (expected_blocks > 0) AddChunk(expected_blocks);
+}
+
+void FilterArena::AddChunk(size_t capacity_blocks) {
+  // Guard the size arithmetic: a corrupt node count or filter width must
+  // fail loudly here, not wrap to a small allocation that Allocate() then
+  // writes past.
+  const size_t block_bytes = stride_words_ * sizeof(uint64_t);
+  BSR_CHECK(stride_words_ <= SIZE_MAX / sizeof(uint64_t) &&
+                (capacity_blocks == 0 || block_bytes <= SIZE_MAX / capacity_blocks),
+            "FilterArena: chunk size overflows");
+  // Stride is a whole number of lines, so the byte count is already a
+  // multiple of the alignment (which aligned_alloc requires).
+  const size_t bytes = capacity_blocks * block_bytes;
+  uint64_t* words = static_cast<uint64_t*>(std::aligned_alloc(kArenaAlignment, bytes));
+  BSR_CHECK(words != nullptr, "FilterArena: allocation failed");
+  Chunk chunk;
+  chunk.words.reset(words);
+  chunk.capacity_blocks = capacity_blocks;
+  chunks_.push_back(std::move(chunk));
+}
+
+uint64_t* FilterArena::Allocate() {
+  BSR_CHECK(words_per_block_ > 0, "FilterArena: Allocate before Configure");
+  if (chunks_.empty() || chunks_.back().used_blocks == chunks_.back().capacity_blocks) {
+    // Geometric growth keeps the chunk count logarithmic when dynamic
+    // inserts outgrow the builder's exact reservation.
+    const size_t grow = allocated_blocks_ / 2;
+    AddChunk(grow < 16 ? 16 : grow);
+  }
+  Chunk& chunk = chunks_.back();
+  uint64_t* block = chunk.words.get() + chunk.used_blocks * stride_words_;
+  // Zero the whole stride: the padding words stay deterministically zero.
+  std::memset(block, 0, stride_words_ * sizeof(uint64_t));
+  ++chunk.used_blocks;
+  ++allocated_blocks_;
+  return block;
+}
+
+size_t FilterArena::MemoryBytes() const {
+  size_t total = 0;
+  for (const Chunk& chunk : chunks_) {
+    total += chunk.capacity_blocks * stride_words_ * sizeof(uint64_t);
+  }
+  return total;
+}
+
+}  // namespace bloomsample

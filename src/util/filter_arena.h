@@ -1,0 +1,88 @@
+// Contiguous, cache-aligned backing store for the per-node filter payloads
+// of a BloomSampleTree.
+//
+// Every node filter in a tree has the same word count (m/64 rounded up), so
+// the tree allocates one arena and carves it into fixed-size blocks, one
+// per node in allocation order. Descents then walk blocks that sit densely
+// packed in one slab instead of pointer-chasing per-node heap vectors, and
+// child blocks are adjacent for the common built-in-order case — the layout
+// the SIMD kernels and software prefetch in the samplers are tuned for.
+//
+// Blocks come from 64-byte-aligned chunks. The builders reserve the exact
+// node count up front, so bulk-built trees live in a single chunk; dynamic
+// Insert may grow the arena, which appends chunks (geometrically) rather
+// than reallocating — block addresses are stable for the arena's lifetime,
+// which is what lets BitVector spans point into it safely.
+//
+// The arena is move-only: moving transfers the chunks without changing any
+// block address, so spans into it survive a tree move. It is NOT
+// copyable — a copied arena would leave the copy's spans pointing at the
+// original.
+#ifndef BLOOMSAMPLE_UTIL_FILTER_ARENA_H_
+#define BLOOMSAMPLE_UTIL_FILTER_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class FilterArena {
+ public:
+  FilterArena() = default;
+  FilterArena(FilterArena&&) noexcept = default;
+  FilterArena& operator=(FilterArena&&) noexcept = default;
+  FilterArena(const FilterArena&) = delete;
+  FilterArena& operator=(const FilterArena&) = delete;
+
+  /// Fixes the block width and pre-sizes one chunk for `expected_blocks`
+  /// (0 is fine — the first Allocate creates a chunk). Must be called
+  /// before Allocate and only while the arena is empty.
+  void Configure(size_t words_per_block, size_t expected_blocks);
+
+  /// Pre-sizes one chunk for `expected_blocks` so a bulk build of a known
+  /// node count lands in a single contiguous slab. Only valid after
+  /// Configure and before the first chunk exists.
+  void Reserve(size_t expected_blocks);
+
+  /// Returns a zeroed block of words_per_block() words. The address is
+  /// stable for the arena's lifetime (growth appends chunks; it never
+  /// moves existing ones).
+  uint64_t* Allocate();
+
+  size_t words_per_block() const { return words_per_block_; }
+  /// Distance between consecutive blocks in a chunk: words_per_block()
+  /// rounded up to a whole number of cache lines (8 words), so every
+  /// block — not just the chunk base — starts line-aligned and a
+  /// line-granular prefetch never straddles a neighboring block.
+  size_t block_stride_words() const { return stride_words_; }
+  /// Blocks handed out so far.
+  size_t allocated_blocks() const { return allocated_blocks_; }
+  /// True when every allocated block lives in one contiguous slab.
+  bool contiguous() const { return chunks_.size() <= 1; }
+  /// Bytes of backing storage currently reserved (all chunks).
+  size_t MemoryBytes() const;
+
+ private:
+  struct AlignedFree {
+    void operator()(uint64_t* p) const;
+  };
+  struct Chunk {
+    std::unique_ptr<uint64_t[], AlignedFree> words;
+    size_t capacity_blocks = 0;
+    size_t used_blocks = 0;
+  };
+
+  void AddChunk(size_t capacity_blocks);
+
+  size_t words_per_block_ = 0;
+  size_t stride_words_ = 0;
+  size_t allocated_blocks_ = 0;
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_FILTER_ARENA_H_

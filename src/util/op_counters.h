@@ -22,6 +22,12 @@ struct OpCounters {
   uint64_t dense_intersections = 0;
   /// Intersections computed with the sparse O(nnz-words) view kernel.
   uint64_t sparse_intersections = 0;
+  /// Filter-payload bytes the intersection kernels read: 16 bytes per word
+  /// position each intersection touches (8 from each operand) — the full
+  /// word count for the dense kernel, nnz words for the sparse one. The
+  /// memory-traffic complement of the intersection counts: layout and
+  /// kernel wins show up here even when the op counts are unchanged.
+  uint64_t intersection_bytes = 0;
   /// Tree nodes visited (BST algorithms only).
   uint64_t nodes_visited = 0;
   /// Hash-bit inversions performed (HashInvert only).
@@ -39,6 +45,7 @@ struct OpCounters {
     intersections += o.intersections;
     dense_intersections += o.dense_intersections;
     sparse_intersections += o.sparse_intersections;
+    intersection_bytes += o.intersection_bytes;
     nodes_visited += o.nodes_visited;
     inversions += o.inversions;
     null_samples += o.null_samples;
@@ -63,11 +70,16 @@ inline void CountIntersection(OpCounters* c, uint64_t n = 1) {
 }
 /// Attributes `n` intersections to the dense or sparse kernel counter (and
 /// the total), for call sites that dispatch through a query view.
+/// `words_touched` is the word positions one intersection reads (a view's
+/// words_touched()); it feeds the bytes-touched gauge at 16 bytes per
+/// position (one word from each operand).
 inline void CountIntersectionKernel(OpCounters* c, bool sparse,
-                                    uint64_t n = 1) {
+                                    uint64_t n = 1,
+                                    uint64_t words_touched = 0) {
   if (c != nullptr) {
     c->intersections += n;
     (sparse ? c->sparse_intersections : c->dense_intersections) += n;
+    c->intersection_bytes += 16 * n * words_touched;
   }
 }
 inline void CountNodeVisit(OpCounters* c, uint64_t n = 1) {

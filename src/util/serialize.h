@@ -46,8 +46,14 @@ class BinaryWriter {
   }
 
   void WriteU64Vector(const std::vector<uint64_t>& values) {
-    WriteU64(values.size());
-    for (uint64_t v : values) WriteU64(v);
+    WriteU64Array(values.data(), values.size());
+  }
+
+  /// Same wire format as WriteU64Vector for word payloads that live in
+  /// arena-backed spans rather than vectors.
+  void WriteU64Array(const uint64_t* values, size_t count) {
+    WriteU64(count);
+    for (size_t i = 0; i < count; ++i) WriteU64(values[i]);
   }
 
   void WriteTag(const char tag[4]) { out_->write(tag, 4); }

@@ -1,0 +1,495 @@
+#include "src/util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BSR_SIMD_X86 1
+#else
+#define BSR_SIMD_X86 0
+#endif
+
+namespace bloomsample {
+namespace simd {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier.
+// ---------------------------------------------------------------------------
+namespace scalar {
+
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+
+bool AndAllZero(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return false;
+  }
+  return true;
+}
+
+uint64_t Popcount(const uint64_t* a, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i]));
+  }
+  return count;
+}
+
+void OrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void AndInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+uint64_t AndPopcountSparse(const uint64_t* words, const uint32_t* idx,
+                           const uint64_t* val, size_t nnz) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < nnz; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(words[idx[i]] & val[i]));
+  }
+  return count;
+}
+
+bool AndAllZeroSparse(const uint64_t* words, const uint32_t* idx,
+                      const uint64_t* val, size_t nnz) {
+  for (size_t i = 0; i < nnz; ++i) {
+    if ((words[idx[i]] & val[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace scalar
+
+#if BSR_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. No vector popcount instruction exists at this width, so the
+// popcount kernels combine the PSHUFB nibble-lookup method (Muła) with a
+// Harley-Seal carry-save adder over 16-word blocks: three CSAs compress
+// four input vectors into ones/twos/fours partial sums, so only one
+// nibble-lookup popcount runs per 16 words instead of four.
+// ---------------------------------------------------------------------------
+namespace avx2 {
+
+__attribute__((target("avx2"))) static inline __m256i Popcount256(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) static inline uint64_t Reduce256(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+/// Carry-save adder: (h, l) := a + b + c as a two-vector redundant sum.
+__attribute__((target("avx2"))) static inline void Csa256(__m256i* h,
+                                                          __m256i* l,
+                                                          __m256i a, __m256i b,
+                                                          __m256i c) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  *h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  *l = _mm256_xor_si256(u, c);
+}
+
+__attribute__((target("avx2"))) uint64_t AndPopcount(const uint64_t* a,
+                                                     const uint64_t* b,
+                                                     size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i d0 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i d1 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4)));
+    const __m256i d2 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 8)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 8)));
+    const __m256i d3 = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 12)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 12)));
+    __m256i t0;
+    __m256i t1;
+    __m256i fours;
+    Csa256(&t0, &ones, ones, d0, d1);
+    Csa256(&t1, &ones, ones, d2, d3);
+    Csa256(&fours, &twos, twos, t0, t1);
+    total = _mm256_add_epi64(total, Popcount256(fours));
+  }
+  total = _mm256_slli_epi64(total, 2);
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(Popcount256(twos), 1));
+  total = _mm256_add_epi64(total, Popcount256(ones));
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    total = _mm256_add_epi64(total, Popcount256(_mm256_and_si256(va, vb)));
+  }
+  uint64_t count = Reduce256(total);
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) bool AndAllZero(const uint64_t* a,
+                                                const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // VPTEST computes (va & vb) == 0 directly; no materialized AND needed.
+    if (!_mm256_testz_si256(va, vb)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) uint64_t Popcount(const uint64_t* a, size_t n) {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i d1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    const __m256i d2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 8));
+    const __m256i d3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 12));
+    __m256i t0;
+    __m256i t1;
+    __m256i fours;
+    Csa256(&t0, &ones, ones, d0, d1);
+    Csa256(&t1, &ones, ones, d2, d3);
+    Csa256(&fours, &twos, twos, t0, t1);
+    total = _mm256_add_epi64(total, Popcount256(fours));
+  }
+  total = _mm256_slli_epi64(total, 2);
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(Popcount256(twos), 1));
+  total = _mm256_add_epi64(total, Popcount256(ones));
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    total = _mm256_add_epi64(total, Popcount256(va));
+  }
+  uint64_t count = Reduce256(total);
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i]));
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) void OrInto(uint64_t* dst, const uint64_t* src,
+                                            size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void AndInto(uint64_t* dst, const uint64_t* src,
+                                             size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+}  // namespace avx2
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier: VPOPCNTQ counts all eight lanes in one instruction, and
+// masked loads fold the tail into the vector loop.
+// ---------------------------------------------------------------------------
+#define BSR_AVX512_TARGET "avx512f,avx512vpopcntdq"
+namespace avx512 {
+
+__attribute__((target(BSR_AVX512_TARGET))) uint64_t AndPopcount(
+    const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  if (i < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = _mm512_maskz_loadu_epi64(tail, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(tail, b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) bool AndAllZero(const uint64_t* a,
+                                                           const uint64_t* b,
+                                                           size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    if (_mm512_test_epi64_mask(va, vb) != 0) return false;
+  }
+  if (i < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1);
+    const __m512i va = _mm512_maskz_loadu_epi64(tail, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi64(tail, b + i);
+    if (_mm512_test_epi64_mask(va, vb) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) uint64_t Popcount(const uint64_t* a,
+                                                             size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  if (i < n) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (n - i)) - 1);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_maskz_loadu_epi64(tail, a + i)));
+  }
+  return static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) void OrInto(uint64_t* dst,
+                                                       const uint64_t* src,
+                                                       size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vd = _mm512_loadu_si512(dst + i);
+    const __m512i vs = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) void AndInto(uint64_t* dst,
+                                                        const uint64_t* src,
+                                                        size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vd = _mm512_loadu_si512(dst + i);
+    const __m512i vs = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(vd, vs));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) uint64_t AndPopcountSparse(
+    const uint64_t* words, const uint32_t* idx, const uint64_t* val,
+    size_t nnz) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i vi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512i gathered = _mm512_i32gather_epi64(
+        vi, reinterpret_cast<const long long*>(words), 8);
+    const __m512i vv = _mm512_loadu_si512(val + i);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_and_si512(gathered, vv)));
+  }
+  uint64_t count = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < nnz; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(words[idx[i]] & val[i]));
+  }
+  return count;
+}
+
+__attribute__((target(BSR_AVX512_TARGET))) bool AndAllZeroSparse(
+    const uint64_t* words, const uint32_t* idx, const uint64_t* val,
+    size_t nnz) {
+  size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i vi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512i gathered = _mm512_i32gather_epi64(
+        vi, reinterpret_cast<const long long*>(words), 8);
+    const __m512i vv = _mm512_loadu_si512(val + i);
+    if (_mm512_test_epi64_mask(gathered, vv) != 0) return false;
+  }
+  for (; i < nnz; ++i) {
+    if ((words[idx[i]] & val[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace avx512
+#undef BSR_AVX512_TARGET
+
+#endif  // BSR_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch table.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct KernelTable {
+  uint64_t (*and_popcount)(const uint64_t*, const uint64_t*, size_t);
+  bool (*and_all_zero)(const uint64_t*, const uint64_t*, size_t);
+  uint64_t (*popcount)(const uint64_t*, size_t);
+  void (*or_into)(uint64_t*, const uint64_t*, size_t);
+  void (*and_into)(uint64_t*, const uint64_t*, size_t);
+  uint64_t (*and_popcount_sparse)(const uint64_t*, const uint32_t*,
+                                  const uint64_t*, size_t);
+  bool (*and_all_zero_sparse)(const uint64_t*, const uint32_t*,
+                              const uint64_t*, size_t);
+};
+
+constexpr KernelTable kScalarTable = {
+    scalar::AndPopcount,       scalar::AndAllZero, scalar::Popcount,
+    scalar::OrInto,            scalar::AndInto,    scalar::AndPopcountSparse,
+    scalar::AndAllZeroSparse};
+
+#if BSR_SIMD_X86
+// The AVX2 tier keeps the scalar sparse walks: a 4-wide VPGATHERQQ plus
+// the PSHUFB popcount loses to plain scalar loads on every measured
+// microarchitecture (see bench/micro_kernels), while the 8-wide AVX-512
+// gather + VPOPCNTQ wins. Dispatch exists precisely to pick the fastest
+// per-tier kernel, not the widest.
+constexpr KernelTable kAvx2Table = {
+    avx2::AndPopcount,       avx2::AndAllZero, avx2::Popcount,
+    avx2::OrInto,            avx2::AndInto,    scalar::AndPopcountSparse,
+    scalar::AndAllZeroSparse};
+
+constexpr KernelTable kAvx512Table = {
+    avx512::AndPopcount,       avx512::AndAllZero, avx512::Popcount,
+    avx512::OrInto,            avx512::AndInto,    avx512::AndPopcountSparse,
+    avx512::AndAllZeroSparse};
+#endif
+
+const KernelTable* TableFor(Level level) {
+#if BSR_SIMD_X86
+  if (level == Level::kAvx512) return &kAvx512Table;
+  if (level == Level::kAvx2) return &kAvx2Table;
+#endif
+  (void)level;
+  return &kScalarTable;
+}
+
+Level ClampToSupported(Level level) {
+  while (level != Level::kScalar && !LevelSupported(level)) {
+    level = static_cast<Level>(static_cast<int>(level) - 1);
+  }
+  return level;
+}
+
+Level LevelFromEnv() {
+  const char* env = std::getenv("BSR_SIMD");
+  if (env == nullptr || env[0] == '\0') return ClampToSupported(Level::kAvx512);
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0) return ClampToSupported(Level::kAvx2);
+  if (std::strcmp(env, "avx512") == 0) return ClampToSupported(Level::kAvx512);
+  // Unknown value: fall through to auto-detection rather than aborting —
+  // a typo in an env var should not take down a serving process.
+  return ClampToSupported(Level::kAvx512);
+}
+
+// Resolved once before main() (static init is single-threaded); ForceLevel
+// rewrites both in place.
+Level g_active_level = LevelFromEnv();
+const KernelTable* g_table = TableFor(g_active_level);
+
+}  // namespace
+
+Level ActiveLevel() { return g_active_level; }
+
+bool LevelSupported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+#if BSR_SIMD_X86
+    case Level::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Level::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#else
+    case Level::kAvx2:
+    case Level::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level ForceLevel(Level level) {
+  g_active_level = ClampToSupported(level);
+  g_table = TableFor(g_active_level);
+  return g_active_level;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  return g_table->and_popcount(a, b, n);
+}
+
+bool AndAllZero(const uint64_t* a, const uint64_t* b, size_t n) {
+  return g_table->and_all_zero(a, b, n);
+}
+
+uint64_t Popcount(const uint64_t* a, size_t n) {
+  return g_table->popcount(a, n);
+}
+
+void OrInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  g_table->or_into(dst, src, n);
+}
+
+void AndInto(uint64_t* dst, const uint64_t* src, size_t n) {
+  g_table->and_into(dst, src, n);
+}
+
+uint64_t AndPopcountSparse(const uint64_t* words, const uint32_t* idx,
+                           const uint64_t* val, size_t nnz) {
+  return g_table->and_popcount_sparse(words, idx, val, nnz);
+}
+
+bool AndAllZeroSparse(const uint64_t* words, const uint32_t* idx,
+                      const uint64_t* val, size_t nnz) {
+  return g_table->and_all_zero_sparse(words, idx, val, nnz);
+}
+
+}  // namespace simd
+}  // namespace bloomsample

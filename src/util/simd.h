@@ -1,0 +1,103 @@
+// Runtime-dispatched word-level bit kernels.
+//
+// Every hot loop in the library — AND-popcount (the t∧ of the Papapetrou
+// estimator), intersection emptiness, union, and bulk popcount — funnels
+// through the entry points below. Each entry point is a function pointer
+// resolved once at startup to the widest implementation this CPU supports:
+//
+//   tier      requires                      AND-popcount inner loop
+//   scalar    nothing                       64-bit words, __builtin_popcountll
+//   avx2      AVX2                          16 words/iter, PSHUFB LUT +
+//                                           Harley-Seal carry-save adders
+//   avx512    AVX-512F + VPOPCNTDQ          8 words/iter, VPOPCNTQ
+//
+// All tiers are bit-exact: they compute identical results on identical
+// inputs (popcounts and boolean tests have no rounding), so sampling draws
+// and reconstruction output do not depend on the dispatch. The tier can be
+// pinned with the BSR_SIMD environment variable ("scalar", "avx2",
+// "avx512"; read once at startup) or programmatically with ForceLevel()
+// (tests, benchmarks). Requests beyond what the CPU supports clamp down to
+// the widest supported tier at or below the request.
+//
+// The sparse kernels walk a compressed word list (index + value pairs, the
+// BitVector::SparseView layout) against a dense word array; the AVX-512
+// tier gathers 8 scattered words per instruction, which supplies the
+// memory-level parallelism the strided access pattern needs (measured
+// faster than software prefetch, whose address-generation overhead costs
+// more than it hides once the filter is cache-resident).
+#ifndef BLOOMSAMPLE_UTIL_SIMD_H_
+#define BLOOMSAMPLE_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bloomsample {
+namespace simd {
+
+/// Dispatch tiers, widest last. Numeric order is capability order.
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The tier the entry points currently dispatch to.
+Level ActiveLevel();
+
+/// True when this CPU can run `level`'s implementations.
+bool LevelSupported(Level level);
+
+/// Pins dispatch to `level`, clamped to the widest supported tier at or
+/// below it; returns the tier actually activated. Not thread-safe against
+/// concurrent kernel calls — pin before spawning query threads.
+Level ForceLevel(Level level);
+
+/// "scalar" / "avx2" / "avx512".
+const char* LevelName(Level level);
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. `n` counts 64-bit words. All pointers may alias.
+// ---------------------------------------------------------------------------
+
+/// popcount(a & b) over n words.
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// True iff (a & b) is all-zero over n words.
+bool AndAllZero(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// popcount(a) over n words.
+uint64_t Popcount(const uint64_t* a, size_t n);
+
+/// dst |= src over n words.
+void OrInto(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// dst &= src over n words.
+void AndInto(uint64_t* dst, const uint64_t* src, size_t n);
+
+/// popcount(words[idx[i]] & val[i]) summed over i < nnz. idx entries must
+/// be in range for `words` and below 2^31 (the vector tiers gather through
+/// sign-extended 32-bit indices).
+uint64_t AndPopcountSparse(const uint64_t* words, const uint32_t* idx,
+                           const uint64_t* val, size_t nnz);
+
+/// True iff words[idx[i]] & val[i] == 0 for every i < nnz.
+bool AndAllZeroSparse(const uint64_t* words, const uint32_t* idx,
+                      const uint64_t* val, size_t nnz);
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations, always available regardless of the
+// active tier — the ground truth the randomized kernel tests and the
+// micro_kernels bench compare against.
+// ---------------------------------------------------------------------------
+namespace scalar {
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+bool AndAllZero(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t Popcount(const uint64_t* a, size_t n);
+void OrInto(uint64_t* dst, const uint64_t* src, size_t n);
+void AndInto(uint64_t* dst, const uint64_t* src, size_t n);
+uint64_t AndPopcountSparse(const uint64_t* words, const uint32_t* idx,
+                           const uint64_t* val, size_t nnz);
+bool AndAllZeroSparse(const uint64_t* words, const uint32_t* idx,
+                      const uint64_t* val, size_t nnz);
+}  // namespace scalar
+
+}  // namespace simd
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_SIMD_H_

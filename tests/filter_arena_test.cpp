@@ -1,0 +1,236 @@
+// Fence for the arena-backed word storage: FilterArena block semantics
+// (zeroed, address-stable across growth), BitVector span mechanics (copy /
+// assign / move across the owned↔span boundary), the trailing-bit-zero
+// invariant for non-multiple-of-64 sizes under Reset and every copy path,
+// and the BloomSampleTree on top — arena-packed node filters must be
+// behavior- and bit-identical to the historical per-node heap storage,
+// including through serialization and dynamic insert.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/bloom/bloom_filter.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/tree_io.h"
+#include "src/util/bitvector.h"
+#include "src/util/filter_arena.h"
+#include "src/util/rng.h"
+
+namespace bloomsample {
+namespace {
+
+TEST(FilterArenaTest, BlocksAreZeroedAndStableAcrossGrowth) {
+  FilterArena arena;
+  arena.Configure(/*words_per_block=*/3, /*expected_blocks=*/2);
+  std::vector<uint64_t*> blocks;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t* block = arena.Allocate();
+    for (size_t w = 0; w < 3; ++w) {
+      EXPECT_EQ(block[w], 0u);
+      block[w] = 0xA5A5A5A5A5A5A5A5ULL + static_cast<uint64_t>(i);
+    }
+    blocks.push_back(block);
+  }
+  EXPECT_EQ(arena.allocated_blocks(), 100u);
+  EXPECT_FALSE(arena.contiguous());  // grew past the 2-block reservation
+  // Every earlier block kept its address and contents through the growth.
+  for (int i = 0; i < 100; ++i) {
+    for (size_t w = 0; w < 3; ++w) {
+      EXPECT_EQ(blocks[static_cast<size_t>(i)][w],
+                0xA5A5A5A5A5A5A5A5ULL + static_cast<uint64_t>(i));
+    }
+  }
+}
+
+TEST(FilterArenaTest, ExactReservationStaysContiguous) {
+  FilterArena arena;
+  arena.Configure(4, 16);
+  // The stride pads 4-word blocks to a whole cache line (8 words) so every
+  // block, not just the chunk base, starts line-aligned.
+  EXPECT_EQ(arena.block_stride_words(), 8u);
+  uint64_t* first = arena.Allocate();
+  uint64_t* previous = first;
+  for (int i = 1; i < 16; ++i) {
+    uint64_t* block = arena.Allocate();
+    EXPECT_EQ(block, previous + arena.block_stride_words());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block) % 64, 0u);
+    previous = block;
+  }
+  EXPECT_TRUE(arena.contiguous());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(first) % 64, 0u);  // line-aligned
+}
+
+// The regression the span storage demanded: Reset and the copy paths must
+// preserve "trailing bits of the last word are zero" for sizes that do not
+// fill their last word, in both storage flavors.
+TEST(FilterArenaTest, TrailingBitInvariantOnNonWordMultipleSizes) {
+  for (size_t size : {1u, 63u, 65u, 100u, 1000u}) {
+    const size_t words = (size + 63) / 64;
+    FilterArena arena;
+    arena.Configure(words, 4);
+    BitVector span = BitVector::SpanOf(arena.Allocate(), size);
+    BitVector owned(size);
+    for (size_t i = 0; i < size; i += 3) {
+      span.Set(i);
+      owned.Set(i);
+    }
+    EXPECT_EQ(span, owned);
+    EXPECT_EQ(span.Popcount(), owned.Popcount());
+
+    span.Reset();
+    EXPECT_EQ(span.Popcount(), 0u);
+    EXPECT_TRUE(span.None());
+    if (size % 64 != 0) {
+      EXPECT_EQ(span.word_data()[words - 1] >> (size % 64), 0u);
+    }
+
+    // Copy construction from a span yields an equal owned vector.
+    for (size_t i = 1; i < size; i += 7) span.Set(i);
+    BitVector copy = span;
+    EXPECT_FALSE(copy.span_backed());
+    EXPECT_EQ(copy, span);
+
+    // Same-size copy-assignment into a span writes through it (the arena
+    // binding and the trailing zeros survive).
+    const uint64_t* bound_data = span.word_data();
+    span = owned;
+    EXPECT_TRUE(span.span_backed());
+    EXPECT_EQ(span.word_data(), bound_data);
+    EXPECT_EQ(span, owned);
+    if (size % 64 != 0) {
+      EXPECT_EQ(span.word_data()[words - 1] >> (size % 64), 0u);
+    }
+
+    // Size-changing assignment detaches into owned storage.
+    BitVector other(size + 64);
+    other.Set(size + 1);
+    span = other;
+    EXPECT_FALSE(span.span_backed());
+    EXPECT_EQ(span, other);
+
+    // Moving a span transfers the pointer without copying the words.
+    BitVector reattached = BitVector::SpanOf(arena.Allocate(), size);
+    reattached.Set(0);
+    BitVector moved = std::move(reattached);
+    EXPECT_TRUE(moved.span_backed());
+    EXPECT_TRUE(moved.Get(0));
+    EXPECT_EQ(reattached.size(), 0u);  // NOLINT: post-move probe on purpose
+  }
+}
+
+TEST(FilterArenaTest, ArenaBackedFilterMatchesOwnedFilter) {
+  auto family_result =
+      MakeHashFamily(HashFamilyKind::kSimple, 3, 1000, 42, 100000);
+  ASSERT_TRUE(family_result.ok());
+  auto family = family_result.value();
+
+  FilterArena arena;
+  arena.Configure((1000 + 63) / 64, 2);
+  BloomFilter arena_filter(family, &arena);
+  BloomFilter owned_filter(family);
+  EXPECT_TRUE(arena_filter.bits().span_backed());
+  EXPECT_FALSE(owned_filter.bits().span_backed());
+
+  std::vector<uint64_t> keys;
+  for (uint64_t x = 5; x < 5000; x += 11) keys.push_back(x);
+  arena_filter.InsertBatch(keys);
+  owned_filter.InsertBatch(keys);
+  EXPECT_EQ(arena_filter, owned_filter);
+  EXPECT_EQ(arena_filter.SetBitCount(), owned_filter.SetBitCount());
+  for (uint64_t x : keys) EXPECT_TRUE(arena_filter.Contains(x));
+  EXPECT_EQ(arena_filter.AndPopcount(owned_filter),
+            owned_filter.SetBitCount());
+}
+
+// Arena layout end-to-end: complete build packs node filters contiguously,
+// trees survive moves and serialization round-trips, and sampling behaves
+// exactly as on the seed storage (covered against golden draws elsewhere —
+// here: non-multiple-of-64 m plus an in-place round-trip equality).
+TEST(FilterArenaTest, TreeNodeFiltersAreArenaBackedAndSerializeRoundTrips) {
+  TreeConfig config;
+  config.namespace_size = 2000;
+  config.m = 1000;  // 16 words, 24 trailing bits in the last word
+  config.k = 3;
+  config.depth = 4;
+  auto tree_result = BloomSampleTree::BuildComplete(config);
+  ASSERT_TRUE(tree_result.ok());
+  BloomSampleTree tree = std::move(tree_result).value();
+
+  ASSERT_EQ(tree.node_count(), config.CompleteNodeCount());
+  EXPECT_TRUE(tree.ArenaContiguous());
+  const size_t words = (config.m + 63) / 64;
+  for (size_t id = 0; id + 1 < tree.node_count(); ++id) {
+    const BitVector& bits = tree.node(static_cast<int64_t>(id)).filter.bits();
+    EXPECT_TRUE(bits.span_backed());
+    // Allocation order == node id order, densely packed.
+    EXPECT_EQ(bits.word_data() + words,
+              tree.node(static_cast<int64_t>(id) + 1).filter.bits().word_data());
+    // Trailing-bit invariant holds in every node block.
+    EXPECT_EQ(bits.word_data()[words - 1] >> (config.m % 64), 0u);
+  }
+
+  std::stringstream stream;
+  ASSERT_TRUE(SerializeTree(tree, &stream).ok());
+  auto loaded_result = DeserializeTree(&stream);
+  ASSERT_TRUE(loaded_result.ok());
+  const BloomSampleTree loaded = std::move(loaded_result).value();
+  ASSERT_EQ(loaded.node_count(), tree.node_count());
+  for (size_t id = 0; id < tree.node_count(); ++id) {
+    // Filter equality proper needs a shared family object; the payload is
+    // what serialization must preserve bit-for-bit.
+    EXPECT_EQ(loaded.node(static_cast<int64_t>(id)).filter.bits(),
+              tree.node(static_cast<int64_t>(id)).filter.bits());
+  }
+
+  // Draws agree between the original and the reloaded tree (each tree has
+  // its own family object, so each gets its own — identical — query).
+  std::vector<uint64_t> members;
+  for (uint64_t x = 3; x < 2000; x += 17) members.push_back(x);
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  const BloomFilter loaded_query = loaded.MakeQueryFilter(members);
+  EXPECT_EQ(query.bits(), loaded_query.bits());
+  const BstSampler sampler(&tree);
+  const BstSampler loaded_sampler(&loaded);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.Sample(query, &rng_a),
+              loaded_sampler.Sample(loaded_query, &rng_b));
+  }
+}
+
+TEST(FilterArenaTest, DynamicInsertGrowsArenaWithStableFilters) {
+  TreeConfig config;
+  config.namespace_size = 1 << 12;
+  config.m = 500;
+  config.k = 3;
+  config.depth = 6;
+  auto tree_result = BloomSampleTree::BuildPruned(config, {});
+  ASSERT_TRUE(tree_result.ok());
+  BloomSampleTree tree = std::move(tree_result).value();
+  ASSERT_EQ(tree.node_count(), 0u);
+
+  Rng rng(11);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t x = rng.Below(1 << 12);
+    ASSERT_TRUE(tree.Insert(x).ok());
+    inserted.push_back(x);
+  }
+  // Every inserted id is reachable through the root filter and a sampler.
+  for (uint64_t x : inserted) {
+    EXPECT_TRUE(tree.node(tree.root()).filter.Contains(x));
+  }
+  const BstSampler sampler(&tree);
+  const BloomFilter query = tree.MakeQueryFilter({inserted[0]});
+  Rng sample_rng(3);
+  const auto sample = sampler.Sample(query, &sample_rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(tree.node(tree.root()).filter.Contains(*sample));
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -1,0 +1,201 @@
+// Equivalence fence for the runtime-dispatched SIMD kernels: every tier the
+// host CPU supports must agree bit-for-bit with the scalar reference on
+// every input — random word mixes, tail words past the last full vector,
+// all-zero, all-ones, aliased operands, and the sparse gather walks — and
+// forcing the scalar tier must actually take effect, so the fallback stays
+// exercised on wide machines. Ends with an end-to-end determinism check:
+// sampling draws and reconstruction output must be identical under every
+// tier (the kernels are exact, so dispatch can never change a result).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
+#include "src/util/rng.h"
+#include "src/util/simd.h"
+
+namespace bloomsample {
+namespace {
+
+const simd::Level kAllLevels[] = {simd::Level::kScalar, simd::Level::kAvx2,
+                                  simd::Level::kAvx512};
+
+// Word counts straddling every vector width in play: below/at/above the
+// 4-word AVX2 and 8-word AVX-512 strides, plus larger odd tails.
+const size_t kWordCounts[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1023};
+
+std::vector<uint64_t> RandomWords(size_t n, Rng* rng) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) w = rng->Next();
+  return words;
+}
+
+// Restores the startup dispatch level when a test body returns.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::ForceLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+void ExpectDenseKernelsMatchScalar(const std::vector<uint64_t>& a,
+                                   const std::vector<uint64_t>& b) {
+  const size_t n = a.size();
+  EXPECT_EQ(simd::AndPopcount(a.data(), b.data(), n),
+            simd::scalar::AndPopcount(a.data(), b.data(), n));
+  EXPECT_EQ(simd::AndAllZero(a.data(), b.data(), n),
+            simd::scalar::AndAllZero(a.data(), b.data(), n));
+  EXPECT_EQ(simd::Popcount(a.data(), n), simd::scalar::Popcount(a.data(), n));
+
+  std::vector<uint64_t> dispatched_or = a;
+  std::vector<uint64_t> reference_or = a;
+  simd::OrInto(dispatched_or.data(), b.data(), n);
+  simd::scalar::OrInto(reference_or.data(), b.data(), n);
+  EXPECT_EQ(dispatched_or, reference_or);
+
+  std::vector<uint64_t> dispatched_and = a;
+  std::vector<uint64_t> reference_and = a;
+  simd::AndInto(dispatched_and.data(), b.data(), n);
+  simd::scalar::AndInto(reference_and.data(), b.data(), n);
+  EXPECT_EQ(dispatched_and, reference_and);
+}
+
+TEST(SimdKernelTest, ScalarTierAlwaysSupported) {
+  EXPECT_TRUE(simd::LevelSupported(simd::Level::kScalar));
+}
+
+TEST(SimdKernelTest, ForceLevelClampsToSupported) {
+  LevelGuard guard;
+  for (simd::Level level : kAllLevels) {
+    const simd::Level active = simd::ForceLevel(level);
+    EXPECT_EQ(active, simd::ActiveLevel());
+    EXPECT_TRUE(simd::LevelSupported(active));
+    EXPECT_LE(static_cast<int>(active), static_cast<int>(level));
+    if (simd::LevelSupported(level)) EXPECT_EQ(active, level);
+  }
+}
+
+TEST(SimdKernelTest, ForcedScalarDispatchTakesEffect) {
+  LevelGuard guard;
+  EXPECT_EQ(simd::ForceLevel(simd::Level::kScalar), simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  // A quick functional poke through the (now scalar) dispatched pointers.
+  Rng rng(1);
+  const std::vector<uint64_t> a = RandomWords(37, &rng);
+  const std::vector<uint64_t> b = RandomWords(37, &rng);
+  EXPECT_EQ(simd::AndPopcount(a.data(), b.data(), a.size()),
+            simd::scalar::AndPopcount(a.data(), b.data(), a.size()));
+}
+
+TEST(SimdKernelTest, RandomizedDenseEquivalenceAtEveryTier) {
+  LevelGuard guard;
+  for (simd::Level level : kAllLevels) {
+    if (!simd::LevelSupported(level)) continue;
+    ASSERT_EQ(simd::ForceLevel(level), level);
+    Rng rng(20170313 + static_cast<uint64_t>(level));
+    for (size_t n : kWordCounts) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const std::vector<uint64_t> a = RandomWords(n, &rng);
+        const std::vector<uint64_t> b = RandomWords(n, &rng);
+        ExpectDenseKernelsMatchScalar(a, b);
+        // Aliased operands: popcount(a & a) == popcount(a), (a & a) == a.
+        ExpectDenseKernelsMatchScalar(a, a);
+      }
+      const std::vector<uint64_t> zeros(n, 0);
+      const std::vector<uint64_t> ones(n, ~0ULL);
+      ExpectDenseKernelsMatchScalar(zeros, ones);
+      ExpectDenseKernelsMatchScalar(ones, ones);
+      ExpectDenseKernelsMatchScalar(zeros, zeros);
+    }
+  }
+}
+
+TEST(SimdKernelTest, RandomizedSparseEquivalenceAtEveryTier) {
+  LevelGuard guard;
+  for (simd::Level level : kAllLevels) {
+    if (!simd::LevelSupported(level)) continue;
+    ASSERT_EQ(simd::ForceLevel(level), level);
+    Rng rng(7 + static_cast<uint64_t>(level));
+    for (size_t dense_words : {1, 8, 64, 1024}) {
+      for (double keep : {0.0, 0.05, 0.5, 1.0}) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const std::vector<uint64_t> words = RandomWords(dense_words, &rng);
+          std::vector<uint32_t> idx;
+          std::vector<uint64_t> val;
+          for (size_t w = 0; w < dense_words; ++w) {
+            if (rng.NextDouble() < keep) {
+              idx.push_back(static_cast<uint32_t>(w));
+              // Mix of random, all-ones, and disjoint-from-words values so
+              // the all-zero walk exercises both outcomes.
+              const double pick = rng.NextDouble();
+              val.push_back(pick < 0.4 ? rng.Next()
+                                       : (pick < 0.7 ? ~0ULL : ~words[w]));
+            }
+          }
+          EXPECT_EQ(
+              simd::AndPopcountSparse(words.data(), idx.data(), val.data(),
+                                      idx.size()),
+              simd::scalar::AndPopcountSparse(words.data(), idx.data(),
+                                              val.data(), idx.size()));
+          EXPECT_EQ(
+              simd::AndAllZeroSparse(words.data(), idx.data(), val.data(),
+                                     idx.size()),
+              simd::scalar::AndAllZeroSparse(words.data(), idx.data(),
+                                             val.data(), idx.size()));
+        }
+      }
+    }
+  }
+}
+
+// The end-to-end fence: one tree, one query, identical sampling draws and
+// reconstruction output under every supported tier. This is the property
+// that lets BSR_SIMD stay a pure speed knob.
+TEST(SimdKernelTest, QueryResultsIdenticalAcrossTiers) {
+  LevelGuard guard;
+  TreeConfig config;
+  config.namespace_size = 4096;
+  config.m = 1000;  // non-multiple-of-64: tail word in every kernel call
+  config.k = 3;
+  config.depth = 5;
+  config.seed = 99;
+  auto tree_result = BloomSampleTree::BuildComplete(config);
+  ASSERT_TRUE(tree_result.ok());
+  const BloomSampleTree tree = std::move(tree_result).value();
+
+  std::vector<uint64_t> members;
+  for (uint64_t x = 10; x < 4096; x += 37) members.push_back(x);
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  const BstSampler sampler(&tree);
+  const BstReconstructor reconstructor(&tree);
+
+  std::vector<std::vector<uint64_t>> draws_by_tier;
+  std::vector<std::vector<uint64_t>> recon_by_tier;
+  for (simd::Level level : kAllLevels) {
+    if (!simd::LevelSupported(level)) continue;
+    ASSERT_EQ(simd::ForceLevel(level), level);
+    QueryContext ctx(tree, query);
+    Rng rng(12345);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 200; ++i) {
+      const auto sample = sampler.Sample(&ctx, &rng);
+      draws.push_back(sample.has_value() ? *sample : ~0ULL);
+    }
+    draws_by_tier.push_back(std::move(draws));
+    recon_by_tier.push_back(reconstructor.Reconstruct(
+        ctx, nullptr, BstReconstructor::PruningMode::kExact));
+  }
+  ASSERT_GE(draws_by_tier.size(), 1u);
+  for (size_t i = 1; i < draws_by_tier.size(); ++i) {
+    EXPECT_EQ(draws_by_tier[i], draws_by_tier[0]);
+    EXPECT_EQ(recon_by_tier[i], recon_by_tier[0]);
+  }
+}
+
+}  // namespace
+}  // namespace bloomsample

@@ -346,10 +346,11 @@ Status CmdSample(const Flags& flags) {
     std::printf("%llu\n", static_cast<unsigned long long>(sample));
   }
   std::fprintf(stderr,
-               "# %zu samples in %.3f ms (%llu intersections, %llu "
-               "membership queries)\n",
+               "# %zu samples in %.3f ms (%llu intersections reading %.2f "
+               "MB, %llu membership queries)\n",
                samples.size(), ms,
                static_cast<unsigned long long>(counters.intersections),
+               static_cast<double>(counters.intersection_bytes) / 1e6,
                static_cast<unsigned long long>(counters.membership_queries));
   return Status::OK();
 }
@@ -384,10 +385,11 @@ Status CmdReconstruct(const Flags& flags) {
     }
   }
   std::fprintf(stderr,
-               "# reconstructed %zu ids in %.2f ms (%llu intersections, "
-               "%llu membership queries, mode=%s)\n",
+               "# reconstructed %zu ids in %.2f ms (%llu intersections "
+               "reading %.2f MB, %llu membership queries, mode=%s)\n",
                ids.size(), ms,
                static_cast<unsigned long long>(counters.intersections),
+               static_cast<double>(counters.intersection_bytes) / 1e6,
                static_cast<unsigned long long>(counters.membership_queries),
                flags.GetBool("exact") ? "exact" : "thresholded");
   return Status::OK();
