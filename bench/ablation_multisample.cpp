@@ -1,12 +1,18 @@
 // Ablation (Section 5.3, "Sampling multiple items"): r samples via the
-// single-pass multi-path descent vs r independent BSTSample descents.
+// single-pass multi-path descent vs r independent BSTSample descents vs
+// the batched multi-draw engine (SampleBatch: per-draw RNG streams over a
+// fresh caching context per batch).
 //
 // Paper claim: the single pass shares intersections and leaf scans between
 // paths, so it beats r independent runs — increasingly so as r grows past
-// the number of distinct leaves the set occupies.
+// the number of distinct leaves the set occupies. The batch engine keeps
+// that sharing and adds the EstimateCache, so repeated work disappears
+// entirely: its per-batch intersections converge on the number of unique
+// nodes the r paths touch.
 #include "bench/bench_common.h"
 
 #include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
 #include "src/util/timer.h"
 
 int main() {
@@ -15,8 +21,9 @@ int main() {
   const Env env = Env::FromEnv();
   const uint64_t namespace_size = env.full ? 10000000 : 1000000;
   const uint64_t n = 1000;
-  PrintBanner("Ablation: single-pass multi-sampling vs repeated descents, "
-              "M = " + std::to_string(namespace_size) + ", n = 1000, acc 0.9",
+  PrintBanner("Ablation: single-pass multi-sampling vs repeated descents vs "
+              "batched engine, M = " + std::to_string(namespace_size) +
+              ", n = 1000, acc 0.9",
               env);
   const uint64_t repetitions = env.Rounds(/*quick=*/50, /*full=*/500);
 
@@ -29,8 +36,9 @@ int main() {
   const BloomFilter query = bundle.tree->MakeQueryFilter(query_set);
   BstSampler sampler(bundle.tree.get());
 
-  Table table({"r", "multi ms/batch", "repeated ms/batch", "speedup",
-               "multi inter./batch", "repeated inter./batch"});
+  Table table({"r", "multi ms/batch", "repeated ms/batch", "batch ms/batch",
+               "batch speedup", "multi inter./batch", "repeated inter./batch",
+               "batch inter./batch", "batch hits/batch"});
   for (size_t r : {2, 4, 8, 16, 32, 64, 128}) {
     Rng rng_a = root_rng.Fork();
     OpCounters multi_counters;
@@ -53,14 +61,30 @@ int main() {
     const double repeat_ms =
         timer.ElapsedMillis() / static_cast<double>(repetitions);
 
+    // Batched engine: a cold caching context per batch, like a serving
+    // process answering one multi-draw request per query.
+    OpCounters batch_counters;
+    timer.Restart();
+    for (uint64_t rep = 0; rep < repetitions; ++rep) {
+      QueryContext ctx(*bundle.tree, query);
+      (void)sampler.SampleBatch(&ctx, r, env.seed ^ rep, &batch_counters);
+    }
+    const double batch_ms =
+        timer.ElapsedMillis() / static_cast<double>(repetitions);
+
+    const double denom = static_cast<double>(repetitions);
     table.AddRow(
         {std::to_string(r), FormatDouble(multi_ms, 3),
-         FormatDouble(repeat_ms, 3),
-         FormatDouble(multi_ms > 0 ? repeat_ms / multi_ms : 0.0, 2),
+         FormatDouble(repeat_ms, 3), FormatDouble(batch_ms, 3),
+         FormatDouble(batch_ms > 0 ? repeat_ms / batch_ms : 0.0, 2),
          FormatDouble(static_cast<double>(multi_counters.intersections) /
-                          static_cast<double>(repetitions), 1),
+                          denom, 1),
          FormatDouble(static_cast<double>(repeat_counters.intersections) /
-                          static_cast<double>(repetitions), 1)});
+                          denom, 1),
+         FormatDouble(static_cast<double>(batch_counters.intersections) /
+                          denom, 1),
+         FormatDouble(static_cast<double>(
+                          batch_counters.estimate_cache_hits) / denom, 1)});
   }
   table.Print();
   return 0;

@@ -2,25 +2,41 @@
 // BENCH_*.json trajectory tracking can diff runs across PRs.
 //
 // Output: a JSON array on stdout; one record per configuration:
-//   {"bench": "micro_query", "variant": "sample" | "reconstruct",
+//   {"bench": "micro_query",
+//    "variant": "sample" | "sample_warm" | "batch" | "reconstruct" |
+//               "reconstruct_warm",
 //    "kernel": "dense" | "sparse", "m": <filter bits>, "namespace": <M>,
-//    "threads": <n>, "ns_per_sample" | "ns_per_element": <double>,
-//    "dense_intersections": <n>, "sparse_intersections": <n>, ...}
+//    "threads": <n>, "batch_size": <draws per engine call>,
+//    "ns_per_sample" | "ns_per_element": <double>,
+//    "dense_intersections": <n>, "sparse_intersections": <n>,
+//    "estimate_cache_hits": <n>, ...}
 //
 // Variants:
-//   * sample — BstSampler::Sample through a QueryContext pinned to the
-//     dense or the sparse kernel (the tentpole comparison: a sparse query
-//     touches O(nnz) words per node instead of O(m/64)). The "identical"
-//     field records that both kernels drew the same sample sequence.
-//   * reconstruct — BstReconstructor::Reconstruct (kExact) at
-//     query_threads 1 and hardware concurrency, ns per element
-//     reconstructed; "identical" records output equality across thread
-//     counts and with the serial dense-kernel run.
+//   * sample — the serial baseline: BstSampler::Sample through a
+//     NON-caching QueryContext pinned to the dense or the sparse kernel,
+//     so every draw re-pays its full descent (the historical cost and the
+//     denominator of the batch speedup). The "identical" field records
+//     that both kernels drew the same sample sequence.
+//   * sample_warm — the same serial draw loop on one caching context:
+//     the first descent fills the EstimateCache/leaf cache, every later
+//     draw is O(depth) on cached weights. Kernel intersections collapse
+//     to the unique nodes touched; the rest surface as cache hits.
+//   * batch — SampleBatch: all draws in one level-synchronous descent on
+//     counter-based per-draw RNG streams, at query_threads 1 and hardware
+//     concurrency. "identical" records that the batch equals the serial
+//     per-stream reference draw for draw.
+//   * reconstruct — BstReconstructor::Reconstruct (kExact), cold: a fresh
+//     context per repetition, at query_threads 1 and hardware concurrency.
+//     "identical" records output equality across thread counts and with
+//     the serial dense-kernel run.
+//   * reconstruct_warm — repeated Reconstruct on one caching context:
+//     after the first call every node test and leaf scan is a cache hit.
 //
 // BSR_BENCH_FULL=1 raises the round counts; the quick default finishes in
 // well under a minute.
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -45,12 +61,12 @@ struct SampleResult {
 
 SampleResult TimeSampling(const BloomSampleTree& tree,
                           const BloomFilter& query, IntersectKernel kernel,
-                          uint64_t rounds, uint64_t seed) {
+                          uint64_t rounds, uint64_t seed, bool cache) {
   const BstSampler sampler(&tree);
   SampleResult result;
   double best = 1e300;
   for (int rep = 0; rep < kReps; ++rep) {
-    QueryContext ctx(tree, query, kernel);
+    QueryContext ctx(tree, query, kernel, cache);
     Rng rng(seed);  // same seed every rep/kernel: identical descents
     std::vector<uint64_t> draws;
     draws.reserve(rounds);
@@ -71,6 +87,34 @@ SampleResult TimeSampling(const BloomSampleTree& tree,
   return result;
 }
 
+struct BatchResult {
+  double ns_per_sample = 0.0;
+  std::vector<std::optional<uint64_t>> draws;
+  OpCounters counters;
+};
+
+BatchResult TimeBatch(BloomSampleTree& tree, const BloomFilter& query,
+                      uint64_t rounds, uint64_t seed, uint32_t threads) {
+  tree.set_query_threads(threads);
+  const BstSampler sampler(&tree);
+  BatchResult result;
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    QueryContext ctx(tree, query, IntersectKernel::kSparse);  // cold per rep
+    OpCounters counters;
+    Timer timer;
+    auto draws = sampler.SampleBatch(&ctx, rounds, seed, &counters);
+    const double seconds = timer.ElapsedSeconds();
+    if (seconds < best) {
+      best = seconds;
+      result.draws = std::move(draws);
+      result.counters = counters;
+    }
+  }
+  result.ns_per_sample = best * 1e9 / static_cast<double>(rounds);
+  return result;
+}
+
 struct ReconResult {
   double ns_per_element = 0.0;
   size_t elements = 0;
@@ -80,17 +124,32 @@ struct ReconResult {
 
 ReconResult TimeReconstruction(BloomSampleTree& tree,
                                const BloomFilter& query,
-                               IntersectKernel kernel, uint32_t threads) {
+                               IntersectKernel kernel, uint32_t threads,
+                               bool warm) {
   tree.set_query_threads(threads);
   const BstReconstructor reconstructor(&tree);
-  const QueryContext ctx(tree, query, kernel);
+  // Warm rows reuse one context (the amortized serving regime: call 1
+  // fills the caches, later calls are all hits); cold rows rebuild it per
+  // repetition so every rep pays the full per-query cost.
+  QueryContext shared_ctx(tree, query, kernel);
+  if (warm) {
+    (void)reconstructor.Reconstruct(shared_ctx, nullptr,
+                                    BstReconstructor::PruningMode::kExact);
+  }
   ReconResult result;
   double best = 1e300;
   for (int rep = 0; rep < kReps; ++rep) {
     OpCounters counters;
     Timer timer;
-    auto output = reconstructor.Reconstruct(
-        ctx, &counters, BstReconstructor::PruningMode::kExact);
+    std::vector<uint64_t> output;
+    if (warm) {
+      output = reconstructor.Reconstruct(
+          shared_ctx, &counters, BstReconstructor::PruningMode::kExact);
+    } else {
+      QueryContext ctx(tree, query, kernel);
+      output = reconstructor.Reconstruct(
+          ctx, &counters, BstReconstructor::PruningMode::kExact);
+    }
     const double seconds = timer.ElapsedSeconds();
     if (seconds < best) {
       best = seconds;
@@ -105,36 +164,43 @@ ReconResult TimeReconstruction(BloomSampleTree& tree,
   return result;
 }
 
-void PrintSampleRecord(bool first, const char* kernel, uint64_t m,
-                       uint64_t namespace_size, uint64_t rounds,
-                       const SampleResult& r, bool identical) {
+void PrintSampleRecord(bool first, const char* variant, const char* kernel,
+                       uint64_t m, uint64_t namespace_size, uint64_t threads,
+                       uint64_t rounds, uint64_t batch_size, double ns,
+                       const OpCounters& counters, bool identical) {
   std::printf(
-      "%s  {\"bench\": \"micro_query\", \"variant\": \"sample\", "
-      "\"kernel\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
-      ", \"namespace\": %" PRIu64 ", \"threads\": 1, \"rounds\": %" PRIu64
-      ", \"ns_per_sample\": %.1f, \"dense_intersections\": %" PRIu64
-      ", \"sparse_intersections\": %" PRIu64
-      ", \"intersection_bytes\": %" PRIu64 ", \"identical\": %s}",
-      first ? "" : ",\n", kernel, simd::LevelName(simd::ActiveLevel()), m,
-      namespace_size, rounds, r.ns_per_sample,
-      r.counters.dense_intersections, r.counters.sparse_intersections,
-      r.counters.intersection_bytes, identical ? "true" : "false");
-}
-
-void PrintReconRecord(const char* kernel, uint64_t m, uint64_t namespace_size,
-                      uint64_t threads, const ReconResult& r, bool identical) {
-  std::printf(
-      ",\n  {\"bench\": \"micro_query\", \"variant\": \"reconstruct\", "
+      "%s  {\"bench\": \"micro_query\", \"variant\": \"%s\", "
       "\"kernel\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
       ", \"namespace\": %" PRIu64 ", \"threads\": %" PRIu64
-      ", \"elements\": %zu"
+      ", \"rounds\": %" PRIu64 ", \"batch_size\": %" PRIu64
+      ", \"ns_per_sample\": %.1f, \"dense_intersections\": %" PRIu64
+      ", \"sparse_intersections\": %" PRIu64
+      ", \"intersection_bytes\": %" PRIu64
+      ", \"estimate_cache_hits\": %" PRIu64 ", \"identical\": %s}",
+      first ? "" : ",\n", variant, kernel,
+      simd::LevelName(simd::ActiveLevel()), m, namespace_size, threads,
+      rounds, batch_size, ns, counters.dense_intersections,
+      counters.sparse_intersections, counters.intersection_bytes,
+      counters.estimate_cache_hits, identical ? "true" : "false");
+}
+
+void PrintReconRecord(const char* variant, const char* kernel, uint64_t m,
+                      uint64_t namespace_size, uint64_t threads,
+                      const ReconResult& r, bool identical) {
+  std::printf(
+      ",\n  {\"bench\": \"micro_query\", \"variant\": \"%s\", "
+      "\"kernel\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
+      ", \"namespace\": %" PRIu64 ", \"threads\": %" PRIu64
+      ", \"batch_size\": 1, \"elements\": %zu"
       ", \"ns_per_element\": %.1f, \"dense_intersections\": %" PRIu64
       ", \"sparse_intersections\": %" PRIu64
-      ", \"intersection_bytes\": %" PRIu64 ", \"identical\": %s}",
-      kernel, simd::LevelName(simd::ActiveLevel()), m, namespace_size,
-      threads, r.elements, r.ns_per_element,
+      ", \"intersection_bytes\": %" PRIu64
+      ", \"estimate_cache_hits\": %" PRIu64 ", \"identical\": %s}",
+      variant, kernel, simd::LevelName(simd::ActiveLevel()), m,
+      namespace_size, threads, r.elements, r.ns_per_element,
       r.counters.dense_intersections, r.counters.sparse_intersections,
-      r.counters.intersection_bytes, identical ? "true" : "false");
+      r.counters.intersection_bytes, r.counters.estimate_cache_hits,
+      identical ? "true" : "false");
 }
 
 }  // namespace
@@ -145,9 +211,11 @@ int main() {
 
   uint64_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
-  // On a single-core box still drive the parallel traversal with 2 lanes:
-  // the point of the N-thread row is the fan-out path (and its
-  // output-identity check), not just the speedup.
+  // On a single-core box still drive the parallel paths with 2 lanes: the
+  // point of the N-thread rows is the fan-out path (and its
+  // output-identity check), not just the speedup. min_parallel_work stays
+  // at its default, so these rows also record what the workload gate
+  // actually decides on this host.
   const uint64_t parallel_threads = hw > 1 ? hw : 2;
 
   // The paper's sparse-query regime: a 1000-element query filter against
@@ -177,34 +245,79 @@ int main() {
         namespace_size, query_size, /*clustered=*/false, &rng);
     const BloomFilter query = tree.MakeQueryFilter(members);
 
-    const SampleResult dense = TimeSampling(tree, query,
-                                            IntersectKernel::kDense,
-                                            sample_rounds, env.seed);
-    const SampleResult sparse = TimeSampling(tree, query,
-                                             IntersectKernel::kSparse,
-                                             sample_rounds, env.seed);
+    // --- serial sampling: uncached baseline (dense vs sparse kernel) ---
+    const SampleResult dense =
+        TimeSampling(tree, query, IntersectKernel::kDense, sample_rounds,
+                     env.seed, /*cache=*/false);
+    const SampleResult sparse =
+        TimeSampling(tree, query, IntersectKernel::kSparse, sample_rounds,
+                     env.seed, /*cache=*/false);
     const bool sample_identical = dense.draws == sparse.draws;
-    PrintSampleRecord(first, "dense", m, namespace_size, sample_rounds, dense,
+    PrintSampleRecord(first, "sample", "dense", m, namespace_size, 1,
+                      sample_rounds, 1, dense.ns_per_sample, dense.counters,
                       sample_identical);
     first = false;
-    PrintSampleRecord(false, "sparse", m, namespace_size, sample_rounds,
-                      sparse, sample_identical);
+    PrintSampleRecord(false, "sample", "sparse", m, namespace_size, 1,
+                      sample_rounds, 1, sparse.ns_per_sample, sparse.counters,
+                      sample_identical);
 
-    const ReconResult recon_dense =
-        TimeReconstruction(tree, query, IntersectKernel::kDense, 1);
-    const ReconResult recon_serial =
-        TimeReconstruction(tree, query, IntersectKernel::kSparse, 1);
-    const ReconResult recon_parallel =
-        TimeReconstruction(tree, query, IntersectKernel::kSparse,
-                           static_cast<uint32_t>(parallel_threads));
+    // --- serial sampling on a warm (caching) context ---
+    const SampleResult warm =
+        TimeSampling(tree, query, IntersectKernel::kSparse, sample_rounds,
+                     env.seed, /*cache=*/true);
+    PrintSampleRecord(false, "sample_warm", "sparse", m, namespace_size, 1,
+                      sample_rounds, 1, warm.ns_per_sample, warm.counters,
+                      warm.draws == sparse.draws);
+
+    // --- batched multi-draw engine, per-draw RNG streams ---
+    // Serial per-stream reference for the identity field.
+    const BstSampler sampler(&tree);
+    std::vector<std::optional<uint64_t>> stream_reference;
+    {
+      QueryContext ctx(tree, query, IntersectKernel::kSparse);
+      stream_reference.reserve(sample_rounds);
+      for (uint64_t i = 0; i < sample_rounds; ++i) {
+        Rng draw_rng = Rng::ForStream(env.seed, i);
+        stream_reference.push_back(sampler.Sample(&ctx, &draw_rng));
+      }
+    }
+    const BatchResult batch_serial =
+        TimeBatch(tree, query, sample_rounds, env.seed, 1);
+    const BatchResult batch_parallel = TimeBatch(
+        tree, query, sample_rounds, env.seed,
+        static_cast<uint32_t>(parallel_threads));
+    const bool batch_identical = batch_serial.draws == stream_reference &&
+                                 batch_parallel.draws == stream_reference;
+    PrintSampleRecord(false, "batch", "sparse", m, namespace_size, 1,
+                      sample_rounds, sample_rounds,
+                      batch_serial.ns_per_sample, batch_serial.counters,
+                      batch_identical);
+    PrintSampleRecord(false, "batch", "sparse", m, namespace_size,
+                      parallel_threads, sample_rounds, sample_rounds,
+                      batch_parallel.ns_per_sample, batch_parallel.counters,
+                      batch_identical);
+
+    // --- reconstruction: cold per-query cost, then the warm repeat ---
+    const ReconResult recon_dense = TimeReconstruction(
+        tree, query, IntersectKernel::kDense, 1, /*warm=*/false);
+    const ReconResult recon_serial = TimeReconstruction(
+        tree, query, IntersectKernel::kSparse, 1, /*warm=*/false);
+    const ReconResult recon_parallel = TimeReconstruction(
+        tree, query, IntersectKernel::kSparse,
+        static_cast<uint32_t>(parallel_threads), /*warm=*/false);
+    const ReconResult recon_warm = TimeReconstruction(
+        tree, query, IntersectKernel::kSparse, 1, /*warm=*/true);
     const bool recon_identical = recon_dense.output == recon_serial.output &&
-                                 recon_serial.output == recon_parallel.output;
-    PrintReconRecord("dense", m, namespace_size, 1, recon_dense,
-                     recon_identical);
-    PrintReconRecord("sparse", m, namespace_size, 1, recon_serial,
-                     recon_identical);
-    PrintReconRecord("sparse", m, namespace_size, parallel_threads,
-                     recon_parallel, recon_identical);
+                                 recon_serial.output == recon_parallel.output &&
+                                 recon_serial.output == recon_warm.output;
+    PrintReconRecord("reconstruct", "dense", m, namespace_size, 1,
+                     recon_dense, recon_identical);
+    PrintReconRecord("reconstruct", "sparse", m, namespace_size, 1,
+                     recon_serial, recon_identical);
+    PrintReconRecord("reconstruct", "sparse", m, namespace_size,
+                     parallel_threads, recon_parallel, recon_identical);
+    PrintReconRecord("reconstruct_warm", "sparse", m, namespace_size, 1,
+                     recon_warm, recon_identical);
   }
   std::printf("\n]\n");
   return 0;

@@ -232,11 +232,15 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
 }
 
 uint64_t BloomSampleTree::LeafCandidateCount(int64_t id) const {
-  const Node& leaf = node(id);
-  if (!pruned_) return leaf.hi - leaf.lo;
-  const auto begin =
-      std::lower_bound(occupied_.begin(), occupied_.end(), leaf.lo);
-  const auto end = std::lower_bound(begin, occupied_.end(), leaf.hi);
+  // A leaf is just a height-0 subtree; the range arithmetic is shared.
+  return SubtreeCandidateCount(id);
+}
+
+uint64_t BloomSampleTree::SubtreeCandidateCount(int64_t id) const {
+  const Node& n = node(id);
+  if (!pruned_) return n.hi - n.lo;
+  const auto begin = std::lower_bound(occupied_.begin(), occupied_.end(), n.lo);
+  const auto end = std::lower_bound(begin, occupied_.end(), n.hi);
   return static_cast<uint64_t>(end - begin);
 }
 

@@ -89,6 +89,12 @@ class BloomSampleTree {
   void set_query_threads(uint32_t threads) {
     config_.query_threads = threads;
   }
+  /// Adjusts the fan-out workload gate at query time (see
+  /// TreeConfig::min_parallel_work; 0 = always fan out). Same caveats as
+  /// set_query_threads: plain field write, quiesce queries first.
+  void set_min_parallel_work(uint64_t work) {
+    config_.min_parallel_work = work;
+  }
   const std::shared_ptr<const HashFamily>& family_ptr() const {
     return family_;
   }
@@ -107,6 +113,12 @@ class BloomSampleTree {
 
   /// Number of candidate elements a leaf scan at `id` will touch.
   uint64_t LeafCandidateCount(int64_t id) const;
+
+  /// Candidate elements below node `id`: the occupied ids in its range for
+  /// pruned trees, the whole (clipped) range otherwise. An upper bound on
+  /// the membership queries a traversal of the subtree can issue — the
+  /// workload estimate behind the min_parallel_work fan-out gate.
+  uint64_t SubtreeCandidateCount(int64_t id) const;
 
   /// Calls fn(x) for each element the leaf scan at `id` must test: the
   /// occupied ids in the leaf range for pruned trees, the whole range

@@ -1,21 +1,8 @@
 #include "src/core/bst_reconstructor.h"
 
-#include <thread>
-
 #include "src/bloom/cardinality.h"
 
 namespace bloomsample {
-
-namespace {
-
-// Resolves the query_threads knob: 0 = hardware concurrency, else itself.
-size_t ResolveQueryThreads(uint32_t knob) {
-  if (knob != 0) return knob;
-  size_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-}  // namespace
 
 bool BstReconstructor::NodePasses(int64_t id, const QueryContext& ctx,
                                   PruningMode mode,
@@ -25,10 +12,10 @@ bool BstReconstructor::NodePasses(int64_t id, const QueryContext& ctx,
   // Lossless emptiness test (see bst_sampler.cpp): every member of
   // S ∪ S(B) inside this range forces k shared bits, so pruning below k
   // can never drop an element and kExact stays exactly DictionaryAttack.
+  // t∧ comes from the context's EstimateCache — one kernel per (node,
+  // query) across every Reconstruct/Sample call on this context.
   const BloomSampleTree::Node& node = tree_->node(id);
-  CountIntersectionKernel(counters, ctx.view().sparse(), 1,
-                          ctx.view().words_touched());
-  const uint64_t t_and = node.filter.AndPopcount(ctx.view());
+  const uint64_t t_and = ctx.AndPopcount(id, counters);
   if (t_and < node.filter.k()) return false;
   if (mode == PruningMode::kThresholded) {
     const double threshold = tree_->config().intersection_threshold;
@@ -46,15 +33,25 @@ void BstReconstructor::TraverseSubtree(int64_t id, const QueryContext& ctx,
                                        PruningMode mode, OpCounters* counters,
                                        std::vector<uint64_t>* out) const {
   if (tree_->IsLeaf(id)) {
-    tree_->ScanLeafCandidates(id, ctx.query(), counters, out);
+    if (ctx.caching()) {
+      // Scanned once per context lifetime; repeat traversals append the
+      // recorded positives with zero membership queries.
+      const std::vector<uint64_t>& positives = ctx.LeafPositives(id, counters);
+      out->insert(out->end(), positives.begin(), positives.end());
+    } else {
+      tree_->ScanLeafCandidates(id, ctx.query(), counters, out);
+    }
     return;
   }
   // Left before right keeps the output globally ascending (child ranges
   // are disjoint and ordered). Prefetch both children's filter blocks up
-  // front so the right child's words travel while the left subtree runs.
+  // front so the right child's words travel while the left subtree runs —
+  // skipped when both tests will be served from the cache.
   const BloomSampleTree::Node& node = tree_->node(id);
-  tree_->PrefetchFilter(node.left, ctx.view());
-  tree_->PrefetchFilter(node.right, ctx.view());
+  if (!ctx.EstimateCached(node.left) || !ctx.EstimateCached(node.right)) {
+    tree_->PrefetchFilter(node.left, ctx.view());
+    tree_->PrefetchFilter(node.right, ctx.view());
+  }
   ReconstructNode(node.left, ctx, mode, counters, out);
   ReconstructNode(node.right, ctx, mode, counters, out);
 }
@@ -67,18 +64,6 @@ void BstReconstructor::ReconstructNode(int64_t id, const QueryContext& ctx,
   TraverseSubtree(id, ctx, mode, counters, out);
 }
 
-std::shared_ptr<ThreadPool> BstReconstructor::AcquirePool(
-    size_t threads) const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pool_ == nullptr || pool_->thread_count() != threads) {
-    // Concurrent callers holding the old pool keep it alive through their
-    // shared_ptr; ThreadPool::ParallelFor is itself safe for concurrent
-    // callers on one pool.
-    pool_ = std::make_shared<ThreadPool>(threads);
-  }
-  return pool_;
-}
-
 std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
                                                     OpCounters* counters,
                                                     PruningMode mode) const {
@@ -88,7 +73,7 @@ std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
     return out;
   }
 
-  const size_t threads = ResolveQueryThreads(tree_->config().query_threads);
+  const size_t threads = ResolveThreadCount(tree_->config().query_threads);
 
   // Phase 1 (serial): expand the top of the tree into a frontier of
   // surviving subtree roots, in left-to-right dyadic order. The expansion
@@ -133,10 +118,29 @@ std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
     }
   }
 
+  // Fan-out gate: the pool only pays for itself when the workload below
+  // the frontier is real. The candidate count bounds the membership
+  // queries the subtree scans can issue — the traversal's dominant cost —
+  // so it is the work unit min_parallel_work is denominated in. A
+  // single-hardware-thread host never fans out (the lanes would time-slice
+  // one core); min_parallel_work = 0 forces fan-out for tests.
+  bool fan_out = threads > 1 && frontier.size() > 1;
+  if (fan_out && tree_->config().min_parallel_work > 0) {
+    const size_t hw = ResolveThreadCount(0);
+    if (hw <= 1) {
+      fan_out = false;
+    } else {
+      uint64_t work = 0;
+      for (int64_t id : frontier) work += tree_->SubtreeCandidateCount(id);
+      const size_t amortizing = threads < hw ? threads : hw;
+      fan_out = work >= tree_->config().min_parallel_work * amortizing;
+    }
+  }
+
   // Phase 2: traverse the disjoint frontier subtrees — in parallel when
   // the fan-out is worth it — and concatenate in frontier order, which is
   // ascending-range order.
-  if (threads <= 1 || frontier.size() <= 1) {
+  if (!fan_out) {
     for (int64_t id : frontier) {
       TraverseSubtree(id, ctx, mode, counters, &out);
     }
@@ -146,7 +150,7 @@ std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
   std::vector<std::vector<uint64_t>> parts(frontier.size());
   std::vector<OpCounters> part_counters(
       counters != nullptr ? frontier.size() : 0);
-  AcquirePool(threads)->ParallelFor(
+  pool_.Acquire(threads)->ParallelFor(
       0, frontier.size(), /*grain=*/1,
       [&](uint64_t lo, uint64_t hi) {
         for (uint64_t i = lo; i < hi; ++i) {
@@ -170,7 +174,10 @@ std::vector<uint64_t> BstReconstructor::Reconstruct(const QueryContext& ctx,
 std::vector<uint64_t> BstReconstructor::Reconstruct(const BloomFilter& query,
                                                     OpCounters* counters,
                                                     PruningMode mode) const {
-  QueryContext ctx(*tree_, query);
+  // One traversal tests every node at most once, so a throwaway cache
+  // could never hit — skip its allocation.
+  QueryContext ctx(*tree_, query, IntersectKernel::kAuto,
+                   /*cache_estimates=*/false);
   return Reconstruct(ctx, counters, mode);
 }
 

@@ -11,20 +11,27 @@
 // Section 5.6 caveat.
 //
 // Execution model: node tests run through the query's BloomQueryView
-// (sparse AND-popcount for sparse queries), and the traversal fans out
-// across TreeConfig::query_threads (0 = hardware concurrency, 1 = serial).
-// The top of the tree is expanded serially into a frontier of surviving
-// subtree roots; once the frontier is wide enough, the disjoint subtrees
-// are traversed in parallel and their outputs concatenated in frontier
-// order — which is left-to-right dyadic order, so the merged result is
-// ascending and *identical for every thread count* (node tests depend only
-// on node + query bits, never on scheduling).
+// (sparse AND-popcount for sparse queries) and the QueryContext's
+// EstimateCache — the same per-(node, query) t∧ memo BstSampler fills, so
+// a context warmed by either algorithm serves the other, and a repeated
+// Reconstruct on one context performs zero intersection kernels and zero
+// membership queries (cache hits are surfaced in OpCounters).
+//
+// The traversal fans out across TreeConfig::query_threads (0 = hardware
+// concurrency, 1 = serial): the top of the tree is expanded serially into
+// a frontier of surviving subtree roots; when the frontier is wide enough
+// AND the candidate workload below it clears the min_parallel_work gate
+// (per amortizing lane; fan-out is declined outright on single-hardware-
+// thread hosts, where extra lanes are pure scheduling overhead), the
+// disjoint subtrees are traversed in parallel and their outputs
+// concatenated in frontier order — which is left-to-right dyadic order, so
+// the merged result is ascending and *identical for every thread count and
+// gate setting* (node tests depend only on node + query bits, never on
+// scheduling).
 #ifndef BLOOMSAMPLE_CORE_BST_RECONSTRUCTOR_H_
 #define BLOOMSAMPLE_CORE_BST_RECONSTRUCTOR_H_
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/bloom/bloom_filter.h"
@@ -50,25 +57,12 @@ class BstReconstructor {
 
   /// The tree must outlive the reconstructor. Reconstruct is safe to call
   /// concurrently on one shared instance (the lazily-created thread pool
-  /// is acquired under a mutex and shared via shared_ptr; all per-call
-  /// state is local) — provided the tree's query-time knobs
-  /// (set_intersection_threshold, set_query_threads) are not being
-  /// mutated at the same time.
+  /// is handled by LazyThreadPool; all per-call state is local) —
+  /// provided the tree's query-time knobs (set_intersection_threshold,
+  /// set_query_threads, set_min_parallel_work) are not being mutated at
+  /// the same time.
   explicit BstReconstructor(const BloomSampleTree* tree) : tree_(tree) {
     BSR_CHECK(tree != nullptr, "BstReconstructor needs a tree");
-  }
-
-  // The pool is a lazily-rebuilt cache guarded by a (non-movable) mutex;
-  // copies and moves carry only the tree binding and start poolless.
-  BstReconstructor(const BstReconstructor& other) : tree_(other.tree_) {}
-  BstReconstructor(BstReconstructor&& other) noexcept : tree_(other.tree_) {}
-  BstReconstructor& operator=(const BstReconstructor& other) {
-    tree_ = other.tree_;
-    return *this;
-  }
-  BstReconstructor& operator=(BstReconstructor&& other) noexcept {
-    tree_ = other.tree_;
-    return *this;
   }
 
   /// Returns S ∪ S(B), ascending. The query filter must share the tree's
@@ -86,6 +80,8 @@ class BstReconstructor {
       PruningMode mode = PruningMode::kThresholded) const;
 
   /// Reusable-context flavor: `ctx` must have been built for this tree.
+  /// Reusing one (caching) context across calls — or across this and
+  /// BstSampler — is what amortizes the per-node kernels away.
   std::vector<uint64_t> Reconstruct(
       const QueryContext& ctx, OpCounters* counters = nullptr,
       PruningMode mode = PruningMode::kThresholded) const;
@@ -93,8 +89,8 @@ class BstReconstructor {
   const BloomSampleTree& tree() const { return *tree_; }
 
  private:
-  /// Tests one node (visit + intersection accounting): true when its
-  /// subtree survives pruning.
+  /// Tests one node (visit + intersection accounting, through the
+  /// context's EstimateCache): true when its subtree survives pruning.
   bool NodePasses(int64_t id, const QueryContext& ctx, PruningMode mode,
                   OpCounters* counters) const;
 
@@ -107,14 +103,8 @@ class BstReconstructor {
   void ReconstructNode(int64_t id, const QueryContext& ctx, PruningMode mode,
                        OpCounters* counters, std::vector<uint64_t>* out) const;
 
-  /// Returns a pool with `threads` lanes, creating it lazily. Thread-safe;
-  /// a caller that raced a knob change keeps its own (still valid) pool
-  /// alive through the returned shared_ptr.
-  std::shared_ptr<ThreadPool> AcquirePool(size_t threads) const;
-
   const BloomSampleTree* tree_;
-  mutable std::mutex pool_mu_;
-  mutable std::shared_ptr<ThreadPool> pool_;
+  LazyThreadPool pool_;
 };
 
 }  // namespace bloomsample

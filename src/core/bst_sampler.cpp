@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "src/bloom/cardinality.h"
-#include "src/sampling/reservoir.h"
 
 namespace bloomsample {
 
@@ -11,12 +10,10 @@ double BstSampler::ChildEstimate(int64_t child, const QueryContext& ctx,
                                  OpCounters* counters) const {
   if (child == BloomSampleTree::kNoNode) return 0.0;
   const BloomSampleTree::Node& node = tree_->node(child);
-  CountIntersectionKernel(counters, ctx.view().sparse(), 1,
-                          ctx.view().words_touched());
   // Node t1 comes from the builder-maintained cache, query t2 from the
-  // view; the AND-popcount below is the only per-node word work, and it
-  // touches just the query's nonzero words on the sparse path.
-  const uint64_t t_and = node.filter.AndPopcount(ctx.view());
+  // view, t∧ from the context's EstimateCache — against a warm context
+  // this whole function touches no filter words at all.
+  const uint64_t t_and = ctx.AndPopcount(child, counters);
 
   // Lossless emptiness test: any element of S ∪ S(B) inside this node's
   // range has all k of its bits set in BOTH filters, so a subtree that can
@@ -31,7 +28,8 @@ double BstSampler::ChildEstimate(int64_t child, const QueryContext& ctx,
       node.set_bits, ctx.query_bits(), t_and, node.filter.m(),
       node.filter.k());
 
-  // Opt-in Section 5.6 thresholding (lossy, off by default).
+  // Opt-in Section 5.6 thresholding (lossy, off by default). Applied after
+  // the cache, so the memoized t∧ stays valid across threshold changes.
   const double threshold = tree_->config().intersection_threshold;
   if (threshold > 0.0 && estimate < threshold) return 0.0;
 
@@ -41,47 +39,55 @@ double BstSampler::ChildEstimate(int64_t child, const QueryContext& ctx,
   return estimate > 0.5 ? estimate : 0.5;
 }
 
-std::optional<uint64_t> BstSampler::SampleNode(int64_t id, QueryContext* ctx,
-                                               Rng* rng,
-                                               OpCounters* counters) const {
-  CountNodeVisit(counters);
-  if (tree_->IsLeaf(id)) {
-    std::vector<uint64_t>& picked = ctx->picked_;
-    picked.clear();
-    SampleLeaf(id, 1, ctx, rng, /*with_replacement=*/false, counters, &picked);
-    if (picked.empty()) return std::nullopt;
-    return picked.front();
-  }
-
-  const BloomSampleTree::Node& node = tree_->node(id);
-  // Start both children's filter blocks toward cache before the first
-  // estimate reads either — the right child's words load while the left
-  // child's AND-popcount runs.
-  tree_->PrefetchFilter(node.left, ctx->view());
-  tree_->PrefetchFilter(node.right, ctx->view());
-  const double left_est = ChildEstimate(node.left, *ctx, counters);
-  const double right_est = ChildEstimate(node.right, *ctx, counters);
-  if (left_est <= 0.0 && right_est <= 0.0) {
-    // Both intersections (estimated) empty: we got here on a false path.
-    return std::nullopt;
-  }
-  if (left_est <= 0.0) {
-    return SampleNode(node.right, ctx, rng, counters);
-  }
-  if (right_est <= 0.0) {
-    return SampleNode(node.left, ctx, rng, counters);
-  }
-
-  const bool go_left =
-      rng->NextDouble() < LeftProbability(left_est, right_est);
-  const int64_t first = go_left ? node.left : node.right;
-  const int64_t second = go_left ? node.right : node.left;
-  auto sample = SampleNode(first, ctx, rng, counters);
-  if (!sample.has_value()) {
+std::optional<uint64_t> BstSampler::DescendFrom(int64_t id, QueryContext* ctx,
+                                                Rng* rng,
+                                                std::vector<int64_t>* alts,
+                                                OpCounters* counters) const {
+  for (;;) {
+    CountNodeVisit(counters);
+    if (tree_->IsLeaf(id)) {
+      const std::vector<uint64_t>& positives = ctx->LeafPositives(id, counters);
+      if (!positives.empty()) {
+        // A single-positive leaf consumes no randomness (there is nothing
+        // to choose), matching the r=1 without-replacement leaf pick.
+        if (positives.size() == 1) return positives.front();
+        return positives[static_cast<size_t>(rng->Below(positives.size()))];
+      }
+      // Fall through to backtracking: this leaf was a false-set-overlap.
+    } else {
+      const BloomSampleTree::Node& node = tree_->node(id);
+      // Start both children's filter blocks toward cache before the first
+      // estimate reads either — unless both estimates are already
+      // memoized, in which case no filter word will be read at all.
+      if (!ctx->EstimateCached(node.left) ||
+          !ctx->EstimateCached(node.right)) {
+        tree_->PrefetchFilter(node.left, ctx->view());
+        tree_->PrefetchFilter(node.right, ctx->view());
+      }
+      const double left_est = ChildEstimate(node.left, *ctx, counters);
+      const double right_est = ChildEstimate(node.right, *ctx, counters);
+      if (left_est > 0.0 && right_est > 0.0) {
+        const bool go_left =
+            rng->NextDouble() < LeftProbability(left_est, right_est);
+        alts->push_back(go_left ? node.right : node.left);
+        id = go_left ? node.left : node.right;
+        continue;
+      }
+      if (left_est > 0.0) {
+        id = node.left;
+        continue;
+      }
+      if (right_est > 0.0) {
+        id = node.right;
+        continue;
+      }
+      // Both intersections (estimated) empty: we got here on a false path.
+    }
+    if (alts->empty()) return std::nullopt;
     CountBacktrack(counters);
-    sample = SampleNode(second, ctx, rng, counters);
+    id = alts->back();
+    alts->pop_back();
   }
-  return sample;
 }
 
 std::optional<uint64_t> BstSampler::Sample(QueryContext* ctx, Rng* rng,
@@ -92,14 +98,19 @@ std::optional<uint64_t> BstSampler::Sample(QueryContext* ctx, Rng* rng,
     CountNullSample(counters);
     return std::nullopt;
   }
-  const auto sample = SampleNode(tree_->root(), ctx, rng, counters);
+  std::vector<int64_t>& alts = ctx->alts_;
+  alts.clear();
+  const auto sample = DescendFrom(tree_->root(), ctx, rng, &alts, counters);
   if (!sample.has_value()) CountNullSample(counters);
   return sample;
 }
 
 std::optional<uint64_t> BstSampler::Sample(const BloomFilter& query, Rng* rng,
                                            OpCounters* counters) const {
-  QueryContext ctx(*tree_, query);
+  // A single descent touches every node at most once, so a throwaway
+  // cache could never hit — skip its allocation.
+  QueryContext ctx(*tree_, query, IntersectKernel::kAuto,
+                   /*cache_estimates=*/false);
   return Sample(&ctx, rng, counters);
 }
 
@@ -107,13 +118,9 @@ void BstSampler::SampleLeaf(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
                             bool with_replacement, OpCounters* counters,
                             std::vector<uint64_t>* out) const {
   // One scan of the leaf's candidates serves all r paths that landed here
-  // (the "single pass" economy of Section 5.3), through the tree's shared
-  // batched membership pipeline. The positives buffer lives in the
-  // context, so repeated descents reuse its capacity instead of
-  // allocating per leaf.
-  std::vector<uint64_t>& positives = ctx->positives_;
-  positives.clear();
-  tree_->ScanLeafCandidates(id, ctx->query(), counters, &positives);
+  // (the "single pass" economy of Section 5.3) — and, through the
+  // context's leaf cache, every later descent that lands here too.
+  const std::vector<uint64_t>& positives = ctx->LeafPositives(id, counters);
   if (positives.empty()) return;
 
   if (with_replacement) {
@@ -127,11 +134,14 @@ void BstSampler::SampleLeaf(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
     out->insert(out->end(), positives.begin(), positives.end());
     return;
   }
-  // Partial Fisher-Yates for the first r slots.
+  // Partial Fisher-Yates over a scratch copy (the cached positives are
+  // shared between draws and must stay ascending).
+  std::vector<uint64_t>& perm = ctx->scratch_;
+  perm.assign(positives.begin(), positives.end());
   for (size_t i = 0; i < r; ++i) {
-    const size_t j = i + static_cast<size_t>(rng->Below(positives.size() - i));
-    std::swap(positives[i], positives[j]);
-    out->push_back(positives[i]);
+    const size_t j = i + static_cast<size_t>(rng->Below(perm.size() - i));
+    std::swap(perm[i], perm[j]);
+    out->push_back(perm[i]);
   }
 }
 
@@ -147,8 +157,10 @@ void BstSampler::SampleManyNode(int64_t id, size_t r, QueryContext* ctx,
   }
 
   const BloomSampleTree::Node& node = tree_->node(id);
-  tree_->PrefetchFilter(node.left, ctx->view());
-  tree_->PrefetchFilter(node.right, ctx->view());
+  if (!ctx->EstimateCached(node.left) || !ctx->EstimateCached(node.right)) {
+    tree_->PrefetchFilter(node.left, ctx->view());
+    tree_->PrefetchFilter(node.right, ctx->view());
+  }
   const double left_est = ChildEstimate(node.left, *ctx, counters);
   const double right_est = ChildEstimate(node.right, *ctx, counters);
   if (left_est <= 0.0 && right_est <= 0.0) return;
@@ -223,6 +235,165 @@ std::vector<uint64_t> BstSampler::SampleMany(const BloomFilter& query,
                                              OpCounters* counters) const {
   QueryContext ctx(*tree_, query);
   return SampleMany(&ctx, r, rng, with_replacement, counters);
+}
+
+void BstSampler::FinishFailedDraw(BatchDraw* draw, QueryContext* ctx,
+                                  OpCounters* counters,
+                                  std::vector<std::optional<uint64_t>>* out)
+    const {
+  std::optional<uint64_t> result;
+  if (!draw->alts.empty()) {
+    CountBacktrack(counters);
+    const int64_t resume = draw->alts.back();
+    draw->alts.pop_back();
+    result = DescendFrom(resume, ctx, &draw->rng, &draw->alts, counters);
+  }
+  if (!result.has_value()) CountNullSample(counters);
+  (*out)[draw->index] = result;
+}
+
+void BstSampler::BatchDescend(int64_t id, std::vector<BatchDraw> draws,
+                              QueryContext* ctx, OpCounters* counters,
+                              std::vector<std::optional<uint64_t>>* out) const {
+  // Every pending draw logically visits this node, exactly as its serial
+  // descent would.
+  CountNodeVisit(counters, draws.size());
+  if (tree_->IsLeaf(id)) {
+    const std::vector<uint64_t>& positives = ctx->LeafPositives(id, counters);
+    if (positives.empty()) {
+      // The reference to a non-caching context's scratch is dead once the
+      // failure path scans another leaf — but it is only read when
+      // non-empty, and failures only happen on the empty branch.
+      for (BatchDraw& draw : draws) {
+        FinishFailedDraw(&draw, ctx, counters, out);
+      }
+      return;
+    }
+    for (BatchDraw& draw : draws) {
+      (*out)[draw.index] =
+          positives.size() == 1
+              ? positives.front()
+              : positives[static_cast<size_t>(
+                    draw.rng.Below(positives.size()))];
+    }
+    return;
+  }
+
+  const BloomSampleTree::Node& node = tree_->node(id);
+  if (!ctx->EstimateCached(node.left) || !ctx->EstimateCached(node.right)) {
+    tree_->PrefetchFilter(node.left, ctx->view());
+    tree_->PrefetchFilter(node.right, ctx->view());
+  }
+  // One estimate per node per batch — the level-synchronous economy; the
+  // context's cache extends it to one per node per *context*.
+  const double left_est = ChildEstimate(node.left, *ctx, counters);
+  const double right_est = ChildEstimate(node.right, *ctx, counters);
+  if (left_est <= 0.0 && right_est <= 0.0) {
+    for (BatchDraw& draw : draws) {
+      FinishFailedDraw(&draw, ctx, counters, out);
+    }
+    return;
+  }
+  if (right_est <= 0.0) {
+    BatchDescend(node.left, std::move(draws), ctx, counters, out);
+    return;
+  }
+  if (left_est <= 0.0) {
+    BatchDescend(node.right, std::move(draws), ctx, counters, out);
+    return;
+  }
+
+  // Both viable: each draw flips its own biased coin (its private stream,
+  // so the split is the multinomial the serial draws would realize) and
+  // remembers the sibling for backtracking.
+  const double p = LeftProbability(left_est, right_est);
+  std::vector<BatchDraw> left_draws;
+  std::vector<BatchDraw> right_draws;
+  left_draws.reserve(draws.size());
+  right_draws.reserve(draws.size());
+  for (BatchDraw& draw : draws) {
+    const bool go_left = draw.rng.NextDouble() < p;
+    draw.alts.push_back(go_left ? node.right : node.left);
+    (go_left ? left_draws : right_draws).push_back(std::move(draw));
+  }
+  draws.clear();
+  if (!left_draws.empty()) {
+    BatchDescend(node.left, std::move(left_draws), ctx, counters, out);
+  }
+  if (!right_draws.empty()) {
+    BatchDescend(node.right, std::move(right_draws), ctx, counters, out);
+  }
+}
+
+std::vector<std::optional<uint64_t>> BstSampler::SampleBatch(
+    QueryContext* ctx, size_t r, uint64_t seed, OpCounters* counters) const {
+  BSR_CHECK(ctx != nullptr, "SampleBatch: null query context");
+  BSR_CHECK(&ctx->tree() == tree_, "query context built for a different tree");
+  BSR_CHECK(r < (1ULL << 32), "SampleBatch: batch size must fit in 32 bits");
+  std::vector<std::optional<uint64_t>> out(r);
+  if (tree_->root() == BloomSampleTree::kNoNode || ctx->query_bits() == 0 ||
+      r == 0) {
+    CountNullSample(counters, r);
+    return out;
+  }
+
+  const TreeConfig& config = tree_->config();
+  size_t lanes = ResolveThreadCount(config.query_threads);
+  if (lanes > r) lanes = r;
+  // The shared caches are the only thread-safe state; without them the
+  // grouped descent leans on the context's scratch and must stay serial.
+  if (lanes > 1 && !ctx->caching()) lanes = 1;
+  if (lanes > 1 && config.min_parallel_work > 0) {
+    // Work model: a warm draw costs ~depth+1 descent steps. Engage the
+    // pool only when every amortizing lane gets min_parallel_work of it —
+    // and never on a single-hardware-thread host, where extra lanes are
+    // pure scheduling overhead.
+    const size_t hw = ResolveThreadCount(0);
+    const uint64_t steps =
+        static_cast<uint64_t>(r) * (static_cast<uint64_t>(config.depth) + 1);
+    const size_t amortizing = lanes < hw ? lanes : hw;
+    if (hw <= 1 || steps < config.min_parallel_work * amortizing) lanes = 1;
+  }
+
+  const auto make_draws = [&](uint64_t lo, uint64_t hi) {
+    std::vector<BatchDraw> draws;
+    draws.reserve(static_cast<size_t>(hi - lo));
+    for (uint64_t i = lo; i < hi; ++i) {
+      draws.push_back(
+          BatchDraw{static_cast<uint32_t>(i), Rng::ForStream(seed, i), {}});
+    }
+    return draws;
+  };
+
+  if (lanes <= 1) {
+    BatchDescend(tree_->root(), make_draws(0, r), ctx, counters, &out);
+    return out;
+  }
+
+  // Contiguous draw chunks across the pool: each chunk writes disjoint
+  // output slots and its own counters; the shared context caches make the
+  // cross-chunk work overlap free instead of redundant.
+  const uint64_t grain = (r + lanes - 1) / lanes;
+  const uint64_t chunks = (r + grain - 1) / grain;
+  std::vector<OpCounters> chunk_counters(
+      counters != nullptr ? static_cast<size_t>(chunks) : 0);
+  pool_.Acquire(lanes)->ParallelFor(
+      0, r, grain, [&](uint64_t lo, uint64_t hi) {
+        OpCounters* chunk =
+            counters != nullptr
+                ? &chunk_counters[static_cast<size_t>(lo / grain)]
+                : nullptr;
+        BatchDescend(tree_->root(), make_draws(lo, hi), ctx, chunk, &out);
+      });
+  for (const OpCounters& chunk : chunk_counters) *counters += chunk;
+  return out;
+}
+
+std::vector<std::optional<uint64_t>> BstSampler::SampleBatch(
+    const BloomFilter& query, size_t r, uint64_t seed,
+    OpCounters* counters) const {
+  QueryContext ctx(*tree_, query);
+  return SampleBatch(&ctx, r, seed, counters);
 }
 
 }  // namespace bloomsample

@@ -4,26 +4,39 @@
 // Descent rules at an internal node:
 //   * estimate |left ∩ b| and |right ∩ b| with the Papapetrou estimator,
 //     treating estimates below the configured threshold as empty (Sec 5.6);
-//   * both empty  → this path was a false-set-overlap, return NULL;
+//   * both empty  → this path was a false-set-overlap, backtrack (NULL at
+//     the root);
 //   * one side    → follow it;
 //   * both        → follow one child with probability proportional to its
 //     estimate; if that subtree comes back NULL, backtrack into the other.
 // At a leaf the range (occupied ids only, for pruned trees) is scanned with
-// membership queries and a reservoir picks uniformly among positives.
+// membership queries and a uniform pick is made among positives.
 //
-// SampleMany implements the single-pass multi-sampling of Section 5.3: r
-// paths descend together, splitting at each node by independent biased
-// coin flips, and each visited leaf is scanned once regardless of how many
-// paths land on it.
+// Execution model: every descent runs on a QueryContext. The context's
+// EstimateCache memoizes t∧ per node and its leaf cache records each
+// leaf's positives, so against a warm context a descent costs O(depth)
+// with zero kernel invocations and zero membership queries — the
+// amortized regime the multi-draw workloads (figures 3–6, the multisample
+// ablation) actually run in. The BloomFilter overloads build a throwaway
+// context; callers issuing many operations against one query should build
+// the context once and reuse it.
 //
-// Every descent runs on a QueryContext: the query's sparse view and cached
-// set-bit count make each internal node cost one O(nnz-words) AND-popcount
-// (dense queries fall back to the dense kernel — the kernels are
-// bit-identical, so samples match the historical dense path draw for
-// draw), and the context's scratch buffers make steady-state descents
-// allocation-free. The BloomFilter overloads build a throwaway context;
-// callers issuing many operations against one query should build the
-// context once and reuse it.
+// Two multi-draw entry points:
+//   * SampleMany — the paper's single-pass multi-sampling (Section 5.3):
+//     r paths descend together sharing one RNG, splitting at each node by
+//     independent biased coin flips; supports without-replacement
+//     semantics. Output depends on r (the paths interleave RNG use).
+//   * SampleBatch — the batched multi-draw engine: draw i runs on the
+//     counter-based stream Rng::ForStream(seed, i), so the batch is
+//     draw-for-draw bit-identical to r serial Sample calls on those
+//     streams — for every batch size, every TreeConfig::query_threads
+//     value (draws are partitioned across the thread pool in contiguous
+//     chunks), and every SIMD tier. The descent is level-synchronous:
+//     pending draws travel down the tree as one frontier, each node's
+//     estimate is resolved once per batch (and once per *context*
+//     lifetime, via the cache) and its draws split between the children
+//     by their own coin flips; paths that die backtrack individually on
+//     the cached state.
 #ifndef BLOOMSAMPLE_CORE_BST_SAMPLER_H_
 #define BLOOMSAMPLE_CORE_BST_SAMPLER_H_
 
@@ -36,6 +49,7 @@
 #include "src/core/query_context.h"
 #include "src/util/op_counters.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace bloomsample {
 
@@ -76,22 +90,70 @@ class BstSampler {
                                    bool with_replacement = false,
                                    OpCounters* counters = nullptr) const;
 
+  /// r independent draws (with replacement), one per counter-based RNG
+  /// stream: entry i equals Sample(ctx, Rng::ForStream(seed, i)) bit for
+  /// bit (nullopt = that draw's every path died on false overlaps). The
+  /// batch is partitioned across TreeConfig::query_threads when the
+  /// workload clears the min_parallel_work gate; output never depends on
+  /// the thread count or batch size. Parallel execution requires a caching
+  /// context (the caches are the thread-safe shared state); a non-caching
+  /// context falls back to a serial — still grouped — descent.
+  std::vector<std::optional<uint64_t>> SampleBatch(
+      QueryContext* ctx, size_t r, uint64_t seed,
+      OpCounters* counters = nullptr) const;
+
+  /// Throwaway-context flavor of SampleBatch.
+  std::vector<std::optional<uint64_t>> SampleBatch(
+      const BloomFilter& query, size_t r, uint64_t seed,
+      OpCounters* counters = nullptr) const;
+
   const BloomSampleTree& tree() const { return *tree_; }
 
  private:
+  /// One pending draw of a batch: its slot in the output, its private RNG
+  /// stream, and the untried siblings of every both-viable node on its
+  /// path (LIFO — the backtracking order of the serial descent).
+  struct BatchDraw {
+    uint32_t index;
+    Rng rng;
+    std::vector<int64_t> alts;
+  };
+
   /// Estimated |child ∩ query|, with the Section 5.6 threshold applied;
-  /// 0.0 for absent children. Counts one intersection per present child.
+  /// 0.0 for absent children. Served from the context's EstimateCache —
+  /// one kernel invocation per (node, context), ever.
   double ChildEstimate(int64_t child, const QueryContext& ctx,
                        OpCounters* counters) const;
 
-  std::optional<uint64_t> SampleNode(int64_t id, QueryContext* ctx, Rng* rng,
-                                     OpCounters* counters) const;
+  /// The serial descent core: walks from `id` to a sample, consuming `rng`
+  /// exactly as Algorithm 1 does (one coin per both-viable node, one pick
+  /// per multi-positive leaf) and backtracking through `alts`. Both
+  /// Sample and the batch engine's failure path run on this one routine —
+  /// that is what makes batched output bit-identical to serial by
+  /// construction.
+  std::optional<uint64_t> DescendFrom(int64_t id, QueryContext* ctx, Rng* rng,
+                                      std::vector<int64_t>* alts,
+                                      OpCounters* counters) const;
+
+  /// Level-synchronous batched descent: resolves node `id` once and routes
+  /// every pending draw in `draws` toward its leaf. Draws whose paths die
+  /// finish individually via DescendFrom on the cached state.
+  void BatchDescend(int64_t id, std::vector<BatchDraw> draws,
+                    QueryContext* ctx, OpCounters* counters,
+                    std::vector<std::optional<uint64_t>>* out) const;
+
+  /// Finishes a draw whose current path died: backtracks into its deepest
+  /// untried sibling (or records nullopt).
+  void FinishFailedDraw(BatchDraw* draw, QueryContext* ctx,
+                        OpCounters* counters,
+                        std::vector<std::optional<uint64_t>>* out) const;
 
   void SampleManyNode(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
                       bool with_replacement, OpCounters* counters,
                       std::vector<uint64_t>* out) const;
 
-  /// Scans a leaf and appends up to r uniform picks among positives.
+  /// Scans a leaf (through the context's leaf cache) and appends up to r
+  /// uniform picks among positives.
   void SampleLeaf(int64_t id, size_t r, QueryContext* ctx, Rng* rng,
                   bool with_replacement, OpCounters* counters,
                   std::vector<uint64_t>* out) const;
@@ -105,6 +167,7 @@ class BstSampler {
 
   const BloomSampleTree* tree_;
   BranchPolicy policy_;
+  LazyThreadPool pool_;
 };
 
 }  // namespace bloomsample

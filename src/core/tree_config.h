@@ -78,12 +78,25 @@ struct TreeConfig {
   /// identity, is not serialized, and any value produces bit-identical
   /// trees (leaf fills and level-wise unions partition disjoint state).
   uint32_t build_threads = 0;
-  /// Threads BstReconstructor fans subtree traversals across: 0 = hardware
-  /// concurrency, 1 = serial — the same semantics as build_threads. Like
-  /// build_threads it is a runtime policy, not tree identity: it is not
-  /// serialized, and every value produces identical output (subtrees are
-  /// disjoint; results merge in deterministic frontier order).
+  /// Threads the query-side engines fan work across — BstReconstructor's
+  /// frontier subtree traversals and BstSampler::SampleBatch's draw
+  /// partitions: 0 = hardware concurrency, 1 = serial — the same semantics
+  /// as build_threads. Like build_threads it is a runtime policy, not tree
+  /// identity: it is not serialized, and every value produces identical
+  /// output (subtrees are disjoint and merge in deterministic frontier
+  /// order; batch draws run on counter-based per-draw RNG streams).
   uint32_t query_threads = 0;
+  /// Minimum per-lane workload (in work units: leaf candidates for
+  /// reconstruction, descent steps — draws x (depth+1) — for batch
+  /// sampling) required before the query engines actually engage the
+  /// thread pool; below it the requested fan-out runs serially, because
+  /// pool dispatch would cost more than it buys. 0 disables the gate and
+  /// always fans out when query_threads > 1 (tests use this to pin the
+  /// parallel path). When the host has a single hardware thread the gate
+  /// also declines fan-out outright — oversubscribing a CPU-bound
+  /// traversal can only add scheduling overhead. Runtime policy like
+  /// query_threads: not serialized, never changes output or op counts.
+  uint64_t min_parallel_work = 16384;
 
   /// Leaf range width implied by depth: ceil(M / 2^depth).
   uint64_t LeafRangeSize() const;

@@ -28,6 +28,16 @@ struct OpCounters {
   /// memory-traffic complement of the intersection counts: layout and
   /// kernel wins show up here even when the op counts are unchanged.
   uint64_t intersection_bytes = 0;
+  /// Per-(node, query) intersection estimates served from a QueryContext's
+  /// EstimateCache without running a kernel. hits + misses is the logical
+  /// intersection count the paper would charge; `intersections` (and the
+  /// kernel split above) counts only the misses — the kernels that actually
+  /// executed.
+  uint64_t estimate_cache_hits = 0;
+  /// First touches of a (node, query) pair: the kernel ran and the result
+  /// was recorded for reuse. Equals the kernel intersections performed
+  /// through a caching context.
+  uint64_t estimate_cache_misses = 0;
   /// Tree nodes visited (BST algorithms only).
   uint64_t nodes_visited = 0;
   /// Hash-bit inversions performed (HashInvert only).
@@ -46,6 +56,8 @@ struct OpCounters {
     dense_intersections += o.dense_intersections;
     sparse_intersections += o.sparse_intersections;
     intersection_bytes += o.intersection_bytes;
+    estimate_cache_hits += o.estimate_cache_hits;
+    estimate_cache_misses += o.estimate_cache_misses;
     nodes_visited += o.nodes_visited;
     inversions += o.inversions;
     null_samples += o.null_samples;
@@ -81,6 +93,12 @@ inline void CountIntersectionKernel(OpCounters* c, bool sparse,
     (sparse ? c->sparse_intersections : c->dense_intersections) += n;
     c->intersection_bytes += 16 * n * words_touched;
   }
+}
+inline void CountEstimateCacheHit(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->estimate_cache_hits += n;
+}
+inline void CountEstimateCacheMiss(OpCounters* c, uint64_t n = 1) {
+  if (c != nullptr) c->estimate_cache_misses += n;
 }
 inline void CountNodeVisit(OpCounters* c, uint64_t n = 1) {
   if (c != nullptr) c->nodes_visited += n;

@@ -84,6 +84,20 @@ class Rng {
   /// benchmark repetition its own stream.
   Rng Fork() { return Rng(Next()); }
 
+  /// Counter-based stream derivation: the generator for (seed, stream) is a
+  /// pure function of its two arguments, so stream `i` is the same Rng no
+  /// matter how many other streams exist or which thread asks for it. This
+  /// is what makes batched multi-draw sampling bit-identical to the serial
+  /// draw loop for every batch size and thread count: draw i always runs on
+  /// ForStream(seed, i). Seed and counter each pass through their own
+  /// SplitMix64 before combining, so nearby counters land on decorrelated
+  /// xoshiro seeds.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    uint64_t a = seed;
+    uint64_t b = stream ^ 0x6a09e667f3bcc908ULL;  // streams 0,1,... != seeds
+    return Rng(SplitMix64(a) ^ SplitMix64(b));
+  }
+
   // std::uniform_random_bit_generator interface, so Rng works with <random>
   // and std::shuffle.
   using result_type = uint64_t;

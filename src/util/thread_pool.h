@@ -26,6 +26,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -168,6 +169,45 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Resolves the 0-means-hardware convention shared by every thread-count
+/// knob (TreeConfig::build_threads / query_threads).
+inline size_t ResolveThreadCount(uint32_t knob) {
+  if (knob != 0) return knob;
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// A lazily-built ThreadPool cache keyed by thread count, shared via
+/// shared_ptr so a caller that raced a size change keeps its (still valid)
+/// pool alive. Copy/move carry nothing — copies start poolless — which
+/// lets the owning object keep default value semantics despite the mutex.
+/// Acquire is const because the pool is an execution resource, not logical
+/// state: BstSampler::SampleBatch and BstReconstructor::Reconstruct are
+/// const, concurrency-safe entry points.
+class LazyThreadPool {
+ public:
+  LazyThreadPool() = default;
+  LazyThreadPool(const LazyThreadPool&) noexcept {}
+  LazyThreadPool(LazyThreadPool&&) noexcept {}
+  LazyThreadPool& operator=(const LazyThreadPool&) noexcept { return *this; }
+  LazyThreadPool& operator=(LazyThreadPool&&) noexcept { return *this; }
+
+  /// Returns a pool with `threads` lanes, creating or resizing lazily.
+  /// Thread-safe; ThreadPool::ParallelFor is itself safe for concurrent
+  /// callers on one pool.
+  std::shared_ptr<ThreadPool> Acquire(size_t threads) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pool_ == nullptr || pool_->thread_count() != threads) {
+      pool_ = std::make_shared<ThreadPool>(threads);
+    }
+    return pool_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace bloomsample

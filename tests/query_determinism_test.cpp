@@ -6,16 +6,25 @@
 //   * BstSampler must draw identical samples through the dense and sparse
 //     kernels (they are bit-identical, so every estimate, branch
 //     probability, and RNG consumption matches draw for draw), and a
-//     reused QueryContext must behave exactly like a fresh one.
+//     reused QueryContext must behave exactly like a fresh one — the
+//     EstimateCache and leaf cache may only change *work*, never results.
+//   * SampleBatch runs every draw on its counter-based stream, so a batch
+//     of N must equal N serial Sample calls on Rng::ForStream(seed, i) —
+//     draw for draw, for every query_threads value, every min_parallel_work
+//     gate setting, and every SIMD tier — and its draws must pass the
+//     paper's chi-squared uniformity test.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "src/baselines/dictionary_attack.h"
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
 #include "src/core/query_context.h"
+#include "src/stats/chi_squared.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 #include "src/workload/set_generators.h"
 
 namespace bloomsample {
@@ -48,20 +57,28 @@ TEST(QueryDeterminismTest, ReconstructorIdenticalAcrossThreadCounts) {
         query, &serial_counters, BstReconstructor::PruningMode::kExact);
     EXPECT_EQ(serial, attack.Reconstruct(query)) << "n=" << n;
 
-    // 0 = hardware concurrency, the default.
-    for (uint32_t threads : {2u, 7u, 0u}) {
-      tree.set_query_threads(threads);
-      OpCounters counters;
-      const auto parallel = reconstructor.Reconstruct(
-          query, &counters, BstReconstructor::PruningMode::kExact);
-      EXPECT_EQ(parallel, serial) << "n=" << n << " threads=" << threads;
-      // The parallel traversal tests exactly the same node set and scans
-      // exactly the same leaves — op totals must match, not just output.
-      EXPECT_EQ(counters.nodes_visited, serial_counters.nodes_visited);
-      EXPECT_EQ(counters.intersections, serial_counters.intersections);
-      EXPECT_EQ(counters.membership_queries,
-                serial_counters.membership_queries);
+    // 0 = hardware concurrency, the default. min_parallel_work 0 forces
+    // the pool engaged (so the concurrent path is exercised even on a
+    // single-core host); the default gate may decline it — either way
+    // output and op totals must not move.
+    for (uint64_t gate : {uint64_t{0}, TreeConfig{}.min_parallel_work}) {
+      tree.set_min_parallel_work(gate);
+      for (uint32_t threads : {2u, 7u, 0u}) {
+        tree.set_query_threads(threads);
+        OpCounters counters;
+        const auto parallel = reconstructor.Reconstruct(
+            query, &counters, BstReconstructor::PruningMode::kExact);
+        EXPECT_EQ(parallel, serial) << "n=" << n << " threads=" << threads
+                                    << " gate=" << gate;
+        // The parallel traversal tests exactly the same node set and scans
+        // exactly the same leaves — op totals must match, not just output.
+        EXPECT_EQ(counters.nodes_visited, serial_counters.nodes_visited);
+        EXPECT_EQ(counters.intersections, serial_counters.intersections);
+        EXPECT_EQ(counters.membership_queries,
+                  serial_counters.membership_queries);
+      }
     }
+    tree.set_min_parallel_work(TreeConfig{}.min_parallel_work);
   }
 }
 
@@ -77,6 +94,7 @@ TEST(QueryDeterminismTest, PrunedTreeReconstructionAcrossThreadCounts) {
   const BloomFilter query = tree.MakeQueryFilter(members);
   tree.set_query_threads(1);
   const auto serial = reconstructor.Reconstruct(query);
+  tree.set_min_parallel_work(0);  // force the pool engaged
   for (uint32_t threads : {2u, 7u, 0u}) {
     tree.set_query_threads(threads);
     EXPECT_EQ(reconstructor.Reconstruct(query), serial)
@@ -157,6 +175,187 @@ TEST(QueryDeterminismTest, ReconstructorContextOverloadMatchesFilter) {
   const BloomFilter query = tree.MakeQueryFilter(members);
   const QueryContext ctx(tree, query);
   EXPECT_EQ(reconstructor.Reconstruct(ctx), reconstructor.Reconstruct(query));
+}
+
+// Serial reference for SampleBatch: N independent Sample calls, draw i on
+// its counter-based stream. Uses a caching context by default — caching
+// must never change a draw.
+std::vector<std::optional<uint64_t>> SerialStreamDraws(
+    const BstSampler& sampler, const BloomSampleTree& tree,
+    const BloomFilter& query, size_t r, uint64_t seed,
+    bool cache = true) {
+  QueryContext ctx(tree, query, IntersectKernel::kAuto, cache);
+  std::vector<std::optional<uint64_t>> draws;
+  draws.reserve(r);
+  for (size_t i = 0; i < r; ++i) {
+    Rng rng = Rng::ForStream(seed, i);
+    draws.push_back(sampler.Sample(&ctx, &rng));
+  }
+  return draws;
+}
+
+TEST(QueryDeterminismTest, SampleBatchMatchesSerialDrawForDraw) {
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  const BstSampler sampler(&tree);
+  Rng set_rng(31);
+  const auto members = GenerateUniformSet(M, 400, &set_rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  const size_t kDraws = 500;
+  const uint64_t kSeed = 97;
+
+  const auto serial =
+      SerialStreamDraws(sampler, tree, query, kDraws, kSeed);
+  // The draws must not all be the same element (sanity that the streams
+  // are actually independent).
+  bool varied = false;
+  for (const auto& d : serial) {
+    if (d.has_value() && d != serial.front()) varied = true;
+  }
+  EXPECT_TRUE(varied);
+
+  // Caching off must not change serial draws either.
+  EXPECT_EQ(SerialStreamDraws(sampler, tree, query, kDraws, kSeed,
+                              /*cache=*/false),
+            serial);
+
+  for (uint64_t gate : {uint64_t{0}, TreeConfig{}.min_parallel_work}) {
+    tree.set_min_parallel_work(gate);
+    for (uint32_t threads : {1u, 2u, 7u, 0u}) {
+      tree.set_query_threads(threads);
+      QueryContext ctx(tree, query);
+      EXPECT_EQ(sampler.SampleBatch(&ctx, kDraws, kSeed), serial)
+          << "threads=" << threads << " gate=" << gate;
+      // A warm context must reproduce the batch exactly (only the work
+      // changes: everything is served from the caches).
+      OpCounters warm;
+      EXPECT_EQ(sampler.SampleBatch(&ctx, kDraws, kSeed, &warm), serial)
+          << "warm threads=" << threads << " gate=" << gate;
+      EXPECT_EQ(warm.intersections, 0u) << "threads=" << threads;
+      EXPECT_EQ(warm.membership_queries, 0u) << "threads=" << threads;
+      EXPECT_GT(warm.estimate_cache_hits, 0u);
+    }
+  }
+  tree.set_min_parallel_work(TreeConfig{}.min_parallel_work);
+  tree.set_query_threads(0);
+
+  // Batch-size independence: a prefix batch is a prefix of the draws.
+  QueryContext ctx(tree, query);
+  const auto small = sampler.SampleBatch(&ctx, 37, kSeed);
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], serial[i]) << "i=" << i;
+  }
+
+  // A non-caching context falls back to a serial grouped descent — same
+  // draws.
+  QueryContext uncached(tree, query, IntersectKernel::kAuto, /*cache=*/false);
+  EXPECT_EQ(sampler.SampleBatch(&uncached, kDraws, kSeed), serial);
+}
+
+TEST(QueryDeterminismTest, SampleBatchIdenticalAcrossSimdTiers) {
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  const BstSampler sampler(&tree);
+  Rng set_rng(37);
+  const auto members = GenerateUniformSet(M, 300, &set_rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+  const size_t kDraws = 200;
+  const uint64_t kSeed = 41;
+
+  const simd::Level original = simd::ActiveLevel();
+  const auto reference = [&] {
+    simd::ForceLevel(simd::Level::kScalar);
+    QueryContext ctx(tree, query);
+    return sampler.SampleBatch(&ctx, kDraws, kSeed);
+  }();
+  for (simd::Level level : {simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (!simd::LevelSupported(level)) continue;
+    simd::ForceLevel(level);
+    QueryContext ctx(tree, query);
+    EXPECT_EQ(sampler.SampleBatch(&ctx, kDraws, kSeed), reference)
+        << "tier=" << simd::LevelName(level);
+  }
+  simd::ForceLevel(original);
+}
+
+TEST(QueryDeterminismTest, SampleBatchChiSquaredUniform) {
+  // The paper's Table 5 protocol on batched draws: T = 130·|S ∪ S(B)|
+  // samples must not reject uniformity. Deterministic seeds — this is a
+  // regression fence, not a statistical experiment. The parameters sit
+  // deliberately in the regime where Proposition 5.2 actually promises
+  // near-uniformity (table05's measured finding: it needs many elements
+  // per leaf and estimator noise √(t1·t2/m) well below the per-element
+  // signal): 4 leaves, ~250 members each, m large enough that the branch
+  // estimates are near-exact — descent probabilities then match leaf
+  // populations to a fraction of a percent, which the 130·n-round test
+  // cannot distinguish from uniform.
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 2000000, 2)).value();
+  const BstSampler sampler(&tree);
+  Rng set_rng(43);
+  const auto members = GenerateUniformSet(M, 1000, &set_rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+
+  const BstReconstructor reconstructor(&tree);
+  const auto population = reconstructor.Reconstruct(
+      query, nullptr, BstReconstructor::PruningMode::kExact);
+  ASSERT_GE(population.size(), members.size());
+
+  QueryContext ctx(tree, query);
+  const size_t rounds = RecommendedSampleRounds(population.size());
+  const auto draws = sampler.SampleBatch(&ctx, rounds, /*seed=*/7);
+  std::vector<uint64_t> samples;
+  samples.reserve(draws.size());
+  for (const auto& draw : draws) {
+    ASSERT_TRUE(draw.has_value());  // every member reachable, no nulls here
+    samples.push_back(*draw);
+  }
+  const auto result = ChiSquaredUniformTest(population, samples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().RejectsUniformity(0.08))
+      << "p=" << result.value().p_value;
+}
+
+TEST(QueryDeterminismTest, EstimateCacheAmortizesRepeatedTraversals) {
+  const uint64_t M = 20000;
+  auto tree = BloomSampleTree::BuildComplete(Config(M, 9000, 5)).value();
+  const BstReconstructor reconstructor(&tree);
+  const BstSampler sampler(&tree);
+  Rng rng(47);
+  const auto members = GenerateUniformSet(M, 250, &rng).value();
+  const BloomFilter query = tree.MakeQueryFilter(members);
+
+  QueryContext ctx(tree, query);
+  OpCounters cold;
+  const auto first = reconstructor.Reconstruct(
+      ctx, &cold, BstReconstructor::PruningMode::kExact);
+  // Every node test ran a kernel and recorded it: misses == kernel
+  // intersections, no hits yet.
+  EXPECT_EQ(cold.estimate_cache_misses, cold.intersections);
+  EXPECT_EQ(cold.estimate_cache_hits, 0u);
+  EXPECT_GT(cold.membership_queries, 0u);
+
+  OpCounters warm;
+  const auto second = reconstructor.Reconstruct(
+      ctx, &warm, BstReconstructor::PruningMode::kExact);
+  EXPECT_EQ(second, first);
+  // The warm traversal re-derives every decision from the cache: zero
+  // kernels, zero scans, one hit per node test.
+  EXPECT_EQ(warm.intersections, 0u);
+  EXPECT_EQ(warm.estimate_cache_misses, 0u);
+  EXPECT_EQ(warm.membership_queries, 0u);
+  EXPECT_EQ(warm.estimate_cache_hits, cold.estimate_cache_misses);
+  EXPECT_EQ(warm.nodes_visited, cold.nodes_visited);
+
+  // One cache serves both algorithms: a sampler descent on the
+  // reconstructor-warmed context touches no filter words either.
+  OpCounters sample_counters;
+  Rng draw_rng(3);
+  const auto draw = sampler.Sample(&ctx, &draw_rng, &sample_counters);
+  EXPECT_TRUE(draw.has_value());
+  EXPECT_EQ(sample_counters.intersections, 0u);
+  EXPECT_EQ(sample_counters.membership_queries, 0u);
+  EXPECT_GT(sample_counters.estimate_cache_hits, 0u);
 }
 
 }  // namespace

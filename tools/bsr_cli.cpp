@@ -327,18 +327,50 @@ Status CmdSample(const Flags& flags) {
   if (!count.ok()) return count.status();
   auto seed = flags.GetU64("seed", 42);
   if (!seed.ok()) return seed.status();
+  auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
+  if (!threads.ok()) return threads.status();
 
   Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
   if (!tree.ok()) return tree.status();
   Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
   if (!filter.ok()) return filter.status();
+  tree.value().set_query_threads(static_cast<uint32_t>(threads.value()));
 
   BstSampler sampler(&tree.value());
-  Rng rng(seed.value());
+  QueryContext ctx(tree.value(), filter.value());
   OpCounters counters;
   Timer timer;
+  size_t produced = 0;
+  if (flags.GetBool("batch")) {
+    // Batched multi-draw engine: per-draw RNG streams, estimates and leaf
+    // scans shared through the context, draws fanned across --threads.
+    // Output is bit-identical to --count serial draws on the same seed.
+    const auto draws =
+        sampler.SampleBatch(&ctx, count.value(), seed.value(), &counters);
+    const double ms = timer.ElapsedMillis();
+    for (const auto& draw : draws) {
+      if (draw.has_value()) {
+        std::printf("%llu\n", static_cast<unsigned long long>(*draw));
+        ++produced;
+      } else {
+        std::printf("null\n");
+      }
+    }
+    std::fprintf(stderr,
+                 "# %zu/%zu batched draws in %.3f ms (%llu kernel "
+                 "intersections + %llu cache hits, %.2f MB read, %llu "
+                 "membership queries)\n",
+                 produced, draws.size(), ms,
+                 static_cast<unsigned long long>(counters.intersections),
+                 static_cast<unsigned long long>(counters.estimate_cache_hits),
+                 static_cast<double>(counters.intersection_bytes) / 1e6,
+                 static_cast<unsigned long long>(counters.membership_queries));
+    return Status::OK();
+  }
+
+  Rng rng(seed.value());
   const std::vector<uint64_t> samples =
-      sampler.SampleMany(filter.value(), count.value(), &rng,
+      sampler.SampleMany(&ctx, count.value(), &rng,
                          /*with_replacement=*/flags.GetBool("with-replacement"),
                          &counters);
   const double ms = timer.ElapsedMillis();
@@ -346,10 +378,11 @@ Status CmdSample(const Flags& flags) {
     std::printf("%llu\n", static_cast<unsigned long long>(sample));
   }
   std::fprintf(stderr,
-               "# %zu samples in %.3f ms (%llu intersections reading %.2f "
-               "MB, %llu membership queries)\n",
+               "# %zu samples in %.3f ms (%llu kernel intersections + %llu "
+               "cache hits, %.2f MB read, %llu membership queries)\n",
                samples.size(), ms,
                static_cast<unsigned long long>(counters.intersections),
+               static_cast<unsigned long long>(counters.estimate_cache_hits),
                static_cast<double>(counters.intersection_bytes) / 1e6,
                static_cast<unsigned long long>(counters.membership_queries));
   return Status::OK();
@@ -360,11 +393,14 @@ Status CmdReconstruct(const Flags& flags) {
   if (!tree_path.ok()) return tree_path.status();
   auto filter_path = flags.Require("filter");
   if (!filter_path.ok()) return filter_path.status();
+  auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
+  if (!threads.ok()) return threads.status();
 
   Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
   if (!tree.ok()) return tree.status();
   Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
   if (!filter.ok()) return filter.status();
+  tree.value().set_query_threads(static_cast<uint32_t>(threads.value()));
 
   BstReconstructor reconstructor(&tree.value());
   OpCounters counters;
@@ -385,10 +421,12 @@ Status CmdReconstruct(const Flags& flags) {
     }
   }
   std::fprintf(stderr,
-               "# reconstructed %zu ids in %.2f ms (%llu intersections "
-               "reading %.2f MB, %llu membership queries, mode=%s)\n",
+               "# reconstructed %zu ids in %.2f ms (%llu kernel "
+               "intersections + %llu cache hits, %.2f MB read, %llu "
+               "membership queries, mode=%s)\n",
                ids.size(), ms,
                static_cast<unsigned long long>(counters.intersections),
+               static_cast<unsigned long long>(counters.estimate_cache_hits),
                static_cast<double>(counters.intersection_bytes) / 1e6,
                static_cast<unsigned long long>(counters.membership_queries),
                flags.GetBool("exact") ? "exact" : "thresholded");
@@ -427,7 +465,12 @@ commands:
   store-set    --tree T.bst --ids ids.txt --out set.bf
   sample       --tree T.bst --filter set.bf [--count R] [--seed S]
                [--with-replacement]
+               [--batch]                (batched multi-draw engine: R
+                                         independent draws on per-draw RNG
+                                         streams; "null" = dead path)
+               [--threads T]            (batch fan-out; 0 = all cores)
   reconstruct  --tree T.bst --filter set.bf [--exact] [--out ids.txt]
+               [--threads T]            (traversal fan-out; 0 = all cores)
   query        --tree T.bst --filter set.bf --id X
 )");
 }
@@ -459,10 +502,11 @@ int Main(int argc, char** argv) {
   } else if (command == "store-set") {
     status = run({"tree", "ids", "out"}, {}, CmdStoreSet);
   } else if (command == "sample") {
-    status = run({"tree", "filter", "count", "seed"}, {"with-replacement"},
-                 CmdSample);
+    status = run({"tree", "filter", "count", "seed", "threads"},
+                 {"with-replacement", "batch"}, CmdSample);
   } else if (command == "reconstruct") {
-    status = run({"tree", "filter", "out"}, {"exact"}, CmdReconstruct);
+    status = run({"tree", "filter", "out", "threads"}, {"exact"},
+                 CmdReconstruct);
   } else if (command == "query") {
     status = run({"tree", "filter", "id"}, {}, CmdQuery);
   } else if (command == "--help" || command == "-h" || command == "help") {
