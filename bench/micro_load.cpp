@@ -1,0 +1,223 @@
+// Microbenchmark for tree persistence: cold-open time per load path and
+// the latency of the first queries against a freshly opened tree. This is
+// the "build once, query forever" economics of Section 5 made measurable:
+// the build is paid once, so what matters in production is how fast a
+// process can come back up — and how much the first (cache-cold) queries
+// pay on each load path / slab layout.
+//
+// Output: a JSON array on stdout; one record per configuration:
+//   {"bench": "micro_load", "variant": "open" | "first_draws" | "recon",
+//    "path": "stream-v1" | "heap-v2" | "mmap-v2" | "mmap-v2-prewarm",
+//    "layout": "id-order" | "descent", "m": <bits>, "namespace": <M>,
+//    "nodes": <n>, "file_mb": <double>,
+//    "open_ms": <double>                     (variant "open")
+//    "draws": 100, "ms": <double>            (variant "first_draws")
+//    "elements": <n>, "ms": <double>}        (variant "recon")
+//
+// Variants:
+//   * open — LoadTreeFromFile wall time, best of kReps. stream-v1 re-pays
+//     the full O(m·n) parse; heap-v2 is one bulk slab read; mmap-v2 is
+//     O(metadata) — the slab is not touched at all.
+//   * first_draws — a fresh 100-draw SampleBatch right after the open, on
+//     a cold context: for mmap this is where page faults surface, and
+//     where the descent layout's page grouping pays (or at least must not
+//     cost) against id-order.
+//   * recon — one exact Reconstruct after open (the heaviest cold sweep:
+//     it touches every surviving node block once).
+//
+// Each (open → query) round runs on a freshly loaded tree, so the numbers
+// compose: total time-to-first-result = open + first_draws. File pages
+// stay in the OS page cache between reps — all paths share that benefit,
+// so the comparison is load-path mechanics, not disk speed.
+//
+// BSR_BENCH_FULL=1 raises the draw rounds; the quick default finishes in
+// under a minute.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
+#include "src/core/tree_io.h"
+#include "src/util/simd.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+constexpr int kReps = 5;
+constexpr uint64_t kFirstDraws = 100;
+
+struct PathSpec {
+  const char* name;
+  const char* file;  // which saved artifact it opens
+  LoadOptions options;
+};
+
+double FileMb(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0.0;
+  std::fseek(f, 0, SEEK_END);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  return static_cast<double>(bytes) / 1e6;
+}
+
+void PrintRecord(bool first, const char* variant, const char* path,
+                 const char* layout, uint64_t m, uint64_t namespace_size,
+                 size_t nodes, double file_mb, const char* extra_key,
+                 uint64_t extra_value, double ms) {
+  std::printf(
+      "%s  {\"bench\": \"micro_load\", \"variant\": \"%s\", \"path\": "
+      "\"%s\", \"layout\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
+      ", \"namespace\": %" PRIu64 ", \"nodes\": %zu, \"file_mb\": %.2f"
+      ", \"%s\": %" PRIu64 ", \"ms\": %.3f}",
+      first ? "" : ",\n", variant, path, layout,
+      simd::LevelName(simd::ActiveLevel()), m, namespace_size, nodes,
+      file_mb, extra_key, extra_value, ms);
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+
+  // Three tree shapes over M = 1e6:
+  //   * m=1e5, depth=12 — a deep tree of small blocks (8191 nodes of
+  //     12.5 KB): many node blocks per page group, the regime where the
+  //     descent layout's physical grouping can actually show up in cold
+  //     walks;
+  //   * m=1e6 / m=1e7, depth=6 — the micro_query shapes (127 nodes of
+  //     1.25–12.5 MB): a single block spans hundreds of pages, so layout
+  //     is expected to be neutral and the interesting axis is open time
+  //     (~16 MB and ~160 MB slabs).
+  const uint64_t namespace_size = 1000000;
+  const uint64_t query_size = 1000;
+  struct Shape {
+    uint64_t m;
+    uint32_t depth;
+  };
+  const std::vector<Shape> shapes = {
+      {100000, 12}, {1000000, 6}, {10000000, 6}};
+
+  std::printf("[\n");
+  bool first = true;
+  for (const Shape& shape : shapes) {
+    const uint64_t m = shape.m;
+    TreeConfig config;
+    config.namespace_size = namespace_size;
+    config.m = m;
+    config.k = 3;
+    config.hash_kind = HashFamilyKind::kSimple;
+    config.seed = env.seed;
+    config.depth = shape.depth;
+
+    auto tree_result = BloomSampleTree::BuildComplete(config);
+    BSR_CHECK(tree_result.ok(), "micro_load: BuildComplete failed");
+    const BloomSampleTree tree = std::move(tree_result).value();
+    const size_t nodes = tree.node_count();
+
+    Rng rng(env.seed ^ m);
+    const std::vector<uint64_t> members = bloomsample::bench::MakeQuerySet(
+        namespace_size, query_size, /*clustered=*/false, &rng);
+
+    // Save every artifact once per m.
+    const std::string base = "/tmp/bsr_micro_load_" + std::to_string(m);
+    const std::string v1_path = base + "_v1.bst";
+    const std::string v2_id_path = base + "_v2_id.bst";
+    const std::string v2_descent_path = base + "_v2_descent.bst";
+    {
+      SaveOptions save;
+      save.version = 1;
+      BSR_CHECK(SaveTreeToFile(tree, v1_path, save).ok(), "save v1");
+      save = SaveOptions();
+      save.layout = NodeLayout::kIdOrder;
+      BSR_CHECK(SaveTreeToFile(tree, v2_id_path, save).ok(), "save v2 id");
+      save.layout = NodeLayout::kDescent;
+      BSR_CHECK(SaveTreeToFile(tree, v2_descent_path, save).ok(),
+                "save v2 descent");
+    }
+
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    LoadOptions mmap_opts;
+    mmap_opts.mode = LoadMode::kMmap;
+    LoadOptions mmap_prewarm = mmap_opts;
+    mmap_prewarm.prewarm = true;
+    const std::vector<PathSpec> paths = {
+        {"stream-v1", v1_path.c_str(), heap},
+        {"heap-v2", v2_id_path.c_str(), heap},
+        {"mmap-v2", v2_id_path.c_str(), mmap_opts},
+        {"mmap-v2-prewarm", v2_id_path.c_str(), mmap_prewarm},
+        {"heap-v2-descent", v2_descent_path.c_str(), heap},
+        {"mmap-v2-descent", v2_descent_path.c_str(), mmap_opts},
+    };
+
+    for (const PathSpec& spec : paths) {
+      const char* layout =
+          std::string(spec.name).find("descent") != std::string::npos
+              ? "descent"
+              : "id-order";
+      const double file_mb = FileMb(spec.file);
+
+      // --- open: best-of-reps wall time for LoadTreeFromFile ---
+      double open_best = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        auto loaded = LoadTreeFromFile(spec.file, spec.options);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(loaded.ok(), "micro_load: open failed");
+        if (ms < open_best) open_best = ms;
+      }
+      PrintRecord(first, "open", spec.name, layout, m, namespace_size,
+                  nodes, file_mb, "reps", kReps, open_best);
+      first = false;
+
+      // --- first_draws: a cold 100-draw batch on a fresh load ---
+      double draws_best = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto loaded = LoadTreeFromFile(spec.file, spec.options);
+        BSR_CHECK(loaded.ok(), "micro_load: open failed");
+        const BloomFilter query = loaded.value().MakeQueryFilter(members);
+        const BstSampler sampler(&loaded.value());
+        QueryContext ctx(loaded.value(), query);
+        Timer timer;
+        const auto draws = sampler.SampleBatch(&ctx, kFirstDraws, env.seed);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(draws.size() == kFirstDraws, "micro_load: short batch");
+        if (ms < draws_best) draws_best = ms;
+      }
+      PrintRecord(false, "first_draws", spec.name, layout, m, namespace_size,
+                  nodes, file_mb, "draws", kFirstDraws, draws_best);
+
+      // --- recon: one exact reconstruction on a fresh load ---
+      double recon_best = 1e300;
+      size_t elements = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto loaded = LoadTreeFromFile(spec.file, spec.options);
+        BSR_CHECK(loaded.ok(), "micro_load: open failed");
+        const BloomFilter query = loaded.value().MakeQueryFilter(members);
+        const BstReconstructor reconstructor(&loaded.value());
+        Timer timer;
+        const auto ids = reconstructor.Reconstruct(
+            query, nullptr, BstReconstructor::PruningMode::kExact);
+        const double ms = timer.ElapsedMillis();
+        elements = ids.size();
+        if (ms < recon_best) recon_best = ms;
+      }
+      PrintRecord(false, "recon", spec.name, layout, m, namespace_size,
+                  nodes, file_mb, "elements", elements, recon_best);
+    }
+
+    std::remove(v1_path.c_str());
+    std::remove(v2_id_path.c_str());
+    std::remove(v2_descent_path.c_str());
+  }
+  std::printf("\n]\n");
+  return 0;
+}

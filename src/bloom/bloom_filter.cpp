@@ -20,6 +20,15 @@ BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family,
   bits_ = BitVector::SpanOf(arena->Allocate(), family_->m());
 }
 
+BloomFilter::BloomFilter(std::shared_ptr<const HashFamily> family,
+                         BitVector bits)
+    : family_(std::move(family)), bits_(std::move(bits)) {
+  BSR_CHECK(family_ != nullptr, "BloomFilter requires a hash family");
+  BSR_CHECK(family_->k() <= kMaxK, "hash family k exceeds kMaxK");
+  BSR_CHECK(bits_.size() == family_->m(),
+            "adopted payload size does not match the family's m");
+}
+
 void BloomFilter::Insert(uint64_t key) {
   InvalidateSetBitCount();
   uint64_t h[kMaxK];

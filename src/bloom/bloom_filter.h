@@ -46,6 +46,13 @@ class BloomFilter {
   /// the BloomSampleTree uses this so node filters pack contiguously.
   BloomFilter(std::shared_ptr<const HashFamily> family, FilterArena* arena);
 
+  /// Adopts `bits` — typically a span over a snapshot slab the caller
+  /// already filled — as the filter's payload. bits.size() must equal
+  /// family->m(); the storage behind a span must outlive the filter. The
+  /// snapshot loaders use this to point node filters straight into a
+  /// loaded (or mmap'ed) arena image without re-inserting a single key.
+  BloomFilter(std::shared_ptr<const HashFamily> family, BitVector bits);
+
   // The memoized set-bit count lives in a std::atomic (so concurrent
   // readers of a logically-const filter are race-free), which is not
   // copyable — spell out the value semantics, carrying the cache along.
@@ -156,6 +163,16 @@ class BloomFilter {
   /// must be compatible with this one.
   size_t AndPopcount(const BloomQueryView& query) const;
   bool AndIsZero(const BloomQueryView& query) const;
+
+  /// Seeds the memoized set-bit count with a value the caller already
+  /// knows — snapshot loaders persist each node's popcount, so reloading a
+  /// tree needn't touch (or, for mmap'ed payloads, even page in) a single
+  /// payload word. `count` must equal the payload's true popcount; a wrong
+  /// value skews estimates but cannot cause memory unsafety.
+  void SeedSetBitCount(size_t count) {
+    cached_set_bits_.store(static_cast<uint64_t>(count),
+                           std::memory_order_relaxed);
+  }
 
   /// Removes every bit. The filter represents the empty set afterwards.
   void Clear() {

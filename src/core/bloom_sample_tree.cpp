@@ -7,6 +7,10 @@
 
 namespace bloomsample {
 
+const char* NodeLayoutName(NodeLayout layout) {
+  return layout == NodeLayout::kDescent ? "descent" : "id-order";
+}
+
 namespace {
 
 Result<std::shared_ptr<const HashFamily>> FamilyFor(const TreeConfig& config) {
@@ -229,6 +233,72 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
                      }
                    });
   return tree;
+}
+
+void BloomSampleTree::CollectDescendantsAt(int64_t root, uint32_t levels_below,
+                                           std::vector<int64_t>* out) const {
+  if (root == kNoNode) return;
+  if (levels_below == 0) {
+    out->push_back(root);
+    return;
+  }
+  const Node& n = nodes_[static_cast<size_t>(root)];
+  CollectDescendantsAt(n.left, levels_below - 1, out);
+  CollectDescendantsAt(n.right, levels_below - 1, out);
+}
+
+void BloomSampleTree::AssignVebBlocks(int64_t root, uint32_t levels,
+                                      uint32_t* next,
+                                      std::vector<uint32_t>* block_of) const {
+  if (root == kNoNode) return;
+  if (levels == 1) {
+    (*block_of)[static_cast<size_t>(root)] = (*next)++;
+    return;
+  }
+  // Classic vEB split: the top floor(levels/2) levels form one recursively
+  // laid-out cluster, followed by each bottom subtree (rooted exactly
+  // `top` levels down) as its own contiguous cluster, left to right. A
+  // root-to-leaf descent then crosses O(log levels) cluster boundaries
+  // instead of touching a new region at every level.
+  const uint32_t top = levels / 2;
+  AssignVebBlocks(root, top, next, block_of);
+  std::vector<int64_t> bottom_roots;
+  CollectDescendantsAt(root, top, &bottom_roots);
+  for (int64_t r : bottom_roots) {
+    AssignVebBlocks(r, levels - top, next, block_of);
+  }
+}
+
+std::vector<uint32_t> BloomSampleTree::ComputeDescentOrder() const {
+  std::vector<uint32_t> block_of(nodes_.size(), 0);
+  if (nodes_.empty()) return block_of;
+  uint32_t next = 0;
+  // Top levels in BFS order: every descent reads this prefix, so its
+  // blocks pack the front of the slab (and share pages) regardless of
+  // which leaf the walk ends at.
+  const uint32_t bfs_levels =
+      config_.depth + 1 < kDescentBfsLevels ? config_.depth + 1
+                                            : kDescentBfsLevels;
+  std::vector<int64_t> frontier{root()};
+  for (uint32_t level = 0; level < bfs_levels; ++level) {
+    std::vector<int64_t> next_level;
+    for (int64_t id : frontier) {
+      block_of[static_cast<size_t>(id)] = next++;
+      const Node& n = nodes_[static_cast<size_t>(id)];
+      if (n.left != kNoNode) next_level.push_back(n.left);
+      if (n.right != kNoNode) next_level.push_back(n.right);
+    }
+    frontier = std::move(next_level);
+  }
+  // Each subtree hanging below the BFS block gets a contiguous vEB-ordered
+  // cluster, in BFS-encounter (left-to-right) order.
+  const uint32_t below = config_.depth + 1 - bfs_levels;
+  for (int64_t id : frontier) {
+    AssignVebBlocks(id, below, &next, &block_of);
+  }
+  BSR_CHECK(next == nodes_.size(),
+            "descent layout did not assign every node exactly once");
+  return block_of;
 }
 
 uint64_t BloomSampleTree::LeafCandidateCount(int64_t id) const {

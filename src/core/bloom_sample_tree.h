@@ -35,6 +35,22 @@
 
 namespace bloomsample {
 
+/// Physical placement of node filter blocks within the arena (and within a
+/// v2 snapshot's slab). Logical node ids never change — the layout is a
+/// pure permutation of block storage, keyed through an id→block index.
+///   * kIdOrder — blocks in node-id order (the builders' natural order:
+///     heap order for complete trees, DFS preorder for pruned ones).
+///   * kDescent — descent-aware blocking: the top levels of the tree
+///     BFS-grouped at the front (every descent touches them, so they share
+///     a handful of pages), then each subtree hanging below laid out in
+///     van-Emde-Boas order, so a root-to-leaf walk inside a subtree stays
+///     within O(log) block clusters instead of striding level-by-level
+///     across the whole slab.
+enum class NodeLayout : uint32_t { kIdOrder = 0, kDescent = 1 };
+
+/// "id-order" / "descent".
+const char* NodeLayoutName(NodeLayout layout);
+
 class BloomSampleTree {
  public:
   static constexpr int64_t kNoNode = -1;
@@ -63,6 +79,17 @@ class BloomSampleTree {
           hi(hi_in),
           level(level_in),
           filter(std::move(family), arena) {}
+
+    /// Snapshot flavor: the filter adopts an already-filled span (a block
+    /// of a loaded or mmap'ed slab), so loaders can place node payloads at
+    /// arbitrary blocks of the arena image — the descent layout's id→block
+    /// permutation — without copying or re-hashing.
+    Node(uint64_t lo_in, uint64_t hi_in, uint32_t level_in,
+         std::shared_ptr<const HashFamily> family, BitVector bits)
+        : lo(lo_in),
+          hi(hi_in),
+          level(level_in),
+          filter(std::move(family), std::move(bits)) {}
   };
 
   /// Builds the complete tree of Definition 5.1.
@@ -176,6 +203,17 @@ class BloomSampleTree {
     }
   }
 
+  /// Prefetches both children's filter blocks of an internal node —
+  /// the shared descend-step idiom of BstSampler and BstReconstructor,
+  /// issued before the first estimate reads either child. Under the
+  /// kDescent layout siblings are adjacent blocks (and near their
+  /// parent), so the two prefetch runs land on the same pages/lines a
+  /// cold (or freshly mmap'ed) descent is about to fault in anyway.
+  void PrefetchChildren(const Node& node, const BloomQueryView& view) const {
+    PrefetchFilter(node.left, view);
+    PrefetchFilter(node.right, view);
+  }
+
   /// Convenience: a fresh empty query filter compatible with this tree.
   BloomFilter MakeQueryFilter() const { return BloomFilter(family_); }
   /// Convenience: a query filter holding `keys`.
@@ -192,6 +230,21 @@ class BloomSampleTree {
   /// trees; dynamic inserts may append further chunks).
   bool ArenaContiguous() const { return arena_.contiguous(); }
 
+  /// Physical block layout of this tree's node filters. Builders always
+  /// produce kIdOrder; the snapshot loaders materialize whatever layout
+  /// the file was saved with. Pure storage placement — logical ids,
+  /// traversal order, and every query result are layout-independent.
+  NodeLayout node_layout() const { return node_layout_; }
+
+  /// Computes the kDescent id→block permutation for this tree's current
+  /// structure: block_of[id] is the slab block node `id`'s filter occupies.
+  /// Top kDescentBfsLevels levels in BFS order at the front, then each
+  /// subtree below in recursive van-Emde-Boas order (left to right).
+  /// Deterministic — a pure function of the tree shape. Used by the v2
+  /// snapshot writer; returned by value so callers (benches, tests) can
+  /// inspect it.
+  std::vector<uint32_t> ComputeDescentOrder() const;
+
  private:
   friend class TreeSerializer;  // persistence (see core/tree_io.h)
 
@@ -201,6 +254,20 @@ class BloomSampleTree {
   /// loads / 8-wide gathers supply the memory-level parallelism).
   static constexpr size_t kPrefetchDenseLines = 8;
   static constexpr size_t kPrefetchSparseWords = 32;
+
+  /// Levels of the tree grouped in BFS order at the front of the kDescent
+  /// layout: 4 levels = 15 blocks, the prefix every single descent walks.
+  static constexpr uint32_t kDescentBfsLevels = 4;
+
+  /// Recursive van-Emde-Boas assignment over the subtree at `root`,
+  /// restricted to its first `levels` levels; blocks number from *next.
+  void AssignVebBlocks(int64_t root, uint32_t levels, uint32_t* next,
+                       std::vector<uint32_t>* block_of) const;
+
+  /// Appends (in left-to-right order) the existing descendants exactly
+  /// `levels_below` levels under `root`.
+  void CollectDescendantsAt(int64_t root, uint32_t levels_below,
+                            std::vector<int64_t>* out) const;
 
   BloomSampleTree(TreeConfig config, std::shared_ptr<const HashFamily> family,
                   bool pruned)
@@ -251,6 +318,9 @@ class BloomSampleTree {
   FilterArena arena_;
   std::vector<Node> nodes_;
   std::vector<uint64_t> occupied_;
+  /// Physical placement of the filter blocks (see node_layout()). Set by
+  /// the snapshot loaders; freshly built trees are id-ordered.
+  NodeLayout node_layout_ = NodeLayout::kIdOrder;
 };
 
 }  // namespace bloomsample

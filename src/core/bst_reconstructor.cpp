@@ -49,8 +49,7 @@ void BstReconstructor::TraverseSubtree(int64_t id, const QueryContext& ctx,
   // skipped when both tests will be served from the cache.
   const BloomSampleTree::Node& node = tree_->node(id);
   if (!ctx.EstimateCached(node.left) || !ctx.EstimateCached(node.right)) {
-    tree_->PrefetchFilter(node.left, ctx.view());
-    tree_->PrefetchFilter(node.right, ctx.view());
+    tree_->PrefetchChildren(node, ctx.view());
   }
   ReconstructNode(node.left, ctx, mode, counters, out);
   ReconstructNode(node.right, ctx, mode, counters, out);

@@ -61,8 +61,7 @@ std::optional<uint64_t> BstSampler::DescendFrom(int64_t id, QueryContext* ctx,
       // memoized, in which case no filter word will be read at all.
       if (!ctx->EstimateCached(node.left) ||
           !ctx->EstimateCached(node.right)) {
-        tree_->PrefetchFilter(node.left, ctx->view());
-        tree_->PrefetchFilter(node.right, ctx->view());
+        tree_->PrefetchChildren(node, ctx->view());
       }
       const double left_est = ChildEstimate(node.left, *ctx, counters);
       const double right_est = ChildEstimate(node.right, *ctx, counters);
@@ -158,8 +157,7 @@ void BstSampler::SampleManyNode(int64_t id, size_t r, QueryContext* ctx,
 
   const BloomSampleTree::Node& node = tree_->node(id);
   if (!ctx->EstimateCached(node.left) || !ctx->EstimateCached(node.right)) {
-    tree_->PrefetchFilter(node.left, ctx->view());
-    tree_->PrefetchFilter(node.right, ctx->view());
+    tree_->PrefetchChildren(node, ctx->view());
   }
   const double left_est = ChildEstimate(node.left, *ctx, counters);
   const double right_est = ChildEstimate(node.right, *ctx, counters);
@@ -281,8 +279,7 @@ void BstSampler::BatchDescend(int64_t id, std::vector<BatchDraw> draws,
 
   const BloomSampleTree::Node& node = tree_->node(id);
   if (!ctx->EstimateCached(node.left) || !ctx->EstimateCached(node.right)) {
-    tree_->PrefetchFilter(node.left, ctx->view());
-    tree_->PrefetchFilter(node.right, ctx->view());
+    tree_->PrefetchChildren(node, ctx->view());
   }
   // One estimate per node per batch — the level-synchronous economy; the
   // context's cache extends it to one per node per *context*.

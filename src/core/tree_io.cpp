@@ -1,20 +1,128 @@
 #include "src/core/tree_io.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "src/bloom/bloom_io.h"
 #include "src/util/serialize.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define BSR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BSR_HAVE_MMAP 0
+#endif
+
 namespace bloomsample {
 
 namespace {
-constexpr char kTreeTag[4] = {'B', 'S', 'T', 'R'};
+constexpr char kTreeTag[4] = {'B', 'S', 'T', 'R'};      // v1 stream
+constexpr char kSnapshotTag[4] = {'B', 'S', 'T', '2'};  // v2 arena image
 constexpr uint32_t kTreeVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;
+/// Written in NATIVE byte order (unlike the little-endian metadata), so a
+/// reader whose endianness differs from the writer's sees a scrambled
+/// value and rejects the file instead of mis-reading the raw slab.
+constexpr uint32_t kEndianMark = 0x01020304u;
+constexpr uint64_t kHeaderBytes = 144;
+constexpr uint64_t kNodeEntryBytes = 48;
+/// Slab alignment in the file. A page multiple on every mainstream
+/// platform, so the mmap path can map the slab at (or just below) this
+/// offset, and comfortably beyond the arena's 64-byte line alignment.
+constexpr uint64_t kSlabAlign = 4096;
+
+/// Parsed v2 metadata — everything before the slab.
+struct SnapshotMeta {
+  TreeConfig config;
+  bool pruned = false;
+  NodeLayout layout = NodeLayout::kIdOrder;
+  uint64_t node_count = 0;
+  uint64_t words_per_block = 0;
+  uint64_t stride_words = 0;
+  uint64_t metadata_end = 0;
+  uint64_t slab_offset = 0;
+  uint64_t slab_bytes = 0;
+  uint64_t file_bytes = 0;
+
+  struct NodeMeta {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    uint32_t level = 0;
+    int64_t left = 0;
+    int64_t right = 0;
+    uint64_t set_bits = 0;
+  };
+  std::vector<NodeMeta> nodes;
+  std::vector<uint32_t> block_of;  ///< id → slab block index (permutation)
+  std::vector<uint64_t> occupied;
+};
+
+/// Child-topology invariant shared by both formats: node 0 is the level-0
+/// root, a child sits exactly one level deeper than its parent with a
+/// nested range, and every other node is referenced as a child exactly
+/// once. Together these force the child graph to be precisely a tree over
+/// all nodes — no cycles (levels strictly increase along any walk), no
+/// shared children, no orphans — so a corrupt pointer can neither hang a
+/// traversal nor break the save path's layout permutation.
+template <typename Nodes>
+Status ValidateChildTopology(const Nodes& nodes) {
+  if (nodes.empty()) return Status::OK();
+  if (nodes[0].level != 0) {
+    return Status::InvalidArgument("root node is not at level 0");
+  }
+  std::vector<bool> referenced(nodes.size(), false);
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const auto& node = nodes[id];
+    for (int64_t child_id : {node.left, node.right}) {
+      if (child_id == BloomSampleTree::kNoNode) continue;
+      const auto& child = nodes[static_cast<size_t>(child_id)];
+      if (child.level != node.level + 1 || child.lo < node.lo ||
+          child.hi > node.hi) {
+        return Status::InvalidArgument("corrupt child topology");
+      }
+      if (referenced[static_cast<size_t>(child_id)]) {
+        return Status::InvalidArgument("node referenced by two parents");
+      }
+      referenced[static_cast<size_t>(child_id)] = true;
+    }
+  }
+  for (size_t id = 1; id < nodes.size(); ++id) {
+    if (!referenced[id]) {
+      return Status::InvalidArgument("orphan node outside the tree");
+    }
+  }
+  return Status::OK();
+}
+
+/// Bytes from `data_start` to the end of a seekable stream; 0 if the
+/// stream cannot be sized. Restores the read position.
+uint64_t StreamBytesFrom(std::istream* in, std::streampos data_start) {
+  if (data_start == std::streampos(-1)) return 0;
+  const std::streampos here = in->tellg();
+  if (here == std::streampos(-1)) return 0;
+  in->seekg(0, std::ios::end);
+  const std::streampos end = in->tellg();
+  in->seekg(here);
+  if (end == std::streampos(-1) || end < data_start) return 0;
+  return static_cast<uint64_t>(end - data_start);
+}
+
 }  // namespace
 
 /// Befriended by BloomSampleTree; does the actual field surgery.
 class TreeSerializer {
  public:
+  // -------------------------------------------------------------------------
+  // v1: legacy field-by-field stream format (unchanged bytes).
+  // -------------------------------------------------------------------------
+
   static Status Write(const BloomSampleTree& tree, std::ostream* out) {
     BinaryWriter writer(out);
     writer.WriteTag(kTreeTag);
@@ -46,17 +154,6 @@ class TreeSerializer {
                        : Status::Internal("stream write failed");
   }
 
-  static Result<BloomSampleTree> Read(std::istream* in) {
-    BinaryReader reader(in);
-    Status st = reader.ExpectTag(kTreeTag);
-    if (!st.ok()) return st;
-    Result<uint32_t> version = reader.ReadU32();
-    if (!version.ok()) return version.status();
-    if (version.value() != kTreeVersion) {
-      return Status::Unsupported("unknown tree format version");
-    }
-
-    TreeConfig config;
 #define BSR_READ_OR_RETURN(field, expr)             \
   do {                                              \
     auto result = (expr);                           \
@@ -64,6 +161,16 @@ class TreeSerializer {
     field = result.value();                         \
   } while (0)
 
+  /// v1 body, with the 4-byte tag already consumed by the dispatcher.
+  static Result<BloomSampleTree> ReadV1Body(std::istream* in) {
+    BinaryReader reader(in);
+    Result<uint32_t> version = reader.ReadU32();
+    if (!version.ok()) return version.status();
+    if (version.value() != kTreeVersion) {
+      return Status::Unsupported("unknown tree format version");
+    }
+
+    TreeConfig config;
     BSR_READ_OR_RETURN(config.namespace_size, reader.ReadU64());
     BSR_READ_OR_RETURN(config.m, reader.ReadU64());
     BSR_READ_OR_RETURN(config.k, reader.ReadU64());
@@ -76,7 +183,7 @@ class TreeSerializer {
     BSR_READ_OR_RETURN(config.seed, reader.ReadU64());
     BSR_READ_OR_RETURN(config.depth, reader.ReadU32());
     BSR_READ_OR_RETURN(config.intersection_threshold, reader.ReadDouble());
-    st = config.Validate();
+    Status st = config.Validate();
     if (!st.ok()) return st;
 
     uint32_t pruned_flag;
@@ -150,9 +257,454 @@ class TreeSerializer {
       node.set_bits = node.filter.SetBitCount();
       tree.nodes_.push_back(std::move(node));
     }
-#undef BSR_READ_OR_RETURN
+    st = ValidateChildTopology(tree.nodes_);
+    if (!st.ok()) return st;
     return tree;
   }
+
+  // -------------------------------------------------------------------------
+  // v2: flat snapshot — header + node table + id→block index + occupancy,
+  // then the raw filter slab at a page-aligned offset.
+  // -------------------------------------------------------------------------
+
+  static Status WriteV2(const BloomSampleTree& tree, std::ostream* out,
+                        NodeLayout layout) {
+    const TreeConfig& config = tree.config_;
+    const uint64_t node_count = tree.nodes_.size();
+    if (node_count > std::numeric_limits<uint32_t>::max()) {
+      return Status::Unsupported("tree too large for the snapshot format");
+    }
+    const uint64_t words_per_block = (config.m + 63) / 64;
+    const uint64_t stride_words = (words_per_block + 7) / 8 * 8;
+
+    std::vector<uint32_t> block_of;
+    if (layout == NodeLayout::kDescent) {
+      block_of = tree.ComputeDescentOrder();
+    } else {
+      block_of.resize(static_cast<size_t>(node_count));
+      for (size_t id = 0; id < block_of.size(); ++id) {
+        block_of[id] = static_cast<uint32_t>(id);
+      }
+    }
+
+    const uint64_t block_index_offset =
+        kHeaderBytes + node_count * kNodeEntryBytes;
+    const uint64_t occupied_offset =
+        block_index_offset + node_count * sizeof(uint32_t);
+    const uint64_t metadata_end =
+        occupied_offset + tree.occupied_.size() * sizeof(uint64_t);
+    const uint64_t slab_offset =
+        (metadata_end + kSlabAlign - 1) / kSlabAlign * kSlabAlign;
+    const uint64_t slab_bytes = node_count * stride_words * sizeof(uint64_t);
+    const uint64_t file_bytes = slab_offset + slab_bytes;
+
+    BinaryWriter writer(out);
+    writer.WriteTag(kSnapshotTag);
+    writer.WriteU32(kSnapshotVersion);
+    // The byte-order mark is dumped natively on purpose (see kEndianMark).
+    out->write(reinterpret_cast<const char*>(&kEndianMark),
+               sizeof(kEndianMark));
+    const uint32_t flags = (tree.pruned_ ? 1u : 0u) |
+                           (static_cast<uint32_t>(layout) << 8);
+    writer.WriteU32(flags);
+    writer.WriteU32(static_cast<uint32_t>(config.hash_kind));
+    writer.WriteU32(config.depth);
+    writer.WriteU64(config.namespace_size);
+    writer.WriteU64(config.m);
+    writer.WriteU64(config.k);
+    writer.WriteU64(config.seed);
+    writer.WriteDouble(config.intersection_threshold);
+    writer.WriteU64(node_count);
+    writer.WriteU64(tree.occupied_.size());
+    writer.WriteU64(words_per_block);
+    writer.WriteU64(stride_words);
+    writer.WriteU64(kHeaderBytes);  // node table offset
+    writer.WriteU64(block_index_offset);
+    writer.WriteU64(occupied_offset);
+    writer.WriteU64(slab_offset);
+    writer.WriteU64(slab_bytes);
+    writer.WriteU64(file_bytes);
+
+    for (const BloomSampleTree::Node& node : tree.nodes_) {
+      writer.WriteU64(node.lo);
+      writer.WriteU64(node.hi);
+      writer.WriteU32(node.level);
+      writer.WriteU32(0);  // reserved
+      writer.WriteI64(node.left);
+      writer.WriteI64(node.right);
+      writer.WriteU64(node.set_bits);
+    }
+    for (uint32_t block : block_of) writer.WriteU32(block);
+    for (uint64_t id : tree.occupied_) writer.WriteU64(id);
+
+    // Zero pad to the page-aligned slab, then bulk-dump the blocks in slab
+    // order (the inverse permutation), each padded to the arena stride so
+    // the file image byte-for-byte matches a freshly packed FilterArena.
+    std::vector<char> pad(static_cast<size_t>(slab_offset - metadata_end), 0);
+    out->write(pad.data(), static_cast<std::streamsize>(pad.size()));
+
+    std::vector<uint32_t> id_at_block(static_cast<size_t>(node_count));
+    for (size_t id = 0; id < block_of.size(); ++id) {
+      id_at_block[block_of[id]] = static_cast<uint32_t>(id);
+    }
+    std::vector<uint64_t> block(static_cast<size_t>(stride_words), 0);
+    for (uint64_t b = 0; b < node_count; ++b) {
+      const BloomSampleTree::Node& node =
+          tree.nodes_[id_at_block[static_cast<size_t>(b)]];
+      std::memcpy(block.data(), node.filter.bits().word_data(),
+                  static_cast<size_t>(words_per_block) * sizeof(uint64_t));
+      out->write(reinterpret_cast<const char*>(block.data()),
+                 static_cast<std::streamsize>(stride_words *
+                                              sizeof(uint64_t)));
+    }
+    return writer.ok() ? Status::OK()
+                       : Status::Internal("stream write failed");
+  }
+
+  /// Parses and validates everything before the slab; the 4-byte tag is
+  /// already consumed. `stream_bytes` is the number of bytes the stream
+  /// holds from the tag onward (0 = unknown): when known, the declared
+  /// file size is cross-checked BEFORE any size-proportional allocation,
+  /// so a corrupt header cannot trigger a huge allocation or a partial
+  /// parse of garbage.
+  static Result<SnapshotMeta> ReadV2Meta(std::istream* in,
+                                         uint64_t stream_bytes) {
+    BinaryReader reader(in);
+    SnapshotMeta meta;
+
+    Result<uint32_t> version = reader.ReadU32();
+    if (!version.ok()) return version.status();
+    if (version.value() != kSnapshotVersion) {
+      return Status::Unsupported("unknown snapshot format version");
+    }
+    uint32_t endian_mark;
+    in->read(reinterpret_cast<char*>(&endian_mark), sizeof(endian_mark));
+    if (!in->good()) return Status::OutOfRange("truncated snapshot header");
+    if (endian_mark != kEndianMark) {
+      return Status::Unsupported(
+          "snapshot byte order does not match this host (use the v1 stream "
+          "format for cross-endian transport)");
+    }
+
+    uint32_t flags;
+    BSR_READ_OR_RETURN(flags, reader.ReadU32());
+    if ((flags & ~(0x1u | 0xff00u)) != 0) {
+      return Status::InvalidArgument("unknown snapshot flags");
+    }
+    meta.pruned = (flags & 1u) != 0;
+    const uint32_t layout_raw = (flags >> 8) & 0xffu;
+    if (layout_raw > static_cast<uint32_t>(NodeLayout::kDescent)) {
+      return Status::InvalidArgument("unknown snapshot node layout");
+    }
+    meta.layout = static_cast<NodeLayout>(layout_raw);
+
+    uint32_t kind_raw;
+    BSR_READ_OR_RETURN(kind_raw, reader.ReadU32());
+    if (kind_raw > static_cast<uint32_t>(HashFamilyKind::kMd5)) {
+      return Status::InvalidArgument("unknown hash family kind in snapshot");
+    }
+    meta.config.hash_kind = static_cast<HashFamilyKind>(kind_raw);
+    BSR_READ_OR_RETURN(meta.config.depth, reader.ReadU32());
+    BSR_READ_OR_RETURN(meta.config.namespace_size, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.config.m, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.config.k, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.config.seed, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.config.intersection_threshold,
+                       reader.ReadDouble());
+    const Status st = meta.config.Validate();
+    if (!st.ok()) return st;
+
+    uint64_t occupied_count;
+    BSR_READ_OR_RETURN(meta.node_count, reader.ReadU64());
+    BSR_READ_OR_RETURN(occupied_count, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.words_per_block, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.stride_words, reader.ReadU64());
+    uint64_t node_table_offset;
+    uint64_t block_index_offset;
+    uint64_t occupied_offset;
+    BSR_READ_OR_RETURN(node_table_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(block_index_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(occupied_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.slab_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.slab_bytes, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.file_bytes, reader.ReadU64());
+
+    // Geometry validation. Every derived quantity is recomputed with
+    // overflow checks and compared against the header's claim — the file
+    // offers no layout freedom, so any mismatch is corruption.
+    if (meta.node_count > meta.config.CompleteNodeCount() ||
+        meta.node_count > std::numeric_limits<uint32_t>::max()) {
+      return Status::InvalidArgument("snapshot node count out of range");
+    }
+    if (meta.words_per_block != (meta.config.m + 63) / 64 ||
+        meta.stride_words != (meta.words_per_block + 7) / 8 * 8) {
+      return Status::InvalidArgument("snapshot block geometry mismatch");
+    }
+    if (occupied_count > meta.config.namespace_size ||
+        (!meta.pruned && occupied_count != 0)) {
+      return Status::InvalidArgument("snapshot occupancy out of range");
+    }
+    uint64_t expect = kHeaderBytes;
+    if (node_table_offset != expect) {
+      return Status::InvalidArgument("snapshot node table offset mismatch");
+    }
+    expect += meta.node_count * kNodeEntryBytes;  // count < 2^32: no overflow
+    if (block_index_offset != expect) {
+      return Status::InvalidArgument("snapshot block index offset mismatch");
+    }
+    expect += meta.node_count * sizeof(uint32_t);
+    if (occupied_offset != expect) {
+      return Status::InvalidArgument("snapshot occupancy offset mismatch");
+    }
+    uint64_t occupied_bytes;
+    if (__builtin_mul_overflow(occupied_count, sizeof(uint64_t),
+                               &occupied_bytes) ||
+        __builtin_add_overflow(expect, occupied_bytes, &meta.metadata_end)) {
+      return Status::InvalidArgument("snapshot metadata size overflows");
+    }
+    uint64_t slab_offset;
+    if (__builtin_add_overflow(meta.metadata_end, kSlabAlign - 1,
+                               &slab_offset)) {
+      return Status::InvalidArgument("snapshot slab offset overflows");
+    }
+    slab_offset = slab_offset / kSlabAlign * kSlabAlign;
+    if (meta.slab_offset != slab_offset) {
+      return Status::InvalidArgument("snapshot slab offset mismatch");
+    }
+    // stride_words matched (wpb+7)/8*8 above, so stride_words * 8 cannot
+    // itself overflow (wpb ≤ 2^58); only the per-node product can.
+    uint64_t slab_bytes;
+    if (__builtin_mul_overflow(meta.node_count,
+                               meta.stride_words * sizeof(uint64_t),
+                               &slab_bytes)) {
+      return Status::InvalidArgument("snapshot slab size overflows");
+    }
+    if (meta.slab_bytes != slab_bytes) {
+      return Status::InvalidArgument("snapshot slab size mismatch");
+    }
+    uint64_t file_bytes;
+    if (__builtin_add_overflow(meta.slab_offset, meta.slab_bytes,
+                               &file_bytes)) {
+      return Status::InvalidArgument("snapshot file size overflows");
+    }
+    if (meta.file_bytes != file_bytes) {
+      return Status::InvalidArgument("snapshot file size mismatch");
+    }
+    if (stream_bytes != 0 && stream_bytes != meta.file_bytes) {
+      return Status::OutOfRange("snapshot truncated or padded on disk");
+    }
+
+    // Node table.
+    meta.nodes.reserve(static_cast<size_t>(meta.node_count));
+    for (uint64_t i = 0; i < meta.node_count; ++i) {
+      SnapshotMeta::NodeMeta node;
+      uint32_t reserved;
+      BSR_READ_OR_RETURN(node.lo, reader.ReadU64());
+      BSR_READ_OR_RETURN(node.hi, reader.ReadU64());
+      BSR_READ_OR_RETURN(node.level, reader.ReadU32());
+      BSR_READ_OR_RETURN(reserved, reader.ReadU32());
+      BSR_READ_OR_RETURN(node.left, reader.ReadI64());
+      BSR_READ_OR_RETURN(node.right, reader.ReadI64());
+      BSR_READ_OR_RETURN(node.set_bits, reader.ReadU64());
+      if (reserved != 0) {
+        return Status::InvalidArgument("snapshot node entry reserved bits");
+      }
+      if (node.level > meta.config.depth ||
+          node.hi > meta.config.namespace_size || node.lo > node.hi) {
+        return Status::InvalidArgument("corrupt node geometry");
+      }
+      const auto valid_child = [&meta](int64_t child) {
+        return child == BloomSampleTree::kNoNode ||
+               (child >= 0 &&
+                static_cast<uint64_t>(child) < meta.node_count);
+      };
+      if (!valid_child(node.left) || !valid_child(node.right)) {
+        return Status::InvalidArgument("corrupt child pointer");
+      }
+      if (node.set_bits > meta.config.m) {
+        return Status::InvalidArgument("corrupt node popcount");
+      }
+      meta.nodes.push_back(node);
+    }
+    const Status topology = ValidateChildTopology(meta.nodes);
+    if (!topology.ok()) return topology;
+
+    // id→block index: must be a permutation of [0, node_count).
+    meta.block_of.reserve(static_cast<size_t>(meta.node_count));
+    std::vector<bool> seen(static_cast<size_t>(meta.node_count), false);
+    for (uint64_t i = 0; i < meta.node_count; ++i) {
+      uint32_t block;
+      BSR_READ_OR_RETURN(block, reader.ReadU32());
+      if (block >= meta.node_count || seen[block]) {
+        return Status::InvalidArgument("snapshot block index is not a "
+                                       "permutation");
+      }
+      seen[block] = true;
+      meta.block_of.push_back(block);
+    }
+
+    // Occupancy (pruned trees): sorted, unique, in range.
+    meta.occupied.reserve(static_cast<size_t>(occupied_count));
+    for (uint64_t i = 0; i < occupied_count; ++i) {
+      uint64_t id;
+      BSR_READ_OR_RETURN(id, reader.ReadU64());
+      if (id >= meta.config.namespace_size ||
+          (!meta.occupied.empty() && id <= meta.occupied.back())) {
+        return Status::InvalidArgument("corrupt occupancy list");
+      }
+      meta.occupied.push_back(id);
+    }
+    return meta;
+  }
+#undef BSR_READ_OR_RETURN
+
+  /// Builds the tree around an arena whose first meta.node_count blocks
+  /// already hold the slab (heap-read or mmap'ed): wires each node's
+  /// filter span to block block_of[id] and seeds the persisted popcounts,
+  /// touching no payload words. `checked_spans` selects SpanOf (heap
+  /// payloads, invariant restored by the loader) vs SpanOfUnchecked
+  /// (mmap'ed payloads, untrusted bytes must not trip debug asserts).
+  static Result<BloomSampleTree> AssembleNodes(SnapshotMeta&& meta,
+                                               BloomSampleTree&& tree,
+                                               uint64_t* slab_base,
+                                               bool checked_spans) {
+    tree.occupied_ = std::move(meta.occupied);
+    tree.node_layout_ = meta.layout;
+    tree.nodes_.reserve(static_cast<size_t>(meta.node_count));
+    for (uint64_t id = 0; id < meta.node_count; ++id) {
+      const SnapshotMeta::NodeMeta& nm = meta.nodes[static_cast<size_t>(id)];
+      uint64_t* block =
+          slab_base + static_cast<size_t>(meta.block_of[id]) *
+                          static_cast<size_t>(meta.stride_words);
+      BitVector bits =
+          checked_spans
+              ? BitVector::SpanOf(block, static_cast<size_t>(meta.config.m))
+              : BitVector::SpanOfUnchecked(
+                    block, static_cast<size_t>(meta.config.m));
+      BloomSampleTree::Node node(nm.lo, nm.hi, nm.level, tree.family_,
+                                 std::move(bits));
+      node.left = nm.left;
+      node.right = nm.right;
+      node.set_bits = nm.set_bits;
+      node.filter.SeedSetBitCount(static_cast<size_t>(nm.set_bits));
+      tree.nodes_.push_back(std::move(node));
+    }
+    return std::move(tree);
+  }
+
+  static Result<BloomSampleTree> MakeEmptyTree(const SnapshotMeta& meta) {
+    auto family = MakeHashFamily(meta.config.hash_kind,
+                                 static_cast<size_t>(meta.config.k),
+                                 meta.config.m, meta.config.seed,
+                                 meta.config.namespace_size);
+    if (!family.ok()) return family.status();
+    return BloomSampleTree(meta.config, family.value(), meta.pruned);
+  }
+
+  /// Heap materialization: the stream is positioned at metadata_end; skip
+  /// the pad, bulk-read the slab into a fresh arena, restore the
+  /// trailing-bit/padding-word invariants, and wire up the nodes.
+  static Result<BloomSampleTree> ReadV2Heap(SnapshotMeta&& meta,
+                                            std::istream* in) {
+    auto tree = MakeEmptyTree(meta);
+    if (!tree.ok()) return tree;
+
+    const uint64_t pad = meta.slab_offset - meta.metadata_end;
+    in->ignore(static_cast<std::streamsize>(pad));
+    if (meta.node_count == 0) {
+      return AssembleNodes(std::move(meta), std::move(tree).value(), nullptr,
+                           /*checked_spans=*/true);
+    }
+    if (!in->good()) return Status::OutOfRange("snapshot truncated (pad)");
+
+    tree.value().arena_.Reserve(static_cast<size_t>(meta.node_count));
+    uint64_t* base = tree.value().arena_.AllocateBlocks(
+        static_cast<size_t>(meta.node_count));
+    in->read(reinterpret_cast<char*>(base),
+             static_cast<std::streamsize>(meta.slab_bytes));
+    if (in->gcount() != static_cast<std::streamsize>(meta.slab_bytes)) {
+      return Status::OutOfRange("snapshot truncated (slab)");
+    }
+    // Restore the invariants BitVector relies on: zero the padding words
+    // of every block and the trailing bits of the last payload word, so a
+    // corrupt slab can skew results but never break popcount/equality
+    // contracts. (The mmap path leaves bytes untouched by design; its
+    // spans are created unchecked.)
+    const size_t wpb = static_cast<size_t>(meta.words_per_block);
+    const size_t stride = static_cast<size_t>(meta.stride_words);
+    const size_t tail = static_cast<size_t>(meta.config.m % 64);
+    for (uint64_t b = 0; b < meta.node_count; ++b) {
+      uint64_t* block = base + static_cast<size_t>(b) * stride;
+      if (tail != 0) block[wpb - 1] &= (~0ULL >> (64 - tail));
+      for (size_t w = wpb; w < stride; ++w) block[w] = 0;
+    }
+    return AssembleNodes(std::move(meta), std::move(tree).value(), base,
+                         /*checked_spans=*/true);
+  }
+
+#if BSR_HAVE_MMAP
+  /// Zero-copy materialization: map the slab MAP_PRIVATE (so dynamic
+  /// Insert copy-on-writes pages instead of touching the file) and hand
+  /// the mapping to the arena; node spans point straight into it. Open
+  /// cost is O(metadata) — payload pages fault in on first intersection.
+  static Result<BloomSampleTree> ReadV2Mmap(SnapshotMeta&& meta,
+                                            const std::string& path,
+                                            bool prewarm,
+                                            TreeLoadInfo* info) {
+    auto tree = MakeEmptyTree(meta);
+    if (!tree.ok()) return tree;
+    if (meta.node_count == 0) {
+      return AssembleNodes(std::move(meta), std::move(tree).value(), nullptr,
+                           /*checked_spans=*/true);
+    }
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::NotFound("cannot open '" + path + "' for mapping");
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        st.st_size != static_cast<off_t>(meta.file_bytes)) {
+      ::close(fd);
+      return Status::OutOfRange("snapshot truncated or padded on disk");
+    }
+
+    // The slab offset is kSlabAlign-ed; map from the enclosing page
+    // boundary in case the system page size exceeds kSlabAlign.
+    const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+    const uint64_t map_offset = meta.slab_offset / page * page;
+    const size_t delta = static_cast<size_t>(meta.slab_offset - map_offset);
+    const size_t map_len = static_cast<size_t>(meta.slab_bytes) + delta;
+    int mmap_flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    if (prewarm) mmap_flags |= MAP_POPULATE;
+#else
+    (void)prewarm;
+#endif
+    void* map = ::mmap(nullptr, map_len, PROT_READ | PROT_WRITE, mmap_flags,
+                       fd, static_cast<off_t>(map_offset));
+    ::close(fd);  // the mapping keeps its own reference
+    if (map == MAP_FAILED) {
+      return Status::Internal(std::string("mmap failed: ") +
+                              std::strerror(errno));
+    }
+    // Advisory hints: kick off readahead for the descent-ordered slab and
+    // ask for transparent huge pages (a 1.25 MB filter block spans 320
+    // 4 KiB pages; THP cuts the TLB cost of a cold dense intersection).
+    ::madvise(map, map_len, MADV_WILLNEED);
+#ifdef MADV_HUGEPAGE
+    ::madvise(map, map_len, MADV_HUGEPAGE);
+#endif
+    uint64_t* base =
+        reinterpret_cast<uint64_t*>(static_cast<char*>(map) + delta);
+    tree.value().arena_.AdoptExternal(
+        base, static_cast<size_t>(meta.node_count),
+        [map, map_len](uint64_t*) { ::munmap(map, map_len); });
+    if (info != nullptr) info->mapped_bytes = meta.slab_bytes;
+    return AssembleNodes(std::move(meta), std::move(tree).value(), base,
+                         /*checked_spans=*/false);
+  }
+#endif  // BSR_HAVE_MMAP
 };
 
 Status SerializeTree(const BloomSampleTree& tree, std::ostream* out) {
@@ -162,23 +714,124 @@ Status SerializeTree(const BloomSampleTree& tree, std::ostream* out) {
 
 Result<BloomSampleTree> DeserializeTree(std::istream* in) {
   if (in == nullptr) return Status::InvalidArgument("null input stream");
-  return TreeSerializer::Read(in);
+  const std::streampos start = in->tellg();
+  char tag[4];
+  in->read(tag, 4);
+  if (!in->good()) return Status::OutOfRange("truncated stream (tag)");
+  if (std::memcmp(tag, kTreeTag, 4) == 0) {
+    return TreeSerializer::ReadV1Body(in);
+  }
+  if (std::memcmp(tag, kSnapshotTag, 4) == 0) {
+    const uint64_t stream_bytes = StreamBytesFrom(in, start);
+    if (stream_bytes == 0) {
+      // Without a sizeable stream the header's slab size cannot be
+      // cross-checked before the slab allocation it dictates — a forged
+      // header could demand petabytes. v1 streams stay fine (their reads
+      // are bounded per node); v2 consumers should load from a file.
+      return Status::Unsupported(
+          "v2 snapshots require a seekable stream (use LoadTreeFromFile)");
+    }
+    auto meta = TreeSerializer::ReadV2Meta(in, stream_bytes);
+    if (!meta.ok()) return meta.status();
+    return TreeSerializer::ReadV2Heap(std::move(meta).value(), in);
+  }
+  return Status::InvalidArgument("bad magic tag; expected 'BSTR' or 'BST2'");
 }
 
 Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path) {
+  return SaveTreeToFile(tree, path, SaveOptions());
+}
+
+Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path,
+                      const SaveOptions& options) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::NotFound("cannot open '" + path + "' for writing");
   }
-  return SerializeTree(tree, &out);
+  if (options.version == kTreeVersion) {
+    return TreeSerializer::Write(tree, &out);
+  }
+  if (options.version == kSnapshotVersion) {
+    return TreeSerializer::WriteV2(tree, &out, options.layout);
+  }
+  return Status::InvalidArgument("unknown snapshot version requested");
+}
+
+LoadOptions LoadOptions::FromEnv() {
+  LoadOptions options;
+  if (const char* mode = std::getenv("BSR_LOAD")) {
+    if (std::strcmp(mode, "heap") == 0) options.mode = LoadMode::kHeap;
+    if (std::strcmp(mode, "mmap") == 0) options.mode = LoadMode::kMmap;
+  }
+  if (const char* prewarm = std::getenv("BSR_LOAD_PREWARM")) {
+    options.prewarm = prewarm[0] == '1';
+  }
+  return options;
+}
+
+const char* TreeLoadMethodName(TreeLoadInfo::Method method) {
+  switch (method) {
+    case TreeLoadInfo::Method::kStreamV1: return "stream-v1";
+    case TreeLoadInfo::Method::kHeapV2: return "heap-v2";
+    case TreeLoadInfo::Method::kMmapV2: return "mmap-v2";
+  }
+  return "unknown";
 }
 
 Result<BloomSampleTree> LoadTreeFromFile(const std::string& path) {
+  return LoadTreeFromFile(path, LoadOptions::FromEnv());
+}
+
+Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
+                                         const LoadOptions& options,
+                                         TreeLoadInfo* info) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("cannot open '" + path + "' for reading");
   }
-  return DeserializeTree(&in);
+  char tag[4];
+  in.read(tag, 4);
+  if (!in.good()) return Status::OutOfRange("truncated stream (tag)");
+
+  if (std::memcmp(tag, kTreeTag, 4) == 0) {
+    if (info != nullptr) {
+      *info = TreeLoadInfo{TreeLoadInfo::Method::kStreamV1, kTreeVersion,
+                           NodeLayout::kIdOrder, 0};
+    }
+    return TreeSerializer::ReadV1Body(&in);
+  }
+  if (std::memcmp(tag, kSnapshotTag, 4) != 0) {
+    return Status::InvalidArgument("bad magic tag; expected 'BSTR' or 'BST2'");
+  }
+
+  const uint64_t stream_bytes = StreamBytesFrom(&in, std::streampos(0));
+  if (stream_bytes == 0) {
+    // Unsizeable input (a FIFO, say): the slab-size cross-check cannot
+    // run before the allocation it guards — refuse rather than trust.
+    return Status::Unsupported("v2 snapshots require a seekable file");
+  }
+  auto meta = TreeSerializer::ReadV2Meta(&in, stream_bytes);
+  if (!meta.ok()) return meta.status();
+
+  const bool want_mmap = options.mode == LoadMode::kMmap ||
+                         (options.mode == LoadMode::kAuto && BSR_HAVE_MMAP);
+  if (info != nullptr) {
+    *info = TreeLoadInfo{want_mmap ? TreeLoadInfo::Method::kMmapV2
+                                   : TreeLoadInfo::Method::kHeapV2,
+                         kSnapshotVersion, meta.value().layout, 0};
+  }
+#if BSR_HAVE_MMAP
+  if (want_mmap) {
+    return TreeSerializer::ReadV2Mmap(std::move(meta).value(), path,
+                                      options.prewarm, info);
+  }
+#else
+  if (options.mode == LoadMode::kMmap) {
+    return Status::Unsupported("mmap loading is not available on this "
+                               "platform; use LoadMode::kHeap");
+  }
+#endif
+  return TreeSerializer::ReadV2Heap(std::move(meta).value(), &in);
 }
 
 }  // namespace bloomsample

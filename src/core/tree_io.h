@@ -2,14 +2,42 @@
 //
 // The tree is the build-once artifact of the whole system (Section 5:
 // "constructed only once and repeatedly used"); persisting it turns a
-// multi-second rebuild into a file read. The format stores the full
-// TreeConfig, the occupied-id list for pruned trees, and every node's
-// geometry + bit payload; loading reconstructs the hash family from the
-// config so all node filters (and any filters later deserialized against
-// the tree) share one family object.
+// multi-second rebuild into a file read. Two on-disk formats:
+//
+//   * v1 — the legacy stream format of SerializeTree/DeserializeTree: a
+//     field-by-field little-endian encoding, parsed word-at-a-time on
+//     load. Portable, still fully readable (and writable via
+//     SerializeTree); cost: a full O(m·n) parse on every open.
+//   * v2 — the snapshot format SaveTreeToFile writes by default. The
+//     payload is a single 64-byte-aligned arena image — header, node
+//     table, id→block index, occupancy, then the raw filter slab at a
+//     page-aligned offset, every block at the arena's cache-line stride:
+//
+//       [header 144B][node table 48B/node][id→block u32/node]
+//       [occupied u64 each][zero pad to 4 KiB][slab: stride·8 B/block]
+//
+//     Because the slab *is* the in-memory FilterArena layout, loading can
+//     either bulk-read it (heap mode, one I/O) or mmap it (zero-copy
+//     mode: every node's BitVector span points straight into a
+//     MAP_PRIVATE mapping, so open cost is O(metadata) — milliseconds,
+//     independent of m·n — pages fault in on first touch, and trees
+//     larger than RAM stay usable). Node popcounts are persisted in the
+//     node table, so neither mode touches payload words at open time.
+//
+// The slab can be written in either node-id order or the descent-aware
+// kDescent layout (see NodeLayout in bloom_sample_tree.h); the id→block
+// index keys the permutation, so logical ids — and therefore every draw
+// and reconstruction — are identical across formats, layouts, and load
+// modes.
+//
+// Metadata is encoded little-endian on every host; the slab is dumped in
+// native byte order and guarded by a byte-order mark, so a v2 snapshot is
+// portable between same-endian machines and cleanly rejected (use v1)
+// across endianness.
 #ifndef BLOOMSAMPLE_CORE_TREE_IO_H_
 #define BLOOMSAMPLE_CORE_TREE_IO_H_
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -19,15 +47,67 @@
 
 namespace bloomsample {
 
-/// Writes the tree (config, occupancy, nodes) to `out`.
+/// How SaveTreeToFile lays the file out.
+struct SaveOptions {
+  /// 2 = flat snapshot (the default), 1 = legacy stream format.
+  uint32_t version = 2;
+  /// Slab block order (v2 only; v1 is inherently id-ordered).
+  NodeLayout layout = NodeLayout::kDescent;
+};
+
+/// How LoadTreeFromFile materializes a v2 snapshot's slab.
+enum class LoadMode : uint32_t {
+  kAuto = 0,  ///< mmap when the platform supports it, else heap
+  kHeap = 1,  ///< bulk-read the slab into a freshly allocated arena
+  kMmap = 2,  ///< zero-copy: spans point into a MAP_PRIVATE mapping
+};
+
+struct LoadOptions {
+  LoadMode mode = LoadMode::kAuto;
+  /// Prewarm the mapping at open time (MAP_POPULATE where available):
+  /// trades the O(ms) lazy open for fault-free first queries.
+  bool prewarm = false;
+
+  /// Defaults overridden by the environment: BSR_LOAD=heap|mmap|auto picks
+  /// the mode (unknown values keep kAuto), BSR_LOAD_PREWARM=1 sets
+  /// prewarm. Lets the whole test suite / a deployment flip load paths
+  /// without a rebuild.
+  static LoadOptions FromEnv();
+};
+
+/// What LoadTreeFromFile actually did — for CLI/bench load-time lines.
+struct TreeLoadInfo {
+  enum class Method : uint32_t { kStreamV1 = 1, kHeapV2 = 2, kMmapV2 = 3 };
+  Method method = Method::kStreamV1;
+  uint32_t version = 0;
+  NodeLayout layout = NodeLayout::kIdOrder;
+  /// Bytes of slab mapped zero-copy (0 for heap/stream loads).
+  uint64_t mapped_bytes = 0;
+};
+
+const char* TreeLoadMethodName(TreeLoadInfo::Method method);
+
+/// Writes the tree in the legacy v1 stream format (byte-identical to
+/// pre-snapshot releases).
 Status SerializeTree(const BloomSampleTree& tree, std::ostream* out);
 
-/// Reads a tree written by SerializeTree.
+/// Reads a tree from a stream holding either format (version-dispatched on
+/// the magic tag). v2 payloads are materialized on the heap — streams
+/// cannot be mmap'ed; use LoadTreeFromFile for the zero-copy path.
 Result<BloomSampleTree> DeserializeTree(std::istream* in);
 
-/// Convenience file wrappers.
+/// Writes a v2 snapshot in the descent layout (see SaveOptions defaults).
 Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path);
+Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path,
+                      const SaveOptions& options);
+
+/// Loads either format; mode/prewarm default from LoadOptions::FromEnv().
+/// `info` (optional) reports the load method, format version, layout, and
+/// mapped bytes.
 Result<BloomSampleTree> LoadTreeFromFile(const std::string& path);
+Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
+                                         const LoadOptions& options,
+                                         TreeLoadInfo* info = nullptr);
 
 }  // namespace bloomsample
 

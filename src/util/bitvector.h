@@ -59,6 +59,23 @@ class BitVector {
     return v;
   }
 
+  /// SpanOf without the trailing-bit-invariant debug assert, for spans over
+  /// storage the process does not control — an mmap'ed snapshot slab whose
+  /// bytes are untrusted input, where a stray trailing bit must surface as
+  /// (at worst) divergent query results, never an abort. Intersections
+  /// against query filters are unaffected either way (the query's own
+  /// trailing words are zero, so the AND masks stray bits); Popcount and
+  /// equality on such a span do see them.
+  static BitVector SpanOfUnchecked(uint64_t* words, size_t size) {
+    BSR_CHECK(words != nullptr || size == 0,
+              "BitVector::SpanOfUnchecked null words");
+    BitVector v;
+    v.size_ = size;
+    v.word_count_ = (size + 63) / 64;
+    v.data_ = words;
+    return v;
+  }
+
   BitVector(const BitVector& other)
       : size_(other.size_),
         word_count_(other.word_count_),

@@ -12,8 +12,6 @@ namespace {
 constexpr size_t kArenaAlignment = 64;
 }  // namespace
 
-void FilterArena::AlignedFree::operator()(uint64_t* p) const { std::free(p); }
-
 void FilterArena::Configure(size_t words_per_block, size_t expected_blocks) {
   BSR_CHECK(words_per_block > 0, "FilterArena: zero-width blocks");
   BSR_CHECK(chunks_.empty() && allocated_blocks_ == 0,
@@ -44,26 +42,48 @@ void FilterArena::AddChunk(size_t capacity_blocks) {
   uint64_t* words = static_cast<uint64_t*>(std::aligned_alloc(kArenaAlignment, bytes));
   BSR_CHECK(words != nullptr, "FilterArena: allocation failed");
   Chunk chunk;
-  chunk.words.reset(words);
+  chunk.words = {words, [](uint64_t* p) { std::free(p); }};
   chunk.capacity_blocks = capacity_blocks;
   chunks_.push_back(std::move(chunk));
 }
 
-uint64_t* FilterArena::Allocate() {
+uint64_t* FilterArena::Allocate() { return AllocateBlocks(1); }
+
+uint64_t* FilterArena::AllocateBlocks(size_t blocks) {
   BSR_CHECK(words_per_block_ > 0, "FilterArena: Allocate before Configure");
-  if (chunks_.empty() || chunks_.back().used_blocks == chunks_.back().capacity_blocks) {
+  BSR_CHECK(blocks > 0, "FilterArena: empty block run");
+  if (chunks_.empty() ||
+      chunks_.back().capacity_blocks - chunks_.back().used_blocks < blocks) {
     // Geometric growth keeps the chunk count logarithmic when dynamic
-    // inserts outgrow the builder's exact reservation.
+    // inserts outgrow the builder's exact reservation; a run larger than
+    // the growth step gets a chunk of its own.
     const size_t grow = allocated_blocks_ / 2;
-    AddChunk(grow < 16 ? 16 : grow);
+    size_t capacity = grow < 16 ? 16 : grow;
+    if (capacity < blocks) capacity = blocks;
+    AddChunk(capacity);
   }
   Chunk& chunk = chunks_.back();
-  uint64_t* block = chunk.words.get() + chunk.used_blocks * stride_words_;
-  // Zero the whole stride: the padding words stay deterministically zero.
-  std::memset(block, 0, stride_words_ * sizeof(uint64_t));
-  ++chunk.used_blocks;
-  ++allocated_blocks_;
-  return block;
+  uint64_t* run = chunk.words.get() + chunk.used_blocks * stride_words_;
+  // Zero the whole stride of every block: padding words stay
+  // deterministically zero.
+  std::memset(run, 0, blocks * stride_words_ * sizeof(uint64_t));
+  chunk.used_blocks += blocks;
+  allocated_blocks_ += blocks;
+  return run;
+}
+
+void FilterArena::AdoptExternal(uint64_t* base, size_t blocks,
+                                std::function<void(uint64_t*)> release) {
+  BSR_CHECK(words_per_block_ > 0, "FilterArena: AdoptExternal before Configure");
+  BSR_CHECK(chunks_.empty() && allocated_blocks_ == 0,
+            "FilterArena: AdoptExternal on a non-empty arena");
+  BSR_CHECK(base != nullptr || blocks == 0, "FilterArena: null external base");
+  Chunk chunk;
+  chunk.words = {base, std::move(release)};
+  chunk.capacity_blocks = blocks;
+  chunk.used_blocks = blocks;  // full: later Allocate calls append chunks
+  chunks_.push_back(std::move(chunk));
+  allocated_blocks_ = blocks;
 }
 
 size_t FilterArena::MemoryBytes() const {

@@ -18,10 +18,21 @@
 // block address, so spans into it survive a tree move. It is NOT
 // copyable — a copied arena would leave the copy's spans pointing at the
 // original.
+//
+// Two loading-oriented entry points extend the build-time API:
+//   * AllocateBlocks — a contiguous run of blocks in one call, so a
+//     snapshot loader can read a whole on-disk slab into the arena with a
+//     single I/O (the slab's block stride matches block_stride_words()).
+//   * AdoptExternal — wraps an externally owned region (an mmap'ed
+//     snapshot slab) as the arena's first chunk without copying a byte;
+//     the region's release callback runs when the arena dies. Dynamic
+//     growth after adoption appends ordinary heap chunks, so a tree loaded
+//     zero-copy still supports Insert.
 #ifndef BLOOMSAMPLE_UTIL_FILTER_ARENA_H_
 #define BLOOMSAMPLE_UTIL_FILTER_ARENA_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -52,6 +63,21 @@ class FilterArena {
   /// moves existing ones).
   uint64_t* Allocate();
 
+  /// Returns the first of `blocks` consecutive zeroed blocks (spaced at
+  /// block_stride_words()), growing by one chunk if the current one cannot
+  /// hold the whole run — the run itself never straddles chunks. Snapshot
+  /// loaders use this to bulk-read an on-disk slab in place.
+  uint64_t* AllocateBlocks(size_t blocks);
+
+  /// Adopts `base` — an externally owned region holding `blocks` blocks at
+  /// this arena's stride, e.g. an mmap'ed snapshot slab — as the arena's
+  /// first chunk, without copying. Only valid after Configure and while no
+  /// chunk exists. `release(base)` is called exactly once when the arena is
+  /// destroyed (or assigned over). The region's contents are preserved
+  /// as-is; unlike Allocate, nothing is zeroed.
+  void AdoptExternal(uint64_t* base, size_t blocks,
+                     std::function<void(uint64_t*)> release);
+
   size_t words_per_block() const { return words_per_block_; }
   /// Distance between consecutive blocks in a chunk: words_per_block()
   /// rounded up to a whole number of cache lines (8 words), so every
@@ -66,11 +92,11 @@ class FilterArena {
   size_t MemoryBytes() const;
 
  private:
-  struct AlignedFree {
-    void operator()(uint64_t* p) const;
-  };
+  // The deleter is type-erased so one Chunk type covers both owned heap
+  // chunks (std::free) and adopted external regions (the caller's release,
+  // e.g. munmap).
   struct Chunk {
-    std::unique_ptr<uint64_t[], AlignedFree> words;
+    std::unique_ptr<uint64_t[], std::function<void(uint64_t*)>> words;
     size_t capacity_blocks = 0;
     size_t used_blocks = 0;
   };

@@ -180,6 +180,29 @@ Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
   return DeserializeBloomFilter(&in, tree.family_ptr());
 }
 
+/// Loads a tree honoring --mmap/--heap/--prewarm (else the BSR_LOAD env
+/// defaults) and prints the load-time summary line every tree-consuming
+/// command shares.
+Result<BloomSampleTree> LoadTreeForCli(const Flags& flags,
+                                       const std::string& path) {
+  LoadOptions options = LoadOptions::FromEnv();
+  if (flags.GetBool("mmap")) options.mode = LoadMode::kMmap;
+  if (flags.GetBool("heap")) options.mode = LoadMode::kHeap;
+  if (flags.GetBool("prewarm")) options.prewarm = true;
+  TreeLoadInfo info;
+  Timer timer;
+  Result<BloomSampleTree> tree = LoadTreeFromFile(path, options, &info);
+  if (tree.ok()) {
+    std::fprintf(stderr,
+                 "# loaded tree in %.2f ms via %s (v%u, %s layout, "
+                 "%.2f MB mapped)\n",
+                 timer.ElapsedMillis(), TreeLoadMethodName(info.method),
+                 info.version, NodeLayoutName(info.layout),
+                 static_cast<double>(info.mapped_bytes) / 1e6);
+  }
+  return tree;
+}
+
 // ---------------------------------------------------------------------------
 // Subcommands.
 // ---------------------------------------------------------------------------
@@ -201,6 +224,19 @@ Status CmdBuild(const Flags& flags) {
   if (!kind.ok()) return kind.status();
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
+  SaveOptions save_options;
+  const std::string layout = flags.Get("layout").value_or("descent");
+  if (layout == "id") {
+    save_options.layout = NodeLayout::kIdOrder;
+  } else if (layout != "descent") {
+    return Status::InvalidArgument("--layout must be 'id' or 'descent'");
+  }
+  const std::string format = flags.Get("format").value_or("v2");
+  if (format == "v1") {
+    save_options.version = 1;
+  } else if (format != "v2") {
+    return Status::InvalidArgument("--format must be 'v1' or 'v2'");
+  }
 
   Result<TreeConfig> config = MakeConfigForAccuracy(
       accuracy.value(), set_size.value(), k.value(), namespace_size.value(),
@@ -221,22 +257,27 @@ Status CmdBuild(const Flags& flags) {
   }();
   if (!tree.ok()) return tree.status();
 
-  const Status saved = SaveTreeToFile(tree.value(), out_path.value());
+  const Status saved = SaveTreeToFile(tree.value(), out_path.value(),
+                                      save_options);
   if (!saved.ok()) return saved;
   std::printf("built %s tree: m=%llu bits, depth=%u, %zu nodes, %.2f MB, "
-              "%.2f s -> %s\n",
+              "%.2f s -> %s (%s, %s layout)\n",
               tree.value().pruned() ? "pruned" : "complete",
               static_cast<unsigned long long>(config.value().m),
               config.value().depth, tree.value().node_count(),
               static_cast<double>(tree.value().MemoryBytes()) / (1 << 20),
-              timer.ElapsedSeconds(), out_path.value().c_str());
+              timer.ElapsedSeconds(), out_path.value().c_str(),
+              save_options.version == 1 ? "stream-v1" : "snapshot-v2",
+              save_options.version == 1
+                  ? "id-order"
+                  : NodeLayoutName(save_options.layout));
   return Status::OK();
 }
 
 Status CmdInfo(const Flags& flags) {
   auto tree_path = flags.Require("tree");
   if (!tree_path.ok()) return tree_path.status();
-  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   const TreeConfig& config = tree.value().config();
   std::printf("tree: %s\n", tree_path.value().c_str());
@@ -255,6 +296,8 @@ Status CmdInfo(const Flags& flags) {
               static_cast<unsigned long long>(config.LeafRangeSize()));
   std::printf("  nodes:       %zu (%.2f MB)\n", tree.value().node_count(),
               static_cast<double>(tree.value().MemoryBytes()) / (1 << 20));
+  std::printf("  layout:      %s\n",
+              NodeLayoutName(tree.value().node_layout()));
   if (tree.value().pruned()) {
     std::printf("  occupied:    %zu ids\n", tree.value().occupied().size());
   }
@@ -295,7 +338,7 @@ Status CmdStoreSet(const Flags& flags) {
   auto out_path = flags.Require("out");
   if (!out_path.ok()) return out_path.status();
 
-  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   auto ids = ReadIdFile(ids_path.value());
   if (!ids.ok()) return ids.status();
@@ -330,7 +373,7 @@ Status CmdSample(const Flags& flags) {
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
 
-  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
   if (!filter.ok()) return filter.status();
@@ -396,7 +439,7 @@ Status CmdReconstruct(const Flags& flags) {
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
 
-  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
   if (!filter.ok()) return filter.status();
@@ -441,7 +484,7 @@ Status CmdQuery(const Flags& flags) {
   auto id = flags.RequireU64("id");
   if (!id.ok()) return id.status();
 
-  Result<BloomSampleTree> tree = LoadTreeFromFile(tree_path.value());
+  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
   if (!filter.ok()) return filter.status();
@@ -460,6 +503,10 @@ commands:
                [--k K] [--hash simple|murmur3|md5] [--seed S]
                [--occupied ids.txt]     (pruned tree over occupied ids)
                [--threads T]            (build threads; 0 = all cores)
+               [--layout id|descent]    (v2 slab block order; default
+                                         descent: BFS top + vEB subtrees)
+               [--format v1|v2]         (v2 = mmap-able flat snapshot,
+                                         v1 = legacy portable stream)
   info         --tree T.bst
   make-set     --namespace M --size N --out ids.txt [--clustered] [--seed S]
   store-set    --tree T.bst --ids ids.txt --out set.bf
@@ -472,6 +519,12 @@ commands:
   reconstruct  --tree T.bst --filter set.bf [--exact] [--out ids.txt]
                [--threads T]            (traversal fan-out; 0 = all cores)
   query        --tree T.bst --filter set.bf --id X
+
+tree-loading flags (info/store-set/sample/reconstruct/query):
+  --mmap      zero-copy mmap the snapshot slab (v2 files; O(ms) open)
+  --heap      read the slab onto the heap (portable fallback)
+  --prewarm   fault the whole mapping in at open (MAP_POPULATE)
+  default: BSR_LOAD env (heap|mmap), else mmap where available
 )");
 }
 
@@ -490,25 +543,30 @@ int Main(int argc, char** argv) {
     return handler(flags.value());
   };
 
+  const std::vector<std::string> load_flags = {"mmap", "heap", "prewarm"};
+  const auto with_load_flags = [&load_flags](std::vector<std::string> flags) {
+    flags.insert(flags.end(), load_flags.begin(), load_flags.end());
+    return flags;
+  };
   if (command == "build") {
     status = run({"namespace", "out", "accuracy", "set-size", "k", "hash",
-                  "seed", "occupied", "threads"},
+                  "seed", "occupied", "threads", "layout", "format"},
                  {}, CmdBuild);
   } else if (command == "info") {
-    status = run({"tree"}, {}, CmdInfo);
+    status = run({"tree"}, load_flags, CmdInfo);
   } else if (command == "make-set") {
     status = run({"namespace", "size", "out", "seed"}, {"clustered"},
                  CmdMakeSet);
   } else if (command == "store-set") {
-    status = run({"tree", "ids", "out"}, {}, CmdStoreSet);
+    status = run({"tree", "ids", "out"}, load_flags, CmdStoreSet);
   } else if (command == "sample") {
     status = run({"tree", "filter", "count", "seed", "threads"},
-                 {"with-replacement", "batch"}, CmdSample);
+                 with_load_flags({"with-replacement", "batch"}), CmdSample);
   } else if (command == "reconstruct") {
-    status = run({"tree", "filter", "out", "threads"}, {"exact"},
-                 CmdReconstruct);
+    status = run({"tree", "filter", "out", "threads"},
+                 with_load_flags({"exact"}), CmdReconstruct);
   } else if (command == "query") {
-    status = run({"tree", "filter", "id"}, {}, CmdQuery);
+    status = run({"tree", "filter", "id"}, load_flags, CmdQuery);
   } else if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;
