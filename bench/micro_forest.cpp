@@ -1,0 +1,221 @@
+// Microbenchmark for the sharded forest: build / batched-sampling /
+// reconstruction wall time as a function of the shard count, against the
+// bare single-tree engines on the identical occupied set. This is the
+// scaling record behind the "sharded forest" README section: shard builds
+// and reconstructions are embarrassingly parallel (one FilterArena slab
+// per shard, first-touch on a pinned thread), so on a P-core host the
+// expectation is build/recon wall time ~ 1/min(S, P) of the bare tree,
+// while S = 1 must sit within noise of the bare tree (the forest layer
+// adds one Fenwick draw per sample and nothing else).
+//
+// Output: a JSON array on stdout; one record per (engine, variant, S):
+//   {"bench": "micro_forest", "engine": "forest" | "tree",
+//    "variant": "build" | "sample_batch" | "recon",
+//    "shards": <S>, "threads": <resolved hw budget>, "simd": <tier>,
+//    "m": <bits>, "namespace": <M>, "occupied": <n>, "nodes": <total>,
+//    "draws": <r> | "elements": <recon size>, "ms": <double>}
+//
+// "tree" records are the bare BloomSampleTree / BstSampler /
+// BstReconstructor baseline (shards reported as 1). Shard counts are
+// {1, 2, 4, hardware_concurrency}, deduplicated — on a 1-core host the
+// hw entry collapses into S = 1 and the S > 1 rows measure the pure
+// sharding overhead, not parallel speedup.
+//
+// Quick mode runs m = 1e7; BSR_BENCH_FULL=1 adds an m = 1e8 shape at a
+// shallower depth (node filters are m bits each, so the full shape is
+// multi-hundred-MB resident — opt-in by design).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bloom_sample_forest.h"
+#include "src/core/bst_reconstructor.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/query_context.h"
+#include "src/util/simd.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+constexpr int kReps = 3;
+
+void PrintRecord(bool first, const char* engine, const char* variant,
+                 uint32_t shards, uint32_t threads, uint64_t m,
+                 uint64_t namespace_size, uint64_t occupied, size_t nodes,
+                 const char* extra_key, uint64_t extra_value, double ms) {
+  std::printf(
+      "%s  {\"bench\": \"micro_forest\", \"engine\": \"%s\", \"variant\": "
+      "\"%s\", \"shards\": %u, \"threads\": %u, \"simd\": \"%s\", \"m\": "
+      "%" PRIu64 ", \"namespace\": %" PRIu64 ", \"occupied\": %" PRIu64
+      ", \"nodes\": %zu, \"%s\": %" PRIu64 ", \"ms\": %.3f}",
+      first ? "" : ",\n", engine, variant, shards, threads,
+      simd::LevelName(simd::ActiveLevel()), m, namespace_size, occupied,
+      nodes, extra_key, extra_value, ms);
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+
+  const uint64_t namespace_size = 1000000;
+  const uint64_t occupied_n = 100000;
+  const uint32_t hw = ResolveThreadCount(0);
+
+  struct Shape {
+    uint64_t m;
+    uint32_t depth;
+  };
+  std::vector<Shape> shapes = {{10000000, 6}};
+  if (env.full) shapes.push_back({100000000, 4});
+
+  std::vector<uint32_t> shard_counts = {1, 2, 4, hw};
+  std::sort(shard_counts.begin(), shard_counts.end());
+  shard_counts.erase(
+      std::unique(shard_counts.begin(), shard_counts.end()),
+      shard_counts.end());
+
+  // One occupied set for every configuration: a fixed-seed uniform draw
+  // over the namespace, deduplicated ascending (what BuildPruned wants).
+  Rng pop_rng(env.seed);
+  std::vector<uint64_t> occupied;
+  occupied.reserve(occupied_n);
+  while (occupied.size() < occupied_n) {
+    occupied.push_back(pop_rng.Below(namespace_size));
+    if (occupied.size() == occupied_n) {
+      std::sort(occupied.begin(), occupied.end());
+      occupied.erase(std::unique(occupied.begin(), occupied.end()),
+                     occupied.end());
+    }
+  }
+  // Query = every 100th occupied key: all hits, spread across all shards.
+  std::vector<uint64_t> members;
+  for (size_t i = 0; i < occupied.size(); i += 100) {
+    members.push_back(occupied[i]);
+  }
+
+  const uint64_t draws = env.Rounds(512, 4096);
+
+  std::printf("[\n");
+  bool first = true;
+  for (const Shape& shape : shapes) {
+    TreeConfig config;
+    config.namespace_size = namespace_size;
+    config.m = shape.m;
+    config.k = 3;
+    config.hash_kind = HashFamilyKind::kSimple;
+    config.seed = env.seed;
+    config.depth = shape.depth;
+    config.build_threads = 0;  // full hardware budget
+    config.query_threads = 0;
+
+    // --- bare-tree baseline ---
+    {
+      double build_best = 1e300;
+      size_t nodes = 0;
+      std::optional<BloomSampleTree> tree;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        auto built = BloomSampleTree::BuildPruned(config, occupied);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(built.ok(), "micro_forest: bare build failed");
+        if (ms < build_best) build_best = ms;
+        nodes = built.value().node_count();
+        tree.emplace(std::move(built).value());
+      }
+      PrintRecord(first, "tree", "build", 1, hw, shape.m, namespace_size,
+                  occupied.size(), nodes, "reps", kReps, build_best);
+      first = false;
+
+      const BloomFilter query = tree->MakeQueryFilter(members);
+      const BstSampler sampler(&*tree);
+      const BstReconstructor reconstructor(&*tree);
+      double sample_best = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        QueryContext ctx(*tree, query);
+        Timer timer;
+        const auto out = sampler.SampleBatch(&ctx, draws, env.seed);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(out.size() == draws, "micro_forest: short batch");
+        if (ms < sample_best) sample_best = ms;
+      }
+      PrintRecord(false, "tree", "sample_batch", 1, hw, shape.m,
+                  namespace_size, occupied.size(), nodes, "draws", draws,
+                  sample_best);
+
+      double recon_best = 1e300;
+      size_t elements = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        const auto ids = reconstructor.Reconstruct(query);
+        const double ms = timer.ElapsedMillis();
+        elements = ids.size();
+        if (ms < recon_best) recon_best = ms;
+      }
+      PrintRecord(false, "tree", "recon", 1, hw, shape.m, namespace_size,
+                  occupied.size(), nodes, "elements", elements, recon_best);
+    }
+
+    // --- forest, per shard count ---
+    for (uint32_t shards : shard_counts) {
+      ForestConfig fconfig;
+      fconfig.tree = config;
+      fconfig.shards = shards;
+
+      double build_best = 1e300;
+      size_t nodes = 0;
+      std::optional<BloomSampleForest> forest;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Timer timer;
+        auto built = BloomSampleForest::BuildPruned(fconfig, occupied);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(built.ok(), "micro_forest: forest build failed");
+        if (ms < build_best) build_best = ms;
+        nodes = built.value().node_count();
+        forest.emplace(std::move(built).value());
+      }
+      PrintRecord(false, "forest", "build", shards, hw, shape.m,
+                  namespace_size, occupied.size(), nodes, "reps", kReps,
+                  build_best);
+
+      const BloomFilter query = forest->MakeQueryFilter(members);
+      const ForestSampler sampler(&*forest);
+      const ForestReconstructor reconstructor(&*forest);
+      double sample_best = 1e300;
+      for (int rep = 0; rep < kReps; ++rep) {
+        ForestQueryContext ctx(*forest, query);
+        Timer timer;
+        const auto out = sampler.SampleBatch(&ctx, draws, env.seed);
+        const double ms = timer.ElapsedMillis();
+        BSR_CHECK(out.size() == draws, "micro_forest: short batch");
+        if (ms < sample_best) sample_best = ms;
+      }
+      PrintRecord(false, "forest", "sample_batch", shards, hw, shape.m,
+                  namespace_size, occupied.size(), nodes, "draws", draws,
+                  sample_best);
+
+      double recon_best = 1e300;
+      size_t elements = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        ForestQueryContext ctx(*forest, query);
+        Timer timer;
+        const auto ids = reconstructor.Reconstruct(ctx);
+        const double ms = timer.ElapsedMillis();
+        elements = ids.size();
+        if (ms < recon_best) recon_best = ms;
+      }
+      PrintRecord(false, "forest", "recon", shards, hw, shape.m,
+                  namespace_size, occupied.size(), nodes, "elements",
+                  elements, recon_best);
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -28,12 +28,21 @@
 // Each (open → query) round runs on a freshly loaded tree, so the numbers
 // compose: total time-to-first-result = open + first_draws. File pages
 // stay in the OS page cache between reps — all paths share that benefit,
-// so the comparison is load-path mechanics, not disk speed.
+// so the comparison is load-path mechanics, not disk speed. Pass --cold
+// to measure the other regime: before every timed open the snapshot's
+// pages are evicted with posix_fadvise(POSIX_FADV_DONTNEED) (after an
+// fsync, so no dirty page survives the eviction), which is the
+// process-restart-after-reboot story — mmap's deferred faults now hit
+// storage instead of the page cache. Records carry "cache": "warm"|"cold".
 //
 // BSR_BENCH_FULL=1 raises the draw rounds; the quick default finishes in
 // under a minute.
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -58,6 +67,20 @@ struct PathSpec {
   LoadOptions options;
 };
 
+// Cache mode for the run: warm (default) leaves the snapshot in the OS
+// page cache between reps; cold evicts it before every timed open.
+bool g_cold = false;
+
+// Evicts `path` from the page cache. fsync first: DONTNEED silently skips
+// dirty pages, and the artifact was written moments ago.
+void EvictFromPageCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
 double FileMb(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return 0.0;
@@ -73,19 +96,23 @@ void PrintRecord(bool first, const char* variant, const char* path,
                  uint64_t extra_value, double ms) {
   std::printf(
       "%s  {\"bench\": \"micro_load\", \"variant\": \"%s\", \"path\": "
-      "\"%s\", \"layout\": \"%s\", \"simd\": \"%s\", \"m\": %" PRIu64
-      ", \"namespace\": %" PRIu64 ", \"nodes\": %zu, \"file_mb\": %.2f"
+      "\"%s\", \"layout\": \"%s\", \"cache\": \"%s\", \"simd\": \"%s\", "
+      "\"m\": %" PRIu64 ", \"namespace\": %" PRIu64
+      ", \"nodes\": %zu, \"file_mb\": %.2f"
       ", \"%s\": %" PRIu64 ", \"ms\": %.3f}",
-      first ? "" : ",\n", variant, path, layout,
+      first ? "" : ",\n", variant, path, layout, g_cold ? "cold" : "warm",
       simd::LevelName(simd::ActiveLevel()), m, namespace_size, nodes,
       file_mb, extra_key, extra_value, ms);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using bloomsample::bench::Env;
   const Env env = Env::FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cold") == 0) g_cold = true;
+  }
 
   // Three tree shapes over M = 1e6:
   //   * m=1e5, depth=12 — a deep tree of small blocks (8191 nodes of
@@ -168,6 +195,7 @@ int main() {
       // --- open: best-of-reps wall time for LoadTreeFromFile ---
       double open_best = 1e300;
       for (int rep = 0; rep < kReps; ++rep) {
+        if (g_cold) EvictFromPageCache(spec.file);
         Timer timer;
         auto loaded = LoadTreeFromFile(spec.file, spec.options);
         const double ms = timer.ElapsedMillis();
@@ -181,6 +209,7 @@ int main() {
       // --- first_draws: a cold 100-draw batch on a fresh load ---
       double draws_best = 1e300;
       for (int rep = 0; rep < kReps; ++rep) {
+        if (g_cold) EvictFromPageCache(spec.file);
         auto loaded = LoadTreeFromFile(spec.file, spec.options);
         BSR_CHECK(loaded.ok(), "micro_load: open failed");
         const BloomFilter query = loaded.value().MakeQueryFilter(members);
@@ -199,6 +228,7 @@ int main() {
       double recon_best = 1e300;
       size_t elements = 0;
       for (int rep = 0; rep < kReps; ++rep) {
+        if (g_cold) EvictFromPageCache(spec.file);
         auto loaded = LoadTreeFromFile(spec.file, spec.options);
         BSR_CHECK(loaded.ok(), "micro_load: open failed");
         const BloomFilter query = loaded.value().MakeQueryFilter(members);

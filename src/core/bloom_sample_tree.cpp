@@ -20,6 +20,23 @@ Result<std::shared_ptr<const HashFamily>> FamilyFor(const TreeConfig& config) {
                         config.m, config.seed, config.namespace_size);
 }
 
+/// A caller-supplied (shared) family must agree with the config on every
+/// parameter that shapes hash values — otherwise the tree's filters would
+/// silently diverge from what its config claims.
+Status ValidateSharedFamily(const TreeConfig& config,
+                            const std::shared_ptr<const HashFamily>& family) {
+  if (family == nullptr) {
+    return Status::InvalidArgument("null shared hash family");
+  }
+  if (family->k() != config.k || family->m() != config.m ||
+      family->seed() != config.seed ||
+      family->Name() != HashFamilyKindName(config.hash_kind)) {
+    return Status::InvalidArgument(
+        "shared hash family does not match the tree config");
+  }
+  return Status::OK();
+}
+
 // Chunk size that amortizes ParallelFor's per-chunk dispatch without
 // starving threads of work. Purely a scheduling knob: results are
 // chunk-partition independent (every parallel section writes disjoint
@@ -36,8 +53,17 @@ Result<BloomSampleTree> BloomSampleTree::BuildComplete(
     const TreeConfig& config) {
   auto family = FamilyFor(config);
   if (!family.ok()) return family.status();
+  return BuildComplete(config, std::move(family).value());
+}
 
-  BloomSampleTree tree(config, family.value(), /*pruned=*/false);
+Result<BloomSampleTree> BloomSampleTree::BuildComplete(
+    const TreeConfig& config, std::shared_ptr<const HashFamily> family) {
+  Status st = config.Validate();
+  if (!st.ok()) return st;
+  st = ValidateSharedFamily(config, family);
+  if (!st.ok()) return st;
+
+  BloomSampleTree tree(config, std::move(family), /*pruned=*/false);
   const uint32_t depth = config.depth;
   const uint64_t leaf_width = config.LeafRangeSize();
   const uint64_t total_nodes = config.CompleteNodeCount();
@@ -155,6 +181,16 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
     const TreeConfig& config, std::vector<uint64_t> occupied) {
   auto family = FamilyFor(config);
   if (!family.ok()) return family.status();
+  return BuildPruned(config, std::move(occupied), std::move(family).value());
+}
+
+Result<BloomSampleTree> BloomSampleTree::BuildPruned(
+    const TreeConfig& config, std::vector<uint64_t> occupied,
+    std::shared_ptr<const HashFamily> family) {
+  Status vst = config.Validate();
+  if (!vst.ok()) return vst;
+  vst = ValidateSharedFamily(config, family);
+  if (!vst.ok()) return vst;
   if (!std::is_sorted(occupied.begin(), occupied.end())) {
     return Status::InvalidArgument("occupied ids must be sorted");
   }
@@ -165,7 +201,7 @@ Result<BloomSampleTree> BloomSampleTree::BuildPruned(
     return Status::OutOfRange("occupied id beyond namespace");
   }
 
-  BloomSampleTree tree(config, family.value(), /*pruned=*/true);
+  BloomSampleTree tree(config, std::move(family), /*pruned=*/true);
   tree.occupied_ = std::move(occupied);
   const uint64_t root_width = tree.RangeWidthAtLevel(0);
 

@@ -95,10 +95,23 @@ class BloomSampleTree {
   /// Builds the complete tree of Definition 5.1.
   static Result<BloomSampleTree> BuildComplete(const TreeConfig& config);
 
+  /// Shared-family flavor: builds with `family` instead of a freshly
+  /// created instance. Filter compatibility across the library is pointer
+  /// identity on the family, so several trees built this way (a forest's
+  /// shards) can all serve one query filter / QueryContext. `family` must
+  /// match the config's (kind, k, m, seed).
+  static Result<BloomSampleTree> BuildComplete(
+      const TreeConfig& config, std::shared_ptr<const HashFamily> family);
+
   /// Builds the pruned tree of Section 5.2 over the occupied ids
   /// `occupied` (must be sorted, unique, all < config.namespace_size).
   static Result<BloomSampleTree> BuildPruned(const TreeConfig& config,
                                              std::vector<uint64_t> occupied);
+
+  /// Shared-family flavor of BuildPruned (see BuildComplete above).
+  static Result<BloomSampleTree> BuildPruned(
+      const TreeConfig& config, std::vector<uint64_t> occupied,
+      std::shared_ptr<const HashFamily> family);
 
   const TreeConfig& config() const { return config_; }
   /// Adjusts the Section 5.6 estimate-threshold at query time (it is a

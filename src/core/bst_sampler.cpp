@@ -393,4 +393,24 @@ std::vector<std::optional<uint64_t>> BstSampler::SampleBatch(
   return SampleBatch(&ctx, r, seed, counters);
 }
 
+void BstSampler::SampleBatchPrepared(
+    QueryContext* ctx, std::vector<PreparedDraw> draws, OpCounters* counters,
+    std::vector<std::optional<uint64_t>>* out) const {
+  BSR_CHECK(ctx != nullptr, "SampleBatchPrepared: null query context");
+  BSR_CHECK(&ctx->tree() == tree_, "query context built for a different tree");
+  BSR_CHECK(out != nullptr, "SampleBatchPrepared: null output vector");
+  if (draws.empty()) return;
+  if (tree_->root() == BloomSampleTree::kNoNode || ctx->query_bits() == 0) {
+    for (const PreparedDraw& draw : draws) (*out)[draw.index] = std::nullopt;
+    CountNullSample(counters, draws.size());
+    return;
+  }
+  std::vector<BatchDraw> batch;
+  batch.reserve(draws.size());
+  for (PreparedDraw& draw : draws) {
+    batch.push_back(BatchDraw{draw.index, draw.rng, {}});
+  }
+  BatchDescend(tree_->root(), std::move(batch), ctx, counters, out);
+}
+
 }  // namespace bloomsample

@@ -107,6 +107,26 @@ class BstSampler {
       const BloomFilter& query, size_t r, uint64_t seed,
       OpCounters* counters = nullptr) const;
 
+  /// One pre-routed draw for SampleBatchPrepared: its slot in the caller's
+  /// output vector, and its RNG stream positioned exactly where the serial
+  /// protocol would have it on arrival at this tree's root (the caller has
+  /// already consumed any routing randomness).
+  struct PreparedDraw {
+    uint32_t index;
+    Rng rng;
+  };
+
+  /// Batched descent over caller-prepared draws. The forest layer
+  /// partitions a batch across shards in a single pass and hands each
+  /// shard tree exactly one frontier through this entry point. Serial by
+  /// design — the caller owns the parallelism axis (one call per shard),
+  /// and each draw writes only (*out)[draw.index], so concurrent calls
+  /// with disjoint index sets on distinct contexts are safe. An empty
+  /// tree or empty query records nullopt for every draw.
+  void SampleBatchPrepared(QueryContext* ctx, std::vector<PreparedDraw> draws,
+                           OpCounters* counters,
+                           std::vector<std::optional<uint64_t>>* out) const;
+
   const BloomSampleTree& tree() const { return *tree_; }
 
  private:

@@ -7,8 +7,11 @@
 #include <limits>
 #include <vector>
 
+#include <sstream>
+
 #include "src/bloom/bloom_io.h"
 #include "src/util/serialize.h"
+#include "src/util/xxhash64.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define BSR_HAVE_MMAP 1
@@ -33,6 +36,13 @@ constexpr uint32_t kSnapshotVersion = 2;
 constexpr uint32_t kEndianMark = 0x01020304u;
 constexpr uint64_t kHeaderBytes = 144;
 constexpr uint64_t kNodeEntryBytes = 48;
+/// Snapshot flag bit 1: a 40-byte block of per-region XXH64 digests
+/// (header, node table, block index, occupancy, slab — in that order)
+/// follows the 144-byte core header, and every region offset shifts by
+/// kChecksumBytes. Files without the bit (pre-checksum writers, or
+/// SaveOptions::checksums = false) load unverified.
+constexpr uint32_t kFlagChecksums = 0x2u;
+constexpr uint64_t kChecksumBytes = 5 * sizeof(uint64_t);
 /// Slab alignment in the file. A page multiple on every mainstream
 /// platform, so the mmap path can map the slab at (or just below) this
 /// offset, and comfortably beyond the arena's 64-byte line alignment.
@@ -46,10 +56,17 @@ struct SnapshotMeta {
   uint64_t node_count = 0;
   uint64_t words_per_block = 0;
   uint64_t stride_words = 0;
+  uint64_t node_table_offset = 0;
+  uint64_t block_index_offset = 0;
+  uint64_t occupied_offset = 0;
   uint64_t metadata_end = 0;
   uint64_t slab_offset = 0;
   uint64_t slab_bytes = 0;
   uint64_t file_bytes = 0;
+  /// Region digests (meaningful only when has_checksums): header core,
+  /// node table, block index, occupancy, slab.
+  bool has_checksums = false;
+  uint64_t checksum[5] = {0, 0, 0, 0, 0};
 
   struct NodeMeta {
     uint64_t lo = 0;
@@ -162,7 +179,11 @@ class TreeSerializer {
   } while (0)
 
   /// v1 body, with the 4-byte tag already consumed by the dispatcher.
-  static Result<BloomSampleTree> ReadV1Body(std::istream* in) {
+  /// `shared_family` as in MakeEmptyTree (null = create from the stream's
+  /// config).
+  static Result<BloomSampleTree> ReadV1Body(
+      std::istream* in,
+      std::shared_ptr<const HashFamily> shared_family = nullptr) {
     BinaryReader reader(in);
     Result<uint32_t> version = reader.ReadU32();
     if (!version.ok()) return version.status();
@@ -195,12 +216,24 @@ class TreeSerializer {
     BSR_READ_OR_RETURN(occupied,
                        reader.ReadU64Vector(config.namespace_size));
 
-    auto family = MakeHashFamily(config.hash_kind,
+    std::shared_ptr<const HashFamily> family;
+    if (shared_family != nullptr) {
+      if (shared_family->k() != config.k || shared_family->m() != config.m ||
+          shared_family->seed() != config.seed ||
+          shared_family->Name() != HashFamilyKindName(config.hash_kind)) {
+        return Status::InvalidArgument(
+            "shared hash family does not match the stream's config");
+      }
+      family = std::move(shared_family);
+    } else {
+      auto made = MakeHashFamily(config.hash_kind,
                                  static_cast<size_t>(config.k), config.m,
                                  config.seed, config.namespace_size);
-    if (!family.ok()) return family.status();
+      if (!made.ok()) return made.status();
+      family = std::move(made).value();
+    }
 
-    BloomSampleTree tree(config, family.value(), pruned_flag == 1);
+    BloomSampleTree tree(config, std::move(family), pruned_flag == 1);
     tree.occupied_ = std::move(occupied);
 
     uint64_t node_count;
@@ -268,7 +301,8 @@ class TreeSerializer {
   // -------------------------------------------------------------------------
 
   static Status WriteV2(const BloomSampleTree& tree, std::ostream* out,
-                        NodeLayout layout) {
+                        const SaveOptions& options) {
+    const NodeLayout layout = options.layout;
     const TreeConfig& config = tree.config_;
     const uint64_t node_count = tree.nodes_.size();
     if (node_count > std::numeric_limits<uint32_t>::max()) {
@@ -287,8 +321,10 @@ class TreeSerializer {
       }
     }
 
+    const uint64_t node_table_offset =
+        kHeaderBytes + (options.checksums ? kChecksumBytes : 0);
     const uint64_t block_index_offset =
-        kHeaderBytes + node_count * kNodeEntryBytes;
+        node_table_offset + node_count * kNodeEntryBytes;
     const uint64_t occupied_offset =
         block_index_offset + node_count * sizeof(uint32_t);
     const uint64_t metadata_end =
@@ -298,44 +334,113 @@ class TreeSerializer {
     const uint64_t slab_bytes = node_count * stride_words * sizeof(uint64_t);
     const uint64_t file_bytes = slab_offset + slab_bytes;
 
-    BinaryWriter writer(out);
-    writer.WriteTag(kSnapshotTag);
-    writer.WriteU32(kSnapshotVersion);
-    // The byte-order mark is dumped natively on purpose (see kEndianMark).
-    out->write(reinterpret_cast<const char*>(&kEndianMark),
-               sizeof(kEndianMark));
-    const uint32_t flags = (tree.pruned_ ? 1u : 0u) |
-                           (static_cast<uint32_t>(layout) << 8);
-    writer.WriteU32(flags);
-    writer.WriteU32(static_cast<uint32_t>(config.hash_kind));
-    writer.WriteU32(config.depth);
-    writer.WriteU64(config.namespace_size);
-    writer.WriteU64(config.m);
-    writer.WriteU64(config.k);
-    writer.WriteU64(config.seed);
-    writer.WriteDouble(config.intersection_threshold);
-    writer.WriteU64(node_count);
-    writer.WriteU64(tree.occupied_.size());
-    writer.WriteU64(words_per_block);
-    writer.WriteU64(stride_words);
-    writer.WriteU64(kHeaderBytes);  // node table offset
-    writer.WriteU64(block_index_offset);
-    writer.WriteU64(occupied_offset);
-    writer.WriteU64(slab_offset);
-    writer.WriteU64(slab_bytes);
-    writer.WriteU64(file_bytes);
-
-    for (const BloomSampleTree::Node& node : tree.nodes_) {
-      writer.WriteU64(node.lo);
-      writer.WriteU64(node.hi);
-      writer.WriteU32(node.level);
-      writer.WriteU32(0);  // reserved
-      writer.WriteI64(node.left);
-      writer.WriteI64(node.right);
-      writer.WriteU64(node.set_bits);
+    // Each metadata region is staged in memory so its digest can precede
+    // it in the file; the slab — the one region too big to stage — is
+    // hashed in a streaming pre-pass straight off the node filters.
+    std::ostringstream header_buf;
+    {
+      BinaryWriter header(&header_buf);
+      header.WriteTag(kSnapshotTag);
+      header.WriteU32(kSnapshotVersion);
+      // The byte-order mark is dumped natively on purpose (kEndianMark).
+      header_buf.write(reinterpret_cast<const char*>(&kEndianMark),
+                       sizeof(kEndianMark));
+      const uint32_t flags = (tree.pruned_ ? 1u : 0u) |
+                             (options.checksums ? kFlagChecksums : 0u) |
+                             (static_cast<uint32_t>(layout) << 8);
+      header.WriteU32(flags);
+      header.WriteU32(static_cast<uint32_t>(config.hash_kind));
+      header.WriteU32(config.depth);
+      header.WriteU64(config.namespace_size);
+      header.WriteU64(config.m);
+      header.WriteU64(config.k);
+      header.WriteU64(config.seed);
+      header.WriteDouble(config.intersection_threshold);
+      header.WriteU64(node_count);
+      header.WriteU64(tree.occupied_.size());
+      header.WriteU64(words_per_block);
+      header.WriteU64(stride_words);
+      header.WriteU64(node_table_offset);
+      header.WriteU64(block_index_offset);
+      header.WriteU64(occupied_offset);
+      header.WriteU64(slab_offset);
+      header.WriteU64(slab_bytes);
+      header.WriteU64(file_bytes);
+      if (!header.ok()) return Status::Internal("stream write failed");
     }
-    for (uint32_t block : block_of) writer.WriteU32(block);
-    for (uint64_t id : tree.occupied_) writer.WriteU64(id);
+
+    std::ostringstream node_table_buf;
+    {
+      BinaryWriter nodes(&node_table_buf);
+      for (const BloomSampleTree::Node& node : tree.nodes_) {
+        nodes.WriteU64(node.lo);
+        nodes.WriteU64(node.hi);
+        nodes.WriteU32(node.level);
+        nodes.WriteU32(0);  // reserved
+        nodes.WriteI64(node.left);
+        nodes.WriteI64(node.right);
+        nodes.WriteU64(node.set_bits);
+      }
+      if (!nodes.ok()) return Status::Internal("stream write failed");
+    }
+
+    std::ostringstream block_index_buf;
+    {
+      BinaryWriter blocks(&block_index_buf);
+      for (uint32_t block : block_of) blocks.WriteU32(block);
+      if (!blocks.ok()) return Status::Internal("stream write failed");
+    }
+
+    std::ostringstream occupied_buf;
+    {
+      BinaryWriter occupied(&occupied_buf);
+      for (uint64_t id : tree.occupied_) occupied.WriteU64(id);
+      if (!occupied.ok()) return Status::Internal("stream write failed");
+    }
+
+    std::vector<uint32_t> id_at_block(static_cast<size_t>(node_count));
+    for (size_t id = 0; id < block_of.size(); ++id) {
+      id_at_block[block_of[id]] = static_cast<uint32_t>(id);
+    }
+
+    const std::string header_bytes = header_buf.str();
+    const std::string node_table_bytes = node_table_buf.str();
+    const std::string block_index_bytes = block_index_buf.str();
+    const std::string occupied_bytes = occupied_buf.str();
+
+    BinaryWriter writer(out);
+    out->write(header_bytes.data(),
+               static_cast<std::streamsize>(header_bytes.size()));
+    if (options.checksums) {
+      // Slab digest pre-pass: hash exactly the bytes the dump loop below
+      // will emit — payload words then zeroed stride padding per block.
+      XxHash64 slab_hash;
+      const std::vector<uint64_t> zeros(
+          static_cast<size_t>(stride_words - words_per_block), 0);
+      for (uint64_t b = 0; b < node_count; ++b) {
+        const BloomSampleTree::Node& node =
+            tree.nodes_[id_at_block[static_cast<size_t>(b)]];
+        slab_hash.Update(node.filter.bits().word_data(),
+                         static_cast<size_t>(words_per_block) *
+                             sizeof(uint64_t));
+        slab_hash.Update(zeros.data(), zeros.size() * sizeof(uint64_t));
+      }
+      writer.WriteU64(XxHash64::Hash(header_bytes.data(),
+                                     header_bytes.size()));
+      writer.WriteU64(XxHash64::Hash(node_table_bytes.data(),
+                                     node_table_bytes.size()));
+      writer.WriteU64(XxHash64::Hash(block_index_bytes.data(),
+                                     block_index_bytes.size()));
+      writer.WriteU64(XxHash64::Hash(occupied_bytes.data(),
+                                     occupied_bytes.size()));
+      writer.WriteU64(slab_hash.Digest());
+    }
+    out->write(node_table_bytes.data(),
+               static_cast<std::streamsize>(node_table_bytes.size()));
+    out->write(block_index_bytes.data(),
+               static_cast<std::streamsize>(block_index_bytes.size()));
+    out->write(occupied_bytes.data(),
+               static_cast<std::streamsize>(occupied_bytes.size()));
 
     // Zero pad to the page-aligned slab, then bulk-dump the blocks in slab
     // order (the inverse permutation), each padded to the arena stride so
@@ -343,10 +448,6 @@ class TreeSerializer {
     std::vector<char> pad(static_cast<size_t>(slab_offset - metadata_end), 0);
     out->write(pad.data(), static_cast<std::streamsize>(pad.size()));
 
-    std::vector<uint32_t> id_at_block(static_cast<size_t>(node_count));
-    for (size_t id = 0; id < block_of.size(); ++id) {
-      id_at_block[block_of[id]] = static_cast<uint32_t>(id);
-    }
     std::vector<uint64_t> block(static_cast<size_t>(stride_words), 0);
     for (uint64_t b = 0; b < node_count; ++b) {
       const BloomSampleTree::Node& node =
@@ -357,8 +458,43 @@ class TreeSerializer {
                  static_cast<std::streamsize>(stride_words *
                                               sizeof(uint64_t)));
     }
-    return writer.ok() ? Status::OK()
-                       : Status::Internal("stream write failed");
+    return writer.ok() && out->good()
+               ? Status::OK()
+               : Status::Internal("stream write failed");
+  }
+
+  /// Streams region [base + offset, base + offset + bytes) through XXH64
+  /// and compares against the recorded digest. Leaves the read position
+  /// wherever the last chunk ended — callers reposition explicitly.
+  static Status VerifyRegion(std::istream* in, std::streampos base,
+                             uint64_t offset, uint64_t bytes,
+                             uint64_t expected, const char* what) {
+    in->clear();
+    in->seekg(base + static_cast<std::streamoff>(offset));
+    if (!in->good()) {
+      return Status::OutOfRange(std::string("snapshot truncated (") + what +
+                                ")");
+    }
+    XxHash64 hash;
+    char buf[65536];
+    uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const size_t chunk = remaining < sizeof(buf)
+                               ? static_cast<size_t>(remaining)
+                               : sizeof(buf);
+      in->read(buf, static_cast<std::streamsize>(chunk));
+      if (in->gcount() != static_cast<std::streamsize>(chunk)) {
+        return Status::OutOfRange(std::string("snapshot truncated (") + what +
+                                  ")");
+      }
+      hash.Update(buf, chunk);
+      remaining -= chunk;
+    }
+    if (hash.Digest() != expected) {
+      return Status::InvalidArgument(std::string("snapshot ") + what +
+                                     " checksum mismatch");
+    }
+    return Status::OK();
   }
 
   /// Parses and validates everything before the slab; the 4-byte tag is
@@ -366,9 +502,12 @@ class TreeSerializer {
   /// holds from the tag onward (0 = unknown): when known, the declared
   /// file size is cross-checked BEFORE any size-proportional allocation,
   /// so a corrupt header cannot trigger a huge allocation or a partial
-  /// parse of garbage.
+  /// parse of garbage. `base` is the stream position of the tag — region
+  /// checksums (when present) are verified against it before the regions
+  /// they guard are parsed.
   static Result<SnapshotMeta> ReadV2Meta(std::istream* in,
-                                         uint64_t stream_bytes) {
+                                         uint64_t stream_bytes,
+                                         std::streampos base) {
     BinaryReader reader(in);
     SnapshotMeta meta;
 
@@ -388,10 +527,11 @@ class TreeSerializer {
 
     uint32_t flags;
     BSR_READ_OR_RETURN(flags, reader.ReadU32());
-    if ((flags & ~(0x1u | 0xff00u)) != 0) {
+    if ((flags & ~(0x1u | kFlagChecksums | 0xff00u)) != 0) {
       return Status::InvalidArgument("unknown snapshot flags");
     }
     meta.pruned = (flags & 1u) != 0;
+    meta.has_checksums = (flags & kFlagChecksums) != 0;
     const uint32_t layout_raw = (flags >> 8) & 0xffu;
     if (layout_raw > static_cast<uint32_t>(NodeLayout::kDescent)) {
       return Status::InvalidArgument("unknown snapshot node layout");
@@ -419,15 +559,17 @@ class TreeSerializer {
     BSR_READ_OR_RETURN(occupied_count, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.words_per_block, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.stride_words, reader.ReadU64());
-    uint64_t node_table_offset;
-    uint64_t block_index_offset;
-    uint64_t occupied_offset;
-    BSR_READ_OR_RETURN(node_table_offset, reader.ReadU64());
-    BSR_READ_OR_RETURN(block_index_offset, reader.ReadU64());
-    BSR_READ_OR_RETURN(occupied_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.node_table_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.block_index_offset, reader.ReadU64());
+    BSR_READ_OR_RETURN(meta.occupied_offset, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.slab_offset, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.slab_bytes, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.file_bytes, reader.ReadU64());
+    if (meta.has_checksums) {
+      for (uint64_t& digest : meta.checksum) {
+        BSR_READ_OR_RETURN(digest, reader.ReadU64());
+      }
+    }
 
     // Geometry validation. Every derived quantity is recomputed with
     // overflow checks and compared against the header's claim — the file
@@ -444,16 +586,17 @@ class TreeSerializer {
         (!meta.pruned && occupied_count != 0)) {
       return Status::InvalidArgument("snapshot occupancy out of range");
     }
-    uint64_t expect = kHeaderBytes;
-    if (node_table_offset != expect) {
+    uint64_t expect =
+        kHeaderBytes + (meta.has_checksums ? kChecksumBytes : 0);
+    if (meta.node_table_offset != expect) {
       return Status::InvalidArgument("snapshot node table offset mismatch");
     }
     expect += meta.node_count * kNodeEntryBytes;  // count < 2^32: no overflow
-    if (block_index_offset != expect) {
+    if (meta.block_index_offset != expect) {
       return Status::InvalidArgument("snapshot block index offset mismatch");
     }
     expect += meta.node_count * sizeof(uint32_t);
-    if (occupied_offset != expect) {
+    if (meta.occupied_offset != expect) {
       return Status::InvalidArgument("snapshot occupancy offset mismatch");
     }
     uint64_t occupied_bytes;
@@ -492,6 +635,37 @@ class TreeSerializer {
     }
     if (stream_bytes != 0 && stream_bytes != meta.file_bytes) {
       return Status::OutOfRange("snapshot truncated or padded on disk");
+    }
+
+    // Verify the metadata-region digests BEFORE parsing the regions they
+    // guard, so corruption surfaces as a checksum mismatch rather than as
+    // whichever downstream invariant happens to trip (or, worse, as a
+    // silently skewed estimate). The slab digest is checked later, by the
+    // materialization path that actually touches slab bytes.
+    if (meta.has_checksums) {
+      Status vst = VerifyRegion(in, base, 0, kHeaderBytes, meta.checksum[0],
+                                "header");
+      if (vst.ok()) {
+        vst = VerifyRegion(in, base, meta.node_table_offset,
+                           meta.block_index_offset - meta.node_table_offset,
+                           meta.checksum[1], "node table");
+      }
+      if (vst.ok()) {
+        vst = VerifyRegion(in, base, meta.block_index_offset,
+                           meta.occupied_offset - meta.block_index_offset,
+                           meta.checksum[2], "block index");
+      }
+      if (vst.ok()) {
+        vst = VerifyRegion(in, base, meta.occupied_offset,
+                           meta.metadata_end - meta.occupied_offset,
+                           meta.checksum[3], "occupancy");
+      }
+      if (!vst.ok()) return vst;
+      in->clear();
+      in->seekg(base + static_cast<std::streamoff>(meta.node_table_offset));
+      if (!in->good()) {
+        return Status::OutOfRange("truncated snapshot header");
+      }
     }
 
     // Node table.
@@ -592,7 +766,24 @@ class TreeSerializer {
     return std::move(tree);
   }
 
-  static Result<BloomSampleTree> MakeEmptyTree(const SnapshotMeta& meta) {
+  /// `shared_family` (optional) becomes the loaded tree's family after a
+  /// compatibility check against the file's config — the forest loader's
+  /// way of making every shard share one family instance (compatibility
+  /// between filters is pointer identity on the family).
+  static Result<BloomSampleTree> MakeEmptyTree(
+      const SnapshotMeta& meta,
+      std::shared_ptr<const HashFamily> shared_family) {
+    if (shared_family != nullptr) {
+      if (shared_family->k() != meta.config.k ||
+          shared_family->m() != meta.config.m ||
+          shared_family->seed() != meta.config.seed ||
+          shared_family->Name() != HashFamilyKindName(meta.config.hash_kind)) {
+        return Status::InvalidArgument(
+            "shared hash family does not match the snapshot's config");
+      }
+      return BloomSampleTree(meta.config, std::move(shared_family),
+                             meta.pruned);
+    }
     auto family = MakeHashFamily(meta.config.hash_kind,
                                  static_cast<size_t>(meta.config.k),
                                  meta.config.m, meta.config.seed,
@@ -604,9 +795,10 @@ class TreeSerializer {
   /// Heap materialization: the stream is positioned at metadata_end; skip
   /// the pad, bulk-read the slab into a fresh arena, restore the
   /// trailing-bit/padding-word invariants, and wire up the nodes.
-  static Result<BloomSampleTree> ReadV2Heap(SnapshotMeta&& meta,
-                                            std::istream* in) {
-    auto tree = MakeEmptyTree(meta);
+  static Result<BloomSampleTree> ReadV2Heap(
+      SnapshotMeta&& meta, std::istream* in,
+      std::shared_ptr<const HashFamily> shared_family) {
+    auto tree = MakeEmptyTree(meta, std::move(shared_family));
     if (!tree.ok()) return tree;
 
     const uint64_t pad = meta.slab_offset - meta.metadata_end;
@@ -624,6 +816,13 @@ class TreeSerializer {
              static_cast<std::streamsize>(meta.slab_bytes));
     if (in->gcount() != static_cast<std::streamsize>(meta.slab_bytes)) {
       return Status::OutOfRange("snapshot truncated (slab)");
+    }
+    // Verify the slab digest over the raw file bytes, before the invariant
+    // restoration below rewrites any of them.
+    if (meta.has_checksums &&
+        XxHash64::Hash(base, static_cast<size_t>(meta.slab_bytes)) !=
+            meta.checksum[4]) {
+      return Status::InvalidArgument("snapshot filter slab checksum mismatch");
     }
     // Restore the invariants BitVector relies on: zero the padding words
     // of every block and the trailing bits of the last payload word, so a
@@ -647,11 +846,10 @@ class TreeSerializer {
   /// Insert copy-on-writes pages instead of touching the file) and hand
   /// the mapping to the arena; node spans point straight into it. Open
   /// cost is O(metadata) — payload pages fault in on first intersection.
-  static Result<BloomSampleTree> ReadV2Mmap(SnapshotMeta&& meta,
-                                            const std::string& path,
-                                            bool prewarm,
-                                            TreeLoadInfo* info) {
-    auto tree = MakeEmptyTree(meta);
+  static Result<BloomSampleTree> ReadV2Mmap(
+      SnapshotMeta&& meta, const std::string& path, bool prewarm,
+      TreeLoadInfo* info, std::shared_ptr<const HashFamily> shared_family) {
+    auto tree = MakeEmptyTree(meta, std::move(shared_family));
     if (!tree.ok()) return tree;
     if (meta.node_count == 0) {
       return AssembleNodes(std::move(meta), std::move(tree).value(), nullptr,
@@ -697,6 +895,15 @@ class TreeSerializer {
 #endif
     uint64_t* base =
         reinterpret_cast<uint64_t*>(static_cast<char*>(map) + delta);
+    // Slab verification faults in every page, so it only runs when the
+    // caller asked for a prewarmed mapping anyway; a lazy open keeps its
+    // O(metadata) cost and trusts the (always-verified) metadata regions.
+    if (meta.has_checksums && prewarm &&
+        XxHash64::Hash(base, static_cast<size_t>(meta.slab_bytes)) !=
+            meta.checksum[4]) {
+      ::munmap(map, map_len);
+      return Status::InvalidArgument("snapshot filter slab checksum mismatch");
+    }
     tree.value().arena_.AdoptExternal(
         base, static_cast<size_t>(meta.node_count),
         [map, map_len](uint64_t*) { ::munmap(map, map_len); });
@@ -731,9 +938,9 @@ Result<BloomSampleTree> DeserializeTree(std::istream* in) {
       return Status::Unsupported(
           "v2 snapshots require a seekable stream (use LoadTreeFromFile)");
     }
-    auto meta = TreeSerializer::ReadV2Meta(in, stream_bytes);
+    auto meta = TreeSerializer::ReadV2Meta(in, stream_bytes, start);
     if (!meta.ok()) return meta.status();
-    return TreeSerializer::ReadV2Heap(std::move(meta).value(), in);
+    return TreeSerializer::ReadV2Heap(std::move(meta).value(), in, nullptr);
   }
   return Status::InvalidArgument("bad magic tag; expected 'BSTR' or 'BST2'");
 }
@@ -752,7 +959,7 @@ Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path,
     return TreeSerializer::Write(tree, &out);
   }
   if (options.version == kSnapshotVersion) {
-    return TreeSerializer::WriteV2(tree, &out, options.layout);
+    return TreeSerializer::WriteV2(tree, &out, options);
   }
   return Status::InvalidArgument("unknown snapshot version requested");
 }
@@ -798,7 +1005,7 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
       *info = TreeLoadInfo{TreeLoadInfo::Method::kStreamV1, kTreeVersion,
                            NodeLayout::kIdOrder, 0};
     }
-    return TreeSerializer::ReadV1Body(&in);
+    return TreeSerializer::ReadV1Body(&in, options.family);
   }
   if (std::memcmp(tag, kSnapshotTag, 4) != 0) {
     return Status::InvalidArgument("bad magic tag; expected 'BSTR' or 'BST2'");
@@ -810,7 +1017,7 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
     // run before the allocation it guards — refuse rather than trust.
     return Status::Unsupported("v2 snapshots require a seekable file");
   }
-  auto meta = TreeSerializer::ReadV2Meta(&in, stream_bytes);
+  auto meta = TreeSerializer::ReadV2Meta(&in, stream_bytes, std::streampos(0));
   if (!meta.ok()) return meta.status();
 
   const bool want_mmap = options.mode == LoadMode::kMmap ||
@@ -823,7 +1030,7 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
 #if BSR_HAVE_MMAP
   if (want_mmap) {
     return TreeSerializer::ReadV2Mmap(std::move(meta).value(), path,
-                                      options.prewarm, info);
+                                      options.prewarm, info, options.family);
   }
 #else
   if (options.mode == LoadMode::kMmap) {
@@ -831,7 +1038,8 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
                                "platform; use LoadMode::kHeap");
   }
 #endif
-  return TreeSerializer::ReadV2Heap(std::move(meta).value(), &in);
+  return TreeSerializer::ReadV2Heap(std::move(meta).value(), &in,
+                                    options.family);
 }
 
 }  // namespace bloomsample

@@ -13,8 +13,14 @@
 //     table, id→block index, occupancy, then the raw filter slab at a
 //     page-aligned offset, every block at the arena's cache-line stride:
 //
-//       [header 144B][node table 48B/node][id→block u32/node]
+//       [header 144B][region checksums 40B, when flagged]
+//       [node table 48B/node][id→block u32/node]
 //       [occupied u64 each][zero pad to 4 KiB][slab: stride·8 B/block]
+//
+//     The checksum block (on by default, see SaveOptions::checksums)
+//     holds one XXH64 digest per region — header, node table, block
+//     index, occupancy, slab — verified at open (slab verification is
+//     skipped on lazy mmap opens by design; see SaveOptions).
 //
 //     Because the slab *is* the in-memory FilterArena layout, loading can
 //     either bulk-read it (heap mode, one I/O) or mmap it (zero-copy
@@ -53,6 +59,16 @@ struct SaveOptions {
   uint32_t version = 2;
   /// Slab block order (v2 only; v1 is inherently id-ordered).
   NodeLayout layout = NodeLayout::kDescent;
+  /// Emit per-region XXH64 checksums (v2 only): header, node table,
+  /// id→block index, occupancy, and filter slab each get an 8-byte digest
+  /// in an extended header, verified at open so bit rot fails loudly
+  /// instead of skewing estimates. Flagged in the file, so readers accept
+  /// both flavors; `false` reproduces the PR-5 on-disk layout byte for
+  /// byte. Verification policy on load: the four metadata regions are
+  /// always verified; the slab is verified on heap loads and prewarmed
+  /// mmap loads, and intentionally skipped on lazy mmap opens (hashing the
+  /// slab would fault in every page and destroy the O(metadata) open).
+  bool checksums = true;
 };
 
 /// How LoadTreeFromFile materializes a v2 snapshot's slab.
@@ -67,6 +83,13 @@ struct LoadOptions {
   /// Prewarm the mapping at open time (MAP_POPULATE where available):
   /// trades the O(ms) lazy open for fault-free first queries.
   bool prewarm = false;
+  /// Optional shared hash family to build the loaded tree around instead
+  /// of a freshly created instance. Filter compatibility is pointer
+  /// identity on the family, so a forest loader passes one family here for
+  /// every shard image and a single query filter then serves all of them.
+  /// Must match the file's (kind, k, m, seed) — validated; null (the
+  /// default) creates a fresh family from the file's config.
+  std::shared_ptr<const HashFamily> family;
 
   /// Defaults overridden by the environment: BSR_LOAD=heap|mmap|auto picks
   /// the mode (unknown values keep kAuto), BSR_LOAD_PREWARM=1 sets

@@ -27,6 +27,41 @@ Result<ChiSquaredResult> ChiSquaredUniformTest(
   return result;
 }
 
+Result<ChiSquaredResult> ChiSquaredGoodnessOfFit(
+    const std::vector<uint64_t>& counts, const std::vector<double>& expected) {
+  if (counts.size() != expected.size()) {
+    return Status::InvalidArgument("counts/expected size mismatch");
+  }
+  if (counts.size() < 2) {
+    return Status::InvalidArgument("need at least 2 categories");
+  }
+  double statistic = 0.0;
+  size_t live = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (expected[i] < 0.0) {
+      return Status::InvalidArgument("negative expected count");
+    }
+    if (expected[i] == 0.0) {
+      if (counts[i] != 0) {
+        return Status::InvalidArgument(
+            "observed draws in a zero-expectation category");
+      }
+      continue;
+    }
+    ++live;
+    const double diff = static_cast<double>(counts[i]) - expected[i];
+    statistic += diff * diff / expected[i];
+  }
+  if (live < 2) {
+    return Status::InvalidArgument("need at least 2 live categories");
+  }
+  ChiSquaredResult result;
+  result.statistic = statistic;
+  result.dof = static_cast<double>(live - 1);
+  result.p_value = ChiSquaredSurvival(statistic, result.dof);
+  return result;
+}
+
 Result<ChiSquaredResult> ChiSquaredUniformTest(
     const std::vector<uint64_t>& population,
     const std::vector<uint64_t>& samples) {

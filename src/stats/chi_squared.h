@@ -39,6 +39,15 @@ Result<ChiSquaredResult> ChiSquaredUniformTest(
     const std::vector<uint64_t>& population,
     const std::vector<uint64_t>& samples);
 
+/// General goodness-of-fit flavor: observed counts against an arbitrary
+/// (not necessarily uniform) expected distribution — e.g. weighted shard
+/// draws against Fenwick weights. `expected` holds absolute expected
+/// counts in the same order as `counts` and must sum to (about) the same
+/// total. Zero-expectation categories must have zero observations and are
+/// excluded from the degrees of freedom (dof = #{e_i > 0} − 1).
+Result<ChiSquaredResult> ChiSquaredGoodnessOfFit(
+    const std::vector<uint64_t>& counts, const std::vector<double>& expected);
+
 /// The paper's recommended sample count for its 0.08 significance level:
 /// T = 130 · n  [Stamatis, Six Sigma and Beyond].
 inline uint64_t RecommendedSampleRounds(uint64_t n) { return 130 * n; }

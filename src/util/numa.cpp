@@ -1,0 +1,71 @@
+#include "src/util/numa.h"
+
+#if defined(__linux__)
+#define BSR_HAVE_AFFINITY 1
+#include <pthread.h>
+#include <sched.h>
+#else
+#define BSR_HAVE_AFFINITY 0
+#endif
+
+namespace bloomsample {
+
+#if BSR_HAVE_AFFINITY
+
+struct ScopedThreadAffinity::Impl {
+  cpu_set_t previous;
+};
+
+ScopedThreadAffinity::ScopedThreadAffinity(size_t slot, size_t slots) {
+  if (slots <= 1 || slot >= slots) return;
+
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(allowed), &allowed) != 0) {
+    return;
+  }
+  // Collect the CPUs this thread may run on (respecting any container or
+  // taskset confinement) and carve them into `slots` contiguous bands.
+  // Contiguous CPU ids overwhelmingly share a NUMA node on Linux's default
+  // enumeration, so band b is the closest portable stand-in for "node
+  // b % nodes" without a libnuma dependency.
+  int cpus[CPU_SETSIZE];
+  size_t n = 0;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed)) cpus[n++] = cpu;
+  }
+  if (n < slots) return;  // fewer CPUs than bands: pinning just serializes
+
+  const size_t begin = slot * n / slots;
+  const size_t end = (slot + 1) * n / slots;
+  cpu_set_t band;
+  CPU_ZERO(&band);
+  for (size_t i = begin; i < end; ++i) CPU_SET(cpus[i], &band);
+
+  if (pthread_setaffinity_np(pthread_self(), sizeof(band), &band) != 0) {
+    return;
+  }
+  impl_ = std::make_unique<Impl>();
+  impl_->previous = allowed;
+}
+
+ScopedThreadAffinity::~ScopedThreadAffinity() {
+  if (impl_ != nullptr) {
+    pthread_setaffinity_np(pthread_self(), sizeof(impl_->previous),
+                           &impl_->previous);
+  }
+}
+
+bool ScopedThreadAffinity::Supported() { return true; }
+
+#else  // !BSR_HAVE_AFFINITY
+
+struct ScopedThreadAffinity::Impl {};
+
+ScopedThreadAffinity::ScopedThreadAffinity(size_t, size_t) {}
+ScopedThreadAffinity::~ScopedThreadAffinity() = default;
+bool ScopedThreadAffinity::Supported() { return false; }
+
+#endif  // BSR_HAVE_AFFINITY
+
+}  // namespace bloomsample

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/stats/chi_squared.h"
 #include "src/util/rng.h"
 
 namespace bloomsample {
@@ -110,6 +111,51 @@ TEST(FenwickTest, ExtractValuesRoundTrip) {
   for (size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(rebuilt.PrefixSum(i), tree.PrefixSum(i), 1e-9) << i;
   }
+}
+
+TEST(FenwickTest, WeightedSamplingSurvivesPointUpdates) {
+  // The forest sampler's exact usage: FindPrefix draws over a weight
+  // table that changes between phases via point Adds. Each phase's draw
+  // counts must match that phase's weights — a stale prefix structure
+  // after Add (or drift in FindPrefix's descend) shows up as a hard
+  // chi-squared rejection against the phase's expected distribution.
+  const size_t n = 12;
+  std::vector<double> weights = {4, 0, 1, 7, 2, 0.5, 3, 0, 9, 1, 6, 2.5};
+  FenwickTree tree = FenwickTree::FromValues(weights);
+  Rng rng(20170313);
+
+  const auto run_phase = [&](uint64_t draws) {
+    std::vector<uint64_t> counts(n, 0);
+    for (uint64_t i = 0; i < draws; ++i) {
+      ++counts[tree.FindPrefix(rng.NextDouble() * tree.Total())];
+    }
+    std::vector<double> expected(n);
+    for (size_t j = 0; j < n; ++j) {
+      expected[j] = static_cast<double>(draws) * weights[j] / tree.Total();
+    }
+    const auto result = ChiSquaredGoodnessOfFit(counts, expected);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // 0.999 two-sided sanity band: neither skewed nor suspiciously exact.
+    EXPECT_GT(result.value().p_value, 0.001);
+  };
+
+  run_phase(60000);
+
+  // Point updates: grow a mid slot, zero out the heaviest, revive a dead
+  // one. The second phase must follow the NEW distribution.
+  const auto add = [&](size_t i, double delta) {
+    tree.Add(i, delta);
+    weights[i] += delta;
+  };
+  add(5, 10.0);
+  add(8, -9.0);
+  add(1, 2.5);
+  run_phase(60000);
+
+  // Zeroed slots never draw (exercised via the phase expectations above:
+  // a draw in a zero-expectation slot fails ChiSquaredGoodnessOfFit).
+  add(0, -weights[0]);
+  run_phase(60000);
 }
 
 TEST(FenwickTest, FromValuesEmptyAndSingle) {

@@ -411,7 +411,11 @@ TEST(TreeSnapshotTest, SharedChildPointerRejected) {
   auto tree = BloomSampleTree::BuildComplete(GoldenConfig());
   ASSERT_TRUE(tree.ok());
   const std::string path = TempPath("shared_child_v2.bst");
-  ASSERT_TRUE(SaveTreeToFile(tree.value(), path).ok());
+  // Checksums off: the patch below must reach the structural validator,
+  // not be short-circuited by a node-table digest mismatch.
+  SaveOptions save;
+  save.checksums = false;
+  ASSERT_TRUE(SaveTreeToFile(tree.value(), path, save).ok());
   std::string bytes = ReadFileBytes(path);
   // Node 0's entry starts at the 144-byte header: lo(8) hi(8) level(4)
   // pad(4) left(8) right(8) set_bits(8). Overwrite right with left so two
@@ -425,6 +429,82 @@ TEST(TreeSnapshotTest, SharedChildPointerRejected) {
     const auto loaded = LoadTreeFromFile(path, options);
     EXPECT_FALSE(loaded.ok());
   }
+  std::remove(path.c_str());
+}
+
+TEST(TreeSnapshotTest, RegionChecksumsCatchBitRot) {
+  auto tree = BloomSampleTree::BuildPruned(GoldenConfig(), GoldenOccupied());
+  ASSERT_TRUE(tree.ok());
+  const std::string path = TempPath("checksummed_v2.bst");
+  ASSERT_TRUE(SaveTreeToFile(tree.value(), path).ok());  // checksums default on
+  const std::string pristine = ReadFileBytes(path);
+
+  const auto flip = [&](size_t offset) {
+    std::string bytes = pristine;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x01);
+    WriteFileBytes(path, bytes);
+  };
+  const auto load = [&](LoadMode mode, bool prewarm) {
+    LoadOptions options;
+    options.mode = mode;
+    options.prewarm = prewarm;
+    return LoadTreeFromFile(path, options);
+  };
+
+  // The pristine file verifies clean in every mode.
+  EXPECT_TRUE(load(LoadMode::kHeap, false).ok());
+  EXPECT_TRUE(load(LoadMode::kMmap, false).ok());
+  EXPECT_TRUE(load(LoadMode::kMmap, true).ok());
+
+  // Header bit rot: the flipped seed still parses as a perfectly valid
+  // config — only the digest can tell the tree would silently hash
+  // differently. Seed lives at header offset 48.
+  flip(48);
+  for (LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    const auto loaded = load(mode, false);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("header checksum"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Node table bit rot: node 0's set_bits (node table starts after the
+  // 144-byte header + 40-byte digest block; set_bits is entry offset 40).
+  // The digest rejects it before the popcount cross-checks ever run.
+  flip(144 + 40 + 40);
+  {
+    const auto loaded = load(LoadMode::kHeap, false);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("node table checksum"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  // Slab bit rot (last byte of the file): heap and prewarmed mmap loads
+  // hash the slab and must reject; a lazy mmap open intentionally skips
+  // slab verification to keep the O(metadata) open, so it still succeeds.
+  flip(pristine.size() - 1);
+  {
+    const auto heap = load(LoadMode::kHeap, false);
+    ASSERT_FALSE(heap.ok());
+    EXPECT_NE(heap.status().message().find("slab checksum"),
+              std::string::npos)
+        << heap.status().ToString();
+    EXPECT_FALSE(load(LoadMode::kMmap, true).ok());
+    EXPECT_TRUE(load(LoadMode::kMmap, false).ok());
+  }
+
+  // Opting out reproduces the un-checksummed layout and still loads.
+  SaveOptions plain;
+  plain.checksums = false;
+  ASSERT_TRUE(SaveTreeToFile(tree.value(), path, plain).ok());
+  // Flags live at offset 12; bit 0x2 marks the digest block.
+  EXPECT_EQ(ReadFileBytes(path)[12] & 0x2, 0);
+  EXPECT_NE(pristine[12] & 0x2, 0);
+  auto unchecked = load(LoadMode::kHeap, false);
+  ASSERT_TRUE(unchecked.ok());
+  ExpectTreesIdentical(tree.value(), unchecked.value());
+
   std::remove(path.c_str());
 }
 

@@ -33,6 +33,7 @@
 #include "src/baselines/dictionary_attack.h"
 #include "src/bloom/bloom_io.h"
 #include "src/bloom/bloom_params.h"
+#include "src/core/bloom_sample_forest.h"
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
 #include "src/core/tree_io.h"
@@ -171,13 +172,18 @@ Status WriteIdFile(const std::string& path, const std::vector<uint64_t>& ids) {
   return out.good() ? Status::OK() : Status::Internal("write failed");
 }
 
-Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
-                                  const std::string& path) {
+Result<BloomFilter> LoadFilterWith(
+    const std::shared_ptr<const HashFamily>& family, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("cannot open filter file '" + path + "'");
   }
-  return DeserializeBloomFilter(&in, tree.family_ptr());
+  return DeserializeBloomFilter(&in, family);
+}
+
+Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
+                                  const std::string& path) {
+  return LoadFilterWith(tree.family_ptr(), path);
 }
 
 /// Loads a tree honoring --mmap/--heap/--prewarm (else the BSR_LOAD env
@@ -203,6 +209,49 @@ Result<BloomSampleTree> LoadTreeForCli(const Flags& flags,
   return tree;
 }
 
+/// Forest twin of LoadTreeForCli: the load-summary line reports every
+/// shard's mapping mode, since a single forest open can mix them (e.g.
+/// heap fallback on one shard image while the rest mmap).
+Result<BloomSampleForest> LoadForestForCli(const Flags& flags,
+                                           const std::string& path) {
+  LoadOptions options = LoadOptions::FromEnv();
+  if (flags.GetBool("mmap")) options.mode = LoadMode::kMmap;
+  if (flags.GetBool("heap")) options.mode = LoadMode::kHeap;
+  if (flags.GetBool("prewarm")) options.prewarm = true;
+  ForestLoadInfo info;
+  Timer timer;
+  Result<BloomSampleForest> forest = LoadForestFromFile(path, options, &info);
+  if (forest.ok()) {
+    std::string modes;
+    uint64_t mapped_bytes = 0;
+    for (size_t s = 0; s < info.shards.size(); ++s) {
+      if (s != 0) modes += ", ";
+      modes += TreeLoadMethodName(info.shards[s].method);
+      mapped_bytes += info.shards[s].mapped_bytes;
+    }
+    std::fprintf(stderr,
+                 "# loaded %u-shard forest in %.2f ms (per-shard mapping: "
+                 "%s; %.2f MB mapped)\n",
+                 forest.value().shard_count(), timer.ElapsedMillis(),
+                 modes.c_str(), static_cast<double>(mapped_bytes) / 1e6);
+  }
+  return forest;
+}
+
+/// `--shards` on a forest-consuming command is an assertion, not a
+/// request: the snapshot fixes the shard count, so a mismatch is an error.
+Status CheckShardFlag(const Flags& flags, uint32_t actual) {
+  auto shards = flags.GetU64("shards", 0);
+  if (!shards.ok()) return shards.status();
+  if (shards.value() != 0 && shards.value() != actual) {
+    return Status::InvalidArgument(
+        "--shards " + std::to_string(shards.value()) +
+        " does not match the snapshot's " + std::to_string(actual) +
+        " shards");
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // Subcommands.
 // ---------------------------------------------------------------------------
@@ -224,6 +273,8 @@ Status CmdBuild(const Flags& flags) {
   if (!kind.ok()) return kind.status();
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
+  auto shards = flags.GetU64("shards", 1);
+  if (!shards.ok()) return shards.status();
   SaveOptions save_options;
   const std::string layout = flags.Get("layout").value_or("descent");
   if (layout == "id") {
@@ -246,6 +297,43 @@ Status CmdBuild(const Flags& flags) {
 
   Timer timer;
   const auto occupied_path = flags.Get("occupied");
+  if (shards.value() > 1) {
+    // Sharded build: partition the namespace into a forest and write the
+    // manifest + per-shard v2 images.
+    if (save_options.version == 1) {
+      return Status::InvalidArgument(
+          "--shards needs the v2 snapshot format (forest manifests have no "
+          "v1 encoding)");
+    }
+    ForestConfig forest_config;
+    forest_config.tree = config.value();
+    forest_config.shards = static_cast<uint32_t>(shards.value());
+    Result<BloomSampleForest> forest = [&]() -> Result<BloomSampleForest> {
+      if (occupied_path.has_value()) {
+        auto occupied = ReadIdFile(*occupied_path);
+        if (!occupied.ok()) return occupied.status();
+        return BloomSampleForest::BuildPruned(forest_config,
+                                              std::move(occupied).value());
+      }
+      return BloomSampleForest::BuildComplete(forest_config);
+    }();
+    if (!forest.ok()) return forest.status();
+    const Status saved =
+        SaveForestToFile(forest.value(), out_path.value(), save_options);
+    if (!saved.ok()) return saved;
+    std::printf(
+        "built %s forest: %u shards (width %llu), m=%llu bits, depth=%u, "
+        "%zu nodes, %.2f MB, %.2f s -> %s (+ %u shard images, %s layout)\n",
+        forest.value().pruned() ? "pruned" : "complete",
+        forest.value().shard_count(),
+        static_cast<unsigned long long>(forest.value().shard_width()),
+        static_cast<unsigned long long>(config.value().m),
+        config.value().depth, forest.value().node_count(),
+        static_cast<double>(forest.value().MemoryBytes()) / (1 << 20),
+        timer.ElapsedSeconds(), out_path.value().c_str(),
+        forest.value().shard_count(), NodeLayoutName(save_options.layout));
+    return Status::OK();
+  }
   Result<BloomSampleTree> tree = [&]() -> Result<BloomSampleTree> {
     if (occupied_path.has_value()) {
       auto occupied = ReadIdFile(*occupied_path);
@@ -274,9 +362,51 @@ Status CmdBuild(const Flags& flags) {
   return Status::OK();
 }
 
+Status ForestInfo(const Flags& flags, const std::string& path) {
+  Result<BloomSampleForest> forest = LoadForestForCli(flags, path);
+  if (!forest.ok()) return forest.status();
+  const BloomSampleForest& f = forest.value();
+  const TreeConfig& config = f.config().tree;
+  std::printf("forest: %s\n", path.c_str());
+  std::printf("  kind:        %s forest\n",
+              f.pruned() ? "pruned" : "complete");
+  std::printf("  shards:      %u (width %llu)\n", f.shard_count(),
+              static_cast<unsigned long long>(f.shard_width()));
+  std::printf("  namespace:   %llu\n",
+              static_cast<unsigned long long>(config.namespace_size));
+  std::printf("  m:           %llu bits\n",
+              static_cast<unsigned long long>(config.m));
+  std::printf("  k:           %llu (%s)\n",
+              static_cast<unsigned long long>(config.k),
+              HashFamilyKindName(config.hash_kind).c_str());
+  std::printf("  seed:        %llu\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  depth:       %u (leaf range %llu)\n", config.depth,
+              static_cast<unsigned long long>(config.LeafRangeSize()));
+  std::printf("  nodes:       %zu total (%.2f MB)\n", f.node_count(),
+              static_cast<double>(f.MemoryBytes()) / (1 << 20));
+  if (f.pruned()) {
+    std::printf("  occupied:    %llu ids total\n",
+                static_cast<unsigned long long>(f.occupied_count()));
+  }
+  for (uint32_t s = 0; s < f.shard_count(); ++s) {
+    std::printf("  shard %-2u     [%llu, %llu): %zu nodes, %zu occupied\n",
+                s, static_cast<unsigned long long>(f.ShardLo(s)),
+                static_cast<unsigned long long>(f.ShardHi(s)),
+                f.shard(s).node_count(), f.shard(s).occupied().size());
+  }
+  std::printf("  design accuracy at n=1000: %.3f\n",
+              SamplingAccuracy(config.m, 1000, config.k,
+                               config.namespace_size));
+  return Status::OK();
+}
+
 Status CmdInfo(const Flags& flags) {
   auto tree_path = flags.Require("tree");
   if (!tree_path.ok()) return tree_path.status();
+  if (IsForestManifest(tree_path.value())) {
+    return ForestInfo(flags, tree_path.value());
+  }
   Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
   const TreeConfig& config = tree.value().config();
@@ -338,17 +468,33 @@ Status CmdStoreSet(const Flags& flags) {
   auto out_path = flags.Require("out");
   if (!out_path.ok()) return out_path.status();
 
-  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
-  if (!tree.ok()) return tree.status();
+  // Trees and forests share the filter format: only the family (and the
+  // namespace bound) comes from the snapshot.
+  std::optional<BloomSampleTree> tree;
+  std::optional<BloomSampleForest> forest;
+  uint64_t namespace_size = 0;
+  if (IsForestManifest(tree_path.value())) {
+    auto loaded = LoadForestForCli(flags, tree_path.value());
+    if (!loaded.ok()) return loaded.status();
+    namespace_size = loaded.value().config().tree.namespace_size;
+    forest.emplace(std::move(loaded).value());
+  } else {
+    auto loaded = LoadTreeForCli(flags, tree_path.value());
+    if (!loaded.ok()) return loaded.status();
+    namespace_size = loaded.value().config().namespace_size;
+    tree.emplace(std::move(loaded).value());
+  }
   auto ids = ReadIdFile(ids_path.value());
   if (!ids.ok()) return ids.status();
   for (uint64_t id : ids.value()) {
-    if (id >= tree.value().config().namespace_size) {
+    if (id >= namespace_size) {
       return Status::OutOfRange("id " + std::to_string(id) +
                                 " is outside the tree's namespace");
     }
   }
-  const BloomFilter filter = tree.value().MakeQueryFilter(ids.value());
+  const BloomFilter filter = forest.has_value()
+                                 ? forest->MakeQueryFilter(ids.value())
+                                 : tree->MakeQueryFilter(ids.value());
   std::ofstream out(out_path.value(), std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::NotFound("cannot open '" + out_path.value() + "'");
@@ -372,6 +518,50 @@ Status CmdSample(const Flags& flags) {
   if (!seed.ok()) return seed.status();
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
+
+  if (IsForestManifest(tree_path.value())) {
+    // Forest snapshots always sample through the batched cross-shard
+    // engine: draw i rides Rng::ForStream(seed, i), so the output is
+    // independent of --threads and identical to serial draws (draws are
+    // independent, i.e. with replacement, by construction).
+    Result<BloomSampleForest> forest =
+        LoadForestForCli(flags, tree_path.value());
+    if (!forest.ok()) return forest.status();
+    const Status shard_check =
+        CheckShardFlag(flags, forest.value().shard_count());
+    if (!shard_check.ok()) return shard_check;
+    Result<BloomFilter> filter =
+        LoadFilterWith(forest.value().family_ptr(), filter_path.value());
+    if (!filter.ok()) return filter.status();
+    forest.value().set_query_threads(static_cast<uint32_t>(threads.value()));
+
+    ForestSampler sampler(&forest.value());
+    ForestQueryContext ctx(forest.value(), filter.value());
+    OpCounters counters;
+    Timer timer;
+    const auto draws =
+        sampler.SampleBatch(&ctx, count.value(), seed.value(), &counters);
+    const double ms = timer.ElapsedMillis();
+    size_t produced = 0;
+    for (const auto& draw : draws) {
+      if (draw.has_value()) {
+        std::printf("%llu\n", static_cast<unsigned long long>(*draw));
+        ++produced;
+      } else {
+        std::printf("null\n");
+      }
+    }
+    std::fprintf(stderr,
+                 "# %zu/%zu cross-shard draws over %u shards in %.3f ms "
+                 "(%llu kernel intersections + %llu cache hits, %.2f MB "
+                 "read, %llu membership queries)\n",
+                 produced, draws.size(), forest.value().shard_count(), ms,
+                 static_cast<unsigned long long>(counters.intersections),
+                 static_cast<unsigned long long>(counters.estimate_cache_hits),
+                 static_cast<double>(counters.intersection_bytes) / 1e6,
+                 static_cast<unsigned long long>(counters.membership_queries));
+    return Status::OK();
+  }
 
   Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
   if (!tree.ok()) return tree.status();
@@ -439,20 +629,42 @@ Status CmdReconstruct(const Flags& flags) {
   auto threads = flags.GetU64("threads", 0);  // 0 = hardware concurrency
   if (!threads.ok()) return threads.status();
 
-  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
-  if (!tree.ok()) return tree.status();
-  Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
-  if (!filter.ok()) return filter.status();
-  tree.value().set_query_threads(static_cast<uint32_t>(threads.value()));
-
-  BstReconstructor reconstructor(&tree.value());
-  OpCounters counters;
-  Timer timer;
-  const std::vector<uint64_t> ids = reconstructor.Reconstruct(
-      filter.value(), &counters,
+  const BstReconstructor::PruningMode mode =
       flags.GetBool("exact") ? BstReconstructor::PruningMode::kExact
-                             : BstReconstructor::PruningMode::kThresholded);
-  const double ms = timer.ElapsedMillis();
+                             : BstReconstructor::PruningMode::kThresholded;
+  OpCounters counters;
+  std::vector<uint64_t> ids;
+  double ms = 0.0;
+  if (IsForestManifest(tree_path.value())) {
+    Result<BloomSampleForest> forest =
+        LoadForestForCli(flags, tree_path.value());
+    if (!forest.ok()) return forest.status();
+    const Status shard_check =
+        CheckShardFlag(flags, forest.value().shard_count());
+    if (!shard_check.ok()) return shard_check;
+    Result<BloomFilter> filter =
+        LoadFilterWith(forest.value().family_ptr(), filter_path.value());
+    if (!filter.ok()) return filter.status();
+    forest.value().set_query_threads(static_cast<uint32_t>(threads.value()));
+
+    ForestReconstructor reconstructor(&forest.value());
+    ForestQueryContext ctx(forest.value(), filter.value());
+    Timer timer;
+    ids = reconstructor.Reconstruct(ctx, &counters, mode);
+    ms = timer.ElapsedMillis();
+  } else {
+    Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
+    if (!tree.ok()) return tree.status();
+    Result<BloomFilter> filter =
+        LoadFilterFor(tree.value(), filter_path.value());
+    if (!filter.ok()) return filter.status();
+    tree.value().set_query_threads(static_cast<uint32_t>(threads.value()));
+
+    BstReconstructor reconstructor(&tree.value());
+    Timer timer;
+    ids = reconstructor.Reconstruct(filter.value(), &counters, mode);
+    ms = timer.ElapsedMillis();
+  }
 
   const auto out_path = flags.Get("out");
   if (out_path.has_value()) {
@@ -484,9 +696,18 @@ Status CmdQuery(const Flags& flags) {
   auto id = flags.RequireU64("id");
   if (!id.ok()) return id.status();
 
-  Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
-  if (!tree.ok()) return tree.status();
-  Result<BloomFilter> filter = LoadFilterFor(tree.value(), filter_path.value());
+  std::shared_ptr<const HashFamily> family;
+  if (IsForestManifest(tree_path.value())) {
+    Result<BloomSampleForest> forest =
+        LoadForestForCli(flags, tree_path.value());
+    if (!forest.ok()) return forest.status();
+    family = forest.value().family_ptr();
+  } else {
+    Result<BloomSampleTree> tree = LoadTreeForCli(flags, tree_path.value());
+    if (!tree.ok()) return tree.status();
+    family = tree.value().family_ptr();
+  }
+  Result<BloomFilter> filter = LoadFilterWith(family, filter_path.value());
   if (!filter.ok()) return filter.status();
   std::printf("%s\n",
               filter.value().Contains(id.value()) ? "positive" : "negative");
@@ -507,7 +728,9 @@ commands:
                                          descent: BFS top + vEB subtrees)
                [--format v1|v2]         (v2 = mmap-able flat snapshot,
                                          v1 = legacy portable stream)
-  info         --tree T.bst
+               [--shards S]             (S > 1: sharded forest — manifest
+                                         at --out plus S shard images)
+  info         --tree T.bst             (forest manifests auto-detected)
   make-set     --namespace M --size N --out ids.txt [--clustered] [--seed S]
   store-set    --tree T.bst --ids ids.txt --out set.bf
   sample       --tree T.bst --filter set.bf [--count R] [--seed S]
@@ -516,8 +739,10 @@ commands:
                                          independent draws on per-draw RNG
                                          streams; "null" = dead path)
                [--threads T]            (batch fan-out; 0 = all cores)
+               [--shards S]             (forests: assert the shard count)
   reconstruct  --tree T.bst --filter set.bf [--exact] [--out ids.txt]
                [--threads T]            (traversal fan-out; 0 = all cores)
+               [--shards S]             (forests: assert the shard count)
   query        --tree T.bst --filter set.bf --id X
 
 tree-loading flags (info/store-set/sample/reconstruct/query):
@@ -525,6 +750,9 @@ tree-loading flags (info/store-set/sample/reconstruct/query):
   --heap      read the slab onto the heap (portable fallback)
   --prewarm   fault the whole mapping in at open (MAP_POPULATE)
   default: BSR_LOAD env (heap|mmap), else mmap where available
+Every tree-consuming command accepts a forest manifest for --tree: the
+format is sniffed, the load-summary line reports each shard's mapping
+mode, and sampling/reconstruction run the cross-shard engines.
 )");
 }
 
@@ -550,7 +778,8 @@ int Main(int argc, char** argv) {
   };
   if (command == "build") {
     status = run({"namespace", "out", "accuracy", "set-size", "k", "hash",
-                  "seed", "occupied", "threads", "layout", "format"},
+                  "seed", "occupied", "threads", "layout", "format",
+                  "shards"},
                  {}, CmdBuild);
   } else if (command == "info") {
     status = run({"tree"}, load_flags, CmdInfo);
@@ -560,10 +789,10 @@ int Main(int argc, char** argv) {
   } else if (command == "store-set") {
     status = run({"tree", "ids", "out"}, load_flags, CmdStoreSet);
   } else if (command == "sample") {
-    status = run({"tree", "filter", "count", "seed", "threads"},
+    status = run({"tree", "filter", "count", "seed", "threads", "shards"},
                  with_load_flags({"with-replacement", "batch"}), CmdSample);
   } else if (command == "reconstruct") {
-    status = run({"tree", "filter", "out", "threads"},
+    status = run({"tree", "filter", "out", "threads", "shards"},
                  with_load_flags({"exact"}), CmdReconstruct);
   } else if (command == "query") {
     status = run({"tree", "filter", "id"}, load_flags, CmdQuery);
