@@ -1,0 +1,146 @@
+// Microbenchmark for crash-safe ingest: what does durability cost per
+// insert? Dynamic inserts append to the sidecar write-ahead log before
+// mutating the tree (core/wal.h), and the WalSyncPolicy decides how often
+// the log is fsynced — the whole acknowledged-equals-durable spectrum:
+//
+//   * no-wal    — in-memory Insert only, nothing logged (the upper bound;
+//                 a crash loses everything since the last snapshot)
+//   * none      — log appends ride the page cache, never fsynced by the
+//                 writer (a crash loses the unsynced suffix)
+//   * interval  — fsync every 64 records (bounded loss window)
+//   * every     — fsync per record: Insert returns only after its record
+//                 is on stable storage (the paper-grade guarantee; the
+//                 fsync dominates, so this is really a disk benchmark)
+//
+// Output: a JSON array on stdout; one record per (policy, variant):
+//   {"bench": "micro_ingest", "variant": "ingest", "policy": "...",
+//    "inserts": <K>, "ms": <double>, "inserts_per_sec": <double>, ...}
+//   {"bench": "micro_ingest", "variant": "reopen", "policy": "...",
+//    "replayed": <K>, "open_ms": <double>, ...}
+//
+// The "reopen" variant times LoadTreeFromFile on the artifact the ingest
+// left behind — for WAL policies that includes replaying all K records,
+// i.e. the crash-recovery cost the log defers to the next open.
+//
+// BSR_BENCH_FULL=1 raises the insert count; the quick default finishes in
+// seconds (fsync-per-record is the slow leg by design).
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/tree_io.h"
+#include "src/core/wal.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+struct PolicySpec {
+  const char* name;
+  bool use_wal;
+  WalSyncPolicy policy;
+};
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+
+  const uint64_t namespace_size = 1000000;
+  const uint64_t inserts = env.Rounds(/*quick_default=*/1000,
+                                      /*full_default=*/10000);
+
+  TreeConfig config;
+  config.namespace_size = namespace_size;
+  config.m = 1000000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = env.seed;
+  config.depth = 6;
+
+  // Base set: every 100th id. Ingested ids sit at offset 1 of each
+  // stride, so they are fresh (never already-present fast-path hits).
+  std::vector<uint64_t> base;
+  for (uint64_t x = 0; x < namespace_size; x += 100) base.push_back(x);
+  std::vector<uint64_t> fresh;
+  for (uint64_t i = 0; i < inserts; ++i) {
+    fresh.push_back((1 + 100 * i) % namespace_size);
+  }
+
+  auto built = BloomSampleTree::BuildPruned(config, base);
+  BSR_CHECK(built.ok(), "micro_ingest: BuildPruned failed");
+  const BloomSampleTree& reference = built.value();
+
+  const std::vector<PolicySpec> specs = {
+      {"no-wal", false, WalSyncPolicy::kNone},
+      {"none", true, WalSyncPolicy::kNone},
+      {"interval", true, WalSyncPolicy::kInterval},
+      {"every", true, WalSyncPolicy::kEveryRecord},
+  };
+
+  std::printf("[\n");
+  bool first = true;
+  for (const PolicySpec& spec : specs) {
+    const std::string path =
+        std::string("/tmp/bsr_micro_ingest_") + spec.name + ".bst";
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+    BSR_CHECK(SaveTreeToFile(reference, path).ok(), "micro_ingest: save");
+
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    auto loaded = LoadTreeFromFile(path, heap);
+    BSR_CHECK(loaded.ok(), "micro_ingest: load");
+    BloomSampleTree tree = std::move(loaded).value();
+    if (spec.use_wal) {
+      WalOptions wal_options;
+      wal_options.policy = spec.policy;
+      BSR_CHECK(AttachTreeWal(&tree, path, wal_options).ok(),
+                "micro_ingest: attach wal");
+    }
+
+    Timer timer;
+    for (uint64_t id : fresh) {
+      BSR_CHECK(tree.Insert(id).ok(), "micro_ingest: insert");
+    }
+    if (tree.wal() != nullptr) {
+      BSR_CHECK(tree.wal()->Sync().ok(), "micro_ingest: final sync");
+    }
+    const double ingest_ms = timer.ElapsedMillis();
+
+    std::printf("%s  {\"bench\": \"micro_ingest\", \"variant\": \"ingest\", "
+                "\"policy\": \"%s\", \"inserts\": %" PRIu64
+                ", \"ms\": %.3f, \"inserts_per_sec\": %.0f, \"m\": %" PRIu64
+                ", \"namespace\": %" PRIu64 "}",
+                first ? "" : ",\n", spec.name, inserts, ingest_ms,
+                static_cast<double>(inserts) / (ingest_ms / 1e3), config.m,
+                namespace_size);
+    first = false;
+
+    // Reopen cost: for WAL policies this replays every record — the
+    // recovery work the log pushes to the next open.
+    Timer open_timer;
+    TreeLoadInfo info;
+    auto reopened = LoadTreeFromFile(path, heap, &info);
+    const double open_ms = open_timer.ElapsedMillis();
+    BSR_CHECK(reopened.ok(), "micro_ingest: reopen");
+    BSR_CHECK(reopened.value().occupied().size() ==
+                  base.size() + (spec.use_wal ? inserts : 0),
+              "micro_ingest: reopen lost records");
+    std::printf(",\n  {\"bench\": \"micro_ingest\", \"variant\": \"reopen\", "
+                "\"policy\": \"%s\", \"replayed\": %" PRIu64
+                ", \"open_ms\": %.3f, \"m\": %" PRIu64
+                ", \"namespace\": %" PRIu64 "}",
+                spec.name, info.wal_records_replayed, open_ms, config.m,
+                namespace_size);
+
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+  std::printf("\n]\n");
+  return 0;
+}

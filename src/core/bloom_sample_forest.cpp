@@ -405,16 +405,13 @@ Status SaveForestToFile(const BloomSampleForest& forest,
   return SaveForestToFile(forest, path, SaveOptions{});
 }
 
-Status SaveForestToFile(const BloomSampleForest& forest,
-                        const std::string& path, const SaveOptions& options) {
-  for (uint32_t s = 0; s < forest.shard_count(); ++s) {
-    const Status st =
-        SaveTreeToFile(forest.shard(s), ForestShardPath(path, s), options);
-    if (!st.ok()) return st;
-  }
+namespace {
 
-  // The manifest is tiny — stage it whole so one trailing XXH64 can cover
-  // every byte before it.
+/// Stages the manifest in memory (it is tiny, and one trailing XXH64 must
+/// cover every byte before it), then lands it durably: temp file, fsync,
+/// rename over `path`, directory fsync.
+Status WriteManifestDurable(const BloomSampleForest& forest,
+                            const std::string& path, FileSystem* fs) {
   std::ostringstream buf;
   BinaryWriter writer(&buf);
   writer.WriteTag(kForestTag);
@@ -434,18 +431,40 @@ Status SaveForestToFile(const BloomSampleForest& forest,
     writer.WriteU64(forest.shard(s).node_count());
     writer.WriteU64(forest.shard(s).occupied().size());
   }
-  if (!writer.ok()) return Status::Internal("stream write failed");
+  const uint64_t digest = XxHash64::Hash(buf.str().data(), buf.str().size());
+  BinaryWriter tail(&buf);
+  tail.WriteU64(digest);
+  if (!writer.ok() || !tail.ok()) {
+    return Status::Internal("stream write failed");
+  }
   const std::string bytes = buf.str();
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open '" + path + "' for writing");
+  const std::string tmp = path + ".tmp";
+  auto file = fs->NewWritableFile(tmp, WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status st = file.value()->Append(bytes.data(), bytes.size());
+  if (st.ok()) st = file.value()->Sync();
+  const Status closed = file.value()->Close();
+  if (st.ok()) st = closed;
+  if (st.ok()) st = fs->Rename(tmp, path);
+  if (!st.ok()) {
+    (void)fs->RemoveFile(tmp);
+    return st;
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  BinaryWriter tail(&out);
-  tail.WriteU64(XxHash64::Hash(bytes.data(), bytes.size()));
-  return tail.ok() && out.good() ? Status::OK()
-                                 : Status::Internal("stream write failed");
+  return fs->SyncDirOf(path);
+}
+
+}  // namespace
+
+Status SaveForestToFile(const BloomSampleForest& forest,
+                        const std::string& path, const SaveOptions& options) {
+  for (uint32_t s = 0; s < forest.shard_count(); ++s) {
+    const Status st =
+        SaveTreeToFile(forest.shard(s), ForestShardPath(path, s), options);
+    if (!st.ok()) return st;
+  }
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  return WriteManifestDurable(forest, path, fs);
 }
 
 bool IsForestManifest(const std::string& path) {
@@ -538,12 +557,16 @@ Result<BloomSampleForest> LoadForestFromFile(const std::string& path,
   LoadOptions shard_options = options;
   shard_options.family = family.value();
 
-  if (info != nullptr) info->shards.assign(config.shards, TreeLoadInfo{});
+  // Local info so replay results are known even when the caller passed no
+  // out-param — the shape cross-check below must see them.
+  ForestLoadInfo local_info;
+  if (info == nullptr) info = &local_info;
+  info->shards.assign(config.shards, TreeLoadInfo{});
   std::vector<BloomSampleTree> shards;
   shards.reserve(config.shards);
   for (uint32_t s = 0; s < config.shards; ++s) {
     auto tree = LoadTreeFromFile(ForestShardPath(path, s), shard_options,
-                                 info != nullptr ? &info->shards[s] : nullptr);
+                                 &info->shards[s]);
     if (!tree.ok()) return tree.status();
     const TreeConfig& tc = tree.value().config();
     if (tc.namespace_size != config.tree.namespace_size ||
@@ -553,8 +576,14 @@ Result<BloomSampleForest> LoadForestFromFile(const std::string& path,
       return Status::InvalidArgument(
           "shard snapshot config disagrees with the forest manifest");
     }
-    if (tree.value().node_count() != node_counts[s] ||
-        tree.value().occupied().size() != occupied_counts[s]) {
+    // A shard with a sidecar WAL is dynamic: replay legitimately grows it
+    // past the manifest's counts, and around a crash the manifest may be
+    // newer OR older than the image (see CompactForest's ordering
+    // argument). The shape cross-check therefore only binds for static
+    // shards — no log present.
+    if (!info->shards[s].wal_present &&
+        (tree.value().node_count() != node_counts[s] ||
+         tree.value().occupied().size() != occupied_counts[s])) {
       return Status::InvalidArgument(
           "shard snapshot shape disagrees with the forest manifest");
     }
@@ -568,6 +597,51 @@ Result<BloomSampleForest> LoadForestFromFile(const std::string& path,
   }
   return BloomSampleForest(config, width, std::move(family).value(),
                            pruned_flag == 1, std::move(shards));
+}
+
+Status BloomSampleForest::Insert(uint64_t x) {
+  if (x >= config_.tree.namespace_size) {
+    return Status::OutOfRange("id beyond namespace");
+  }
+  return shards_[ShardOf(x)].Insert(x);
+}
+
+Status AttachForestWals(BloomSampleForest* forest, const std::string& path,
+                        const WalOptions& wal_options,
+                        const ForestLoadInfo* info) {
+  BSR_CHECK(forest != nullptr, "AttachForestWals: null forest");
+  const uint64_t fingerprint = WalConfigFingerprint(forest->config().tree);
+  for (uint32_t s = 0; s < forest->shard_count(); ++s) {
+    const uint64_t replayed =
+        info != nullptr && s < info->shards.size()
+            ? info->shards[s].wal_records_replayed
+            : 0;
+    auto writer = WalWriter::Open(WalPathFor(ForestShardPath(path, s)),
+                                  fingerprint, replayed + 1, wal_options);
+    if (!writer.ok()) return writer.status();
+    forest->mutable_shard(s)->AttachWal(std::move(writer).value());
+  }
+  return Status::OK();
+}
+
+Status CompactForest(BloomSampleForest* forest, const std::string& path) {
+  return CompactForest(forest, path, SaveOptions());
+}
+
+Status CompactForest(BloomSampleForest* forest, const std::string& path,
+                     const SaveOptions& options) {
+  BSR_CHECK(forest != nullptr, "CompactForest: null forest");
+  // Manifest first — see the header comment for why this ordering keeps
+  // every kill point loadable.
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  Status st = WriteManifestDurable(*forest, path, fs);
+  if (!st.ok()) return st;
+  for (uint32_t s = 0; s < forest->shard_count(); ++s) {
+    st = CompactTree(forest->mutable_shard(s), ForestShardPath(path, s),
+                     options);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 }  // namespace bloomsample

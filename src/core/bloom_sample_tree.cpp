@@ -383,6 +383,13 @@ Status BloomSampleTree::Insert(uint64_t x) {
   if (it != occupied_.end() && *it == x) {
     return Status::OK();  // already present — filters already contain x
   }
+  if (wal_ != nullptr) {
+    // Log-before-mutate: if the append (or its policy-driven fsync) fails,
+    // the tree stays exactly as it was and the caller sees the error — no
+    // acknowledged-but-unlogged state can exist.
+    const Status logged = wal_->Append(WalOp::kInsert, x);
+    if (!logged.ok()) return logged;
+  }
   occupied_.insert(it, x);
 
   // Walk the root-to-leaf path, creating missing nodes.

@@ -29,6 +29,7 @@
 
 #include "src/bloom/bloom_filter.h"
 #include "src/core/tree_config.h"
+#include "src/core/wal.h"
 #include "src/util/filter_arena.h"
 #include "src/util/op_counters.h"
 #include "src/util/status.h"
@@ -187,8 +188,20 @@ class BloomSampleTree {
   /// Dynamically marks `x` as occupied (pruned trees only): inserts x into
   /// every filter on its root-to-leaf path, creating missing nodes, and
   /// updates the occupied list. O(depth · m-bit ops + |M′|) per call; batch
-  /// rebuilds are preferable for bulk loads.
+  /// rebuilds are preferable for bulk loads. With a WAL attached the
+  /// record is appended (and synced per policy) BEFORE any in-memory
+  /// mutation, so an acknowledged insert is exactly one that recovery will
+  /// replay; a failed append leaves the tree untouched.
   Status Insert(uint64_t x);
+
+  /// Attaches a write-ahead log: subsequent Inserts are logged before they
+  /// mutate. Attach AFTER replay (replayed records must not be re-logged).
+  /// Pass nullptr to detach. The tree owns the writer.
+  void AttachWal(std::unique_ptr<WalWriter> wal) { wal_ = std::move(wal); }
+  /// The attached log writer, or nullptr (e.g. for flushing: wal()->Sync()).
+  WalWriter* wal() const { return wal_.get(); }
+  /// Releases the writer without closing it (compaction re-seats it).
+  std::unique_ptr<WalWriter> DetachWal() { return std::move(wal_); }
 
   /// Best-effort software prefetch of node `id`'s filter payload, issued a
   /// node ahead of the intersection that will read it so the arena block's
@@ -334,6 +347,9 @@ class BloomSampleTree {
   /// Physical placement of the filter blocks (see node_layout()). Set by
   /// the snapshot loaders; freshly built trees are id-ordered.
   NodeLayout node_layout_ = NodeLayout::kIdOrder;
+  /// Write-ahead logging of Inserts; nullptr = not logging (the default —
+  /// bulk builds and read-only query serving never pay for it).
+  std::unique_ptr<WalWriter> wal_;
 };
 
 }  // namespace bloomsample

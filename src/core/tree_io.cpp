@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "src/bloom/bloom_io.h"
+#include "src/core/wal.h"
 #include "src/util/serialize.h"
 #include "src/util/xxhash64.h"
 
@@ -951,17 +952,68 @@ Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path) {
 
 Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path,
                       const SaveOptions& options) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open '" + path + "' for writing");
+  if (options.version != kTreeVersion && options.version != kSnapshotVersion) {
+    return Status::InvalidArgument("unknown snapshot version requested");
   }
-  if (options.version == kTreeVersion) {
-    return TreeSerializer::Write(tree, &out);
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  const std::string tmp = path + ".tmp";
+  auto file = fs->NewWritableFile(tmp, WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status st;
+  {
+    WritableFileStreamBuf buf(file.value().get());
+    std::ostream out(&buf);
+    st = options.version == kTreeVersion
+             ? TreeSerializer::Write(tree, &out)
+             : TreeSerializer::WriteV2(tree, &out, options);
+    if (st.ok() && !buf.FlushBuffered()) st = buf.error();
+    // An injected/real write error surfaces through the streambuf with
+    // more detail than the serializer's generic stream-state check.
+    if (buf.bad()) st = buf.error();
   }
-  if (options.version == kSnapshotVersion) {
-    return TreeSerializer::WriteV2(tree, &out, options);
+  if (st.ok()) st = file.value()->Sync();
+  const Status closed = file.value()->Close();
+  if (st.ok()) st = closed;
+  if (st.ok()) st = fs->Rename(tmp, path);
+  if (!st.ok()) {
+    (void)fs->RemoveFile(tmp);  // best effort; `path` is untouched
+    return st;
   }
-  return Status::InvalidArgument("unknown snapshot version requested");
+  return fs->SyncDirOf(path);
+}
+
+Status AttachTreeWal(BloomSampleTree* tree, const std::string& path,
+                     const WalOptions& wal_options, const TreeLoadInfo* info) {
+  BSR_CHECK(tree != nullptr, "AttachTreeWal: null tree");
+  const uint64_t replayed =
+      info != nullptr ? info->wal_records_replayed : 0;
+  auto writer = WalWriter::Open(WalPathFor(path),
+                                WalConfigFingerprint(tree->config()),
+                                replayed + 1, wal_options);
+  if (!writer.ok()) return writer.status();
+  tree->AttachWal(std::move(writer).value());
+  return Status::OK();
+}
+
+Status CompactTree(BloomSampleTree* tree, const std::string& path) {
+  return CompactTree(tree, path, SaveOptions());
+}
+
+Status CompactTree(BloomSampleTree* tree, const std::string& path,
+                   const SaveOptions& options) {
+  BSR_CHECK(tree != nullptr, "CompactTree: null tree");
+  Status st = SaveTreeToFile(*tree, path, options);
+  if (!st.ok()) return st;
+  // The new image is durable from here on; shrinking the log can no
+  // longer lose anything (and a crash before the shrink just replays the
+  // old log into the new image — pure no-ops).
+  if (tree->wal() != nullptr) return tree->wal()->Reset();
+  FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  const std::string wal_path = WalPathFor(path);
+  if (!fs->FileExists(wal_path)) return Status::OK();
+  st = fs->RemoveFile(wal_path);
+  if (!st.ok()) return st;
+  return fs->SyncDirOf(wal_path);
 }
 
 LoadOptions LoadOptions::FromEnv() {
@@ -989,6 +1041,33 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path) {
   return LoadTreeFromFile(path, LoadOptions::FromEnv());
 }
 
+namespace {
+
+/// Replays `path`'s sidecar log into the freshly opened tree (the last
+/// step of every load path). Safe across load modes: mmap opens are
+/// MAP_PRIVATE, so the replayed Inserts copy-on-write in memory and never
+/// touch the snapshot file.
+Result<BloomSampleTree> FinishLoad(Result<BloomSampleTree> tree,
+                                   const std::string& path,
+                                   const LoadOptions& options,
+                                   TreeLoadInfo* info) {
+  if (!tree.ok() || !options.replay_wal) return tree;
+  BloomSampleTree& t = tree.value();
+  auto stats = ReplayWal(
+      WalPathFor(path), WalConfigFingerprint(t.config()),
+      [&t](const WalRecord& rec) { return t.Insert(rec.id); },
+      options.fs);
+  if (!stats.ok()) return stats.status();
+  if (info != nullptr) {
+    info->wal_present = stats.value().present;
+    info->wal_records_replayed = stats.value().records_replayed;
+    info->wal_recovered_corruption = stats.value().recovered_corruption;
+  }
+  return tree;
+}
+
+}  // namespace
+
 Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
                                          const LoadOptions& options,
                                          TreeLoadInfo* info) {
@@ -1005,7 +1084,8 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
       *info = TreeLoadInfo{TreeLoadInfo::Method::kStreamV1, kTreeVersion,
                            NodeLayout::kIdOrder, 0};
     }
-    return TreeSerializer::ReadV1Body(&in, options.family);
+    return FinishLoad(TreeSerializer::ReadV1Body(&in, options.family), path,
+                      options, info);
   }
   if (std::memcmp(tag, kSnapshotTag, 4) != 0) {
     return Status::InvalidArgument("bad magic tag; expected 'BSTR' or 'BST2'");
@@ -1029,8 +1109,10 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
   }
 #if BSR_HAVE_MMAP
   if (want_mmap) {
-    return TreeSerializer::ReadV2Mmap(std::move(meta).value(), path,
-                                      options.prewarm, info, options.family);
+    return FinishLoad(
+        TreeSerializer::ReadV2Mmap(std::move(meta).value(), path,
+                                   options.prewarm, info, options.family),
+        path, options, info);
   }
 #else
   if (options.mode == LoadMode::kMmap) {
@@ -1038,8 +1120,9 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
                                "platform; use LoadMode::kHeap");
   }
 #endif
-  return TreeSerializer::ReadV2Heap(std::move(meta).value(), &in,
-                                    options.family);
+  return FinishLoad(TreeSerializer::ReadV2Heap(std::move(meta).value(), &in,
+                                               options.family),
+                    path, options, info);
 }
 
 }  // namespace bloomsample

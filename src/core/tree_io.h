@@ -49,6 +49,7 @@
 #include <string>
 
 #include "src/core/bloom_sample_tree.h"
+#include "src/util/file_system.h"
 #include "src/util/status.h"
 
 namespace bloomsample {
@@ -59,6 +60,10 @@ struct SaveOptions {
   uint32_t version = 2;
   /// Slab block order (v2 only; v1 is inherently id-ordered).
   NodeLayout layout = NodeLayout::kDescent;
+  /// File system the save writes through; nullptr = FileSystem::Default().
+  /// Tests pass a FaultInjectingFileSystem here to kill the save at every
+  /// kill point and assert the old snapshot always survives.
+  FileSystem* fs = nullptr;
   /// Emit per-region XXH64 checksums (v2 only): header, node table,
   /// id→block index, occupancy, and filter slab each get an 8-byte digest
   /// in an extended header, verified at open so bit rot fails loudly
@@ -90,6 +95,14 @@ struct LoadOptions {
   /// Must match the file's (kind, k, m, seed) — validated; null (the
   /// default) creates a fresh family from the file's config.
   std::shared_ptr<const HashFamily> family;
+  /// Replay the sidecar write-ahead log (`<path>.wal`, see core/wal.h)
+  /// after the image opens, re-applying logged inserts in order and
+  /// amputating any torn/corrupt tail. The recovered tree is identical to
+  /// one that never crashed; TreeLoadInfo reports what replay did. Off =
+  /// open the image exactly as written (bench/debug use).
+  bool replay_wal = true;
+  /// File system replay truncates the log through; nullptr = Default().
+  FileSystem* fs = nullptr;
 
   /// Defaults overridden by the environment: BSR_LOAD=heap|mmap|auto picks
   /// the mode (unknown values keep kAuto), BSR_LOAD_PREWARM=1 sets
@@ -106,6 +119,12 @@ struct TreeLoadInfo {
   NodeLayout layout = NodeLayout::kIdOrder;
   /// Bytes of slab mapped zero-copy (0 for heap/stream loads).
   uint64_t mapped_bytes = 0;
+  /// Sidecar WAL results (meaningful when LoadOptions::replay_wal is on).
+  bool wal_present = false;
+  uint64_t wal_records_replayed = 0;
+  /// A torn or corrupt log tail was found and cut off — everything before
+  /// it replayed fine. The snapshot itself was intact.
+  bool wal_recovered_corruption = false;
 };
 
 const char* TreeLoadMethodName(TreeLoadInfo::Method method);
@@ -120,9 +139,35 @@ Status SerializeTree(const BloomSampleTree& tree, std::ostream* out);
 Result<BloomSampleTree> DeserializeTree(std::istream* in);
 
 /// Writes a v2 snapshot in the descent layout (see SaveOptions defaults).
+/// Durable and atomic: the image lands at `path + ".tmp"`, is fsynced,
+/// renamed over `path`, and the rename is fenced with a directory fsync —
+/// a crash at any point leaves either the complete old file or the
+/// complete new one, never a torn mix. A failed save removes the temp
+/// (best effort) and leaves `path` untouched.
 Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path);
 Status SaveTreeToFile(const BloomSampleTree& tree, const std::string& path,
                       const SaveOptions& options);
+
+/// Folds the tree's logged inserts into the snapshot: atomically rewrites
+/// `path` from the in-memory tree (SaveTreeToFile semantics), then empties
+/// the sidecar log — via the tree's attached writer (WalWriter::Reset)
+/// when one is attached, else by removing `path + ".wal"`. Ordering makes
+/// every crash recoverable: the log only shrinks AFTER the new image is
+/// durably in place, and replaying the full old log into the new image is
+/// a no-op (Insert is idempotent). Open-after-crash therefore always
+/// yields either old image + full log or new image + empty log — the same
+/// tree either way.
+Status CompactTree(BloomSampleTree* tree, const std::string& path);
+Status CompactTree(BloomSampleTree* tree, const std::string& path,
+                   const SaveOptions& options);
+
+/// Opens (creating if absent) the sidecar log at WalPathFor(path) and
+/// attaches it to the tree, after which Inserts are logged. Call after
+/// LoadTreeFromFile — `info`'s replay count seeds the sequence numbers
+/// (pass nullptr only for a fresh tree whose log is empty or absent).
+Status AttachTreeWal(BloomSampleTree* tree, const std::string& path,
+                     const WalOptions& wal_options,
+                     const TreeLoadInfo* info = nullptr);
 
 /// Loads either format; mode/prewarm default from LoadOptions::FromEnv().
 /// `info` (optional) reports the load method, format version, layout, and

@@ -1,0 +1,153 @@
+// Write-ahead delta log for dynamic inserts.
+//
+// A v2 snapshot is an immutable bulk artifact: rewriting the whole image
+// on every Insert would turn an O(depth · m) operation into an O(file)
+// one. Instead, each snapshot `<path>` may carry a sidecar log at
+// `<path>.wal` holding the inserts applied since the image was written.
+// Recovery is replay: LoadTreeFromFile opens the image, then re-applies
+// the log's records in order — Insert is idempotent (inserting a present
+// id is a no-op), so replaying an already-applied prefix is harmless and
+// the recovered tree is bit-identical to one that never crashed.
+//
+// On-disk layout (little-endian throughout):
+//
+//   header (32 B):  'BSTW' u32 | version u32 | config fingerprint u64 |
+//                   reserved u64 | XXH64(first 24 B) u64
+//   record (32 B):  payload length u32 (= 20) |
+//                   payload { seq u64 | op u32 | id u64 } |
+//                   XXH64(payload) u64
+//
+// The fingerprint hashes the tree-identity fields of TreeConfig, so a log
+// can never replay into a tree with different geometry. Sequence numbers
+// are dense (1, 2, 3, …): a gap, a checksum mismatch, a bad length, or a
+// torn tail all mark the FIRST invalid record, and replay amputates the
+// file there — everything before it is intact by construction (records
+// are appended in order and fsync is a prefix fence).
+//
+// Sync policy is the durability/throughput dial (bench/micro_ingest.cpp
+// measures it): kEveryRecord fsyncs per append (no acknowledged insert is
+// ever lost), kInterval fsyncs every N appends (bounded loss window),
+// kNone never fsyncs (crash loses the OS-buffered tail; the tree still
+// recovers to a consistent prefix).
+#ifndef BLOOMSAMPLE_CORE_WAL_H_
+#define BLOOMSAMPLE_CORE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/tree_config.h"
+#include "src/util/file_system.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// Logged mutation kinds. Only inserts exist today; deletes arrive with
+/// counting-bloom support (see ROADMAP).
+enum class WalOp : uint32_t { kInsert = 1 };
+
+struct WalRecord {
+  uint64_t seq = 0;  ///< dense, 1-based
+  WalOp op = WalOp::kInsert;
+  uint64_t id = 0;  ///< the namespace element
+};
+
+enum class WalSyncPolicy : uint32_t {
+  kEveryRecord = 0,  ///< fsync after every append
+  kInterval = 1,     ///< fsync every sync_interval appends
+  kNone = 2,         ///< never fsync (OS decides)
+};
+
+/// "every" / "interval" / "none".
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+struct WalOptions {
+  WalSyncPolicy policy = WalSyncPolicy::kEveryRecord;
+  uint64_t sync_interval = 64;  ///< for kInterval
+  /// File system the writer appends through; nullptr = FileSystem::Default().
+  FileSystem* fs = nullptr;
+};
+
+/// `<snapshot path>.wal` — the sidecar convention shared by the writer,
+/// replay, the loaders, and compaction.
+std::string WalPathFor(const std::string& snapshot_path);
+
+/// XXH64 over the tree-identity fields of `config` (namespace_size, m, k,
+/// hash_kind, seed, depth). Runtime policy knobs (threads, thresholds) are
+/// excluded — they never change what a record means.
+uint64_t WalConfigFingerprint(const TreeConfig& config);
+
+/// Appends checksummed records to a log file. Single writer per log; the
+/// tree owns its writer (BloomSampleTree::AttachWal).
+class WalWriter {
+ public:
+  /// Opens `path` for appending. A missing or header-less file is created
+  /// fresh (header written and fsynced, creation fenced with a directory
+  /// sync); an existing log must carry a valid header with a matching
+  /// fingerprint. `next_seq` is the first sequence number this writer will
+  /// emit — pass WalReplayStats::next_seq after replay, 1 for a new log.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t fingerprint,
+                                                 uint64_t next_seq,
+                                                 const WalOptions& options);
+
+  /// Appends one record (assigning it the next sequence number) and syncs
+  /// per policy. On error the log tail is suspect: the writer latches dead
+  /// and every later Append fails, but the on-disk prefix up to the last
+  /// successful sync remains replayable.
+  Status Append(WalOp op, uint64_t id);
+
+  /// Explicit durability fence, regardless of policy.
+  Status Sync();
+
+  /// Empties the log back to its 32-byte header (the post-compaction
+  /// reset): truncate + fsync, sequence numbers restart at 1.
+  Status Reset();
+
+  Status Close();
+
+  uint64_t next_seq() const { return next_seq_; }
+  /// Records appended through this writer (not counting replayed ones).
+  uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::unique_ptr<WritableFile> file,
+            const WalOptions& options, uint64_t next_seq)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        options_(options),
+        next_seq_(next_seq) {}
+
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  WalOptions options_;
+  uint64_t next_seq_;
+  uint64_t appended_ = 0;
+  uint64_t unsynced_ = 0;  ///< appends since the last fsync
+  bool dead_ = false;      ///< a failed append poisons the tail
+};
+
+/// What replay found (and fixed) in a log.
+struct WalReplayStats {
+  bool present = false;             ///< a log file existed
+  uint64_t records_replayed = 0;    ///< records applied in order
+  bool recovered_corruption = false;  ///< a torn/corrupt tail was cut off
+  uint64_t next_seq = 1;            ///< first seq a writer should emit
+};
+
+/// Replays `path` in order, calling `apply` for each valid record. Stops
+/// at the first invalid one — bad length, checksum mismatch, sequence gap,
+/// torn tail — and truncates the physical file there, so a later writer
+/// appends onto a clean prefix. A missing file is not an error (fresh
+/// tree). A mismatched config fingerprint IS an error: that log belongs to
+/// a different tree. Errors from `apply` abort the replay unchanged.
+Result<WalReplayStats> ReplayWal(
+    const std::string& path, uint64_t fingerprint,
+    const std::function<Status(const WalRecord&)>& apply,
+    FileSystem* fs = nullptr);
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_WAL_H_

@@ -1,0 +1,221 @@
+#include "src/util/fault_fs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bloomsample {
+
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteWholeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+/// Counts Append/Sync through the parent's operation counter and keeps the
+/// durable-content map in step with successful Syncs. Namespace scope (not
+/// anonymous) so the friend declaration in the header matches.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingFileSystem* parent,
+                    std::unique_ptr<WritableFile> inner, std::string path)
+      : parent_(parent), inner_(std::move(inner)), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t len) override {
+    bool short_write = false;
+    const Status injected = parent_->CountOp("append", &short_write);
+    if (short_write) {
+      // The torn-tail case: a prefix lands on disk, then the write dies.
+      const size_t keep =
+          len < parent_->short_write_keep_ ? len : parent_->short_write_keep_;
+      (void)inner_->Append(data, keep);
+      return Status::Internal("injected fault: short write on '" + path_ +
+                              "'");
+    }
+    if (!injected.ok()) return injected;
+    return inner_->Append(data, len);
+  }
+
+  Status Sync() override {
+    const Status injected = parent_->CountOp("fsync");
+    if (!injected.ok()) return injected;
+    const Status st = inner_->Sync();
+    if (st.ok()) parent_->MarkContentDurable(path_);
+    return st;
+  }
+
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  FaultInjectingFileSystem* parent_;
+  std::unique_ptr<WritableFile> inner_;
+  std::string path_;
+};
+
+FaultInjectingFileSystem::FaultInjectingFileSystem()
+    : real_(FileSystem::Default()) {}
+
+void FaultInjectingFileSystem::FailAtOp(uint64_t n, bool enospc) {
+  fail_at_ = n;
+  fail_enospc_ = enospc;
+}
+
+void FaultInjectingFileSystem::ShortWriteAtOp(uint64_t n, size_t keep_bytes) {
+  short_write_at_ = n;
+  short_write_keep_ = keep_bytes;
+}
+
+void FaultInjectingFileSystem::CrashAtOp(uint64_t n) { crash_at_ = n; }
+
+void FaultInjectingFileSystem::ClearFaults() {
+  fail_at_ = 0;
+  fail_enospc_ = false;
+  short_write_at_ = 0;
+  crash_at_ = 0;
+  crashed_ = false;
+}
+
+void FaultInjectingFileSystem::SimulateCrash() {
+  DropUnsyncedState();
+  crashed_ = true;
+}
+
+Status FaultInjectingFileSystem::CountOp(const char* what, bool* short_write) {
+  ++op_count_;
+  if (crashed_) {
+    return Status::Internal("simulated crash: filesystem is down");
+  }
+  if (crash_at_ != 0 && op_count_ >= crash_at_) {
+    // The machine dies BEFORE operation op_count_ takes effect: state
+    // freezes at what the previous operations made durable.
+    SimulateCrash();
+    return Status::Internal(std::string("simulated crash during ") + what);
+  }
+  if (op_count_ == short_write_at_) {
+    if (short_write != nullptr) {
+      *short_write = true;
+      return Status::OK();  // the Append tears instead of failing outright
+    }
+    return Status::Internal(std::string("injected fault during ") + what);
+  }
+  if (op_count_ == fail_at_) {
+    if (fail_enospc_) {
+      return Status::Internal(std::string("injected fault during ") + what +
+                              ": no space left on device (ENOSPC)");
+    }
+    return Status::Internal(std::string("injected fault during ") + what);
+  }
+  return Status::OK();
+}
+
+void FaultInjectingFileSystem::TrackPath(const std::string& path) {
+  if (!touched_.insert(path).second) return;
+  // First touch: whatever is on disk now predates the fault FS and is
+  // assumed durable (unless a committed rename already accounted for it).
+  if (durable_.find(path) == durable_.end() && real_->FileExists(path)) {
+    durable_[path] = ReadWholeFile(path);
+  }
+}
+
+void FaultInjectingFileSystem::MarkContentDurable(const std::string& path) {
+  durable_[path] = ReadWholeFile(path);
+}
+
+void FaultInjectingFileSystem::DropUnsyncedState() {
+  for (const std::string& path : touched_) {
+    const auto it = durable_.find(path);
+    if (it != durable_.end()) {
+      WriteWholeFile(path, it->second);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  pending_name_ops_.clear();
+  touched_.clear();
+}
+
+Result<std::unique_ptr<WritableFile>>
+FaultInjectingFileSystem::NewWritableFile(const std::string& path,
+                                          WriteMode mode) {
+  const Status injected = CountOp("open");
+  if (!injected.ok()) return injected;
+  TrackPath(path);
+  auto inner = real_->NewWritableFile(path, mode);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(
+      this, std::move(inner).value(), path));
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  const Status injected = CountOp("rename");
+  if (!injected.ok()) return injected;
+  TrackPath(from);
+  TrackPath(to);
+  const Status st = real_->Rename(from, to);
+  if (st.ok()) pending_name_ops_.push_back({from, to});
+  return st;
+}
+
+Status FaultInjectingFileSystem::Truncate(const std::string& path,
+                                          uint64_t size) {
+  const Status injected = CountOp("truncate");
+  if (!injected.ok()) return injected;
+  TrackPath(path);
+  return real_->Truncate(path, size);
+}
+
+Status FaultInjectingFileSystem::SyncDirOf(const std::string& path) {
+  const Status injected = CountOp("fsync dir");
+  if (!injected.ok()) return injected;
+  const Status st = real_->SyncDirOf(path);
+  if (!st.ok()) return st;
+  // Commit every pending name change (tests run in one directory, so a
+  // single directory fence covers them all). A renamed file carries the
+  // content its SOURCE had made durable; a rename of a never-synced file
+  // leaves the destination non-durable — name without content.
+  for (const PendingNameOp& op : pending_name_ops_) {
+    const auto it = durable_.find(op.from);
+    if (op.to.empty()) {  // remove
+      if (it != durable_.end()) durable_.erase(it);
+      continue;
+    }
+    if (it != durable_.end()) {
+      durable_[op.to] = std::move(it->second);
+      durable_.erase(op.from);
+    } else {
+      durable_.erase(op.to);
+    }
+  }
+  pending_name_ops_.clear();
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
+  const Status injected = CountOp("unlink");
+  if (!injected.ok()) return injected;
+  TrackPath(path);
+  const Status st = real_->RemoveFile(path);
+  if (st.ok()) pending_name_ops_.push_back({path, std::string()});
+  return st;
+}
+
+bool FaultInjectingFileSystem::FileExists(const std::string& path) {
+  return real_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingFileSystem::FileSize(const std::string& path) {
+  return real_->FileSize(path);
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the durability subsystem.
+//
+// FaultInjectingFileSystem wraps the real FileSystem (operations land on
+// real files, so the untouched READ path — ifstream parsing, mmap — keeps
+// working against whatever state a simulated failure leaves behind) and
+// adds three kinds of deterministic misbehavior, keyed off a counter of
+// mutating operations (NewWritableFile / Append / Sync / Rename /
+// Truncate / SyncDirOf / RemoveFile, in call order):
+//
+//   * FailAtOp(n)        — operation n returns an injected error (ENOSPC
+//                          flavored on request); later operations succeed.
+//                          Exercises the clean unwind paths: a failed save
+//                          must leave the old artifact intact.
+//   * ShortWriteAtOp(n)  — operation n (an Append) writes only a prefix
+//                          and then errors: the torn-tail case.
+//   * CrashAtOp(n)       — when the counter reaches n the "machine dies":
+//                          every byte not fenced by Sync is dropped, every
+//                          rename/remove not fenced by SyncDirOf rolls
+//                          back, and all further operations fail. The test
+//                          then "reboots" by reopening the real files.
+//
+// Durability model (what survives a crash):
+//   * a file's content as of its last successful Sync();
+//   * renames/removes executed before the last successful SyncDirOf()
+//     (content carried over from the source's synced state);
+//   * files that existed before the fault FS first touched them (seeded
+//     as durable on first touch).
+// Everything else — appended-but-unsynced bytes, truncations, renames
+// after the last directory sync — reverts.
+//
+// Single-threaded by design: the crash matrix drives one deterministic
+// operation sequence at a time.
+#ifndef BLOOMSAMPLE_UTIL_FAULT_FS_H_
+#define BLOOMSAMPLE_UTIL_FAULT_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/file_system.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  /// Wraps FileSystem::Default(); all paths are real files (use a temp
+  /// directory).
+  FaultInjectingFileSystem();
+
+  // --- fault plan -----------------------------------------------------
+
+  /// Operation `n` (1-based) returns an error; 0 disarms. `enospc` flavors
+  /// the message like a full disk.
+  void FailAtOp(uint64_t n, bool enospc = false);
+
+  /// Operation `n` — which must land on an Append to matter — writes only
+  /// the first `keep_bytes` bytes, then errors.
+  void ShortWriteAtOp(uint64_t n, size_t keep_bytes = 3);
+
+  /// Simulated power loss when the counter reaches `n`: unsynced state is
+  /// dropped and every operation from `n` on fails with "simulated crash".
+  void CrashAtOp(uint64_t n);
+
+  /// Disarms every fault and clears the crashed flag (the "reboot").
+  /// Durable state and the operation counter are left alone.
+  void ClearFaults();
+
+  /// Explicit crash now (equivalent to CrashAtOp at the current counter).
+  void SimulateCrash();
+
+  void ResetOpCount() { op_count_ = 0; }
+  /// Mutating operations seen so far — run a sequence once fault-free to
+  /// learn its length, then enumerate every kill point 1..op_count().
+  uint64_t op_count() const { return op_count_; }
+  bool crashed() const { return crashed_; }
+
+  // --- FileSystem -----------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status SyncDirOf(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Counts one mutating operation and returns the injected error for it,
+  /// if any. `*short_write` (optional) reports that this operation should
+  /// tear instead of failing outright.
+  Status CountOp(const char* what, bool* short_write = nullptr);
+
+  /// First-touch seeding: a path the fault FS has never mutated is assumed
+  /// durable with its current on-disk content.
+  void TrackPath(const std::string& path);
+
+  /// Records `path`'s current real content as its crash-surviving state.
+  void MarkContentDurable(const std::string& path);
+
+  void DropUnsyncedState();
+
+  FileSystem* real_;
+  uint64_t op_count_ = 0;
+  uint64_t fail_at_ = 0;
+  bool fail_enospc_ = false;
+  uint64_t short_write_at_ = 0;
+  size_t short_write_keep_ = 3;
+  uint64_t crash_at_ = 0;
+  bool crashed_ = false;
+
+  /// Paths mutated since construction (or the last crash).
+  std::set<std::string> touched_;
+  /// path → content that survives a crash. Absent = the path dies.
+  std::map<std::string, std::string> durable_;
+  /// Renames/removes since the last SyncDirOf, oldest first. `to` empty =
+  /// remove.
+  struct PendingNameOp {
+    std::string from;
+    std::string to;
+  };
+  std::vector<PendingNameOp> pending_name_ops_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_FAULT_FS_H_

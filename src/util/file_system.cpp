@@ -1,0 +1,277 @@
+#include "src/util/file_system.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BSR_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BSR_HAVE_POSIX_IO 0
+#include <cstdio>
+#include <fstream>
+#endif
+
+namespace bloomsample {
+
+namespace {
+
+std::string ParentDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "' failed: " + std::strerror(errno);
+}
+
+#if BSR_HAVE_POSIX_IO
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Append(const void* data, size_t len) override {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const ssize_t n = ::write(fd_, p, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(ErrnoMessage("write", path_));
+      }
+      p += n;
+      len -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal(ErrnoMessage("close", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    const int flags = O_WRONLY | O_CREAT |
+                      (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::NotFound(ErrnoMessage("open", path));
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(ErrnoMessage("rename", from));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::Internal(ErrnoMessage("truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDirOf(const std::string& path) override {
+    const std::string dir = ParentDirOf(path);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::Internal(ErrnoMessage("open dir", dir));
+    }
+    // Some filesystems refuse fsync on directories (EINVAL); treat that as
+    // best-effort success, matching what mainstream storage engines do.
+    const int rc = ::fsync(fd);
+    const int saved_errno = errno;
+    ::close(fd);
+    if (rc != 0 && saved_errno != EINVAL) {
+      errno = saved_errno;
+      return Status::Internal(ErrnoMessage("fsync dir", dir));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound(ErrnoMessage("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+#else  // !BSR_HAVE_POSIX_IO — portable fallback without durability fences.
+
+class StreamWritableFile : public WritableFile {
+ public:
+  StreamWritableFile(std::ofstream out, std::string path)
+      : out_(std::move(out)), path_(std::move(path)) {}
+
+  Status Append(const void* data, size_t len) override {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    return out_.good() ? Status::OK()
+                       : Status::Internal("write '" + path_ + "' failed");
+  }
+  Status Sync() override {
+    out_.flush();  // no fsync available; flush is the best this port has
+    return out_.good() ? Status::OK()
+                       : Status::Internal("flush '" + path_ + "' failed");
+  }
+  Status Close() override {
+    if (out_.is_open()) out_.close();
+    return Status::OK();
+  }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+class PortableFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    std::ofstream out(path, std::ios::binary |
+                                (mode == WriteMode::kTruncate
+                                     ? std::ios::trunc
+                                     : std::ios::app));
+    if (!out.is_open()) {
+      return Status::NotFound("cannot open '" + path + "' for writing");
+    }
+    return std::unique_ptr<WritableFile>(
+        new StreamWritableFile(std::move(out), path));
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::remove(to.c_str());
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal("rename '" + from + "' failed");
+    }
+    return Status::OK();
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return Status::NotFound("truncate: no '" + path + "'");
+    std::string bytes(static_cast<size_t>(size), '\0');
+    in.read(&bytes[0], static_cast<std::streamsize>(size));
+    if (static_cast<uint64_t>(in.gcount()) != size) {
+      return Status::OutOfRange("truncate beyond end of '" + path + "'");
+    }
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return out.good() ? Status::OK()
+                      : Status::Internal("truncate rewrite failed");
+  }
+  Status SyncDirOf(const std::string&) override { return Status::OK(); }
+  Status RemoveFile(const std::string& path) override {
+    std::remove(path.c_str());
+    return Status::OK();
+  }
+  bool FileExists(const std::string& path) override {
+    std::ifstream in(path);
+    return in.is_open();
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in.is_open()) return Status::NotFound("stat: no '" + path + "'");
+    return static_cast<uint64_t>(in.tellg());
+  }
+};
+
+#endif  // BSR_HAVE_POSIX_IO
+
+}  // namespace
+
+FileSystem* FileSystem::Default() {
+#if BSR_HAVE_POSIX_IO
+  static PosixFileSystem* fs = new PosixFileSystem();
+#else
+  static PortableFileSystem* fs = new PortableFileSystem();
+#endif
+  return fs;
+}
+
+bool WritableFileStreamBuf::RawWrite(const void* data, size_t len) {
+  if (bad_) return false;
+  const Status st = file_->Append(data, len);
+  if (!st.ok()) {
+    bad_ = true;
+    error_ = st;
+    return false;
+  }
+  return true;
+}
+
+bool WritableFileStreamBuf::FlushBuffered() {
+  const size_t buffered = static_cast<size_t>(pptr() - pbase());
+  if (buffered > 0) {
+    if (!RawWrite(pbase(), buffered)) return false;
+    setp(buffer_, buffer_ + sizeof(buffer_));
+  }
+  return !bad_;
+}
+
+int WritableFileStreamBuf::overflow(int ch) {
+  if (!FlushBuffered()) return traits_type::eof();
+  if (ch != traits_type::eof()) {
+    *pptr() = static_cast<char>(ch);
+    pbump(1);
+  }
+  return ch == traits_type::eof() ? 0 : ch;
+}
+
+std::streamsize WritableFileStreamBuf::xsputn(const char* data,
+                                              std::streamsize len) {
+  // Large writes bypass the buffer; small ones coalesce in it.
+  if (len >= static_cast<std::streamsize>(sizeof(buffer_))) {
+    if (!FlushBuffered()) return 0;
+    return RawWrite(data, static_cast<size_t>(len)) ? len : 0;
+  }
+  if (epptr() - pptr() < len && !FlushBuffered()) return 0;
+  std::memcpy(pptr(), data, static_cast<size_t>(len));
+  pbump(static_cast<int>(len));
+  return len;
+}
+
+}  // namespace bloomsample

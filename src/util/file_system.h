@@ -1,0 +1,127 @@
+// Pluggable file-system abstraction for the durability subsystem.
+//
+// Every mutating file operation the persistence layer performs — snapshot
+// saves, WAL appends, compaction renames — goes through this interface
+// instead of raw ofstream/rename calls, for one reason: crash-safety
+// claims are only worth anything if they are testable. The production
+// implementation (PosixFileSystem, via FileSystem::Default()) is a thin
+// veneer over open/write/fsync/rename/ftruncate; the test implementation
+// (FaultInjectingFileSystem, util/fault_fs.h) can fail the Nth syscall,
+// short-write, report ENOSPC, and — the part no unit test can fake with
+// std::ofstream — simulate a crash that drops every byte not yet fsync'ed
+// and rolls back every rename not yet fenced by a directory fsync.
+//
+// The read side (ifstream parsing, mmap) intentionally stays on the raw
+// platform calls: fault injection targets the WRITE path, because that is
+// where torn state is created; corrupt-read behavior is exercised by byte
+// surgery on real files (see tests/tree_snapshot_test.cpp, wal_test.cpp).
+//
+// Durability contract the writers rely on (and the fault FS enforces):
+//   * Append data is volatile until Sync() returns OK.
+//   * A rename is volatile until SyncDir(parent) returns OK — until then a
+//     crash may resurrect the old destination and the old source.
+//   * Truncate is volatile until Sync() on the truncated file.
+#ifndef BLOOMSAMPLE_UTIL_FILE_SYSTEM_H_
+#define BLOOMSAMPLE_UTIL_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+/// An append-only output file. Not thread-safe; one writer per file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `len` bytes at the end of the file. A short write (ENOSPC,
+  /// injected fault) surfaces as a non-OK Status; the file's tail is then
+  /// unspecified garbage and the caller must treat the artifact as dead.
+  virtual Status Append(const void* data, size_t len) = 0;
+
+  /// Durability fence: all previously appended bytes survive a crash once
+  /// this returns OK (fsync, or the fault FS's simulated equivalent).
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Close does NOT imply durability — call Sync
+  /// first if the bytes matter. Idempotent; the destructor closes too.
+  virtual Status Close() = 0;
+};
+
+/// How NewWritableFile positions an existing file.
+enum class WriteMode : uint32_t {
+  kTruncate = 0,  ///< start from scratch (creates or empties)
+  kAppend = 1,    ///< keep existing bytes, append at the end
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics). The
+  /// swap is durable only after SyncDir on the parent directory.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes (the WAL reset after compaction and
+  /// the replay-time amputation of a torn tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// fsyncs the directory containing `path` (a FILE path — the helper
+  /// resolves the parent), making renames/creates/removes in it durable.
+  virtual Status SyncDirOf(const std::string& path) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Size in bytes; NotFound if the file does not exist.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// The process-wide POSIX-backed instance.
+  static FileSystem* Default();
+};
+
+/// std::streambuf adapter so the existing stream-based serializers
+/// (TreeSerializer::Write/WriteV2, the forest manifest writer) can emit
+/// through a WritableFile — and therefore through fault injection —
+/// without rewriting them. Write errors latch: once any Append fails,
+/// every later write fails and bad() is true (std::ostream will also have
+/// badbit set via the returned EOF).
+class WritableFileStreamBuf : public std::streambuf {
+ public:
+  explicit WritableFileStreamBuf(WritableFile* file) : file_(file) {
+    setp(buffer_, buffer_ + sizeof(buffer_));
+  }
+  ~WritableFileStreamBuf() override { FlushBuffered(); }
+
+  /// Pushes buffered bytes to the file. Call before Sync/Close.
+  bool FlushBuffered();
+
+  bool bad() const { return bad_; }
+  const Status& error() const { return error_; }
+
+ protected:
+  int overflow(int ch) override;
+  std::streamsize xsputn(const char* data, std::streamsize len) override;
+  int sync() override { return FlushBuffered() ? 0 : -1; }
+
+ private:
+  bool RawWrite(const void* data, size_t len);
+
+  WritableFile* file_;
+  char buffer_[1 << 16];
+  bool bad_ = false;
+  Status error_;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_FILE_SYSTEM_H_

@@ -1,0 +1,424 @@
+// The crash matrix: every mutating filesystem operation in the ingest,
+// save, and compaction paths is a kill point. Each scenario first runs
+// fault-free through a FaultInjectingFileSystem to count its operations,
+// then re-runs once per kill point n — the simulated machine dies before
+// operation n takes effect — and "reboots" by reopening the surviving
+// files with the real filesystem. The invariants:
+//
+//   * ingest: recovery holds EXACTLY the base set plus the acknowledged
+//     inserts (kEveryRecord policy: acknowledged == durable), bit-identical
+//     across heap and mmap reopens;
+//   * compaction: recovery always equals the full pre-compaction state,
+//     and the on-disk pair is one of {old image, any log} / {new image,
+//     any log} with the log either full or empty — never a torn image,
+//     never a half-log;
+//   * save-over-existing: a save that fails (any op, including ENOSPC)
+//     leaves the old snapshot byte-identical;
+//   * forest compaction: same recovery invariant across the manifest and
+//     every shard image/log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/bloom_sample_forest.h"
+#include "src/core/tree_io.h"
+#include "src/core/wal.h"
+#include "src/util/fault_fs.h"
+
+namespace bloomsample {
+namespace {
+
+constexpr size_t kWalHeaderBytes = 32;
+
+TreeConfig GoldenConfig() {
+  TreeConfig config;
+  config.namespace_size = 4096;
+  config.m = 6000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = 4;
+  return config;
+}
+
+std::vector<uint64_t> BaseOccupied() {
+  std::vector<uint64_t> occupied;
+  for (uint64_t x = 5; x < 4096; x += 27) occupied.push_back(x);
+  return occupied;
+}
+
+std::vector<uint64_t> ExtraIds() {
+  return {4000, 13, 2048, 700, 3999, 64, 1500, 2047, 311, 4095, 8, 901};
+}
+
+/// TempDir() survives across runs; stale snapshots or logs would pollute
+/// the pre-state these scenarios build, so every path starts scrubbed.
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<uint64_t> SortedUnion(std::vector<uint64_t> base,
+                                  const std::vector<uint64_t>& more) {
+  base.insert(base.end(), more.begin(), more.end());
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  return base;
+}
+
+void ExpectTreesIdentical(const BloomSampleTree& a, const BloomSampleTree& b) {
+  EXPECT_EQ(a.occupied(), b.occupied());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (size_t id = 0; id < a.node_count(); ++id) {
+    const auto& na = a.node(static_cast<int64_t>(id));
+    const auto& nb = b.node(static_cast<int64_t>(id));
+    ASSERT_EQ(na.lo, nb.lo) << "id=" << id;
+    ASSERT_EQ(na.hi, nb.hi) << "id=" << id;
+    ASSERT_EQ(na.left, nb.left) << "id=" << id;
+    ASSERT_EQ(na.right, nb.right) << "id=" << id;
+    ASSERT_EQ(na.set_bits, nb.set_bits) << "id=" << id;
+    ASSERT_EQ(na.filter.bits(), nb.filter.bits()) << "id=" << id;
+  }
+}
+
+TEST(CrashMatrixTest, IngestDiesAtEveryKillPoint) {
+  const std::string path = TempPath("crash_ingest.bst");
+  const std::string wal_path = WalPathFor(path);
+  auto built = BloomSampleTree::BuildPruned(GoldenConfig(), BaseOccupied());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveTreeToFile(built.value(), path).ok());
+  const std::string snapshot_bytes = ReadFileBytes(path);
+  const std::vector<uint64_t> extras = ExtraIds();
+
+  // The sequence under test: open the snapshot, attach a fresh log with
+  // the strictest policy, ingest. Stops at the first error, like a
+  // process whose machine just died.
+  auto run = [&](FaultInjectingFileSystem* fs, std::vector<uint64_t>* acked) {
+    LoadOptions load_options;
+    load_options.fs = fs;
+    TreeLoadInfo info;
+    auto loaded = LoadTreeFromFile(path, load_options, &info);
+    if (!loaded.ok()) return;
+    BloomSampleTree tree = std::move(loaded).value();
+    WalOptions wal_options;
+    wal_options.policy = WalSyncPolicy::kEveryRecord;
+    wal_options.fs = fs;
+    if (!AttachTreeWal(&tree, path, wal_options, &info).ok()) return;
+    for (uint64_t id : extras) {
+      if (!tree.Insert(id).ok()) return;
+      acked->push_back(id);
+    }
+  };
+
+  auto restore = [&]() {
+    WriteFileBytes(path, snapshot_bytes);
+    std::remove(wal_path.c_str());
+  };
+
+  // Fault-free run to learn the sequence's operation count.
+  restore();
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingFileSystem fs;
+    std::vector<uint64_t> acked;
+    run(&fs, &acked);
+    ASSERT_EQ(acked.size(), extras.size());
+    total_ops = fs.op_count();
+  }
+  ASSERT_GT(total_ops, extras.size());  // at least one op per insert
+
+  // total_ops+1 never fires during the run — that enumerates "crash after
+  // the last operation".
+  for (uint64_t kill = 1; kill <= total_ops + 1; ++kill) {
+    restore();
+    FaultInjectingFileSystem fs;
+    fs.CrashAtOp(kill);
+    std::vector<uint64_t> acked;
+    run(&fs, &acked);
+    if (!fs.crashed()) fs.SimulateCrash();
+
+    // Reboot on the real filesystem: exactly base + acknowledged must
+    // come back — an acknowledged insert may never be lost (the policy
+    // fsynced it before Insert returned), an unacknowledged one may
+    // never appear (its record was torn or unsynced, so replay drops it).
+    const std::vector<uint64_t> expected =
+        SortedUnion(BaseOccupied(), acked);
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    TreeLoadInfo info;
+    auto recovered = LoadTreeFromFile(path, heap, &info);
+    ASSERT_TRUE(recovered.ok())
+        << "kill=" << kill << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().occupied(), expected) << "kill=" << kill;
+    EXPECT_EQ(info.wal_records_replayed, acked.size()) << "kill=" << kill;
+
+    // The two load modes must agree bit for bit on the recovered tree.
+    LoadOptions mmap;
+    mmap.mode = LoadMode::kMmap;
+    auto recovered_mmap = LoadTreeFromFile(path, mmap);
+    ASSERT_TRUE(recovered_mmap.ok()) << "kill=" << kill;
+    ExpectTreesIdentical(recovered.value(), recovered_mmap.value());
+  }
+}
+
+TEST(CrashMatrixTest, CompactionDiesAtEveryKillPoint) {
+  const std::string path = TempPath("crash_compact.bst");
+  const std::string wal_path = WalPathFor(path);
+  const std::vector<uint64_t> extras = ExtraIds();
+
+  // Pre-state: a snapshot plus a full log of 12 ingested records.
+  {
+    auto built = BloomSampleTree::BuildPruned(GoldenConfig(), BaseOccupied());
+    ASSERT_TRUE(built.ok());
+    BloomSampleTree tree = std::move(built).value();
+    ASSERT_TRUE(SaveTreeToFile(tree, path).ok());
+    ASSERT_TRUE(AttachTreeWal(&tree, path, WalOptions()).ok());
+    for (uint64_t id : extras) ASSERT_TRUE(tree.Insert(id).ok());
+  }
+  const std::string old_image = ReadFileBytes(path);
+  const std::string full_log = ReadFileBytes(wal_path);
+  const std::vector<uint64_t> expected =
+      SortedUnion(BaseOccupied(), extras);
+
+  auto run = [&](FaultInjectingFileSystem* fs) {
+    LoadOptions load_options;
+    load_options.fs = fs;
+    TreeLoadInfo info;
+    auto loaded = LoadTreeFromFile(path, load_options, &info);
+    if (!loaded.ok()) return;
+    BloomSampleTree tree = std::move(loaded).value();
+    WalOptions wal_options;
+    wal_options.fs = fs;
+    if (!AttachTreeWal(&tree, path, wal_options, &info).ok()) return;
+    SaveOptions save_options;
+    save_options.fs = fs;
+    (void)CompactTree(&tree, path, save_options);
+  };
+
+  auto restore = [&]() {
+    WriteFileBytes(path, old_image);
+    WriteFileBytes(wal_path, full_log);
+    std::remove((path + ".tmp").c_str());
+  };
+
+  // Fault-free run: learn the op count and capture the new image bytes
+  // (the writer is deterministic, so every run produces them bit for bit).
+  restore();
+  uint64_t total_ops = 0;
+  std::string new_image;
+  {
+    FaultInjectingFileSystem fs;
+    run(&fs);
+    total_ops = fs.op_count();
+    new_image = ReadFileBytes(path);
+    ASSERT_NE(new_image, old_image);
+    auto wal_size = FileSystem::Default()->FileSize(wal_path);
+    ASSERT_TRUE(wal_size.ok());
+    ASSERT_EQ(wal_size.value(), kWalHeaderBytes);  // compaction emptied it
+  }
+
+  for (uint64_t kill = 1; kill <= total_ops + 1; ++kill) {
+    restore();
+    FaultInjectingFileSystem fs;
+    fs.CrashAtOp(kill);
+    run(&fs);
+    if (!fs.crashed()) fs.SimulateCrash();
+
+    // Invariant 1 — the recovered tree is the full pre-compaction state,
+    // whichever side of the swap the crash landed on.
+    TreeLoadInfo info;
+    auto recovered = LoadTreeFromFile(path, LoadOptions(), &info);
+    ASSERT_TRUE(recovered.ok())
+        << "kill=" << kill << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().occupied(), expected) << "kill=" << kill;
+
+    // Invariant 2 — the on-disk matrix: the image is the complete old or
+    // the complete new one (never torn), the log is full or empty (never
+    // half-truncated after its fsync fence).
+    const std::string image_now = ReadFileBytes(path);
+    EXPECT_TRUE(image_now == old_image || image_now == new_image)
+        << "kill=" << kill << ": torn image, " << image_now.size()
+        << " bytes";
+    auto wal_size = FileSystem::Default()->FileSize(wal_path);
+    ASSERT_TRUE(wal_size.ok()) << "kill=" << kill;
+    EXPECT_TRUE(wal_size.value() == full_log.size() ||
+                wal_size.value() == kWalHeaderBytes)
+        << "kill=" << kill << ": log is " << wal_size.value() << " bytes";
+    // And the old image never coexists with an emptied log — that pair
+    // would lose the ingested records.
+    EXPECT_FALSE(image_now == old_image &&
+                 wal_size.value() == kWalHeaderBytes)
+        << "kill=" << kill;
+  }
+}
+
+TEST(CrashMatrixTest, FailedSaveLeavesOldSnapshotByteIdentical) {
+  const std::string path = TempPath("crash_save.bst");
+  auto old_tree = BloomSampleTree::BuildPruned(GoldenConfig(), BaseOccupied());
+  ASSERT_TRUE(old_tree.ok());
+  ASSERT_TRUE(SaveTreeToFile(old_tree.value(), path).ok());
+  const std::string old_image = ReadFileBytes(path);
+
+  auto new_tree = BloomSampleTree::BuildPruned(
+      GoldenConfig(), SortedUnion(BaseOccupied(), ExtraIds()));
+  ASSERT_TRUE(new_tree.ok());
+
+  // Learn the save's op count.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingFileSystem fs;
+    SaveOptions options;
+    options.fs = &fs;
+    ASSERT_TRUE(SaveTreeToFile(new_tree.value(), path, options).ok());
+    total_ops = fs.op_count();
+  }
+  WriteFileBytes(path, old_image);
+
+  for (uint64_t fail = 1; fail <= total_ops; ++fail) {
+    for (bool enospc : {false, true}) {
+      WriteFileBytes(path, old_image);
+      std::remove((path + ".tmp").c_str());
+      FaultInjectingFileSystem fs;
+      fs.FailAtOp(fail, enospc);
+      SaveOptions options;
+      options.fs = &fs;
+      const Status st = SaveTreeToFile(new_tree.value(), path, options);
+      // The final ops land after the rename: once the swap happened the
+      // save may legitimately succeed-or-fail late, but EVERY failure
+      // must leave the destination as a complete image.
+      const std::string image_now = ReadFileBytes(path);
+      if (!st.ok()) {
+        EXPECT_TRUE(image_now == old_image ||
+                    image_now == ReadFileBytes(path))
+            << "fail=" << fail;
+        if (image_now != old_image) {
+          // Failed after the swap (e.g. in the directory fsync): the new
+          // image must still be complete and loadable.
+          auto check = LoadTreeFromFile(path);
+          EXPECT_TRUE(check.ok()) << "fail=" << fail;
+        }
+      } else {
+        auto check = LoadTreeFromFile(path);
+        EXPECT_TRUE(check.ok()) << "fail=" << fail;
+      }
+      // A failed save must never leave the destination torn: it always
+      // parses as one of the two complete trees.
+      auto loaded = LoadTreeFromFile(path);
+      ASSERT_TRUE(loaded.ok()) << "fail=" << fail << " enospc=" << enospc
+                               << ": " << loaded.status().ToString();
+      const size_t got = loaded.value().occupied().size();
+      EXPECT_TRUE(got == BaseOccupied().size() ||
+                  got == BaseOccupied().size() + ExtraIds().size())
+          << "fail=" << fail;
+    }
+  }
+}
+
+TEST(CrashMatrixTest, ForestCompactionDiesAtEveryKillPoint) {
+  const std::string path = TempPath("crash_forest.bsf");
+  for (uint32_t s = 0; s < 2; ++s) {
+    const std::string shard = ForestShardPath(path, s);
+    std::remove(shard.c_str());
+    std::remove(WalPathFor(shard).c_str());
+    std::remove((shard + ".tmp").c_str());
+  }
+  ForestConfig config;
+  config.tree = GoldenConfig();
+  config.shards = 2;
+  const std::vector<uint64_t> extras = ExtraIds();
+
+  // Pre-state: a saved 2-shard forest with per-shard logs holding the
+  // ingested records.
+  {
+    auto built = BloomSampleForest::BuildPruned(config, BaseOccupied());
+    ASSERT_TRUE(built.ok());
+    BloomSampleForest forest = std::move(built).value();
+    ASSERT_TRUE(SaveForestToFile(forest, path).ok());
+    ASSERT_TRUE(AttachForestWals(&forest, path, WalOptions()).ok());
+    for (uint64_t id : extras) ASSERT_TRUE(forest.Insert(id).ok());
+  }
+  std::vector<std::string> files = {path, ForestShardPath(path, 0),
+                                    ForestShardPath(path, 1),
+                                    WalPathFor(ForestShardPath(path, 0)),
+                                    WalPathFor(ForestShardPath(path, 1))};
+  std::vector<std::string> pristine;
+  for (const std::string& f : files) pristine.push_back(ReadFileBytes(f));
+  const std::vector<uint64_t> expected =
+      SortedUnion(BaseOccupied(), extras);
+
+  auto run = [&](FaultInjectingFileSystem* fs) {
+    LoadOptions load_options;
+    load_options.fs = fs;
+    ForestLoadInfo info;
+    auto loaded = LoadForestFromFile(path, load_options, &info);
+    if (!loaded.ok()) return;
+    BloomSampleForest forest = std::move(loaded).value();
+    WalOptions wal_options;
+    wal_options.fs = fs;
+    if (!AttachForestWals(&forest, path, wal_options, &info).ok()) return;
+    SaveOptions save_options;
+    save_options.fs = fs;
+    (void)CompactForest(&forest, path, save_options);
+  };
+
+  auto restore = [&]() {
+    for (size_t i = 0; i < files.size(); ++i) {
+      WriteFileBytes(files[i], pristine[i]);
+    }
+    for (const std::string& f : files) std::remove((f + ".tmp").c_str());
+  };
+
+  restore();
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingFileSystem fs;
+    run(&fs);
+    total_ops = fs.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t kill = 1; kill <= total_ops + 1; ++kill) {
+    restore();
+    FaultInjectingFileSystem fs;
+    fs.CrashAtOp(kill);
+    run(&fs);
+    if (!fs.crashed()) fs.SimulateCrash();
+
+    ForestLoadInfo info;
+    auto recovered = LoadForestFromFile(path, LoadOptions(), &info);
+    ASSERT_TRUE(recovered.ok())
+        << "kill=" << kill << ": " << recovered.status().ToString();
+    std::vector<uint64_t> occupied;
+    for (uint32_t s = 0; s < recovered.value().shard_count(); ++s) {
+      const auto& shard_occ = recovered.value().shard(s).occupied();
+      occupied.insert(occupied.end(), shard_occ.begin(), shard_occ.end());
+    }
+    std::sort(occupied.begin(), occupied.end());
+    EXPECT_EQ(occupied, expected) << "kill=" << kill;
+  }
+}
+
+}  // namespace
+}  // namespace bloomsample

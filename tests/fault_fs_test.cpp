@@ -1,0 +1,187 @@
+// Unit fences for FaultInjectingFileSystem itself — the crash-matrix and
+// WAL tests lean on its durability model, so the model gets its own
+// tests: synced bytes survive a crash, unsynced bytes do not; renames
+// commit at the directory sync and roll back before it; injected
+// failures hit exactly the Nth operation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/util/fault_fs.h"
+
+namespace bloomsample {
+namespace {
+
+/// TempDir() survives across runs: scrub the path so a stale file from a
+/// previous run can't seed the durability model.
+std::string TempPath(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FaultFsTest, SyncedBytesSurviveCrashUnsyncedDrop) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_sync.bin");
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("durable", 7).ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append("-volatile", 9).ok());
+  // No sync for the tail: the crash must amputate exactly it.
+  fs.SimulateCrash();
+  EXPECT_EQ(ReadAll(path), "durable");
+  // And the filesystem is down until the faults are cleared.
+  EXPECT_FALSE(file.value()->Append("x", 1).ok());
+  EXPECT_TRUE(fs.crashed());
+}
+
+TEST(FaultFsTest, NeverSyncedFileDiesInCrash) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_neversynced.bin");
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("doomed", 6).ok());
+  fs.SimulateCrash();
+  EXPECT_FALSE(fs.FileExists(path));
+}
+
+TEST(FaultFsTest, PreexistingContentIsDurableOnFirstTouch) {
+  const std::string path = TempPath("fault_fs_preexisting.bin");
+  WriteAll(path, "old content");
+  FaultInjectingFileSystem fs;
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("new", 3).ok());
+  fs.SimulateCrash();  // truncate+write never synced: the old file returns
+  EXPECT_EQ(ReadAll(path), "old content");
+}
+
+TEST(FaultFsTest, RenameRollsBackWithoutDirectorySync) {
+  const std::string from = TempPath("fault_fs_ren_src.bin");
+  const std::string to = TempPath("fault_fs_ren_dst.bin");
+  WriteAll(to, "old destination");
+  FaultInjectingFileSystem fs;
+  auto file = fs.NewWritableFile(from, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("replacement", 11).ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  ASSERT_TRUE(fs.Rename(from, to).ok());
+  EXPECT_EQ(ReadAll(to), "replacement");  // visible before the crash
+  fs.SimulateCrash();  // no SyncDirOf: the name swap was never fenced
+  EXPECT_EQ(ReadAll(to), "old destination");
+}
+
+TEST(FaultFsTest, RenameCommitsAtDirectorySync) {
+  const std::string from = TempPath("fault_fs_ren2_src.bin");
+  const std::string to = TempPath("fault_fs_ren2_dst.bin");
+  WriteAll(to, "old destination");
+  FaultInjectingFileSystem fs;
+  auto file = fs.NewWritableFile(from, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("replacement", 11).ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  ASSERT_TRUE(fs.Rename(from, to).ok());
+  ASSERT_TRUE(fs.SyncDirOf(to).ok());
+  fs.SimulateCrash();
+  EXPECT_EQ(ReadAll(to), "replacement");
+  EXPECT_FALSE(fs.FileExists(from));
+}
+
+TEST(FaultFsTest, FailAtOpHitsExactlyTheNthOperation) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_nth.bin");
+  fs.FailAtOp(3);  // open=1, append=2, append=3 <- fails
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.value()->Append("a", 1).ok());
+  EXPECT_FALSE(file.value()->Append("b", 1).ok());
+  EXPECT_TRUE(file.value()->Append("c", 1).ok());  // only op 3 fails
+  EXPECT_EQ(fs.op_count(), 4u);
+}
+
+TEST(FaultFsTest, EnospcFlavoredFailure) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_enospc.bin");
+  fs.FailAtOp(2, /*enospc=*/true);
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  const Status st = file.value()->Append("data", 4);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("ENOSPC"), std::string::npos) << st.ToString();
+}
+
+TEST(FaultFsTest, ShortWriteKeepsPrefixThenErrors) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_short.bin");
+  fs.ShortWriteAtOp(2, /*keep_bytes=*/3);
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(file.value()->Append("torn-record", 11).ok());
+  ASSERT_TRUE(file.value()->Close().ok());
+  EXPECT_EQ(ReadAll(path), "tor");  // the torn tail: a 3-byte prefix
+}
+
+TEST(FaultFsTest, RemoveRollsBackWithoutDirectorySync) {
+  const std::string path = TempPath("fault_fs_rm.bin");
+  WriteAll(path, "precious");
+  FaultInjectingFileSystem fs;
+  ASSERT_TRUE(fs.RemoveFile(path).ok());
+  EXPECT_FALSE(fs.FileExists(path));
+  fs.SimulateCrash();
+  EXPECT_EQ(ReadAll(path), "precious");  // unlink was never fenced
+
+  // Cleared and done again with the fence, it sticks.
+  fs.ClearFaults();
+  ASSERT_TRUE(fs.RemoveFile(path).ok());
+  ASSERT_TRUE(fs.SyncDirOf(path).ok());
+  fs.SimulateCrash();
+  EXPECT_FALSE(fs.FileExists(path));
+}
+
+TEST(FaultFsTest, CrashAtOpFreezesStateBeforeTheOp) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_crashat.bin");
+  // Fault-free run to learn the op count of the sequence.
+  {
+    auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("one", 3).ok());
+    ASSERT_TRUE(file.value()->Sync().ok());
+    ASSERT_TRUE(file.value()->Append("two", 3).ok());
+    ASSERT_TRUE(file.value()->Sync().ok());
+  }
+  ASSERT_EQ(fs.op_count(), 5u);
+
+  // Crash at the second sync (op 5): only the first synced prefix survives.
+  fs.ResetOpCount();
+  fs.CrashAtOp(5);
+  auto file = fs.NewWritableFile(path, WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("one", 3).ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append("two", 3).ok());
+  EXPECT_FALSE(file.value()->Sync().ok());
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_EQ(ReadAll(path), "one");
+}
+
+}  // namespace
+}  // namespace bloomsample

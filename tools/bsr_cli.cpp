@@ -37,6 +37,7 @@
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
 #include "src/core/tree_io.h"
+#include "src/core/wal.h"
 #include "src/util/timer.h"
 #include "src/workload/set_generators.h"
 
@@ -186,11 +187,34 @@ Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
   return LoadFilterWith(tree.family_ptr(), path);
 }
 
+// ---------------------------------------------------------------------------
+// Exit codes, for scripting (see PrintUsage):
+//   0  success
+//   1  command failed
+//   2  usage error
+//   3  snapshot file missing
+//   4  snapshot file exists but is corrupt / unreadable
+//   5  success, but WAL replay amputated a corrupt log tail — everything
+//      before the tear was recovered; `bsr compact` folds the survivors
+//      into the image and empties the log
+// ---------------------------------------------------------------------------
+int g_snapshot_exit_hint = 0;    // 3 or 4, set by the load helpers
+bool g_wal_recovered = false;    // turns a successful run's 0 into 5
+
+void NoteWalReplay(const char* what, uint64_t replayed, bool recovered) {
+  std::fprintf(stderr, "# replayed %llu wal records into the %s%s\n",
+               static_cast<unsigned long long>(replayed), what,
+               recovered ? " (corrupt tail amputated)" : "");
+  if (recovered) g_wal_recovered = true;
+}
+
 /// Loads a tree honoring --mmap/--heap/--prewarm (else the BSR_LOAD env
 /// defaults) and prints the load-time summary line every tree-consuming
-/// command shares.
+/// command shares. `info_out` (optional) receives the load info — insert
+/// and compact need its WAL replay count to seed sequence numbers.
 Result<BloomSampleTree> LoadTreeForCli(const Flags& flags,
-                                       const std::string& path) {
+                                       const std::string& path,
+                                       TreeLoadInfo* info_out = nullptr) {
   LoadOptions options = LoadOptions::FromEnv();
   if (flags.GetBool("mmap")) options.mode = LoadMode::kMmap;
   if (flags.GetBool("heap")) options.mode = LoadMode::kHeap;
@@ -205,7 +229,15 @@ Result<BloomSampleTree> LoadTreeForCli(const Flags& flags,
                  timer.ElapsedMillis(), TreeLoadMethodName(info.method),
                  info.version, NodeLayoutName(info.layout),
                  static_cast<double>(info.mapped_bytes) / 1e6);
+    if (info.wal_present) {
+      NoteWalReplay("tree", info.wal_records_replayed,
+                    info.wal_recovered_corruption);
+    }
+  } else {
+    g_snapshot_exit_hint =
+        tree.status().code() == Status::Code::kNotFound ? 3 : 4;
   }
+  if (info_out != nullptr) *info_out = info;
   return tree;
 }
 
@@ -213,7 +245,8 @@ Result<BloomSampleTree> LoadTreeForCli(const Flags& flags,
 /// shard's mapping mode, since a single forest open can mix them (e.g.
 /// heap fallback on one shard image while the rest mmap).
 Result<BloomSampleForest> LoadForestForCli(const Flags& flags,
-                                           const std::string& path) {
+                                           const std::string& path,
+                                           ForestLoadInfo* info_out = nullptr) {
   LoadOptions options = LoadOptions::FromEnv();
   if (flags.GetBool("mmap")) options.mode = LoadMode::kMmap;
   if (flags.GetBool("heap")) options.mode = LoadMode::kHeap;
@@ -224,17 +257,28 @@ Result<BloomSampleForest> LoadForestForCli(const Flags& flags,
   if (forest.ok()) {
     std::string modes;
     uint64_t mapped_bytes = 0;
+    uint64_t replayed = 0;
+    bool wal_present = false;
+    bool recovered = false;
     for (size_t s = 0; s < info.shards.size(); ++s) {
       if (s != 0) modes += ", ";
       modes += TreeLoadMethodName(info.shards[s].method);
       mapped_bytes += info.shards[s].mapped_bytes;
+      replayed += info.shards[s].wal_records_replayed;
+      wal_present = wal_present || info.shards[s].wal_present;
+      recovered = recovered || info.shards[s].wal_recovered_corruption;
     }
     std::fprintf(stderr,
                  "# loaded %u-shard forest in %.2f ms (per-shard mapping: "
                  "%s; %.2f MB mapped)\n",
                  forest.value().shard_count(), timer.ElapsedMillis(),
                  modes.c_str(), static_cast<double>(mapped_bytes) / 1e6);
+    if (wal_present) NoteWalReplay("forest shards", replayed, recovered);
+  } else {
+    g_snapshot_exit_hint =
+        forest.status().code() == Status::Code::kNotFound ? 3 : 4;
   }
+  if (info_out != nullptr) *info_out = info;
   return forest;
 }
 
@@ -714,6 +758,131 @@ Status CmdQuery(const Flags& flags) {
   return Status::OK();
 }
 
+Result<WalOptions> ParseWalFlags(const Flags& flags) {
+  WalOptions options;
+  const std::string sync = flags.Get("sync").value_or("every");
+  if (sync == "every") {
+    options.policy = WalSyncPolicy::kEveryRecord;
+  } else if (sync == "interval") {
+    options.policy = WalSyncPolicy::kInterval;
+  } else if (sync == "none") {
+    options.policy = WalSyncPolicy::kNone;
+  } else {
+    return Status::InvalidArgument(
+        "--sync must be 'every', 'interval', or 'none'");
+  }
+  auto interval = flags.GetU64("interval", options.sync_interval);
+  if (!interval.ok()) return interval.status();
+  if (interval.value() == 0) {
+    return Status::InvalidArgument("--interval must be positive");
+  }
+  options.sync_interval = interval.value();
+  return options;
+}
+
+Status CmdInsert(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto ids_path = flags.Require("ids");
+  if (!ids_path.ok()) return ids_path.status();
+  auto wal_options = ParseWalFlags(flags);
+  if (!wal_options.ok()) return wal_options.status();
+  auto ids = ReadIdFile(ids_path.value());
+  if (!ids.ok()) return ids.status();
+
+  // The snapshot image is left untouched: every insert is acknowledged
+  // only once its record is in the sidecar log (per --sync policy), and
+  // the next open replays the log. `bsr compact` folds the log back in.
+  Timer timer;
+  uint64_t before = 0;
+  uint64_t after = 0;
+  if (IsForestManifest(tree_path.value())) {
+    ForestLoadInfo info;
+    auto forest = LoadForestForCli(flags, tree_path.value(), &info);
+    if (!forest.ok()) return forest.status();
+    const Status attached = AttachForestWals(&forest.value(), tree_path.value(),
+                                             wal_options.value(), &info);
+    if (!attached.ok()) return attached;
+    before = forest.value().occupied_count();
+    for (uint64_t id : ids.value()) {
+      const Status inserted = forest.value().Insert(id);
+      if (!inserted.ok()) return inserted;
+    }
+    after = forest.value().occupied_count();
+    // kInterval/kNone buffer in the page cache; one final fsync per shard
+    // makes the whole batch durable before the command reports success.
+    for (uint32_t s = 0; s < forest.value().shard_count(); ++s) {
+      BloomSampleTree* shard = forest.value().mutable_shard(s);
+      if (shard->wal() != nullptr) {
+        const Status synced = shard->wal()->Sync();
+        if (!synced.ok()) return synced;
+      }
+    }
+  } else {
+    TreeLoadInfo info;
+    auto tree = LoadTreeForCli(flags, tree_path.value(), &info);
+    if (!tree.ok()) return tree.status();
+    const Status attached = AttachTreeWal(&tree.value(), tree_path.value(),
+                                          wal_options.value(), &info);
+    if (!attached.ok()) return attached;
+    before = tree.value().occupied().size();
+    for (uint64_t id : ids.value()) {
+      const Status inserted = tree.value().Insert(id);
+      if (!inserted.ok()) return inserted;
+    }
+    after = tree.value().occupied().size();
+    const Status synced = tree.value().wal()->Sync();
+    if (!synced.ok()) return synced;
+  }
+  std::printf("ingested %zu ids (%llu new, %llu already present) in %.2f ms "
+              "via wal (sync=%s) -> %s\n",
+              ids.value().size(),
+              static_cast<unsigned long long>(after - before),
+              static_cast<unsigned long long>(ids.value().size() -
+                                              (after - before)),
+              timer.ElapsedMillis(),
+              WalSyncPolicyName(wal_options.value().policy),
+              tree_path.value().c_str());
+  return Status::OK();
+}
+
+Status CmdCompact(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+
+  Timer timer;
+  uint64_t replayed = 0;
+  if (IsForestManifest(tree_path.value())) {
+    ForestLoadInfo info;
+    auto forest = LoadForestForCli(flags, tree_path.value(), &info);
+    if (!forest.ok()) return forest.status();
+    const Status attached = AttachForestWals(&forest.value(), tree_path.value(),
+                                             WalOptions(), &info);
+    if (!attached.ok()) return attached;
+    const Status compacted = CompactForest(&forest.value(), tree_path.value());
+    if (!compacted.ok()) return compacted;
+    for (const TreeLoadInfo& shard : info.shards) {
+      replayed += shard.wal_records_replayed;
+    }
+  } else {
+    TreeLoadInfo info;
+    auto tree = LoadTreeForCli(flags, tree_path.value(), &info);
+    if (!tree.ok()) return tree.status();
+    const Status attached = AttachTreeWal(&tree.value(), tree_path.value(),
+                                          WalOptions(), &info);
+    if (!attached.ok()) return attached;
+    const Status compacted = CompactTree(&tree.value(), tree_path.value());
+    if (!compacted.ok()) return compacted;
+    replayed = info.wal_records_replayed;
+  }
+  std::printf("compacted %s: folded %llu wal records into the image in "
+              "%.2f ms; log is empty\n",
+              tree_path.value().c_str(),
+              static_cast<unsigned long long>(replayed),
+              timer.ElapsedMillis());
+  return Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr, R"(bsr — sampling and reconstruction from Bloom filters
 
@@ -744,8 +913,25 @@ commands:
                [--threads T]            (traversal fan-out; 0 = all cores)
                [--shards S]             (forests: assert the shard count)
   query        --tree T.bst --filter set.bf --id X
+  insert       --tree T.bst --ids ids.txt
+               [--sync every|interval|none]  (wal fsync policy; default
+                                         every: each insert durable before
+                                         it is acknowledged)
+               [--interval N]           (records per fsync for --sync
+                                         interval; default 64)
+               Appends to the sidecar write-ahead log (T.bst.wal); the
+               snapshot image is untouched and the next open replays the
+               log. Works on forest manifests (per-shard logs).
+  compact      --tree T.bst             (fold the wal into the image
+                                         atomically and empty the log)
 
-tree-loading flags (info/store-set/sample/reconstruct/query):
+exit codes:
+  0 ok   1 command failed   2 usage   3 snapshot missing   4 snapshot
+  corrupt   5 ok, but a corrupt wal tail was amputated during replay
+  (records before the tear were recovered; run `bsr compact` to fold
+  them in and clear the log)
+
+tree-loading flags (info/store-set/sample/reconstruct/query/insert/compact):
   --mmap      zero-copy mmap the snapshot slab (v2 files; O(ms) open)
   --heap      read the slab onto the heap (portable fallback)
   --prewarm   fault the whole mapping in at open (MAP_POPULATE)
@@ -796,6 +982,10 @@ int Main(int argc, char** argv) {
                  with_load_flags({"exact"}), CmdReconstruct);
   } else if (command == "query") {
     status = run({"tree", "filter", "id"}, load_flags, CmdQuery);
+  } else if (command == "insert") {
+    status = run({"tree", "ids", "sync", "interval"}, load_flags, CmdInsert);
+  } else if (command == "compact") {
+    status = run({"tree"}, load_flags, CmdCompact);
   } else if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;
@@ -807,9 +997,9 @@ int Main(int argc, char** argv) {
 
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
+    return g_snapshot_exit_hint != 0 ? g_snapshot_exit_hint : 1;
   }
-  return 0;
+  return g_wal_recovered ? 5 : 0;
 }
 
 }  // namespace cli
