@@ -22,14 +22,31 @@
 // left behind — for WAL policies that includes replaying all K records,
 // i.e. the crash-recovery cost the log defers to the next open.
 //
+// A second section benchmarks CONCURRENT ingest through the
+// IngestPipeline (core/ingest_pipeline.h): T writer threads call the
+// synchronous Insert path, which logs through leader–follower group
+// commit — concurrent committers share one fsync. Rows:
+//   {"bench": "micro_ingest", "variant": "concurrent", "policy": "...",
+//    "threads": T, "readers": R, "inserts": <K>, "ms": <double>,
+//    "inserts_per_sec": <double>, "commit_groups": <g>, "fsyncs": <f>}
+// Under "every", inserts_per_sec should grow with T while fsyncs stays
+// well below inserts — that gap IS group commit. The readers>0 rows add
+// sampler threads hammering AcquireRead to show ingest under query load.
+//
 // BSR_BENCH_FULL=1 raises the insert count; the quick default finishes in
 // seconds (fsync-per-record is the slow leg by design).
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/query_context.h"
 #include "src/core/tree_io.h"
 #include "src/core/wal.h"
 #include "src/util/timer.h"
@@ -137,6 +154,100 @@ int main() {
                 ", \"namespace\": %" PRIu64 "}",
                 spec.name, info.wal_records_replayed, open_ms, config.m,
                 namespace_size);
+
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+  }
+
+  // ---- concurrent ingest through the pipeline (group commit) ----------
+  struct ConcurrentSpec {
+    const char* policy_name;
+    WalSyncPolicy policy;
+    int threads;
+    int readers;
+  };
+  const std::vector<ConcurrentSpec> concurrent = {
+      {"every", WalSyncPolicy::kEveryRecord, 1, 0},
+      {"every", WalSyncPolicy::kEveryRecord, 2, 0},
+      {"every", WalSyncPolicy::kEveryRecord, 4, 0},
+      {"every", WalSyncPolicy::kEveryRecord, 8, 0},
+      {"every", WalSyncPolicy::kEveryRecord, 4, 2},
+      {"interval", WalSyncPolicy::kInterval, 4, 0},
+      {"none", WalSyncPolicy::kNone, 4, 0},
+  };
+  for (const ConcurrentSpec& spec : concurrent) {
+    const std::string path = std::string("/tmp/bsr_micro_ingest_mt_") +
+                             spec.policy_name + "_t" +
+                             std::to_string(spec.threads) + "_r" +
+                             std::to_string(spec.readers) + ".bst";
+    std::remove(path.c_str());
+    std::remove(WalPathFor(path).c_str());
+    std::remove(OldWalPathFor(path).c_str());
+    BSR_CHECK(SaveTreeToFile(reference, path).ok(), "micro_ingest: save");
+
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    auto loaded = LoadTreeFromFile(path, heap);
+    BSR_CHECK(loaded.ok(), "micro_ingest: load");
+    auto tree =
+        std::make_shared<BloomSampleTree>(std::move(loaded).value());
+
+    IngestPipelineOptions options;
+    options.wal.policy = spec.policy;
+    auto opened = IngestPipeline::OpenTree(tree, path, options);
+    BSR_CHECK(opened.ok(), "micro_ingest: pipeline open");
+    std::unique_ptr<IngestPipeline> pipeline = std::move(opened).value();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> reader_threads;
+    for (int r = 0; r < spec.readers; ++r) {
+      reader_threads.emplace_back([&pipeline, &stop] {
+        const std::vector<uint64_t> members = {100, 10000, 200000, 999900};
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto guard = pipeline->AcquireRead();
+          const BloomFilter query = guard.tree().MakeQueryFilter(members);
+          QueryContext ctx(guard.tree(), query);
+          BstSampler sampler(&guard.tree());
+          (void)sampler.SampleBatch(&ctx, 8, /*seed=*/7);
+        }
+      });
+    }
+
+    const uint64_t per_thread = inserts / spec.threads;
+    const uint64_t total = per_thread * spec.threads;
+    Timer timer;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < spec.threads; ++t) {
+      writers.emplace_back([&pipeline, &fresh, per_thread, t] {
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          const uint64_t id = fresh[t * per_thread + i];
+          BSR_CHECK(pipeline->Insert(id).ok(), "micro_ingest: mt insert");
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    const double ingest_ms = timer.ElapsedMillis();
+    stop.store(true);
+    for (auto& r : reader_threads) r.join();
+
+    const IngestPipelineStats stats = pipeline->Stats();
+    BSR_CHECK(pipeline->Close().ok(), "micro_ingest: pipeline close");
+
+    TreeLoadInfo info;
+    auto reopened = LoadTreeFromFile(path, heap, &info);
+    BSR_CHECK(reopened.ok(), "micro_ingest: mt reopen");
+    BSR_CHECK(reopened.value().occupied().size() == base.size() + total,
+              "micro_ingest: mt reopen lost records");
+
+    std::printf(",\n  {\"bench\": \"micro_ingest\", \"variant\": "
+                "\"concurrent\", \"policy\": \"%s\", \"threads\": %d, "
+                "\"readers\": %d, \"inserts\": %" PRIu64
+                ", \"ms\": %.3f, \"inserts_per_sec\": %.0f, "
+                "\"commit_groups\": %" PRIu64 ", \"fsyncs\": %" PRIu64 "}",
+                spec.policy_name, spec.threads, spec.readers, total,
+                ingest_ms,
+                static_cast<double>(total) / (ingest_ms / 1e3),
+                stats.commit_groups, stats.fsyncs);
 
     std::remove(path.c_str());
     std::remove(WalPathFor(path).c_str());

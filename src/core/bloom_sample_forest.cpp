@@ -606,6 +606,21 @@ Status BloomSampleForest::Insert(uint64_t x) {
   return shards_[ShardOf(x)].Insert(x);
 }
 
+Status BloomSampleForest::Remove(uint64_t x) {
+  if (x >= config_.tree.namespace_size) {
+    return Status::OutOfRange("id beyond namespace");
+  }
+  return shards_[ShardOf(x)].Remove(x);
+}
+
+Status BloomSampleForest::EnableCountingLeaves() {
+  for (BloomSampleTree& shard : shards_) {
+    const Status st = shard.EnableCountingLeaves();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
 Status AttachForestWals(BloomSampleForest* forest, const std::string& path,
                         const WalOptions& wal_options,
                         const ForestLoadInfo* info) {

@@ -99,6 +99,15 @@ class BloomSampleForest {
   /// stale.
   Status Insert(uint64_t x);
 
+  /// Dynamically removes `x`: one division routes it to its shard, whose
+  /// tree does the counting-leaf Remove (kUnsupported unless
+  /// EnableCountingLeaves ran — see BloomSampleTree::Remove).
+  Status Remove(uint64_t x);
+
+  /// Opt-in delete support on every shard (BloomSampleTree's counting-
+  /// bloom leaf backend, built shard by shard).
+  Status EnableCountingLeaves();
+
   const std::shared_ptr<const HashFamily>& family_ptr() const {
     return family_;
   }

@@ -404,7 +404,16 @@ Status BloomSampleTree::Insert(uint64_t x) {
               "insert walked outside node range");
     current.filter.Insert(x);
     current.set_bits = current.filter.SetBitCount();
-    if (current.level == config_.depth) return Status::OK();
+    if (current.level == config_.depth) {
+      if (counting_leaves_) {
+        auto cit = leaf_counters_.find(id);
+        if (cit == leaf_counters_.end()) {
+          cit = leaf_counters_.emplace(id, CountingBloomFilter(family_)).first;
+        }
+        cit->second.Insert(x);
+      }
+      return Status::OK();
+    }
 
     const uint64_t child_width = RangeWidthAtLevel(current.level + 1);
     const uint64_t mid = current.lo + child_width;
@@ -424,6 +433,108 @@ Status BloomSampleTree::Insert(uint64_t x) {
     }
     id = child;
   }
+}
+
+Status BloomSampleTree::EnableCountingLeaves() {
+  if (!pruned_) {
+    return Status::Unsupported(
+        "counting leaves require a pruned tree (complete trees have no "
+        "dynamic occupancy to maintain)");
+  }
+  if (counting_leaves_) return Status::OK();
+  leaf_counters_.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.level != config_.depth) continue;
+    CountingBloomFilter counter(family_);
+    auto it = std::lower_bound(occupied_.begin(), occupied_.end(), n.lo);
+    for (; it != occupied_.end() && *it < n.hi; ++it) counter.Insert(*it);
+    leaf_counters_.emplace(static_cast<int64_t>(i), std::move(counter));
+  }
+  counting_leaves_ = true;
+  return Status::OK();
+}
+
+void BloomSampleTree::RebuildLeafFromCounters(int64_t leaf_id) {
+  Node& leaf = nodes_[static_cast<size_t>(leaf_id)];
+  const CountingBloomFilter& counter = leaf_counters_.at(leaf_id);
+  leaf.filter.Clear();
+  BitVector& bits = leaf.filter.mutable_bits();
+  const uint64_t m = counter.m();
+  for (uint64_t i = 0; i < m; ++i) {
+    if (counter.counter(i) > 0) bits.Set(static_cast<size_t>(i));
+  }
+  leaf.set_bits = leaf.filter.SetBitCount();
+}
+
+Status BloomSampleTree::Remove(uint64_t x) {
+  if (!pruned_) {
+    return Status::Unsupported(
+        "dynamic remove is only meaningful for pruned trees");
+  }
+  if (x >= config_.namespace_size) {
+    return Status::OutOfRange("id beyond namespace");
+  }
+  if (!counting_leaves_) {
+    return Status::Unsupported(
+        "remove requires the counting-bloom leaf backend: plain Bloom "
+        "filters cannot unset bits — call EnableCountingLeaves() first");
+  }
+  const auto it = std::lower_bound(occupied_.begin(), occupied_.end(), x);
+  if (it == occupied_.end() || *it != x) {
+    return Status::OK();  // absent — idempotent, mirroring Insert
+  }
+  if (wal_ != nullptr) {
+    // Log-before-mutate, same discipline as Insert.
+    const Status logged = wal_->Append(WalOp::kRemove, x);
+    if (!logged.ok()) return logged;
+  }
+  occupied_.erase(it);
+
+  // Walk the root-to-leaf path over x. Every node exists: x was occupied.
+  BSR_CHECK(!nodes_.empty(), "remove of an occupied id in an empty tree");
+  std::vector<int64_t> path;
+  int64_t id = 0;
+  for (;;) {
+    const Node& current = nodes_[static_cast<size_t>(id)];
+    BSR_CHECK(current.lo <= x && x < current.hi,
+              "remove walked outside node range");
+    path.push_back(id);
+    if (current.level == config_.depth) break;
+    const uint64_t child_width = RangeWidthAtLevel(current.level + 1);
+    const uint64_t mid = current.lo + child_width;
+    id = x < mid ? current.left : current.right;
+    BSR_CHECK(id != kNoNode, "remove path fell off the tree");
+  }
+
+  // Leaf: decrement the counters, rewrite the bit filter from the
+  // positive-counter pattern (saturated counters keep their bits set —
+  // false positives, never false negatives).
+  const auto counter_it = leaf_counters_.find(path.back());
+  BSR_CHECK(counter_it != leaf_counters_.end(),
+            "counting leaf missing for an occupied id");
+  const Status dec = counter_it->second.Remove(x);
+  if (!dec.ok()) {
+    return Status::Internal(
+        "counting leaf underflow for an id present in the occupied set: " +
+        dec.ToString());
+  }
+  RebuildLeafFromCounters(path.back());
+
+  // Ancestors bottom-up: each is the exact union of its children (Bloom
+  // union over a shared family), so the removal propagates precisely.
+  for (size_t i = path.size() - 1; i-- > 0;) {
+    Node& n = nodes_[static_cast<size_t>(path[i])];
+    n.filter.Clear();
+    if (n.left != kNoNode) {
+      n.filter.UnionWith(nodes_[static_cast<size_t>(n.left)].filter);
+    }
+    if (n.right != kNoNode) {
+      n.filter.UnionWith(nodes_[static_cast<size_t>(n.right)].filter);
+    }
+    n.set_bits = n.filter.SetBitCount();
+  }
+  return Status::OK();
 }
 
 BloomFilter BloomSampleTree::MakeQueryFilter(

@@ -25,9 +25,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/bloom/bloom_filter.h"
+#include "src/bloom/counting_bloom.h"
 #include "src/core/tree_config.h"
 #include "src/core/wal.h"
 #include "src/util/filter_arena.h"
@@ -194,6 +196,26 @@ class BloomSampleTree {
   /// replay; a failed append leaves the tree untouched.
   Status Insert(uint64_t x);
 
+  /// Opt-in delete support — the counting-bloom leaf backend. Builds one
+  /// exact CountingBloomFilter per leaf from the occupied set (each id was
+  /// inserted exactly once, so the counters are true collision counts and
+  /// Remove's decrements are safe). Idempotent; pruned trees only. The
+  /// backend is an in-memory maintenance structure: snapshots do not
+  /// persist it, so re-enable after loading (WAL replay does this
+  /// automatically on the first kRemove record).
+  Status EnableCountingLeaves();
+  bool counting_leaves() const { return counting_leaves_; }
+
+  /// Dynamically removes `x` (pruned trees with counting leaves only):
+  /// logs a kRemove record (WAL attached ⇒ log-before-mutate, same
+  /// discipline as Insert), drops x from the occupied list, decrements the
+  /// leaf's counters and rewrites its bit filter from the positive-counter
+  /// pattern, then rebuilds each ancestor on the path as the exact union
+  /// of its children. Removing an absent id is a no-op (mirrors Insert's
+  /// idempotence). Without EnableCountingLeaves() the call is refused with
+  /// kUnsupported — plain Bloom leaves cannot unset bits.
+  Status Remove(uint64_t x);
+
   /// Attaches a write-ahead log: subsequent Inserts are logged before they
   /// mutate. Attach AFTER replay (replayed records must not be re-logged).
   /// Pass nullptr to detach. The tree owns the writer.
@@ -350,6 +372,15 @@ class BloomSampleTree {
   /// Write-ahead logging of Inserts; nullptr = not logging (the default —
   /// bulk builds and read-only query serving never pay for it).
   std::unique_ptr<WalWriter> wal_;
+  /// The counting-bloom leaf backend (EnableCountingLeaves): node id of a
+  /// leaf → its maintenance counters. Node ids are stable (nodes are never
+  /// erased), so the map survives Insert's node creation.
+  std::unordered_map<int64_t, CountingBloomFilter> leaf_counters_;
+  bool counting_leaves_ = false;
+
+  /// Rewrites leaf `leaf_id`'s bit filter as the positive-counter pattern
+  /// of its counting backend (bit i set ⟺ counter i > 0).
+  void RebuildLeafFromCounters(int64_t leaf_id);
 };
 
 }  // namespace bloomsample

@@ -1,0 +1,491 @@
+#include "src/core/ingest_pipeline.h"
+
+#include <utility>
+
+namespace bloomsample {
+
+namespace {
+
+FileSystem* FsOrDefault(FileSystem* fs) {
+  return fs != nullptr ? fs : FileSystem::Default();
+}
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(IngestPipelineOptions options,
+                               uint64_t namespace_size, uint64_t lane_width)
+    : options_(std::move(options)),
+      namespace_size_(namespace_size),
+      lane_width_(lane_width) {
+  BSR_CHECK(lane_width_ > 0, "ingest pipeline lane width must be > 0");
+}
+
+Result<std::unique_ptr<GroupCommitWal>> IngestPipeline::OpenLaneWal(
+    const std::string& snapshot_path, const TreeConfig& config,
+    uint64_t next_seq, const IngestPipelineOptions& options) {
+  auto writer = WalWriter::Open(WalPathFor(snapshot_path),
+                                WalConfigFingerprint(config), next_seq,
+                                options.wal);
+  if (!writer.ok()) return writer.status();
+  return std::make_unique<GroupCommitWal>(std::move(writer).value(),
+                                          options.commit);
+}
+
+Result<std::unique_ptr<IngestPipeline>> IngestPipeline::OpenTree(
+    std::shared_ptr<BloomSampleTree> tree, std::string path,
+    const IngestPipelineOptions& options, uint64_t next_wal_seq) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("ingest pipeline requires a tree");
+  }
+  if (!tree->pruned()) {
+    // Refuse at open, not first-insert: by first-insert the record would
+    // already be logged, and replay would fail the next load with it.
+    return Status::Unsupported(
+        "ingest pipeline requires a pruned tree (complete trees already "
+        "store the whole namespace)");
+  }
+  if (tree->wal() != nullptr) {
+    return Status::InvalidArgument(
+        "tree already has an attached WAL; the pipeline owns the log — load "
+        "the tree without AttachTreeWal and pass the replayed count here");
+  }
+  const uint64_t ns = tree->config().namespace_size;
+  std::unique_ptr<IngestPipeline> p(
+      new IngestPipeline(options, ns, /*lane_width=*/ns));
+  auto lane = std::make_unique<Lane>();
+  lane->path = std::move(path);
+  lane->owned = std::move(tree);
+  lane->tree = lane->owned.get();
+  auto wal = OpenLaneWal(lane->path, lane->tree->config(), next_wal_seq,
+                         p->options_);
+  if (!wal.ok()) return wal.status();
+  lane->commit = std::move(wal).value();
+  lane->queue = std::make_unique<IngestQueue<Pending>>(
+      typename IngestQueue<Pending>::Options{p->options_.queue_capacity,
+                                             p->options_.backpressure,
+                                             p->options_.backpressure_timeout});
+  p->lanes_.push_back(std::move(lane));
+  for (auto& l : p->lanes_) {
+    l->writer = std::thread(&IngestPipeline::WriterLoop, p.get(), l.get());
+  }
+  return p;
+}
+
+Result<std::unique_ptr<IngestPipeline>> IngestPipeline::OpenForest(
+    BloomSampleForest* forest, std::string path,
+    const IngestPipelineOptions& options, const ForestLoadInfo* info) {
+  if (forest == nullptr) {
+    return Status::InvalidArgument("ingest pipeline requires a forest");
+  }
+  if (!forest->pruned()) {
+    return Status::Unsupported(
+        "ingest pipeline requires a pruned forest (complete forests "
+        "already store the whole namespace)");
+  }
+  const uint64_t ns = forest->config().tree.namespace_size;
+  std::unique_ptr<IngestPipeline> p(
+      new IngestPipeline(options, ns, forest->shard_width()));
+  for (uint32_t s = 0; s < forest->shard_count(); ++s) {
+    auto lane = std::make_unique<Lane>();
+    lane->path = ForestShardPath(path, s);
+    lane->tree = forest->mutable_shard(s);
+    if (lane->tree->wal() != nullptr) {
+      return Status::InvalidArgument(
+          "forest shards already have attached WALs; the pipeline owns the "
+          "logs — skip AttachForestWals and pass the load info here");
+    }
+    const uint64_t next_seq =
+        info != nullptr && s < info->shards.size()
+            ? info->shards[s].wal_records_replayed + 1
+            : 1;
+    auto wal = OpenLaneWal(lane->path, lane->tree->config(), next_seq,
+                           p->options_);
+    if (!wal.ok()) return wal.status();
+    lane->commit = std::move(wal).value();
+    lane->queue = std::make_unique<IngestQueue<Pending>>(
+        typename IngestQueue<Pending>::Options{
+            p->options_.queue_capacity, p->options_.backpressure,
+            p->options_.backpressure_timeout});
+    p->lanes_.push_back(std::move(lane));
+  }
+  for (auto& l : p->lanes_) {
+    l->writer = std::thread(&IngestPipeline::WriterLoop, p.get(), l.get());
+  }
+  return p;
+}
+
+IngestPipeline::~IngestPipeline() { Close(); }
+
+uint32_t IngestPipeline::LaneOf(uint64_t x) const {
+  const uint64_t lane = x / lane_width_;
+  const uint64_t last = lanes_.size() - 1;
+  return static_cast<uint32_t>(lane < last ? lane : last);
+}
+
+std::unique_lock<std::shared_mutex> IngestPipeline::LockExclusive(Lane* lane) {
+  lane->writers_waiting.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(lane->tree_mu);
+  lane->writers_waiting.fetch_sub(1, std::memory_order_relaxed);
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> IngestPipeline::LockShared(
+    const Lane& lane) {
+  // The counter is non-zero only while a writer WAITS for the mutex, so
+  // this spin is brief: once the writer gets in, readers park on the
+  // mutex itself.
+  while (lane.writers_waiting.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::yield();
+  }
+  return std::shared_lock<std::shared_mutex>(lane.tree_mu);
+}
+
+Status IngestPipeline::Validate(const Lane& lane,
+                                const WalMutation& mut) const {
+  // Refusals must precede logging: a record the live tree would reject
+  // must never reach the log, or replay would apply what ingest refused.
+  if (mut.id >= namespace_size_) {
+    return Status::OutOfRange("mutation id outside the namespace");
+  }
+  if (mut.op == WalOp::kRemove) {
+    std::shared_lock<std::shared_mutex> lock = LockShared(lane);
+    if (!lane.tree->counting_leaves()) {
+      return Status::Unsupported(
+          "remove requires the counting-bloom leaf backend: call "
+          "EnableCountingLeaves() first");
+    }
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::ApplyToTreeLocked(Lane* lane, const WalMutation& mut) {
+  const Status st = mut.op == WalOp::kRemove ? lane->tree->Remove(mut.id)
+                                             : lane->tree->Insert(mut.id);
+  if (st.ok() && lane->compacting) lane->delta.push_back(mut);
+  return st;
+}
+
+Status IngestPipeline::Insert(uint64_t x) {
+  WalMutation mut;
+  mut.op = WalOp::kInsert;
+  mut.id = x;
+  return Apply(mut);
+}
+
+Status IngestPipeline::Remove(uint64_t x) {
+  WalMutation mut;
+  mut.op = WalOp::kRemove;
+  mut.id = x;
+  return Apply(mut);
+}
+
+Status IngestPipeline::Apply(const WalMutation& mut) {
+  Lane& lane = *lanes_[LaneOf(mut.id)];
+  const Status pre = Validate(lane, mut);
+  if (!pre.ok()) return pre;
+  // Log and fence first (concurrent callers form one fsync group), mutate
+  // second: an acknowledged mutation is durable before it is visible.
+  // Concurrent sync-path mutations of the SAME id have no defined order
+  // (the apply order may differ from the log order); per-id streams that
+  // need ordering should go through one thread or the queue path, whose
+  // single writer applies in log order.
+  const Status st = lane.commit->CommitOne(mut.op, mut.id);
+  if (!st.ok()) return st;
+  std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
+  return ApplyToTreeLocked(&lane, mut);
+}
+
+Status IngestPipeline::Push(const WalMutation& mut) {
+  Lane& lane = *lanes_[LaneOf(mut.id)];
+  if (lane.commit->read_only()) return lane.commit->read_only_status();
+  Pending p;
+  p.mut = mut;
+  return lane.queue->Push(std::move(p));
+}
+
+std::future<Status> IngestPipeline::PushWithAck(const WalMutation& mut) {
+  Lane& lane = *lanes_[LaneOf(mut.id)];
+  Pending p;
+  p.mut = mut;
+  p.ack = std::make_shared<std::promise<Status>>();
+  std::future<Status> fut = p.ack->get_future();
+  auto ack = p.ack;  // Push moves `p`
+  Status st = lane.commit->read_only() ? lane.commit->read_only_status()
+                                       : lane.queue->Push(std::move(p));
+  if (!st.ok()) ack->set_value(st);
+  return fut;
+}
+
+Status IngestPipeline::Flush() {
+  Status first;
+  for (auto& lane : lanes_) {
+    Pending marker;
+    marker.fence = true;
+    marker.ack = std::make_shared<std::promise<Status>>();
+    std::future<Status> fut = marker.ack->get_future();
+    // The barrier must land even when backpressure is shedding: retry
+    // until a slot frees up, giving up only when the lane closes.
+    Status pushed;
+    while (true) {
+      pushed = lane->queue->Push(std::move(marker));
+      if (pushed.ok() || pushed.code() != Status::Code::kResourceExhausted) {
+        break;
+      }
+      marker = Pending();
+      marker.fence = true;
+      marker.ack = std::make_shared<std::promise<Status>>();
+      fut = marker.ack->get_future();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const Status res = pushed.ok() ? fut.get() : pushed;
+    if (first.ok() && !res.ok()) first = res;
+  }
+  return first;
+}
+
+IngestPipeline::ReadGuard IngestPipeline::AcquireRead(uint32_t lane) const {
+  BSR_CHECK(lane < lanes_.size(), "lane index out of range");
+  const Lane& l = *lanes_[lane];
+  std::shared_lock<std::shared_mutex> lock = LockShared(l);
+  return ReadGuard(std::move(lock), l.owned, l.tree);
+}
+
+std::shared_ptr<const BloomSampleTree> IngestPipeline::tree_handle() const {
+  const Lane& lane = *lanes_[0];
+  std::shared_lock<std::shared_mutex> lock = LockShared(lane);
+  return lane.owned;
+}
+
+Status IngestPipeline::EnableCountingLeaves() {
+  for (auto& lane : lanes_) {
+    std::unique_lock<std::shared_mutex> lock = LockExclusive(lane.get());
+    const Status st = lane->tree->EnableCountingLeaves();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+bool IngestPipeline::read_only() const {
+  for (const auto& lane : lanes_) {
+    if (lane->commit->read_only()) return true;
+  }
+  return false;
+}
+
+Status IngestPipeline::read_only_status() const {
+  for (const auto& lane : lanes_) {
+    Status st = lane->commit->read_only_status();
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+IngestPipelineStats IngestPipeline::Stats() const {
+  IngestPipelineStats stats;
+  for (const auto& lane : lanes_) {
+    stats.committed_batches += lane->commit->commit_count();
+    stats.commit_groups += lane->commit->group_count();
+    stats.fsyncs += lane->commit->fsync_count();
+    stats.shed += lane->queue->shed_count();
+  }
+  return stats;
+}
+
+void IngestPipeline::WriterLoop(Lane* lane) {
+  std::vector<WalMutation> muts;
+  while (true) {
+    std::vector<Pending> batch = lane->pool.Acquire();
+    if (!lane->queue->PopBatch(options_.max_batch, &batch)) {
+      lane->pool.Release(std::move(batch));
+      return;
+    }
+    // Process the batch in segments split at fence markers so a Flush
+    // barrier acks only after everything enqueued before it is applied.
+    size_t i = 0;
+    while (i < batch.size()) {
+      size_t j = i;
+      muts.clear();
+      for (; j < batch.size() && !batch[j].fence; ++j) {
+        Pending& p = batch[j];
+        const Status pre = Validate(*lane, p.mut);
+        if (!pre.ok()) {
+          p.skip = true;
+          if (p.ack != nullptr) p.ack->set_value(pre);
+          continue;
+        }
+        muts.push_back(p.mut);
+      }
+      if (!muts.empty()) {
+        // One Commit per drained segment: under kEveryRecord the whole
+        // segment shares one fsync even with a single producer — the
+        // queue is itself a batching stage in front of group commit.
+        const Status st = lane->commit->Commit(muts);
+        if (st.ok()) {
+          std::unique_lock<std::shared_mutex> lock = LockExclusive(lane);
+          for (size_t k = i; k < j; ++k) {
+            Pending& p = batch[k];
+            if (p.skip) continue;
+            const Status applied = ApplyToTreeLocked(lane, p.mut);
+            if (p.ack != nullptr) p.ack->set_value(applied);
+          }
+        } else {
+          for (size_t k = i; k < j; ++k) {
+            Pending& p = batch[k];
+            if (!p.skip && p.ack != nullptr) p.ack->set_value(st);
+          }
+          // Latched: stop accepting work so producers fail fast with
+          // kReadOnly; the loop keeps draining (and nacking) what is
+          // already queued.
+          if (lane->commit->read_only()) lane->queue->Close();
+        }
+      }
+      if (j < batch.size()) {
+        const Status fenced = lane->commit->Fence();
+        if (batch[j].ack != nullptr) batch[j].ack->set_value(fenced);
+        ++j;
+      }
+      i = j;
+    }
+    lane->pool.Release(std::move(batch));
+  }
+}
+
+Status IngestPipeline::TriggerCompaction() {
+  if (lanes_.size() != 1 || lanes_[0]->owned == nullptr) {
+    return Status::Unsupported(
+        "background compaction supports single-tree pipelines only; quiesce "
+        "a forest with Close() and use CompactForest");
+  }
+  FileSystem* fs = FsOrDefault(options_.wal.fs);
+  const std::string old_path = OldWalPathFor(lanes_[0]->path);
+  if (fs->FileExists(old_path)) {
+    return Status::Internal("a previous compaction left " + old_path +
+                            " behind; reopen the artifact to fold it");
+  }
+  bool expected = false;
+  if (!compaction_running_.compare_exchange_strong(expected, true)) {
+    return Status::ResourceExhausted("a compaction is already in flight");
+  }
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+  compaction_thread_ = std::thread([this] {
+    compaction_result_ = CompactionBody();
+    compaction_running_.store(false);
+  });
+  return Status::OK();
+}
+
+Status IngestPipeline::WaitCompaction() {
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+  return compaction_result_;
+}
+
+Status IngestPipeline::CompactionBody() {
+  Lane& lane = *lanes_[0];
+  FileSystem* fs = FsOrDefault(options_.wal.fs);
+  const std::string old_path = OldWalPathFor(lane.path);
+
+  // 1. Rotate FIRST: every record in the frozen .wal.old predates the
+  // snapshot below, so the image strictly absorbs it — deleting .wal.old
+  // after the image is durable can never lose a record. (Snapshot-first
+  // would leave post-snapshot records stranded in the rotated log.)
+  Status st = lane.commit->Rotate(old_path);
+  if (!st.ok()) return st;
+
+  // 2. Snapshot the live state under a brief exclusive hold and open the
+  // delta side-track: mutations applied while we build are recorded and
+  // re-applied to the fresh tree at swap.
+  TreeConfig config;
+  std::vector<uint64_t> occupied;
+  std::shared_ptr<const HashFamily> family;
+  bool counting = false;
+  {
+    std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
+    config = lane.tree->config();
+    occupied = lane.tree->occupied();
+    family = lane.tree->family_ptr();
+    counting = lane.tree->counting_leaves();
+    lane.compacting = true;
+    lane.delta.clear();
+  }
+  auto abandon = [&](Status s) {
+    std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
+    lane.compacting = false;
+    lane.delta.clear();
+    // The old tree stays live and on-disk state stays complete: the new
+    // image (if written) plus the live .wal replay to the current state.
+    return s;
+  };
+
+  // 3. Build + save with no lane locks held — ingest and queries proceed.
+  auto fresh = BloomSampleTree::BuildPruned(config, std::move(occupied),
+                                            family);
+  if (!fresh.ok()) return abandon(fresh.status());
+  st = SaveTreeToFile(fresh.value(), lane.path, options_.save);
+  if (!st.ok()) return abandon(st);
+
+  // 4. The image is durable (SaveTreeToFile fences) and is a superset of
+  // .wal.old — retire the frozen log.
+  st = fs->RemoveFile(old_path);
+  if (st.ok()) st = fs->SyncDirOf(old_path);
+  if (!st.ok()) return abandon(st);
+
+  // 5. Swap under the exclusive lock: bring the fresh tree up to date
+  // with the delta, install it, and let the old tree retire when the last
+  // ReadGuard's refcount drops.
+  {
+    std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
+    BloomSampleTree next = std::move(fresh).value();
+    if (counting || lane.tree->counting_leaves()) {
+      st = next.EnableCountingLeaves();
+      if (!st.ok()) {
+        lane.compacting = false;
+        lane.delta.clear();
+        return st;
+      }
+    }
+    for (const WalMutation& mut : lane.delta) {
+      const Status applied = mut.op == WalOp::kRemove ? next.Remove(mut.id)
+                                                      : next.Insert(mut.id);
+      if (!applied.ok()) {
+        lane.compacting = false;
+        lane.delta.clear();
+        return applied;
+      }
+    }
+    auto installed =
+        std::make_shared<BloomSampleTree>(std::move(next));
+    lane.owned = installed;
+    lane.tree = installed.get();
+    lane.compacting = false;
+    lane.delta.clear();
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  Status first;
+  for (auto& lane : lanes_) lane->queue->Close();
+  for (auto& lane : lanes_) {
+    if (lane->writer.joinable()) lane->writer.join();
+  }
+  if (compaction_thread_.joinable()) {
+    compaction_thread_.join();
+    if (first.ok()) first = compaction_result_;
+  }
+  for (auto& lane : lanes_) {
+    if (!lane->commit->read_only()) {
+      const Status st = lane->commit->Fence();
+      if (first.ok() && !st.ok()) first = st;
+    }
+    WalWriter* wal = lane->commit->wal();
+    if (wal != nullptr) {
+      const Status st = wal->Close();
+      if (first.ok() && !st.ok()) first = st;
+    }
+  }
+  return first;
+}
+
+}  // namespace bloomsample

@@ -1,0 +1,281 @@
+// Concurrent crash-safe ingest: the layer that lets Insert/Remove run
+// under live query traffic without giving up PR 7's durability story.
+//
+// Topology (one LANE per shard; a bare tree is a one-lane pipeline):
+//
+//   producers ──Push──► IngestQueue (bounded MPSC, backpressure)
+//   producers ──Insert/Remove──────────────┐       │ writer thread
+//                                          ▼       ▼ drains batches
+//                                       GroupCommitWal  (leader–follower,
+//                                          │              one fsync per group)
+//                                          ▼ after the covering fsync
+//                                   tree mutation under the lane's
+//                                   shared_mutex (exclusive)  ──► ack
+//
+// The two ingestion styles share one commit path: synchronous callers
+// (Insert/Remove/Apply) and the per-lane writer thread draining the queue
+// all funnel into the lane's GroupCommitWal, so concurrent writers form
+// fsync groups no matter how their mutations arrived.
+//
+// Ordering discipline (the crash-matrix invariant): LOG → FSYNC → MUTATE
+// → ACK. A mutation touches the in-memory tree only after its WAL record
+// is covered per the sync policy, so at every instant the live tree holds
+// exactly base ∪ committed mutations — and readers, who take the lane's
+// shared lock for the duration of a pass (AcquireRead), observe exactly
+// pre- or post-mutation trees, never torn ones. Under kEveryRecord,
+// committed ≡ acknowledged ≡ durable; recovery replays exactly what any
+// reader could have seen.
+//
+// Graceful degradation: when the commit layer exhausts its repair budget
+// (see GroupCommitWal) the lane LATCHES READ-ONLY — queued and future
+// mutations fail with Status::kReadOnly, reads keep serving, and the CLI
+// surfaces the state with its own exit code. The latch is sticky until
+// the artifact is reopened.
+//
+// Background compaction (single-tree pipelines): TriggerCompaction folds
+// the log into a fresh image on a background thread while readers keep
+// serving the old tree —
+//
+//     ROTATE the log (live .wal → .wal.old, fresh .wal at seq 1)
+//   → SNAPSHOT occupied under a brief exclusive lock; start the delta
+//     side-track (mutations applied during compaction are recorded)
+//   → BUILD + SAVE the new image (atomic temp/fsync/rename/dirsync; no
+//     lane locks held — ingest and queries proceed)
+//   → DELETE .wal.old (its records are all folded into the durable image)
+//   → SWAP under the exclusive lock: re-apply the delta to the fresh
+//     tree, install it, retire the old one by shared_ptr refcount (a
+//     reader's guard keeps its tree — and its mmap, if any — alive).
+//
+// Every crash point leaves image ∪ logs complete: loaders replay
+// .wal.old before .wal (see core/wal.h), and both replays are idempotent.
+#ifndef BLOOMSAMPLE_CORE_INGEST_PIPELINE_H_
+#define BLOOMSAMPLE_CORE_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/bloom_sample_forest.h"
+#include "src/core/bloom_sample_tree.h"
+#include "src/core/group_commit.h"
+#include "src/core/tree_io.h"
+#include "src/core/wal.h"
+#include "src/util/ingest_queue.h"
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+struct IngestPipelineOptions {
+  /// Bounded-queue front (per lane): capacity and what a producer
+  /// experiences when the queue is full.
+  size_t queue_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  std::chrono::milliseconds backpressure_timeout{10};
+  /// Max mutations a writer thread drains (and commits) per group.
+  size_t max_batch = 256;
+  /// WAL durability policy; `wal.fs` is also the filesystem compaction
+  /// uses for rotation/cleanup.
+  WalOptions wal;
+  /// Repair/backoff budget before a lane latches read-only.
+  GroupCommitOptions commit;
+  /// How background compaction writes the new image. Set `save.fs` to
+  /// match `wal.fs` when running under a fault-injecting filesystem.
+  SaveOptions save;
+};
+
+/// Aggregate counters over every lane (see accessors for meaning).
+struct IngestPipelineStats {
+  uint64_t committed_batches = 0;  ///< Commit() calls acknowledged OK
+  uint64_t commit_groups = 0;      ///< leader rounds (fsync sharing factor)
+  uint64_t fsyncs = 0;             ///< successful fsyncs issued
+  uint64_t shed = 0;               ///< pushes rejected by backpressure
+};
+
+class IngestPipeline {
+ public:
+  /// Single-tree pipeline (one lane). The pipeline takes shared ownership
+  /// of `tree` — compaction swaps the live tree, so access it through
+  /// AcquireRead()/tree_handle(), not a stale raw pointer. The tree must
+  /// be pruned, must NOT have its own WAL attached (the pipeline owns the
+  /// log), and replay must already have happened: pass the loader's
+  /// `wal_records_replayed + 1` as `next_wal_seq` (1 for a fresh tree).
+  static Result<std::unique_ptr<IngestPipeline>> OpenTree(
+      std::shared_ptr<BloomSampleTree> tree, std::string path,
+      const IngestPipelineOptions& options, uint64_t next_wal_seq = 1);
+
+  /// Forest pipeline: one lane per shard, mutations routed by ShardOf.
+  /// Shards are borrowed — the forest must outlive the pipeline — and
+  /// background compaction is unsupported (quiesce via Close(), then
+  /// CompactForest). `info` (from LoadForestFromFile) seeds per-shard
+  /// sequence numbers; nullptr for a freshly built forest.
+  static Result<std::unique_ptr<IngestPipeline>> OpenForest(
+      BloomSampleForest* forest, std::string path,
+      const IngestPipelineOptions& options,
+      const ForestLoadInfo* info = nullptr);
+
+  ~IngestPipeline();
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  // --- synchronous ingest (group commit across calling threads) --------
+
+  /// Durably logs and applies one mutation; returns after the ack rule of
+  /// the sync policy is met (kEveryRecord: the covering fsync returned).
+  Status Insert(uint64_t x);
+  Status Remove(uint64_t x);
+  Status Apply(const WalMutation& mut);
+
+  // --- asynchronous ingest (bounded queue, backpressure) ---------------
+
+  /// Enqueues fire-and-forget; returns the backpressure outcome, not the
+  /// commit outcome (watch read_only()/Flush for failures).
+  Status Push(const WalMutation& mut);
+
+  /// Enqueues and returns a future resolving to the mutation's commit+
+  /// apply status — the per-item acknowledgement, delivered only after
+  /// the covering fsync under kEveryRecord.
+  std::future<Status> PushWithAck(const WalMutation& mut);
+
+  /// Barrier: waits until everything enqueued before the call is
+  /// committed and applied, then fences the logs. Returns the first
+  /// failure (e.g. the latch status).
+  Status Flush();
+
+  // --- read side -------------------------------------------------------
+
+  /// Holds the lane's shared lock plus a refcount on the live tree: the
+  /// writer's mutation window and the compaction swap both exclude it, so
+  /// the guarded tree is a fully-applied acknowledged state and can never
+  /// be retired (or its mmap unmapped) while the guard lives. Hold for
+  /// the duration of one sampling/reconstruction pass.
+  class ReadGuard {
+   public:
+    const BloomSampleTree& tree() const { return *tree_; }
+    ReadGuard(ReadGuard&&) = default;
+    ReadGuard& operator=(ReadGuard&&) = default;
+
+   private:
+    friend class IngestPipeline;
+    ReadGuard(std::shared_lock<std::shared_mutex> lock,
+              std::shared_ptr<const BloomSampleTree> keepalive,
+              const BloomSampleTree* tree)
+        : lock_(std::move(lock)),
+          keepalive_(std::move(keepalive)),
+          tree_(tree) {}
+
+    std::shared_lock<std::shared_mutex> lock_;
+    /// Null for borrowed (forest) lanes — the forest owns those shards.
+    std::shared_ptr<const BloomSampleTree> keepalive_;
+    const BloomSampleTree* tree_;
+  };
+
+  ReadGuard AcquireRead(uint32_t lane = 0) const;
+  uint32_t lane_count() const { return static_cast<uint32_t>(lanes_.size()); }
+  uint32_t LaneOf(uint64_t x) const;
+
+  /// The current live tree of a single-tree pipeline (refcounted: safe to
+  /// hold across a compaction swap, but the pipeline may move on — use
+  /// AcquireRead for query passes).
+  std::shared_ptr<const BloomSampleTree> tree_handle() const;
+
+  /// Enables the counting-bloom delete backend on every lane (exclusive
+  /// locks; brief stall of readers and writers).
+  Status EnableCountingLeaves();
+
+  // --- degradation surface ---------------------------------------------
+
+  /// True when any lane has latched read-only.
+  bool read_only() const;
+  /// OK while healthy, else the first lane's latch status.
+  Status read_only_status() const;
+
+  IngestPipelineStats Stats() const;
+
+  // --- background compaction (single-tree pipelines) -------------------
+
+  /// Starts a background compaction; kResourceExhausted when one is in
+  /// flight, kUnsupported on forest pipelines, kInternal if a previous
+  /// compaction left `<path>.wal.old` behind (reopen the artifact to fold
+  /// it).
+  Status TriggerCompaction();
+  /// Joins the background compaction (no-op if none) and returns its
+  /// result.
+  Status WaitCompaction();
+
+  /// Stops the writer threads (draining their queues), joins compaction,
+  /// fences and closes every log. Idempotent; the destructor calls it.
+  Status Close();
+
+ private:
+  struct Pending {
+    WalMutation mut;
+    std::shared_ptr<std::promise<Status>> ack;  ///< null = fire-and-forget
+    bool fence = false;  ///< Flush barrier marker (mut ignored)
+    bool skip = false;   ///< failed validation; already acked
+  };
+
+  struct Lane {
+    std::string path;
+    /// Owned tree (single-tree mode); null when the lane borrows a forest
+    /// shard. `tree` is the live raw pointer either way (swapped under an
+    /// exclusive tree_mu hold).
+    std::shared_ptr<BloomSampleTree> owned;
+    BloomSampleTree* tree = nullptr;
+    std::unique_ptr<GroupCommitWal> commit;
+    std::unique_ptr<IngestQueue<Pending>> queue;
+    BatchPool<Pending> pool;
+    std::thread writer;
+    mutable std::shared_mutex tree_mu;
+    /// Writers queued on tree_mu. Back-to-back read passes keep a
+    /// reader-preferring shared_mutex permanently read-held and starve
+    /// the writer (observed: 200 000× ingest slowdown under two sampler
+    /// threads); new readers yield while this is non-zero so a waiting
+    /// writer gets its exclusive window promptly.
+    mutable std::atomic<uint32_t> writers_waiting{0};
+    /// Compaction side-track, both guarded by tree_mu.
+    bool compacting = false;
+    std::vector<WalMutation> delta;
+  };
+
+  IngestPipeline(IngestPipelineOptions options, uint64_t namespace_size,
+                 uint64_t lane_width);
+
+  static Result<std::unique_ptr<GroupCommitWal>> OpenLaneWal(
+      const std::string& snapshot_path, const TreeConfig& config,
+      uint64_t next_seq, const IngestPipelineOptions& options);
+
+  /// Pre-commit validation (range, delete-backend presence) — anything
+  /// the tree would refuse AFTER logging must be refused BEFORE, or the
+  /// log would replay a record the live tree rejected.
+  Status Validate(const Lane& lane, const WalMutation& mut) const;
+  /// Writer-priority lock acquisition: LockExclusive advertises the
+  /// waiting writer via `writers_waiting`; LockShared defers to it.
+  static std::unique_lock<std::shared_mutex> LockExclusive(Lane* lane);
+  static std::shared_lock<std::shared_mutex> LockShared(const Lane& lane);
+  /// Caller holds lane.tree_mu exclusive.
+  Status ApplyToTreeLocked(Lane* lane, const WalMutation& mut);
+  void WriterLoop(Lane* lane);
+  Status CompactionBody();
+
+  const IngestPipelineOptions options_;
+  const uint64_t namespace_size_;
+  /// ShardOf divisor (namespace_size for one lane — everything maps to 0).
+  const uint64_t lane_width_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::atomic<bool> compaction_running_{false};
+  std::thread compaction_thread_;
+  Status compaction_result_;  ///< written by the thread, read after join
+
+  bool closed_ = false;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_CORE_INGEST_PIPELINE_H_

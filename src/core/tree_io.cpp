@@ -1004,11 +1004,19 @@ Status CompactTree(BloomSampleTree* tree, const std::string& path,
   BSR_CHECK(tree != nullptr, "CompactTree: null tree");
   Status st = SaveTreeToFile(*tree, path, options);
   if (!st.ok()) return st;
-  // The new image is durable from here on; shrinking the log can no
+  // The new image is durable from here on; shrinking the logs can no
   // longer lose anything (and a crash before the shrink just replays the
-  // old log into the new image — pure no-ops).
-  if (tree->wal() != nullptr) return tree->wal()->Reset();
+  // old logs into the new image — pure no-ops).
   FileSystem* fs = options.fs != nullptr ? options.fs : FileSystem::Default();
+  const std::string old_wal_path = OldWalPathFor(path);
+  if (fs->FileExists(old_wal_path)) {
+    // A rotated log a background compaction left behind: folded into the
+    // image we just wrote, so it is history now.
+    st = fs->RemoveFile(old_wal_path);
+    if (st.ok()) st = fs->SyncDirOf(old_wal_path);
+    if (!st.ok()) return st;
+  }
+  if (tree->wal() != nullptr) return tree->wal()->Reset();
   const std::string wal_path = WalPathFor(path);
   if (!fs->FileExists(wal_path)) return Status::OK();
   st = fs->RemoveFile(wal_path);
@@ -1053,15 +1061,37 @@ Result<BloomSampleTree> FinishLoad(Result<BloomSampleTree> tree,
                                    TreeLoadInfo* info) {
   if (!tree.ok() || !options.replay_wal) return tree;
   BloomSampleTree& t = tree.value();
-  auto stats = ReplayWal(
-      WalPathFor(path), WalConfigFingerprint(t.config()),
-      [&t](const WalRecord& rec) { return t.Insert(rec.id); },
-      options.fs);
+  // kInsert applies directly; kRemove needs the counting-bloom leaf
+  // backend, which snapshots do not persist — auto-enable it on the first
+  // remove record (exact: rebuilt from the occupied set at that point).
+  auto apply = [&t](const WalRecord& rec) -> Status {
+    if (rec.op == WalOp::kRemove) {
+      if (!t.counting_leaves()) {
+        const Status enabled = t.EnableCountingLeaves();
+        if (!enabled.ok()) return enabled;
+      }
+      return t.Remove(rec.id);
+    }
+    return t.Insert(rec.id);
+  };
+  // A background compaction rotates the live log to `<path>.wal.old` and
+  // deletes it only after the image that folded it is durable. Replaying
+  // old-then-current re-walks the full mutation history in order; every
+  // op is idempotent and last-op-per-id-wins, so an image built from any
+  // prefix of that history recovers to the identical final tree.
+  const uint64_t fp = WalConfigFingerprint(t.config());
+  auto old_stats = ReplayWal(OldWalPathFor(path), fp, apply, options.fs);
+  if (!old_stats.ok()) return old_stats.status();
+  auto stats = ReplayWal(WalPathFor(path), fp, apply, options.fs);
   if (!stats.ok()) return stats.status();
   if (info != nullptr) {
-    info->wal_present = stats.value().present;
+    info->wal_present = stats.value().present || old_stats.value().present;
+    // Seeds the writer's next seq, so it counts the CURRENT log only (the
+    // rotated log's sequence space is frozen).
     info->wal_records_replayed = stats.value().records_replayed;
-    info->wal_recovered_corruption = stats.value().recovered_corruption;
+    info->wal_old_records_replayed = old_stats.value().records_replayed;
+    info->wal_recovered_corruption = stats.value().recovered_corruption ||
+                                     old_stats.value().recovered_corruption;
   }
   return tree;
 }

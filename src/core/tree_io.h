@@ -120,8 +120,13 @@ struct TreeLoadInfo {
   /// Bytes of slab mapped zero-copy (0 for heap/stream loads).
   uint64_t mapped_bytes = 0;
   /// Sidecar WAL results (meaningful when LoadOptions::replay_wal is on).
+  /// wal_records_replayed counts the CURRENT log (`<path>.wal`) — it seeds
+  /// the writer's sequence numbers; records from a rotated-out
+  /// `<path>.wal.old` (background compaction in flight at crash time) are
+  /// reported separately.
   bool wal_present = false;
   uint64_t wal_records_replayed = 0;
+  uint64_t wal_old_records_replayed = 0;
   /// A torn or corrupt log tail was found and cut off — everything before
   /// it replayed fine. The snapshot itself was intact.
   bool wal_recovered_corruption = false;

@@ -86,6 +86,10 @@ std::string WalPathFor(const std::string& snapshot_path) {
   return snapshot_path + ".wal";
 }
 
+std::string OldWalPathFor(const std::string& snapshot_path) {
+  return snapshot_path + ".wal.old";
+}
+
 uint64_t WalConfigFingerprint(const TreeConfig& config) {
   uint8_t buf[44];
   PutU64(buf, config.namespace_size);
@@ -146,17 +150,24 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
     // O_APPEND descriptor always lands at the inode's current end.
   }
 
+  // Whatever the file holds at open time — header plus replayed records —
+  // is the durable base Repair() may truncate back to.
+  uint64_t base_bytes = kWalHeaderBytes;
+  auto size = fs->FileSize(path);
+  if (size.ok()) base_bytes = size.value();
+
   auto file = fs->NewWritableFile(path, WriteMode::kAppend);
   if (!file.ok()) return file.status();
-  return std::unique_ptr<WalWriter>(
-      new WalWriter(path, std::move(file).value(), opts, next_seq));
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      path, std::move(file).value(), opts, fingerprint, next_seq,
+      base_bytes));
 }
 
-Status WalWriter::Append(WalOp op, uint64_t id) {
+Status WalWriter::AppendNoSync(WalOp op, uint64_t id) {
   if (dead_) {
     return Status::Internal("wal '" + path_ +
-                            "': writer is dead after an earlier append "
-                            "failure; reopen the tree to recover");
+                            "': writer is dead after an earlier append/fsync "
+                            "failure; Repair() or reopen the tree");
   }
   WalRecord rec;
   rec.seq = next_seq_;
@@ -166,12 +177,20 @@ Status WalWriter::Append(WalOp op, uint64_t id) {
   EncodeRecord(rec, buf);
   Status st = file_->Append(buf, kWalRecordBytes);
   if (!st.ok()) {
-    dead_ = true;  // the tail may be torn; no further appends behind it
+    // The tail may be torn mid-record; no further appends behind it. The
+    // failed record is NOT buffered (its seq was not consumed), so Repair
+    // restores the log to exactly the pre-failure state.
+    dead_ = true;
     return st;
   }
+  unsynced_tail_.append(reinterpret_cast<const char*>(buf), kWalRecordBytes);
   ++next_seq_;
   ++appended_;
   ++unsynced_;
+  return Status::OK();
+}
+
+Status WalWriter::MaybeSync() {
   switch (options_.policy) {
     case WalSyncPolicy::kEveryRecord:
       return Sync();
@@ -184,14 +203,65 @@ Status WalWriter::Append(WalOp op, uint64_t id) {
   return Status::OK();
 }
 
+Status WalWriter::Append(WalOp op, uint64_t id) {
+  const Status st = AppendNoSync(op, id);
+  if (!st.ok()) return st;
+  return MaybeSync();
+}
+
 Status WalWriter::Sync() {
   if (dead_) return Status::Internal("wal '" + path_ + "': writer is dead");
   const Status st = file_->Sync();
-  if (st.ok()) unsynced_ = 0;
-  return st;
+  if (!st.ok()) {
+    // fsyncgate: the kernel may have dropped the dirty pages while
+    // reporting the error. Latch dead; Repair() re-appends the buffered
+    // tail instead of re-fsyncing this descriptor.
+    dead_ = true;
+    return st;
+  }
+  unsynced_ = 0;
+  durable_bytes_ += unsynced_tail_.size();
+  unsynced_tail_.clear();
+  ++sync_count_;
+  return Status::OK();
+}
+
+Status WalWriter::Repair() {
+  if (!dead_) return Status::OK();
+  FileSystem* fs = options_.fs;
+  // Drop the poisoned descriptor first; its buffered state is untrusted.
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_.reset();
+  }
+  // Cut the file back to the provably durable prefix: this removes both a
+  // possibly-torn tail record and appends whose only covering fsync
+  // failed (which the kernel may or may not have persisted).
+  Status st = fs->Truncate(path_, durable_bytes_);
+  if (!st.ok()) return st;
+  auto reopened = fs->NewWritableFile(path_, WriteMode::kAppend);
+  if (!reopened.ok()) return reopened.status();
+  file_ = std::move(reopened).value();
+  // Re-append the unsynced records byte-for-byte (same seqs) and fence.
+  if (!unsynced_tail_.empty()) {
+    st = file_->Append(unsynced_tail_.data(), unsynced_tail_.size());
+    if (!st.ok()) return st;
+  }
+  st = file_->Sync();
+  if (!st.ok()) return st;
+  durable_bytes_ += unsynced_tail_.size();
+  unsynced_tail_.clear();
+  unsynced_ = 0;
+  ++sync_count_;
+  dead_ = false;
+  return Status::OK();
 }
 
 Status WalWriter::Reset() {
+  if (file_ == nullptr) {
+    return Status::Internal("wal '" + path_ +
+                            "': cannot reset a closed writer");
+  }
   // The O_APPEND descriptor tracks the inode: after the truncate, new
   // appends land right behind the header.
   Status st = options_.fs->Truncate(path_, kWalHeaderBytes);
@@ -200,11 +270,20 @@ Status WalWriter::Reset() {
   if (!st.ok()) return st;
   next_seq_ = 1;
   unsynced_ = 0;
+  durable_bytes_ = kWalHeaderBytes;
+  unsynced_tail_.clear();
   dead_ = false;
   return Status::OK();
 }
 
-Status WalWriter::Close() { return file_->Close(); }
+Status WalWriter::Close() {
+  // A failed Repair may have dropped the descriptor already (the file is
+  // closed, just not reopenable) — Close on that writer is a no-op.
+  if (file_ == nullptr) return Status::OK();
+  const Status st = file_->Close();
+  file_.reset();
+  return st;
+}
 
 Result<WalReplayStats> ReplayWal(
     const std::string& path, uint64_t fingerprint,
@@ -259,7 +338,9 @@ Result<WalReplayStats> ReplayWal(
     rec.op = static_cast<WalOp>(GetU32(payload + 8));
     rec.id = GetU64(payload + 12);
     if (rec.seq != expected_seq) break;  // gap or replayed-out-of-order
-    if (rec.op != WalOp::kInsert) break;  // unknown op: can't apply safely
+    if (rec.op != WalOp::kInsert && rec.op != WalOp::kRemove) {
+      break;  // unknown op: can't apply safely
+    }
     Status st = apply(rec);
     if (!st.ok()) return st;  // tree-side failure, not log corruption
     ++expected_seq;
@@ -270,7 +351,7 @@ Result<WalReplayStats> ReplayWal(
 
   if (offset < bytes.size()) {
     // First invalid record found at `offset`: cut the file there so the
-    // next writer appends onto a fully valid prefix.
+    // next writer appends onto a clean prefix.
     stats.recovered_corruption = true;
     Status st = fs->Truncate(path, offset);
     if (!st.ok()) return st;

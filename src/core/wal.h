@@ -1,9 +1,10 @@
-// Write-ahead delta log for dynamic inserts.
+// Write-ahead delta log for dynamic inserts (and, with counting-bloom
+// leaves, removes).
 //
 // A v2 snapshot is an immutable bulk artifact: rewriting the whole image
 // on every Insert would turn an O(depth · m) operation into an O(file)
 // one. Instead, each snapshot `<path>` may carry a sidecar log at
-// `<path>.wal` holding the inserts applied since the image was written.
+// `<path>.wal` holding the mutations applied since the image was written.
 // Recovery is replay: LoadTreeFromFile opens the image, then re-applies
 // the log's records in order — Insert is idempotent (inserting a present
 // id is a no-op), so replaying an already-applied prefix is harmless and
@@ -24,11 +25,25 @@
 // file there — everything before it is intact by construction (records
 // are appended in order and fsync is a prefix fence).
 //
+// Online compaction rotates the log instead of truncating it: the live
+// `<path>.wal` is renamed to `<path>.wal.old` (sequence space frozen) and
+// a fresh `<path>.wal` starts at seq 1. A loader replays `.wal.old` first,
+// then `.wal`; compaction deletes `.wal.old` only after the image that
+// absorbed it is durable, so every crash point leaves image ∪ logs
+// complete.
+//
 // Sync policy is the durability/throughput dial (bench/micro_ingest.cpp
 // measures it): kEveryRecord fsyncs per append (no acknowledged insert is
 // ever lost), kInterval fsyncs every N appends (bounded loss window),
 // kNone never fsyncs (crash loses the OS-buffered tail; the tree still
 // recovers to a consistent prefix).
+//
+// Failure handling is fsyncgate-aware: after ANY failed append or fsync
+// the writer latches dead — it never re-fsyncs a descriptor whose dirty
+// pages the kernel may already have dropped. Repair() recovers the honest
+// way: truncate the file back to the last provably durable byte, reopen
+// the descriptor, re-append the records the failed fence did not cover
+// (identical bytes — sequence numbers are preserved), and fence again.
 #ifndef BLOOMSAMPLE_CORE_WAL_H_
 #define BLOOMSAMPLE_CORE_WAL_H_
 
@@ -43,14 +58,22 @@
 
 namespace bloomsample {
 
-/// Logged mutation kinds. Only inserts exist today; deletes arrive with
-/// counting-bloom support (see ROADMAP).
-enum class WalOp : uint32_t { kInsert = 1 };
+/// Logged mutation kinds. kRemove records replay only into trees whose
+/// leaves use the counting-bloom backend (plain Bloom filters cannot
+/// unset bits); replay surfaces a clear error otherwise.
+enum class WalOp : uint32_t { kInsert = 1, kRemove = 2 };
 
 struct WalRecord {
   uint64_t seq = 0;  ///< dense, 1-based
   WalOp op = WalOp::kInsert;
   uint64_t id = 0;  ///< the namespace element
+};
+
+/// An unsequenced mutation — what callers hand to the commit paths; the
+/// writer assigns the sequence number at append time.
+struct WalMutation {
+  WalOp op = WalOp::kInsert;
+  uint64_t id = 0;
 };
 
 enum class WalSyncPolicy : uint32_t {
@@ -73,13 +96,19 @@ struct WalOptions {
 /// replay, the loaders, and compaction.
 std::string WalPathFor(const std::string& snapshot_path);
 
+/// `<snapshot path>.wal.old` — the rotated-out log a background compaction
+/// is folding into the next image. Loaders replay it BEFORE the live log.
+std::string OldWalPathFor(const std::string& snapshot_path);
+
 /// XXH64 over the tree-identity fields of `config` (namespace_size, m, k,
 /// hash_kind, seed, depth). Runtime policy knobs (threads, thresholds) are
 /// excluded — they never change what a record means.
 uint64_t WalConfigFingerprint(const TreeConfig& config);
 
-/// Appends checksummed records to a log file. Single writer per log; the
-/// tree owns its writer (BloomSampleTree::AttachWal).
+/// Appends checksummed records to a log file. Single writer per log, NOT
+/// thread-safe — the tree owns its writer (BloomSampleTree::AttachWal);
+/// concurrent committers go through GroupCommitWal, which funnels every
+/// append through one leader at a time.
 class WalWriter {
  public:
   /// Opens `path` for appending. A missing or header-less file is created
@@ -94,12 +123,32 @@ class WalWriter {
 
   /// Appends one record (assigning it the next sequence number) and syncs
   /// per policy. On error the log tail is suspect: the writer latches dead
-  /// and every later Append fails, but the on-disk prefix up to the last
-  /// successful sync remains replayable.
+  /// and every later Append fails until Repair() — but the on-disk prefix
+  /// up to the last successful sync remains replayable regardless.
   Status Append(WalOp op, uint64_t id);
 
-  /// Explicit durability fence, regardless of policy.
+  /// Appends without the policy sync — the group-commit building block:
+  /// the leader appends a whole batch, then fences once with MaybeSync().
+  Status AppendNoSync(WalOp op, uint64_t id);
+
+  /// The policy's sync decision for the current unsynced tail: kEveryRecord
+  /// always fences, kInterval fences when the interval is due, kNone never.
+  Status MaybeSync();
+
+  /// Explicit durability fence, regardless of policy. A FAILED fence
+  /// latches the writer dead: per fsyncgate, the kernel may have dropped
+  /// the dirty pages, so retrying fsync on the same descriptor and
+  /// believing its success would silently lose records.
   Status Sync();
+
+  /// Recovers a dead writer without trusting a poisoned descriptor:
+  /// truncates the file to the last provably durable byte, reopens it, re-
+  /// appends every record the failed fence left uncovered (same bytes,
+  /// same seqs — the writer buffers its unsynced tail for exactly this),
+  /// and fences. On success the writer is alive again and nothing was
+  /// lost; on failure it stays dead and Repair may be retried (each step
+  /// is idempotent). No-op on a healthy writer.
+  Status Repair();
 
   /// Empties the log back to its 32-byte header (the post-compaction
   /// reset): truncate + fsync, sequence numbers restart at 1.
@@ -107,26 +156,44 @@ class WalWriter {
 
   Status Close();
 
+  bool dead() const { return dead_; }
+  const WalOptions& options() const { return options_; }
+  /// The config fingerprint this log was opened with (rotation reopens
+  /// the fresh log under the same identity).
+  uint64_t fingerprint() const { return fingerprint_; }
   uint64_t next_seq() const { return next_seq_; }
   /// Records appended through this writer (not counting replayed ones).
   uint64_t appended() const { return appended_; }
+  /// Successful fsyncs issued by this writer (bench: group-commit factor).
+  uint64_t sync_count() const { return sync_count_; }
   const std::string& path() const { return path_; }
 
  private:
   WalWriter(std::string path, std::unique_ptr<WritableFile> file,
-            const WalOptions& options, uint64_t next_seq)
+            const WalOptions& options, uint64_t fingerprint,
+            uint64_t next_seq, uint64_t base_bytes)
       : path_(std::move(path)),
         file_(std::move(file)),
         options_(options),
-        next_seq_(next_seq) {}
+        fingerprint_(fingerprint),
+        next_seq_(next_seq),
+        durable_bytes_(base_bytes) {}
 
   std::string path_;
   std::unique_ptr<WritableFile> file_;
   WalOptions options_;
+  uint64_t fingerprint_;
   uint64_t next_seq_;
   uint64_t appended_ = 0;
   uint64_t unsynced_ = 0;  ///< appends since the last fsync
-  bool dead_ = false;      ///< a failed append poisons the tail
+  uint64_t sync_count_ = 0;
+  bool dead_ = false;  ///< failed append/fsync poisons the tail until Repair
+  /// Byte length of the file prefix known durable (content at open +
+  /// successfully fenced appends). Repair truncates here.
+  uint64_t durable_bytes_;
+  /// Encoded records appended but not yet covered by a successful fsync —
+  /// the bytes Repair re-appends after truncating.
+  std::string unsynced_tail_;
 };
 
 /// What replay found (and fixed) in a log.
@@ -139,10 +206,11 @@ struct WalReplayStats {
 
 /// Replays `path` in order, calling `apply` for each valid record. Stops
 /// at the first invalid one — bad length, checksum mismatch, sequence gap,
-/// torn tail — and truncates the physical file there, so a later writer
-/// appends onto a clean prefix. A missing file is not an error (fresh
-/// tree). A mismatched config fingerprint IS an error: that log belongs to
-/// a different tree. Errors from `apply` abort the replay unchanged.
+/// torn tail, unknown op — and truncates the physical file there, so a
+/// later writer appends onto a clean prefix. A missing file is not an
+/// error (fresh tree). A mismatched config fingerprint IS an error: that
+/// log belongs to a different tree. Errors from `apply` abort the replay
+/// unchanged (a kRemove hitting a plain-Bloom tree surfaces here).
 Result<WalReplayStats> ReplayWal(
     const std::string& path, uint64_t fingerprint,
     const std::function<Status(const WalRecord&)>& apply,

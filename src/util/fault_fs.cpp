@@ -25,80 +25,142 @@ void WriteWholeFile(const std::string& path, const std::string& bytes) {
 /// Counts Append/Sync through the parent's operation counter and keeps the
 /// durable-content map in step with successful Syncs. Namespace scope (not
 /// anonymous) so the friend declaration in the header matches.
+///
+/// Tracks the byte count it has appended so a successful Sync marks durable
+/// only the bytes present when the Sync entered the filesystem — the
+/// guaranteed-minimum reading of fsync (see the header comment).
 class FaultWritableFile : public WritableFile {
  public:
   FaultWritableFile(FaultInjectingFileSystem* parent,
-                    std::unique_ptr<WritableFile> inner, std::string path)
-      : parent_(parent), inner_(std::move(inner)), path_(std::move(path)) {}
+                    std::unique_ptr<WritableFile> inner, std::string path,
+                    uint64_t initial_bytes)
+      : parent_(parent),
+        inner_(std::move(inner)),
+        path_(std::move(path)),
+        appended_bytes_(initial_bytes) {}
 
   Status Append(const void* data, size_t len) override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
     bool short_write = false;
-    const Status injected = parent_->CountOp("append", &short_write);
+    const Status injected = parent_->CountOpLocked("append", &short_write);
     if (short_write) {
       // The torn-tail case: a prefix lands on disk, then the write dies.
       const size_t keep =
           len < parent_->short_write_keep_ ? len : parent_->short_write_keep_;
       (void)inner_->Append(data, keep);
+      appended_bytes_ += keep;
       return Status::Internal("injected fault: short write on '" + path_ +
                               "'");
     }
     if (!injected.ok()) return injected;
-    return inner_->Append(data, len);
-  }
-
-  Status Sync() override {
-    const Status injected = parent_->CountOp("fsync");
-    if (!injected.ok()) return injected;
-    const Status st = inner_->Sync();
-    if (st.ok()) parent_->MarkContentDurable(path_);
+    const Status st = inner_->Append(data, len);
+    if (st.ok()) appended_bytes_ += len;
     return st;
   }
 
-  Status Close() override { return inner_->Close(); }
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    const uint64_t entry_bytes = appended_bytes_;
+    const Status injected =
+        parent_->CountOpLocked("fsync", nullptr, /*is_file_sync=*/true);
+    if (!injected.ok()) return injected;
+    const Status st = inner_->Sync();
+    if (st.ok()) parent_->MarkContentDurableLocked(path_, entry_bytes);
+    return st;
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    return inner_->Close();
+  }
 
  private:
   FaultInjectingFileSystem* parent_;
   std::unique_ptr<WritableFile> inner_;
   std::string path_;
+  uint64_t appended_bytes_;
 };
 
 FaultInjectingFileSystem::FaultInjectingFileSystem()
     : real_(FileSystem::Default()) {}
 
 void FaultInjectingFileSystem::FailAtOp(uint64_t n, bool enospc) {
+  std::lock_guard<std::mutex> lock(mu_);
   fail_at_ = n;
   fail_enospc_ = enospc;
 }
 
 void FaultInjectingFileSystem::ShortWriteAtOp(uint64_t n, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   short_write_at_ = n;
   short_write_keep_ = keep_bytes;
 }
 
-void FaultInjectingFileSystem::CrashAtOp(uint64_t n) { crash_at_ = n; }
+void FaultInjectingFileSystem::FailSyncsAt(uint64_t n, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_fail_at_ = n;
+  sync_fail_count_ = n == 0 ? 0 : count;
+}
+
+void FaultInjectingFileSystem::CrashAtOp(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = n;
+}
 
 void FaultInjectingFileSystem::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
   fail_at_ = 0;
   fail_enospc_ = false;
   short_write_at_ = 0;
+  sync_fail_at_ = 0;
+  sync_fail_count_ = 0;
   crash_at_ = 0;
   crashed_ = false;
 }
 
 void FaultInjectingFileSystem::SimulateCrash() {
-  DropUnsyncedState();
+  std::lock_guard<std::mutex> lock(mu_);
+  SimulateCrashLocked();
+}
+
+void FaultInjectingFileSystem::SimulateCrashLocked() {
+  DropUnsyncedStateLocked();
   crashed_ = true;
 }
 
-Status FaultInjectingFileSystem::CountOp(const char* what, bool* short_write) {
+void FaultInjectingFileSystem::ResetOpCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+  sync_op_count_ = 0;
+}
+
+uint64_t FaultInjectingFileSystem::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+uint64_t FaultInjectingFileSystem::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_op_count_;
+}
+
+bool FaultInjectingFileSystem::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjectingFileSystem::CountOpLocked(const char* what,
+                                               bool* short_write,
+                                               bool is_file_sync) {
   ++op_count_;
+  if (is_file_sync) ++sync_op_count_;
   if (crashed_) {
     return Status::Internal("simulated crash: filesystem is down");
   }
   if (crash_at_ != 0 && op_count_ >= crash_at_) {
     // The machine dies BEFORE operation op_count_ takes effect: state
     // freezes at what the previous operations made durable.
-    SimulateCrash();
+    SimulateCrashLocked();
     return Status::Internal(std::string("simulated crash during ") + what);
   }
   if (op_count_ == short_write_at_) {
@@ -115,10 +177,15 @@ Status FaultInjectingFileSystem::CountOp(const char* what, bool* short_write) {
     }
     return Status::Internal(std::string("injected fault during ") + what);
   }
+  if (is_file_sync && sync_fail_at_ != 0 && sync_op_count_ >= sync_fail_at_ &&
+      sync_op_count_ - sync_fail_at_ < sync_fail_count_) {
+    return Status::Internal(std::string("injected fault during ") + what +
+                            ": I/O error (EIO)");
+  }
   return Status::OK();
 }
 
-void FaultInjectingFileSystem::TrackPath(const std::string& path) {
+void FaultInjectingFileSystem::TrackPathLocked(const std::string& path) {
   if (!touched_.insert(path).second) return;
   // First touch: whatever is on disk now predates the fault FS and is
   // assumed durable (unless a committed rename already accounted for it).
@@ -127,11 +194,14 @@ void FaultInjectingFileSystem::TrackPath(const std::string& path) {
   }
 }
 
-void FaultInjectingFileSystem::MarkContentDurable(const std::string& path) {
-  durable_[path] = ReadWholeFile(path);
+void FaultInjectingFileSystem::MarkContentDurableLocked(
+    const std::string& path, uint64_t limit_bytes) {
+  std::string content = ReadWholeFile(path);
+  if (content.size() > limit_bytes) content.resize(limit_bytes);
+  durable_[path] = std::move(content);
 }
 
-void FaultInjectingFileSystem::DropUnsyncedState() {
+void FaultInjectingFileSystem::DropUnsyncedStateLocked() {
   for (const std::string& path : touched_) {
     const auto it = durable_.find(path);
     if (it != durable_.end()) {
@@ -147,21 +217,28 @@ void FaultInjectingFileSystem::DropUnsyncedState() {
 Result<std::unique_ptr<WritableFile>>
 FaultInjectingFileSystem::NewWritableFile(const std::string& path,
                                           WriteMode mode) {
-  const Status injected = CountOp("open");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status injected = CountOpLocked("open");
   if (!injected.ok()) return injected;
-  TrackPath(path);
+  TrackPathLocked(path);
+  uint64_t initial_bytes = 0;
+  if (mode == WriteMode::kAppend && real_->FileExists(path)) {
+    auto size = real_->FileSize(path);
+    if (size.ok()) initial_bytes = size.value();
+  }
   auto inner = real_->NewWritableFile(path, mode);
   if (!inner.ok()) return inner.status();
   return std::unique_ptr<WritableFile>(new FaultWritableFile(
-      this, std::move(inner).value(), path));
+      this, std::move(inner).value(), path, initial_bytes));
 }
 
 Status FaultInjectingFileSystem::Rename(const std::string& from,
                                         const std::string& to) {
-  const Status injected = CountOp("rename");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status injected = CountOpLocked("rename");
   if (!injected.ok()) return injected;
-  TrackPath(from);
-  TrackPath(to);
+  TrackPathLocked(from);
+  TrackPathLocked(to);
   const Status st = real_->Rename(from, to);
   if (st.ok()) pending_name_ops_.push_back({from, to});
   return st;
@@ -169,14 +246,16 @@ Status FaultInjectingFileSystem::Rename(const std::string& from,
 
 Status FaultInjectingFileSystem::Truncate(const std::string& path,
                                           uint64_t size) {
-  const Status injected = CountOp("truncate");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status injected = CountOpLocked("truncate");
   if (!injected.ok()) return injected;
-  TrackPath(path);
+  TrackPathLocked(path);
   return real_->Truncate(path, size);
 }
 
 Status FaultInjectingFileSystem::SyncDirOf(const std::string& path) {
-  const Status injected = CountOp("fsync dir");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status injected = CountOpLocked("fsync dir");
   if (!injected.ok()) return injected;
   const Status st = real_->SyncDirOf(path);
   if (!st.ok()) return st;
@@ -202,9 +281,10 @@ Status FaultInjectingFileSystem::SyncDirOf(const std::string& path) {
 }
 
 Status FaultInjectingFileSystem::RemoveFile(const std::string& path) {
-  const Status injected = CountOp("unlink");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status injected = CountOpLocked("unlink");
   if (!injected.ok()) return injected;
-  TrackPath(path);
+  TrackPathLocked(path);
   const Status st = real_->RemoveFile(path);
   if (st.ok()) pending_name_ops_.push_back({path, std::string()});
   return st;

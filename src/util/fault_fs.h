@@ -3,7 +3,7 @@
 // FaultInjectingFileSystem wraps the real FileSystem (operations land on
 // real files, so the untouched READ path — ifstream parsing, mmap — keeps
 // working against whatever state a simulated failure leaves behind) and
-// adds three kinds of deterministic misbehavior, keyed off a counter of
+// adds four kinds of deterministic misbehavior, keyed off a counter of
 // mutating operations (NewWritableFile / Append / Sync / Rename /
 // Truncate / SyncDirOf / RemoveFile, in call order):
 //
@@ -13,6 +13,18 @@
 //                          must leave the old artifact intact.
 //   * ShortWriteAtOp(n)  — operation n (an Append) writes only a prefix
 //                          and then errors: the torn-tail case.
+//   * FailSyncsAt(n, c)  — file-Sync failure injection (EIO flavored): the
+//                          nth and following c Syncs — counted among file
+//                          Syncs only — fail; later Syncs succeed again.
+//                          Models the fsyncgate bug class: after a failed
+//                          fsync the kernel may have DROPPED the dirty
+//                          pages, so a writer that simply re-fsyncs the
+//                          same descriptor and trusts the success is
+//                          silently missing data. The fault FS enforces
+//                          the pessimistic reading — bytes covered only by
+//                          a failed sync are never marked durable — so any
+//                          writer that survives this mode is fsyncgate-
+//                          clean by construction.
 //   * CrashAtOp(n)       — when the counter reaches n the "machine dies":
 //                          every byte not fenced by Sync is dropped, every
 //                          rename/remove not fenced by SyncDirOf rolls
@@ -20,7 +32,10 @@
 //                          then "reboots" by reopening the real files.
 //
 // Durability model (what survives a crash):
-//   * a file's content as of its last successful Sync();
+//   * a file's content as of its last successful Sync() — and only the
+//     bytes appended BEFORE that Sync was entered: a concurrent append
+//     racing the fsync gets no durability credit until the next fence
+//     (the guaranteed-minimum reading of POSIX fsync);
 //   * renames/removes executed before the last successful SyncDirOf()
 //     (content carried over from the source's synced state);
 //   * files that existed before the fault FS first touched them (seeded
@@ -28,14 +43,19 @@
 // Everything else — appended-but-unsynced bytes, truncations, renames
 // after the last directory sync — reverts.
 //
-// Single-threaded by design: the crash matrix drives one deterministic
-// operation sequence at a time.
+// Thread-safe: one internal mutex serializes every operation (including
+// the wrapped real-filesystem call), so concurrent writers — the group-
+// commit ingest pipeline under test — observe a sequentially consistent
+// operation order and the kill-point counter stays meaningful. The real
+// PosixFileSystem stays lock-free; serialization is a property of the
+// test double only.
 #ifndef BLOOMSAMPLE_UTIL_FAULT_FS_H_
 #define BLOOMSAMPLE_UTIL_FAULT_FS_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -47,6 +67,9 @@ namespace bloomsample {
 
 class FaultInjectingFileSystem : public FileSystem {
  public:
+  /// FailSyncsAt count for "every sync from n on fails".
+  static constexpr uint64_t kForever = ~0ull;
+
   /// Wraps FileSystem::Default(); all paths are real files (use a temp
   /// directory).
   FaultInjectingFileSystem();
@@ -61,6 +84,12 @@ class FaultInjectingFileSystem : public FileSystem {
   /// the first `keep_bytes` bytes, then errors.
   void ShortWriteAtOp(uint64_t n, size_t keep_bytes = 3);
 
+  /// File-Sync failure injection (see the file comment): the `n`th file
+  /// Sync (1-based, counted among file Syncs only) and the `count - 1`
+  /// following ones fail with an EIO-flavored error; later Syncs succeed.
+  /// 0 disarms. Bytes whose only covering fsync failed stay non-durable.
+  void FailSyncsAt(uint64_t n, uint64_t count = 1);
+
   /// Simulated power loss when the counter reaches `n`: unsynced state is
   /// dropped and every operation from `n` on fails with "simulated crash".
   void CrashAtOp(uint64_t n);
@@ -72,11 +101,13 @@ class FaultInjectingFileSystem : public FileSystem {
   /// Explicit crash now (equivalent to CrashAtOp at the current counter).
   void SimulateCrash();
 
-  void ResetOpCount() { op_count_ = 0; }
+  void ResetOpCount();
   /// Mutating operations seen so far — run a sequence once fault-free to
   /// learn its length, then enumerate every kill point 1..op_count().
-  uint64_t op_count() const { return op_count_; }
-  bool crashed() const { return crashed_; }
+  uint64_t op_count() const;
+  /// File Syncs seen so far (the FailSyncsAt counter).
+  uint64_t sync_count() const;
+  bool crashed() const;
 
   // --- FileSystem -----------------------------------------------------
 
@@ -94,24 +125,33 @@ class FaultInjectingFileSystem : public FileSystem {
 
   /// Counts one mutating operation and returns the injected error for it,
   /// if any. `*short_write` (optional) reports that this operation should
-  /// tear instead of failing outright.
-  Status CountOp(const char* what, bool* short_write = nullptr);
+  /// tear instead of failing outright. `is_file_sync` additionally runs
+  /// the op through the sync-failure window. Caller holds mu_.
+  Status CountOpLocked(const char* what, bool* short_write = nullptr,
+                       bool is_file_sync = false);
 
   /// First-touch seeding: a path the fault FS has never mutated is assumed
-  /// durable with its current on-disk content.
-  void TrackPath(const std::string& path);
+  /// durable with its current on-disk content. Caller holds mu_.
+  void TrackPathLocked(const std::string& path);
 
-  /// Records `path`'s current real content as its crash-surviving state.
-  void MarkContentDurable(const std::string& path);
+  /// Records the first `limit_bytes` of `path`'s current real content as
+  /// its crash-surviving state (the bytes the successful fsync is
+  /// guaranteed to cover). Caller holds mu_.
+  void MarkContentDurableLocked(const std::string& path, uint64_t limit_bytes);
 
-  void DropUnsyncedState();
+  void SimulateCrashLocked();
+  void DropUnsyncedStateLocked();
 
   FileSystem* real_;
+  mutable std::mutex mu_;
   uint64_t op_count_ = 0;
   uint64_t fail_at_ = 0;
   bool fail_enospc_ = false;
   uint64_t short_write_at_ = 0;
   size_t short_write_keep_ = 3;
+  uint64_t sync_op_count_ = 0;
+  uint64_t sync_fail_at_ = 0;
+  uint64_t sync_fail_count_ = 0;
   uint64_t crash_at_ = 0;
   bool crashed_ = false;
 

@@ -1,0 +1,211 @@
+// Bounded MPSC queue + reusable batch buffers — the producer side of the
+// concurrent ingest pipeline (core/ingest_pipeline.h).
+//
+// Producers push single items from any thread; one consumer (the shard's
+// writer thread) drains them in batches. The queue is BOUNDED: when
+// producers outrun the writer (an fsync-limited consumer is easy to
+// outrun), the BackpressurePolicy decides how they degrade —
+//
+//   * kBlock   — the producer sleeps until space frees up. Ingest becomes
+//                lossless flow control: end-to-end throughput equals the
+//                writer's, memory stays bounded.
+//   * kTimeout — the producer waits up to `timeout`; if the queue is still
+//                full it gets Status::kResourceExhausted and keeps its
+//                item. Callers with their own retry/shed logic use this.
+//   * kShed    — the producer fails immediately with kResourceExhausted.
+//                Load shedding for latency-sensitive front ends.
+//
+// Either way the process never OOMs on a slow disk — the queue is the only
+// buffering between producers and the WAL.
+//
+// Close() wakes everyone: producers get kUnavailable-style errors
+// (kReadOnly from the pipeline's latch path), the consumer drains what is
+// left and then sees `closed`. The idiom (bounded ring + condvars + batch
+// drain) follows the producer/consumer pipelines of k-mer counters cited
+// in ROADMAP.md; the BatchPool below is their reusable-buffer-pool trick:
+// drained batches travel to the writer in pooled vectors, so steady-state
+// ingest does zero allocations per batch.
+#ifndef BLOOMSAMPLE_UTIL_INGEST_QUEUE_H_
+#define BLOOMSAMPLE_UTIL_INGEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace bloomsample {
+
+enum class BackpressurePolicy : uint32_t {
+  kBlock = 0,
+  kTimeout = 1,
+  kShed = 2,
+};
+
+/// "block" / "timeout" / "shed".
+inline const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kTimeout:
+      return "timeout";
+    case BackpressurePolicy::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+/// A pool of reusable std::vector<T> batch buffers. Acquire hands out an
+/// empty vector (recycled capacity when available), Release returns it.
+/// Thread-safe; the pool never shrinks below what was released into it, so
+/// a steady-state pipeline cycles the same few allocations forever.
+template <typename T>
+class BatchPool {
+ public:
+  std::vector<T> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return {};
+    std::vector<T> batch = std::move(free_.back());
+    free_.pop_back();
+    batch.clear();  // keeps capacity
+    return batch;
+  }
+
+  void Release(std::vector<T> batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(batch));
+  }
+
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<T>> free_;
+};
+
+template <typename T>
+class IngestQueue {
+ public:
+  struct Options {
+    size_t capacity = 4096;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// For kTimeout: how long a producer waits before giving up.
+    std::chrono::milliseconds timeout{10};
+  };
+
+  explicit IngestQueue(Options options) : options_(std::move(options)) {
+    BSR_CHECK(options_.capacity > 0, "ingest queue capacity must be > 0");
+  }
+
+  /// Producer side. Applies the backpressure policy when full; after
+  /// Close() every push fails with kReadOnly (the pipeline closes queues
+  /// exactly when it latches or shuts down, so producers see the same
+  /// status either way).
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!WaitForSpace(lock)) {
+      if (closed_) {
+        return Status::ReadOnly("ingest queue is closed");
+      }
+      ++shed_;
+      return Status::ResourceExhausted(
+          options_.policy == BackpressurePolicy::kShed
+              ? "ingest queue full (shed)"
+              : "ingest queue full (timed out waiting for space)");
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    consumer_cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Consumer side: blocks until at least one item or the queue is closed,
+  /// then moves up to `max_batch` items into *out (appended; pass a pooled
+  /// empty vector). Returns false when the queue is closed AND drained —
+  /// the writer thread's exit condition.
+  bool PopBatch(size_t max_batch, std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    const size_t take = items_.size() < max_batch ? items_.size() : max_batch;
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    // All blocked producers race for the freed slots; notify_all because
+    // a batch frees many.
+    producer_cv_.notify_all();
+    return true;
+  }
+
+  /// Wakes every waiter; subsequent Push fails, PopBatch drains then
+  /// returns false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Pushes rejected by backpressure (kTimeout expiries + kShed refusals).
+  uint64_t shed_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// True when a slot is available; false on policy give-up or close.
+  bool WaitForSpace(std::unique_lock<std::mutex>& lock) {
+    if (closed_) return false;
+    if (items_.size() < options_.capacity) return true;
+    switch (options_.policy) {
+      case BackpressurePolicy::kShed:
+        return false;
+      case BackpressurePolicy::kTimeout:
+        producer_cv_.wait_for(lock, options_.timeout, [&] {
+          return closed_ || items_.size() < options_.capacity;
+        });
+        return !closed_ && items_.size() < options_.capacity;
+      case BackpressurePolicy::kBlock:
+        producer_cv_.wait(lock, [&] {
+          return closed_ || items_.size() < options_.capacity;
+        });
+        return !closed_;
+    }
+    return false;
+  }
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_UTIL_INGEST_QUEUE_H_

@@ -25,6 +25,15 @@ class Status {
     kOutOfRange,
     kUnsupported,
     kInternal,
+    /// A bounded resource (ingest queue, retry budget) is full; the caller
+    /// may back off and retry. The backpressure signal of the ingest
+    /// pipeline's kTimeout / kShed policies.
+    kResourceExhausted,
+    /// The writer latched read-only after an unrecoverable I/O failure
+    /// (failed WAL append/fsync that repair could not fix). Reads keep
+    /// working; every later mutation fails fast with this code until the
+    /// artifact is reopened.
+    kReadOnly,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +54,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(Code::kReadOnly, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -61,6 +76,8 @@ class Status {
       case Code::kOutOfRange: name = "OutOfRange"; break;
       case Code::kUnsupported: name = "Unsupported"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+      case Code::kReadOnly: name = "ReadOnly"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -21,11 +21,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/bloom_sample_forest.h"
+#include "src/core/ingest_pipeline.h"
 #include "src/core/tree_io.h"
 #include "src/core/wal.h"
 #include "src/util/fault_fs.h"
@@ -417,6 +421,223 @@ TEST(CrashMatrixTest, ForestCompactionDiesAtEveryKillPoint) {
     }
     std::sort(occupied.begin(), occupied.end());
     EXPECT_EQ(occupied, expected) << "kill=" << kill;
+  }
+}
+
+/// Disjoint per-writer id streams for the concurrent matrix (all avoid
+/// the base residue 5 mod 27 and each other by residue class mod 4).
+std::vector<uint64_t> ConcurrentWriterIds(int writer) {
+  std::vector<uint64_t> ids;
+  for (uint64_t x = 0; x < 4096 && ids.size() < 10; ++x) {
+    if (x % 4 != static_cast<uint64_t>(writer)) continue;
+    if (x % 27 == 5) continue;
+    ids.push_back(x * 37 % 4096 / 4 * 4 + writer);  // scatter, keep residue
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<uint64_t> filtered;
+  for (uint64_t id : ids) {
+    if (id % 27 != 5) filtered.push_back(id);
+  }
+  return filtered;
+}
+
+TEST(CrashMatrixTest, ConcurrentIngestDiesAtEveryKillPoint) {
+  // The tentpole fence: 4 writer threads through the ingest pipeline,
+  // killed at every filesystem operation — INCLUDING mid-group-commit,
+  // since concurrent committers form multi-batch fsync groups — for every
+  // sync policy. Under kEveryRecord recovery must hold EXACTLY base ∪
+  // acknowledged; under kInterval/kNone the sandwich base ⊆ recovered ⊆
+  // base ∪ attempted (the policy's bounded-loss window). Both load modes
+  // must agree bit for bit.
+  constexpr int kWriters = 4;
+  const std::string path = TempPath("crash_concurrent.bst");
+  const std::string wal_path = WalPathFor(path);
+  auto built = BloomSampleTree::BuildPruned(GoldenConfig(), BaseOccupied());
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(SaveTreeToFile(built.value(), path).ok());
+  const std::string snapshot_bytes = ReadFileBytes(path);
+
+  std::vector<uint64_t> attempted_union;
+  for (int w = 0; w < kWriters; ++w) {
+    const auto ids = ConcurrentWriterIds(w);
+    attempted_union.insert(attempted_union.end(), ids.begin(), ids.end());
+  }
+  const std::vector<uint64_t> max_state =
+      SortedUnion(BaseOccupied(), attempted_union);
+
+  for (const WalSyncPolicy policy :
+       {WalSyncPolicy::kEveryRecord, WalSyncPolicy::kInterval,
+        WalSyncPolicy::kNone}) {
+    auto run = [&](FaultInjectingFileSystem* fs,
+                   std::vector<uint64_t>* acked) {
+      LoadOptions load_options;
+      load_options.fs = fs;
+      auto loaded = LoadTreeFromFile(path, load_options);
+      if (!loaded.ok()) return;
+      IngestPipelineOptions options;
+      options.wal.policy = policy;
+      options.wal.sync_interval = 4;
+      options.wal.fs = fs;
+      options.save.fs = fs;
+      options.commit.max_repair_attempts = 2;
+      options.commit.backoff_base = std::chrono::microseconds(1);
+      auto pipeline = IngestPipeline::OpenTree(
+          std::make_shared<BloomSampleTree>(std::move(loaded).value()),
+          path, options);
+      if (!pipeline.ok()) return;
+      IngestPipeline& pipe = *pipeline.value();
+      std::mutex acked_mu;
+      std::vector<std::thread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+          for (uint64_t id : ConcurrentWriterIds(w)) {
+            if (!pipe.Insert(id).ok()) return;  // died mid-stream
+            std::lock_guard<std::mutex> lock(acked_mu);
+            acked->push_back(id);
+          }
+        });
+      }
+      for (auto& t : writers) t.join();
+      (void)pipe.Close();  // post-crash close errors are expected
+    };
+
+    auto restore = [&]() {
+      WriteFileBytes(path, snapshot_bytes);
+      std::remove(wal_path.c_str());
+      std::remove(OldWalPathFor(path).c_str());
+    };
+
+    restore();
+    uint64_t total_ops = 0;
+    {
+      FaultInjectingFileSystem fs;
+      std::vector<uint64_t> acked;
+      run(&fs, &acked);
+      ASSERT_EQ(SortedUnion({}, acked).size(), attempted_union.size());
+      total_ops = fs.op_count();
+    }
+    ASSERT_GT(total_ops, 0u);
+
+    // Thread interleaving varies the per-run op count; kill points past a
+    // given run's end simply never fire (SimulateCrash covers them).
+    for (uint64_t kill = 1; kill <= total_ops + 1; ++kill) {
+      restore();
+      FaultInjectingFileSystem fs;
+      fs.CrashAtOp(kill);
+      std::vector<uint64_t> acked;
+      run(&fs, &acked);
+      if (!fs.crashed()) fs.SimulateCrash();
+
+      LoadOptions heap;
+      heap.mode = LoadMode::kHeap;
+      auto recovered = LoadTreeFromFile(path, heap);
+      ASSERT_TRUE(recovered.ok())
+          << "policy=" << WalSyncPolicyName(policy) << " kill=" << kill
+          << ": " << recovered.status().ToString();
+      const std::vector<uint64_t>& occupied = recovered.value().occupied();
+
+      if (policy == WalSyncPolicy::kEveryRecord) {
+        // Exactness: acknowledged ⟺ durable, nothing else.
+        EXPECT_EQ(occupied, SortedUnion(BaseOccupied(), acked))
+            << "policy=every kill=" << kill;
+      } else {
+        // Sandwich: nothing below base, nothing beyond what was tried.
+        const std::vector<uint64_t> base = BaseOccupied();
+        EXPECT_TRUE(std::includes(occupied.begin(), occupied.end(),
+                                  base.begin(), base.end()))
+            << "policy=" << WalSyncPolicyName(policy) << " kill=" << kill;
+        EXPECT_TRUE(std::includes(max_state.begin(), max_state.end(),
+                                  occupied.begin(), occupied.end()))
+            << "policy=" << WalSyncPolicyName(policy) << " kill=" << kill;
+      }
+
+      LoadOptions mmap;
+      mmap.mode = LoadMode::kMmap;
+      auto recovered_mmap = LoadTreeFromFile(path, mmap);
+      ASSERT_TRUE(recovered_mmap.ok()) << "kill=" << kill;
+      ExpectTreesIdentical(recovered.value(), recovered_mmap.value());
+    }
+  }
+}
+
+TEST(CrashMatrixTest, PipelineCompactionDiesAtEveryKillPoint) {
+  // Background compaction's rotate → save → delete-.wal.old sequence,
+  // killed at every operation. The pre-state (image + 12-record log) must
+  // recover IN FULL at every kill point: rotation happens before the
+  // snapshot, so the frozen .wal.old is always ⊆ the new image, and the
+  // loaders replay .wal.old before .wal.
+  const std::string path = TempPath("crash_pipe_compact.bst");
+  const std::string wal_path = WalPathFor(path);
+  const std::vector<uint64_t> extras = ExtraIds();
+
+  {
+    auto built = BloomSampleTree::BuildPruned(GoldenConfig(), BaseOccupied());
+    ASSERT_TRUE(built.ok());
+    BloomSampleTree tree = std::move(built).value();
+    ASSERT_TRUE(SaveTreeToFile(tree, path).ok());
+    ASSERT_TRUE(AttachTreeWal(&tree, path, WalOptions()).ok());
+    for (uint64_t id : extras) ASSERT_TRUE(tree.Insert(id).ok());
+  }
+  const std::string old_image = ReadFileBytes(path);
+  const std::string full_log = ReadFileBytes(wal_path);
+  const std::vector<uint64_t> expected = SortedUnion(BaseOccupied(), extras);
+
+  auto run = [&](FaultInjectingFileSystem* fs) {
+    LoadOptions load_options;
+    load_options.fs = fs;
+    TreeLoadInfo info;
+    auto loaded = LoadTreeFromFile(path, load_options, &info);
+    if (!loaded.ok()) return;
+    IngestPipelineOptions options;
+    options.wal.fs = fs;
+    options.save.fs = fs;
+    options.commit.max_repair_attempts = 1;
+    options.commit.backoff_base = std::chrono::microseconds(1);
+    auto pipeline = IngestPipeline::OpenTree(
+        std::make_shared<BloomSampleTree>(std::move(loaded).value()), path,
+        options, info.wal_records_replayed + 1);
+    if (!pipeline.ok()) return;
+    if (!pipeline.value()->TriggerCompaction().ok()) return;
+    (void)pipeline.value()->WaitCompaction();
+    (void)pipeline.value()->Close();
+  };
+
+  auto restore = [&]() {
+    WriteFileBytes(path, old_image);
+    WriteFileBytes(wal_path, full_log);
+    std::remove(OldWalPathFor(path).c_str());
+    std::remove((path + ".tmp").c_str());
+  };
+
+  restore();
+  uint64_t total_ops = 0;
+  {
+    FaultInjectingFileSystem fs;
+    run(&fs);
+    total_ops = fs.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+
+  for (uint64_t kill = 1; kill <= total_ops + 1; ++kill) {
+    restore();
+    FaultInjectingFileSystem fs;
+    fs.CrashAtOp(kill);
+    run(&fs);
+    if (!fs.crashed()) fs.SimulateCrash();
+
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    auto recovered = LoadTreeFromFile(path, heap);
+    ASSERT_TRUE(recovered.ok())
+        << "kill=" << kill << ": " << recovered.status().ToString();
+    EXPECT_EQ(recovered.value().occupied(), expected) << "kill=" << kill;
+
+    LoadOptions mmap;
+    mmap.mode = LoadMode::kMmap;
+    auto recovered_mmap = LoadTreeFromFile(path, mmap);
+    ASSERT_TRUE(recovered_mmap.ok()) << "kill=" << kill;
+    ExpectTreesIdentical(recovered.value(), recovered_mmap.value());
   }
 }
 

@@ -1,0 +1,174 @@
+// Fences for the bounded MPSC ingest queue and batch-buffer pool
+// (util/ingest_queue.h): FIFO delivery across producers, each
+// backpressure policy's contract when the queue is full (kBlock waits,
+// kTimeout fails with kResourceExhausted after the deadline, kShed fails
+// immediately), close semantics (producers fail with kReadOnly, the
+// consumer drains the backlog then gets the exit signal), and buffer
+// recycling in the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/ingest_queue.h"
+
+namespace bloomsample {
+namespace {
+
+using Queue = IngestQueue<uint64_t>;
+
+Queue::Options SmallQueue(BackpressurePolicy policy, size_t capacity = 4) {
+  Queue::Options options;
+  options.capacity = capacity;
+  options.policy = policy;
+  options.timeout = std::chrono::milliseconds(5);
+  return options;
+}
+
+TEST(IngestQueueTest, FifoSingleProducer) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock, 64));
+  for (uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i).ok());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(q.PopBatch(64, &out));
+  ASSERT_EQ(out.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(IngestQueueTest, PopBatchHonorsMaxBatch) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock, 64));
+  for (uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i).ok());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(q.PopBatch(3, &out));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(q.size(), 7u);
+  // Appended, not overwritten: a pooled buffer accumulates.
+  ASSERT_TRUE(q.PopBatch(3, &out));
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[3], 3u);
+}
+
+TEST(IngestQueueTest, ShedPolicyFailsFastWhenFull) {
+  Queue q(SmallQueue(BackpressurePolicy::kShed));
+  for (uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i).ok());
+  const Status st = q.Push(99);
+  EXPECT_EQ(st.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(q.shed_count(), 1u);
+  // A freed slot accepts again.
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(q.PopBatch(1, &out));
+  EXPECT_TRUE(q.Push(99).ok());
+}
+
+TEST(IngestQueueTest, TimeoutPolicyExpiresThenSucceedsAfterSpace) {
+  Queue q(SmallQueue(BackpressurePolicy::kTimeout));
+  for (uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = q.Push(99);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(st.code(), Status::Code::kResourceExhausted);
+  EXPECT_GE(waited, std::chrono::milliseconds(4));
+  EXPECT_EQ(q.shed_count(), 1u);
+
+  // With a consumer draining, the push lands once the slot opens. Under a
+  // loaded scheduler the consumer may not run within one 5 ms window, so
+  // each expiry is retried — the contract is "timeout then success", not
+  // "success on the first window".
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::vector<uint64_t> out;
+    q.PopBatch(2, &out);
+  });
+  Status retried = q.Push(99);
+  while (retried.code() == Status::Code::kResourceExhausted) {
+    retried = q.Push(99);
+  }
+  EXPECT_TRUE(retried.ok()) << retried.ToString();
+  consumer.join();
+}
+
+TEST(IngestQueueTest, BlockPolicyWaitsForSpace) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock));
+  for (uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(99).ok());  // blocks until the consumer drains
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(q.PopBatch(1, &out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.shed_count(), 0u);
+}
+
+TEST(IngestQueueTest, CloseFailsProducersAndDrainsConsumer) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock, 64));
+  for (uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i).ok());
+  q.Close();
+  q.Close();  // idempotent
+  EXPECT_EQ(q.Push(99).code(), Status::Code::kReadOnly);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(q.PopBatch(64, &out));  // backlog still delivered
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_FALSE(q.PopBatch(64, &out));  // then the exit signal
+}
+
+TEST(IngestQueueTest, CloseWakesBlockedProducer) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock));
+  for (uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i).ok());
+  std::thread producer([&] {
+    EXPECT_EQ(q.Push(99).code(), Status::Code::kReadOnly);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.Close();
+  producer.join();
+}
+
+TEST(IngestQueueTest, ManyProducersDeliverEverythingExactlyOnce) {
+  Queue q(SmallQueue(BackpressurePolicy::kBlock, 32));
+  constexpr int kProducers = 8;
+  constexpr uint64_t kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&q, t] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(t * kPerProducer + i).ok());
+      }
+    });
+  }
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> out;
+  while (seen.size() < kProducers * kPerProducer) {
+    out.clear();
+    ASSERT_TRUE(q.PopBatch(64, &out));
+    for (uint64_t v : out) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate delivery of " << v;
+    }
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BatchPoolTest, RecyclesBuffers) {
+  BatchPool<uint64_t> pool;
+  std::vector<uint64_t> a = pool.Acquire();
+  EXPECT_TRUE(a.empty());
+  a.reserve(128);
+  const uint64_t* data = a.data();
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.free_count(), 1u);
+  std::vector<uint64_t> b = pool.Acquire();
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 128u);  // same buffer, capacity kept
+  EXPECT_EQ(b.data(), data);
+}
+
+}  // namespace
+}  // namespace bloomsample

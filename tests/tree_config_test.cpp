@@ -129,12 +129,19 @@ TEST(TreeConfigTest, MakeConfigRejectsBadAccuracy) {
 }
 
 TEST(TreeConfigTest, MeasuredCostModelIsSane) {
-  const CostModel model =
-      MeasureCostModel(HashFamilyKind::kSimple, 60870, 3, 42);
-  EXPECT_GT(model.membership_cost, 0.0);
-  EXPECT_GT(model.intersection_cost, 0.0);
   // An intersection touches ~1000 words; it must cost more than a 3-probe
-  // membership query on any real machine.
+  // membership query on any real machine. The measurement is wall-clock,
+  // though, and under a loaded scheduler (parallel ctest) a preemption
+  // inside the short membership loop can invert one sample — so assert
+  // best-of-N, which is noise-robust while still failing on a machine
+  // where the inequality genuinely doesn't hold.
+  CostModel model;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    model = MeasureCostModel(HashFamilyKind::kSimple, 60870, 3, 42);
+    ASSERT_GT(model.membership_cost, 0.0);
+    ASSERT_GT(model.intersection_cost, 0.0);
+    if (model.Ratio() > 1.0) break;
+  }
   EXPECT_GT(model.Ratio(), 1.0);
 }
 

@@ -26,8 +26,11 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/baselines/dictionary_attack.h"
@@ -36,6 +39,7 @@
 #include "src/core/bloom_sample_forest.h"
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
+#include "src/core/ingest_pipeline.h"
 #include "src/core/tree_io.h"
 #include "src/core/wal.h"
 #include "src/util/timer.h"
@@ -197,6 +201,9 @@ Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
 //   5  success, but WAL replay amputated a corrupt log tail — everything
 //      before the tear was recovered; `bsr compact` folds the survivors
 //      into the image and empties the log
+//   6  the writer latched read-only: an fsync/append failure exhausted
+//      the repair budget, so durability can no longer be promised — the
+//      log holds exactly the acknowledged prefix; reads still serve
 // ---------------------------------------------------------------------------
 int g_snapshot_exit_hint = 0;    // 3 or 4, set by the load helpers
 bool g_wal_recovered = false;    // turns a successful run's 0 into 5
@@ -780,6 +787,31 @@ Result<WalOptions> ParseWalFlags(const Flags& flags) {
   return options;
 }
 
+/// Concurrent ingest through the IngestPipeline: `threads` writers share
+/// fsyncs via leader–follower group commit, so `--sync every` keeps its
+/// per-record durability guarantee at a fraction of the fsync count. Used
+/// by `bsr insert --threads T` (T > 1).
+Status RunPipelineInsert(IngestPipeline* pipeline,
+                         const std::vector<uint64_t>& ids, uint64_t threads) {
+  std::mutex mu;
+  Status first;
+  std::vector<std::thread> writers;
+  for (uint64_t t = 0; t < threads; ++t) {
+    writers.emplace_back([&, t] {
+      for (size_t i = t; i < ids.size(); i += threads) {
+        const Status st = pipeline->Insert(ids[i]);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first.ok()) first = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  return first;
+}
+
 Status CmdInsert(const Flags& flags) {
   auto tree_path = flags.Require("tree");
   if (!tree_path.ok()) return tree_path.status();
@@ -787,6 +819,11 @@ Status CmdInsert(const Flags& flags) {
   if (!ids_path.ok()) return ids_path.status();
   auto wal_options = ParseWalFlags(flags);
   if (!wal_options.ok()) return wal_options.status();
+  auto threads = flags.GetU64("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() == 0) {
+    threads = static_cast<uint64_t>(std::thread::hardware_concurrency());
+  }
   auto ids = ReadIdFile(ids_path.value());
   if (!ids.ok()) return ids.status();
 
@@ -796,6 +833,59 @@ Status CmdInsert(const Flags& flags) {
   Timer timer;
   uint64_t before = 0;
   uint64_t after = 0;
+  if (threads.value() > 1) {
+    // Concurrent path: writer threads share fsyncs through group commit.
+    IngestPipelineOptions options;
+    options.wal = wal_options.value();
+    IngestPipelineStats stats;
+    if (IsForestManifest(tree_path.value())) {
+      ForestLoadInfo info;
+      auto forest = LoadForestForCli(flags, tree_path.value(), &info);
+      if (!forest.ok()) return forest.status();
+      auto pipeline = IngestPipeline::OpenForest(&forest.value(),
+                                                 tree_path.value(), options,
+                                                 &info);
+      if (!pipeline.ok()) return pipeline.status();
+      before = forest.value().occupied_count();
+      const Status ran = RunPipelineInsert(pipeline.value().get(),
+                                           ids.value(), threads.value());
+      stats = pipeline.value()->Stats();
+      const Status closed = pipeline.value()->Close();
+      if (!ran.ok()) return ran;
+      if (!closed.ok()) return closed;
+      after = forest.value().occupied_count();
+    } else {
+      TreeLoadInfo info;
+      auto loaded = LoadTreeForCli(flags, tree_path.value(), &info);
+      if (!loaded.ok()) return loaded.status();
+      auto tree =
+          std::make_shared<BloomSampleTree>(std::move(loaded).value());
+      before = tree->occupied().size();
+      auto pipeline = IngestPipeline::OpenTree(
+          tree, tree_path.value(), options, info.wal_records_replayed + 1);
+      if (!pipeline.ok()) return pipeline.status();
+      const Status ran = RunPipelineInsert(pipeline.value().get(),
+                                           ids.value(), threads.value());
+      stats = pipeline.value()->Stats();
+      const Status closed = pipeline.value()->Close();
+      if (!ran.ok()) return ran;
+      if (!closed.ok()) return closed;
+      after = pipeline.value()->tree_handle()->occupied().size();
+    }
+    std::printf(
+        "ingested %zu ids (%llu new, %llu already present) in %.2f ms via "
+        "%llu writers (sync=%s, %llu commit groups, %llu fsyncs) -> %s\n",
+        ids.value().size(), static_cast<unsigned long long>(after - before),
+        static_cast<unsigned long long>(ids.value().size() -
+                                        (after - before)),
+        timer.ElapsedMillis(),
+        static_cast<unsigned long long>(threads.value()),
+        WalSyncPolicyName(wal_options.value().policy),
+        static_cast<unsigned long long>(stats.commit_groups),
+        static_cast<unsigned long long>(stats.fsyncs),
+        tree_path.value().c_str());
+    return Status::OK();
+  }
   if (IsForestManifest(tree_path.value())) {
     ForestLoadInfo info;
     auto forest = LoadForestForCli(flags, tree_path.value(), &info);
@@ -840,6 +930,76 @@ Status CmdInsert(const Flags& flags) {
               static_cast<unsigned long long>(after - before),
               static_cast<unsigned long long>(ids.value().size() -
                                               (after - before)),
+              timer.ElapsedMillis(),
+              WalSyncPolicyName(wal_options.value().policy),
+              tree_path.value().c_str());
+  return Status::OK();
+}
+
+Status CmdRemove(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto ids_path = flags.Require("ids");
+  if (!ids_path.ok()) return ids_path.status();
+  auto wal_options = ParseWalFlags(flags);
+  if (!wal_options.ok()) return wal_options.status();
+  auto ids = ReadIdFile(ids_path.value());
+  if (!ids.ok()) return ids.status();
+
+  // Plain Bloom filters cannot unset bits, so removes need the counting-
+  // bloom leaf backend. Snapshots do not persist it; enabling it here
+  // rebuilds exact per-leaf counters from the occupied set, and replay
+  // auto-enables it again when it meets the first kRemove record.
+  Timer timer;
+  uint64_t before = 0;
+  uint64_t after = 0;
+  if (IsForestManifest(tree_path.value())) {
+    ForestLoadInfo info;
+    auto forest = LoadForestForCli(flags, tree_path.value(), &info);
+    if (!forest.ok()) return forest.status();
+    const Status attached = AttachForestWals(&forest.value(),
+                                             tree_path.value(),
+                                             wal_options.value(), &info);
+    if (!attached.ok()) return attached;
+    const Status counting = forest.value().EnableCountingLeaves();
+    if (!counting.ok()) return counting;
+    before = forest.value().occupied_count();
+    for (uint64_t id : ids.value()) {
+      const Status removed = forest.value().Remove(id);
+      if (!removed.ok()) return removed;
+    }
+    after = forest.value().occupied_count();
+    for (uint32_t s = 0; s < forest.value().shard_count(); ++s) {
+      BloomSampleTree* shard = forest.value().mutable_shard(s);
+      if (shard->wal() != nullptr) {
+        const Status synced = shard->wal()->Sync();
+        if (!synced.ok()) return synced;
+      }
+    }
+  } else {
+    TreeLoadInfo info;
+    auto tree = LoadTreeForCli(flags, tree_path.value(), &info);
+    if (!tree.ok()) return tree.status();
+    const Status attached = AttachTreeWal(&tree.value(), tree_path.value(),
+                                          wal_options.value(), &info);
+    if (!attached.ok()) return attached;
+    const Status counting = tree.value().EnableCountingLeaves();
+    if (!counting.ok()) return counting;
+    before = tree.value().occupied().size();
+    for (uint64_t id : ids.value()) {
+      const Status removed = tree.value().Remove(id);
+      if (!removed.ok()) return removed;
+    }
+    after = tree.value().occupied().size();
+    const Status synced = tree.value().wal()->Sync();
+    if (!synced.ok()) return synced;
+  }
+  std::printf("removed %llu of %zu ids (%llu were absent) in %.2f ms via "
+              "wal (sync=%s, counting-bloom leaves) -> %s\n",
+              static_cast<unsigned long long>(before - after),
+              ids.value().size(),
+              static_cast<unsigned long long>(ids.value().size() -
+                                              (before - after)),
               timer.ElapsedMillis(),
               WalSyncPolicyName(wal_options.value().policy),
               tree_path.value().c_str());
@@ -919,9 +1079,20 @@ commands:
                                          it is acknowledged)
                [--interval N]           (records per fsync for --sync
                                          interval; default 64)
+               [--threads T]            (T > 1: concurrent writers through
+                                         the ingest pipeline — group
+                                         commit shares fsyncs, so --sync
+                                         every keeps per-record durability
+                                         at a fraction of the fsync count;
+                                         0 = all cores)
                Appends to the sidecar write-ahead log (T.bst.wal); the
                snapshot image is untouched and the next open replays the
                log. Works on forest manifests (per-shard logs).
+  remove       --tree T.bst --ids ids.txt
+               [--sync every|interval|none] [--interval N]
+               Logs kRemove records and deletes through the counting-bloom
+               leaf backend (enabled on load: exact counters rebuilt from
+               the occupied set; plain Bloom leaves cannot unset bits).
   compact      --tree T.bst             (fold the wal into the image
                                          atomically and empty the log)
 
@@ -929,7 +1100,9 @@ exit codes:
   0 ok   1 command failed   2 usage   3 snapshot missing   4 snapshot
   corrupt   5 ok, but a corrupt wal tail was amputated during replay
   (records before the tear were recovered; run `bsr compact` to fold
-  them in and clear the log)
+  them in and clear the log)   6 writer latched read-only (an fsync or
+  append failure exhausted the repair budget; acknowledged records are
+  safe in the log, reads still serve)
 
 tree-loading flags (info/store-set/sample/reconstruct/query/insert/compact):
   --mmap      zero-copy mmap the snapshot slab (v2 files; O(ms) open)
@@ -983,7 +1156,10 @@ int Main(int argc, char** argv) {
   } else if (command == "query") {
     status = run({"tree", "filter", "id"}, load_flags, CmdQuery);
   } else if (command == "insert") {
-    status = run({"tree", "ids", "sync", "interval"}, load_flags, CmdInsert);
+    status = run({"tree", "ids", "sync", "interval", "threads"}, load_flags,
+                 CmdInsert);
+  } else if (command == "remove") {
+    status = run({"tree", "ids", "sync", "interval"}, load_flags, CmdRemove);
   } else if (command == "compact") {
     status = run({"tree"}, load_flags, CmdCompact);
   } else if (command == "--help" || command == "-h" || command == "help") {
@@ -997,6 +1173,7 @@ int Main(int argc, char** argv) {
 
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    if (status.code() == Status::Code::kReadOnly) return 6;
     return g_snapshot_exit_hint != 0 ? g_snapshot_exit_hint : 1;
   }
   return g_wal_recovered ? 5 : 0;
