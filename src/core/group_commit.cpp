@@ -83,8 +83,9 @@ uint64_t GroupCommitWal::group_count() const {
 }
 
 uint64_t GroupCommitWal::fsync_count() const {
-  // The writer is touched only by the active leader; taking mu_ here means
-  // we read between leader rounds (or after quiesce — the bench pattern).
+  // mu_ pins wal_ itself (Rotate swaps it under mu_); the count is an
+  // atomic inside WalWriter because the active leader advances it with
+  // mu_ released — Stats() pollers read it during live ingest.
   std::lock_guard<std::mutex> lock(mu_);
   return wal_->sync_count();
 }

@@ -140,6 +140,22 @@ std::shared_lock<std::shared_mutex> IngestPipeline::LockShared(
   return std::shared_lock<std::shared_mutex>(lane.tree_mu);
 }
 
+std::shared_lock<std::shared_mutex> IngestPipeline::LockWindow(
+    const Lane& lane) {
+  // Mirror of LockShared's writer-priority gate: a drain happens once
+  // per compaction and must not starve behind a stream of new windows.
+  while (lane.drain_waiting.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::yield();
+  }
+  return std::shared_lock<std::shared_mutex>(lane.window_mu);
+}
+
+void IngestPipeline::DrainWindows(Lane* lane) {
+  lane->drain_waiting.fetch_add(1, std::memory_order_relaxed);
+  { std::unique_lock<std::shared_mutex> drain(lane->window_mu); }
+  lane->drain_waiting.fetch_sub(1, std::memory_order_relaxed);
+}
+
 Status IngestPipeline::Validate(const Lane& lane,
                                 const WalMutation& mut) const {
   // Refusals must precede logging: a record the live tree would reject
@@ -189,8 +205,15 @@ Status IngestPipeline::Apply(const WalMutation& mut) {
   // (the apply order may differ from the log order); per-id streams that
   // need ordering should go through one thread or the queue path, whose
   // single writer applies in log order.
+  //
+  // The window hold spans the whole LOG→FSYNC→MUTATE sequence so
+  // compaction's post-rotation drain waits out any acknowledgement
+  // against the pre-rotation log whose mutation has not reached the
+  // tree yet (see CompactionBody step 2).
+  std::shared_lock<std::shared_mutex> window = LockWindow(lane);
   const Status st = lane.commit->CommitOne(mut.op, mut.id);
   if (!st.ok()) return st;
+  if (apply_pause_) apply_pause_();
   std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
   return ApplyToTreeLocked(&lane, mut);
 }
@@ -319,6 +342,10 @@ void IngestPipeline::WriterLoop(Lane* lane) {
         // One Commit per drained segment: under kEveryRecord the whole
         // segment shares one fsync even with a single producer — the
         // queue is itself a batching stage in front of group commit.
+        // The rotation window spans commit→apply exactly like the sync
+        // path: compaction cannot snapshot between this segment's
+        // acknowledgement and its tree mutations.
+        std::shared_lock<std::shared_mutex> window = LockWindow(*lane);
         const Status st = lane->commit->Commit(muts);
         if (st.ok()) {
           std::unique_lock<std::shared_mutex> lock = LockExclusive(lane);
@@ -356,26 +383,51 @@ Status IngestPipeline::TriggerCompaction() {
         "background compaction supports single-tree pipelines only; quiesce "
         "a forest with Close() and use CompactForest");
   }
-  FileSystem* fs = FsOrDefault(options_.wal.fs);
-  const std::string old_path = OldWalPathFor(lanes_[0]->path);
-  if (fs->FileExists(old_path)) {
-    return Status::Internal("a previous compaction left " + old_path +
-                            " behind; reopen the artifact to fold it");
-  }
   bool expected = false;
   if (!compaction_running_.compare_exchange_strong(expected, true)) {
     return Status::ResourceExhausted("a compaction is already in flight");
   }
-  if (compaction_thread_.joinable()) compaction_thread_.join();
+  // The flag is ours, so the previous compaction (if any) has finished
+  // its body; reap its thread before starting a new one.
+  std::thread prev;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    prev = std::move(compaction_thread_);
+  }
+  if (prev.joinable()) prev.join();
+  // Check for a stale frozen log only AFTER winning the flag: an
+  // in-flight compaction has already rotated the live log to .wal.old,
+  // and reporting that as a leftover would tell the operator to reopen
+  // a healthy artifact.
+  FileSystem* fs = FsOrDefault(options_.wal.fs);
+  const std::string old_path = OldWalPathFor(lanes_[0]->path);
+  if (fs->FileExists(old_path)) {
+    compaction_running_.store(false);
+    return Status::Internal("a previous compaction left " + old_path +
+                            " behind; reopen the artifact to fold it");
+  }
+  std::lock_guard<std::mutex> lock(compaction_mu_);
   compaction_thread_ = std::thread([this] {
-    compaction_result_ = CompactionBody();
+    const Status result = CompactionBody();
+    {
+      std::lock_guard<std::mutex> lock(compaction_mu_);
+      compaction_result_ = result;
+    }
+    // Publish the result before releasing the flag: a TriggerCompaction
+    // that wins the CAS after this store must observe it.
     compaction_running_.store(false);
   });
   return Status::OK();
 }
 
 Status IngestPipeline::WaitCompaction() {
-  if (compaction_thread_.joinable()) compaction_thread_.join();
+  std::thread done;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    done = std::move(compaction_thread_);
+  }
+  if (done.joinable()) done.join();
+  std::lock_guard<std::mutex> lock(compaction_mu_);
   return compaction_result_;
 }
 
@@ -384,14 +436,25 @@ Status IngestPipeline::CompactionBody() {
   FileSystem* fs = FsOrDefault(options_.wal.fs);
   const std::string old_path = OldWalPathFor(lane.path);
 
-  // 1. Rotate FIRST: every record in the frozen .wal.old predates the
-  // snapshot below, so the image strictly absorbs it — deleting .wal.old
-  // after the image is durable can never lose a record. (Snapshot-first
-  // would leave post-snapshot records stranded in the rotated log.)
+  // 1. Rotate FIRST, so nothing new lands in the frozen log.
+  // (Snapshot-first would leave post-snapshot records stranded in the
+  // rotated log.)
   Status st = lane.commit->Rotate(old_path);
   if (!st.ok()) return st;
 
-  // 2. Snapshot the live state under a brief exclusive hold and open the
+  // 2. Drain the commit→apply windows. Rotation froze the log in LOG
+  // order, but a writer can already hold an acknowledgement against the
+  // frozen log without having mutated the tree: snapshotting now would
+  // miss that mutation, and step 5 would delete its only durable copy.
+  // After the drain every .wal.old record has been applied, so the
+  // snapshot (and the image built from it) strictly absorbs the frozen
+  // log and retiring it can never lose an acknowledged write. Windows
+  // opened after the rotation commit to the FRESH log and are safe on
+  // either side of the snapshot: in `occupied` if applied before it,
+  // else in the delta and replayable from the fresh log.
+  DrainWindows(&lane);
+
+  // 3. Snapshot the live state under a brief exclusive hold and open the
   // delta side-track: mutations applied while we build are recorded and
   // re-applied to the fresh tree at swap.
   TreeConfig config;
@@ -416,20 +479,21 @@ Status IngestPipeline::CompactionBody() {
     return s;
   };
 
-  // 3. Build + save with no lane locks held — ingest and queries proceed.
+  // 4. Build + save with no lane locks held — ingest and queries proceed.
   auto fresh = BloomSampleTree::BuildPruned(config, std::move(occupied),
                                             family);
   if (!fresh.ok()) return abandon(fresh.status());
   st = SaveTreeToFile(fresh.value(), lane.path, options_.save);
   if (!st.ok()) return abandon(st);
 
-  // 4. The image is durable (SaveTreeToFile fences) and is a superset of
-  // .wal.old — retire the frozen log.
+  // 5. The image is durable (SaveTreeToFile fences) and is a superset of
+  // .wal.old (step 2 made that true in apply order) — retire the frozen
+  // log.
   st = fs->RemoveFile(old_path);
   if (st.ok()) st = fs->SyncDirOf(old_path);
   if (!st.ok()) return abandon(st);
 
-  // 5. Swap under the exclusive lock: bring the fresh tree up to date
+  // 6. Swap under the exclusive lock: bring the fresh tree up to date
   // with the delta, install it, and let the old tree retire when the last
   // ReadGuard's refcount drops.
   {
@@ -463,15 +527,20 @@ Status IngestPipeline::CompactionBody() {
 }
 
 Status IngestPipeline::Close() {
-  if (closed_) return Status::OK();
-  closed_ = true;
+  if (closed_.exchange(true)) return Status::OK();
   Status first;
   for (auto& lane : lanes_) lane->queue->Close();
   for (auto& lane : lanes_) {
     if (lane->writer.joinable()) lane->writer.join();
   }
-  if (compaction_thread_.joinable()) {
-    compaction_thread_.join();
+  std::thread compaction;
+  {
+    std::lock_guard<std::mutex> lock(compaction_mu_);
+    compaction = std::move(compaction_thread_);
+  }
+  if (compaction.joinable()) {
+    compaction.join();
+    std::lock_guard<std::mutex> lock(compaction_mu_);
     if (first.ok()) first = compaction_result_;
   }
   for (auto& lane : lanes_) {

@@ -37,6 +37,11 @@
 // serving the old tree —
 //
 //     ROTATE the log (live .wal → .wal.old, fresh .wal at seq 1)
+//   → DRAIN the commit→apply windows: a writer can be acknowledged
+//     against the pre-rotation log without having mutated the tree yet;
+//     the snapshot must absorb every record frozen into .wal.old in
+//     APPLY order, not just log order, or deleting .wal.old would drop
+//     an acknowledged durable write
 //   → SNAPSHOT occupied under a brief exclusive lock; start the delta
 //     side-track (mutations applied during compaction are recorded)
 //   → BUILD + SAVE the new image (atomic temp/fsync/rename/dirsync; no
@@ -54,8 +59,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -197,6 +204,14 @@ class IngestPipeline {
 
   IngestPipelineStats Stats() const;
 
+  /// Test-only sync point: runs in the synchronous Apply path between
+  /// the commit acknowledgement and the tree mutation — inside the
+  /// rotation window, so tests can park a writer in exactly the gap a
+  /// background compaction must drain. Set before spawning writers.
+  void set_apply_pause_for_test(std::function<void()> hook) {
+    apply_pause_ = std::move(hook);
+  }
+
   // --- background compaction (single-tree pipelines) -------------------
 
   /// Starts a background compaction; kResourceExhausted when one is in
@@ -241,6 +256,16 @@ class IngestPipeline {
     /// Compaction side-track, both guarded by tree_mu.
     bool compacting = false;
     std::vector<WalMutation> delta;
+    /// Rotation barrier: every committer holds this shared across its
+    /// whole LOG→FSYNC→MUTATE window; compaction drains it exclusively
+    /// between rotating the log and snapshotting occupied(), so no
+    /// record frozen into .wal.old can still be waiting to mutate the
+    /// tree when the new image is built (see CompactionBody step 2).
+    mutable std::shared_mutex window_mu;
+    /// Same writer-priority gate as writers_waiting: new windows yield
+    /// while a drain waits, so the one-shot drain cannot starve under a
+    /// reader-preferring shared_mutex.
+    mutable std::atomic<uint32_t> drain_waiting{0};
   };
 
   IngestPipeline(IngestPipelineOptions options, uint64_t namespace_size,
@@ -260,6 +285,11 @@ class IngestPipeline {
   static std::shared_lock<std::shared_mutex> LockShared(const Lane& lane);
   /// Caller holds lane.tree_mu exclusive.
   Status ApplyToTreeLocked(Lane* lane, const WalMutation& mut);
+  /// Shared hold over one commit→apply window (see Lane::window_mu).
+  static std::shared_lock<std::shared_mutex> LockWindow(const Lane& lane);
+  /// Blocks until every window open at call time has closed (its
+  /// mutation reached the tree). Caller must hold no lane locks.
+  static void DrainWindows(Lane* lane);
   void WriterLoop(Lane* lane);
   Status CompactionBody();
 
@@ -269,11 +299,22 @@ class IngestPipeline {
   const uint64_t lane_width_;
   std::vector<std::unique_ptr<Lane>> lanes_;
 
+  /// True from a successful TriggerCompaction CAS until the background
+  /// thread has published its result — the only admission gate for a new
+  /// compaction.
   std::atomic<bool> compaction_running_{false};
+  /// Guards compaction_thread_ and compaction_result_: TriggerCompaction,
+  /// WaitCompaction, and Close may race, and the background thread writes
+  /// the result. Threads are moved out under the mutex and joined with it
+  /// released (the thread's epilogue takes it to publish the result).
+  mutable std::mutex compaction_mu_;
   std::thread compaction_thread_;
-  Status compaction_result_;  ///< written by the thread, read after join
+  Status compaction_result_;
 
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
+
+  /// See set_apply_pause_for_test.
+  std::function<void()> apply_pause_;
 };
 
 }  // namespace bloomsample

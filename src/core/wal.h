@@ -47,6 +47,7 @@
 #ifndef BLOOMSAMPLE_CORE_WAL_H_
 #define BLOOMSAMPLE_CORE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -164,8 +165,12 @@ class WalWriter {
   uint64_t next_seq() const { return next_seq_; }
   /// Records appended through this writer (not counting replayed ones).
   uint64_t appended() const { return appended_; }
-  /// Successful fsyncs issued by this writer (bench: group-commit factor).
-  uint64_t sync_count() const { return sync_count_; }
+  /// Successful fsyncs issued by this writer (bench: group-commit
+  /// factor). Atomic so stats pollers (GroupCommitWal::fsync_count) can
+  /// read it while a commit leader is mid-sync.
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -186,7 +191,7 @@ class WalWriter {
   uint64_t next_seq_;
   uint64_t appended_ = 0;
   uint64_t unsynced_ = 0;  ///< appends since the last fsync
-  uint64_t sync_count_ = 0;
+  std::atomic<uint64_t> sync_count_{0};
   bool dead_ = false;  ///< failed append/fsync poisons the tail until Repair
   /// Byte length of the file prefix known durable (content at open +
   /// successfully fenced appends). Repair truncates here.

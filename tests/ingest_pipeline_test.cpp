@@ -17,8 +17,10 @@
 //     replay) and is refused without the counting backend;
 //   * background compaction folds log into image while readers and
 //     writers stay live: reader guards block the swap (never dangle),
-//     retired trees stay valid through outstanding handles, and the
-//     on-disk artifact stays recoverable at the end;
+//     retired trees stay valid through outstanding handles, a commit
+//     acknowledged against the rotated-out log is drained into the
+//     snapshot before the frozen log is deleted, and the on-disk
+//     artifact stays recoverable at the end;
 //   * forest pipelines route mutations to per-shard lanes and recover
 //     shard-for-shard.
 #include <gtest/gtest.h>
@@ -432,12 +434,23 @@ TEST(IngestPipelineTest, BackgroundCompactionUnderLiveTraffic) {
                                  guard.tree().occupied().end()));
     }
   });
+  // Stats() polls fsync_count while commit leaders are mid-sync — the
+  // counter must be readable during live ingest (TSan fences this).
+  // No monotonicity check: the compaction's rotation opens a fresh
+  // writer whose counter restarts.
+  std::atomic<uint64_t> polled{0};
+  std::thread poller([&] {
+    while (!done.load()) {
+      polled.fetch_add(pipe.Stats().fsyncs, std::memory_order_relaxed);
+    }
+  });
 
   ASSERT_TRUE(pipe.TriggerCompaction().ok());
   const Status compacted = pipe.WaitCompaction();
   done.store(true);
   writer.join();
   reader.join();
+  poller.join();
   ASSERT_TRUE(compacted.ok()) << compacted.ToString();
 
   // The frozen epoch is gone, the swap installed a new tree, and the old
@@ -488,6 +501,86 @@ TEST(IngestPipelineTest, ReadGuardBlocksCompactionSwap) {
   }
   compactor.join();
   EXPECT_TRUE(swapped.load());
+  ASSERT_TRUE(pipe.Close().ok());
+}
+
+// Regression: a writer acknowledged against the pre-rotation log but not
+// yet applied to the tree must not lose its record to compaction — the
+// snapshot has to absorb every .wal.old record in APPLY order before the
+// frozen log (the record's only durable copy) is deleted.
+TEST(IngestPipelineTest, CompactionDrainsCommittedButUnappliedWrites) {
+  const std::string path = TempPath("pipe_compact_drain.bst");
+  auto pipeline =
+      IngestPipeline::OpenTree(FreshBase(path), path, DefaultOptions());
+  ASSERT_TRUE(pipeline.ok());
+  IngestPipeline& pipe = *pipeline.value();
+
+  // Park one writer in the gap between its WAL acknowledgement (fsynced
+  // into the current log) and its tree mutation.
+  std::promise<void> committed;
+  std::promise<void> resume;
+  std::future<void> resume_fut = resume.get_future();
+  std::atomic<bool> paused{false};
+  pipe.set_apply_pause_for_test([&] {
+    if (paused.exchange(true)) return;  // only the first Insert parks
+    committed.set_value();
+    resume_fut.wait();
+  });
+  std::thread writer([&] { ASSERT_TRUE(pipe.Insert(7).ok()); });
+  committed.get_future().wait();
+
+  // Compaction rotates the log out from under the parked ack, then must
+  // block in the window drain until the mutation lands.
+  ASSERT_TRUE(pipe.TriggerCompaction().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  resume.set_value();
+  writer.join();
+  ASSERT_TRUE(pipe.WaitCompaction().ok());
+  ASSERT_TRUE(pipe.Close().ok());
+
+  // The acknowledged insert survives a reboot: it is in the compacted
+  // image (or the fresh log) — never only in the deleted .wal.old.
+  auto recovered = LoadTreeFromFile(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(std::binary_search(recovered.value().occupied().begin(),
+                                 recovered.value().occupied().end(), 7u));
+}
+
+// A second TriggerCompaction while one is in flight must say so
+// (kResourceExhausted) — not mistake the in-flight rotation's .wal.old
+// for a stale leftover and tell the operator to reopen a healthy
+// artifact (kInternal).
+TEST(IngestPipelineTest, SecondTriggerDuringCompactionIsResourceExhausted) {
+  const std::string path = TempPath("pipe_compact_double.bst");
+  auto pipeline =
+      IngestPipeline::OpenTree(FreshBase(path), path, DefaultOptions());
+  ASSERT_TRUE(pipeline.ok());
+  IngestPipeline& pipe = *pipeline.value();
+
+  // Park a writer inside its rotation window so the compaction is
+  // guaranteed still in flight (blocked in the drain, after rotating)
+  // when the second trigger lands.
+  std::promise<void> committed;
+  std::promise<void> resume;
+  std::future<void> resume_fut = resume.get_future();
+  std::atomic<bool> paused{false};
+  pipe.set_apply_pause_for_test([&] {
+    if (paused.exchange(true)) return;
+    committed.set_value();
+    resume_fut.wait();
+  });
+  std::thread writer([&] { ASSERT_TRUE(pipe.Insert(9).ok()); });
+  committed.get_future().wait();
+
+  ASSERT_TRUE(pipe.TriggerCompaction().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const Status again = pipe.TriggerCompaction();
+  EXPECT_EQ(again.code(), Status::Code::kResourceExhausted)
+      << again.ToString();
+
+  resume.set_value();
+  writer.join();
+  ASSERT_TRUE(pipe.WaitCompaction().ok());
   ASSERT_TRUE(pipe.Close().ok());
 }
 
