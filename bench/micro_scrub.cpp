@@ -1,0 +1,192 @@
+// Microbenchmark for the online scrubber (core/scrubber.h): what does
+// integrity scanning cost, and does the token bucket actually keep it out
+// of sampler tail latency?
+//
+// Section 1 — offline scrub throughput. One paced pass over a multi-MB
+// snapshot per rate-limit setting:
+//   {"bench": "micro_scrub", "variant": "throughput",
+//    "rate_limit_mb_s": <0 = unthrottled>, "slab_mb": <double>,
+//    "chunks": <N>, "ms": <double>, "scrub_mb_per_sec": <double>}
+// Unthrottled measures the pread+XXH64 ceiling; the limited rows should
+// land within a few percent of their configured rate — that gap is the
+// pacer's accuracy.
+//
+// Section 2 — sampler latency under a live scrubber. A pipeline serves
+// SampleBatch draws on the main thread while the background scrubber
+// re-walks the same file continuously (rescan_interval 0):
+//   {"bench": "micro_scrub", "variant": "sampler_latency",
+//    "scrub": "off" | "paced" | "unthrottled", "rate_limit_mb_s": <N>,
+//    "draws": <N>, "p50_us": <double>, "p99_us": <double>,
+//    "scrub_passes": <N>}
+// The paced row is the product claim: p99 with a rate-limited scrubber
+// should sit on top of the scrub-off row, while unthrottled shows what
+// the limit is protecting against.
+//
+// BSR_BENCH_FULL=1 raises the draw count; quick mode finishes in seconds.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/bst_sampler.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/query_context.h"
+#include "src/core/scrubber.h"
+#include "src/core/tree_io.h"
+#include "src/core/wal.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+
+  // Same shape as micro_ingest: depth 6 caps the pruned tree at 127
+  // nodes, so m = 1e6 bits/node yields a slab in the tens of MB — enough
+  // chunks for the pacer to matter, small enough for quick mode.
+  const uint64_t namespace_size = 1000000;
+  TreeConfig config;
+  config.namespace_size = namespace_size;
+  config.m = 1000000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = env.seed;
+  config.depth = 6;
+
+  std::vector<uint64_t> base;
+  for (uint64_t x = 0; x < namespace_size; x += 100) base.push_back(x);
+
+  auto built = BloomSampleTree::BuildPruned(config, base);
+  BSR_CHECK(built.ok(), "micro_scrub: BuildPruned failed");
+
+  const std::string path = "/tmp/bsr_micro_scrub.bst";
+  std::remove(path.c_str());
+  std::remove(WalPathFor(path).c_str());
+  std::remove(QuarantinePathFor(path).c_str());
+  BSR_CHECK(SaveTreeToFile(built.value(), path).ok(), "micro_scrub: save");
+
+  auto info = ReadSnapshotChunkInfo(path);
+  BSR_CHECK(info.ok(), "micro_scrub: chunk info");
+  const double slab_mb =
+      static_cast<double>(info.value().slab_bytes) / (1024.0 * 1024.0);
+  const uint64_t chunk_count =
+      (info.value().slab_bytes + info.value().chunk_bytes - 1) /
+      info.value().chunk_bytes;
+
+  std::printf("[\n");
+  bool first = true;
+
+  // ---- section 1: offline throughput per rate limit --------------------
+  const std::vector<uint64_t> rates_mb = {0, 256, 64, 16};
+  for (uint64_t rate_mb : rates_mb) {
+    ScrubOptions options;
+    options.rate_limit_bytes_per_sec = rate_mb * 1024 * 1024;
+
+    // Warm the page cache once so the unthrottled row measures hash +
+    // pread, not first-touch disk latency.
+    if (first) {
+      ScrubFileReport warm;
+      BSR_CHECK(ScrubSnapshotFileOnce(path, ScrubOptions{}, &warm).ok(),
+                "micro_scrub: warmup pass");
+    }
+
+    Timer timer;
+    ScrubFileReport report;
+    BSR_CHECK(ScrubSnapshotFileOnce(path, options, &report).ok(),
+              "micro_scrub: scrub pass");
+    const double ms = timer.ElapsedMillis();
+    BSR_CHECK(report.chunks_scanned == chunk_count,
+              "micro_scrub: short scan");
+
+    std::printf("%s  {\"bench\": \"micro_scrub\", \"variant\": "
+                "\"throughput\", \"rate_limit_mb_s\": %" PRIu64
+                ", \"slab_mb\": %.2f, \"chunks\": %" PRIu64
+                ", \"ms\": %.3f, \"scrub_mb_per_sec\": %.1f}",
+                first ? "" : ",\n", rate_mb, slab_mb, chunk_count, ms,
+                slab_mb / (ms / 1e3));
+    first = false;
+  }
+
+  // ---- section 2: sampler tail latency with the scrubber live ----------
+  const uint64_t draws = env.Rounds(/*quick_default=*/400,
+                                    /*full_default=*/4000);
+  struct ScrubMode {
+    const char* name;
+    bool enabled;
+    uint64_t rate_mb;
+  };
+  const std::vector<ScrubMode> modes = {
+      {"off", false, 0},
+      {"paced", true, 16},
+      {"unthrottled", true, 0},
+  };
+
+  std::vector<uint64_t> members;
+  for (uint64_t x = 0; x < namespace_size && members.size() < 40; x += 2500) {
+    members.push_back(x);
+  }
+
+  for (const ScrubMode& mode : modes) {
+    LoadOptions heap;
+    heap.mode = LoadMode::kHeap;
+    auto loaded = LoadTreeFromFile(path, heap);
+    BSR_CHECK(loaded.ok(), "micro_scrub: load");
+    auto tree = std::make_shared<BloomSampleTree>(std::move(loaded).value());
+
+    IngestPipelineOptions options;
+    auto opened = IngestPipeline::OpenTree(tree, path, options);
+    BSR_CHECK(opened.ok(), "micro_scrub: pipeline open");
+    std::unique_ptr<IngestPipeline> pipeline = std::move(opened).value();
+
+    ScrubOptions scrub;
+    scrub.rate_limit_bytes_per_sec = mode.rate_mb * 1024 * 1024;
+    scrub.rescan_interval = std::chrono::milliseconds(0);
+    Scrubber scrubber(pipeline.get(), scrub);
+    if (mode.enabled) scrubber.Start();
+
+    std::vector<double> latencies_us;
+    latencies_us.reserve(draws);
+    for (uint64_t i = 0; i < draws; ++i) {
+      Timer timer;
+      auto guard = pipeline->AcquireRead();
+      const BloomFilter query = guard.tree().MakeQueryFilter(members);
+      QueryContext ctx(guard.tree(), query);
+      BstSampler sampler(&guard.tree());
+      (void)sampler.SampleBatch(&ctx, 8, /*seed=*/i + 1);
+      latencies_us.push_back(timer.ElapsedMillis() * 1e3);
+    }
+
+    scrubber.Stop();
+    const ScrubStats stats = scrubber.stats();
+    BSR_CHECK(pipeline->Close().ok(), "micro_scrub: pipeline close");
+
+    std::sort(latencies_us.begin(), latencies_us.end());
+    std::printf(",\n  {\"bench\": \"micro_scrub\", \"variant\": "
+                "\"sampler_latency\", \"scrub\": \"%s\", "
+                "\"rate_limit_mb_s\": %" PRIu64 ", \"draws\": %" PRIu64
+                ", \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                "\"scrub_passes\": %" PRIu64 "}",
+                mode.name, mode.rate_mb, draws,
+                Percentile(latencies_us, 0.50),
+                Percentile(latencies_us, 0.99), stats.passes);
+  }
+
+  std::printf("\n]\n");
+  std::remove(path.c_str());
+  std::remove(WalPathFor(path).c_str());
+  return 0;
+}

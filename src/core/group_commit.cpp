@@ -55,6 +55,10 @@ Status GroupCommitWal::Rotate(const std::string& rotated_path) {
   if (!st.ok()) {
     latch_ = Status::ReadOnly("log rotation failed, latching read-only: " +
                               st.ToString());
+    latch_cause_ = st;
+    // Mid-rotation state is ambiguous (the log may be half-renamed);
+    // TryRecover refuses it regardless of what errno says.
+    rotation_latched_ = true;
     lock.unlock();
     cv_.notify_all();
     return st;
@@ -70,6 +74,50 @@ bool GroupCommitWal::read_only() const {
 Status GroupCommitWal::read_only_status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return latch_;
+}
+
+Status GroupCommitWal::latch_cause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latch_cause_;
+}
+
+uint64_t GroupCommitWal::recover_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recover_count_;
+}
+
+Status GroupCommitWal::TryRecover() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !leader_active_; });
+  if (latch_.ok()) return Status::OK();
+  if (rotation_latched_) {
+    return Status::Internal(
+        "latched mid-rotation: the log's location is ambiguous, refusing "
+        "automatic recovery (" + latch_cause_.ToString() + ")");
+  }
+  if (wal_ == nullptr) return latch_;  // writer detached; nothing to probe
+  // mu_ held throughout: no leader can start (CommitInternal fails fast on
+  // latch_, and a pre-latch queued waiter needs mu_ to become leader), so
+  // the writer is exclusively ours — same discipline as Rotate.
+  if (wal_->dead()) {
+    Status st = wal_->DropUnsyncedTailRecords(pending_discard_records_);
+    if (!st.ok()) return st;
+    pending_discard_records_ = 0;
+    st = wal_->Repair();
+    if (!st.ok()) return st;
+  }
+  // The repaired descriptor is not trusted until a probe record round-
+  // trips through append AND fsync — fsyncgate taught us a reported
+  // success is the only acceptable evidence, and only for a fresh fd.
+  Status st = wal_->AppendNoSync(WalOp::kNoop, 0);
+  if (st.ok()) st = wal_->Sync();
+  if (!st.ok()) return st;  // writer is dead again; the latch stays
+  latch_ = Status::OK();
+  latch_cause_ = Status::OK();
+  ++recover_count_;
+  lock.unlock();
+  cv_.notify_all();
+  return Status::OK();
 }
 
 uint64_t GroupCommitWal::commit_count() const {
@@ -124,6 +172,7 @@ Status GroupCommitWal::CommitInternal(const std::vector<WalMutation>* muts,
     latch_ = Status::ReadOnly(
         "wal latched read-only after unrecoverable I/O failure: " +
         round.ToString());
+    latch_cause_ = round;
   }
   const bool policy_fences =
       wal_ != nullptr &&
@@ -143,6 +192,22 @@ Status GroupCommitWal::CommitInternal(const std::vector<WalMutation>* muts,
     }
     if (b->result.ok()) ++commit_count_;
     b->done = true;
+  }
+  if (!round.ok()) {
+    // Count the trailing run of NACKed appended records still buffered in
+    // the writer's unsynced tail. TryRecover drops exactly these before
+    // repairing: their committers were told "failed", so re-logging them
+    // would make replay diverge from the acknowledged state. The scan
+    // stops at the last acked batch with bytes in the file — records
+    // before it are spoken for and must be re-appended verbatim.
+    for (auto it = group.rbegin(); it != group.rend(); ++it) {
+      Batch* b = *it;
+      if (!b->result.ok()) {
+        pending_discard_records_ += b->appended;
+      } else if (b->appended > 0) {
+        break;
+      }
+    }
   }
   leader_active_ = false;
   lock.unlock();

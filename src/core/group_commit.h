@@ -85,6 +85,23 @@ class GroupCommitWal {
   /// OK when healthy, else the latch status (kReadOnly with the original
   /// failure in the message).
   Status read_only_status() const;
+  /// OK when healthy, else the ORIGINAL failure that caused the latch —
+  /// code and sys_errno() preserved, not rewrapped as kReadOnly. The lane
+  /// recovery supervisor classifies transient-vs-permanent from this.
+  Status latch_cause() const;
+
+  /// Attempts to clear a read-only latch: waits for any active leader,
+  /// repairs the writer on a fresh descriptor (WalWriter::Repair — never
+  /// re-fsync a poisoned fd), then proves the log is writable again by
+  /// appending and fsyncing one WalOp::kNoop probe record. Only on a
+  /// fully round-tripped probe does the latch clear; queued committers
+  /// then proceed normally. Fails with the probe's error otherwise (the
+  /// latch stays, sys_errno() tells the supervisor why). No-op when not
+  /// latched.
+  Status TryRecover();
+
+  /// Latches successfully cleared by TryRecover over this object's life.
+  uint64_t recover_count() const;
 
   /// Commit() calls that returned OK / leader rounds executed — the
   /// batching factor is commit_count()/group_count().
@@ -124,9 +141,15 @@ class GroupCommitWal {
   std::condition_variable cv_;
   std::deque<Batch*> queue_;
   bool leader_active_ = false;
-  Status latch_;  ///< OK while healthy; kReadOnly once latched
+  Status latch_;        ///< OK while healthy; kReadOnly once latched
+  Status latch_cause_;  ///< the original failure behind latch_ (errno intact)
+  bool rotation_latched_ = false;  ///< latch from Rotate — unrecoverable
+  /// Trailing NACKed records still in the writer's unsynced tail, counted
+  /// at latch time; TryRecover drops them before repairing.
+  uint64_t pending_discard_records_ = 0;
   uint64_t commit_count_ = 0;
   uint64_t group_count_ = 0;
+  uint64_t recover_count_ = 0;
 };
 
 }  // namespace bloomsample

@@ -1,5 +1,6 @@
 #include "src/core/ingest_pipeline.h"
 
+#include <cerrno>
 #include <utility>
 
 namespace bloomsample {
@@ -65,9 +66,7 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::OpenTree(
                                              p->options_.backpressure,
                                              p->options_.backpressure_timeout});
   p->lanes_.push_back(std::move(lane));
-  for (auto& l : p->lanes_) {
-    l->writer = std::thread(&IngestPipeline::WriterLoop, p.get(), l.get());
-  }
+  StartThreads(p.get());
   return p;
 }
 
@@ -108,10 +107,17 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::OpenForest(
             p->options_.backpressure_timeout});
     p->lanes_.push_back(std::move(lane));
   }
-  for (auto& l : p->lanes_) {
-    l->writer = std::thread(&IngestPipeline::WriterLoop, p.get(), l.get());
-  }
+  StartThreads(p.get());
   return p;
+}
+
+void IngestPipeline::StartThreads(IngestPipeline* p) {
+  for (auto& l : p->lanes_) {
+    l->writer = std::thread(&IngestPipeline::WriterLoop, p, l.get());
+  }
+  if (p->options_.recovery.enabled) {
+    p->supervisor_ = std::thread(&IngestPipeline::SupervisorLoop, p);
+  }
 }
 
 IngestPipeline::~IngestPipeline() { Close(); }
@@ -160,6 +166,10 @@ Status IngestPipeline::Validate(const Lane& lane,
                                 const WalMutation& mut) const {
   // Refusals must precede logging: a record the live tree would reject
   // must never reach the log, or replay would apply what ingest refused.
+  if (lane.quarantined.load(std::memory_order_relaxed)) {
+    return Status::Quarantined(
+        "lane is quarantined after unrepairable snapshot corruption");
+  }
   if (mut.id >= namespace_size_) {
     return Status::OutOfRange("mutation id outside the namespace");
   }
@@ -220,6 +230,10 @@ Status IngestPipeline::Apply(const WalMutation& mut) {
 
 Status IngestPipeline::Push(const WalMutation& mut) {
   Lane& lane = *lanes_[LaneOf(mut.id)];
+  if (lane.quarantined.load(std::memory_order_relaxed)) {
+    return Status::Quarantined(
+        "lane is quarantined after unrepairable snapshot corruption");
+  }
   if (lane.commit->read_only()) return lane.commit->read_only_status();
   Pending p;
   p.mut = mut;
@@ -305,13 +319,114 @@ Status IngestPipeline::read_only_status() const {
 
 IngestPipelineStats IngestPipeline::Stats() const {
   IngestPipelineStats stats;
-  for (const auto& lane : lanes_) {
-    stats.committed_batches += lane->commit->commit_count();
-    stats.commit_groups += lane->commit->group_count();
-    stats.fsyncs += lane->commit->fsync_count();
-    stats.shed += lane->queue->shed_count();
+  for (uint32_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = *lanes_[i];
+    stats.committed_batches += lane.commit->commit_count();
+    stats.commit_groups += lane.commit->group_count();
+    stats.fsyncs += lane.commit->fsync_count();
+    stats.shed += lane.queue->shed_count();
+    LaneStatusInfo info;
+    info.lane = i;
+    info.read_only = lane.commit->read_only();
+    info.quarantined = lane.quarantined.load(std::memory_order_relaxed);
+    const Status cause = lane.commit->latch_cause();
+    info.latch_message = cause.message();
+    info.latch_errno = cause.sys_errno();
+    info.recover_attempts =
+        lane.recover_attempts.load(std::memory_order_relaxed);
+    info.recover_successes = lane.commit->recover_count();
+    info.recovery_gave_up =
+        lane.recovery_gave_up.load(std::memory_order_relaxed);
+    stats.lanes.push_back(std::move(info));
   }
   return stats;
+}
+
+const std::string& IngestPipeline::lane_path(uint32_t lane) const {
+  BSR_CHECK(lane < lanes_.size(), "lane index out of range");
+  return lanes_[lane]->path;
+}
+
+Status IngestPipeline::Quarantine(uint32_t lane, const std::string& reason) {
+  BSR_CHECK(lane < lanes_.size(), "lane index out of range");
+  Lane& l = *lanes_[lane];
+  // Marker first: only once the NEXT open is guaranteed to fail fast is
+  // the in-memory fail-fast turned on. The reverse order could lose the
+  // quarantine to a crash and reopen a known-bad image cleanly.
+  const Status st = WriteQuarantineMarker(
+      l.path, reason, FsOrDefault(options_.wal.fs));
+  if (!st.ok()) return st;
+  l.quarantined.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool IngestPipeline::lane_quarantined(uint32_t lane) const {
+  BSR_CHECK(lane < lanes_.size(), "lane index out of range");
+  return lanes_[lane]->quarantined.load(std::memory_order_relaxed);
+}
+
+void IngestPipeline::SupervisorLoop() {
+  struct LaneRecoveryState {
+    uint64_t attempts = 0;  ///< cumulative — flapping converges to sticky
+    uint32_t backoff_shift = 0;
+    std::chrono::steady_clock::time_point next_probe{};
+  };
+  const LaneRecoveryOptions& opts = options_.recovery;
+  FileSystem* fs = FsOrDefault(options_.wal.fs);
+  std::vector<LaneRecoveryState> state(lanes_.size());
+
+  std::unique_lock<std::mutex> lock(supervisor_mu_);
+  while (!stop_supervisor_) {
+    supervisor_cv_.wait_for(lock, opts.poll_interval,
+                            [&] { return stop_supervisor_; });
+    if (stop_supervisor_) break;
+    lock.unlock();
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      Lane& lane = *lanes_[i];
+      LaneRecoveryState& rec = state[i];
+      if (!lane.commit->read_only() ||
+          lane.recovery_gave_up.load(std::memory_order_relaxed) ||
+          lane.quarantined.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      // Classify by the ORIGINAL failure's errno, never its message text.
+      // EINTR/EAGAIN: scheduler/signal noise — probe right away. ENOSPC:
+      // recoverable by definition once space frees, so wait (without
+      // burning budget) until the watermark says a probe can pass. EIO or
+      // no errno at all: per fsyncgate the kernel may have dropped dirty
+      // pages already — no probe can make that data safe, stay latched.
+      const int err = lane.commit->latch_cause().sys_errno();
+      if (err == ENOSPC) {
+        auto free_space = fs->FreeSpace(lane.path);
+        if (!free_space.ok() || free_space.value() < opts.min_free_bytes) {
+          continue;  // disk still full — not permanent, not probeable yet
+        }
+      } else if (err != EINTR && err != EAGAIN) {
+        lane.recovery_gave_up.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now < rec.next_probe) continue;
+      if (rec.attempts >= opts.max_attempts) {
+        lane.recovery_gave_up.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      ++rec.attempts;
+      lane.recover_attempts.fetch_add(1, std::memory_order_relaxed);
+      const Status probed = lane.commit->TryRecover();
+      if (probed.ok()) {
+        // Un-latched. Backoff resets; the cumulative attempt count does
+        // NOT — a disk that keeps flapping runs out of budget and sticks.
+        rec.backoff_shift = 0;
+      } else {
+        const uint32_t shift =
+            rec.backoff_shift < 10 ? rec.backoff_shift : 10;
+        rec.next_probe = now + opts.backoff_base * (1ull << shift);
+        ++rec.backoff_shift;
+      }
+    }
+    lock.lock();
+  }
 }
 
 void IngestPipeline::WriterLoop(Lane* lane) {
@@ -360,10 +475,12 @@ void IngestPipeline::WriterLoop(Lane* lane) {
             Pending& p = batch[k];
             if (!p.skip && p.ack != nullptr) p.ack->set_value(st);
           }
-          // Latched: stop accepting work so producers fail fast with
-          // kReadOnly; the loop keeps draining (and nacking) what is
-          // already queued.
-          if (lane->commit->read_only()) lane->queue->Close();
+          // The queue deliberately stays OPEN on a latch: Push already
+          // fails fast via read_only(), queued work keeps draining (and
+          // nacking) here, and — the point — the recovery supervisor can
+          // clear a transient latch and this same thread then commits new
+          // durable writes without a restart. Closing the queue would
+          // kill the writer and make every latch terminal.
         }
       }
       if (j < batch.size()) {
@@ -529,6 +646,12 @@ Status IngestPipeline::CompactionBody() {
 Status IngestPipeline::Close() {
   if (closed_.exchange(true)) return Status::OK();
   Status first;
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    stop_supervisor_ = true;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
   for (auto& lane : lanes_) lane->queue->Close();
   for (auto& lane : lanes_) {
     if (lane->writer.joinable()) lane->writer.join();

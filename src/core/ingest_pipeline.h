@@ -58,6 +58,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -78,6 +79,27 @@
 
 namespace bloomsample {
 
+/// Policy for the lane recovery supervisor — the background probe loop
+/// that distinguishes TRANSIENT latches (EINTR/EAGAIN hiccups, ENOSPC
+/// that later frees) from PERMANENT ones (EIO: per fsyncgate, data the
+/// kernel already dropped) and un-latches the former without a restart.
+struct LaneRecoveryOptions {
+  bool enabled = true;
+  /// Probe budget PER LATCH EPISODE — but attempts accumulate across
+  /// un-latch/re-latch cycles, so a flapping disk converges to sticky
+  /// read-only instead of oscillating forever.
+  uint64_t max_attempts = 6;
+  /// Backoff before a retry after a failed probe; doubles per failure
+  /// (shift capped at 10).
+  std::chrono::milliseconds backoff_base{2};
+  /// Supervisor wake cadence while any lane is latched.
+  std::chrono::milliseconds poll_interval{2};
+  /// An ENOSPC latch is probed only once FileSystem::FreeSpace reports at
+  /// least this much headroom — probing a still-full disk just burns the
+  /// budget that a genuinely freed disk would need.
+  uint64_t min_free_bytes = 1 << 20;
+};
+
 struct IngestPipelineOptions {
   /// Bounded-queue front (per lane): capacity and what a producer
   /// experiences when the queue is full.
@@ -94,6 +116,24 @@ struct IngestPipelineOptions {
   /// How background compaction writes the new image. Set `save.fs` to
   /// match `wal.fs` when running under a fault-injecting filesystem.
   SaveOptions save;
+  /// Lane auto-recovery policy (see LaneRecoveryOptions).
+  LaneRecoveryOptions recovery;
+};
+
+/// One lane's health, as Stats() reports it — what bsr_cli's
+/// `# lane status` diagnostic line prints.
+struct LaneStatusInfo {
+  uint32_t lane = 0;
+  bool read_only = false;
+  bool quarantined = false;
+  /// The ORIGINAL failure behind the latch ("" when healthy) and its
+  /// captured errno (0 when the failure was not a syscall) — the reason,
+  /// not just the fact.
+  std::string latch_message;
+  int latch_errno = 0;
+  uint64_t recover_attempts = 0;   ///< probes the supervisor has run
+  uint64_t recover_successes = 0;  ///< latches cleared
+  bool recovery_gave_up = false;   ///< budget exhausted or permanent cause
 };
 
 /// Aggregate counters over every lane (see accessors for meaning).
@@ -102,6 +142,7 @@ struct IngestPipelineStats {
   uint64_t commit_groups = 0;      ///< leader rounds (fsync sharing factor)
   uint64_t fsyncs = 0;             ///< successful fsyncs issued
   uint64_t shed = 0;               ///< pushes rejected by backpressure
+  std::vector<LaneStatusInfo> lanes;  ///< per-lane health
 };
 
 class IngestPipeline {
@@ -204,6 +245,17 @@ class IngestPipeline {
 
   IngestPipelineStats Stats() const;
 
+  /// The snapshot path a lane serves (what the scrubber walks).
+  const std::string& lane_path(uint32_t lane) const;
+
+  /// Takes a lane out of service after unrepairable corruption: durably
+  /// writes the `<path>.quarantine` marker (so the NEXT open fails fast
+  /// with kQuarantined) and fails this lane's future mutations with
+  /// kQuarantined immediately. Sibling lanes are untouched and keep
+  /// serving. Lifted by restoring the file and ClearQuarantineMarker.
+  Status Quarantine(uint32_t lane, const std::string& reason);
+  bool lane_quarantined(uint32_t lane) const;
+
   /// Test-only sync point: runs in the synchronous Apply path between
   /// the commit acknowledgement and the tree mutation — inside the
   /// rotation window, so tests can park a writer in exactly the gap a
@@ -266,6 +318,11 @@ class IngestPipeline {
     /// while a drain waits, so the one-shot drain cannot starve under a
     /// reader-preferring shared_mutex.
     mutable std::atomic<uint32_t> drain_waiting{0};
+    /// Set by Quarantine(); mutations fail fast with kQuarantined.
+    std::atomic<bool> quarantined{false};
+    /// Supervisor bookkeeping, read by Stats() from other threads.
+    std::atomic<uint64_t> recover_attempts{0};
+    std::atomic<bool> recovery_gave_up{false};
   };
 
   IngestPipeline(IngestPipelineOptions options, uint64_t namespace_size,
@@ -292,6 +349,13 @@ class IngestPipeline {
   static void DrainWindows(Lane* lane);
   void WriterLoop(Lane* lane);
   Status CompactionBody();
+  /// The recovery supervisor (one thread per pipeline): polls latched
+  /// lanes, classifies the latch cause by errno (transient EINTR/EAGAIN;
+  /// ENOSPC gated on the free-space watermark; anything else permanent),
+  /// and drives GroupCommitWal::TryRecover under capped exponential
+  /// backoff until it succeeds or the attempt budget is gone.
+  void SupervisorLoop();
+  static void StartThreads(IngestPipeline* p);
 
   const IngestPipelineOptions options_;
   const uint64_t namespace_size_;
@@ -312,6 +376,14 @@ class IngestPipeline {
   Status compaction_result_;
 
   std::atomic<bool> closed_{false};
+
+  /// Recovery supervisor thread + its shutdown signal (cv so Close() can
+  /// wake a sleeping supervisor immediately instead of waiting out a poll
+  /// interval).
+  std::thread supervisor_;
+  mutable std::mutex supervisor_mu_;
+  std::condition_variable supervisor_cv_;
+  bool stop_supervisor_ = false;
 
   /// See set_apply_pause_for_test.
   std::function<void()> apply_pause_;

@@ -1,0 +1,246 @@
+#include "src/core/scrubber.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/core/tree_io.h"
+#include "src/util/xxhash64.h"
+
+namespace bloomsample {
+namespace {
+
+/// Token-bucket pacer over bytes. After each chunk read the scrubber
+/// "pays" for the bytes; once the budget for this second is spent, Pace
+/// sleeps until the bucket refills. The bucket is clamped to one second
+/// of budget so an idle scrubber cannot bank a burst.
+class Pacer {
+ public:
+  explicit Pacer(uint64_t bytes_per_sec) : rate_(bytes_per_sec) {
+    if (rate_ != 0) next_free_ = std::chrono::steady_clock::now();
+  }
+
+  void Pace(uint64_t bytes) {
+    if (rate_ == 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (next_free_ < now - std::chrono::seconds(1)) {
+      next_free_ = now - std::chrono::seconds(1);
+    }
+    next_free_ += std::chrono::nanoseconds(bytes * 1000000000ull / rate_);
+    if (next_free_ > now) std::this_thread::sleep_for(next_free_ - now);
+  }
+
+ private:
+  const uint64_t rate_;
+  std::chrono::steady_clock::time_point next_free_;
+};
+
+constexpr uint64_t kNoBadChunk = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
+Status ScrubSnapshotFileOnce(const std::string& path,
+                             const ScrubOptions& options,
+                             ScrubFileReport* report) {
+  ScrubFileReport local;
+  if (report == nullptr) report = &local;
+  *report = ScrubFileReport{};
+  FileSystem* fs =
+      options.fs != nullptr ? options.fs : FileSystem::Default();
+
+  if (IsQuarantined(path, fs)) {
+    return Status::Quarantined("snapshot '" + path + "' is quarantined (" +
+                               QuarantinePathFor(path) + " exists)");
+  }
+
+  auto info = ReadSnapshotChunkInfo(path, fs);
+  if (!info.ok()) {
+    // A v1 stream has no digests to scrub against — clean pass, same
+    // contract as VerifySnapshotFile.
+    if (info.status().code() == Status::Code::kUnsupported) {
+      return Status::OK();
+    }
+    return info.status();
+  }
+  const SnapshotChunkInfo& ci = info.value();
+  if (!ci.has_checksums || ci.slab_bytes == 0) return Status::OK();
+
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+
+  Pacer pacer(options.rate_limit_bytes_per_sec);
+  std::vector<char> buf(static_cast<size_t>(ci.chunk_bytes));
+  XxHash64 whole;
+  const uint64_t chunk_count =
+      (ci.slab_bytes + ci.chunk_bytes - 1) / ci.chunk_bytes;
+  for (uint64_t c = 0; c < chunk_count; ++c) {
+    const uint64_t offset = c * ci.chunk_bytes;
+    const size_t want = static_cast<size_t>(
+        ci.slab_bytes - offset < ci.chunk_bytes ? ci.slab_bytes - offset
+                                                : ci.chunk_bytes);
+    size_t got = 0;
+    const Status st =
+        file.value()->Read(ci.slab_offset + offset, want, buf.data(), &got);
+    if (!st.ok()) return st;
+    if (got != want) {
+      report->corruption_found = true;
+      report->first_bad_chunk = c;
+      return Status::OutOfRange("snapshot '" + path + "' truncated mid-slab");
+    }
+    ++report->chunks_scanned;
+    report->bytes_scanned += want;
+    if (ci.has_chunk_checksums &&
+        XxHash64::Hash(buf.data(), want) != ci.chunk_digests[c]) {
+      report->corruption_found = true;
+      report->first_bad_chunk = c;
+      return Status::InvalidArgument("snapshot '" + path + "' slab chunk " +
+                                     std::to_string(c) +
+                                     " checksum mismatch");
+    }
+    whole.Update(buf.data(), want);
+    pacer.Pace(want);
+  }
+  if (whole.Digest() != ci.slab_digest) {
+    report->corruption_found = true;
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' filter slab checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Scrubber::Scrubber(IngestPipeline* pipeline, ScrubOptions options)
+    : pipeline_(pipeline),
+      options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : FileSystem::Default()) {}
+
+Scrubber::~Scrubber() { Stop(); }
+
+void Scrubber::Start() {
+  if (started_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(stop_mu_);
+        if (stop_) return;
+      }
+      RunPass();
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      if (stop_cv_.wait_for(lock, options_.rescan_interval,
+                            [this] { return stop_; })) {
+        return;
+      }
+    }
+  });
+}
+
+void Scrubber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_.store(false, std::memory_order_release);
+}
+
+Status Scrubber::RunPass() {
+  Status first_failure;
+  for (uint32_t lane = 0; lane < pipeline_->lane_count(); ++lane) {
+    const Status st = ScrubLane(lane);
+    if (!st.ok() && first_failure.ok()) first_failure = st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.passes;
+  }
+  return first_failure;
+}
+
+Status Scrubber::DetectLane(uint32_t lane, bool* confirmed) {
+  *confirmed = false;
+  const std::string& path = pipeline_->lane_path(lane);
+
+  ScrubOptions paced = options_;
+  paced.fs = fs_;
+  ScrubFileReport report;
+  Status st = ScrubSnapshotFileOnce(path, paced, &report);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.chunks_scanned += report.chunks_scanned;
+    stats_.bytes_scanned += report.bytes_scanned;
+  }
+  if (st.ok() || st.code() == Status::Code::kQuarantined) return st;
+
+  // Suspected corruption — but a background compaction may have renamed a
+  // fresh image over the file mid-walk, making metadata from one image
+  // disagree with slab bytes from another. Re-check on a fresh unpaced
+  // open: only a mismatch that survives a self-consistent pass is real.
+  ScrubOptions recheck = paced;
+  recheck.rate_limit_bytes_per_sec = 0;
+  ScrubFileReport report2;
+  const Status st2 = ScrubSnapshotFileOnce(path, recheck, &report2);
+  if (st2.ok()) return Status::OK();
+  if (report2.corruption_found) {
+    *confirmed = true;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.corrupt_chunks;
+  }
+  // Not corruption_found (e.g. an injected read error, or the file
+  // vanished): surface the failure but do not repair on it.
+  return st2;
+}
+
+Status Scrubber::ScrubLane(uint32_t lane) {
+  if (pipeline_->lane_quarantined(lane)) return Status::OK();
+  const std::string& path = pipeline_->lane_path(lane);
+
+  bool confirmed = false;
+  Status detect = DetectLane(lane, &confirmed);
+  if (!confirmed) return detect;
+
+  if (options_.repair) {
+    // Read-repair: compaction re-materializes the image from the occupied
+    // set (it never reads the corrupt slab) and refcount-swaps it in under
+    // live readers. An in-flight compaction is as good as our own — wait
+    // it out and trigger again so OUR post-detection rebuild runs.
+    Status trig = pipeline_->TriggerCompaction();
+    if (trig.code() == Status::Code::kResourceExhausted) {
+      (void)pipeline_->WaitCompaction();
+      trig = pipeline_->TriggerCompaction();
+    }
+    if (trig.ok()) {
+      const Status built = pipeline_->WaitCompaction();
+      if (built.ok()) {
+        uint64_t bad_chunk = kNoBadChunk;
+        const Status verify = VerifySnapshotFile(path, fs_, &bad_chunk);
+        if (verify.ok()) {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.repairs;
+          return Status::OK();
+        }
+      }
+    }
+    // kUnsupported (forest lane), trigger/build failure, or the rebuilt
+    // image STILL fails verification — fall through to quarantine.
+  }
+
+  const Status q = pipeline_->Quarantine(
+      lane, "scrub: " + detect.message());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.quarantines;
+  }
+  if (!q.ok()) return q;
+  return detect;
+}
+
+ScrubStats Scrubber::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace bloomsample

@@ -44,6 +44,15 @@ constexpr uint64_t kNodeEntryBytes = 48;
 /// SaveOptions::checksums = false) load unverified.
 constexpr uint32_t kFlagChecksums = 0x2u;
 constexpr uint64_t kChecksumBytes = 5 * sizeof(uint64_t);
+/// Snapshot flag bit 2 (valid only together with kFlagChecksums): the
+/// digest block grows to six entries — the sixth guards a per-chunk digest
+/// table over the slab (one XXH64 per kSlabChunkBytes, last chunk short)
+/// that sits between the digest block and the node table. The chunk table
+/// is what the online scrubber and `bsr verify` walk: it localizes slab
+/// corruption to one 64 KiB range instead of one all-or-nothing verdict.
+constexpr uint32_t kFlagChunkChecksums = 0x4u;
+constexpr uint64_t kChecksumBytesChunked = 6 * sizeof(uint64_t);
+constexpr uint64_t kSlabChunkBytes = 64 * 1024;
 /// Slab alignment in the file. A page multiple on every mainstream
 /// platform, so the mmap path can map the slab at (or just below) this
 /// offset, and comfortably beyond the arena's 64-byte line alignment.
@@ -65,9 +74,13 @@ struct SnapshotMeta {
   uint64_t slab_bytes = 0;
   uint64_t file_bytes = 0;
   /// Region digests (meaningful only when has_checksums): header core,
-  /// node table, block index, occupancy, slab.
+  /// node table, block index, occupancy, slab — plus, when
+  /// has_chunk_checksums, a sixth over the chunk digest table.
   bool has_checksums = false;
-  uint64_t checksum[5] = {0, 0, 0, 0, 0};
+  bool has_chunk_checksums = false;
+  uint64_t checksum[6] = {0, 0, 0, 0, 0, 0};
+  /// One XXH64 per kSlabChunkBytes slab chunk (empty unless flagged).
+  std::vector<uint64_t> chunk_digests;
 
   struct NodeMeta {
     uint64_t lo = 0;
@@ -80,6 +93,48 @@ struct SnapshotMeta {
   std::vector<NodeMeta> nodes;
   std::vector<uint32_t> block_of;  ///< id → slab block index (permutation)
   std::vector<uint64_t> occupied;
+};
+
+/// Streams the slab bytes once and produces BOTH the whole-slab digest and
+/// the per-chunk digest table, splitting the stream at kSlabChunkBytes
+/// boundaries regardless of how callers slice their Update calls (the
+/// writer feeds block-sized pieces that straddle chunk edges).
+class ChunkedSlabHasher {
+ public:
+  void Update(const void* data, size_t len) {
+    whole_.Update(data, len);
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+      const uint64_t room = kSlabChunkBytes - in_chunk_;
+      const size_t take =
+          len < room ? len : static_cast<size_t>(room);
+      chunk_.Update(p, take);
+      in_chunk_ += take;
+      p += take;
+      len -= take;
+      if (in_chunk_ == kSlabChunkBytes) FlushChunk();
+    }
+  }
+
+  uint64_t WholeDigest() const { return whole_.Digest(); }
+
+  /// Digest table including the trailing short chunk, if any. Call once.
+  std::vector<uint64_t> TakeChunkDigests() {
+    if (in_chunk_ > 0) FlushChunk();
+    return std::move(chunk_digests_);
+  }
+
+ private:
+  void FlushChunk() {
+    chunk_digests_.push_back(chunk_.Digest());
+    chunk_.Reset();
+    in_chunk_ = 0;
+  }
+
+  XxHash64 whole_;
+  XxHash64 chunk_;
+  uint64_t in_chunk_ = 0;
+  std::vector<uint64_t> chunk_digests_;
 };
 
 /// Child-topology invariant shared by both formats: node 0 is the level-0
@@ -322,8 +377,16 @@ class TreeSerializer {
       }
     }
 
+    const uint64_t slab_bytes = node_count * stride_words * sizeof(uint64_t);
+    const bool chunked = options.checksums && options.chunk_checksums;
+    const uint64_t chunk_count =
+        chunked ? (slab_bytes + kSlabChunkBytes - 1) / kSlabChunkBytes : 0;
     const uint64_t node_table_offset =
-        kHeaderBytes + (options.checksums ? kChecksumBytes : 0);
+        kHeaderBytes +
+        (options.checksums
+             ? (chunked ? kChecksumBytesChunked : kChecksumBytes)
+             : 0) +
+        chunk_count * sizeof(uint64_t);
     const uint64_t block_index_offset =
         node_table_offset + node_count * kNodeEntryBytes;
     const uint64_t occupied_offset =
@@ -332,7 +395,6 @@ class TreeSerializer {
         occupied_offset + tree.occupied_.size() * sizeof(uint64_t);
     const uint64_t slab_offset =
         (metadata_end + kSlabAlign - 1) / kSlabAlign * kSlabAlign;
-    const uint64_t slab_bytes = node_count * stride_words * sizeof(uint64_t);
     const uint64_t file_bytes = slab_offset + slab_bytes;
 
     // Each metadata region is staged in memory so its digest can precede
@@ -348,6 +410,7 @@ class TreeSerializer {
                        sizeof(kEndianMark));
       const uint32_t flags = (tree.pruned_ ? 1u : 0u) |
                              (options.checksums ? kFlagChecksums : 0u) |
+                             (chunked ? kFlagChunkChecksums : 0u) |
                              (static_cast<uint32_t>(layout) << 8);
       header.WriteU32(flags);
       header.WriteU32(static_cast<uint32_t>(config.hash_kind));
@@ -415,7 +478,8 @@ class TreeSerializer {
     if (options.checksums) {
       // Slab digest pre-pass: hash exactly the bytes the dump loop below
       // will emit — payload words then zeroed stride padding per block.
-      XxHash64 slab_hash;
+      // One pass yields both the whole-slab digest and the chunk table.
+      ChunkedSlabHasher slab_hash;
       const std::vector<uint64_t> zeros(
           static_cast<size_t>(stride_words - words_per_block), 0);
       for (uint64_t b = 0; b < node_count; ++b) {
@@ -426,6 +490,19 @@ class TreeSerializer {
                              sizeof(uint64_t));
         slab_hash.Update(zeros.data(), zeros.size() * sizeof(uint64_t));
       }
+      std::string chunk_table_bytes;
+      if (chunked) {
+        std::ostringstream chunk_buf;
+        BinaryWriter chunks(&chunk_buf);
+        for (uint64_t digest : slab_hash.TakeChunkDigests()) {
+          chunks.WriteU64(digest);
+        }
+        if (!chunks.ok()) return Status::Internal("stream write failed");
+        chunk_table_bytes = chunk_buf.str();
+        BSR_CHECK(chunk_table_bytes.size() ==
+                      chunk_count * sizeof(uint64_t),
+                  "chunk table size mismatch");
+      }
       writer.WriteU64(XxHash64::Hash(header_bytes.data(),
                                      header_bytes.size()));
       writer.WriteU64(XxHash64::Hash(node_table_bytes.data(),
@@ -434,7 +511,14 @@ class TreeSerializer {
                                      block_index_bytes.size()));
       writer.WriteU64(XxHash64::Hash(occupied_bytes.data(),
                                      occupied_bytes.size()));
-      writer.WriteU64(slab_hash.Digest());
+      writer.WriteU64(slab_hash.WholeDigest());
+      if (chunked) {
+        // Sixth digest guards the chunk table itself, then the table.
+        writer.WriteU64(XxHash64::Hash(chunk_table_bytes.data(),
+                                       chunk_table_bytes.size()));
+        out->write(chunk_table_bytes.data(),
+                   static_cast<std::streamsize>(chunk_table_bytes.size()));
+      }
     }
     out->write(node_table_bytes.data(),
                static_cast<std::streamsize>(node_table_bytes.size()));
@@ -528,11 +612,19 @@ class TreeSerializer {
 
     uint32_t flags;
     BSR_READ_OR_RETURN(flags, reader.ReadU32());
-    if ((flags & ~(0x1u | kFlagChecksums | 0xff00u)) != 0) {
+    if ((flags &
+         ~(0x1u | kFlagChecksums | kFlagChunkChecksums | 0xff00u)) != 0) {
       return Status::InvalidArgument("unknown snapshot flags");
     }
     meta.pruned = (flags & 1u) != 0;
     meta.has_checksums = (flags & kFlagChecksums) != 0;
+    meta.has_chunk_checksums = (flags & kFlagChunkChecksums) != 0;
+    if (meta.has_chunk_checksums && !meta.has_checksums) {
+      // The chunk table rides inside the checksum block; alone it is
+      // unanchored — no writer emits this combination.
+      return Status::InvalidArgument("snapshot chunk checksums without "
+                                     "region checksums");
+    }
     const uint32_t layout_raw = (flags >> 8) & 0xffu;
     if (layout_raw > static_cast<uint32_t>(NodeLayout::kDescent)) {
       return Status::InvalidArgument("unknown snapshot node layout");
@@ -567,8 +659,9 @@ class TreeSerializer {
     BSR_READ_OR_RETURN(meta.slab_bytes, reader.ReadU64());
     BSR_READ_OR_RETURN(meta.file_bytes, reader.ReadU64());
     if (meta.has_checksums) {
-      for (uint64_t& digest : meta.checksum) {
-        BSR_READ_OR_RETURN(digest, reader.ReadU64());
+      const int digest_count = meta.has_chunk_checksums ? 6 : 5;
+      for (int i = 0; i < digest_count; ++i) {
+        BSR_READ_OR_RETURN(meta.checksum[i], reader.ReadU64());
       }
     }
 
@@ -587,8 +680,31 @@ class TreeSerializer {
         (!meta.pruned && occupied_count != 0)) {
       return Status::InvalidArgument("snapshot occupancy out of range");
     }
+    // Recompute the slab size first: the chunk table's length — and with
+    // it every metadata offset — derives from it, and it must come from
+    // validated geometry (node_count × stride), never the header's claim.
+    // stride_words matched (wpb+7)/8*8 above, so stride_words * 8 cannot
+    // itself overflow (wpb ≤ 2^58); only the per-node product can.
+    uint64_t slab_bytes;
+    if (__builtin_mul_overflow(meta.node_count,
+                               meta.stride_words * sizeof(uint64_t),
+                               &slab_bytes)) {
+      return Status::InvalidArgument("snapshot slab size overflows");
+    }
+    if (meta.slab_bytes != slab_bytes) {
+      return Status::InvalidArgument("snapshot slab size mismatch");
+    }
+    const uint64_t chunk_count =
+        meta.has_chunk_checksums
+            ? (slab_bytes + kSlabChunkBytes - 1) / kSlabChunkBytes
+            : 0;
     uint64_t expect =
-        kHeaderBytes + (meta.has_checksums ? kChecksumBytes : 0);
+        kHeaderBytes +
+        (meta.has_checksums
+             ? (meta.has_chunk_checksums ? kChecksumBytesChunked
+                                         : kChecksumBytes)
+             : 0) +
+        chunk_count * sizeof(uint64_t);
     if (meta.node_table_offset != expect) {
       return Status::InvalidArgument("snapshot node table offset mismatch");
     }
@@ -615,17 +731,6 @@ class TreeSerializer {
     if (meta.slab_offset != slab_offset) {
       return Status::InvalidArgument("snapshot slab offset mismatch");
     }
-    // stride_words matched (wpb+7)/8*8 above, so stride_words * 8 cannot
-    // itself overflow (wpb ≤ 2^58); only the per-node product can.
-    uint64_t slab_bytes;
-    if (__builtin_mul_overflow(meta.node_count,
-                               meta.stride_words * sizeof(uint64_t),
-                               &slab_bytes)) {
-      return Status::InvalidArgument("snapshot slab size overflows");
-    }
-    if (meta.slab_bytes != slab_bytes) {
-      return Status::InvalidArgument("snapshot slab size mismatch");
-    }
     uint64_t file_bytes;
     if (__builtin_add_overflow(meta.slab_offset, meta.slab_bytes,
                                &file_bytes)) {
@@ -638,6 +743,20 @@ class TreeSerializer {
       return Status::OutOfRange("snapshot truncated or padded on disk");
     }
 
+    // Chunk digest table — read only AFTER the full geometry validation
+    // above, so chunk_count is bounded by the file's real size and a
+    // forged header cannot demand a huge allocation. The stream is still
+    // positioned right after the digest block (validation is pure
+    // computation), which is exactly where the table lives.
+    if (meta.has_chunk_checksums) {
+      meta.chunk_digests.reserve(static_cast<size_t>(chunk_count));
+      for (uint64_t i = 0; i < chunk_count; ++i) {
+        uint64_t digest;
+        BSR_READ_OR_RETURN(digest, reader.ReadU64());
+        meta.chunk_digests.push_back(digest);
+      }
+    }
+
     // Verify the metadata-region digests BEFORE parsing the regions they
     // guard, so corruption surfaces as a checksum mismatch rather than as
     // whichever downstream invariant happens to trip (or, worse, as a
@@ -646,6 +765,11 @@ class TreeSerializer {
     if (meta.has_checksums) {
       Status vst = VerifyRegion(in, base, 0, kHeaderBytes, meta.checksum[0],
                                 "header");
+      if (vst.ok() && meta.has_chunk_checksums) {
+        vst = VerifyRegion(in, base, kHeaderBytes + kChecksumBytesChunked,
+                           chunk_count * sizeof(uint64_t), meta.checksum[5],
+                           "chunk table");
+      }
       if (vst.ok()) {
         vst = VerifyRegion(in, base, meta.node_table_offset,
                            meta.block_index_offset - meta.node_table_offset,
@@ -849,7 +973,8 @@ class TreeSerializer {
   /// cost is O(metadata) — payload pages fault in on first intersection.
   static Result<BloomSampleTree> ReadV2Mmap(
       SnapshotMeta&& meta, const std::string& path, bool prewarm,
-      TreeLoadInfo* info, std::shared_ptr<const HashFamily> shared_family) {
+      TreeLoadInfo* info, std::shared_ptr<const HashFamily> shared_family,
+      FileSystem* fs) {
     auto tree = MakeEmptyTree(meta, std::move(shared_family));
     if (!tree.ok()) return tree;
     if (meta.node_count == 0) {
@@ -857,13 +982,47 @@ class TreeSerializer {
                            /*checked_spans=*/true);
     }
 
+    // SIGBUS safety, part 1: pread the LAST slab byte through the
+    // FileSystem interface. Touching a mapped page past the file's current
+    // EOF raises SIGBUS — a pread of the same byte just comes back short.
+    // A short probe means the file shrank between the metadata parse and
+    // now (truncated by another process, or a fault test saying it was):
+    // quarantine instead of handing out a mapping that detonates on first
+    // intersection. Going through `fs` makes the probe injectable.
+    {
+      auto probe = fs->NewRandomAccessFile(path);
+      if (!probe.ok()) return probe.status();
+      char last;
+      size_t got = 0;
+      const Status pst =
+          probe.value()->Read(meta.file_bytes - 1, 1, &last, &got);
+      if (!pst.ok()) return pst;
+      if (got != 1) {
+        return Status::Quarantined(
+            "snapshot '" + path + "' shrank beneath its declared size; "
+            "refusing to map (a page fault past EOF would raise SIGBUS)");
+      }
+    }
+
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) {
       return Status::NotFound("cannot open '" + path + "' for mapping");
     }
+    // SIGBUS safety, part 2: revalidate the length of the descriptor being
+    // mapped (the probe raced; this fd is what the mapping binds to).
     struct stat st;
-    if (::fstat(fd, &st) != 0 ||
-        st.st_size != static_cast<off_t>(meta.file_bytes)) {
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::Internal(std::string("fstat failed: ") +
+                              std::strerror(errno));
+    }
+    if (st.st_size < static_cast<off_t>(meta.file_bytes)) {
+      ::close(fd);
+      return Status::Quarantined(
+          "snapshot '" + path + "' shrank beneath its declared size; "
+          "refusing to map (a page fault past EOF would raise SIGBUS)");
+    }
+    if (st.st_size != static_cast<off_t>(meta.file_bytes)) {
       ::close(fd);
       return Status::OutOfRange("snapshot truncated or padded on disk");
     }
@@ -1101,6 +1260,16 @@ Result<BloomSampleTree> FinishLoad(Result<BloomSampleTree> tree,
 Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
                                          const LoadOptions& options,
                                          TreeLoadInfo* info) {
+  // A quarantine marker means a scrub found corruption and repair failed:
+  // fail fast with the dedicated code (forest siblings keep serving; the
+  // CLI maps this to its own exit code) instead of re-tripping whichever
+  // checksum is broken — or worse, serving a lazily-mmap'ed bad slab.
+  if (IsQuarantined(path, options.fs)) {
+    return Status::Quarantined("snapshot '" + path + "' is quarantined (" +
+                               QuarantinePathFor(path) +
+                               " exists); restore the file and clear the "
+                               "marker to serve it again");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::NotFound("cannot open '" + path + "' for reading");
@@ -1139,9 +1308,12 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
   }
 #if BSR_HAVE_MMAP
   if (want_mmap) {
+    FileSystem* fs =
+        options.fs != nullptr ? options.fs : FileSystem::Default();
     return FinishLoad(
         TreeSerializer::ReadV2Mmap(std::move(meta).value(), path,
-                                   options.prewarm, info, options.family),
+                                   options.prewarm, info, options.family,
+                                   fs),
         path, options, info);
   }
 #else
@@ -1153,6 +1325,152 @@ Result<BloomSampleTree> LoadTreeFromFile(const std::string& path,
   return FinishLoad(TreeSerializer::ReadV2Heap(std::move(meta).value(), &in,
                                                options.family),
                     path, options, info);
+}
+
+namespace {
+
+/// Opens `path`, dispatches on the tag, and runs the full metadata parse
+/// (digest verification included). kUnsupported for v1 streams.
+Result<SnapshotMeta> ParseSnapshotMetaFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  char tag[4];
+  in.read(tag, 4);
+  if (!in.good()) return Status::OutOfRange("truncated stream (tag)");
+  if (std::memcmp(tag, kTreeTag, 4) == 0) {
+    return Status::Unsupported("v1 stream snapshots carry no chunk "
+                               "geometry");
+  }
+  if (std::memcmp(tag, kSnapshotTag, 4) != 0) {
+    return Status::InvalidArgument("bad magic tag; expected 'BSTR' or "
+                                   "'BST2'");
+  }
+  const uint64_t stream_bytes = StreamBytesFrom(&in, std::streampos(0));
+  if (stream_bytes == 0) {
+    return Status::Unsupported("v2 snapshots require a seekable file");
+  }
+  return TreeSerializer::ReadV2Meta(&in, stream_bytes, std::streampos(0));
+}
+
+SnapshotChunkInfo ChunkInfoFromMeta(SnapshotMeta&& meta) {
+  SnapshotChunkInfo info;
+  info.file_bytes = meta.file_bytes;
+  info.slab_offset = meta.slab_offset;
+  info.slab_bytes = meta.slab_bytes;
+  info.chunk_bytes = kSlabChunkBytes;
+  info.has_checksums = meta.has_checksums;
+  info.has_chunk_checksums = meta.has_chunk_checksums;
+  info.slab_digest = meta.checksum[4];
+  info.chunk_digests = std::move(meta.chunk_digests);
+  return info;
+}
+
+}  // namespace
+
+Result<SnapshotChunkInfo> ReadSnapshotChunkInfo(const std::string& path,
+                                                FileSystem* fs) {
+  (void)fs;  // metadata parse reads the real file; fs gates writes only
+  auto meta = ParseSnapshotMetaFromFile(path);
+  if (!meta.ok()) return meta.status();
+  return ChunkInfoFromMeta(std::move(meta).value());
+}
+
+Status VerifySnapshotFile(const std::string& path, FileSystem* fs,
+                          uint64_t* first_bad_chunk) {
+  if (first_bad_chunk != nullptr) {
+    *first_bad_chunk = std::numeric_limits<uint64_t>::max();
+  }
+  if (fs == nullptr) fs = FileSystem::Default();
+  if (IsQuarantined(path, fs)) {
+    return Status::Quarantined("snapshot '" + path + "' is quarantined (" +
+                               QuarantinePathFor(path) + " exists)");
+  }
+
+  // Metadata walk: header parse + region digest verification. A v1 stream
+  // passes clean — it predates checksums, so there is nothing on disk to
+  // verify against (DeserializeTree's per-field validation is its guard).
+  auto meta = ParseSnapshotMetaFromFile(path);
+  if (!meta.ok()) {
+    if (meta.status().code() == Status::Code::kUnsupported) {
+      return Status::OK();
+    }
+    return meta.status();
+  }
+  const SnapshotMeta& m = meta.value();
+  if (!m.has_checksums || m.slab_bytes == 0) return Status::OK();
+
+  // Slab walk through the FileSystem interface (pread; injectable). With
+  // a chunk table every chunk is judged independently, so the report
+  // names the first bad one; without it the whole slab is one verdict.
+  auto file = fs->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  std::vector<char> buf(static_cast<size_t>(kSlabChunkBytes));
+  XxHash64 whole;
+  const uint64_t chunk_count =
+      (m.slab_bytes + kSlabChunkBytes - 1) / kSlabChunkBytes;
+  for (uint64_t c = 0; c < chunk_count; ++c) {
+    const uint64_t offset = c * kSlabChunkBytes;
+    const size_t want = static_cast<size_t>(
+        m.slab_bytes - offset < kSlabChunkBytes ? m.slab_bytes - offset
+                                                : kSlabChunkBytes);
+    size_t got = 0;
+    const Status st =
+        file.value()->Read(m.slab_offset + offset, want, buf.data(), &got);
+    if (!st.ok()) return st;
+    if (got != want) {
+      if (first_bad_chunk != nullptr) *first_bad_chunk = c;
+      return Status::OutOfRange("snapshot '" + path +
+                                "' truncated mid-slab");
+    }
+    if (m.has_chunk_checksums) {
+      if (XxHash64::Hash(buf.data(), want) != m.chunk_digests[c]) {
+        if (first_bad_chunk != nullptr) *first_bad_chunk = c;
+        return Status::InvalidArgument(
+            "snapshot '" + path + "' slab chunk " + std::to_string(c) +
+            " checksum mismatch");
+      }
+    }
+    whole.Update(buf.data(), want);
+  }
+  if (whole.Digest() != m.checksum[4]) {
+    return Status::InvalidArgument("snapshot filter slab checksum mismatch");
+  }
+  return Status::OK();
+}
+
+std::string QuarantinePathFor(const std::string& snapshot_path) {
+  return snapshot_path + ".quarantine";
+}
+
+bool IsQuarantined(const std::string& snapshot_path, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  return fs->FileExists(QuarantinePathFor(snapshot_path));
+}
+
+Status WriteQuarantineMarker(const std::string& snapshot_path,
+                             const std::string& reason, FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  const std::string marker = QuarantinePathFor(snapshot_path);
+  auto file = fs->NewWritableFile(marker, WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status st = file.value()->Append(reason.data(), reason.size());
+  if (st.ok()) st = file.value()->Sync();
+  const Status closed = file.value()->Close();
+  if (st.ok()) st = closed;
+  if (st.ok()) st = fs->SyncDirOf(marker);
+  return st;
+}
+
+Status ClearQuarantineMarker(const std::string& snapshot_path,
+                             FileSystem* fs) {
+  if (fs == nullptr) fs = FileSystem::Default();
+  const std::string marker = QuarantinePathFor(snapshot_path);
+  if (!fs->FileExists(marker)) return Status::OK();
+  Status st = fs->RemoveFile(marker);
+  if (!st.ok()) return st;
+  return fs->SyncDirOf(marker);
 }
 
 }  // namespace bloomsample

@@ -13,14 +13,19 @@
 //     table, id→block index, occupancy, then the raw filter slab at a
 //     page-aligned offset, every block at the arena's cache-line stride:
 //
-//       [header 144B][region checksums 40B, when flagged]
+//       [header 144B][region checksums 40/48B, when flagged]
+//       [chunk digests u64 each, when flagged]
 //       [node table 48B/node][id→block u32/node]
 //       [occupied u64 each][zero pad to 4 KiB][slab: stride·8 B/block]
 //
 //     The checksum block (on by default, see SaveOptions::checksums)
 //     holds one XXH64 digest per region — header, node table, block
 //     index, occupancy, slab — verified at open (slab verification is
-//     skipped on lazy mmap opens by design; see SaveOptions).
+//     skipped on lazy mmap opens by design; see SaveOptions). With
+//     SaveOptions::chunk_checksums a sixth digest guards a per-64KiB
+//     chunk digest table over the slab, placed between the checksum
+//     block and the node table — the unit the online scrubber and
+//     `bsr verify` walk, and the granularity read-repair localizes to.
 //
 //     Because the slab *is* the in-memory FilterArena layout, loading can
 //     either bulk-read it (heap mode, one I/O) or mmap it (zero-copy
@@ -47,6 +52,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/core/bloom_sample_tree.h"
 #include "src/util/file_system.h"
@@ -74,6 +80,13 @@ struct SaveOptions {
   /// mmap loads, and intentionally skipped on lazy mmap opens (hashing the
   /// slab would fault in every page and destroy the O(metadata) open).
   bool checksums = true;
+  /// Also emit a per-chunk digest table over the filter slab (one XXH64
+  /// per 64 KiB chunk, flag-gated like `checksums` and requiring it).
+  /// The whole-slab digest detects corruption; the chunk table LOCATES it
+  /// — the online scrubber walks chunks incrementally (mmap-safe: it
+  /// preads the file, never the mapping) and read-repair targets the one
+  /// damaged range. `false` reproduces the PR-8 layout byte for byte.
+  bool chunk_checksums = true;
 };
 
 /// How LoadTreeFromFile materializes a v2 snapshot's slab.
@@ -133,6 +146,55 @@ struct TreeLoadInfo {
 };
 
 const char* TreeLoadMethodName(TreeLoadInfo::Method method);
+
+/// Chunk-digest geometry of a v2 snapshot — everything the scrubber needs
+/// to walk a file incrementally without parsing the payload regions.
+struct SnapshotChunkInfo {
+  uint64_t file_bytes = 0;
+  uint64_t slab_offset = 0;   ///< page-aligned start of the filter slab
+  uint64_t slab_bytes = 0;
+  uint64_t chunk_bytes = 0;   ///< 64 KiB (last chunk may be shorter)
+  bool has_checksums = false;        ///< whole-slab digest present
+  bool has_chunk_checksums = false;  ///< per-chunk table present
+  uint64_t slab_digest = 0;   ///< whole-slab XXH64 (when has_checksums)
+  /// One XXH64 per chunk, in file order; empty when not flagged.
+  std::vector<uint64_t> chunk_digests;
+};
+
+/// Parses and verifies a v2 snapshot's metadata (header, digests, regions)
+/// and returns its chunk geometry. Fails with the same statuses
+/// LoadTreeFromFile would (kInvalidArgument on a digest mismatch, etc.) —
+/// a cheap O(metadata) pre-flight that never touches the slab. v1 streams
+/// fail with kUnsupported (no chunk geometry exists to report).
+Result<SnapshotChunkInfo> ReadSnapshotChunkInfo(const std::string& path,
+                                                FileSystem* fs = nullptr);
+
+/// Full offline integrity walk — what `bsr verify` runs. Verifies the
+/// metadata digests, then preads the slab and checks it chunk-by-chunk
+/// (whole-slab digest when the file predates chunk checksums; clean pass
+/// when it predates checksums entirely). On a chunk mismatch returns
+/// kInvalidArgument and reports the first bad chunk index via
+/// `first_bad_chunk` (optional; UINT64_MAX when the failure was not a
+/// specific chunk). A quarantine marker next to the file short-circuits
+/// to kQuarantined. v1 streams get a clean pass (nothing to verify
+/// against).
+Status VerifySnapshotFile(const std::string& path, FileSystem* fs = nullptr,
+                          uint64_t* first_bad_chunk = nullptr);
+
+/// `<path>.quarantine` — the sidecar marker a failed repair leaves behind.
+/// While present, LoadTreeFromFile and VerifySnapshotFile fail fast with
+/// kQuarantined instead of serving (or crashing on) a known-bad image;
+/// forest siblings keep serving. Remove the marker (ClearQuarantineMarker)
+/// after restoring the file to lift the quarantine.
+std::string QuarantinePathFor(const std::string& snapshot_path);
+bool IsQuarantined(const std::string& snapshot_path,
+                   FileSystem* fs = nullptr);
+/// Writes the marker durably (content = reason, fsynced, dir-fenced).
+Status WriteQuarantineMarker(const std::string& snapshot_path,
+                             const std::string& reason,
+                             FileSystem* fs = nullptr);
+Status ClearQuarantineMarker(const std::string& snapshot_path,
+                             FileSystem* fs = nullptr);
 
 /// Writes the tree in the legacy v1 stream format (byte-identical to
 /// pre-snapshot releases).

@@ -226,6 +226,25 @@ Status WalWriter::Sync() {
   return Status::OK();
 }
 
+Status WalWriter::DropUnsyncedTailRecords(uint64_t n) {
+  if (n == 0) return Status::OK();
+  if (!dead_) {
+    return Status::Internal("wal '" + path_ +
+                            "': can only drop tail records from a dead "
+                            "writer (they may already be durable)");
+  }
+  const uint64_t bytes = n * kWalRecordBytes;
+  if (bytes > unsynced_tail_.size() || next_seq_ < n + 1) {
+    return Status::Internal("wal '" + path_ +
+                            "': drop count exceeds the unsynced tail");
+  }
+  unsynced_tail_.resize(unsynced_tail_.size() - bytes);
+  appended_ -= n;
+  next_seq_ -= n;
+  if (unsynced_ >= n) unsynced_ -= n;
+  return Status::OK();
+}
+
 Status WalWriter::Repair() {
   if (!dead_) return Status::OK();
   FileSystem* fs = options_.fs;
@@ -338,6 +357,15 @@ Result<WalReplayStats> ReplayWal(
     rec.op = static_cast<WalOp>(GetU32(payload + 8));
     rec.id = GetU64(payload + 12);
     if (rec.seq != expected_seq) break;  // gap or replayed-out-of-order
+    if (rec.op == WalOp::kNoop) {
+      // Recovery probe: mutates nothing, but counts like any record — it
+      // consumed a sequence number, and records_replayed seeds the next
+      // writer's seq (AttachTreeWal passes replayed + 1).
+      ++expected_seq;
+      ++stats.records_replayed;
+      offset += 4 + len + 8;
+      continue;
+    }
     if (rec.op != WalOp::kInsert && rec.op != WalOp::kRemove) {
       break;  // unknown op: can't apply safely
     }

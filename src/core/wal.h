@@ -61,8 +61,11 @@ namespace bloomsample {
 
 /// Logged mutation kinds. kRemove records replay only into trees whose
 /// leaves use the counting-bloom backend (plain Bloom filters cannot
-/// unset bits); replay surfaces a clear error otherwise.
-enum class WalOp : uint32_t { kInsert = 1, kRemove = 2 };
+/// unset bits); replay surfaces a clear error otherwise. kNoop records
+/// mutate nothing — lane recovery appends one and fsyncs it to prove a
+/// reopened descriptor round-trips before un-latching; replay consumes
+/// the sequence number and moves on.
+enum class WalOp : uint32_t { kInsert = 1, kRemove = 2, kNoop = 3 };
 
 struct WalRecord {
   uint64_t seq = 0;  ///< dense, 1-based
@@ -151,6 +154,14 @@ class WalWriter {
   /// is idempotent). No-op on a healthy writer.
   Status Repair();
 
+  /// Drops the LAST `n` buffered unsynced records before a Repair — the
+  /// un-latch path uses this to forget records whose commits were already
+  /// NACKed (re-logging them would make replay diverge from the
+  /// acknowledged state). Rewinds the sequence counter to match, so the
+  /// repaired log stays dense. Only meaningful on a dead writer; the
+  /// records must still be in the unsynced tail.
+  Status DropUnsyncedTailRecords(uint64_t n);
+
   /// Empties the log back to its 32-byte header (the post-compaction
   /// reset): truncate + fsync, sequence numbers restart at 1.
   Status Reset();
@@ -204,7 +215,8 @@ class WalWriter {
 /// What replay found (and fixed) in a log.
 struct WalReplayStats {
   bool present = false;             ///< a log file existed
-  uint64_t records_replayed = 0;    ///< records applied in order
+  uint64_t records_replayed = 0;    ///< valid records consumed, in order
+                                    ///< (kNoop probes count: they hold seqs)
   bool recovered_corruption = false;  ///< a torn/corrupt tail was cut off
   uint64_t next_seq = 1;            ///< first seq a writer should emit
 };

@@ -1,5 +1,6 @@
 #include "src/util/fault_fs.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -81,6 +82,39 @@ class FaultWritableFile : public WritableFile {
   uint64_t appended_bytes_;
 };
 
+/// Routes positional reads through the parent's atomic read-fault plan.
+/// Namespace scope (not anonymous) so the friend declaration matches.
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectingFileSystem* parent,
+                        std::unique_ptr<RandomAccessFile> inner,
+                        std::string path)
+      : parent_(parent), inner_(std::move(inner)), path_(std::move(path)) {}
+
+  Status Read(uint64_t offset, size_t len, void* scratch,
+              size_t* bytes_read) override {
+    bool short_read = false;
+    size_t keep = 0;
+    const Status injected = parent_->CountReadOp(path_, &short_read, &keep);
+    if (!injected.ok()) {
+      *bytes_read = 0;
+      return injected;
+    }
+    if (short_read) {
+      // Indistinguishable from pread at a shrunk file's EOF: OK status,
+      // fewer bytes than asked for.
+      const size_t want = len < keep ? len : keep;
+      return inner_->Read(offset, want, scratch, bytes_read);
+    }
+    return inner_->Read(offset, len, scratch, bytes_read);
+  }
+
+ private:
+  FaultInjectingFileSystem* parent_;
+  std::unique_ptr<RandomAccessFile> inner_;
+  std::string path_;
+};
+
 FaultInjectingFileSystem::FaultInjectingFileSystem()
     : real_(FileSystem::Default()) {}
 
@@ -96,10 +130,30 @@ void FaultInjectingFileSystem::ShortWriteAtOp(uint64_t n, size_t keep_bytes) {
   short_write_keep_ = keep_bytes;
 }
 
-void FaultInjectingFileSystem::FailSyncsAt(uint64_t n, uint64_t count) {
+void FaultInjectingFileSystem::FailSyncsAt(uint64_t n, uint64_t count,
+                                           bool enospc) {
   std::lock_guard<std::mutex> lock(mu_);
   sync_fail_at_ = n;
   sync_fail_count_ = n == 0 ? 0 : count;
+  sync_fail_enospc_ = enospc;
+}
+
+void FaultInjectingFileSystem::FailReadsAt(uint64_t n, uint64_t count) {
+  read_fail_count_.store(n == 0 ? 0 : count, std::memory_order_relaxed);
+  read_fail_at_.store(n, std::memory_order_relaxed);
+}
+
+void FaultInjectingFileSystem::ShortReadAtOp(uint64_t n, size_t keep_bytes) {
+  short_read_keep_.store(keep_bytes, std::memory_order_relaxed);
+  short_read_at_.store(n, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjectingFileSystem::read_op_count() const {
+  return read_op_count_.load(std::memory_order_relaxed);
+}
+
+void FaultInjectingFileSystem::SetFreeSpace(uint64_t bytes) {
+  free_space_override_.store(bytes, std::memory_order_relaxed);
 }
 
 void FaultInjectingFileSystem::CrashAtOp(uint64_t n) {
@@ -114,8 +168,13 @@ void FaultInjectingFileSystem::ClearFaults() {
   short_write_at_ = 0;
   sync_fail_at_ = 0;
   sync_fail_count_ = 0;
+  sync_fail_enospc_ = false;
   crash_at_ = 0;
   crashed_ = false;
+  read_fail_at_.store(0, std::memory_order_relaxed);
+  read_fail_count_.store(0, std::memory_order_relaxed);
+  short_read_at_.store(0, std::memory_order_relaxed);
+  free_space_override_.store(~0ull, std::memory_order_relaxed);
 }
 
 void FaultInjectingFileSystem::SimulateCrash() {
@@ -173,14 +232,42 @@ Status FaultInjectingFileSystem::CountOpLocked(const char* what,
   if (op_count_ == fail_at_) {
     if (fail_enospc_) {
       return Status::Internal(std::string("injected fault during ") + what +
-                              ": no space left on device (ENOSPC)");
+                              ": no space left on device (ENOSPC)")
+          .WithErrno(ENOSPC);
     }
     return Status::Internal(std::string("injected fault during ") + what);
   }
   if (is_file_sync && sync_fail_at_ != 0 && sync_op_count_ >= sync_fail_at_ &&
       sync_op_count_ - sync_fail_at_ < sync_fail_count_) {
+    if (sync_fail_enospc_) {
+      return Status::Internal(std::string("injected fault during ") + what +
+                              ": no space left on device (ENOSPC)")
+          .WithErrno(ENOSPC);
+    }
     return Status::Internal(std::string("injected fault during ") + what +
-                            ": I/O error (EIO)");
+                            ": I/O error (EIO)")
+        .WithErrno(EIO);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingFileSystem::CountReadOp(const std::string& path,
+                                             bool* short_read,
+                                             size_t* short_read_keep) {
+  const uint64_t n = read_op_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t fail_at = read_fail_at_.load(std::memory_order_relaxed);
+  if (fail_at != 0 && n >= fail_at &&
+      n - fail_at < read_fail_count_.load(std::memory_order_relaxed)) {
+    return Status::Internal("injected fault during pread '" + path +
+                            "': I/O error (EIO)")
+        .WithErrno(EIO);
+  }
+  if (n == short_read_at_.load(std::memory_order_relaxed) &&
+      short_read != nullptr) {
+    *short_read = true;
+    if (short_read_keep != nullptr) {
+      *short_read_keep = short_read_keep_.load(std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }
@@ -296,6 +383,25 @@ bool FaultInjectingFileSystem::FileExists(const std::string& path) {
 
 Result<uint64_t> FaultInjectingFileSystem::FileSize(const std::string& path) {
   return real_->FileSize(path);
+}
+
+Result<std::unique_ptr<RandomAccessFile>>
+FaultInjectingFileSystem::NewRandomAccessFile(const std::string& path) {
+  // Opening for read is itself a counted read operation (so a kill plan
+  // can fail the open, not just the preads behind it). No mu_: the read
+  // plan is atomic and reads never touch durable-state bookkeeping.
+  const Status injected = CountReadOp(path);
+  if (!injected.ok()) return injected;
+  auto inner = real_->NewRandomAccessFile(path);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultRandomAccessFile(this, std::move(inner).value(), path));
+}
+
+Result<uint64_t> FaultInjectingFileSystem::FreeSpace(const std::string& path) {
+  const uint64_t forced = free_space_override_.load(std::memory_order_relaxed);
+  if (forced != ~0ull) return forced;
+  return real_->FreeSpace(path);
 }
 
 }  // namespace bloomsample

@@ -52,6 +52,7 @@
 #ifndef BLOOMSAMPLE_UTIL_FAULT_FS_H_
 #define BLOOMSAMPLE_UTIL_FAULT_FS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -86,9 +87,35 @@ class FaultInjectingFileSystem : public FileSystem {
 
   /// File-Sync failure injection (see the file comment): the `n`th file
   /// Sync (1-based, counted among file Syncs only) and the `count - 1`
-  /// following ones fail with an EIO-flavored error; later Syncs succeed.
-  /// 0 disarms. Bytes whose only covering fsync failed stay non-durable.
-  void FailSyncsAt(uint64_t n, uint64_t count = 1);
+  /// following ones fail with an EIO-flavored error (errno EIO); later
+  /// Syncs succeed. 0 disarms. Bytes whose only covering fsync failed stay
+  /// non-durable. `enospc` flavors the failures as a full disk instead
+  /// (errno ENOSPC) — the transient-latch case lane recovery must heal.
+  void FailSyncsAt(uint64_t n, uint64_t count = 1, bool enospc = false);
+
+  // --- read-path fault plan -------------------------------------------
+  //
+  // Read operations (NewRandomAccessFile opens and every pread through
+  // one) run on a SEPARATE, atomic counter: the scrubber bumps it from
+  // its own thread while writers hold mu_, so the read plan must not
+  // take the write-path lock. Read faults are independent of the crash
+  // state — reads land on real files regardless.
+
+  /// Read operations `n`..`n + count - 1` (1-based) fail with an
+  /// EIO-flavored error (errno EIO); 0 disarms.
+  void FailReadsAt(uint64_t n, uint64_t count = 1);
+
+  /// Read operation `n` — which must land on a pread to matter — returns
+  /// only the first `keep_bytes` bytes with an OK status, exactly what a
+  /// pread past a shrunk file's EOF looks like. 0 disarms.
+  void ShortReadAtOp(uint64_t n, size_t keep_bytes = 0);
+
+  /// Read operations seen so far.
+  uint64_t read_op_count() const;
+
+  /// Overrides FreeSpace() to report `bytes` (the disk-watermark knob for
+  /// ENOSPC recovery tests). kForever restores delegation to the real FS.
+  void SetFreeSpace(uint64_t bytes);
 
   /// Simulated power loss when the counter reaches `n`: unsynced state is
   /// dropped and every operation from `n` on fails with "simulated crash".
@@ -119,9 +146,13 @@ class FaultInjectingFileSystem : public FileSystem {
   Status RemoveFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Result<uint64_t> FileSize(const std::string& path) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Result<uint64_t> FreeSpace(const std::string& path) override;
 
  private:
   friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
 
   /// Counts one mutating operation and returns the injected error for it,
   /// if any. `*short_write` (optional) reports that this operation should
@@ -142,6 +173,12 @@ class FaultInjectingFileSystem : public FileSystem {
   void SimulateCrashLocked();
   void DropUnsyncedStateLocked();
 
+  /// Counts one read operation on the lock-free counter and returns the
+  /// injected error for it, if any. `*short_read_keep` (optional) reports
+  /// that this read should come up short at `keep` bytes.
+  Status CountReadOp(const std::string& path, bool* short_read = nullptr,
+                     size_t* short_read_keep = nullptr);
+
   FileSystem* real_;
   mutable std::mutex mu_;
   uint64_t op_count_ = 0;
@@ -152,8 +189,17 @@ class FaultInjectingFileSystem : public FileSystem {
   uint64_t sync_op_count_ = 0;
   uint64_t sync_fail_at_ = 0;
   uint64_t sync_fail_count_ = 0;
+  bool sync_fail_enospc_ = false;
   uint64_t crash_at_ = 0;
   bool crashed_ = false;
+
+  // Read plan: atomics, never guarded by mu_ (see the read-path comment).
+  std::atomic<uint64_t> read_op_count_{0};
+  std::atomic<uint64_t> read_fail_at_{0};
+  std::atomic<uint64_t> read_fail_count_{0};
+  std::atomic<uint64_t> short_read_at_{0};
+  std::atomic<size_t> short_read_keep_{0};
+  std::atomic<uint64_t> free_space_override_{~0ull};
 
   /// Paths mutated since construction (or the last crash).
   std::set<std::string> touched_;

@@ -7,6 +7,7 @@
 #define BSR_HAVE_POSIX_IO 1
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 #else
 #define BSR_HAVE_POSIX_IO 0
@@ -29,6 +30,13 @@ std::string ErrnoMessage(const char* op, const std::string& path) {
   return std::string(op) + " '" + path + "' failed: " + std::strerror(errno);
 }
 
+/// Internal status carrying both the strerror text and the numeric errno
+/// (recovery classification branches on the number, never the text).
+Status ErrnoInternal(const char* op, const std::string& path) {
+  const int err = errno;
+  return Status::Internal(ErrnoMessage(op, path)).WithErrno(err);
+}
+
 #if BSR_HAVE_POSIX_IO
 
 class PosixWritableFile : public WritableFile {
@@ -43,7 +51,7 @@ class PosixWritableFile : public WritableFile {
       const ssize_t n = ::write(fd_, p, len);
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::Internal(ErrnoMessage("write", path_));
+        return ErrnoInternal("write", path_);
       }
       p += n;
       len -= static_cast<size_t>(n);
@@ -53,7 +61,7 @@ class PosixWritableFile : public WritableFile {
 
   Status Sync() override {
     if (::fsync(fd_) != 0) {
-      return Status::Internal(ErrnoMessage("fsync", path_));
+      return ErrnoInternal("fsync", path_);
     }
     return Status::OK();
   }
@@ -63,8 +71,38 @@ class PosixWritableFile : public WritableFile {
     const int fd = fd_;
     fd_ = -1;
     if (::close(fd) != 0) {
-      return Status::Internal(ErrnoMessage("close", path_));
+      return ErrnoInternal("close", path_);
     }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t len, void* scratch,
+              size_t* bytes_read) override {
+    char* p = static_cast<char*>(scratch);
+    size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::pread(fd_, p + got, len - got,
+                                static_cast<off_t>(offset + got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        *bytes_read = got;
+        return ErrnoInternal("pread", path_);
+      }
+      if (n == 0) break;  // EOF — short read, not an error
+      got += static_cast<size_t>(n);
+    }
+    *bytes_read = got;
     return Status::OK();
   }
 
@@ -89,14 +127,14 @@ class PosixFileSystem : public FileSystem {
 
   Status Rename(const std::string& from, const std::string& to) override {
     if (::rename(from.c_str(), to.c_str()) != 0) {
-      return Status::Internal(ErrnoMessage("rename", from));
+      return ErrnoInternal("rename", from);
     }
     return Status::OK();
   }
 
   Status Truncate(const std::string& path, uint64_t size) override {
     if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-      return Status::Internal(ErrnoMessage("truncate", path));
+      return ErrnoInternal("truncate", path);
     }
     return Status::OK();
   }
@@ -137,6 +175,28 @@ class PosixFileSystem : public FileSystem {
       return Status::NotFound(ErrnoMessage("stat", path));
     }
     return static_cast<uint64_t>(st.st_size);
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::NotFound(ErrnoMessage("open", path));
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(fd, path));
+  }
+
+  Result<uint64_t> FreeSpace(const std::string& path) override {
+    struct statvfs vfs;
+    // The path itself may have been unlinked (quarantined artifact); the
+    // parent directory lives on the same filesystem.
+    if (::statvfs(path.c_str(), &vfs) != 0 &&
+        ::statvfs(ParentDirOf(path).c_str(), &vfs) != 0) {
+      return ErrnoInternal("statvfs", path);
+    }
+    return static_cast<uint64_t>(vfs.f_bavail) *
+           static_cast<uint64_t>(vfs.f_frsize);
   }
 };
 
@@ -216,6 +276,41 @@ class PortableFileSystem : public FileSystem {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in.is_open()) return Status::NotFound("stat: no '" + path + "'");
     return static_cast<uint64_t>(in.tellg());
+  }
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    class StreamRandomAccessFile : public RandomAccessFile {
+     public:
+      explicit StreamRandomAccessFile(std::string path)
+          : path_(std::move(path)) {}
+      Status Read(uint64_t offset, size_t len, void* scratch,
+                  size_t* bytes_read) override {
+        // Reopens per call: ifstream seek state is not thread-safe and
+        // RandomAccessFile promises concurrent reads.
+        std::ifstream in(path_, std::ios::binary);
+        *bytes_read = 0;
+        if (!in.is_open()) {
+          return Status::Internal("open '" + path_ + "' for read failed");
+        }
+        in.seekg(static_cast<std::streamoff>(offset));
+        in.read(static_cast<char*>(scratch),
+                static_cast<std::streamsize>(len));
+        *bytes_read = static_cast<size_t>(in.gcount());
+        return Status::OK();
+      }
+
+     private:
+      std::string path_;
+    };
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe.is_open()) {
+      return Status::NotFound("cannot open '" + path + "' for reading");
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        new StreamRandomAccessFile(path));
+  }
+  Result<uint64_t> FreeSpace(const std::string&) override {
+    return static_cast<uint64_t>(UINT64_MAX);  // unknowable on this port
   }
 };
 

@@ -11,10 +11,12 @@
 // std::ofstream — simulate a crash that drops every byte not yet fsync'ed
 // and rolls back every rename not yet fenced by a directory fsync.
 //
-// The read side (ifstream parsing, mmap) intentionally stays on the raw
-// platform calls: fault injection targets the WRITE path, because that is
-// where torn state is created; corrupt-read behavior is exercised by byte
-// surgery on real files (see tests/tree_snapshot_test.cpp, wal_test.cpp).
+// The bulk read side (ifstream parsing, mmap) stays on the raw platform
+// calls; corrupt-read behavior there is exercised by byte surgery on real
+// files (see tests/tree_snapshot_test.cpp, wal_test.cpp). The scrubber's
+// positional reads and the mmap-safety probes DO go through the interface
+// (NewRandomAccessFile) so the fault FS can inject EIO and short reads on
+// the verification path itself.
 //
 // Durability contract the writers rely on (and the fault FS enforces):
 //   * Append data is volatile until Sync() returns OK.
@@ -59,6 +61,22 @@ enum class WriteMode : uint32_t {
   kAppend = 1,    ///< keep existing bytes, append at the end
 };
 
+/// A positional reader (pread semantics): stateless offset, safe to call
+/// from multiple threads concurrently on one instance. The scrubber and
+/// the mmap probe use this instead of mapped memory precisely because a
+/// pread of a byte past EOF returns a short count — where touching the
+/// same byte through a mapping would raise SIGBUS.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `len` bytes at `offset` into `scratch`; `*bytes_read`
+  /// reports how many arrived (short at EOF, zero past it). An I/O error
+  /// surfaces as non-OK with sys_errno() set when it came from a syscall.
+  virtual Status Read(uint64_t offset, size_t len, void* scratch,
+                      size_t* bytes_read) = 0;
+};
+
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
@@ -84,6 +102,16 @@ class FileSystem {
 
   /// Size in bytes; NotFound if the file does not exist.
   virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Opens `path` for positional reads (scrub walks, mmap-safety probes).
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Free bytes on the filesystem holding `path` (statvfs). The lane
+  /// recovery supervisor uses this as the disk watermark that decides
+  /// whether an ENOSPC latch is worth re-probing. Ports without statvfs
+  /// report UINT64_MAX (never blocks recovery on an unknowable number).
+  virtual Result<uint64_t> FreeSpace(const std::string& path) = 0;
 
   /// The process-wide POSIX-backed instance.
   static FileSystem* Default();

@@ -34,6 +34,12 @@ class Status {
     /// working; every later mutation fails fast with this code until the
     /// artifact is reopened.
     kReadOnly,
+    /// The artifact failed an integrity check that could not be repaired
+    /// (corrupt slab chunk with repair disabled or failed, snapshot file
+    /// shrunk under an mmap'ed reader). Unlike kReadOnly, READS fail fast
+    /// too: serving bytes that failed their checksum is worse than serving
+    /// nothing. Forest siblings keep serving; bsr_cli maps this to exit 7.
+    kQuarantined,
   };
 
   Status() : code_(Code::kOk) {}
@@ -60,10 +66,24 @@ class Status {
   static Status ReadOnly(std::string msg) {
     return Status(Code::kReadOnly, std::move(msg));
   }
+  static Status Quarantined(std::string msg) {
+    return Status(Code::kQuarantined, std::move(msg));
+  }
+
+  /// Attaches the errno a failed syscall produced. Classification code
+  /// (the lane-recovery supervisor) branches on the NUMBER, not on
+  /// strerror text, so fault injection can emit exact errno values.
+  Status WithErrno(int err) && {
+    sys_errno_ = err;
+    return std::move(*this);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+  /// The originating errno, or 0 when the failure was not a syscall (or
+  /// the call site predates errno capture).
+  int sys_errno() const { return sys_errno_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: m must be positive".
   std::string ToString() const {
@@ -78,6 +98,7 @@ class Status {
       case Code::kInternal: name = "Internal"; break;
       case Code::kResourceExhausted: name = "ResourceExhausted"; break;
       case Code::kReadOnly: name = "ReadOnly"; break;
+      case Code::kQuarantined: name = "Quarantined"; break;
     }
     return std::string(name) + ": " + message_;
   }
@@ -87,6 +108,7 @@ class Status {
 
   Code code_;
   std::string message_;
+  int sys_errno_ = 0;
 };
 
 /// A value or an error. Minimal StatusOr analogue.

@@ -183,5 +183,58 @@ TEST(FaultFsTest, CrashAtOpFreezesStateBeforeTheOp) {
   EXPECT_EQ(ReadAll(path), "one");
 }
 
+TEST(FaultFsTest, ReadFaultsHitTheAtomicReadCounter) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_read.bin");
+  WriteAll(path, "0123456789");
+
+  // Read ops count opens AND preads; plan: fail the 2nd read op (the
+  // first pread through this handle), then succeed again.
+  fs.FailReadsAt(fs.read_op_count() + 2, 1);
+  auto file = fs.NewRandomAccessFile(path);  // read op 1
+  ASSERT_TRUE(file.ok());
+  char buf[10];
+  size_t got = 0;
+  const Status st = file.value()->Read(0, 10, buf, &got);  // read op 2
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.sys_errno(), EIO);
+  ASSERT_TRUE(file.value()->Read(0, 10, buf, &got).ok());  // read op 3
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(std::string(buf, got), "0123456789");
+}
+
+TEST(FaultFsTest, ShortReadModelsAShrunkFile) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_shortread.bin");
+  WriteAll(path, "0123456789");
+
+  // A pread past a shrunk file's EOF is NOT an error — it returns a
+  // short count with OK status. The mmap-safety probe keys off exactly
+  // this shape.
+  fs.ShortReadAtOp(fs.read_op_count() + 2, /*keep_bytes=*/3);
+  auto file = fs.NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok());
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TRUE(file.value()->Read(0, 10, buf, &got).ok());
+  EXPECT_EQ(got, 3u);
+  ASSERT_TRUE(file.value()->Read(0, 10, buf, &got).ok());  // disarmed
+  EXPECT_EQ(got, 10u);
+}
+
+TEST(FaultFsTest, FreeSpaceOverrideDrivesTheWatermark) {
+  FaultInjectingFileSystem fs;
+  const std::string path = TempPath("fault_fs_space.bin");
+  WriteAll(path, "x");
+  fs.SetFreeSpace(123);
+  auto forced = fs.FreeSpace(path);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(forced.value(), 123u);
+  fs.ClearFaults();  // restores delegation to the real filesystem
+  auto real = fs.FreeSpace(path);
+  ASSERT_TRUE(real.ok());
+  EXPECT_GT(real.value(), 0u);
+}
+
 }  // namespace
 }  // namespace bloomsample

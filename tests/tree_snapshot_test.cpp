@@ -468,10 +468,21 @@ TEST(TreeSnapshotTest, RegionChecksumsCatchBitRot) {
         << loaded.status().ToString();
   }
 
-  // Node table bit rot: node 0's set_bits (node table starts after the
-  // 144-byte header + 40-byte digest block; set_bits is entry offset 40).
-  // The digest rejects it before the popcount cross-checks ever run.
-  flip(144 + 40 + 40);
+  // Node table bit rot: node 0's set_bits (set_bits is entry offset 40).
+  // The node table's start is read from the header (u64 at byte 96) —
+  // the digest/chunk-table block in front of it varies with the save
+  // options. The digest rejects the flip before the popcount cross-checks
+  // ever run.
+  uint64_t node_table_offset = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    in.seekg(96);
+    in.read(reinterpret_cast<char*>(&node_table_offset),
+            sizeof(node_table_offset));
+    ASSERT_TRUE(in.good());
+  }
+  flip(node_table_offset + 40);
   {
     const auto loaded = load(LoadMode::kHeap, false);
     ASSERT_FALSE(loaded.ok());

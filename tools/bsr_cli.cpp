@@ -204,6 +204,9 @@ Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
 //   6  the writer latched read-only: an fsync/append failure exhausted
 //      the repair budget, so durability can no longer be promised — the
 //      log holds exactly the acknowledged prefix; reads still serve
+//   7  quarantined: a `<path>.quarantine` marker is present (scrub found
+//      unrepairable corruption) — the image is refused, restore it and
+//      clear the marker to lift the quarantine
 // ---------------------------------------------------------------------------
 int g_snapshot_exit_hint = 0;    // 3 or 4, set by the load helpers
 bool g_wal_recovered = false;    // turns a successful run's 0 into 5
@@ -787,6 +790,33 @@ Result<WalOptions> ParseWalFlags(const Flags& flags) {
   return options;
 }
 
+/// `# lane status` diagnostic lines — the CLI surface of
+/// IngestPipelineStats::lanes (latch reason + errno, recovery progress).
+void PrintLaneStatusLines(const IngestPipelineStats& stats) {
+  for (const LaneStatusInfo& lane : stats.lanes) {
+    if (lane.quarantined) {
+      std::fprintf(stderr, "# lane %u status: quarantined\n", lane.lane);
+      continue;
+    }
+    if (!lane.read_only) {
+      std::fprintf(stderr,
+                   "# lane %u status: healthy (%llu recovery probes, %llu "
+                   "latches cleared)\n",
+                   lane.lane,
+                   static_cast<unsigned long long>(lane.recover_attempts),
+                   static_cast<unsigned long long>(lane.recover_successes));
+      continue;
+    }
+    std::fprintf(stderr,
+                 "# lane %u status: read-only — %s (errno %d)%s; %llu "
+                 "recovery probes, %llu latches cleared\n",
+                 lane.lane, lane.latch_message.c_str(), lane.latch_errno,
+                 lane.recovery_gave_up ? "; recovery gave up" : "",
+                 static_cast<unsigned long long>(lane.recover_attempts),
+                 static_cast<unsigned long long>(lane.recover_successes));
+  }
+}
+
 /// Concurrent ingest through the IngestPipeline: `threads` writers share
 /// fsyncs via leader–follower group commit, so `--sync every` keeps its
 /// per-record durability guarantee at a fraction of the fsync count. Used
@@ -850,6 +880,7 @@ Status CmdInsert(const Flags& flags) {
       const Status ran = RunPipelineInsert(pipeline.value().get(),
                                            ids.value(), threads.value());
       stats = pipeline.value()->Stats();
+      PrintLaneStatusLines(stats);
       const Status closed = pipeline.value()->Close();
       if (!ran.ok()) return ran;
       if (!closed.ok()) return closed;
@@ -867,6 +898,7 @@ Status CmdInsert(const Flags& flags) {
       const Status ran = RunPipelineInsert(pipeline.value().get(),
                                            ids.value(), threads.value());
       stats = pipeline.value()->Stats();
+      PrintLaneStatusLines(stats);
       const Status closed = pipeline.value()->Close();
       if (!ran.ok()) return ran;
       if (!closed.ok()) return closed;
@@ -1006,6 +1038,54 @@ Status CmdRemove(const Flags& flags) {
   return Status::OK();
 }
 
+Status VerifyOneSnapshot(const std::string& path) {
+  uint64_t bad_chunk = ~0ull;
+  Timer timer;
+  const Status verified = VerifySnapshotFile(path, nullptr, &bad_chunk);
+  if (verified.ok()) {
+    std::printf("%s: ok (%.2f ms)\n", path.c_str(), timer.ElapsedMillis());
+  } else if (bad_chunk != ~0ull) {
+    std::fprintf(stderr, "# %s: first bad slab chunk = %llu\n", path.c_str(),
+                 static_cast<unsigned long long>(bad_chunk));
+  }
+  return verified;
+}
+
+Status CmdVerify(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+
+  Status first = Status::OK();
+  if (IsForestManifest(tree_path.value())) {
+    // Walk the shard images the manifest implies; a quarantined shard's
+    // image may be gone while its marker remains, so either file counts
+    // as "shard s exists".
+    FileSystem* fs = FileSystem::Default();
+    uint32_t shards = 0;
+    for (uint32_t s = 0;; ++s) {
+      const std::string shard = ForestShardPath(tree_path.value(), s);
+      if (!fs->FileExists(shard) &&
+          !fs->FileExists(QuarantinePathFor(shard))) {
+        break;
+      }
+      ++shards;
+      const Status st = VerifyOneSnapshot(shard);
+      if (!st.ok() && first.ok()) first = st;
+    }
+    if (shards == 0) {
+      first = Status::NotFound("no shard images next to manifest '" +
+                               tree_path.value() + "'");
+    }
+  } else {
+    first = VerifyOneSnapshot(tree_path.value());
+  }
+  if (!first.ok() && first.code() != Status::Code::kQuarantined) {
+    g_snapshot_exit_hint =
+        first.code() == Status::Code::kNotFound ? 3 : 4;
+  }
+  return first;
+}
+
 Status CmdCompact(const Flags& flags) {
   auto tree_path = flags.Require("tree");
   if (!tree_path.ok()) return tree_path.status();
@@ -1095,6 +1175,11 @@ commands:
                the occupied set; plain Bloom leaves cannot unset bits).
   compact      --tree T.bst             (fold the wal into the image
                                          atomically and empty the log)
+  verify       --tree T.bst             (offline integrity walk: metadata
+                                         digests, then the slab chunk by
+                                         chunk; forest manifests verify
+                                         every shard image; reports the
+                                         first bad chunk on stderr)
 
 exit codes:
   0 ok   1 command failed   2 usage   3 snapshot missing   4 snapshot
@@ -1102,7 +1187,9 @@ exit codes:
   (records before the tear were recovered; run `bsr compact` to fold
   them in and clear the log)   6 writer latched read-only (an fsync or
   append failure exhausted the repair budget; acknowledged records are
-  safe in the log, reads still serve)
+  safe in the log, reads still serve)   7 quarantined (a .quarantine
+  marker is present: scrub found unrepairable corruption; the image is
+  refused until the file is restored and the marker cleared)
 
 tree-loading flags (info/store-set/sample/reconstruct/query/insert/compact):
   --mmap      zero-copy mmap the snapshot slab (v2 files; O(ms) open)
@@ -1162,6 +1249,8 @@ int Main(int argc, char** argv) {
     status = run({"tree", "ids", "sync", "interval"}, load_flags, CmdRemove);
   } else if (command == "compact") {
     status = run({"tree"}, load_flags, CmdCompact);
+  } else if (command == "verify") {
+    status = run({"tree"}, {}, CmdVerify);
   } else if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;
@@ -1173,6 +1262,7 @@ int Main(int argc, char** argv) {
 
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    if (status.code() == Status::Code::kQuarantined) return 7;
     if (status.code() == Status::Code::kReadOnly) return 6;
     return g_snapshot_exit_hint != 0 ? g_snapshot_exit_hint : 1;
   }
