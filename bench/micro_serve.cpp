@@ -1,0 +1,166 @@
+// Microbenchmark for the bsrd serving daemon: where is the knee?
+//
+// A closed-loop load generator (C client threads, each firing its next
+// SAMPLE the instant the previous answer lands) sweeps concurrency
+// against an in-process server on a unix socket. Per concurrency level
+// the row reports achieved QPS, p50/p99 request latency, and the SHED
+// RATE — the fraction of requests answered OVERLOADED by admission
+// control instead of being queued past their usefulness. The server is
+// deliberately provisioned small (2 workers, an 8-deep admission queue)
+// so the sweep walks through the knee: flat latency while capacity
+// holds, then shedding instead of collapse.
+//
+// Output: a JSON array on stdout; one record per concurrency level:
+//   {"bench": "micro_serve", "clients": C, "requests": <n>,
+//    "qps": <double>, "p50_us": <double>, "p99_us": <double>,
+//    "ok": <n>, "shed": <n>, "shed_rate": <double>}
+//
+// BSR_BENCH_ROUNDS overrides the per-client request count (default 400
+// quick / 2000 full).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/bloom/bloom_io.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/tree_io.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace bloomsample;
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using bloomsample::bench::Env;
+  const Env env = Env::FromEnv();
+  const uint64_t per_client = env.Rounds(/*quick_default=*/400,
+                                         /*full_default=*/2000);
+
+  TreeConfig config;
+  config.namespace_size = 1 << 16;
+  config.m = 100000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = env.seed;
+  config.depth = 6;
+
+  std::vector<uint64_t> occupied;
+  for (uint64_t x = 3; x < config.namespace_size; x += 17) {
+    occupied.push_back(x);
+  }
+  auto built = BloomSampleTree::BuildPruned(config, occupied);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string path = "/tmp/bsr_micro_serve_" +
+                           std::to_string(static_cast<long>(getpid())) +
+                           ".bst";
+  if (!SaveTreeToFile(built.value(), path).ok()) return 1;
+  auto loaded = LoadTreeFromFile(path, LoadOptions{});
+  if (!loaded.ok()) return 1;
+  auto tree = std::make_shared<BloomSampleTree>(std::move(loaded).value());
+  auto pipeline =
+      IngestPipeline::OpenTree(tree, path, IngestPipelineOptions(), 1);
+  if (!pipeline.ok()) return 1;
+
+  server::ServerOptions options;
+  options.listen = "unix:" + path + ".sock";
+  options.workers = 2;
+  options.queue_capacity = 8;  // small on purpose: the sweep finds the knee
+  auto server = server::BsrServer::Start(pipeline.value().get(), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "serve: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // One shared query filter (the coalescing fast path — the realistic
+  // hot-set shape for a serving tier).
+  std::vector<uint64_t> query_ids;
+  for (uint64_t x = 3; x < 2000; x += 17) query_ids.push_back(x);
+  BloomFilter query(tree->family_ptr());
+  query.InsertBatch(query_ids);
+  std::ostringstream filter_stream;
+  if (!SerializeBloomFilter(query, &filter_stream).ok()) return 1;
+  const std::string filter_str = filter_stream.str();
+  const std::vector<uint8_t> filter_bytes(filter_str.begin(),
+                                          filter_str.end());
+
+  std::printf("[\n");
+  bool first = true;
+  for (const int clients : {1, 2, 4, 8, 16}) {
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> shed{0};
+    std::vector<std::vector<double>> latencies(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        server::ClientOptions coptions;
+        coptions.max_retries = 0;  // count every shed, don't mask it
+        auto client =
+            server::BsrClient::Connect(server.value()->address(), coptions);
+        if (!client.ok()) return;
+        latencies[c].reserve(per_client);
+        for (uint64_t i = 0; i < per_client; ++i) {
+          Timer t;
+          auto draws = client.value()->Sample(filter_bytes, 8,
+                                              /*seed=*/c * 100003 + i);
+          latencies[c].push_back(t.ElapsedMillis() * 1000.0);
+          if (draws.ok()) {
+            ++ok;
+          } else {
+            ++shed;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_ms = wall.ElapsedMillis();
+
+    std::vector<double> all;
+    for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    const uint64_t total = ok.load() + shed.load();
+    std::printf(
+        "%s  {\"bench\": \"micro_serve\", \"clients\": %d, "
+        "\"requests\": %llu, \"qps\": %.0f, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"ok\": %llu, \"shed\": %llu, "
+        "\"shed_rate\": %.4f}",
+        first ? "" : ",\n", clients,
+        static_cast<unsigned long long>(total),
+        total / (wall_ms / 1000.0), Percentile(all, 0.5),
+        Percentile(all, 0.99), static_cast<unsigned long long>(ok.load()),
+        static_cast<unsigned long long>(shed.load()),
+        total == 0 ? 0.0 : static_cast<double>(shed.load()) / total);
+    first = false;
+  }
+  std::printf("\n]\n");
+
+  server.value()->RequestDrain();
+  (void)server.value()->Wait();
+  server.value().reset();
+  (void)pipeline.value()->Close();
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  return 0;
+}

@@ -66,6 +66,22 @@ Status GroupCommitWal::Rotate(const std::string& rotated_path) {
   return Status::OK();
 }
 
+void GroupCommitWal::ReplaceWal(std::unique_ptr<WalWriter> wal) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !leader_active_; });
+  // Close the old writer best-effort: its records were either fenced (in
+  // which case the reload just replayed them) or NACKed under a latch the
+  // fresh writer supersedes — a close failure here has nothing to latch.
+  if (wal_ != nullptr) (void)wal_->Close();
+  wal_ = std::move(wal);
+  latch_ = Status::OK();
+  latch_cause_ = Status::OK();
+  rotation_latched_ = false;
+  pending_discard_records_ = 0;
+  lock.unlock();
+  cv_.notify_all();
+}
+
 bool GroupCommitWal::read_only() const {
   std::lock_guard<std::mutex> lock(mu_);
   return !latch_.ok();

@@ -115,6 +115,15 @@ class GroupCommitWal {
   WalWriter* wal() const { return wal_.get(); }
   std::unique_ptr<WalWriter> DetachWal() { return std::move(wal_); }
 
+  /// Installs a freshly opened writer and clears any read-only latch —
+  /// the hot-snapshot-swap hook: after a reload picked up an externally
+  /// rewritten image + log, the old writer's descriptor and sequence
+  /// numbers describe a file that no longer exists. Callers must have
+  /// quiesced every committer (IngestPipeline holds the commit-window
+  /// barrier exclusively); waits out an active leader, then swaps under
+  /// the group mutex so read_only()/stats readers never see a torn state.
+  void ReplaceWal(std::unique_ptr<WalWriter> wal);
+
  private:
   struct Batch {
     const std::vector<WalMutation>* muts = nullptr;

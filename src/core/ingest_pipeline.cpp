@@ -494,6 +494,74 @@ void IngestPipeline::WriterLoop(Lane* lane) {
   }
 }
 
+Status IngestPipeline::HotSwapFromDisk(const LoadOptions& load) {
+  if (lanes_.size() != 1 || lanes_[0]->owned == nullptr) {
+    return Status::Unsupported(
+        "hot snapshot swap supports single-tree pipelines only");
+  }
+  // Swap and compaction share one admission gate: both rewrite the
+  // lane's tree/log pairing and must never interleave.
+  bool expected = false;
+  if (!compaction_running_.compare_exchange_strong(expected, true)) {
+    return Status::ResourceExhausted(
+        "a compaction or snapshot swap is already in flight");
+  }
+  Lane& lane = *lanes_[0];
+
+  // Freeze the artifact: hold the commit-window barrier exclusively so no
+  // committer sits between its log append and its tree mutation — and no
+  // new window opens — while the on-disk image ∪ log is re-read. Writes
+  // stall for the reload; readers keep serving the old tree throughout.
+  lane.drain_waiting.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> window(lane.window_mu);
+  lane.drain_waiting.fetch_sub(1, std::memory_order_relaxed);
+
+  const Status st = [&]() -> Status {
+    LoadOptions opts = load;
+    opts.replay_wal = true;
+    if (opts.fs == nullptr) opts.fs = options_.wal.fs;
+    TreeLoadInfo info;
+    auto loaded = LoadTreeFromFile(lane.path, opts, &info);
+    if (!loaded.ok()) return loaded.status();
+    auto fresh =
+        std::make_shared<BloomSampleTree>(std::move(loaded).value());
+    if (!fresh->pruned()) {
+      return Status::Unsupported(
+          "hot swap requires a pruned snapshot (complete trees take no "
+          "ingest)");
+    }
+    // The old writer's descriptor and sequence numbers describe the log
+    // as it stood before the reload — an external rebuild may have reset,
+    // truncated, or replaced it. Reopen at the replayed count so
+    // post-swap commits extend exactly the log the next recovery will
+    // replay. ReplaceWal also clears a read-only latch: the restored
+    // artifact is a fresh epoch.
+    auto writer = WalWriter::Open(WalPathFor(lane.path),
+                                  WalConfigFingerprint(fresh->config()),
+                                  info.wal_records_replayed + 1,
+                                  options_.wal);
+    if (!writer.ok()) return writer.status();
+    lane.commit->ReplaceWal(std::move(writer).value());
+    {
+      // The same refcounted install as the compaction swap: a reader's
+      // guard keeps the retired tree (and its mmap) alive to the end of
+      // its pass, so every pass sees wholly-old or wholly-new draws.
+      std::unique_lock<std::shared_mutex> lock = LockExclusive(&lane);
+      lane.owned = std::move(fresh);
+      lane.tree = lane.owned.get();
+    }
+    // Loading clean proves no quarantine marker is on disk; the restored
+    // artifact lifts the in-memory latch too.
+    lane.quarantined.store(false, std::memory_order_relaxed);
+    lane.recovery_gave_up.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  }();
+
+  window.unlock();
+  compaction_running_.store(false);
+  return st;
+}
+
 Status IngestPipeline::TriggerCompaction() {
   if (lanes_.size() != 1 || lanes_[0]->owned == nullptr) {
     return Status::Unsupported(

@@ -264,6 +264,26 @@ class IngestPipeline {
     apply_pause_ = std::move(hook);
   }
 
+  // --- hot snapshot swap (single-tree pipelines) -----------------------
+
+  /// Reloads the lane's snapshot (image + sidecar WAL replay) from disk
+  /// and installs the fresh tree through the same refcounted swap
+  /// compaction uses: in-flight readers finish their pass on the old tree
+  /// (their guards hold the refcount), new readers land on the new one —
+  /// never a blend. This is the SIGHUP path: an operator rebuilds or
+  /// restores the artifact in place and signals the serving daemon
+  /// instead of restarting it.
+  ///
+  /// Mutations are barriered for the duration (the commit-window drain is
+  /// held exclusively) so the on-disk image ∪ log is frozen while it is
+  /// re-read; the commit layer's writer is then reopened at the replayed
+  /// sequence number — which also clears a read-only latch and the
+  /// lane's quarantine flag when the restored artifact loads clean.
+  /// kResourceExhausted when a compaction (or another swap) is in flight;
+  /// kUnsupported on forest pipelines; on any load failure the old tree
+  /// keeps serving untouched.
+  Status HotSwapFromDisk(const LoadOptions& load = LoadOptions::FromEnv());
+
   // --- background compaction (single-tree pipelines) -------------------
 
   /// Starts a background compaction; kResourceExhausted when one is in

@@ -1,0 +1,227 @@
+// The fault-injection harness for bsrd (the acceptance fences): each
+// scenario abuses the daemon and then PROVES it still serves —
+//   * a client that vanishes mid-request (socket closed while its query
+//     is executing) costs nothing but the connection;
+//   * a stalled reader that pipelines requests and never drains the
+//     responses is disconnected at the outbox cap instead of buffering
+//     the server into the ground;
+//   * offered load at 4x queue capacity gets only clean outcomes — every
+//     request is answered OK or OVERLOADED, never dropped, never a crash;
+//   * Abort() mid-request surfaces as a clean client error, not a hang;
+//   * and through all of the above the process's fd count returns to its
+//     baseline — no descriptor leaks.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "tests/server_test_util.h"
+
+namespace bloomsample {
+namespace server {
+namespace {
+
+std::vector<uint64_t> QueryIds() { return {5, 32, 59, 86, 113, 140}; }
+
+int RawConnect(const std::string& address) {
+  const std::string path = address.substr(5);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << strerror(errno);
+  return fd;
+}
+
+std::vector<uint8_t> SampleFrame(const std::vector<uint8_t>& filter_bytes,
+                                 uint32_t count, uint64_t request_id) {
+  SampleRequest req;
+  req.count = count;
+  req.seed = request_id;
+  req.filter = filter_bytes;
+  std::vector<uint8_t> payload;
+  EncodeSampleRequest(req, &payload);
+  FrameHeader header;
+  header.opcode = Opcode::kSample;
+  header.request_id = request_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> frame;
+  EncodeFrame(header, payload.data(), payload.size(), &frame);
+  return frame;
+}
+
+/// write(2) with MSG_NOSIGNAL: the server hanging up mid-test must show
+/// as a short write/EPIPE, not SIGPIPE-kill the test binary.
+ssize_t RawWrite(int fd, const uint8_t* data, size_t len) {
+  return send(fd, data, len, MSG_NOSIGNAL);
+}
+
+/// Polls until `pred` holds or ~5s elapse.
+template <typename Pred>
+bool Eventually(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(ServerFaultTest, ClientVanishingMidRequestLeavesDaemonServing) {
+  ServerHarness h;
+  ServerOptions options;
+  options.workers = 1;
+  options.pre_execute_delay_for_test = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  h.Start("vanish", options);
+  const std::vector<uint8_t> filter_bytes =
+      FilterBytesFor(*h.tree, QueryIds());
+
+  const int baseline_fds = CountOpenFds();
+  for (int round = 0; round < 5; ++round) {
+    const int fd = RawConnect(h.server->address());
+    const auto frame = SampleFrame(filter_bytes, 8, 1000 + round);
+    ASSERT_EQ(RawWrite(fd, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    close(fd);  // gone before the worker even starts the pass
+  }
+
+  // The daemon shrugs: new clients are served, nothing crashed.
+  auto client = QuickClient(h.server->address());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client.value()->Ping().ok());
+  EXPECT_TRUE(client.value()->Sample(filter_bytes, 4, 9).ok());
+  client.value()->Close();
+
+  EXPECT_TRUE(Eventually([&] { return CountOpenFds() <= baseline_fds; }))
+      << "fds leaked: baseline " << baseline_fds << ", now "
+      << CountOpenFds();
+}
+
+TEST(ServerFaultTest, StalledReaderIsDisconnectedAtTheOutboxCap) {
+  ServerHarness h;
+  ServerOptions options;
+  options.max_outbox_bytes = 16 * 1024;
+  h.Start("stall", options);
+  const std::vector<uint8_t> filter_bytes =
+      FilterBytesFor(*h.tree, QueryIds());
+
+  // Pipeline big responses and never read one byte back. Each response
+  // is ~8 KB (1000 draws); the socket buffer soaks up a few, then the
+  // outbox blows its cap and the server hangs up on us.
+  const int fd = RawConnect(h.server->address());
+  for (uint64_t i = 0; i < 200; ++i) {
+    const auto frame = SampleFrame(filter_bytes, 1000, i + 1);
+    const ssize_t n = RawWrite(fd, frame.data(), frame.size());
+    if (n < static_cast<ssize_t>(frame.size())) break;  // server hung up
+  }
+  EXPECT_TRUE(Eventually([&] {
+    return h.server->stats().stalled_closed >= 1;
+  })) << "stalled reader was never disconnected";
+  close(fd);
+
+  // Everyone else is unaffected.
+  auto client = QuickClient(h.server->address());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Sample(filter_bytes, 4, 9).ok());
+}
+
+TEST(ServerFaultTest, FourTimesCapacityLoadYieldsOnlyCleanOutcomes) {
+  ServerHarness h;
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 4;
+  options.pre_execute_delay_for_test = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  h.Start("overload", options);
+  const std::vector<uint8_t> filter_bytes =
+      FilterBytesFor(*h.tree, QueryIds());
+
+  const int baseline_fds = CountOpenFds();
+  constexpr int kClients = 16;   // 4x the queue bound
+  constexpr int kPerClient = 8;
+  std::atomic<int> ok{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = QuickClient(h.server->address(), /*max_retries=*/0);
+      ASSERT_TRUE(client.ok());
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto draws = client.value()->Sample(filter_bytes, 2, i);
+        if (draws.ok()) {
+          ++ok;
+        } else if (draws.status().ToString().find("overloaded") !=
+                   std::string::npos) {
+          ++overloaded;
+        } else {
+          ADD_FAILURE() << "unclean outcome: "
+                        << draws.status().ToString();
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok.load() + overloaded.load() + other.load(),
+            kClients * kPerClient);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(overloaded.load(), 0) << "4x load never tripped admission "
+                                     "control — the bound is not binding";
+  EXPECT_EQ(other.load(), 0);
+
+  // Still standing, still exact, and no fd drift once clients are gone.
+  auto client = QuickClient(h.server->address());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Ping().ok());
+  client.value()->Close();
+  EXPECT_TRUE(Eventually([&] { return CountOpenFds() <= baseline_fds; }))
+      << "fds leaked: baseline " << baseline_fds << ", now "
+      << CountOpenFds();
+}
+
+TEST(ServerFaultTest, AbortMidRequestFailsFastOnTheClient) {
+  ServerHarness h;
+  ServerOptions options;
+  options.workers = 1;
+  options.pre_execute_delay_for_test = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+  h.Start("abort", options);
+  const std::vector<uint8_t> filter_bytes =
+      FilterBytesFor(*h.tree, QueryIds());
+
+  auto inflight = std::async(std::launch::async, [&] {
+    auto client = QuickClient(h.server->address(), /*max_retries=*/0);
+    EXPECT_TRUE(client.ok());
+    return client.value()->Sample(filter_bytes, 4, 1).status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  h.server->Abort();
+
+  // The client comes back with a clean error well before its 5s request
+  // timeout — a killed daemon must not strand callers.
+  ASSERT_EQ(inflight.wait_for(std::chrono::seconds(3)),
+            std::future_status::ready)
+      << "client hung after server abort";
+  EXPECT_FALSE(inflight.get().ok());
+  (void)h.server->Wait();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace bloomsample

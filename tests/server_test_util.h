@@ -1,0 +1,138 @@
+// Shared scaffolding for the bsrd server test suites (server_test,
+// server_swap_test, server_fault_test): a golden tree + pipeline +
+// in-process server on a unix socket, filter serialization, and an fd
+// census for leak fences.
+#ifndef BLOOMSAMPLE_TESTS_SERVER_TEST_UTIL_H_
+#define BLOOMSAMPLE_TESTS_SERVER_TEST_UTIL_H_
+
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/bloom/bloom_io.h"
+#include "src/core/ingest_pipeline.h"
+#include "src/core/tree_io.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace bloomsample {
+namespace server {
+
+inline TreeConfig GoldenConfig() {
+  TreeConfig config;
+  config.namespace_size = 4096;
+  config.m = 6000;
+  config.k = 3;
+  config.hash_kind = HashFamilyKind::kSimple;
+  config.seed = 42;
+  config.depth = 4;
+  return config;
+}
+
+inline std::vector<uint64_t> BaseOccupied() {
+  std::vector<uint64_t> occupied;
+  for (uint64_t x = 5; x < 4096; x += 27) occupied.push_back(x);
+  return occupied;
+}
+
+/// Short (sun_path is 108 bytes) per-test unix socket address.
+inline std::string SocketAddress(const char* tag) {
+  return "unix:/tmp/bsr_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long>(getpid())) + ".sock";
+}
+
+inline std::string TempTreePath(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".wal.old").c_str());
+  std::remove((path + ".quarantine").c_str());
+  return path;
+}
+
+/// Builds a pruned golden tree over `occupied`, saves it at `path`, and
+/// reloads it — the state a daemon would open.
+inline std::shared_ptr<BloomSampleTree> BuildAndSave(
+    const std::string& path, const std::vector<uint64_t>& occupied) {
+  auto built = BloomSampleTree::BuildPruned(GoldenConfig(), occupied);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_TRUE(SaveTreeToFile(built.value(), path).ok());
+  auto loaded = LoadTreeFromFile(path, LoadOptions{});
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::make_shared<BloomSampleTree>(std::move(loaded).value());
+}
+
+/// SerializeBloomFilter bytes for a query set — what a client puts in a
+/// SAMPLE/RECONSTRUCT payload.
+inline std::vector<uint8_t> FilterBytesFor(const BloomSampleTree& tree,
+                                           const std::vector<uint64_t>& ids) {
+  BloomFilter filter(tree.family_ptr());
+  filter.InsertBatch(ids);
+  std::ostringstream out;
+  EXPECT_TRUE(SerializeBloomFilter(filter, &out).ok());
+  const std::string bytes = out.str();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+/// A tree + pipeline + server, torn down in order. Options are tweakable
+/// before Start().
+struct ServerHarness {
+  std::string path;
+  std::shared_ptr<BloomSampleTree> tree;
+  std::unique_ptr<IngestPipeline> pipeline;
+  std::unique_ptr<BsrServer> server;
+
+  void Start(const char* tag, ServerOptions options = ServerOptions(),
+             std::vector<uint64_t> occupied = BaseOccupied()) {
+    path = TempTreePath((std::string(tag) + ".bst").c_str());
+    tree = BuildAndSave(path, occupied);
+    auto pipe = IngestPipeline::OpenTree(tree, path, IngestPipelineOptions(),
+                                         /*next_seq=*/1);
+    ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
+    pipeline = std::move(pipe).value();
+    options.listen = SocketAddress(tag);
+    auto started = BsrServer::Start(pipeline.get(), options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(started).value();
+  }
+
+  ~ServerHarness() {
+    if (server != nullptr) {
+      server->RequestDrain();
+      (void)server->Wait();
+      server.reset();
+    }
+    if (pipeline != nullptr) (void)pipeline->Close();
+  }
+};
+
+inline Result<std::unique_ptr<BsrClient>> QuickClient(
+    const std::string& address, uint32_t max_retries = 3) {
+  ClientOptions options;
+  options.connect_timeout = std::chrono::milliseconds(2000);
+  options.request_timeout = std::chrono::milliseconds(5000);
+  options.max_retries = max_retries;
+  return BsrClient::Connect(address, options);
+}
+
+/// Open-fd census via /proc/self/fd — the leak fence the fault suite
+/// brackets every abuse scenario with.
+inline int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+}  // namespace server
+}  // namespace bloomsample
+
+#endif  // BLOOMSAMPLE_TESTS_SERVER_TEST_UTIL_H_

@@ -9,6 +9,8 @@
 //   bsr sample       draw samples from a stored filter via the tree
 //   bsr reconstruct  recover the id set from a stored filter
 //   bsr query        membership-test single ids against a filter
+//   bsr serve        long-lived daemon speaking the bsrd wire protocol
+//   bsr client       drive a running daemon (ping/sample/insert/...)
 //
 // Ids travel as one-decimal-per-line text files; trees and filters use
 // the binary formats of core/tree_io.h and bloom/bloom_io.h.
@@ -20,7 +22,10 @@
 //   bsr store-set --tree tree.bst --ids ids.txt --out set.bf
 //   bsr sample --tree tree.bst --filter set.bf --count 10
 //   bsr reconstruct --tree tree.bst --filter set.bf --exact --out back.txt
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +45,11 @@
 #include "src/core/bst_reconstructor.h"
 #include "src/core/bst_sampler.h"
 #include "src/core/ingest_pipeline.h"
+#include "src/core/scrubber.h"
 #include "src/core/tree_io.h"
 #include "src/core/wal.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/util/timer.h"
 #include "src/workload/set_generators.h"
 
@@ -192,24 +200,54 @@ Result<BloomFilter> LoadFilterFor(const BloomSampleTree& tree,
 }
 
 // ---------------------------------------------------------------------------
-// Exit codes, for scripting (see PrintUsage):
-//   0  success
-//   1  command failed
-//   2  usage error
-//   3  snapshot file missing
-//   4  snapshot file exists but is corrupt / unreadable
-//   5  success, but WAL replay amputated a corrupt log tail — everything
-//      before the tear was recovered; `bsr compact` folds the survivors
-//      into the image and empties the log
-//   6  the writer latched read-only: an fsync/append failure exhausted
-//      the repair budget, so durability can no longer be promised — the
-//      log holds exactly the acknowledged prefix; reads still serve
-//   7  quarantined: a `<path>.quarantine` marker is present (scrub found
-//      unrepairable corruption) — the image is refused, restore it and
-//      clear the marker to lift the quarantine
+// Exit codes. ONE authority: Main()'s status mapping and the table
+// PrintUsage prints both come from here, so scripts and --help can never
+// drift apart.
 // ---------------------------------------------------------------------------
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitFailed = 1,
+  kExitUsage = 2,
+  kExitSnapshotMissing = 3,
+  kExitSnapshotCorrupt = 4,
+  kExitWalRecovered = 5,
+  kExitReadOnly = 6,
+  kExitQuarantined = 7,
+  kExitServerFailure = 8,
+};
+
+struct ExitCodeRow {
+  ExitCode code;
+  const char* meaning;
+};
+
+constexpr ExitCodeRow kExitCodeTable[] = {
+    {kExitOk, "success"},
+    {kExitFailed, "command failed"},
+    {kExitUsage, "usage error"},
+    {kExitSnapshotMissing, "snapshot file missing"},
+    {kExitSnapshotCorrupt, "snapshot file exists but is corrupt/unreadable"},
+    {kExitWalRecovered,
+     "success, but wal replay amputated a corrupt log tail (records\n"
+     "        before the tear were recovered; `bsr compact` folds them in\n"
+     "        and clears the log)"},
+    {kExitReadOnly,
+     "writer latched read-only (an fsync/append failure exhausted the\n"
+     "        repair budget; acknowledged records are safe in the log,\n"
+     "        reads still serve)"},
+    {kExitQuarantined,
+     "quarantined (a .quarantine marker is present: scrub found\n"
+     "        unrepairable corruption; the image is refused until the file\n"
+     "        is restored and the marker cleared)"},
+    {kExitServerFailure,
+     "server/daemon failure (bsrd could not start, crashed, or a\n"
+     "        `bsr client` request failed at the transport or serving\n"
+     "        layer)"},
+};
+
 int g_snapshot_exit_hint = 0;    // 3 or 4, set by the load helpers
 bool g_wal_recovered = false;    // turns a successful run's 0 into 5
+bool g_server_failure = false;   // turns a failing run's 1 into 8
 
 void NoteWalReplay(const char* what, uint64_t replayed, bool recovered) {
   std::fprintf(stderr, "# replayed %llu wal records into the %s%s\n",
@@ -1123,6 +1161,178 @@ Status CmdCompact(const Flags& flags) {
   return Status::OK();
 }
 
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed on " + path);
+  return bytes;
+}
+
+Status CmdServe(const Flags& flags) {
+  auto tree_path = flags.Require("tree");
+  if (!tree_path.ok()) return tree_path.status();
+  auto wal_options = ParseWalFlags(flags);
+  if (!wal_options.ok()) return wal_options.status();
+  auto workers = flags.GetU64("workers", 2);
+  if (!workers.ok()) return workers.status();
+  auto queue = flags.GetU64("queue", 256);
+  if (!queue.ok()) return queue.status();
+  auto drain_ms = flags.GetU64("drain-ms", 5000);
+  if (!drain_ms.ok()) return drain_ms.status();
+  auto idle_ms = flags.GetU64("idle-ms", 60000);
+  if (!idle_ms.ok()) return idle_ms.status();
+  auto read_ms = flags.GetU64("read-ms", 5000);
+  if (!read_ms.ok()) return read_ms.status();
+  if (IsForestManifest(tree_path.value())) {
+    return Status::Unsupported(
+        "bsr serve is single-tree only for now; forest serving is a "
+        "ROADMAP item");
+  }
+
+  TreeLoadInfo info;
+  auto loaded = LoadTreeForCli(flags, tree_path.value(), &info);
+  if (!loaded.ok()) return loaded.status();
+  auto tree = std::make_shared<BloomSampleTree>(std::move(loaded).value());
+
+  // Past this point every failure is the daemon's fault: exit 8.
+  g_server_failure = true;
+
+  IngestPipelineOptions poptions;
+  poptions.wal = wal_options.value();
+  auto pipeline = IngestPipeline::OpenTree(tree, tree_path.value(), poptions,
+                                           info.wal_records_replayed + 1);
+  if (!pipeline.ok()) return pipeline.status();
+
+  std::unique_ptr<Scrubber> scrubber;
+  if (flags.GetBool("scrub")) {
+    ScrubOptions scrub_options;
+    scrubber = std::make_unique<Scrubber>(pipeline.value().get(),
+                                          scrub_options);
+    scrubber->Start();
+  }
+
+  server::ServerOptions soptions;
+  soptions.listen = flags.Get("listen").value_or("127.0.0.1:0");
+  soptions.workers = static_cast<size_t>(workers.value());
+  soptions.queue_capacity = static_cast<size_t>(queue.value());
+  soptions.drain_budget = std::chrono::milliseconds(drain_ms.value());
+  soptions.idle_timeout = std::chrono::milliseconds(idle_ms.value());
+  soptions.read_timeout = std::chrono::milliseconds(read_ms.value());
+  auto server = server::BsrServer::Start(pipeline.value().get(), soptions);
+  if (!server.ok()) return server.status();
+  if (scrubber != nullptr) server.value()->set_scrubber(scrubber.get());
+  server::InstallSignalHandlers(server.value().get());
+
+  // The ready line: scripts (and the CI smoke leg) wait for it on stdout
+  // before connecting — the address is authoritative because :0 binds an
+  // ephemeral port.
+  std::printf("bsrd serving on %s (pid %d; SIGTERM drains, SIGHUP swaps)\n",
+              server.value()->address().c_str(),
+              static_cast<int>(getpid()));
+  std::fflush(stdout);
+
+  const Status served = server.value()->Wait();
+  server::RestoreSignalHandlers();
+  server.value().reset();
+  if (scrubber != nullptr) scrubber->Stop();
+  PrintLaneStatusLines(pipeline.value()->Stats());
+  const Status closed = pipeline.value()->Close();
+  if (!served.ok()) return served;
+  if (!closed.ok()) return closed;
+  g_server_failure = false;
+  std::printf("bsrd: drained and stopped cleanly\n");
+  return Status::OK();
+}
+
+Status CmdClient(const std::string& op, const Flags& flags) {
+  auto addr = flags.Require("addr");
+  if (!addr.ok()) return addr.status();
+  auto timeout_ms = flags.GetU64("timeout-ms", 5000);
+  if (!timeout_ms.ok()) return timeout_ms.status();
+  auto retries = flags.GetU64("retries", 3);
+  if (!retries.ok()) return retries.status();
+  auto deadline_ms = flags.GetU64("deadline-ms", 0);
+  if (!deadline_ms.ok()) return deadline_ms.status();
+
+  server::ClientOptions coptions;
+  coptions.request_timeout = std::chrono::milliseconds(timeout_ms.value());
+  coptions.max_retries = static_cast<uint32_t>(retries.value());
+  coptions.deadline_ms = static_cast<uint32_t>(deadline_ms.value());
+
+  // A client op that reaches the wire and fails is a serving failure:
+  // exit 8, distinguishable from local mistakes like a bad flag.
+  g_server_failure = true;
+  auto client = server::BsrClient::Connect(addr.value(), coptions);
+  if (!client.ok()) return client.status();
+
+  Timer timer;
+  if (op == "ping") {
+    const Status st = client.value()->Ping();
+    if (!st.ok()) return st;
+    std::printf("pong in %.2f ms\n", timer.ElapsedMillis());
+  } else if (op == "stats") {
+    auto text = client.value()->Stats();
+    if (!text.ok()) return text.status();
+    std::fputs(text.value().c_str(), stdout);
+  } else if (op == "sample") {
+    auto filter_path = flags.Require("filter");
+    if (!filter_path.ok()) return filter_path.status();
+    auto count = flags.GetU64("count", 1);
+    if (!count.ok()) return count.status();
+    auto seed = flags.GetU64("seed", 0);
+    if (!seed.ok()) return seed.status();
+    auto filter = ReadFileBytes(filter_path.value());
+    if (!filter.ok()) return filter.status();
+    auto draws = client.value()->Sample(filter.value(),
+                                        static_cast<uint32_t>(count.value()),
+                                        seed.value());
+    if (!draws.ok()) return draws.status();
+    for (const auto& draw : draws.value()) {
+      if (draw.has_value()) {
+        std::printf("%llu\n", static_cast<unsigned long long>(*draw));
+      } else {
+        std::printf("null\n");
+      }
+    }
+  } else if (op == "reconstruct") {
+    auto filter_path = flags.Require("filter");
+    if (!filter_path.ok()) return filter_path.status();
+    auto filter = ReadFileBytes(filter_path.value());
+    if (!filter.ok()) return filter.status();
+    auto ids = client.value()->Reconstruct(filter.value(),
+                                           flags.GetBool("exact"));
+    if (!ids.ok()) return ids.status();
+    for (uint64_t id : ids.value()) {
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+    }
+  } else if (op == "insert" || op == "remove") {
+    auto ids_path = flags.Require("ids");
+    if (!ids_path.ok()) return ids_path.status();
+    auto ids = ReadIdFile(ids_path.value());
+    if (!ids.ok()) return ids.status();
+    const Status st = op == "insert" ? client.value()->Insert(ids.value())
+                                     : client.value()->Remove(ids.value());
+    if (!st.ok()) return st;
+    std::printf("%sed %zu ids in %.2f ms\n",
+                op == "insert" ? "insert" : "remov", ids.value().size(),
+                timer.ElapsedMillis());
+  } else {
+    g_server_failure = false;
+    return Status::InvalidArgument(
+        "unknown client op '" + op +
+        "' (ping|sample|reconstruct|insert|remove|stats)");
+  }
+  if (client.value()->retry_count() > 0) {
+    std::fprintf(stderr, "# %llu retries\n",
+                 static_cast<unsigned long long>(
+                     client.value()->retry_count()));
+  }
+  g_server_failure = false;
+  return Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr, R"(bsr — sampling and reconstruction from Bloom filters
 
@@ -1180,17 +1390,35 @@ commands:
                                          chunk; forest manifests verify
                                          every shard image; reports the
                                          first bad chunk on stderr)
-
-exit codes:
-  0 ok   1 command failed   2 usage   3 snapshot missing   4 snapshot
-  corrupt   5 ok, but a corrupt wal tail was amputated during replay
-  (records before the tear were recovered; run `bsr compact` to fold
-  them in and clear the log)   6 writer latched read-only (an fsync or
-  append failure exhausted the repair budget; acknowledged records are
-  safe in the log, reads still serve)   7 quarantined (a .quarantine
-  marker is present: scrub found unrepairable corruption; the image is
-  refused until the file is restored and the marker cleared)
-
+  serve        --tree T.bst [--listen unix:/path | host:port]
+               [--workers N] [--queue N]     (admission queue bound;
+                                         beyond it requests are shed with
+                                         OVERLOADED + retry-after)
+               [--drain-ms N]           (SIGTERM drain budget)
+               [--idle-ms N] [--read-ms N]  (idle / slow-loris timeouts)
+               [--scrub]                (online integrity scrubber)
+               [--sync every|interval|none] [--interval N]
+               Long-lived daemon speaking the bsrd wire protocol (see
+               docs/PROTOCOL.md). SIGTERM drains gracefully; SIGHUP
+               hot-swaps the snapshot from disk under live readers.
+  client <op>  --addr unix:/path|host:port
+               ops: ping | stats | sample --filter F [--count R] [--seed S]
+               | reconstruct --filter F [--exact] | insert --ids ids.txt
+               | remove --ids ids.txt
+               [--deadline-ms N]        (carried in the frame; the server
+                                         answers DEADLINE_EXCEEDED rather
+                                         than serve a stale reply)
+               [--timeout-ms N] [--retries N]  (bounded exponential
+                                         backoff; mutations retry only on
+                                         explicit refusals, never on
+                                         ambiguous transport failures)
+)");
+  std::fprintf(stderr, "\nexit codes:\n");
+  for (const ExitCodeRow& row : kExitCodeTable) {
+    std::fprintf(stderr, "  %d     %s\n", static_cast<int>(row.code),
+                 row.meaning);
+  }
+  std::fprintf(stderr, R"(
 tree-loading flags (info/store-set/sample/reconstruct/query/insert/compact):
   --mmap      zero-copy mmap the snapshot slab (v2 files; O(ms) open)
   --heap      read the slab onto the heap (portable fallback)
@@ -1251,25 +1479,47 @@ int Main(int argc, char** argv) {
     status = run({"tree"}, load_flags, CmdCompact);
   } else if (command == "verify") {
     status = run({"tree"}, {}, CmdVerify);
+  } else if (command == "serve") {
+    status = run({"tree", "listen", "workers", "queue", "drain-ms",
+                  "idle-ms", "read-ms", "sync", "interval"},
+                 with_load_flags({"scrub"}), CmdServe);
+  } else if (command == "client") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: bsr client <op> --addr ADDR [flags]\n");
+      return kExitUsage;
+    }
+    Result<Flags> flags = Flags::Parse(
+        argc, argv, 3,
+        {"addr", "filter", "count", "seed", "ids", "deadline-ms",
+         "timeout-ms", "retries"},
+        {"exact"});
+    status = flags.ok() ? CmdClient(argv[2], flags.value()) : flags.status();
   } else if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
-    return 0;
+    return kExitOk;
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     PrintUsage();
-    return 2;
+    return kExitUsage;
   }
 
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    if (status.code() == Status::Code::kQuarantined) return 7;
-    if (status.code() == Status::Code::kReadOnly) return 6;
-    return g_snapshot_exit_hint != 0 ? g_snapshot_exit_hint : 1;
+    if (status.code() == Status::Code::kQuarantined) return kExitQuarantined;
+    if (status.code() == Status::Code::kReadOnly) return kExitReadOnly;
+    if (g_snapshot_exit_hint != 0) return g_snapshot_exit_hint;
+    return g_server_failure ? kExitServerFailure : kExitFailed;
   }
-  return g_wal_recovered ? 5 : 0;
+  return g_wal_recovered ? kExitWalRecovered : kExitOk;
 }
 
 }  // namespace cli
 }  // namespace bloomsample
 
-int main(int argc, char** argv) { return bloomsample::cli::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Process-wide: a client hanging up mid-response (or a closed pager on
+  // the other end of stdout) must surface as an EPIPE write error, not
+  // kill the daemon with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  return bloomsample::cli::Main(argc, argv);
+}
